@@ -1,0 +1,224 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/baselines"
+	"github.com/erdos-go/erdos/internal/core/deadline"
+	"github.com/erdos-go/erdos/internal/core/erdos"
+	"github.com/erdos-go/erdos/internal/core/state"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+	"github.com/erdos-go/erdos/internal/pipeline"
+	"github.com/erdos-go/erdos/internal/policy"
+	"github.com/erdos-go/erdos/internal/sim"
+)
+
+// Ablations of the design choices DESIGN.md calls out. Each benchmark
+// compares the chosen design against its alternative and reports both.
+
+// BenchmarkAblationZeroCopyVsCopy isolates the zero-copy intra-worker
+// messaging choice (§6.1): the same 6 MB broadcast to 5 receivers with
+// reference passing vs per-subscriber copies.
+func BenchmarkAblationZeroCopyVsCopy(b *testing.B) {
+	payload := make([]byte, 6<<20)
+	noop := func(uint64, []byte) {}
+	recvs := []baselines.Receiver{noop, noop, noop, noop, noop}
+	zero := baselines.NewErdosIntra(recvs)
+	cp := baselines.NewCopyIntra(recvs)
+
+	b.Run("zero-copy", func(b *testing.B) {
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			_ = zero.Publish(payload)
+		}
+	})
+	b.Run("copy-per-subscriber", func(b *testing.B) {
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			_ = cp.Publish(payload)
+		}
+	})
+}
+
+// BenchmarkAblationTimerVsPolling isolates the deadline-enforcement choice
+// (§6.3): a single re-targeted timer over the armed-deadline heap vs a
+// fixed-rate polling loop, measured as arm+satisfy throughput.
+func BenchmarkAblationTimerVsPolling(b *testing.B) {
+	b.Run("timer-queue", func(b *testing.B) {
+		mon := deadline.NewMonitor(deadline.Real{})
+		defer mon.Stop()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, _ := mon.Arm(time.Second, nil)
+			a.Satisfy()
+		}
+	})
+	b.Run("polling", func(b *testing.B) {
+		al := baselines.NewActionlib(time.Millisecond)
+		defer al.Stop()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := al.Arm(time.Second, nil)
+			g.Cancel()
+		}
+	})
+}
+
+// BenchmarkAblationSnapshotVsLogState isolates the state-management choice
+// (§5.4): the default time-versioned snapshot store vs the CRDT-style
+// operation-log store, on a planner-like state that appends one waypoint
+// batch per timestamp.
+func BenchmarkAblationSnapshotVsLogState(b *testing.B) {
+	type waypoints struct{ Points []int }
+	const preload = 256 // committed timestamps before measurement
+
+	b.Run("snapshot", func(b *testing.B) {
+		st := state.Typed(&waypoints{}, func(w *waypoints) *waypoints {
+			return &waypoints{Points: append([]int(nil), w.Points...)}
+		})
+		for l := uint64(1); l <= preload; l++ {
+			v := st.View(timestamp.New(l)).(*waypoints)
+			v.Points = append(v.Points, int(l))
+			st.Commit(timestamp.New(l), v)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := uint64(preload + i + 1)
+			v := st.View(timestamp.New(l)).(*waypoints)
+			v.Points = append(v.Points, int(l))
+			st.Commit(timestamp.New(l), v)
+			st.GC(timestamp.New(l - 16))
+		}
+	})
+	b.Run("oplog", func(b *testing.B) {
+		st := state.NewLog(
+			func() any { return &waypoints{} },
+			func(s, op any) {
+				w := s.(*waypoints)
+				w.Points = append(w.Points, op.(int))
+			},
+		)
+		for l := uint64(1); l <= preload; l++ {
+			v := st.View(timestamp.New(l)).(*state.LogView)
+			v.Record(int(l))
+			st.Commit(timestamp.New(l), v)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := uint64(preload + i + 1)
+			v := st.View(timestamp.New(l)).(*state.LogView)
+			v.Record(int(l))
+			st.Commit(timestamp.New(l), v)
+			st.GC(timestamp.New(l - 16))
+		}
+	})
+}
+
+// BenchmarkAblationSequentialVsParallelMessages isolates the lattice's
+// intra-operator parallelism choice (§6.2) with CPU-bound data callbacks.
+func BenchmarkAblationSequentialVsParallelMessages(b *testing.B) {
+	run := func(b *testing.B, parallel bool) {
+		g := erdos.NewGraph()
+		in := erdos.IngestStream[int](g, "in")
+		op := g.Operator("worker")
+		var mu sync.Mutex
+		sum := 0
+		erdos.Input(op, in, func(ctx *erdos.Context, t erdos.Timestamp, v int) {
+			// ~10us of work
+			acc := 0
+			for i := 0; i < 5000; i++ {
+				acc += i ^ v
+			}
+			mu.Lock()
+			sum += acc
+			mu.Unlock()
+		})
+		op.OnWatermark(func(ctx *erdos.Context) {})
+		if parallel {
+			op.ParallelMessages()
+		}
+		op.Build()
+		rt, err := g.RunLocal(erdos.WithThreads(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rt.Stop()
+		w, _ := erdos.Writer(rt, in)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ts := erdos.T(uint64(i + 1))
+			for m := 0; m < 16; m++ {
+				_ = w.Send(ts, m)
+			}
+			_ = w.SendWatermark(ts)
+		}
+		rt.Quiesce()
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, false) })
+	b.Run("parallel-messages", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationPolicyRecomputeFrequency isolates pDP adaptivity (§5.2):
+// recomputing the deadline every frame vs every 4th/16th frame, measured as
+// collisions over a 25 km suite. Less frequent recomputation trades policy
+// overhead against responsiveness to the environment.
+func BenchmarkAblationPolicyRecomputeFrequency(b *testing.B) {
+	for _, every := range []int{1, 4, 16} {
+		every := every
+		name := map[int]string{1: "every-frame", 4: "every-4th", 16: "every-16th"}[every]
+		b.Run(name, func(b *testing.B) {
+			var collisions int
+			for i := 0; i < b.N; i++ {
+				cfg := pipeline.DynamicConfig()
+				cfg.Policy = &decimatedPolicy{inner: cfg.Policy, every: every}
+				suite := sim.ChallengeSuite(42, 25)
+				collisions = sim.RunSuite(cfg, suite, 1).Collisions
+			}
+			b.ReportMetric(float64(collisions), "collisions")
+		})
+	}
+}
+
+// decimatedPolicy recomputes its inner policy's decision only every N-th
+// query, holding the last allocation in between.
+type decimatedPolicy struct {
+	inner policy.Policy
+	every int
+	n     int
+	last  time.Duration
+	has   bool
+}
+
+func (p *decimatedPolicy) Decide(env policy.Environment) time.Duration {
+	p.n++
+	if !p.has || p.n%p.every == 0 {
+		p.last = p.inner.Decide(env)
+		p.has = true
+	}
+	return p.last
+}
+
+// BenchmarkAblationDEHOnOff isolates the deadline-exception-handler choice
+// over the drive: identical configuration with enforcement (D3Static) and
+// without (DataDriven), reporting collisions.
+func BenchmarkAblationDEHOnOff(b *testing.B) {
+	suite := sim.ChallengeSuite(42, 25)
+	b.Run("with-DEH", func(b *testing.B) {
+		var c int
+		for i := 0; i < b.N; i++ {
+			c = sim.RunSuite(pipeline.StaticConfig(pipeline.D3Static, 200*time.Millisecond), suite, 1).Collisions
+		}
+		b.ReportMetric(float64(c), "collisions")
+	})
+	b.Run("without-DEH", func(b *testing.B) {
+		var c int
+		for i := 0; i < b.N; i++ {
+			c = sim.RunSuite(pipeline.StaticConfig(pipeline.DataDriven, 200*time.Millisecond), suite, 1).Collisions
+		}
+		b.ReportMetric(float64(c), "collisions")
+	})
+}

@@ -1,0 +1,219 @@
+// Package repro's root benchmark harness: one benchmark per figure of the
+// paper's evaluation. Each benchmark regenerates the figure's data (at a
+// benchmark-friendly scale) and reports the headline quantities as custom
+// metrics, so `go test -bench=.` reproduces the evaluation end to end.
+//
+// Absolute numbers will differ from the paper's testbed (2x Xeon Gold 6226,
+// 2x Titan-RTX); the benchmarks preserve the figures' shapes: who wins, by
+// roughly what factor, and where the crossovers fall. See EXPERIMENTS.md.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/experiments"
+)
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// BenchmarkFig2aDetectorChoice regenerates Fig. 2a: the optimum detector
+// varies within and across scenarios.
+func BenchmarkFig2aDetectorChoice(b *testing.B) {
+	var distinct int
+	for i := 0; i < b.N; i++ {
+		distinct = experiments.Fig2aDetectorChoice(42).Distinct
+	}
+	b.ReportMetric(float64(distinct), "distinct-optima")
+}
+
+// BenchmarkFig2bTrackerRuntime regenerates Fig. 2b: tracker runtime grows
+// with the number of tracked agents.
+func BenchmarkFig2bTrackerRuntime(b *testing.B) {
+	var r experiments.Fig2bResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig2bTrackerRuntime(42)
+	}
+	b.ReportMetric(r.MedianMS[0][3], "sort@10agents-ms")
+	b.ReportMetric(r.MedianMS[2][3], "dasiamrpn@10agents-ms")
+}
+
+// BenchmarkFig2cPredictionHorizon regenerates Fig. 2c: prediction runtime
+// is linear in the horizon.
+func BenchmarkFig2cPredictionHorizon(b *testing.B) {
+	var r experiments.Fig2cResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig2cPredictionHorizon(42)
+	}
+	b.ReportMetric(r.MedianMS[0][0], "mfp@1s-ms")
+	b.ReportMetric(r.MedianMS[0][4], "mfp@5s-ms")
+}
+
+// BenchmarkFig2dPlanningComfort regenerates Fig. 2d: longer planning
+// budgets produce lower lateral jerk.
+func BenchmarkFig2dPlanningComfort(b *testing.B) {
+	var r experiments.Fig2dResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig2dPlanningComfort()
+	}
+	b.ReportMetric(r.MaxJerk[0], "jerk-coarse")
+	b.ReportMetric(r.MaxJerk[2], "jerk-fine")
+	b.ReportMetric(ms(r.Runtimes[2]), "fine-runtime-ms")
+}
+
+// BenchmarkFig3ResponseVariability regenerates Fig. 3: the Apollo-style
+// traffic-light detector's p99/mean skew and dropped messages.
+func BenchmarkFig3ResponseVariability(b *testing.B) {
+	var r experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig3ResponseVariability(int64(11 + i))
+	}
+	b.ReportMetric(r.TailRatio, "p99/mean")
+	b.ReportMetric(float64(r.Dropped), "dropped-msgs")
+}
+
+// BenchmarkFig8aMessageDelay regenerates Fig. 8a: callback invocation delay
+// across message sizes and placements, ERDOS vs ROS/ROS2/Flink paths.
+func BenchmarkFig8aMessageDelay(b *testing.B) {
+	var r experiments.Fig8aResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8aMessageDelay(20)
+	}
+	b.ReportMetric(ms(r.IntraMedian["erdos"][2]), "erdos-intra-1MB-ms")
+	b.ReportMetric(ms(r.InterMedian["erdos"][2]), "erdos-inter-1MB-ms")
+	b.ReportMetric(ms(r.InterMedian["ros"][2]), "ros-inter-1MB-ms")
+	b.ReportMetric(ms(r.InterMedian["ros2"][2]), "ros2-inter-1MB-ms")
+	b.ReportMetric(ms(r.InterMedian["flink"][2]), "flink-inter-1MB-ms")
+}
+
+// BenchmarkFig8bFanout regenerates Fig. 8b: broadcasting a 6 MB camera
+// frame to 2-5 receivers.
+func BenchmarkFig8bFanout(b *testing.B) {
+	var r experiments.Fig8bResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8bFanout(10)
+	}
+	b.ReportMetric(ms(r.IntraMedian["erdos"][3]), "erdos-intra-5recv-ms")
+	b.ReportMetric(ms(r.IntraMedian["ros2"][3]), "ros2-intra-5recv-ms")
+	b.ReportMetric(ms(r.InterMedian["erdos"][3]), "erdos-inter-5recv-ms")
+}
+
+// BenchmarkFig8cSensorScaling regenerates Fig. 8c: the synthetic Pylot
+// pipeline at 10 cameras + 5 LiDARs across 75 operators.
+func BenchmarkFig8cSensorScaling(b *testing.B) {
+	var r experiments.Fig8cResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8cSensorScaling(8)
+	}
+	last := r.Configs[len(r.Configs)-1]
+	b.ReportMetric(ms(last.ErdosIntra), "erdos-msg-75ops-ms")
+	b.ReportMetric(ms(last.ErdosRuntime), "erdos-runtime-75ops-ms")
+	b.ReportMetric(ms(last.Ros2Intra), "ros2-75ops-ms")
+	b.ReportMetric(ms(last.FlinkIntra), "flink-75ops-ms")
+}
+
+// BenchmarkFig9MeetingDeadlines regenerates Fig. 9: detection and planning
+// adapting to per-second deadline changes.
+func BenchmarkFig9MeetingDeadlines(b *testing.B) {
+	var r experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9MeetingDeadlines(int64(5 + i))
+	}
+	b.ReportMetric(r.DetectionUtilization()*100, "detection-util-%")
+	b.ReportMetric(r.PlanningUtilization()*100, "planning-util-%")
+}
+
+// BenchmarkFig10HandlerDelay regenerates Fig. 10 left: DEH invocation delay
+// of ERDOS' deadline queue vs actionlib-style polling.
+func BenchmarkFig10HandlerDelay(b *testing.B) {
+	var r experiments.Fig10LeftResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10HandlerDelay(60)
+	}
+	b.ReportMetric(ms(r.ErdosMedian), "erdos-ms")
+	b.ReportMetric(ms(r.ActionlibMedian), "actionlib-ms")
+	b.ReportMetric(r.Speedup, "speedup-x")
+}
+
+// BenchmarkFig10DEHEffect regenerates Fig. 10 right: end-to-end deadline
+// misses with and without deadline exception handlers.
+func BenchmarkFig10DEHEffect(b *testing.B) {
+	var r experiments.Fig10RightResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10DEHEffect(42, 10)
+	}
+	b.ReportMetric(r.WithoutMissRatio*100, "without-DEH-miss-%")
+	b.ReportMetric(r.WithMissRatio*100, "with-DEH-miss-%")
+}
+
+// BenchmarkPolicyMechanismOverhead regenerates the §7.3 measurement: the
+// latency added by a no-op pDP on the real runtime (paper: <1%).
+func BenchmarkPolicyMechanismOverhead(b *testing.B) {
+	var r experiments.PolicyOverheadResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.PolicyMechanismOverhead(120)
+	}
+	b.ReportMetric(r.OverheadPct, "overhead-%")
+	b.ReportMetric(ms(r.MedianDelta), "median-delta-ms")
+}
+
+// BenchmarkFig11Collisions regenerates Fig. 11: collisions over the 50 km
+// challenge drive under the four execution models.
+func BenchmarkFig11Collisions(b *testing.B) {
+	var r experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig11Collisions(42, 50)
+	}
+	b.ReportMetric(float64(r.Periodic), "periodic")
+	b.ReportMetric(float64(r.DataDriven), "data-driven")
+	b.ReportMetric(float64(r.BestStatic), "best-static")
+	b.ReportMetric(float64(r.Dynamic), "d3-dynamic")
+	b.ReportMetric(r.ReductionVsPeriodic*100, "reduction-%")
+}
+
+// BenchmarkFig12ResponseHistogram regenerates Fig. 12: the response-time
+// distribution of the best static configuration vs dynamic deadlines.
+func BenchmarkFig12ResponseHistogram(b *testing.B) {
+	best := experiments.Fig11Collisions(42, 10).BestStaticDeadline
+	b.ResetTimer()
+	var r experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig12ResponseHistogram(42, 10, best)
+	}
+	b.ReportMetric(ms(r.StaticMed), "static-median-ms")
+	b.ReportMetric(ms(r.DynMed), "dynamic-median-ms")
+	b.ReportMetric(r.DynFastShare*100, "dynamic-fast-share-%")
+}
+
+// BenchmarkFig13ScenarioGrid regenerates Fig. 13: the person-behind-truck
+// and traffic-jam grids across speeds and configurations.
+func BenchmarkFig13ScenarioGrid(b *testing.B) {
+	var r experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig13ScenarioGrid(3)
+	}
+	collided := 0
+	for _, c := range append(r.PersonBehindTruck, r.TrafficJam...) {
+		if c.CollisionSpeed > 0 {
+			collided++
+		}
+	}
+	b.ReportMetric(float64(collided), "colliding-cells")
+}
+
+// BenchmarkFig14AdaptTimeline regenerates Fig. 14: the pipeline's response
+// time dropping as the dynamic policy tightens the deadline mid-encounter.
+func BenchmarkFig14AdaptTimeline(b *testing.B) {
+	var r experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig14AdaptTimeline(6)
+	}
+	first, min := r.Deadlines[0], r.Deadlines[0]
+	for _, d := range r.Deadlines {
+		if d < min {
+			min = d
+		}
+	}
+	b.ReportMetric(ms(first), "initial-deadline-ms")
+	b.ReportMetric(ms(min), "tightened-deadline-ms")
+}

@@ -1,0 +1,94 @@
+// Command av-sim drives the Pylot-style pipeline across driving scenarios
+// under a chosen execution model, printing per-encounter outcomes and
+// aggregate statistics.
+//
+// Usage:
+//
+//	av-sim -model d3-dynamic -km 50
+//	av-sim -model d3-static -deadline 200ms -scenario person-behind-truck -speed 12
+//	av-sim -model periodic -scenario traffic-jam -speed 10 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/metrics"
+	"github.com/erdos-go/erdos/internal/pipeline"
+	"github.com/erdos-go/erdos/internal/sim"
+)
+
+func main() {
+	model := flag.String("model", "d3-dynamic", "execution model: periodic | data-driven | d3-static | d3-dynamic")
+	deadline := flag.Duration("deadline", 200*time.Millisecond, "end-to-end deadline for d3-static")
+	scenario := flag.String("scenario", "suite", "suite | person-behind-truck | traffic-jam | jaywalker | freeway-obstacle | occluded-cyclist")
+	speed := flag.Float64("speed", 12, "approach speed for single scenarios (m/s)")
+	km := flag.Float64("km", 50, "drive length for -scenario suite")
+	seed := flag.Int64("seed", 42, "workload seed")
+	verbose := flag.Bool("v", false, "print per-frame pipeline behaviour")
+	flag.Parse()
+
+	var cfg pipeline.Config
+	switch *model {
+	case "periodic":
+		cfg = pipeline.StaticConfig(pipeline.Periodic, *deadline)
+	case "data-driven":
+		cfg = pipeline.StaticConfig(pipeline.DataDriven, *deadline)
+	case "d3-static":
+		cfg = pipeline.StaticConfig(pipeline.D3Static, *deadline)
+	case "d3-dynamic":
+		cfg = pipeline.DynamicConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	if *scenario == "suite" {
+		suite := sim.ChallengeSuite(*seed, *km)
+		res := sim.RunSuite(cfg, suite, 1)
+		t := metrics.NewTable("metric", "value")
+		t.Row("model", *model)
+		t.Row("drive", fmt.Sprintf("%.0f km, %d encounters", *km, res.Encounters))
+		t.Row("collisions", res.Collisions)
+		t.Row("mean impact speed", fmt.Sprintf("%.1f m/s", res.CollisionSpeed))
+		t.Row("pipeline frames", res.Frames)
+		t.Row("deadline misses", res.Misses)
+		fmt.Print(t.String())
+		return
+	}
+
+	makers := map[string]func(float64) sim.Hazard{
+		"person-behind-truck": sim.PersonBehindTruck,
+		"traffic-jam":         sim.TrafficJam,
+		"jaywalker":           sim.Jaywalker,
+		"freeway-obstacle":    sim.FreewayObstacle,
+		"occluded-cyclist":    sim.OccludedCyclist,
+	}
+	mk, ok := makers[*scenario]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	out := sim.RunEncounter(pipeline.New(cfg, *seed), mk(*speed), *seed)
+	t := metrics.NewTable("metric", "value")
+	t.Row("scenario", *scenario)
+	t.Row("speed", fmt.Sprintf("%.1f m/s", *speed))
+	if out.Collided {
+		t.Row("outcome", fmt.Sprintf("COLLISION at %.1f m/s", out.CollisionSpeed))
+	} else {
+		t.Row("outcome", fmt.Sprintf("avoided (%s)", out.Avoided))
+	}
+	t.Row("first detection", fmt.Sprintf("%.1f m", out.DetectionDistance))
+	t.Row("brake latency", out.BrakeLatency)
+	t.Row("frames", out.Frames)
+	fmt.Print(t.String())
+	if *verbose {
+		ft := metrics.NewTable("frame", "deadline", "response", "detector")
+		for i := range out.Responses {
+			ft.Row(i, out.Deadlines[i], out.Responses[i], out.Detectors[i])
+		}
+		fmt.Print(ft.String())
+	}
+}

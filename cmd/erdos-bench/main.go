@@ -1,0 +1,46 @@
+// Command erdos-bench runs the §7.2 messaging benchmarks (Fig. 8):
+// callback-invocation delay across message sizes, operator fanout, and
+// synthetic-pipeline sensor scaling, comparing ERDOS' messaging path
+// against the ROS-, ROS2- and Flink-style baselines.
+//
+// Usage:
+//
+//	erdos-bench                 # all three benchmarks
+//	erdos-bench -bench fanout   # one of: size | fanout | scaling
+//	erdos-bench -msgs 200       # more samples per point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/erdos-go/erdos/internal/experiments"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | all")
+	msgs := flag.Int("msgs", 50, "messages per measurement point")
+	flag.Parse()
+
+	ran := false
+	if *bench == "all" || *bench == "size" {
+		fmt.Println("=== message delay vs size (Fig. 8a) ===")
+		fmt.Println(experiments.Fig8aMessageDelay(*msgs).Render())
+		ran = true
+	}
+	if *bench == "all" || *bench == "fanout" {
+		fmt.Println("=== operator fanout delay, 6MB camera frame (Fig. 8b) ===")
+		fmt.Println(experiments.Fig8bFanout(*msgs).Render())
+		ran = true
+	}
+	if *bench == "all" || *bench == "scaling" {
+		fmt.Println("=== synthetic Pylot sensor scaling (Fig. 8c) ===")
+		fmt.Println(experiments.Fig8cSensorScaling(*msgs).Render())
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,96 @@
+// Command figures regenerates the data behind every figure of the paper's
+// evaluation and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	figures                 # regenerate everything
+//	figures -fig 11         # one figure (2a 2b 2c 2d 3 8a 8b 8c 9 10 11 12 13 14 policy)
+//	figures -km 50 -seed 42 # drive length and seed for the suite figures
+//	figures -csv out/       # additionally write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/erdos-go/erdos/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (2a,2b,2c,2d,3,8a,8b,8c,9,10,11,12,13,14,policy,all)")
+	seed := flag.Int64("seed", 42, "seed for the synthetic workloads")
+	km := flag.Float64("km", 50, "drive length for the suite figures")
+	msgs := flag.Int("msgs", 50, "messages per point for the messaging figures")
+	csvDir := flag.String("csv", "", "directory to write CSV data into")
+	flag.Parse()
+
+	emit := func(name, body string) {
+		fmt.Printf("=== Figure %s ===\n%s\n", name, body)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, "fig"+name+".txt")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	want := func(name string) bool { return *fig == "all" || strings.EqualFold(*fig, name) }
+
+	if want("2a") {
+		emit("2a (object detection: no silver bullet)", experiments.Fig2aDetectorChoice(*seed).Render())
+	}
+	if want("2b") {
+		emit("2b (tracker runtime vs agents)", experiments.Fig2bTrackerRuntime(*seed).Render())
+	}
+	if want("2c") {
+		emit("2c (prediction runtime vs horizon)", experiments.Fig2cPredictionHorizon(*seed).Render())
+	}
+	if want("2d") {
+		emit("2d (planning runtime vs comfort)", experiments.Fig2dPlanningComfort().Render())
+	}
+	if want("3") {
+		emit("3 (Apollo-style response variability)", experiments.Fig3ResponseVariability(*seed).Render())
+	}
+	if want("8a") {
+		emit("8a (message delay vs size)", experiments.Fig8aMessageDelay(*msgs).Render())
+	}
+	if want("8b") {
+		emit("8b (operator fanout delay)", experiments.Fig8bFanout(*msgs).Render())
+	}
+	if want("8c") {
+		emit("8c (sensor scaling)", experiments.Fig8cSensorScaling(*msgs).Render())
+	}
+	if want("9") {
+		emit("9 (meeting dynamic deadlines)", experiments.Fig9MeetingDeadlines(*seed).Render())
+	}
+	if want("10") {
+		emit("10-left (handler invocation delay)", experiments.Fig10HandlerDelay(200).Render())
+		emit("10-right (DEH effect over the drive)", experiments.Fig10DEHEffect(*seed, *km).Render())
+	}
+	if want("policy") {
+		emit("policy-overhead (§7.3 no-op pDP)", experiments.PolicyMechanismOverhead(300).Render())
+	}
+	var best experiments.Fig11Result
+	if want("11") || want("12") {
+		best = experiments.Fig11Collisions(*seed, *km)
+	}
+	if want("11") {
+		emit("11 (collisions per execution model)", best.Render())
+	}
+	if want("12") {
+		emit("12 (response-time histogram)", experiments.Fig12ResponseHistogram(*seed, *km, best.BestStaticDeadline).Render())
+	}
+	if want("13") {
+		emit("13 (scenario grids)", experiments.Fig13ScenarioGrid(*seed).Render())
+	}
+	if want("14") {
+		emit("14 (adapting to deadlines)", experiments.Fig14AdaptTimeline(6).Render())
+	}
+}

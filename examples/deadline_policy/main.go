@@ -1,0 +1,105 @@
+// Deadline policy as an operator subgraph (§5.2): this example builds a
+// small pipeline on the ERDOS runtime in which the deadline policy pDP is
+// itself an operator. It receives the ego vehicle's state on a stream,
+// computes the end-to-end deadline with the stopping-distance policy of
+// §7.4, and publishes per-timestamp deadline allocations on a deadline
+// stream that the planner's timestamp deadline consumes — the feedback loop
+// of Fig. 4 realized with ordinary streams.
+//
+// Run with: go run ./examples/deadline_policy
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/erdos"
+	"github.com/erdos-go/erdos/internal/policy"
+)
+
+// EgoState is what pDP observes about the environment.
+type EgoState struct {
+	Speed         float64 // m/s
+	AgentDistance float64 // m; <0 means no agent tracked
+}
+
+func main() {
+	g := erdos.NewGraph()
+	ego := erdos.IngestStream[EgoState](g, "ego-state")
+	deadlines := erdos.AddStream[time.Duration](g, "deadlines")
+	plans := erdos.AddStream[string](g, "plans")
+
+	// pDP: an ordinary operator computing the §7.4 policy. Modularity
+	// (§5.2) falls out of the graph abstraction: a module-specific policy
+	// would simply be another operator consuming this one's output.
+	pdp := policy.NewStoppingDistance()
+	pol := g.Operator("pDP")
+	dOut := erdos.Output(pol, deadlines)
+	erdos.Input(pol, ego, func(ctx *erdos.Context, t erdos.Timestamp, s EgoState) {
+		d := pdp.Decide(policy.Environment{
+			Speed:           s.Speed,
+			AgentDistance:   s.AgentDistance,
+			HasAgent:        s.AgentDistance >= 0,
+			CurrentResponse: 300 * time.Millisecond,
+		})
+		_ = ctx.Send(dOut, t, d)
+	})
+	pol.Build()
+
+	// The planner consumes the dynamic deadline: ERDOS synchronizes the
+	// allocation for each timestamp with the planner's computation and
+	// exposes it through the Context (§4.3).
+	dyn := erdos.DynamicDeadline(g, deadlines, 500*time.Millisecond)
+	planner := g.Operator("planner")
+	pOut := erdos.Output(planner, plans)
+	erdos.Input(planner, ego, nil)
+	planner.OnWatermark(func(ctx *erdos.Context) {
+		rel, _, _ := ctx.Deadline()
+		_ = ctx.Send(pOut, ctx.Timestamp, fmt.Sprintf("plan within %v", rel))
+	})
+	planner.TimestampDeadline("planner-e2e", dyn, erdos.Continue, func(h *erdos.HandlerContext) {
+		fmt.Printf("  [DEH] planner missed %v at %v\n", h.Miss.Relative, h.Miss.Timestamp)
+	})
+	planner.Build()
+
+	rt, err := g.RunLocal()
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Stop()
+	sink, err := erdos.Collect(rt, plans)
+	if err != nil {
+		panic(err)
+	}
+	w, err := erdos.Writer(rt, ego)
+	if err != nil {
+		panic(err)
+	}
+
+	// Drive: open road, then an agent closing in, then clear again.
+	states := []EgoState{
+		{Speed: 12, AgentDistance: -1},
+		{Speed: 12, AgentDistance: 90},
+		{Speed: 12, AgentDistance: 45},
+		{Speed: 12, AgentDistance: 24},
+		{Speed: 12, AgentDistance: 16},
+		{Speed: 8, AgentDistance: 30},
+		{Speed: 8, AgentDistance: -1},
+	}
+	for i, s := range states {
+		ts := erdos.T(uint64(i + 1))
+		_ = w.Send(ts, s)
+		_ = w.SendWatermark(ts)
+	}
+	rt.Quiesce()
+
+	fmt.Println("per-timestamp deadline allocations computed by pDP:")
+	for i, p := range sink.Data() {
+		s := states[i]
+		agent := "none"
+		if s.AgentDistance >= 0 {
+			agent = fmt.Sprintf("%.0f m", s.AgentDistance)
+		}
+		fmt.Printf("  %v speed=%4.0f m/s agent=%-6s -> %s\n", p.Time, s.Speed, agent, p.Value)
+	}
+}

@@ -1,0 +1,71 @@
+// Pylot live: the full AV pipeline (Fig. 1) running as real operators on
+// the ERDOS runtime, with the deadline policy pDP as an operator subgraph
+// closing the feedback loop of Fig. 4. An agent approaches the vehicle
+// frame by frame; watch pDP tighten the end-to-end allocation and the
+// perception module swap detectors as the stopping envelope shrinks.
+//
+// Run with: go run ./examples/pylot_live
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/core/erdos"
+	"github.com/erdos-go/erdos/internal/pylot"
+)
+
+func main() {
+	g := erdos.NewGraph()
+	h := pylot.Build(g, pylot.Config{TimeScale: 20, TargetSpeed: 12, Seed: 1})
+	rt, err := g.RunLocal(erdos.WithThreads(8))
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Stop()
+
+	plans, _ := erdos.Collect(rt, h.Plans)
+	deadlines, _ := erdos.Collect(rt, h.Deadlines)
+	cmds, _ := erdos.Collect(rt, h.Commands)
+	cam, _ := erdos.Writer(rt, h.Camera)
+
+	fmt.Println("frame  agent-dist  pDP-deadline  plan-target  command")
+	const frames = 12
+	for f := 1; f <= frames; f++ {
+		ts := erdos.T(uint64(f))
+		dist := 80.0 - 6.5*float64(f-1)
+		frame := pylot.CameraFrame{Seq: uint64(f), EgoSpeed: 12}
+		if dist > 0 {
+			frame.Agents = []tracking.Observation{{X: dist, Y: 0}}
+		}
+		_ = cam.Send(ts, frame)
+		_ = cam.SendWatermark(ts)
+		time.Sleep(12 * time.Millisecond) // ~scaled 10 Hz camera
+	}
+	rt.Quiesce()
+
+	dls := deadlines.Data()
+	pls := plans.Data()
+	cs := cmds.Data()
+	for i := 0; i < frames; i++ {
+		dist := 80.0 - 6.5*float64(i)
+		dl, plan, cmd := "-", "-", "-"
+		for _, d := range dls {
+			if d.Time.L == uint64(i+1) {
+				dl = d.Value.String()
+			}
+		}
+		for _, p := range pls {
+			if p.Time.L == uint64(i+1) {
+				plan = fmt.Sprintf("%+.2fm", p.Value.Trajectory.Target)
+			}
+		}
+		for _, c := range cs {
+			if c.Time.L == uint64(i+1) {
+				cmd = fmt.Sprintf("steer %+.2f thr %.2f brake %.2f", c.Value.Steer, c.Value.Throttle, c.Value.Brake)
+			}
+		}
+		fmt.Printf("%5d  %7.1f m   %-12s  %-11s  %s\n", i+1, dist, dl, plan, cmd)
+	}
+}

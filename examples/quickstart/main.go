@@ -1,0 +1,97 @@
+// Quickstart: a minimal D3 application on the ERDOS runtime.
+//
+// A camera source feeds a detector operator that must answer within a
+// 30 ms timestamp deadline. Frame 3 simulates runtime variability (the
+// detector stalls); the deadline exception handler reacts by re-releasing
+// the previous detection so downstream computation is never blocked (§5.4).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/erdos"
+)
+
+// Frame is a camera image; Detection is the perception output.
+type Frame struct{ ID int }
+type Detection struct {
+	Frame int
+	Label string
+}
+
+// DetectorState remembers the last released detection so the handler can
+// amend it on a miss (the "skipping" proactive strategy of §5.3).
+type DetectorState struct{ Last Detection }
+
+func main() {
+	g := erdos.NewGraph()
+	camera := erdos.IngestStream[Frame](g, "camera")
+	detections := erdos.AddStream[Detection](g, "detections")
+
+	op := g.Operator("detector")
+	out := erdos.Output(op, detections)
+	erdos.WithState(op, &DetectorState{}, func(s *DetectorState) *DetectorState {
+		c := *s
+		return &c
+	})
+	erdos.Input(op, camera, func(ctx *erdos.Context, t erdos.Timestamp, f Frame) {
+		if f.ID == 3 {
+			// Environment-dependent runtime (C2): this frame is slow.
+			time.Sleep(60 * time.Millisecond)
+		}
+		if ctx.Aborted() {
+			return // the deadline handler took over this timestamp
+		}
+		st := erdos.StateOf[*DetectorState](ctx)
+		st.Last = Detection{Frame: f.ID, Label: "pedestrian"}
+		_ = ctx.Send(out, t, st.Last)
+	})
+	op.OnWatermark(func(ctx *erdos.Context) {})
+	op.TimestampDeadline("detector-30ms", erdos.Static(30*time.Millisecond), erdos.Abort,
+		func(h *erdos.HandlerContext) {
+			// Reactive measure: release the previous result immediately.
+			prev := Detection{Frame: -1, Label: "none"}
+			if s, ok := h.Committed.(*DetectorState); ok {
+				prev = s.Last
+			}
+			fmt.Printf("  [DEH] deadline missed for %v -> re-releasing frame %d's detection\n",
+				h.Miss.Timestamp, prev.Frame)
+			_ = h.Send(out, h.Miss.Timestamp, prev)
+			_ = h.SendWatermark(out, h.Miss.Timestamp)
+		})
+	op.Build()
+
+	rt, err := g.RunLocal()
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Stop()
+
+	sink, err := erdos.Collect(rt, detections)
+	if err != nil {
+		panic(err)
+	}
+	cam, err := erdos.Writer(rt, camera)
+	if err != nil {
+		panic(err)
+	}
+
+	for id := 1; id <= 5; id++ {
+		ts := erdos.T(uint64(id))
+		_ = cam.Send(ts, Frame{ID: id})
+		_ = cam.SendWatermark(ts)
+		time.Sleep(80 * time.Millisecond) // 12.5 Hz camera
+	}
+	rt.Quiesce()
+	rt.WaitHandlers()
+
+	fmt.Println("detections released downstream:")
+	for _, d := range sink.Data() {
+		fmt.Printf("  %v frame=%d label=%s\n", d.Time, d.Value.Frame, d.Value.Label)
+	}
+	stats := rt.Stats()
+	fmt.Printf("deadline misses: %d, handler runs: %d\n", stats.DeadlineMisses, stats.HandlerRuns)
+}

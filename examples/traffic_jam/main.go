@@ -1,0 +1,43 @@
+// Traffic jam (§7.4.2): the AV merges into a stopped queue behind a
+// partially-occluded motorcycle, with the adjacent lane full. This is the
+// *opposite* of the person-behind-truck scenario: there is no swerve
+// escape, and the motorcycle must be perceived from afar — so accurate
+// (slow) perception wins and the fast, low-accuracy configuration collides.
+// D3 keeps its accurate configuration because the policy sees no agent
+// inside the stopping envelope until the (far-away) queue is tracked.
+//
+// Run with: go run ./examples/traffic_jam
+package main
+
+import (
+	"fmt"
+
+	"github.com/erdos-go/erdos/internal/pipeline"
+	"github.com/erdos-go/erdos/internal/policy"
+	"github.com/erdos-go/erdos/internal/sim"
+)
+
+func main() {
+	for _, speed := range []float64{8, 10, 12} {
+		fmt.Printf("approach speed %.0f m/s:\n", speed)
+		for _, d := range policy.StaticConfigs {
+			cfg := pipeline.StaticConfig(pipeline.D3Static, d)
+			out := sim.RunEncounter(pipeline.New(cfg, 3), sim.TrafficJam(speed), 3)
+			fmt.Printf("  static %-8v (%-5s)  %-26s detected at %.1f m\n",
+				d, cfg.Detector.Name, describe(out), out.DetectionDistance)
+		}
+		out := sim.RunEncounter(pipeline.New(pipeline.DynamicConfig(), 3), sim.TrafficJam(speed), 3)
+		fmt.Printf("  D3 dynamic          %-26s detected at %.1f m\n\n",
+			describe(out), out.DetectionDistance)
+	}
+	fmt.Println("note the inversion vs person-behind-truck: here short deadlines")
+	fmt.Println("(low-accuracy perception) increase collision speed, and accurate")
+	fmt.Println("configurations stop reliably — no single static point wins both.")
+}
+
+func describe(o sim.Outcome) string {
+	if o.Collided {
+		return fmt.Sprintf("COLLISION at %.1f m/s", o.CollisionSpeed)
+	}
+	return fmt.Sprintf("avoided (%s)", o.Avoided)
+}

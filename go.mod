@@ -1,0 +1,3 @@
+module github.com/erdos-go/erdos
+
+go 1.22

@@ -1,0 +1,86 @@
+// Package braking implements the stopping-sight-distance kinematics the
+// paper uses throughout (§2.1, §7.4): the distance an AV needs to come to a
+// halt is the distance covered during the pipeline's response time plus the
+// physical braking distance.
+//
+// Calibration: §2.1 reports that at 7 m/s the AV needs 7.66 m to stop with
+// EDet2 and 11.14 m with EDet6, and at 17 m/s it needs 43.43 m with EDet2.
+// Solving those constraints gives a comfortable deceleration of ~3.5 m/s^2
+// and end-to-end response times of ~0.15 s (EDet2 configuration) and
+// ~0.65 s (EDet6 configuration), which this package adopts as defaults.
+package braking
+
+import (
+	"math"
+	"time"
+)
+
+// Deceleration is the braking deceleration in m/s^2 backed out from the
+// paper's §2.1 numbers.
+const Deceleration = 3.5
+
+// EmergencyDeceleration is available under hard braking (used by the safety
+// backup mode).
+const EmergencyDeceleration = 8.0
+
+// StoppingDistance returns the total distance (meters) needed to stop from
+// speed (m/s) given the pipeline's end-to-end response time: the reaction
+// distance v*t plus the braking distance v^2/(2a).
+func StoppingDistance(speed float64, response time.Duration, decel float64) float64 {
+	if decel <= 0 {
+		decel = Deceleration
+	}
+	return speed*response.Seconds() + speed*speed/(2*decel)
+}
+
+// CollisionSpeed returns the speed (m/s) at which the AV hits an obstacle
+// `available` meters away if it brakes after `response` — 0 when it stops
+// in time (the paper's Fig. 13 metric).
+func CollisionSpeed(speed float64, response time.Duration, available, decel float64) float64 {
+	if decel <= 0 {
+		decel = Deceleration
+	}
+	remaining := available - speed*response.Seconds()
+	if remaining <= 0 {
+		return speed // hits before braking even begins
+	}
+	v2 := speed*speed - 2*decel*remaining
+	if v2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(v2)
+}
+
+// MaxSafeSpeed returns the highest speed from which the AV can stop within
+// `available` meters given the response time (bisection over CollisionSpeed).
+func MaxSafeSpeed(response time.Duration, available, decel float64) float64 {
+	lo, hi := 0.0, 60.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if CollisionSpeed(mid, response, available, decel) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// ResponseBudget returns the largest end-to-end response time that still
+// permits stopping within `available` meters from the given speed — the
+// quantity a deadline policy (§7.4) computes when it tightens the pipeline
+// deadline as obstacles close in.
+func ResponseBudget(speed float64, available, decel float64) time.Duration {
+	if decel <= 0 {
+		decel = Deceleration
+	}
+	if speed <= 0 {
+		return time.Hour
+	}
+	braking := speed * speed / (2 * decel)
+	slack := available - braking
+	if slack <= 0 {
+		return 0
+	}
+	return time.Duration(slack / speed * float64(time.Second))
+}

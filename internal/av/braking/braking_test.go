@@ -1,0 +1,138 @@
+package braking
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPaperCalibration(t *testing.T) {
+	// §2.1: at 7 m/s the AV needs 7.66 m with the EDet2 configuration
+	// (~0.15 s response) and 11.14 m with EDet6 (~0.65 s); at 17 m/s the
+	// EDet2 configuration needs 43.43 m. Allow 10% tolerance on the backed
+	// out calibration.
+	cases := []struct {
+		speed float64
+		resp  time.Duration
+		want  float64
+	}{
+		{7, 150 * time.Millisecond, 7.66},
+		{7, 650 * time.Millisecond, 11.14},
+		{17, 150 * time.Millisecond, 43.43},
+	}
+	for _, c := range cases {
+		got := StoppingDistance(c.speed, c.resp, Deceleration)
+		if math.Abs(got-c.want)/c.want > 0.10 {
+			t.Errorf("StoppingDistance(%.0f m/s, %v) = %.2f, want ~%.2f",
+				c.speed, c.resp, got, c.want)
+		}
+	}
+}
+
+func TestCollisionSpeedZeroWhenStoppable(t *testing.T) {
+	if v := CollisionSpeed(10, 200*time.Millisecond, 100, Deceleration); v != 0 {
+		t.Fatalf("collision speed = %.2f with ample distance", v)
+	}
+}
+
+func TestCollisionSpeedFullWhenNoRoom(t *testing.T) {
+	if v := CollisionSpeed(15, time.Second, 10, Deceleration); v != 15 {
+		t.Fatalf("hitting during reaction time must collide at full speed: %.2f", v)
+	}
+}
+
+func TestCollisionSpeedPartialBraking(t *testing.T) {
+	v := CollisionSpeed(15, 200*time.Millisecond, 20, Deceleration)
+	if v <= 0 || v >= 15 {
+		t.Fatalf("partial braking collision speed = %.2f, want in (0, 15)", v)
+	}
+	// Shorter response time must reduce impact speed.
+	v2 := CollisionSpeed(15, 100*time.Millisecond, 20, Deceleration)
+	if v2 >= v {
+		t.Fatalf("faster response must reduce impact: %.2f vs %.2f", v2, v)
+	}
+}
+
+func TestMaxSafeSpeedMonotoneInDistance(t *testing.T) {
+	near := MaxSafeSpeed(300*time.Millisecond, 15, Deceleration)
+	far := MaxSafeSpeed(300*time.Millisecond, 60, Deceleration)
+	if near >= far {
+		t.Fatalf("more room must allow more speed: %.2f vs %.2f", near, far)
+	}
+	if v := CollisionSpeed(near*0.99, 300*time.Millisecond, 15, Deceleration); v > 0 {
+		t.Fatalf("MaxSafeSpeed not safe: collision at %.2f", v)
+	}
+}
+
+func TestResponseBudget(t *testing.T) {
+	b := ResponseBudget(10, 30, Deceleration)
+	// 30 m available, braking needs 100/7 = 14.3 m, slack 15.7 m at
+	// 10 m/s -> ~1.57 s.
+	if b < 1500*time.Millisecond || b > 1650*time.Millisecond {
+		t.Fatalf("ResponseBudget = %v, want ~1.57s", b)
+	}
+	if ResponseBudget(20, 10, Deceleration) != 0 {
+		t.Fatal("insufficient distance must yield zero budget")
+	}
+	if ResponseBudget(0, 10, Deceleration) < time.Minute {
+		t.Fatal("stationary AV has unbounded budget")
+	}
+	// Consistency: braking after exactly the budget must just barely stop.
+	b2 := ResponseBudget(12, 40, Deceleration)
+	if v := CollisionSpeed(12, b2, 40, Deceleration); v > 0.2 {
+		t.Fatalf("braking at the budget must stop: collision at %.2f", v)
+	}
+}
+
+func TestEmergencyDecelShortensStopping(t *testing.T) {
+	soft := StoppingDistance(15, 100*time.Millisecond, Deceleration)
+	hard := StoppingDistance(15, 100*time.Millisecond, EmergencyDeceleration)
+	if hard >= soft {
+		t.Fatalf("emergency braking must stop shorter: %.2f vs %.2f", hard, soft)
+	}
+}
+
+// Property: collision speed is monotone — more available distance, a faster
+// response, or a lower approach speed never worsens the impact.
+func TestQuickCollisionSpeedMonotone(t *testing.T) {
+	f := func(v8, d8, r8 uint8) bool {
+		v := 1 + float64(v8%30)
+		d := 1 + float64(d8%120)
+		r := time.Duration(r8%150) * 10 * time.Millisecond
+		base := CollisionSpeed(v, r, d, Deceleration)
+		if CollisionSpeed(v, r, d+5, Deceleration) > base+1e-9 {
+			return false
+		}
+		if CollisionSpeed(v, r+50*time.Millisecond, d, Deceleration) < base-1e-9 {
+			return false
+		}
+		if CollisionSpeed(v+1, r, d, Deceleration) < base-1e-9 {
+			return false
+		}
+		return base >= 0 && base <= v+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ResponseBudget is consistent with CollisionSpeed — responding
+// within the budget always stops short.
+func TestQuickResponseBudgetSafe(t *testing.T) {
+	f := func(v8, d8 uint8) bool {
+		v := 1 + float64(v8%25)
+		d := 5 + float64(d8%100)
+		b := ResponseBudget(v, d, Deceleration)
+		if b <= 0 {
+			return true // no budget: nothing to check
+		}
+		if b > time.Minute {
+			b = time.Minute
+		}
+		return CollisionSpeed(v, b, d, Deceleration) < 0.3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

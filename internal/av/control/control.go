@@ -1,0 +1,107 @@
+// Package control implements Pylot's control module (Fig. 1 of the paper):
+// it converts planned waypoints into steering and acceleration commands
+// with a PID longitudinal controller and a pure-pursuit lateral controller.
+// Control runs at 100 Hz, an order of magnitude faster than the rest of the
+// pipeline, and consumes whatever plan (coarse or refined) is newest —
+// which is what makes the intermediate-result mechanism of §5.3 useful.
+package control
+
+import (
+	"math"
+	"time"
+)
+
+// Command is one actuation output.
+type Command struct {
+	// Steer is the steering angle in radians (positive left).
+	Steer float64
+	// Throttle in [0, 1]; Brake in [0, 1].
+	Throttle, Brake float64
+}
+
+// PID is a scalar PID controller.
+type PID struct {
+	KP, KI, KD float64
+	integral   float64
+	lastErr    float64
+	hasLast    bool
+}
+
+// Update advances the controller with error e over dt and returns the
+// control effort.
+func (p *PID) Update(e float64, dt float64) float64 {
+	if dt <= 0 {
+		return p.KP * e
+	}
+	p.integral += e * dt
+	d := 0.0
+	if p.hasLast {
+		d = (e - p.lastErr) / dt
+	}
+	p.lastErr, p.hasLast = e, true
+	return p.KP*e + p.KI*p.integral + p.KD*d
+}
+
+// Reset clears the controller's memory.
+func (p *PID) Reset() {
+	p.integral, p.lastErr, p.hasLast = 0, 0, false
+}
+
+// Controller combines longitudinal PID speed control with pure-pursuit
+// steering over a waypoint list.
+type Controller struct {
+	Speed PID
+	// Lookahead is the pure-pursuit lookahead distance (meters).
+	Lookahead float64
+	// Wheelbase is the vehicle wheelbase (meters).
+	Wheelbase float64
+}
+
+// NewController returns a controller with sedan-scale defaults.
+func NewController() *Controller {
+	return &Controller{
+		Speed:     PID{KP: 0.6, KI: 0.05, KD: 0.1},
+		Lookahead: 6.0,
+		Wheelbase: 2.85,
+	}
+}
+
+// Waypoint is one target point in the vehicle frame (x ahead, y left).
+type Waypoint struct{ X, Y float64 }
+
+// Step computes the actuation for the current speed, target speed and plan.
+func (c *Controller) Step(speed, targetSpeed float64, plan []Waypoint, dt time.Duration) Command {
+	var cmd Command
+	// Longitudinal: PID on speed error, mapped to throttle or brake.
+	u := c.Speed.Update(targetSpeed-speed, dt.Seconds())
+	if u >= 0 {
+		cmd.Throttle = math.Min(u, 1)
+	} else {
+		cmd.Brake = math.Min(-u, 1)
+	}
+	// Lateral: pure pursuit toward the first waypoint at or beyond the
+	// lookahead distance.
+	if len(plan) > 0 {
+		wp := plan[len(plan)-1]
+		for _, p := range plan {
+			if math.Hypot(p.X, p.Y) >= c.Lookahead {
+				wp = p
+				break
+			}
+		}
+		ld := math.Hypot(wp.X, wp.Y)
+		if ld > 1e-6 {
+			alpha := math.Atan2(wp.Y, wp.X)
+			cmd.Steer = math.Atan2(2*c.Wheelbase*math.Sin(alpha), ld)
+		}
+	}
+	return cmd
+}
+
+// EmergencyBrake is the safety backup mode's actuation (§3): full braking,
+// straight wheel.
+func EmergencyBrake() Command { return Command{Brake: 1} }
+
+// Runtime is the control module's modeled per-iteration latency: control is
+// compute-light (~1 ms) compared to perception and planning.
+const Runtime = time.Millisecond

@@ -1,0 +1,75 @@
+package control
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPIDConvergesOnStep(t *testing.T) {
+	p := PID{KP: 0.8, KI: 0.2, KD: 0.05}
+	setpoint, value := 10.0, 0.0
+	for i := 0; i < 400; i++ {
+		u := p.Update(setpoint-value, 0.05)
+		value += u * 0.05 * 3 // simple first-order plant
+	}
+	if value < 9.0 || value > 11.0 {
+		t.Fatalf("PID settled at %.2f, want ~10", value)
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	p := PID{KP: 1, KI: 1}
+	p.Update(5, 1)
+	p.Reset()
+	if u := p.Update(0, 1); u != 0 {
+		t.Fatalf("after Reset, zero error must give zero effort, got %v", u)
+	}
+}
+
+func TestThrottleVsBrake(t *testing.T) {
+	c := NewController()
+	cmd := c.Step(5, 15, nil, 100*time.Millisecond)
+	if cmd.Throttle <= 0 || cmd.Brake != 0 {
+		t.Fatalf("accelerating: %+v", cmd)
+	}
+	c2 := NewController()
+	cmd = c2.Step(15, 5, nil, 100*time.Millisecond)
+	if cmd.Brake <= 0 || cmd.Throttle != 0 {
+		t.Fatalf("decelerating: %+v", cmd)
+	}
+}
+
+func TestPurePursuitSteersTowardOffsetWaypoint(t *testing.T) {
+	c := NewController()
+	left := c.Step(10, 10, []Waypoint{{X: 10, Y: 3}}, 50*time.Millisecond)
+	if left.Steer <= 0 {
+		t.Fatalf("waypoint to the left must steer left: %+v", left)
+	}
+	c2 := NewController()
+	right := c2.Step(10, 10, []Waypoint{{X: 10, Y: -3}}, 50*time.Millisecond)
+	if right.Steer >= 0 {
+		t.Fatalf("waypoint to the right must steer right: %+v", right)
+	}
+	c3 := NewController()
+	straight := c3.Step(10, 10, []Waypoint{{X: 10, Y: 0}}, 50*time.Millisecond)
+	if straight.Steer != 0 {
+		t.Fatalf("straight waypoint must not steer: %+v", straight)
+	}
+}
+
+func TestLookaheadSelection(t *testing.T) {
+	c := NewController()
+	// First waypoint is inside the lookahead radius; the controller must
+	// aim at the farther one.
+	cmd := c.Step(10, 10, []Waypoint{{X: 1, Y: 1}, {X: 10, Y: -2}}, 50*time.Millisecond)
+	if cmd.Steer >= 0 {
+		t.Fatalf("controller aimed at the near waypoint: %+v", cmd)
+	}
+}
+
+func TestEmergencyBrake(t *testing.T) {
+	cmd := EmergencyBrake()
+	if cmd.Brake != 1 || cmd.Throttle != 0 || cmd.Steer != 0 {
+		t.Fatalf("EmergencyBrake = %+v", cmd)
+	}
+}

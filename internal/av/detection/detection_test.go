@@ -1,0 +1,174 @@
+package detection
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/trace"
+)
+
+func TestFamilyOrderedByRuntimeAndAccuracy(t *testing.T) {
+	for i := 1; i < len(EfficientDet); i++ {
+		if EfficientDet[i].MedianRuntime <= EfficientDet[i-1].MedianRuntime {
+			t.Fatalf("runtime not increasing at %s", EfficientDet[i].Name)
+		}
+		if EfficientDet[i].MAP <= EfficientDet[i-1].MAP {
+			t.Fatalf("accuracy not increasing at %s", EfficientDet[i].Name)
+		}
+	}
+}
+
+func TestPaperAnchors(t *testing.T) {
+	e2, err := ByName("EDet2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e6, err := ByName("EDet6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.MedianRuntime != 20*time.Millisecond || e6.MedianRuntime != 262*time.Millisecond {
+		t.Fatalf("anchor runtimes: %v, %v", e2.MedianRuntime, e6.MedianRuntime)
+	}
+	// §2.1: EDet6 detects the pedestrian at 72 m, EDet2 at 40 m.
+	if r := e2.Range(); r < 39 || r > 41 {
+		t.Fatalf("EDet2 range = %.1f, want ~40", r)
+	}
+	if r := e6.Range(); r < 71 || r > 73 {
+		t.Fatalf("EDet6 range = %.1f, want ~72", r)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("YOLO"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestRuntimeGrowsWithAgents(t *testing.T) {
+	m := EfficientDet[4]
+	r1 := trace.New(1)
+	r2 := trace.New(1)
+	var few, many time.Duration
+	for i := 0; i < 500; i++ {
+		few += m.Runtime(r1, 0)
+		many += m.Runtime(r2, 20)
+	}
+	if many <= few {
+		t.Fatalf("runtime should grow with agents: %v vs %v", few, many)
+	}
+}
+
+func TestRuntimeDeterministicUnderSeed(t *testing.T) {
+	m := EfficientDet[2]
+	a := m.Runtime(trace.New(7), 3)
+	b := m.Runtime(trace.New(7), 3)
+	if a != b {
+		t.Fatalf("runtime not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestOcclusionPunishesLowAccuracyMore(t *testing.T) {
+	e2, _ := ByName("EDet2")
+	e6, _ := ByName("EDet6")
+	occ := 0.7
+	lossLow := 1 - e2.EffectiveRange(occ)/e2.Range()
+	lossHigh := 1 - e6.EffectiveRange(occ)/e6.Range()
+	if lossLow <= lossHigh {
+		t.Fatalf("occlusion loss: EDet2 %.2f should exceed EDet6 %.2f", lossLow, lossHigh)
+	}
+}
+
+func TestBestWithin(t *testing.T) {
+	m, ok := BestWithin(100 * time.Millisecond)
+	if !ok || m.Name != "EDet4" {
+		t.Fatalf("BestWithin(100ms) = %s, %v; want EDet4", m.Name, ok)
+	}
+	m, ok = BestWithin(500 * time.Millisecond)
+	if !ok || m.Name != "EDet7" {
+		t.Fatalf("BestWithin(500ms) = %s, want EDet7", m.Name)
+	}
+	if _, ok := BestWithin(time.Millisecond); ok {
+		t.Fatal("nothing fits 1ms")
+	}
+	m, ok = BestWithinP99(100 * time.Millisecond)
+	if !ok || m.Name != "EDet3" {
+		t.Fatalf("BestWithinP99(100ms) = %s, want EDet3 (conservative)", m.Name)
+	}
+}
+
+func TestDetectRespectsEffectiveRange(t *testing.T) {
+	e6, _ := ByName("EDet6")
+	r := trace.New(3)
+	if _, ok := e6.Detect(r, 100, 0); ok {
+		t.Fatal("detected beyond range")
+	}
+	hits := 0
+	for i := 0; i < 200; i++ {
+		if _, ok := e6.Detect(r, 30, 0); ok {
+			hits++
+		}
+	}
+	if hits != 200 {
+		t.Fatalf("close unoccluded object detected %d/200 times, want always", hits)
+	}
+}
+
+func TestDetectConfidenceDropsWithDistance(t *testing.T) {
+	e6, _ := ByName("EDet6")
+	r := trace.New(4)
+	near, _ := e6.Detect(r, 10, 0)
+	far, _ := e6.Detect(r, 55, 0)
+	if near.Confidence <= far.Confidence {
+		t.Fatalf("confidence: near %.2f <= far %.2f", near.Confidence, far.Confidence)
+	}
+}
+
+// Property: effective range is monotone in occlusion and never exceeds the
+// clear-view range; detection probability is monotone in distance.
+func TestQuickEffectiveRangeMonotone(t *testing.T) {
+	f := func(mi, o8 uint8) bool {
+		m := EfficientDet[int(mi)%len(EfficientDet)]
+		occ := float64(o8%100) / 100
+		er := m.EffectiveRange(occ)
+		if er > m.Range()+1e-9 {
+			return false
+		}
+		if m.EffectiveRange(occ+0.05) > er+1e-9 {
+			return false
+		}
+		return er >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDetectProbMonotoneInDistance(t *testing.T) {
+	f := func(mi, d8 uint8) bool {
+		m := EfficientDet[int(mi)%len(EfficientDet)]
+		d := 1 + float64(d8%70)
+		p1 := m.DetectProb(d, 0.3)
+		p2 := m.DetectProb(d+2, 0.3)
+		return p2 <= p1+1e-9 && p1 >= 0 && p1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMoreAccurateSeesFarther(t *testing.T) {
+	f := func(o8 uint8) bool {
+		occ := float64(o8%95) / 100
+		for i := 1; i < len(EfficientDet); i++ {
+			if EfficientDet[i].EffectiveRange(occ) < EfficientDet[i-1].EffectiveRange(occ)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package planning implements Pylot's trajectory planners (§7.1 of the
+// paper). The workhorse is an anytime Frenet Optimal Trajectory (FOT)
+// planner: it discretizes the configuration space (lateral offsets ×
+// maneuver durations), scores quintic-polynomial candidates, and refines
+// the discretization iteratively — coarse grids are fast but produce
+// higher-jerk trajectories, finer grids need more time and yield more
+// comfortable rides (Fig. 2d). The planner is interruptible at candidate
+// granularity, making it a true anytime algorithm (§5.3): it can be stopped
+// when the deadline expires and always holds the best trajectory found.
+//
+// RRT*- and Hybrid-A*-style alternatives live in rrtstar.go and
+// hybridastar.go.
+package planning
+
+import (
+	"math"
+	"time"
+)
+
+// VehicleState is the AV's state in a lane-aligned frame: x longitudinal
+// (meters ahead), y lateral (meters left of lane center).
+type VehicleState struct {
+	Speed float64 // m/s
+	Y     float64 // current lateral offset
+}
+
+// Obstacle is an object the trajectory must clear, in the same frame.
+type Obstacle struct {
+	X, Y   float64 // position when the AV would pass it
+	Radius float64 // required lateral clearance (meters)
+}
+
+// Trajectory is a planned lateral maneuver: a quintic rest-to-rest
+// polynomial from the current offset to Target completed in Duration.
+type Trajectory struct {
+	Target   float64
+	Duration float64 // seconds
+	// MaxJerk is the maximum absolute lateral jerk along the trajectory
+	// (m/s^3) — the comfort metric of Fig. 2d.
+	MaxJerk float64
+	Cost    float64
+	// Feasible reports whether the trajectory clears every obstacle.
+	Feasible bool
+}
+
+// quinticMaxJerk returns the peak |jerk| of a rest-to-rest quintic covering
+// displacement d in T seconds: the minimum-effort quintic has jerk
+// j(s) = d/T^3 * (60 - 360 s + 360 s^2), peaking at 60 d / T^3.
+func quinticMaxJerk(d, T float64) float64 {
+	if T <= 0 {
+		return math.Inf(1)
+	}
+	return 60 * math.Abs(d) / (T * T * T)
+}
+
+// quinticOffset evaluates the lateral offset at fraction s of the maneuver.
+func quinticOffset(y0, yT, s float64) float64 {
+	if s <= 0 {
+		return y0
+	}
+	if s >= 1 {
+		return yT
+	}
+	blend := 10*s*s*s - 15*s*s*s*s + 6*s*s*s*s*s
+	return y0 + (yT-y0)*blend
+}
+
+// Config parameterizes the FOT search grid.
+type Config struct {
+	// MaxOffset bounds the lateral deviation (meters).
+	MaxOffset float64
+	// MaxDuration bounds the maneuver time (seconds).
+	MaxDuration float64
+	// LateralStep is the base (coarsest) lateral discretization; the
+	// paper's Fig. 2d varies it from 0.7 m (fast, uncomfortable) to 0.3 m.
+	LateralStep float64
+	// TimeStep is the base maneuver-duration discretization (seconds).
+	TimeStep float64
+	// Weights for the candidate cost.
+	JerkWeight, OffsetWeight, TimeWeight float64
+	// SamplesPerCandidate controls collision-check resolution.
+	SamplesPerCandidate int
+}
+
+// DefaultConfig returns the configuration used by the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		MaxOffset:   3.5,
+		MaxDuration: 6.0,
+		LateralStep: 0.7,
+		TimeStep:    1.0,
+		// Jerk dominates the cost so anytime refinement drives comfort
+		// (Fig. 2d); offset and time are tie-breakers among equal-jerk
+		// candidates.
+		JerkWeight:          1.0,
+		OffsetWeight:        0.05,
+		TimeWeight:          0.02,
+		SamplesPerCandidate: 20,
+	}
+}
+
+// Planner is the anytime FOT search. Construct with NewPlanner, then call
+// Step until the budget expires or Done reports true; Best always returns
+// the best trajectory found so far.
+type Planner struct {
+	cfg   Config
+	state VehicleState
+	obs   []Obstacle
+
+	level      int
+	maxLevel   int
+	queue      []candidate
+	evaluated  int
+	best       Trajectory
+	haveResult bool
+}
+
+type candidate struct {
+	target   float64
+	duration float64
+}
+
+// NewPlanner prepares an anytime search for the given scene. maxLevel
+// bounds the refinement depth (level k halves both discretizations k
+// times); 3 reproduces Fig. 2d's spread.
+func NewPlanner(cfg Config, st VehicleState, obs []Obstacle, maxLevel int) *Planner {
+	if maxLevel < 0 {
+		maxLevel = 0
+	}
+	p := &Planner{cfg: cfg, state: st, obs: obs, maxLevel: maxLevel}
+	p.best = Trajectory{Cost: math.Inf(1)}
+	p.fillLevel()
+	return p
+}
+
+// fillLevel enqueues the candidate grid for the current refinement level.
+func (p *Planner) fillLevel() {
+	latStep := p.cfg.LateralStep / math.Pow(2, float64(p.level))
+	tStep := p.cfg.TimeStep / math.Pow(2, float64(p.level))
+	p.queue = p.queue[:0]
+	for target := -p.cfg.MaxOffset; target <= p.cfg.MaxOffset+1e-9; target += latStep {
+		for dur := tStep; dur <= p.cfg.MaxDuration+1e-9; dur += tStep {
+			p.queue = append(p.queue, candidate{target: target, duration: dur})
+		}
+	}
+}
+
+// Step evaluates up to n candidates, returning how many were evaluated
+// (0 once the search is exhausted).
+func (p *Planner) Step(n int) int {
+	done := 0
+	for done < n {
+		if len(p.queue) == 0 {
+			if p.level >= p.maxLevel {
+				return done
+			}
+			p.level++
+			p.fillLevel()
+			continue
+		}
+		c := p.queue[0]
+		p.queue = p.queue[1:]
+		p.evaluate(c)
+		done++
+	}
+	return done
+}
+
+// Done reports whether every candidate at every level was evaluated.
+func (p *Planner) Done() bool {
+	return len(p.queue) == 0 && p.level >= p.maxLevel
+}
+
+// Evaluated returns the number of candidates scored so far.
+func (p *Planner) Evaluated() int { return p.evaluated }
+
+// Best returns the best trajectory found so far; ok is false while no
+// feasible candidate has been seen.
+func (p *Planner) Best() (Trajectory, bool) { return p.best, p.haveResult }
+
+func (p *Planner) evaluate(c candidate) {
+	p.evaluated++
+	tr := Trajectory{Target: c.target, Duration: c.duration}
+	tr.MaxJerk = quinticMaxJerk(c.target-p.state.Y, c.duration)
+	tr.Feasible = p.clears(c)
+	if !tr.Feasible {
+		return
+	}
+	tr.Cost = p.cfg.JerkWeight*tr.MaxJerk +
+		p.cfg.OffsetWeight*math.Abs(c.target) +
+		p.cfg.TimeWeight/c.duration
+	if tr.Cost < p.best.Cost {
+		p.best = tr
+		p.haveResult = true
+	}
+}
+
+// clears samples the candidate and checks clearance against each obstacle
+// at the moment the AV passes it.
+func (p *Planner) clears(c candidate) bool {
+	v := p.state.Speed
+	for _, o := range p.obs {
+		if o.X < 0 {
+			continue // already behind
+		}
+		tPass := math.Inf(1)
+		if v > 0.1 {
+			tPass = o.X / v
+		}
+		var yAt float64
+		if tPass >= c.duration {
+			yAt = c.target
+		} else {
+			yAt = quinticOffset(p.state.Y, c.target, tPass/c.duration)
+		}
+		if math.Abs(yAt-o.Y) < o.Radius {
+			return false
+		}
+		// The maneuver must also be completable before reaching a blocking
+		// obstacle when no lateral escape exists at all (checked by the
+		// caller via Feasible == false across the grid).
+	}
+	// Collision-check intermediate samples against obstacles the AV passes
+	// mid-maneuver.
+	n := p.cfg.SamplesPerCandidate
+	if n < 2 {
+		n = 2
+	}
+	for i := 0; i <= n; i++ {
+		s := float64(i) / float64(n)
+		tAt := s * c.duration
+		xAt := v * tAt
+		yAt := quinticOffset(p.state.Y, c.target, s)
+		for _, o := range p.obs {
+			if math.Abs(o.X-xAt) < 1.0 && math.Abs(yAt-o.Y) < o.Radius {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PerCandidateCost is the modeled evaluation cost of one FOT candidate on
+// the paper's hardware (trajectory generation plus collision checks against
+// the predicted scene), used to convert candidate counts into virtual-time
+// runtimes: a 125 ms budget covers the coarse grids, a 500 ms budget the
+// fine ones.
+const PerCandidateCost = 150 * time.Microsecond
+
+// PlanWithBudget runs the anytime search until the modeled runtime budget
+// is exhausted, returning the best trajectory, whether one was found, and
+// the modeled runtime actually consumed.
+func PlanWithBudget(cfg Config, st VehicleState, obs []Obstacle, budget time.Duration, maxLevel int) (Trajectory, bool, time.Duration) {
+	p := NewPlanner(cfg, st, obs, maxLevel)
+	allowed := int(budget / PerCandidateCost)
+	if allowed < 1 {
+		allowed = 1
+	}
+	for p.Evaluated() < allowed {
+		if p.Step(64) == 0 {
+			break
+		}
+	}
+	tr, ok := p.Best()
+	return tr, ok, time.Duration(p.Evaluated()) * PerCandidateCost
+}

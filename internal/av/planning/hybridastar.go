@@ -1,0 +1,143 @@
+package planning
+
+import (
+	"container/heap"
+	"math"
+)
+
+// HybridAStar is a compact Hybrid-A*-style planner: A* over a grid of
+// (x, y, heading) states expanded with kinematically-feasible arc motions,
+// suited to tightly-constrained maneuvers such as parking or threading
+// between stopped vehicles (§7.1 of the paper).
+type HybridAStar struct {
+	// Resolution is the grid cell size (meters).
+	Resolution float64
+	// Headings is the number of discretized heading bins.
+	Headings int
+	// TurnRadius is the minimum turning radius (meters).
+	TurnRadius float64
+	// XMax/YMax bound the search area: x in [0, XMax], y in [-YMax, YMax].
+	XMax, YMax float64
+	// MaxExpansions bounds the search effort.
+	MaxExpansions int
+}
+
+// NewHybridAStar returns a planner with lane-scale defaults.
+func NewHybridAStar() *HybridAStar {
+	return &HybridAStar{
+		Resolution:    1.0,
+		Headings:      16,
+		TurnRadius:    6.0,
+		XMax:          60,
+		YMax:          6,
+		MaxExpansions: 20000,
+	}
+}
+
+type haState struct {
+	x, y, theta float64
+	g, f        float64
+	parent      int
+	self        int
+	idx         int
+}
+
+type haHeap []*haState
+
+func (h haHeap) Len() int           { return len(h) }
+func (h haHeap) Less(i, j int) bool { return h[i].f < h[j].f }
+func (h haHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
+func (h *haHeap) Push(x any)        { s := x.(*haState); s.idx = len(*h); *h = append(*h, s) }
+func (h *haHeap) Pop() any          { old := *h; n := len(old); s := old[n-1]; *h = old[:n-1]; return s }
+
+// Plan searches from (0, y0, heading 0) to within tolerance of the goal.
+// It returns the path and whether the goal was reached.
+func (p *HybridAStar) Plan(y0, goalX, goalY float64, obs []Obstacle) (Path, bool) {
+	const stepLen = 2.0
+	tol := 1.5 * p.Resolution
+	curvatures := []float64{0, 1 / p.TurnRadius, -1 / p.TurnRadius, 0.5 / p.TurnRadius, -0.5 / p.TurnRadius}
+	start := &haState{x: 0, y: y0, theta: 0, parent: -1, self: 0}
+	start.f = math.Hypot(goalX, goalY-y0)
+	all := []*haState{start}
+	open := haHeap{}
+	heap.Init(&open)
+	heap.Push(&open, start)
+	visited := make(map[[3]int]bool)
+	key := func(s *haState) [3]int {
+		hb := int(math.Mod(s.theta+2*math.Pi, 2*math.Pi) / (2 * math.Pi) * float64(p.Headings))
+		return [3]int{int(s.x / p.Resolution), int(math.Floor(s.y / p.Resolution)), hb}
+	}
+	expansions := 0
+	for open.Len() > 0 && expansions < p.MaxExpansions {
+		cur := heap.Pop(&open).(*haState)
+		k := key(cur)
+		if visited[k] {
+			continue
+		}
+		visited[k] = true
+		expansions++
+		if math.Hypot(cur.x-goalX, cur.y-goalY) <= tol {
+			return p.extract(all, cur), true
+		}
+		for _, kappa := range curvatures {
+			nx, ny, nth := arcStep(cur.x, cur.y, cur.theta, kappa, stepLen)
+			if nx < -1 || nx > p.XMax || ny < -p.YMax || ny > p.YMax {
+				continue
+			}
+			if p.hit(cur.x, cur.y, nx, ny, obs) {
+				continue
+			}
+			ns := &haState{
+				x: nx, y: ny, theta: nth,
+				g:      cur.g + stepLen + 0.5*math.Abs(kappa)*stepLen,
+				parent: cur.self,
+			}
+			ns.f = ns.g + math.Hypot(nx-goalX, ny-goalY)
+			ns.self = len(all)
+			all = append(all, ns)
+			heap.Push(&open, ns)
+		}
+	}
+	return Path{}, false
+}
+
+func arcStep(x, y, theta, kappa, ds float64) (float64, float64, float64) {
+	if math.Abs(kappa) < 1e-9 {
+		return x + ds*math.Cos(theta), y + ds*math.Sin(theta), theta
+	}
+	nth := theta + kappa*ds
+	return x + (math.Sin(nth)-math.Sin(theta))/kappa,
+		y - (math.Cos(nth)-math.Cos(theta))/kappa,
+		nth
+}
+
+func (p *HybridAStar) hit(x0, y0, x1, y1 float64, obs []Obstacle) bool {
+	steps := 4
+	for i := 0; i <= steps; i++ {
+		s := float64(i) / float64(steps)
+		x, y := x0+(x1-x0)*s, y0+(y1-y0)*s
+		for _, o := range obs {
+			if math.Hypot(x-o.X, y-o.Y) < o.Radius {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *HybridAStar) extract(all []*haState, goal *haState) Path {
+	var xs, ys []float64
+	for s := goal; s != nil; {
+		xs = append(xs, s.x)
+		ys = append(ys, s.y)
+		if s.parent < 0 {
+			break
+		}
+		s = all[s.parent]
+	}
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+		ys[i], ys[j] = ys[j], ys[i]
+	}
+	return Path{X: xs, Y: ys, Cost: goal.g}
+}

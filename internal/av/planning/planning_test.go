@@ -1,0 +1,185 @@
+package planning
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/trace"
+)
+
+func TestQuinticMaxJerkClosedForm(t *testing.T) {
+	if j := quinticMaxJerk(2, 2); math.Abs(j-15) > 1e-9 {
+		t.Fatalf("maxJerk(2m, 2s) = %v, want 60*2/8 = 15", j)
+	}
+	if j := quinticMaxJerk(-2, 2); math.Abs(j-15) > 1e-9 {
+		t.Fatalf("maxJerk must use |d|: %v", j)
+	}
+	if !math.IsInf(quinticMaxJerk(1, 0), 1) {
+		t.Fatal("zero-duration maneuver must have infinite jerk")
+	}
+}
+
+func TestQuinticOffsetBoundaries(t *testing.T) {
+	if quinticOffset(0, 3, 0) != 0 || quinticOffset(0, 3, 1) != 3 {
+		t.Fatal("quintic boundary conditions violated")
+	}
+	mid := quinticOffset(0, 3, 0.5)
+	if mid < 1.4 || mid > 1.6 {
+		t.Fatalf("midpoint = %.3f, want 1.5", mid)
+	}
+	// Monotone for a rest-to-rest quintic.
+	prev := 0.0
+	for s := 0.0; s <= 1.0; s += 0.05 {
+		y := quinticOffset(0, 3, s)
+		if y < prev-1e-9 {
+			t.Fatalf("offset regressed at s=%.2f", s)
+		}
+		prev = y
+	}
+}
+
+func TestPlannerAvoidsObstacle(t *testing.T) {
+	cfg := DefaultConfig()
+	st := VehicleState{Speed: 10, Y: 0}
+	obs := []Obstacle{{X: 20, Y: 0, Radius: 1.2}} // blocking our lane
+	p := NewPlanner(cfg, st, obs, 2)
+	for p.Step(256) > 0 {
+	}
+	tr, ok := p.Best()
+	if !ok {
+		t.Fatal("no feasible trajectory found")
+	}
+	if math.Abs(tr.Target) < 1.2 {
+		t.Fatalf("best trajectory target %.2f does not clear the obstacle", tr.Target)
+	}
+}
+
+func TestAnytimeMonotoneImprovement(t *testing.T) {
+	// More evaluation budget must never worsen the best cost (§5.3:
+	// anytime algorithms monotonically increase accuracy with deadline).
+	cfg := DefaultConfig()
+	st := VehicleState{Speed: 12, Y: 0}
+	obs := []Obstacle{{X: 25, Y: 0, Radius: 1.0}}
+	var lastCost = math.Inf(1)
+	for _, budget := range []int{50, 200, 1000, 5000} {
+		p := NewPlanner(cfg, st, obs, 3)
+		for p.Evaluated() < budget {
+			if p.Step(50) == 0 {
+				break
+			}
+		}
+		tr, ok := p.Best()
+		if !ok {
+			continue
+		}
+		if tr.Cost > lastCost+1e-9 {
+			t.Fatalf("cost regressed with larger budget: %.3f after %.3f", tr.Cost, lastCost)
+		}
+		lastCost = tr.Cost
+	}
+	if math.IsInf(lastCost, 1) {
+		t.Fatal("no budget produced a feasible plan")
+	}
+}
+
+func TestFig2dJerkDecreasesWithBudget(t *testing.T) {
+	// Fig. 2d: 125 ms planning produces high lateral jerk, 500 ms low.
+	cfg := DefaultConfig()
+	st := VehicleState{Speed: 12, Y: 0}
+	obs := []Obstacle{{X: 18, Y: 0, Radius: 1.0}} // forces a swerve
+	jerkAt := func(budget time.Duration) float64 {
+		tr, ok, _ := PlanWithBudget(cfg, st, obs, budget, 3)
+		if !ok {
+			t.Fatalf("no plan within %v", budget)
+		}
+		return tr.MaxJerk
+	}
+	j125 := jerkAt(125 * time.Millisecond)
+	j500 := jerkAt(500 * time.Millisecond)
+	if j500 > j125 {
+		t.Fatalf("jerk should not increase with budget: %0.1f @125ms vs %0.1f @500ms", j125, j500)
+	}
+}
+
+func TestPlanWithBudgetRespectsBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	st := VehicleState{Speed: 10}
+	_, _, used := PlanWithBudget(cfg, st, nil, 10*time.Millisecond, 3)
+	if used > 10*time.Millisecond+64*PerCandidateCost {
+		t.Fatalf("modeled runtime %v exceeds the 10ms budget beyond step granularity", used)
+	}
+}
+
+func TestInfeasibleWhenFullyBlocked(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxOffset = 1.0 // cannot swerve wide enough
+	st := VehicleState{Speed: 10, Y: 0}
+	obs := []Obstacle{{X: 15, Y: 0, Radius: 3.0}}
+	p := NewPlanner(cfg, st, obs, 2)
+	for p.Step(512) > 0 {
+	}
+	if _, ok := p.Best(); ok {
+		t.Fatal("fully blocked scene must yield no feasible trajectory")
+	}
+}
+
+func TestRRTStarReachesGoal(t *testing.T) {
+	r := NewRRTStar()
+	rnd := trace.New(42)
+	obs := []Obstacle{{X: 20, Y: 0, Radius: 2}}
+	path, ok := r.Plan(rnd, 0, 45, 0, obs, 3000)
+	if !ok {
+		t.Fatal("RRT* did not reach the goal")
+	}
+	if len(path.X) < 2 {
+		t.Fatalf("degenerate path: %v", path)
+	}
+	// The path must avoid the obstacle disc.
+	for i := range path.X {
+		if math.Hypot(path.X[i]-20, path.Y[i]) < 2 {
+			t.Fatalf("path enters the obstacle at node %d", i)
+		}
+	}
+}
+
+func TestRRTStarAnytimeImproves(t *testing.T) {
+	obs := []Obstacle{{X: 20, Y: 0, Radius: 2}}
+	r := NewRRTStar()
+	short, ok1 := r.Plan(trace.New(7), 0, 45, 0, obs, 500)
+	long, ok2 := r.Plan(trace.New(7), 0, 45, 0, obs, 5000)
+	if !ok1 || !ok2 {
+		t.Skip("sampling did not reach the goal at the small budget")
+	}
+	if long.Cost > short.Cost*1.05 {
+		t.Fatalf("more iterations worsened the path: %.2f -> %.2f", short.Cost, long.Cost)
+	}
+}
+
+func TestHybridAStarThreadsGap(t *testing.T) {
+	p := NewHybridAStar()
+	obs := []Obstacle{
+		{X: 20, Y: 2.5, Radius: 2},
+		{X: 20, Y: -2.5, Radius: 2},
+	}
+	path, ok := p.Plan(0, 40, 0, obs)
+	if !ok {
+		t.Fatal("Hybrid A* failed to thread the gap")
+	}
+	for i := range path.X {
+		for _, o := range obs {
+			if math.Hypot(path.X[i]-o.X, path.Y[i]-o.Y) < o.Radius {
+				t.Fatalf("path collides at node %d", i)
+			}
+		}
+	}
+}
+
+func TestHybridAStarRespectsExpansionBound(t *testing.T) {
+	p := NewHybridAStar()
+	p.MaxExpansions = 10 // starve the search
+	obs := []Obstacle{{X: 10, Y: 0, Radius: 5.5}}
+	if _, ok := p.Plan(0, 55, 0, obs); ok {
+		t.Fatal("starved search should not reach a far goal behind a wall")
+	}
+}

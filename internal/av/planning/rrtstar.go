@@ -1,0 +1,133 @@
+package planning
+
+import (
+	"math"
+
+	"github.com/erdos-go/erdos/internal/trace"
+)
+
+// RRTStar is a compact RRT* planner in the 2D lane frame: it grows a tree
+// from the AV toward a goal point, rewiring nodes within a radius to keep
+// near-optimal path costs, and avoids circular obstacles. Pylot uses RRT*
+// for unstructured maneuvers where the Frenet lattice fits poorly (§7.1).
+type RRTStar struct {
+	// StepSize is the tree-extension distance (meters).
+	StepSize float64
+	// RewireRadius bounds the neighbourhood considered for rewiring.
+	RewireRadius float64
+	// GoalTolerance ends the search when a node lands this close.
+	GoalTolerance float64
+	// Bounds limit sampling: x in [0, XMax], y in [-YMax, YMax].
+	XMax, YMax float64
+}
+
+// NewRRTStar returns a planner with lane-scale defaults.
+func NewRRTStar() *RRTStar {
+	return &RRTStar{StepSize: 2.0, RewireRadius: 4.0, GoalTolerance: 1.5, XMax: 60, YMax: 6}
+}
+
+type rrtNode struct {
+	x, y   float64
+	parent int
+	cost   float64
+}
+
+// Path is a sequence of 2D points.
+type Path struct {
+	X, Y []float64
+	Cost float64
+}
+
+// Plan searches for a path from (0, y0) to the goal, using at most
+// maxIterations samples. RRT* is an anytime algorithm: more iterations
+// yield monotonically better (cheaper) paths. It returns the best path and
+// whether the goal was reached.
+func (r *RRTStar) Plan(rnd *trace.Rand, y0, goalX, goalY float64, obs []Obstacle, maxIterations int) (Path, bool) {
+	nodes := []rrtNode{{x: 0, y: y0, parent: -1, cost: 0}}
+	bestGoal := -1
+	bestCost := math.Inf(1)
+	for it := 0; it < maxIterations; it++ {
+		// Goal-biased sampling.
+		var sx, sy float64
+		if rnd.Bernoulli(0.1) {
+			sx, sy = goalX, goalY
+		} else {
+			sx, sy = rnd.Uniform(0, r.XMax), rnd.Uniform(-r.YMax, r.YMax)
+		}
+		// Nearest node.
+		ni := 0
+		nd := math.Inf(1)
+		for i, n := range nodes {
+			d := math.Hypot(n.x-sx, n.y-sy)
+			if d < nd {
+				nd, ni = d, i
+			}
+		}
+		// Steer.
+		nx, ny := nodes[ni].x, nodes[ni].y
+		d := math.Hypot(sx-nx, sy-ny)
+		if d < 1e-9 {
+			continue
+		}
+		step := math.Min(r.StepSize, d)
+		px, py := nx+(sx-nx)/d*step, ny+(sy-ny)/d*step
+		if r.collides(nx, ny, px, py, obs) {
+			continue
+		}
+		// Choose the cheapest collision-free parent in the neighbourhood.
+		parent := ni
+		cost := nodes[ni].cost + step
+		for i, n := range nodes {
+			dd := math.Hypot(n.x-px, n.y-py)
+			if dd <= r.RewireRadius && n.cost+dd < cost && !r.collides(n.x, n.y, px, py, obs) {
+				parent, cost = i, n.cost+dd
+			}
+		}
+		nodes = append(nodes, rrtNode{x: px, y: py, parent: parent, cost: cost})
+		newIdx := len(nodes) - 1
+		// Rewire neighbours through the new node when cheaper.
+		for i := range nodes {
+			if i == newIdx {
+				continue
+			}
+			dd := math.Hypot(nodes[i].x-px, nodes[i].y-py)
+			if dd <= r.RewireRadius && cost+dd < nodes[i].cost && !r.collides(px, py, nodes[i].x, nodes[i].y, obs) {
+				nodes[i].parent = newIdx
+				nodes[i].cost = cost + dd
+			}
+		}
+		// Track best goal-reaching node.
+		if math.Hypot(px-goalX, py-goalY) <= r.GoalTolerance && cost < bestCost {
+			bestGoal, bestCost = newIdx, cost
+		}
+	}
+	if bestGoal < 0 {
+		return Path{}, false
+	}
+	var xs, ys []float64
+	for i := bestGoal; i >= 0; i = nodes[i].parent {
+		xs = append(xs, nodes[i].x)
+		ys = append(ys, nodes[i].y)
+	}
+	// Reverse into start-to-goal order.
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+		ys[i], ys[j] = ys[j], ys[i]
+	}
+	return Path{X: xs, Y: ys, Cost: bestCost}, true
+}
+
+// collides samples the segment against the obstacle discs.
+func (r *RRTStar) collides(x0, y0, x1, y1 float64, obs []Obstacle) bool {
+	steps := int(math.Hypot(x1-x0, y1-y0)/0.5) + 1
+	for i := 0; i <= steps; i++ {
+		s := float64(i) / float64(steps)
+		x, y := x0+(x1-x0)*s, y0+(y1-y0)*s
+		for _, o := range obs {
+			if math.Hypot(x-o.X, y-o.Y) < o.Radius {
+				return true
+			}
+		}
+	}
+	return false
+}

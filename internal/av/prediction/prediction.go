@@ -1,0 +1,111 @@
+// Package prediction models Pylot's trajectory-prediction component
+// (Fig. 2c of the paper): recurrent predictors such as MFP and R2P2-MA have
+// runtimes linear in the prediction horizon, and the required horizon grows
+// with the AV's own speed (§2.2) — faster driving demands looking further
+// ahead, coupling the environment to the component's runtime.
+//
+// A working constant-velocity/constant-turn predictor is included so the
+// pipeline produces real predicted trajectories.
+package prediction
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/trace"
+)
+
+// Model is one predictor's runtime profile.
+type Model struct {
+	Name string
+	// Base is the fixed cost; PerSecond the marginal cost per second of
+	// prediction horizon. Calibrated to Fig. 2c (runtimes 50-200 ms over
+	// 1-5 s horizons, MFP steeper than R2P2-MA).
+	Base      time.Duration
+	PerSecond time.Duration
+	// PerAgent is the marginal cost per predicted agent.
+	PerAgent time.Duration
+	// Accuracy in [0, 1] scales downstream planning quality.
+	Accuracy float64
+}
+
+// The predictors evaluated in Fig. 2c, plus the lightweight linear
+// extrapolator Pylot deploys inside tight end-to-end budgets.
+var (
+	MFP    = Model{Name: "MFP", Base: 25 * time.Millisecond, PerSecond: 36 * time.Millisecond, PerAgent: 2 * time.Millisecond, Accuracy: 0.92}
+	R2P2MA = Model{Name: "R2P2-MA", Base: 38 * time.Millisecond, PerSecond: 21 * time.Millisecond, PerAgent: 1500 * time.Microsecond, Accuracy: 0.88}
+	Linear = Model{Name: "linear", Base: 3 * time.Millisecond, PerSecond: 1500 * time.Microsecond, PerAgent: 300 * time.Microsecond, Accuracy: 0.72}
+)
+
+// All lists the predictors in Fig. 2c order.
+var All = []Model{MFP, R2P2MA, Linear}
+
+// ByName returns the named predictor profile.
+func ByName(name string) (Model, error) {
+	for _, m := range All {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("prediction: unknown predictor %q", name)
+}
+
+// HorizonForSpeed returns the prediction horizon an AV moving at speed
+// (m/s) requires: enough to cover its own stopping time plus a safety
+// margin, clamped to [1 s, 5 s] as in Fig. 2c.
+func HorizonForSpeed(speed float64) time.Duration {
+	h := 0.8 + speed/5.0
+	if h < 1 {
+		h = 1
+	}
+	if h > 5 {
+		h = 5
+	}
+	return time.Duration(h * float64(time.Second))
+}
+
+// Runtime samples the latency for predicting n agents over the horizon.
+func (m Model) Runtime(r *trace.Rand, horizon time.Duration, n int) time.Duration {
+	med := float64(m.Base) +
+		float64(m.PerSecond)*horizon.Seconds() +
+		float64(m.PerAgent)*float64(n)
+	return r.LogNormalDur(time.Duration(med), 0.15)
+}
+
+// MedianRuntime returns the distribution median.
+func (m Model) MedianRuntime(horizon time.Duration, n int) time.Duration {
+	return m.Base +
+		time.Duration(float64(m.PerSecond)*horizon.Seconds()) +
+		time.Duration(n)*m.PerAgent
+}
+
+// Waypoint is one predicted future position.
+type Waypoint struct {
+	T    time.Duration
+	X, Y float64
+}
+
+// Trajectory is one agent's predicted path.
+type Trajectory struct {
+	TrackID   int
+	Waypoints []Waypoint
+}
+
+// Predict extrapolates each track with a constant-velocity model sampled at
+// dt over the horizon — the working substitute for the learned predictors.
+func Predict(tracks []*tracking.Track, horizon, dt time.Duration) []Trajectory {
+	if dt <= 0 {
+		dt = 250 * time.Millisecond
+	}
+	out := make([]Trajectory, 0, len(tracks))
+	for _, tr := range tracks {
+		var wps []Waypoint
+		for t := dt; t <= horizon; t += dt {
+			s := t.Seconds()
+			wps = append(wps, Waypoint{T: t, X: tr.X + tr.VX*s, Y: tr.Y + tr.VY*s})
+		}
+		out = append(out, Trajectory{TrackID: tr.ID, Waypoints: wps})
+	}
+	return out
+}

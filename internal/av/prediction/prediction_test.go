@@ -1,0 +1,86 @@
+package prediction
+
+import (
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/trace"
+)
+
+func TestRuntimeLinearInHorizon(t *testing.T) {
+	// Fig. 2c: runtimes grow linearly with the prediction horizon.
+	for _, m := range All {
+		h1 := m.MedianRuntime(1*time.Second, 5)
+		h3 := m.MedianRuntime(3*time.Second, 5)
+		h5 := m.MedianRuntime(5*time.Second, 5)
+		d1 := h3 - h1
+		d2 := h5 - h3
+		diff := d1 - d2
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Millisecond {
+			t.Fatalf("%s: non-linear growth: %v vs %v", m.Name, d1, d2)
+		}
+		if h5 <= h1 {
+			t.Fatalf("%s: runtime must grow with horizon", m.Name)
+		}
+	}
+}
+
+func TestFig2cRange(t *testing.T) {
+	// The paper's Fig. 2c spans roughly 50-200 ms across 1-5 s horizons.
+	lo := R2P2MA.MedianRuntime(1*time.Second, 5)
+	hi := MFP.MedianRuntime(5*time.Second, 5)
+	if lo < 40*time.Millisecond || lo > 80*time.Millisecond {
+		t.Fatalf("low end = %v, want ~50-60ms", lo)
+	}
+	if hi < 150*time.Millisecond || hi > 250*time.Millisecond {
+		t.Fatalf("high end = %v, want ~200ms", hi)
+	}
+}
+
+func TestHorizonForSpeed(t *testing.T) {
+	slow := HorizonForSpeed(2)
+	fast := HorizonForSpeed(20)
+	if slow < time.Second || slow >= fast {
+		t.Fatalf("horizons: slow %v, fast %v", slow, fast)
+	}
+	if fast > 5*time.Second {
+		t.Fatalf("horizon must clamp at 5s, got %v", fast)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if m, err := ByName("MFP"); err != nil || m.Name != "MFP" {
+		t.Fatalf("ByName: %+v, %v", m, err)
+	}
+	if _, err := ByName("GPT"); err == nil {
+		t.Fatal("unknown predictor must error")
+	}
+}
+
+func TestPredictExtrapolatesVelocity(t *testing.T) {
+	tracks := []*tracking.Track{{ID: 1, X: 0, Y: 0, VX: 10, VY: 0}}
+	trajs := Predict(tracks, 2*time.Second, 500*time.Millisecond)
+	if len(trajs) != 1 {
+		t.Fatalf("trajectories = %d", len(trajs))
+	}
+	wps := trajs[0].Waypoints
+	if len(wps) != 4 {
+		t.Fatalf("waypoints = %d, want 4", len(wps))
+	}
+	last := wps[len(wps)-1]
+	if last.X < 19.9 || last.X > 20.1 {
+		t.Fatalf("extrapolated X = %.2f, want 20", last.X)
+	}
+}
+
+func TestRuntimeSamplingDeterministic(t *testing.T) {
+	a := MFP.Runtime(trace.New(5), 3*time.Second, 4)
+	b := MFP.Runtime(trace.New(5), 3*time.Second, 4)
+	if a != b {
+		t.Fatalf("sampling not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,100 @@
+// Package tlight models Baidu Apollo's traffic-light perception (Fig. 3 of
+// the paper): the detector uses the map and the vehicle's location to pick
+// between multiple cameras, obtains bounding-box proposals, and refines and
+// classifies each proposal with per-light neural networks. Its response
+// time therefore depends on both the camera choice and the number of lights
+// in view, producing a p99/mean skew of ~3.3x and forcing the pipeline to
+// drop sensor messages when a slow detection keeps resources busy.
+package tlight
+
+import (
+	"time"
+
+	"github.com/erdos-go/erdos/internal/trace"
+)
+
+// Detector is the Apollo-style traffic-light detector model.
+type Detector struct {
+	// BaseRuntime is the proposal stage's fixed cost.
+	BaseRuntime time.Duration
+	// PerLight is the refinement+classification cost per visible light.
+	PerLight time.Duration
+	// CameraSwitchPenalty is paid whenever the detector changes cameras
+	// (telephoto vs wide, per the Apollo design).
+	CameraSwitchPenalty time.Duration
+
+	lastCamera int
+}
+
+// NewDetector returns a detector calibrated so that a busy intersection
+// scene (6+ lights, camera switching) runs ~3x the quiet-road mean.
+func NewDetector() *Detector {
+	return &Detector{
+		BaseRuntime:         28 * time.Millisecond,
+		PerLight:            24 * time.Millisecond,
+		CameraSwitchPenalty: 55 * time.Millisecond,
+	}
+}
+
+// Scene describes the environment at one detection invocation.
+type Scene struct {
+	// Lights is the number of traffic lights in view.
+	Lights int
+	// Camera selects the active camera (0 = wide, 1 = telephoto); Apollo
+	// picks by projecting map lights through each camera.
+	Camera int
+}
+
+// Runtime samples one invocation's response time.
+func (d *Detector) Runtime(r *trace.Rand, s Scene) time.Duration {
+	med := float64(d.BaseRuntime) + float64(d.PerLight)*float64(s.Lights)
+	if s.Camera != d.lastCamera {
+		med += float64(d.CameraSwitchPenalty)
+		d.lastCamera = s.Camera
+	}
+	return r.LogNormalDur(time.Duration(med), 0.35)
+}
+
+// DriveScene generates the scene at time t of a simulated urban drive:
+// stretches of open road (0-1 lights, wide camera) punctuated by
+// intersections (3-8 lights, telephoto camera) roughly every 8 seconds.
+func DriveScene(r *trace.Rand, t time.Duration) Scene {
+	phase := int(t / (8 * time.Second))
+	inIntersection := phase%2 == 1
+	if !inIntersection {
+		return Scene{Lights: r.Intn(2), Camera: 0}
+	}
+	return Scene{Lights: 3 + r.Intn(6), Camera: 1}
+}
+
+// Trace is one simulated drive's detector timeline.
+type Trace struct {
+	// Times are the invocation instants; Runtimes the matching response
+	// times.
+	Times    []time.Duration
+	Runtimes []time.Duration
+	// Dropped counts sensor messages discarded because the detector was
+	// still busy when they arrived (the pipeline's Fig. 3 behaviour).
+	Dropped int
+}
+
+// Simulate runs the detector over a drive of the given length with sensors
+// arriving at the given period (Apollo processes at 10 Hz). A message that
+// arrives while the previous invocation is still running is dropped.
+func Simulate(seed int64, length, period time.Duration) Trace {
+	r := trace.New(seed)
+	d := NewDetector()
+	var tr Trace
+	busyUntil := time.Duration(0)
+	for t := time.Duration(0); t < length; t += period {
+		if t < busyUntil {
+			tr.Dropped++
+			continue
+		}
+		rt := d.Runtime(r, DriveScene(r, t))
+		tr.Times = append(tr.Times, t)
+		tr.Runtimes = append(tr.Runtimes, rt)
+		busyUntil = t + rt
+	}
+	return tr
+}

@@ -1,0 +1,93 @@
+package tlight
+
+import (
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/metrics"
+	"github.com/erdos-go/erdos/internal/trace"
+)
+
+func TestRuntimeGrowsWithLights(t *testing.T) {
+	r1, r2 := trace.New(1), trace.New(1)
+	d1, d2 := NewDetector(), NewDetector()
+	var quiet, busy time.Duration
+	for i := 0; i < 300; i++ {
+		quiet += d1.Runtime(r1, Scene{Lights: 0, Camera: 0})
+		busy += d2.Runtime(r2, Scene{Lights: 6, Camera: 0})
+	}
+	if busy < 2*quiet {
+		t.Fatalf("busy intersections must be much slower: %v vs %v", busy, quiet)
+	}
+}
+
+func TestCameraSwitchPenalty(t *testing.T) {
+	r := trace.New(2)
+	d := NewDetector()
+	_ = d.Runtime(r, Scene{Lights: 0, Camera: 0})
+	var same, switched time.Duration
+	n := 200
+	for i := 0; i < n; i++ {
+		same += d.Runtime(r, Scene{Lights: 2, Camera: 0})
+	}
+	for i := 0; i < n; i++ {
+		switched += d.Runtime(r, Scene{Lights: 2, Camera: i % 2}) // alternates
+	}
+	if switched < same {
+		t.Fatalf("camera switching must cost: %v vs %v", switched, same)
+	}
+}
+
+func TestFig3TailSkew(t *testing.T) {
+	// The paper reports a p99/mean response-time ratio of ~3.3x for
+	// Apollo's perception; require a clearly heavy tail (>2x) with the
+	// same mechanism (camera choice + number of lights).
+	tr := Simulate(11, 40*time.Second, 100*time.Millisecond)
+	s := metrics.NewSample()
+	s.AddAll(tr.Runtimes)
+	ratio := s.TailRatio()
+	if ratio < 2.0 {
+		t.Fatalf("p99/mean = %.2f, want a heavy tail (>2)", ratio)
+	}
+	if ratio > 6.0 {
+		t.Fatalf("p99/mean = %.2f, implausibly heavy", ratio)
+	}
+}
+
+func TestFig3DropsMessages(t *testing.T) {
+	tr := Simulate(11, 40*time.Second, 100*time.Millisecond)
+	if tr.Dropped == 0 {
+		t.Fatal("a 10 Hz sensor with multi-hundred-ms detections must drop messages")
+	}
+	if len(tr.Times) == 0 {
+		t.Fatal("no invocations recorded")
+	}
+	if tr.Dropped >= 400 {
+		t.Fatalf("dropped %d of 400 — everything dropped", tr.Dropped)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(5, 10*time.Second, 100*time.Millisecond)
+	b := Simulate(5, 10*time.Second, 100*time.Millisecond)
+	if len(a.Runtimes) != len(b.Runtimes) || a.Dropped != b.Dropped {
+		t.Fatal("simulation not deterministic under seed")
+	}
+	for i := range a.Runtimes {
+		if a.Runtimes[i] != b.Runtimes[i] {
+			t.Fatal("runtime traces differ under the same seed")
+		}
+	}
+}
+
+func TestDriveSceneAlternates(t *testing.T) {
+	r := trace.New(9)
+	road := DriveScene(r, 0)
+	intersection := DriveScene(r, 9*time.Second)
+	if road.Camera != 0 {
+		t.Fatalf("open road should use the wide camera: %+v", road)
+	}
+	if intersection.Lights < 3 {
+		t.Fatalf("intersection should have several lights: %+v", intersection)
+	}
+}

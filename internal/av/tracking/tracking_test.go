@@ -1,0 +1,103 @@
+package tracking
+
+import (
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/trace"
+)
+
+func TestRuntimeGrowsWithAgents(t *testing.T) {
+	for _, m := range All {
+		if m.MedianRuntime(10) <= m.MedianRuntime(1) {
+			t.Fatalf("%s: runtime must grow with agents", m.Name)
+		}
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	// At 10 agents: SORT stays cheap, DeepSORT mid, DaSiamRPN most
+	// expensive (Fig. 2b).
+	s := SORT.MedianRuntime(10)
+	d := DeepSORT.MedianRuntime(10)
+	z := DaSiamRPN.MedianRuntime(10)
+	if !(s < d && d < z) {
+		t.Fatalf("ordering at 10 agents: %v, %v, %v", s, d, z)
+	}
+	if z < 400_000_000 { // ~600ms in the paper; require at least 400ms
+		t.Fatalf("DaSiamRPN at 10 agents = %v, want heavy", z)
+	}
+	if s > 20_000_000 {
+		t.Fatalf("SORT at 10 agents = %v, want light", s)
+	}
+	if SORT.Accuracy >= DeepSORT.Accuracy {
+		t.Fatal("SORT must trade accuracy for speed")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if m, err := ByName("DeepSORT"); err != nil || m.Name != "DeepSORT" {
+		t.Fatalf("ByName: %v, %v", m, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown tracker must error")
+	}
+}
+
+func TestRuntimeSampling(t *testing.T) {
+	r := trace.New(1)
+	d := DeepSORT.Runtime(r, 5)
+	if d <= 0 {
+		t.Fatalf("sampled runtime %v", d)
+	}
+}
+
+func TestTrackerMaintainsIdentity(t *testing.T) {
+	tr := NewTracker()
+	// An object moving +1 m per frame in x.
+	for f := uint64(0); f < 10; f++ {
+		tr.Update(f, 0.1, []Observation{{X: float64(f), Y: 0}})
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 1 {
+		t.Fatalf("tracks = %d, want 1 stable identity", len(tracks))
+	}
+	if tracks[0].ID != 1 {
+		t.Fatalf("identity churned: ID %d", tracks[0].ID)
+	}
+	if tracks[0].VX <= 5 { // ~10 m/s with dt=0.1
+		t.Fatalf("velocity estimate %v, want ~10", tracks[0].VX)
+	}
+}
+
+func TestTrackerSeparatesTwoAgents(t *testing.T) {
+	tr := NewTracker()
+	for f := uint64(0); f < 8; f++ {
+		tr.Update(f, 0.1, []Observation{
+			{X: float64(f), Y: 0},
+			{X: float64(f), Y: 10},
+		})
+	}
+	if n := len(tr.Tracks()); n != 2 {
+		t.Fatalf("tracks = %d, want 2", n)
+	}
+}
+
+func TestTrackerRetiresLostTracks(t *testing.T) {
+	tr := NewTracker()
+	tr.Update(0, 0.1, []Observation{{X: 0, Y: 0}})
+	for f := uint64(1); f <= 5; f++ {
+		tr.Update(f, 0.1, nil)
+	}
+	if n := len(tr.Tracks()); n != 0 {
+		t.Fatalf("tracks = %d after disappearance, want 0", n)
+	}
+}
+
+func TestTrackerSpawnsOnNewObservations(t *testing.T) {
+	tr := NewTracker()
+	tr.Update(0, 0.1, []Observation{{X: 0, Y: 0}})
+	tr.Update(1, 0.1, []Observation{{X: 0.2, Y: 0}, {X: 30, Y: 5}})
+	if n := len(tr.Tracks()); n != 2 {
+		t.Fatalf("tracks = %d, want 2 (existing + new)", n)
+	}
+}

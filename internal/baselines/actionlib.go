@@ -1,0 +1,120 @@
+package baselines
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// ActionlibEnforcer models deadline-miss handling built on ROS' actionlib
+// (the baseline of Fig. 10 left): a preemptible-task library whose client
+// monitors goal timeouts from a fixed-rate polling loop. The handler
+// therefore fires up to one poll period after the deadline actually
+// expired — an average delay of half the period — whereas ERDOS' worker
+// keeps a timer on the head of its deadline priority queue and fires
+// within scheduler latency (§6.3).
+type ActionlibEnforcer struct {
+	// PollPeriod is the monitoring loop's period (actionlib clients
+	// typically poll at ~1 kHz when configured aggressively).
+	PollPeriod time.Duration
+
+	mu      sync.Mutex
+	queue   alHeap
+	stopped bool
+	done    chan struct{}
+}
+
+type alGoal struct {
+	expires time.Time
+	fire    func(delay time.Duration)
+	idx     int
+	stopped bool
+}
+
+// NewActionlib starts the polling enforcer.
+func NewActionlib(poll time.Duration) *ActionlibEnforcer {
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	a := &ActionlibEnforcer{PollPeriod: poll, done: make(chan struct{})}
+	go a.loop()
+	return a
+}
+
+// Arm registers a goal deadline d from now; fire receives the delay
+// between the true expiry and the handler invocation.
+func (a *ActionlibEnforcer) Arm(d time.Duration, fire func(delay time.Duration)) *ActionlibGoal {
+	g := &alGoal{expires: time.Now().Add(d), fire: fire}
+	a.mu.Lock()
+	heap.Push(&a.queue, g)
+	a.mu.Unlock()
+	return &ActionlibGoal{a: a, g: g}
+}
+
+// ActionlibGoal is a handle to one armed goal.
+type ActionlibGoal struct {
+	a *ActionlibEnforcer
+	g *alGoal
+}
+
+// Cancel resolves the goal before expiry.
+func (h *ActionlibGoal) Cancel() {
+	h.a.mu.Lock()
+	if !h.g.stopped && h.g.idx >= 0 {
+		h.g.stopped = true
+		heap.Remove(&h.a.queue, h.g.idx)
+	}
+	h.a.mu.Unlock()
+}
+
+// Stop terminates the polling loop.
+func (a *ActionlibEnforcer) Stop() {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	a.stopped = true
+	a.mu.Unlock()
+	close(a.done)
+}
+
+func (a *ActionlibEnforcer) loop() {
+	ticker := time.NewTicker(a.PollPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.done:
+			return
+		case now := <-ticker.C:
+			for {
+				a.mu.Lock()
+				if len(a.queue) == 0 || a.queue[0].expires.After(now) {
+					a.mu.Unlock()
+					break
+				}
+				g := heap.Pop(&a.queue).(*alGoal)
+				a.mu.Unlock()
+				if g.fire != nil {
+					g.fire(now.Sub(g.expires))
+				}
+			}
+		}
+	}
+}
+
+type alHeap []*alGoal
+
+func (h alHeap) Len() int           { return len(h) }
+func (h alHeap) Less(i, j int) bool { return h[i].expires.Before(h[j].expires) }
+func (h alHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
+func (h *alHeap) Push(x any)        { g := x.(*alGoal); g.idx = len(*h); *h = append(*h, g) }
+func (h *alHeap) Pop() any {
+	old := *h
+	n := len(old)
+	g := old[n-1]
+	old[n-1] = nil
+	g.idx = -1
+	*h = old[:n-1]
+	return g
+}

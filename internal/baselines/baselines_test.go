@@ -1,0 +1,234 @@
+package baselines
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func payload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i * 31)
+	}
+	return p
+}
+
+func collectors(n int) ([]Receiver, *sync.WaitGroup, *[][]byte) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	got := make([][]byte, 0, n)
+	recvs := make([]Receiver, n)
+	for i := 0; i < n; i++ {
+		recvs[i] = func(_ uint64, p []byte) {
+			mu.Lock()
+			got = append(got, p)
+			mu.Unlock()
+			wg.Done()
+		}
+	}
+	return recvs, &wg, &got
+}
+
+func TestIntraPublishersDeliverIntact(t *testing.T) {
+	data := payload(100_000)
+	for _, mk := range []func([]Receiver) Publisher{
+		func(r []Receiver) Publisher { return NewErdosIntra(r) },
+		func(r []Receiver) Publisher { return NewCopyIntra(r) },
+		func(r []Receiver) Publisher { return NewRos2Intra(r) },
+		func(r []Receiver) Publisher { return NewFlinkIntra(r) },
+	} {
+		recvs, wg, got := collectors(3)
+		pub := mk(recvs)
+		wg.Add(3)
+		if err := pub.Publish(data); err != nil {
+			t.Fatalf("%s: %v", pub.Name(), err)
+		}
+		wg.Wait()
+		for i, g := range *got {
+			if !bytes.Equal(g, data) {
+				t.Fatalf("%s: subscriber %d payload corrupted (%d vs %d bytes)",
+					pub.Name(), i, len(g), len(data))
+			}
+		}
+		pub.Close()
+	}
+}
+
+func TestErdosIntraIsZeroCopy(t *testing.T) {
+	data := payload(1024)
+	var gotPtr *byte
+	pub := NewErdosIntra([]Receiver{func(_ uint64, p []byte) { gotPtr = &p[0] }})
+	_ = pub.Publish(data)
+	if gotPtr != &data[0] {
+		t.Fatal("erdos intra path must deliver the same backing array")
+	}
+}
+
+func TestCopyIntraIsNotZeroCopy(t *testing.T) {
+	data := payload(1024)
+	var gotPtr *byte
+	pub := NewCopyIntra([]Receiver{func(_ uint64, p []byte) { gotPtr = &p[0] }})
+	_ = pub.Publish(data)
+	if gotPtr == &data[0] {
+		t.Fatal("copy ablation must deliver a private copy")
+	}
+}
+
+func TestRos2IntraDeliversCopies(t *testing.T) {
+	data := payload(64 << 10)
+	var ptrs []*byte
+	recv := func(_ uint64, p []byte) { ptrs = append(ptrs, &p[0]) }
+	pub := NewRos2Intra([]Receiver{recv, recv})
+	_ = pub.Publish(data)
+	if len(ptrs) != 2 {
+		t.Fatalf("deliveries = %d", len(ptrs))
+	}
+	if ptrs[0] == &data[0] || ptrs[1] == &data[0] || ptrs[0] == ptrs[1] {
+		t.Fatal("DDS path must produce distinct converted buffers")
+	}
+}
+
+func TestInterPublishersDeliverIntact(t *testing.T) {
+	data := payload(300_000) // spans multiple flink buffers and DDS submessages
+	for _, mk := range []func(int, Receiver) (Publisher, error){
+		NewErdosInter, NewRosInter, NewRos2Inter, NewFlinkInter,
+	} {
+		done := make(chan []byte, 4)
+		pub, err := mk(2, func(_ uint64, p []byte) { done <- p })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Publish(data); err != nil {
+			t.Fatalf("%s: %v", pub.Name(), err)
+		}
+		for i := 0; i < 2; i++ {
+			select {
+			case got := <-done:
+				if !bytes.Equal(got, data) {
+					t.Fatalf("%s: payload corrupted over TCP (%d vs %d bytes)",
+						pub.Name(), len(got), len(data))
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("%s: delivery %d timed out", pub.Name(), i)
+			}
+		}
+		pub.Close()
+	}
+}
+
+func TestInterSequenceNumbers(t *testing.T) {
+	var last atomic.Uint64
+	var bad atomic.Bool
+	pub, err := NewErdosInter(1, func(seq uint64, _ []byte) {
+		if seq != last.Add(1) {
+			bad.Store(true)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 0; i < 100; i++ {
+		if err := pub.Publish(payload(256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for last.Load() < 100 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if bad.Load() || last.Load() != 100 {
+		t.Fatalf("sequence broken: last=%d bad=%v", last.Load(), bad.Load())
+	}
+}
+
+func TestPublishAfterCloseFails(t *testing.T) {
+	pub, err := NewErdosInter(1, func(uint64, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Close()
+	if err := pub.Publish(payload(8)); err == nil {
+		t.Fatal("publish after close must fail")
+	}
+}
+
+func TestCDRRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 16 << 10, 100 << 10} {
+		data := payload(n)
+		got := cdrDeserialize(ddsConvert(cdrSerialize(data)))
+		if !bytes.Equal(got, data) {
+			t.Fatalf("CDR round trip broken at %d bytes: got %d", n, len(got))
+		}
+	}
+}
+
+func TestSegmentReassemble(t *testing.T) {
+	data := payload(100_001)
+	segs := segment(data, flinkBufferSize)
+	if len(segs) != 4 {
+		t.Fatalf("segments = %d, want 4", len(segs))
+	}
+	if !bytes.Equal(reassemble(segs, len(data)), data) {
+		t.Fatal("reassembly corrupted the payload")
+	}
+	if got := segment(nil, 10); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatal("empty payload must produce one empty segment")
+	}
+}
+
+func TestActionlibFiresWithPollDelay(t *testing.T) {
+	a := NewActionlib(time.Millisecond)
+	defer a.Stop()
+	ch := make(chan time.Duration, 1)
+	a.Arm(5*time.Millisecond, func(d time.Duration) { ch <- d })
+	select {
+	case d := <-ch:
+		if d < 0 || d > 50*time.Millisecond {
+			t.Fatalf("handler delay %v implausible", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("actionlib goal never fired")
+	}
+}
+
+func TestActionlibCancelPreventsFire(t *testing.T) {
+	a := NewActionlib(time.Millisecond)
+	defer a.Stop()
+	var fired atomic.Bool
+	g := a.Arm(5*time.Millisecond, func(time.Duration) { fired.Store(true) })
+	g.Cancel()
+	time.Sleep(20 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("cancelled goal fired")
+	}
+}
+
+func TestActionlibOrdering(t *testing.T) {
+	a := NewActionlib(500 * time.Microsecond)
+	defer a.Stop()
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	wg.Add(3)
+	add := func(i int, d time.Duration) {
+		a.Arm(d, func(time.Duration) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	add(2, 10*time.Millisecond)
+	add(1, 4*time.Millisecond)
+	add(3, 16*time.Millisecond)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v", order)
+	}
+}

@@ -1,0 +1,420 @@
+// Package baselines reimplements the messaging paths of the systems the
+// paper compares against in §7.2 (ROS, ROS2, Flink) plus an
+// actionlib-style preemption baseline (§7.3, Fig. 10 left).
+//
+// These are not full reimplementations of those systems; they reproduce the
+// cost structure of each system's communication path, per the paper's own
+// overhead attribution: "Flink and ROS have additional data copies and a
+// more inefficient networking path accounting for 80% of the overhead, and
+// slower serialization/deserialization responsible for 20%", and ROS2's
+// overhead stems from the Data Distribution Service's extra data
+// conversions. Every copy and conversion below is genuinely performed, so
+// the benchmarks measure real work.
+package baselines
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Publisher is a one-to-many channel under test: Publish delivers payload
+// to every subscriber's callback.
+type Publisher interface {
+	// Name identifies the system being modeled.
+	Name() string
+	// Publish sends one message to all subscribers.
+	Publish(payload []byte) error
+	// Close releases resources.
+	Close()
+}
+
+// Receiver consumes delivered payloads; seq increments per message.
+type Receiver func(seq uint64, payload []byte)
+
+// --- intra-process publishers ---
+
+// ErdosIntra delivers by reference: subscribers receive the same backing
+// array (zero copy), exactly as ERDOS' intra-worker path shares heap
+// references over in-process channels (§6.1).
+type ErdosIntra struct {
+	subs []Receiver
+	seq  atomic.Uint64
+}
+
+// NewErdosIntra returns the zero-copy intra-process publisher.
+func NewErdosIntra(subs []Receiver) *ErdosIntra { return &ErdosIntra{subs: subs} }
+
+// Name implements Publisher.
+func (e *ErdosIntra) Name() string { return "erdos" }
+
+// Publish implements Publisher.
+func (e *ErdosIntra) Publish(payload []byte) error {
+	seq := e.seq.Add(1)
+	for _, s := range e.subs {
+		s(seq, payload)
+	}
+	return nil
+}
+
+// Close implements Publisher.
+func (e *ErdosIntra) Close() {}
+
+// CopyIntra is the copy-per-subscriber ablation of the zero-copy path:
+// identical delivery, but every subscriber gets a private copy (what a
+// system without shared immutable messages must do).
+type CopyIntra struct {
+	subs []Receiver
+	seq  atomic.Uint64
+}
+
+// NewCopyIntra returns the copying intra-process publisher.
+func NewCopyIntra(subs []Receiver) *CopyIntra { return &CopyIntra{subs: subs} }
+
+// Name implements Publisher.
+func (c *CopyIntra) Name() string { return "erdos-copy" }
+
+// Publish implements Publisher.
+func (c *CopyIntra) Publish(payload []byte) error {
+	seq := c.seq.Add(1)
+	for _, s := range c.subs {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		s(seq, cp)
+	}
+	return nil
+}
+
+// Close implements Publisher.
+func (c *CopyIntra) Close() {}
+
+// Ros2Intra models ROS2's intra-process path through the DDS layer: the
+// message is serialized (copy 1), converted to the wire representation
+// (copy 2 plus per-chunk processing), and converted back on the receive
+// side (copy 3) — the data conversions Maruyama et al. identify as ROS2's
+// dominant cost, which apply even between nodes in one process unless
+// intra-process bypass is configured.
+type Ros2Intra struct {
+	subs []Receiver
+	seq  atomic.Uint64
+}
+
+// NewRos2Intra returns the DDS-conversion intra-process publisher.
+func NewRos2Intra(subs []Receiver) *Ros2Intra { return &Ros2Intra{subs: subs} }
+
+// Name implements Publisher.
+func (r *Ros2Intra) Name() string { return "ros2" }
+
+// Publish implements Publisher.
+func (r *Ros2Intra) Publish(payload []byte) error {
+	seq := r.seq.Add(1)
+	for _, s := range r.subs {
+		serialized := cdrSerialize(payload)
+		wire := ddsConvert(serialized)
+		out := cdrDeserialize(wire)
+		s(seq, out)
+	}
+	return nil
+}
+
+// Close implements Publisher.
+func (r *Ros2Intra) Close() {}
+
+// FlinkIntra models Flink's operator boundary inside one task manager
+// without operator chaining: records are serialized into fixed-size network
+// buffers and deserialized by the consumer.
+type FlinkIntra struct {
+	subs []Receiver
+	seq  atomic.Uint64
+}
+
+// NewFlinkIntra returns the buffer-segmented intra-process publisher.
+func NewFlinkIntra(subs []Receiver) *FlinkIntra { return &FlinkIntra{subs: subs} }
+
+// Name implements Publisher.
+func (f *FlinkIntra) Name() string { return "flink" }
+
+// Publish implements Publisher.
+func (f *FlinkIntra) Publish(payload []byte) error {
+	seq := f.seq.Add(1)
+	for _, s := range f.subs {
+		segs := segment(payload, flinkBufferSize)
+		out := reassemble(segs, len(payload))
+		s(seq, out)
+	}
+	return nil
+}
+
+// Close implements Publisher.
+func (f *FlinkIntra) Close() {}
+
+// --- wire-format helpers (real work, modeled after each system) ---
+
+const flinkBufferSize = 32 << 10
+
+// cdrSerialize produces a CDR-style buffer: 4-byte length plus payload.
+func cdrSerialize(p []byte) []byte {
+	out := make([]byte, 4+len(p))
+	binary.LittleEndian.PutUint32(out, uint32(len(p)))
+	copy(out[4:], p)
+	return out
+}
+
+// ddsConvert re-frames a serialized buffer into RTPS-style submessages,
+// touching every byte again.
+func ddsConvert(p []byte) []byte {
+	const sub = 16 << 10
+	n := (len(p) + sub - 1) / sub
+	out := make([]byte, 0, len(p)+8*n)
+	var hdr [8]byte
+	for off := 0; off < len(p); off += sub {
+		end := off + sub
+		if end > len(p) {
+			end = len(p)
+		}
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(end-off))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(off))
+		out = append(out, hdr[:]...)
+		out = append(out, p[off:end]...)
+	}
+	return out
+}
+
+// cdrDeserialize undoes ddsConvert + cdrSerialize into a fresh buffer.
+func cdrDeserialize(p []byte) []byte {
+	var out []byte
+	for off := 0; off+8 <= len(p); {
+		n := int(binary.LittleEndian.Uint32(p[off : off+4]))
+		off += 8
+		if off+n > len(p) {
+			break
+		}
+		out = append(out, p[off:off+n]...)
+		off += n
+	}
+	if len(out) >= 4 {
+		return out[4:]
+	}
+	return out
+}
+
+// segment copies a payload into fixed-size buffers.
+func segment(p []byte, size int) [][]byte {
+	var segs [][]byte
+	for off := 0; off < len(p); off += size {
+		end := off + size
+		if end > len(p) {
+			end = len(p)
+		}
+		seg := make([]byte, end-off)
+		copy(seg, p[off:end])
+		segs = append(segs, seg)
+	}
+	if len(segs) == 0 {
+		segs = append(segs, []byte{})
+	}
+	return segs
+}
+
+// reassemble concatenates segments into a fresh buffer.
+func reassemble(segs [][]byte, total int) []byte {
+	out := make([]byte, 0, total)
+	for _, s := range segs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// --- inter-process publishers over real TCP ---
+
+// tcpFanout is the shared machinery: one TCP connection per subscriber on
+// the loopback interface, a framed stream, and a per-system transform
+// applied on the send and receive paths.
+type tcpFanout struct {
+	name     string
+	conns    []net.Conn
+	writers  []*bufio.Writer
+	mu       sync.Mutex
+	seq      uint64
+	sendPrep func([]byte) []byte
+	recvPost func([]byte) []byte
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+}
+
+// newTCPFanout wires `n` loopback connections, delivering to recv.
+func newTCPFanout(name string, n int, recv Receiver, sendPrep, recvPost func([]byte) []byte) (*tcpFanout, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	t := &tcpFanout{name: name, sendPrep: sendPrep, recvPost: recvPost}
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan accepted, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			c, err := ln.Accept()
+			acceptCh <- accepted{c, err}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		t.conns = append(t.conns, c)
+		t.writers = append(t.writers, bufio.NewWriterSize(c, 1<<16))
+	}
+	for i := 0; i < n; i++ {
+		a := <-acceptCh
+		if a.err != nil {
+			t.Close()
+			return nil, a.err
+		}
+		if tc, ok := a.conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		t.conns = append(t.conns, a.conn)
+		conn := a.conn
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			br := bufio.NewReaderSize(conn, 1<<16)
+			var hdr [12]byte
+			for {
+				if _, err := readFull(br, hdr[:]); err != nil {
+					return
+				}
+				seq := binary.LittleEndian.Uint64(hdr[:8])
+				n := int(binary.LittleEndian.Uint32(hdr[8:]))
+				buf := make([]byte, n)
+				if _, err := readFull(br, buf); err != nil {
+					return
+				}
+				if t.recvPost != nil {
+					buf = t.recvPost(buf)
+				}
+				recv(seq, buf)
+			}
+		}()
+	}
+	return t, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Name implements Publisher.
+func (t *tcpFanout) Name() string { return t.name }
+
+// Publish implements Publisher.
+func (t *tcpFanout) Publish(payload []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed.Load() {
+		return fmt.Errorf("baselines: %s publisher closed", t.name)
+	}
+	t.seq++
+	wire := payload
+	if t.sendPrep != nil {
+		wire = t.sendPrep(payload)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[:8], t.seq)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(wire)))
+	for _, w := range t.writers {
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(wire); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Publisher.
+func (t *tcpFanout) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.wg.Wait()
+}
+
+// NewErdosInter returns ERDOS' inter-worker path: one framing pass, no
+// extra copies beyond the socket (§6.1).
+func NewErdosInter(n int, recv Receiver) (Publisher, error) {
+	return newTCPFanout("erdos", n, recv, nil, nil)
+}
+
+// NewRosInter returns the ROS-style path: an extra full copy into a
+// message object on send, an extra copy out of the connection buffer on
+// receive, and a header serialization pass — the "additional data copies
+// and more inefficient networking path" of §7.2.
+func NewRosInter(n int, recv Receiver) (Publisher, error) {
+	prep := func(p []byte) []byte {
+		msg := make([]byte, len(p)) // copy into the message object
+		copy(msg, p)
+		return cdrSerialize(msg) // header + second pass
+	}
+	post := func(p []byte) []byte {
+		out := make([]byte, len(p)) // copy out of the connection buffer
+		copy(out, p)
+		if len(out) >= 4 {
+			return out[4:]
+		}
+		return out
+	}
+	return newTCPFanout("ros", n, recv, prep, post)
+}
+
+// NewRos2Inter returns the ROS2/DDS path: CDR serialization, RTPS
+// conversion and the reverse conversions on receive.
+func NewRos2Inter(n int, recv Receiver) (Publisher, error) {
+	prep := func(p []byte) []byte { return ddsConvert(cdrSerialize(p)) }
+	post := cdrDeserialize
+	return newTCPFanout("ros2", n, recv, prep, post)
+}
+
+// NewFlinkInter returns the Flink-style path: records are copied into
+// fixed-size network buffers on send and reassembled from them on receive.
+func NewFlinkInter(n int, recv Receiver) (Publisher, error) {
+	prep := func(p []byte) []byte {
+		return reassemble(segment(cdrSerialize(p), flinkBufferSize), len(p)+4)
+	}
+	post := func(p []byte) []byte {
+		segs := segment(p, flinkBufferSize)
+		out := reassemble(segs, len(p))
+		if len(out) >= 4 {
+			return out[4:]
+		}
+		return out
+	}
+	return newTCPFanout("flink", n, recv, prep, post)
+}

@@ -1,0 +1,343 @@
+// Package cluster implements ERDOS' leader-worker architecture (§6 of the
+// paper). The leader owns a TCP control plane over which workers register;
+// it partitions the operator graph, distributes the schedule and stream
+// routing table, synchronizes initialization so every operator is ready
+// before any message flows, and then gets out of the way — the data plane
+// (package comm) runs worker-to-worker, keeping the leader off the critical
+// path.
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/worker"
+)
+
+// Route describes where one stream's messages are produced and which remote
+// workers need them forwarded.
+type Route struct {
+	Stream    uint64
+	Producer  string
+	Consumers []string
+}
+
+// Schedule is the leader's placement decision.
+type Schedule struct {
+	// Assignments maps operator name to worker name.
+	Assignments map[string]string
+	// Routes lists cross-worker forwarding rules.
+	Routes []Route
+	// PeerAddrs maps worker name to its data-plane address.
+	PeerAddrs map[string]string
+}
+
+// control plane message types
+type registerMsg struct {
+	Name     string
+	DataAddr string
+}
+type scheduleMsg struct{ Schedule Schedule }
+type readyMsg struct{ Name string }
+type startMsg struct{}
+
+func init() {
+	gob.Register(registerMsg{})
+	gob.Register(scheduleMsg{})
+	gob.Register(readyMsg{})
+	gob.Register(startMsg{})
+}
+
+// Placement computes the operator assignment for a graph: an operator's
+// explicit Placement wins; unplaced operators are assigned round-robin.
+func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers")
+	}
+	valid := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		valid[w] = true
+	}
+	assign := make(map[string]string)
+	next := 0
+	for _, op := range g.Operators() {
+		if op.Placement != "" {
+			if !valid[op.Placement] {
+				return nil, fmt.Errorf("cluster: operator %q pinned to unknown worker %q", op.Name, op.Placement)
+			}
+			assign[op.Name] = op.Placement
+			continue
+		}
+		assign[op.Name] = workers[next%len(workers)]
+		next++
+	}
+	return assign, nil
+}
+
+// Routes computes the cross-worker forwarding table. ingestAt names the
+// worker on which the application injects each ingest stream (defaulting to
+// the first worker); extractAt lists extra workers that need a stream
+// forwarded for extraction.
+func Routes(g *graph.Graph, assign map[string]string, workers []string, ingestAt map[stream.ID]string, extractAt map[stream.ID][]string) []Route {
+	var routes []Route
+	for _, s := range g.Streams() {
+		producer := ""
+		if w, ok := g.Writer(s.ID); ok {
+			producer = assign[w]
+		} else if s.Ingest {
+			if w, ok := ingestAt[s.ID]; ok {
+				producer = w
+			} else {
+				producer = workers[0]
+			}
+		} else {
+			continue
+		}
+		consumers := make(map[string]bool)
+		for _, r := range g.Readers(s.ID) {
+			if w := assign[r]; w != producer {
+				consumers[w] = true
+			}
+		}
+		for _, w := range extractAt[s.ID] {
+			if w != producer {
+				consumers[w] = true
+			}
+		}
+		if len(consumers) == 0 {
+			continue
+		}
+		list := make([]string, 0, len(consumers))
+		for w := range consumers {
+			list = append(list, w)
+		}
+		sort.Strings(list)
+		routes = append(routes, Route{Stream: uint64(s.ID), Producer: producer, Consumers: list})
+	}
+	return routes
+}
+
+// Leader runs the control plane for a fixed set of workers.
+type Leader struct {
+	ln      net.Listener
+	workers []string
+	g       *graph.Graph
+	ingest  map[stream.ID]string
+	extract map[stream.ID][]string
+
+	err  error
+	done chan struct{}
+}
+
+// NewLeader starts a leader on addr expecting the named workers to join.
+func NewLeader(addr string, workers []string, g *graph.Graph, ingestAt map[stream.ID]string, extractAt map[stream.ID][]string) (*Leader, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Leader{
+		ln: ln, workers: workers, g: g,
+		ingest: ingestAt, extract: extractAt,
+		done: make(chan struct{}),
+	}
+	go l.run()
+	return l, nil
+}
+
+// Addr returns the leader's control-plane address.
+func (l *Leader) Addr() string { return l.ln.Addr().String() }
+
+// Wait blocks until the cluster is started (or the leader failed).
+func (l *Leader) Wait() error {
+	<-l.done
+	return l.err
+}
+
+func (l *Leader) run() {
+	defer close(l.done)
+	defer l.ln.Close()
+	type session struct {
+		conn net.Conn
+		enc  *gob.Encoder
+		dec  *gob.Decoder
+		reg  registerMsg
+	}
+	sessions := make(map[string]*session)
+	for len(sessions) < len(l.workers) {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			l.err = err
+			return
+		}
+		s := &session{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+		if err := s.dec.Decode(&s.reg); err != nil {
+			l.err = fmt.Errorf("cluster: register decode: %w", err)
+			return
+		}
+		sessions[s.reg.Name] = s
+	}
+	defer func() {
+		for _, s := range sessions {
+			s.conn.Close()
+		}
+	}()
+	assign, err := Placement(l.g, l.workers)
+	if err != nil {
+		l.err = err
+		return
+	}
+	peerAddrs := make(map[string]string, len(sessions))
+	for name, s := range sessions {
+		peerAddrs[name] = s.reg.DataAddr
+	}
+	sched := Schedule{
+		Assignments: assign,
+		Routes:      Routes(l.g, assign, l.workers, l.ingest, l.extract),
+		PeerAddrs:   peerAddrs,
+	}
+	for _, s := range sessions {
+		if err := s.enc.Encode(scheduleMsg{Schedule: sched}); err != nil {
+			l.err = err
+			return
+		}
+	}
+	for _, s := range sessions {
+		var r readyMsg
+		if err := s.dec.Decode(&r); err != nil {
+			l.err = fmt.Errorf("cluster: ready decode: %w", err)
+			return
+		}
+	}
+	for _, s := range sessions {
+		if err := s.enc.Encode(startMsg{}); err != nil {
+			l.err = err
+			return
+		}
+	}
+}
+
+// Node is one worker process: its runtime, its data-plane transport, and
+// the forwarding rules installed from the leader's schedule.
+type Node struct {
+	Name      string
+	Worker    *worker.Worker
+	Transport *comm.Transport
+	Schedule  Schedule
+
+	mu        sync.Mutex
+	forwarded uint64
+}
+
+// Join connects to the leader at addr, registers, builds the local worker
+// for graph g, wires the data plane per the schedule, and returns once the
+// leader starts the cluster.
+func Join(addr, name string, g *graph.Graph, opts worker.Options) (*Node, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	n := &Node{Name: name}
+	tr, err := comm.Listen(name, "127.0.0.1:0", func(_ string, id stream.ID, m message.Message) {
+		if n.Worker != nil {
+			_ = n.Worker.Inject(id, m)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.Transport = tr
+
+	if err := enc.Encode(registerMsg{Name: name, DataAddr: tr.Addr()}); err != nil {
+		tr.Close()
+		return nil, err
+	}
+	var sm scheduleMsg
+	if err := dec.Decode(&sm); err != nil {
+		tr.Close()
+		return nil, fmt.Errorf("cluster: schedule decode: %w", err)
+	}
+	n.Schedule = sm.Schedule
+
+	opts.Name = name
+	assign := sm.Schedule.Assignments
+	opts.Owns = func(op string) bool { return assign[op] == name }
+	w, err := worker.New(g, opts)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	n.Worker = w
+
+	// Establish the data-plane mesh: dial every peer whose name orders
+	// after ours; the accept side completes the other half of each pair.
+	for peerName, peerAddr := range sm.Schedule.PeerAddrs {
+		if peerName <= name {
+			continue
+		}
+		if err := tr.Dial(peerAddr); err != nil {
+			n.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", peerName, err)
+		}
+	}
+
+	// Install forwarding for streams produced here with remote readers.
+	for _, r := range sm.Schedule.Routes {
+		if r.Producer != name {
+			continue
+		}
+		consumers := append([]string(nil), r.Consumers...)
+		id := stream.ID(r.Stream)
+		err := w.Subscribe(id, func(m message.Message) {
+			for _, c := range consumers {
+				if err := tr.Send(c, id, m); err == nil {
+					n.mu.Lock()
+					n.forwarded++
+					n.mu.Unlock()
+				}
+			}
+		})
+		if err != nil {
+			n.Close()
+			return nil, err
+		}
+	}
+
+	if err := enc.Encode(readyMsg{Name: name}); err != nil {
+		n.Close()
+		return nil, err
+	}
+	var st startMsg
+	if err := dec.Decode(&st); err != nil {
+		n.Close()
+		return nil, fmt.Errorf("cluster: start decode: %w", err)
+	}
+	return n, nil
+}
+
+// Forwarded returns how many messages this node shipped to remote peers.
+func (n *Node) Forwarded() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.forwarded
+}
+
+// Close tears the node down.
+func (n *Node) Close() {
+	if n.Transport != nil {
+		n.Transport.Close()
+	}
+	if n.Worker != nil {
+		n.Worker.Stop()
+	}
+}

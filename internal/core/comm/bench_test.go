@@ -1,0 +1,45 @@
+package comm
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// BenchmarkInterWorkerSend measures the data plane's per-message cost for a
+// 64KB payload over loopback TCP with gob framing.
+func BenchmarkInterWorkerSend(b *testing.B) {
+	var received atomic.Int64
+	a, err := Listen("a", "127.0.0.1:0", func(string, stream.ID, message.Message) {
+		received.Add(1)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	c, err := Listen("c", "127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Dial(a.Addr()); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	id := stream.NewID()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send("a", id, message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for received.Load() < int64(b.N) {
+		time.Sleep(100 * time.Microsecond)
+	}
+}

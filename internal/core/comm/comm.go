@@ -1,0 +1,338 @@
+// Package comm implements ERDOS' data plane (§6.1 of the paper): workers
+// exchange stream messages over TCP sessions established amongst themselves,
+// while operators colocated on a worker communicate references through the
+// in-process broadcaster (zero copy).
+//
+// Wire format: each connection carries a gob stream of Envelope values. A
+// fast path ships []byte payloads without per-message reflection; other
+// payload types must be registered with RegisterPayload (gob registration).
+package comm
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// RegisterPayload registers a payload type for transmission between
+// workers. []byte and time.Duration are pre-registered.
+func RegisterPayload(v any) { gob.Register(v) }
+
+func init() {
+	gob.Register(time.Duration(0))
+}
+
+// Envelope is the wire representation of one stream message.
+type Envelope struct {
+	Stream uint64
+	Kind   uint8
+	L      uint64
+	C      []uint64
+	Top    bool
+	// Raw carries []byte payloads directly.
+	Raw    []byte
+	HasRaw bool
+	// Obj carries any other payload via gob's type registry.
+	Obj    any
+	HasObj bool
+}
+
+// ToEnvelope converts a stream message for the wire.
+func ToEnvelope(id stream.ID, m message.Message) Envelope {
+	env := Envelope{
+		Stream: uint64(id),
+		Kind:   uint8(m.Kind),
+		L:      m.Timestamp.L,
+		C:      m.Timestamp.C,
+		Top:    m.Timestamp.IsTop(),
+	}
+	if m.IsData() {
+		if b, ok := m.Payload.([]byte); ok {
+			env.Raw, env.HasRaw = b, true
+		} else {
+			env.Obj, env.HasObj = m.Payload, true
+		}
+	}
+	return env
+}
+
+// FromEnvelope reconstructs the stream ID and message.
+func FromEnvelope(env Envelope) (stream.ID, message.Message) {
+	var ts timestamp.Timestamp
+	if env.Top {
+		ts = timestamp.Top()
+	} else {
+		ts = timestamp.New(env.L, env.C...)
+	}
+	m := message.Message{Kind: message.Kind(env.Kind), Timestamp: ts}
+	switch {
+	case env.HasRaw:
+		m.Payload = env.Raw
+	case env.HasObj:
+		m.Payload = env.Obj
+	}
+	return stream.ID(env.Stream), m
+}
+
+// Handler consumes messages received from remote workers.
+type Handler func(from string, id stream.ID, m message.Message)
+
+// Transport is one worker's endpoint in the data plane mesh.
+type Transport struct {
+	name    string
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	peers  map[string]*peer
+	closed bool
+	wg     sync.WaitGroup
+
+	sent, received uint64
+}
+
+type peer struct {
+	name string
+	conn net.Conn
+	enc  *gob.Encoder
+	bw   *bufio.Writer
+	out  chan Envelope
+	done chan struct{}
+}
+
+type hello struct{ Name string }
+
+// Listen starts a transport for worker name on addr (use "127.0.0.1:0" to
+// pick a free port). handler receives every inbound message.
+func Listen(name, addr string, handler Handler) (*Transport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &Transport{name: name, ln: ln, handler: handler, peers: make(map[string]*peer)}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Name returns the worker name.
+func (t *Transport) Name() string { return t.name }
+
+// Addr returns the listening address.
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Dial connects to a peer transport.
+func (t *Transport) Dial(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(hello{Name: t.name}); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return err
+	}
+	dec := gob.NewDecoder(bufio.NewReaderSize(conn, 1<<16))
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		conn.Close()
+		return fmt.Errorf("comm: handshake with %s: %w", addr, err)
+	}
+	p := t.addPeer(h.Name, conn, enc, bw)
+	if p == nil {
+		conn.Close()
+		return fmt.Errorf("comm: duplicate peer %q", h.Name)
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.readLoop(p, dec)
+	}()
+	return nil
+}
+
+// Send transmits m on stream id to the named peer.
+func (t *Transport) Send(peerName string, id stream.ID, m message.Message) error {
+	t.mu.Lock()
+	p, ok := t.peers[peerName]
+	if !ok || t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("comm: %s has no peer %q", t.name, peerName)
+	}
+	t.sent++
+	t.mu.Unlock()
+	env := ToEnvelope(id, m)
+	select {
+	case p.out <- env:
+		return nil
+	case <-p.done:
+		return errors.New("comm: peer connection closed")
+	}
+}
+
+// Peers returns the connected peer names.
+func (t *Transport) Peers() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.peers))
+	for n := range t.peers {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Counters returns messages sent and received.
+func (t *Transport) Counters() (sent, received uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sent, t.received
+}
+
+// Close tears down every connection and stops the accept loop.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, p := range peers {
+		close(p.done)
+		p.conn.Close()
+	}
+	t.wg.Wait()
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			dec := gob.NewDecoder(bufio.NewReaderSize(conn, 1<<16))
+			var h hello
+			if err := dec.Decode(&h); err != nil {
+				conn.Close()
+				return
+			}
+			bw := bufio.NewWriterSize(conn, 1<<16)
+			enc := gob.NewEncoder(bw)
+			if err := enc.Encode(hello{Name: t.name}); err != nil {
+				conn.Close()
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				conn.Close()
+				return
+			}
+			p := t.addPeer(h.Name, conn, enc, bw)
+			if p == nil {
+				conn.Close()
+				return
+			}
+			t.readLoop(p, dec)
+		}()
+	}
+}
+
+func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, bw *bufio.Writer) *peer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if _, dup := t.peers[name]; dup {
+		return nil
+	}
+	p := &peer{
+		name: name,
+		conn: conn,
+		enc:  enc,
+		bw:   bw,
+		out:  make(chan Envelope, 1024),
+		done: make(chan struct{}),
+	}
+	t.peers[name] = p
+	t.wg.Add(1)
+	go t.writeLoop(p)
+	return p
+}
+
+// writeLoop serializes envelope encoding per connection and batches flushes:
+// it drains whatever is queued, encoding each envelope, and flushes once the
+// queue momentarily empties.
+func (t *Transport) writeLoop(p *peer) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case env := <-p.out:
+			if err := p.enc.Encode(&env); err != nil {
+				return
+			}
+		drain:
+			for {
+				select {
+				case env = <-p.out:
+					if err := p.enc.Encode(&env); err != nil {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if err := p.bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// readLoop decodes envelopes until the connection fails; callers own the
+// goroutine accounting.
+func (t *Transport) readLoop(p *peer, dec *gob.Decoder) {
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		t.mu.Lock()
+		t.received++
+		handler := t.handler
+		t.mu.Unlock()
+		if handler != nil {
+			id, m := FromEnvelope(env)
+			handler(p.name, id, m)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+func TestEnvelopeRoundTripBytes(t *testing.T) {
+	id := stream.NewID()
+	payload := []byte("sensor frame")
+	m := message.Data(timestamp.New(7, 2), payload)
+	gotID, gotM := FromEnvelope(ToEnvelope(id, m))
+	if gotID != id {
+		t.Fatalf("stream id = %d, want %d", gotID, id)
+	}
+	if !gotM.Timestamp.Equal(m.Timestamp) || !gotM.IsData() {
+		t.Fatalf("message = %v", gotM)
+	}
+	if !bytes.Equal(gotM.Payload.([]byte), payload) {
+		t.Fatalf("payload = %v", gotM.Payload)
+	}
+}
+
+func TestEnvelopeRoundTripWatermarkAndTop(t *testing.T) {
+	id := stream.NewID()
+	_, w := FromEnvelope(ToEnvelope(id, message.Watermark(timestamp.New(4))))
+	if !w.IsWatermark() || w.Timestamp.L != 4 {
+		t.Fatalf("watermark = %v", w)
+	}
+	_, top := FromEnvelope(ToEnvelope(id, message.Top()))
+	if !top.IsTop() {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+type obstacle struct {
+	X, Y float64
+	Tag  string
+}
+
+func TestTransportDeliversStructs(t *testing.T) {
+	RegisterPayload(obstacle{})
+	type rcv struct {
+		id stream.ID
+		m  message.Message
+	}
+	got := make(chan rcv, 10)
+	a, err := Listen("a", "127.0.0.1:0", func(_ string, id stream.ID, m message.Message) {
+		got <- rcv{id, m}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Dial(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	id := stream.NewID()
+	want := obstacle{X: 1.5, Y: -2, Tag: "ped"}
+	if err := b.Send("a", id, message.Data(timestamp.New(3), want)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-got:
+		if r.id != id {
+			t.Fatalf("stream id = %d, want %d", r.id, id)
+		}
+		if o := r.m.Payload.(obstacle); o != want {
+			t.Fatalf("payload = %+v", o)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never arrived")
+	}
+}
+
+func TestTransportBidirectional(t *testing.T) {
+	gotA := make(chan message.Message, 1)
+	gotB := make(chan message.Message, 1)
+	a, err := Listen("a", "127.0.0.1:0", func(_ string, _ stream.ID, m message.Message) { gotA <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("b", "127.0.0.1:0", func(_ string, _ stream.ID, m message.Message) { gotB <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Dial(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	id := stream.NewID()
+	if err := b.Send("a", id, message.Data(timestamp.New(1), []byte("to-a"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gotA:
+	case <-time.After(2 * time.Second):
+		t.Fatal("a never received")
+	}
+	// The accept side registered b as a peer too: reply over the same
+	// session.
+	if err := a.Send("b", id, message.Data(timestamp.New(2), []byte("to-b"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gotB:
+	case <-time.After(2 * time.Second):
+		t.Fatal("b never received")
+	}
+}
+
+func TestTransportOrderingPerPeer(t *testing.T) {
+	var mu sync.Mutex
+	var seen []uint64
+	a, err := Listen("a", "127.0.0.1:0", func(_ string, _ stream.ID, m message.Message) {
+		mu.Lock()
+		seen = append(seen, m.Timestamp.L)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Dial(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	id := stream.NewID()
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := b.Send("a", id, message.Data(timestamp.New(uint64(i)), []byte{1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		cnt := len(seen)
+		mu.Unlock()
+		if cnt == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d of %d", cnt, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range seen {
+		if seen[i] != uint64(i) {
+			t.Fatalf("out-of-order delivery at %d: %d", i, seen[i])
+		}
+	}
+	if sent, _ := b.Counters(); sent != n {
+		t.Fatalf("sent counter = %d", sent)
+	}
+	if _, recv := a.Counters(); recv != n {
+		t.Fatalf("received counter = %d", recv)
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	a, err := Listen("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("ghost", stream.NewID(), message.Top()); err == nil {
+		t.Fatal("send to unknown peer must fail")
+	}
+}
+
+func TestCloseStopsCleanly(t *testing.T) {
+	a, err := Listen("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Dial(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		a.Close()
+		b.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	}
+}
+
+func TestManyPeers(t *testing.T) {
+	hub, err := Listen("hub", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	var spokes []*Transport
+	counts := make([]chan struct{}, 5)
+	for i := 0; i < 5; i++ {
+		ch := make(chan struct{}, 1)
+		counts[i] = ch
+		s, err := Listen(fmt.Sprintf("s%d", i), "127.0.0.1:0", func(_ string, _ stream.ID, _ message.Message) {
+			ch <- struct{}{}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if err := s.Dial(hub.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		spokes = append(spokes, s)
+	}
+	// Wait for the hub's accept side to register all spokes.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(hub.Peers()) < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("hub registered %d peers", len(hub.Peers()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	id := stream.NewID()
+	for i := 0; i < 5; i++ {
+		if err := hub.Send(fmt.Sprintf("s%d", i), id, message.Data(timestamp.New(0), []byte("x"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, ch := range counts {
+		select {
+		case <-ch:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("spoke %d never received", i)
+		}
+	}
+	_ = spokes
+}

@@ -1,0 +1,48 @@
+package deadline
+
+import (
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// BenchmarkArmSatisfy measures the §6.3 deadline queue's per-deadline cost
+// when the DEC is satisfied before expiry (the common case).
+func BenchmarkArmSatisfy(b *testing.B) {
+	m := NewMonitor(NewManual(time.Unix(0, 0)))
+	defer m.Stop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, _ := m.Arm(time.Second, nil)
+		a.Satisfy()
+	}
+}
+
+// BenchmarkTrackerReceiveSend measures the timestamp tracker's per-message
+// condition evaluation.
+func BenchmarkTrackerReceiveSend(b *testing.B) {
+	m := NewMonitor(NewManual(time.Unix(0, 0)))
+	defer m.Stop()
+	tr := NewTimestampTracker(m, Static(time.Second), Abort, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := timestamp.New(uint64(i + 1))
+		tr.ObserveReceive(ts, false)
+		tr.ObserveSend(ts, true)
+		if i%128 == 0 {
+			tr.GCBelow(uint64(i))
+		}
+	}
+}
+
+func BenchmarkDynamicSourceLookup(b *testing.B) {
+	d := NewDynamic(time.Millisecond)
+	for l := uint64(0); l < 64; l++ {
+		d.Update(timestamp.New(l*10), time.Duration(l)*time.Millisecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.For(timestamp.New(315))
+	}
+}

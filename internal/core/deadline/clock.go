@@ -1,0 +1,146 @@
+package deadline
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall-clock time so deadline enforcement can be tested
+// deterministically and driven by a simulated clock.
+type Clock interface {
+	Now() time.Time
+	// AfterFunc runs f after d elapses, returning a handle that can stop
+	// the invocation if it has not yet fired.
+	AfterFunc(d time.Duration, f func()) TimerHandle
+}
+
+// TimerHandle controls a pending AfterFunc invocation.
+type TimerHandle interface {
+	// Stop cancels the invocation, reporting whether it was still pending.
+	Stop() bool
+}
+
+// Real is the wall-clock Clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) TimerHandle {
+	return time.AfterFunc(d, f)
+}
+
+// Manual is a hand-advanced Clock for deterministic tests and simulation.
+// The zero value starts at the zero time; use NewManual to pick an epoch.
+type Manual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers manualTimerHeap
+	seq    uint64
+}
+
+// NewManual returns a manual clock positioned at epoch.
+func NewManual(epoch time.Time) *Manual {
+	return &Manual{now: epoch}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// AfterFunc implements Clock. The callback runs synchronously inside
+// Advance when its due time is reached.
+func (m *Manual) AfterFunc(d time.Duration, f func()) TimerHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	t := &manualTimer{clock: m, due: m.now.Add(d), f: f, seq: m.seq}
+	heap.Push(&m.timers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing due timers in order.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	target := m.now.Add(d)
+	for {
+		if len(m.timers) == 0 || m.timers[0].due.After(target) {
+			break
+		}
+		t := heap.Pop(&m.timers).(*manualTimer)
+		if t.stopped {
+			continue
+		}
+		m.now = t.due
+		f := t.f
+		t.fired = true
+		m.mu.Unlock()
+		f()
+		m.mu.Lock()
+	}
+	m.now = target
+	m.mu.Unlock()
+}
+
+// Pending returns the number of unfired, unstopped timers.
+func (m *Manual) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, t := range m.timers {
+		if !t.stopped && !t.fired {
+			n++
+		}
+	}
+	return n
+}
+
+type manualTimer struct {
+	clock   *Manual
+	due     time.Time
+	f       func()
+	seq     uint64
+	idx     int
+	stopped bool
+	fired   bool
+}
+
+// Stop implements TimerHandle.
+func (t *manualTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+type manualTimerHeap []*manualTimer
+
+func (h manualTimerHeap) Len() int { return len(h) }
+func (h manualTimerHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h manualTimerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
+func (h *manualTimerHeap) Push(x any) {
+	t := x.(*manualTimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *manualTimerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,168 @@
+package deadline
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Monitor maintains the priority queue of armed deadlines ordered by their
+// absolute expiry (§6.3) and fires handlers when deadlines expire. A single
+// clock timer is kept for the earliest expiry; arming, satisfying and
+// expiring are O(log n).
+//
+// Handlers fire on the clock's timer goroutine. The worker layer is
+// responsible for any heavier orchestration (state views, output gating);
+// keeping this path short is what gives ERDOS its fast handler invocation
+// (Fig. 10 left).
+type Monitor struct {
+	clock Clock
+
+	mu      sync.Mutex
+	queue   armedHeap
+	timer   TimerHandle
+	stopped bool
+
+	fired    uint64
+	canceled uint64
+}
+
+// NewMonitor returns a Monitor driven by clock (use Real{} in production).
+func NewMonitor(clock Clock) *Monitor {
+	if clock == nil {
+		clock = Real{}
+	}
+	return &Monitor{clock: clock}
+}
+
+// Armed is a handle to one armed deadline.
+type Armed struct {
+	mon      *Monitor
+	expires  time.Time
+	fire     func(expiredAt time.Time)
+	idx      int
+	resolved bool
+}
+
+// Arm schedules fire to run when the relative deadline d elapses, unless
+// Satisfy is called first. It returns the handle and the absolute expiry.
+func (m *Monitor) Arm(d time.Duration, fire func(expiredAt time.Time)) (*Armed, time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	abs := m.clock.Now().Add(d)
+	a := &Armed{mon: m, expires: abs, fire: fire}
+	if m.stopped {
+		a.resolved = true
+		return a, abs
+	}
+	heap.Push(&m.queue, a)
+	m.resetTimerLocked()
+	return a, abs
+}
+
+// Satisfy resolves the deadline before expiry (DEC satisfied), reporting
+// whether it was still armed.
+func (a *Armed) Satisfy() bool {
+	m := a.mon
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a.resolved {
+		return false
+	}
+	a.resolved = true
+	heap.Remove(&m.queue, a.idx)
+	m.canceled++
+	m.resetTimerLocked()
+	return true
+}
+
+// Expires returns the absolute expiry instant.
+func (a *Armed) Expires() time.Time { return a.expires }
+
+// Stop disarms every pending deadline and stops the monitor.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopped = true
+	for _, a := range m.queue {
+		a.resolved = true
+	}
+	m.queue = m.queue[:0]
+	if m.timer != nil {
+		m.timer.Stop()
+		m.timer = nil
+	}
+}
+
+// Pending returns the number of armed, unresolved deadlines.
+func (m *Monitor) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Counters returns how many deadlines fired (missed) and how many were
+// satisfied before expiry.
+func (m *Monitor) Counters() (fired, satisfied uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fired, m.canceled
+}
+
+// resetTimerLocked re-targets the single timer at the earliest expiry.
+func (m *Monitor) resetTimerLocked() {
+	if m.timer != nil {
+		m.timer.Stop()
+		m.timer = nil
+	}
+	if m.stopped || len(m.queue) == 0 {
+		return
+	}
+	d := m.queue[0].expires.Sub(m.clock.Now())
+	if d < 0 {
+		d = 0
+	}
+	m.timer = m.clock.AfterFunc(d, m.onTimer)
+}
+
+// onTimer fires every expired deadline and re-arms the timer.
+func (m *Monitor) onTimer() {
+	for {
+		m.mu.Lock()
+		if m.stopped || len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		now := m.clock.Now()
+		head := m.queue[0]
+		if head.expires.After(now) {
+			m.resetTimerLocked()
+			m.mu.Unlock()
+			return
+		}
+		heap.Pop(&m.queue)
+		head.resolved = true
+		m.fired++
+		fire := head.fire
+		m.mu.Unlock()
+		if fire != nil {
+			fire(now)
+		}
+	}
+}
+
+type armedHeap []*Armed
+
+func (h armedHeap) Len() int           { return len(h) }
+func (h armedHeap) Less(i, j int) bool { return h[i].expires.Before(h[j].expires) }
+func (h armedHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
+func (h *armedHeap) Push(x any)        { a := x.(*Armed); a.idx = len(*h); *h = append(*h, a) }
+func (h *armedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	a := old[n-1]
+	old[n-1] = nil
+	a.idx = -1
+	*h = old[:n-1]
+	return a
+}

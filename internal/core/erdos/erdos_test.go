@@ -1,0 +1,262 @@
+package erdos
+
+import (
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/deadline"
+	"github.com/erdos-go/erdos/internal/core/state"
+)
+
+func TestTypedPipelineEndToEnd(t *testing.T) {
+	g := NewGraph()
+	nums := IngestStream[int](g, "nums")
+	doubled := AddStream[int](g, "doubled")
+
+	op := g.Operator("double")
+	out := Output(op, doubled)
+	Input(op, nums, func(ctx *Context, ts Timestamp, v int) {
+		_ = ctx.Send(out, ts, v*2)
+	})
+	op.OnWatermark(func(ctx *Context) {}).Build()
+
+	rt, err := g.RunLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	sink, err := Collect(rt, doubled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Writer(rt, nums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := w.Send(T(uint64(i)), i); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.SendWatermark(T(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Quiesce()
+	data := sink.Data()
+	if len(data) != 4 {
+		t.Fatalf("collected %d messages, want 4", len(data))
+	}
+	for i, d := range data {
+		if d.Value != (i+1)*2 {
+			t.Fatalf("data[%d] = %d", i, d.Value)
+		}
+	}
+	if len(sink.Watermarks()) != 4 {
+		t.Fatalf("collected %d watermarks", len(sink.Watermarks()))
+	}
+}
+
+func TestTypedStateAndDeadline(t *testing.T) {
+	type planState struct{ Plans []string }
+	clk := deadline.NewManual(time.Unix(0, 0))
+	g := NewGraph()
+	in := IngestStream[string](g, "in")
+	plans := AddStream[string](g, "plans")
+
+	op := g.Operator("planner")
+	out := Output(op, plans)
+	Input(op, in, func(ctx *Context, ts Timestamp, v string) {
+		st := StateOf[*planState](ctx)
+		st.Plans = append(st.Plans, v)
+	})
+	WithState(op, &planState{}, func(s *planState) *planState {
+		return &planState{Plans: append([]string(nil), s.Plans...)}
+	})
+	block := make(chan struct{})
+	op.OnWatermark(func(ctx *Context) {
+		if ctx.Timestamp.L == 2 {
+			<-block // runtime variability on t=2
+		}
+		st := StateOf[*planState](ctx)
+		if len(st.Plans) > 0 {
+			_ = ctx.Send(out, ctx.Timestamp, st.Plans[len(st.Plans)-1])
+		}
+	})
+	op.TimestampDeadline("resp", Static(20*time.Millisecond), Abort, func(h *HandlerContext) {
+		// Reactive measure: release the previous plan (§5.3 "skipping").
+		prev := "none"
+		if c, ok := h.Committed.(*planState); ok && len(c.Plans) > 0 {
+			prev = c.Plans[len(c.Plans)-1] + "-amended"
+		}
+		_ = h.Send(out, h.Miss.Timestamp, prev)
+		_ = h.SendWatermark(out, h.Miss.Timestamp)
+	})
+	op.Build()
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := g.RunLocal(WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	sink, _ := Collect(rt, plans)
+	w, _ := Writer(rt, in)
+
+	_ = w.Send(T(1), "plan-1")
+	_ = w.SendWatermark(T(1))
+	rt.Quiesce() // t=1 completes in time
+	_ = w.Send(T(2), "plan-2")
+	_ = w.SendWatermark(T(2))
+	clk.Advance(25 * time.Millisecond) // t=2 misses its deadline
+	rt.WaitHandlers()
+	close(block)
+	rt.Quiesce()
+
+	data := sink.Data()
+	if len(data) != 2 {
+		t.Fatalf("collected %v, want 2 messages", data)
+	}
+	if data[0].Value != "plan-1" {
+		t.Fatalf("data[0] = %q", data[0].Value)
+	}
+	if data[1].Value != "plan-1-amended" {
+		t.Fatalf("data[1] = %q, want the handler's amended previous plan", data[1].Value)
+	}
+	if rt.Stats().DeadlineMisses != 1 {
+		t.Fatalf("DeadlineMisses = %d", rt.Stats().DeadlineMisses)
+	}
+}
+
+func TestFrequencyDeadlineFacade(t *testing.T) {
+	clk := deadline.NewManual(time.Unix(0, 0))
+	g := NewGraph()
+	obstacles := IngestStream[int](g, "obstacles")
+	lights := IngestStream[int](g, "lights")
+	plans := AddStream[int](g, "plans")
+
+	op := g.Operator("planner")
+	out := Output(op, plans)
+	Input(op, obstacles, nil)
+	lightsIdx := Input(op, lights, nil)
+	op.OnWatermark(func(ctx *Context) {
+		_ = ctx.Send(out, ctx.Timestamp, int(ctx.Timestamp.L))
+	})
+	op.FrequencyDeadline("lights-gap", lightsIdx, Static(30*time.Millisecond), nil)
+	op.Build()
+
+	rt, err := g.RunLocal(WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	sink, _ := Collect(rt, plans)
+	ow, _ := Writer(rt, obstacles)
+	lw, _ := Writer(rt, lights)
+
+	_ = ow.SendWatermark(T(0))
+	_ = lw.SendWatermark(T(0))
+	rt.Quiesce()
+	_ = ow.SendWatermark(T(1)) // lights silent for t=1
+	rt.Quiesce()
+	if sink.Len() != 1 {
+		t.Fatalf("len = %d before gap, want 1 (t=0 only)", sink.Len())
+	}
+	clk.Advance(31 * time.Millisecond)
+	rt.Quiesce()
+	if sink.Len() != 2 {
+		t.Fatalf("len = %d after gap, want 2 (eager partial-input execution)", sink.Len())
+	}
+	if rt.Stats().InsertedWMs != 1 {
+		t.Fatalf("InsertedWMs = %d", rt.Stats().InsertedWMs)
+	}
+}
+
+func TestGraphErrorsSurface(t *testing.T) {
+	g := NewGraph()
+	s := AddStream[int](g, "s")
+	op := g.Operator("bad")
+	Input(op, s, nil) // reads a stream that nothing writes
+	op.Build()
+	if _, err := g.RunLocal(); err == nil {
+		t.Fatal("RunLocal must fail validation for a writer-less stream")
+	}
+}
+
+func TestBuildTwiceErrors(t *testing.T) {
+	g := NewGraph()
+	in := IngestStream[int](g, "in")
+	op := g.Operator("op")
+	Input(op, in, nil)
+	op.OnWatermark(func(ctx *Context) {})
+	op.Build()
+	op.Build()
+	if err := g.Err(); err == nil {
+		t.Fatal("double Build must be reported")
+	}
+}
+
+func TestDynamicDeadlineFacade(t *testing.T) {
+	g := NewGraph()
+	dls := IngestStream[time.Duration](g, "deadlines")
+	dyn := DynamicDeadline(g, dls, 100*time.Millisecond)
+	in := IngestStream[int](g, "in")
+	op := g.Operator("op")
+	Input(op, in, nil)
+	op.OnWatermark(func(ctx *Context) {})
+	op.TimestampDeadline("resp", dyn, Continue, nil)
+	op.Build()
+	rt, err := g.RunLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w, _ := Writer(rt, dls)
+	_ = w.Send(T(5), 42*time.Millisecond)
+	rt.Quiesce()
+	if got := dyn.For(T(9)); got != 42*time.Millisecond {
+		t.Fatalf("dynamic deadline = %v, want 42ms", got)
+	}
+}
+
+func TestCustomLogStateStore(t *testing.T) {
+	// §5.4's custom-state interface: a planner logging waypoint additions
+	// (CRDT-style) instead of snapshotting the full plan per timestamp.
+	g := NewGraph()
+	in := IngestStream[int](g, "in")
+	op := g.Operator("planner")
+	Input(op, in, func(ctx *Context, ts Timestamp, v int) {
+		lv := ctx.State().(*state.LogView)
+		lv.Record(v)
+	})
+	st := state.NewLog(
+		func() any { return &[]int{} },
+		func(s, op any) {
+			sl := s.(*[]int)
+			*sl = append(*sl, op.(int))
+		},
+	)
+	op.WithStore(func() state.Store { return st })
+	op.OnWatermark(func(ctx *Context) {})
+	op.Build()
+	rt, err := g.RunLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w, _ := Writer(rt, in)
+	for l := uint64(1); l <= 3; l++ {
+		_ = w.Send(T(l), int(l)*100)
+		_ = w.SendWatermark(T(l))
+	}
+	rt.Quiesce()
+	got, _, ok := st.Last()
+	if !ok {
+		t.Fatal("no committed state")
+	}
+	pts := *got.(*[]int)
+	if len(pts) != 3 || pts[0] != 100 || pts[2] != 300 {
+		t.Fatalf("logged state = %v", pts)
+	}
+}

@@ -1,0 +1,154 @@
+package erdos
+
+import (
+	"testing"
+	"time"
+)
+
+// buildSpecGraph wires source -> detector -> consumer, with the detector
+// running a fast and an accurate implementation speculatively.
+func runSpeculation(t *testing.T, accurateDelay time.Duration, deadline time.Duration) (*Collector[string], *Runtime) {
+	t.Helper()
+	g := NewGraph()
+	frames := IngestStream[int](g, "frames")
+	dets := AddStream[string](g, "detections")
+
+	op := g.Operator("detector")
+	out := Output(op, dets)
+	Input(op, frames, func(ctx *Context, ts Timestamp, v int) {
+		Speculate(ctx, out,
+			func() string { return "fast" },
+			func() string {
+				time.Sleep(accurateDelay)
+				return "accurate"
+			})
+	})
+	op.OnWatermark(func(ctx *Context) {})
+	if deadline > 0 {
+		op.TimestampDeadline("det", Static(deadline), Continue, nil)
+	}
+	op.Build()
+
+	rt, err := g.RunLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	sink, err := Collect(rt, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Writer(rt, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Send(T(1), 1)
+	_ = w.SendWatermark(T(1))
+	rt.Quiesce()
+	return sink, rt
+}
+
+func TestSpeculateAccurateWinsInTime(t *testing.T) {
+	sink, _ := runSpeculation(t, time.Millisecond, 500*time.Millisecond)
+	data := sink.Data()
+	if len(data) != 2 {
+		t.Fatalf("got %d results, want fast + accurate", len(data))
+	}
+	if data[0].Value != "fast" || data[0].Time.Coordinate(0) != CoarseResult {
+		t.Fatalf("first release = %+v, want coarse fast result", data[0])
+	}
+	if data[1].Value != "accurate" || data[1].Time.Coordinate(0) != RefinedResult {
+		t.Fatalf("second release = %+v, want refined accurate result", data[1])
+	}
+	if !data[0].Time.Less(data[1].Time) {
+		t.Fatal("refined result must order after the coarse one")
+	}
+}
+
+func TestSpeculateDeadlineKeepsFastResult(t *testing.T) {
+	sink, _ := runSpeculation(t, 300*time.Millisecond, 20*time.Millisecond)
+	data := sink.Data()
+	if len(data) != 1 {
+		t.Fatalf("got %d results, want only the fast one (accurate missed the deadline)", len(data))
+	}
+	if data[0].Value != "fast" {
+		t.Fatalf("release = %+v", data[0])
+	}
+}
+
+func TestSpeculateNoDeadlineWaitsForAccurate(t *testing.T) {
+	sink, _ := runSpeculation(t, 5*time.Millisecond, 0)
+	data := sink.Data()
+	if len(data) != 2 || data[1].Value != "accurate" {
+		t.Fatalf("got %+v, want the accurate result without a deadline", data)
+	}
+}
+
+func TestAnytimeReleasesRefinements(t *testing.T) {
+	g := NewGraph()
+	in := IngestStream[int](g, "in")
+	outS := AddStream[int](g, "out")
+	op := g.Operator("planner")
+	out := Output(op, outS)
+	var rounds int
+	op.OnWatermark(func(ctx *Context) {
+		_, rounds = Anytime(ctx, out, func(round int) (int, bool) {
+			return round * 10, round < 3
+		})
+	})
+	Input(op, in, nil)
+	op.Build()
+	rt, err := g.RunLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	sink, _ := Collect(rt, outS)
+	w, _ := Writer(rt, in)
+	_ = w.SendWatermark(T(1))
+	rt.Quiesce()
+	if rounds != 4 {
+		t.Fatalf("rounds = %d, want 4", rounds)
+	}
+	data := sink.Data()
+	if len(data) != 4 {
+		t.Fatalf("releases = %d, want one per round", len(data))
+	}
+	for i, d := range data {
+		if d.Time.Coordinate(0) != uint64(i+1) {
+			t.Fatalf("release %d has ĉ=%d", i, d.Time.Coordinate(0))
+		}
+		if d.Value != i*10 {
+			t.Fatalf("release %d = %d", i, d.Value)
+		}
+	}
+}
+
+func TestAnytimeStopsAtDeadline(t *testing.T) {
+	g := NewGraph()
+	in := IngestStream[int](g, "in")
+	outS := AddStream[int](g, "out")
+	op := g.Operator("planner")
+	out := Output(op, outS)
+	var rounds int
+	op.OnWatermark(func(ctx *Context) {
+		_, rounds = Anytime(ctx, out, func(round int) (int, bool) {
+			time.Sleep(10 * time.Millisecond)
+			return round, true // would refine forever
+		})
+	})
+	Input(op, in, nil)
+	op.TimestampDeadline("plan", Static(35*time.Millisecond), Continue, nil)
+	op.Build()
+	rt, err := g.RunLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	w, _ := Writer(rt, in)
+	_ = w.SendWatermark(T(1))
+	rt.Quiesce()
+	if rounds < 1 || rounds > 8 {
+		t.Fatalf("rounds = %d, want a handful before the 35ms deadline", rounds)
+	}
+}

@@ -1,0 +1,201 @@
+// Package graph implements build-time construction and validation of ERDOS
+// dataflow graphs (§4.2). The static registration of every operator's input
+// and output streams lets the system verify that the computation graph is
+// well-formed before execution, and gives the scheduler the information it
+// needs to place operators onto workers.
+package graph
+
+import (
+	"fmt"
+
+	"github.com/erdos-go/erdos/internal/core/deadline"
+	"github.com/erdos-go/erdos/internal/core/operator"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+// StreamSpec is the build-time description of one stream.
+type StreamSpec struct {
+	ID stream.ID
+	// Name is the diagnostic name.
+	Name string
+	// TypeName records the payload type for well-formedness checking; the
+	// typed façade fills it via reflection.
+	TypeName string
+	// Ingest marks streams written by the application rather than by an
+	// operator (sources of the graph).
+	Ingest bool
+}
+
+// DeadlineFeed routes a stream of relative-deadline updates (sent by the
+// deadline policy pDP as time.Duration payloads) into a dynamic deadline
+// source (§5.2).
+type DeadlineFeed struct {
+	Stream stream.ID
+	Target *deadline.Dynamic
+}
+
+// Graph is a dataflow graph under construction.
+type Graph struct {
+	streams map[stream.ID]*StreamSpec
+	order   []stream.ID
+	ops     []*operator.Spec
+	opNames map[string]bool
+	feeds   []DeadlineFeed
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		streams: make(map[stream.ID]*StreamSpec),
+		opNames: make(map[string]bool),
+	}
+}
+
+// AddStream registers a stream and returns its ID.
+func (g *Graph) AddStream(name, typeName string) stream.ID {
+	id := stream.NewID()
+	g.streams[id] = &StreamSpec{ID: id, Name: name, TypeName: typeName}
+	g.order = append(g.order, id)
+	return id
+}
+
+// MarkIngest flags a stream as application-written (a graph source).
+func (g *Graph) MarkIngest(id stream.ID) error {
+	s, ok := g.streams[id]
+	if !ok {
+		return fmt.Errorf("graph: unknown stream %d", id)
+	}
+	s.Ingest = true
+	return nil
+}
+
+// Stream returns the spec of a registered stream.
+func (g *Graph) Stream(id stream.ID) (*StreamSpec, bool) {
+	s, ok := g.streams[id]
+	return s, ok
+}
+
+// Streams returns the stream specs in registration order.
+func (g *Graph) Streams() []*StreamSpec {
+	out := make([]*StreamSpec, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.streams[id])
+	}
+	return out
+}
+
+// AddOperator registers an operator spec.
+func (g *Graph) AddOperator(spec *operator.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if g.opNames[spec.Name] {
+		return fmt.Errorf("graph: duplicate operator name %q", spec.Name)
+	}
+	for _, id := range spec.Inputs {
+		if _, ok := g.streams[id]; !ok {
+			return fmt.Errorf("graph: operator %q reads unregistered stream %d", spec.Name, id)
+		}
+	}
+	for _, id := range spec.Outputs {
+		if _, ok := g.streams[id]; !ok {
+			return fmt.Errorf("graph: operator %q writes unregistered stream %d", spec.Name, id)
+		}
+	}
+	g.opNames[spec.Name] = true
+	g.ops = append(g.ops, spec)
+	return nil
+}
+
+// Operators returns the registered operator specs in registration order.
+func (g *Graph) Operators() []*operator.Spec { return g.ops }
+
+// AddDeadlineFeed routes updates arriving on a stream (time.Duration
+// payloads from pDP) into the dynamic deadline source target.
+func (g *Graph) AddDeadlineFeed(id stream.ID, target *deadline.Dynamic) error {
+	if _, ok := g.streams[id]; !ok {
+		return fmt.Errorf("graph: deadline feed on unregistered stream %d", id)
+	}
+	if target == nil {
+		return fmt.Errorf("graph: nil deadline feed target")
+	}
+	g.feeds = append(g.feeds, DeadlineFeed{Stream: id, Target: target})
+	return nil
+}
+
+// DeadlineFeeds returns the registered deadline feeds.
+func (g *Graph) DeadlineFeeds() []DeadlineFeed { return g.feeds }
+
+// Validate checks that the graph is well-formed:
+//
+//   - every stream has at most one writer; ingest streams have none;
+//   - every non-ingest stream that is read is written by some operator;
+//   - no operator reads and writes the same stream (self-loop through a
+//     single stream; feedback loops must pass through distinct streams).
+func (g *Graph) Validate() error {
+	writers := make(map[stream.ID]string)
+	for _, op := range g.ops {
+		seen := make(map[stream.ID]bool, len(op.Inputs))
+		for _, id := range op.Inputs {
+			seen[id] = true
+		}
+		for _, id := range op.Outputs {
+			if seen[id] {
+				return fmt.Errorf("graph: operator %q both reads and writes stream %q", op.Name, g.streams[id].Name)
+			}
+			if w, dup := writers[id]; dup {
+				return fmt.Errorf("graph: stream %q written by both %q and %q", g.streams[id].Name, w, op.Name)
+			}
+			if g.streams[id].Ingest {
+				return fmt.Errorf("graph: ingest stream %q also written by operator %q", g.streams[id].Name, op.Name)
+			}
+			writers[id] = op.Name
+		}
+	}
+	for _, op := range g.ops {
+		for _, id := range op.Inputs {
+			s := g.streams[id]
+			if s.Ingest {
+				continue
+			}
+			if _, ok := writers[id]; !ok {
+				return fmt.Errorf("graph: operator %q reads stream %q which has no writer", op.Name, s.Name)
+			}
+		}
+	}
+	for _, f := range g.feeds {
+		s := g.streams[f.Stream]
+		if !s.Ingest {
+			if _, ok := writers[f.Stream]; !ok {
+				return fmt.Errorf("graph: deadline feed reads stream %q which has no writer", s.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Readers returns the names of operators reading stream id.
+func (g *Graph) Readers(id stream.ID) []string {
+	var out []string
+	for _, op := range g.ops {
+		for _, in := range op.Inputs {
+			if in == id {
+				out = append(out, op.Name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Writer returns the name of the operator writing stream id, if any.
+func (g *Graph) Writer(id stream.ID) (string, bool) {
+	for _, op := range g.ops {
+		for _, out := range op.Outputs {
+			if out == id {
+				return op.Name, true
+			}
+		}
+	}
+	return "", false
+}

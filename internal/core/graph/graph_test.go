@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/deadline"
+	"github.com/erdos-go/erdos/internal/core/operator"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+func TestAddStreamAndLookup(t *testing.T) {
+	g := New()
+	id := g.AddStream("camera", "[]byte")
+	s, ok := g.Stream(id)
+	if !ok || s.Name != "camera" || s.TypeName != "[]byte" {
+		t.Fatalf("Stream = %+v, %v", s, ok)
+	}
+	if _, ok := g.Stream(stream.ID(99999)); ok {
+		t.Fatal("unknown stream resolved")
+	}
+	if len(g.Streams()) != 1 {
+		t.Fatalf("Streams = %d", len(g.Streams()))
+	}
+}
+
+func TestMarkIngest(t *testing.T) {
+	g := New()
+	id := g.AddStream("s", "int")
+	if err := g.MarkIngest(id); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := g.Stream(id)
+	if !s.Ingest {
+		t.Fatal("not marked")
+	}
+	if err := g.MarkIngest(stream.ID(424242)); err == nil {
+		t.Fatal("marking unknown stream must fail")
+	}
+}
+
+func TestAddOperatorValidation(t *testing.T) {
+	g := New()
+	in := g.AddStream("in", "int")
+	if err := g.AddOperator(&operator.Spec{Name: ""}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := g.AddOperator(&operator.Spec{Name: "a", Inputs: []stream.ID{stream.ID(777)}}); err == nil {
+		t.Fatal("unregistered input accepted")
+	}
+	if err := g.AddOperator(&operator.Spec{Name: "a", Outputs: []stream.ID{stream.ID(777)}}); err == nil {
+		t.Fatal("unregistered output accepted")
+	}
+	if err := g.AddOperator(&operator.Spec{Name: "a", Inputs: []stream.ID{in}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOperator(&operator.Spec{Name: "a", Inputs: []stream.ID{in}}); err == nil {
+		t.Fatal("duplicate operator name accepted")
+	}
+	if err := g.AddOperator(&operator.Spec{
+		Name:   "bad-freq",
+		Inputs: []stream.ID{in},
+		FrequencyDeadlines: []operator.FrequencyDeadlineSpec{
+			{Name: "f", Input: 3, Value: deadline.Static(time.Millisecond)},
+		},
+	}); err == nil {
+		t.Fatal("out-of-range frequency-deadline input accepted")
+	}
+	out := g.AddStream("out", "int")
+	if err := g.AddOperator(&operator.Spec{
+		Name:    "bad-dl",
+		Inputs:  []stream.ID{in},
+		Outputs: []stream.ID{out},
+		Deadlines: []operator.TimestampDeadlineSpec{
+			{Name: "d", Output: 5, Value: deadline.Static(time.Millisecond)},
+		},
+	}); err == nil {
+		t.Fatal("out-of-range deadline output accepted")
+	}
+}
+
+func TestWriterAndReaders(t *testing.T) {
+	g := New()
+	in := g.AddStream("in", "int")
+	mid := g.AddStream("mid", "int")
+	_ = g.MarkIngest(in)
+	_ = g.AddOperator(&operator.Spec{Name: "p", Inputs: []stream.ID{in}, Outputs: []stream.ID{mid}})
+	_ = g.AddOperator(&operator.Spec{Name: "c1", Inputs: []stream.ID{mid}})
+	_ = g.AddOperator(&operator.Spec{Name: "c2", Inputs: []stream.ID{mid}})
+	if w, ok := g.Writer(mid); !ok || w != "p" {
+		t.Fatalf("Writer = %q, %v", w, ok)
+	}
+	if _, ok := g.Writer(in); ok {
+		t.Fatal("ingest stream has no operator writer")
+	}
+	readers := g.Readers(mid)
+	if len(readers) != 2 {
+		t.Fatalf("Readers = %v", readers)
+	}
+}
+
+func TestValidateFeedbackLoopAllowed(t *testing.T) {
+	// D3's feedback loop (pDP -> operators -> pDP) uses distinct streams;
+	// cycles through distinct streams must validate.
+	g := New()
+	envInfo := g.AddStream("env", "Env")
+	deadlines := g.AddStream("deadlines", "time.Duration")
+	in := g.AddStream("in", "int")
+	_ = g.MarkIngest(in)
+	_ = g.AddOperator(&operator.Spec{Name: "op", Inputs: []stream.ID{in, deadlines}, Outputs: []stream.ID{envInfo}})
+	_ = g.AddOperator(&operator.Spec{Name: "pdp", Inputs: []stream.ID{envInfo}, Outputs: []stream.ID{deadlines}})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("feedback loop rejected: %v", err)
+	}
+}
+
+func TestDeadlineFeeds(t *testing.T) {
+	g := New()
+	dls := g.AddStream("deadlines", "time.Duration")
+	_ = g.MarkIngest(dls)
+	dyn := deadline.NewDynamic(time.Millisecond)
+	if err := g.AddDeadlineFeed(dls, dyn); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDeadlineFeed(stream.ID(31337), dyn); err == nil {
+		t.Fatal("unknown stream feed accepted")
+	}
+	if err := g.AddDeadlineFeed(dls, nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	if len(g.DeadlineFeeds()) != 1 {
+		t.Fatalf("feeds = %d", len(g.DeadlineFeeds()))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateFeedOnWriterlessStream(t *testing.T) {
+	g := New()
+	dls := g.AddStream("deadlines", "time.Duration") // not ingest, no writer
+	dyn := deadline.NewDynamic(time.Millisecond)
+	_ = g.AddDeadlineFeed(dls, dyn)
+	if err := g.Validate(); err == nil {
+		t.Fatal("feed on writer-less stream must fail validation")
+	}
+}

@@ -1,0 +1,20 @@
+package lattice
+
+import (
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// BenchmarkSubmitExecute measures the lattice's per-callback scheduling
+// overhead (submit -> dispatch -> run -> complete) for a no-op callback.
+func BenchmarkSubmitExecute(b *testing.B) {
+	l := New(4)
+	defer l.Stop()
+	q := l.NewOpQueue(ModeSequential)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Submit(q, KindMessage, timestamp.New(uint64(i)), func() {})
+	}
+	l.Quiesce()
+}

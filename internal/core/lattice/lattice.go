@@ -1,0 +1,294 @@
+// Package lattice implements the execution lattice of §6.2: a dependency
+// graph of bound callbacks that serves as the run queue for a worker's
+// multi-threaded runtime.
+//
+// The lattice guarantees, per operator:
+//
+//   - watermark callbacks execute sequentially in timestamp order;
+//   - a watermark callback for t executes only after every already-enqueued
+//     message callback with timestamp <= t of the same operator completes;
+//   - message callbacks may execute out of order — concurrently when the
+//     operator opts into ModeParallelMessages, otherwise serialized with
+//     every other callback of the operator (lock-free state access).
+//
+// Across operators the lattice is fully parallel. Ready callbacks are
+// dispatched to a fixed pool of goroutines; among ready callbacks the
+// lattice prioritizes lower logical times first and, within a logical time,
+// higher accuracy coordinates ĉ first, implementing §5.3's preference for
+// higher-accuracy intermediate results.
+package lattice
+
+import (
+	"container/heap"
+	"sync"
+
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// Kind classifies a bound callback.
+type Kind uint8
+
+const (
+	// KindMessage is an out-of-order data-message callback.
+	KindMessage Kind = iota
+	// KindWatermark is a timestamp-ordered watermark callback.
+	KindWatermark
+)
+
+// Mode selects an operator's intra-operator parallelism.
+type Mode uint8
+
+const (
+	// ModeSequential serializes all of the operator's callbacks; this is
+	// the default and provides lock-free access to operator state.
+	ModeSequential Mode = iota
+	// ModeParallelMessages lets message callbacks run concurrently with
+	// one another; watermark callbacks remain timestamp-ordered barriers.
+	ModeParallelMessages
+)
+
+// Item is one bound callback.
+type Item struct {
+	op   *OpQueue
+	ts   timestamp.Timestamp
+	kind Kind
+	run  func()
+	seq  uint64
+	idx  int // heap index within the op's pending heap, -1 when dispatched
+}
+
+// Lattice is the worker-wide run queue.
+type Lattice struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ready    readyHeap
+	stopped  bool
+	inflight int
+	pending  int
+	idleCond *sync.Cond
+	seq      uint64
+	wg       sync.WaitGroup
+}
+
+// New returns a lattice executing callbacks on `workers` goroutines.
+func New(workers int) *Lattice {
+	if workers < 1 {
+		workers = 1
+	}
+	l := &Lattice{}
+	l.cond = sync.NewCond(&l.mu)
+	l.idleCond = sync.NewCond(&l.mu)
+	l.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go l.worker()
+	}
+	return l
+}
+
+// NewOpQueue registers a new operator with the given parallelism mode.
+func (l *Lattice) NewOpQueue(mode Mode) *OpQueue {
+	return &OpQueue{lat: l, mode: mode}
+}
+
+// Submit enqueues a bound callback for op at timestamp ts.
+func (l *Lattice) Submit(op *OpQueue, kind Kind, ts timestamp.Timestamp, run func()) {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.seq++
+	it := &Item{op: op, ts: ts, kind: kind, run: run, seq: l.seq, idx: -1}
+	l.pending++
+	heap.Push(&op.pendingHeap, it)
+	l.promoteLocked(op)
+	l.mu.Unlock()
+}
+
+// Quiesce blocks until every submitted callback has completed.
+func (l *Lattice) Quiesce() {
+	l.mu.Lock()
+	for l.pending > 0 || l.inflight > 0 {
+		l.idleCond.Wait()
+	}
+	l.mu.Unlock()
+}
+
+// Stop drains in-flight callbacks and shuts the worker pool down. Pending
+// callbacks that were not yet dispatched are dropped.
+func (l *Lattice) Stop() {
+	l.mu.Lock()
+	l.stopped = true
+	l.pending -= len(l.ready)
+	l.ready = l.ready[:0]
+	l.cond.Broadcast()
+	l.idleCond.Broadcast()
+	l.mu.Unlock()
+	l.wg.Wait()
+}
+
+func (l *Lattice) worker() {
+	defer l.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.ready) == 0 && !l.stopped {
+			l.cond.Wait()
+		}
+		if l.stopped && len(l.ready) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		it := heap.Pop(&l.ready).(*Item)
+		l.inflight++
+		l.mu.Unlock()
+
+		it.run()
+
+		l.mu.Lock()
+		l.inflight--
+		l.pending--
+		it.op.completeLocked(it)
+		l.promoteLocked(it.op)
+		if l.pending == 0 && l.inflight == 0 {
+			l.idleCond.Broadcast()
+		}
+		l.mu.Unlock()
+	}
+}
+
+// promoteLocked moves every dispatchable item of op from its pending heap
+// onto the global ready heap. Caller holds l.mu.
+func (l *Lattice) promoteLocked(op *OpQueue) {
+	if l.stopped {
+		return
+	}
+	promoted := false
+	for len(op.pendingHeap) > 0 {
+		head := op.pendingHeap[0]
+		if !op.canDispatchLocked(head) {
+			break
+		}
+		heap.Pop(&op.pendingHeap)
+		op.noteDispatchLocked(head)
+		heap.Push(&l.ready, head)
+		promoted = true
+	}
+	if promoted {
+		l.cond.Broadcast()
+	}
+}
+
+// OpQueue tracks one operator's pending and running callbacks.
+type OpQueue struct {
+	lat         *Lattice
+	mode        Mode
+	pendingHeap opHeap
+	runningMsgs []timestamp.Timestamp
+	runningWM   bool
+}
+
+// canDispatchLocked reports whether it (the head of the pending heap) may
+// run now. Caller holds the lattice mutex.
+func (q *OpQueue) canDispatchLocked(it *Item) bool {
+	switch q.mode {
+	case ModeSequential:
+		return len(q.runningMsgs) == 0 && !q.runningWM
+	case ModeParallelMessages:
+		if q.runningWM {
+			return false // watermark callbacks are barriers
+		}
+		if it.kind == KindMessage {
+			return true
+		}
+		// A watermark callback for t waits for running message callbacks
+		// with timestamp <= t. Queued ones with ts <= t order before it in
+		// the heap, so head position already implies they were dispatched.
+		for _, ts := range q.runningMsgs {
+			if ts.LessEq(it.ts) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (q *OpQueue) noteDispatchLocked(it *Item) {
+	if it.kind == KindWatermark {
+		q.runningWM = true
+	} else {
+		q.runningMsgs = append(q.runningMsgs, it.ts)
+	}
+}
+
+func (q *OpQueue) completeLocked(it *Item) {
+	if it.kind == KindWatermark {
+		q.runningWM = false
+		return
+	}
+	for i, ts := range q.runningMsgs {
+		if ts.Equal(it.ts) {
+			q.runningMsgs = append(q.runningMsgs[:i], q.runningMsgs[i+1:]...)
+			return
+		}
+	}
+}
+
+// less orders items: lower logical time first; within a logical time,
+// watermark callbacks after message callbacks; higher accuracy coordinates
+// first among data callbacks of the same logical time (§5.3); FIFO ties.
+func less(a, b *Item) bool {
+	if a.ts.L != b.ts.L {
+		return a.ts.L < b.ts.L
+	}
+	if a.ts.IsTop() != b.ts.IsTop() {
+		return !a.ts.IsTop()
+	}
+	if a.kind != b.kind {
+		return a.kind == KindMessage // messages before the watermark barrier
+	}
+	if a.kind == KindMessage {
+		// Prefer higher ĉ (more accurate input) first.
+		c := a.ts.Cmp(b.ts)
+		if c != 0 {
+			return c > 0
+		}
+	} else if c := a.ts.Cmp(b.ts); c != 0 {
+		return c < 0 // watermarks strictly in timestamp order
+	}
+	return a.seq < b.seq
+}
+
+// opHeap is the per-operator pending heap.
+type opHeap []*Item
+
+func (h opHeap) Len() int           { return len(h) }
+func (h opHeap) Less(i, j int) bool { return less(h[i], h[j]) }
+func (h opHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
+func (h *opHeap) Push(x any)        { it := x.(*Item); it.idx = len(*h); *h = append(*h, it) }
+func (h *opHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.idx = -1
+	*h = old[:n-1]
+	return it
+}
+
+// readyHeap is the worker-wide ready heap.
+type readyHeap []*Item
+
+func (h readyHeap) Len() int           { return len(h) }
+func (h readyHeap) Less(i, j int) bool { return less(h[i], h[j]) }
+func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)        { *h = append(*h, x.(*Item)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,284 @@
+package lattice
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+func ts(l uint64, c ...uint64) timestamp.Timestamp { return timestamp.New(l, c...) }
+
+func TestWatermarkCallbacksRunInTimestampOrder(t *testing.T) {
+	l := New(4)
+	defer l.Stop()
+	q := l.NewOpQueue(ModeSequential)
+	var mu sync.Mutex
+	var order []uint64
+	for i := 0; i < 50; i++ {
+		i := uint64(i)
+		l.Submit(q, KindWatermark, ts(i), func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	l.Quiesce()
+	if len(order) != 50 {
+		t.Fatalf("ran %d callbacks, want 50", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("watermark callbacks out of order: %v", order)
+		}
+	}
+}
+
+func TestSequentialModeNeverOverlaps(t *testing.T) {
+	l := New(8)
+	defer l.Stop()
+	q := l.NewOpQueue(ModeSequential)
+	var running, maxRunning atomic.Int32
+	for i := 0; i < 100; i++ {
+		kind := KindMessage
+		if i%3 == 0 {
+			kind = KindWatermark
+		}
+		l.Submit(q, kind, ts(uint64(i)), func() {
+			n := running.Add(1)
+			for {
+				old := maxRunning.Load()
+				if n <= old || maxRunning.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(50 * time.Microsecond)
+			running.Add(-1)
+		})
+	}
+	l.Quiesce()
+	if maxRunning.Load() != 1 {
+		t.Fatalf("sequential operator overlapped: max concurrency %d", maxRunning.Load())
+	}
+}
+
+func TestParallelMessagesOverlap(t *testing.T) {
+	l := New(8)
+	defer l.Stop()
+	q := l.NewOpQueue(ModeParallelMessages)
+	var running, maxRunning atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(16)
+	for i := 0; i < 16; i++ {
+		l.Submit(q, KindMessage, ts(uint64(i)), func() {
+			defer wg.Done()
+			n := running.Add(1)
+			for {
+				old := maxRunning.Load()
+				if n <= old || maxRunning.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+		})
+	}
+	wg.Wait()
+	l.Quiesce()
+	if maxRunning.Load() < 2 {
+		t.Fatalf("parallel-messages operator never overlapped (max %d)", maxRunning.Load())
+	}
+}
+
+func TestWatermarkWaitsForEarlierMessages(t *testing.T) {
+	l := New(8)
+	defer l.Stop()
+	q := l.NewOpQueue(ModeParallelMessages)
+	var msgDone atomic.Bool
+	var wmSawMsgDone atomic.Bool
+	l.Submit(q, KindMessage, ts(5), func() {
+		time.Sleep(5 * time.Millisecond)
+		msgDone.Store(true)
+	})
+	l.Submit(q, KindWatermark, ts(5), func() {
+		wmSawMsgDone.Store(msgDone.Load())
+	})
+	l.Quiesce()
+	if !wmSawMsgDone.Load() {
+		t.Fatal("watermark callback ran before an earlier-or-equal message callback completed")
+	}
+}
+
+func TestLaterMessagesMayOvertakeWatermarkOfEarlierTime(t *testing.T) {
+	// A message callback for t=10 must not be blocked behind a slow
+	// watermark callback queue for t<=5 forever; it simply needs no
+	// ordering guarantee. We only assert that everything completes.
+	l := New(4)
+	defer l.Stop()
+	q := l.NewOpQueue(ModeParallelMessages)
+	var count atomic.Int32
+	l.Submit(q, KindWatermark, ts(5), func() {
+		time.Sleep(time.Millisecond)
+		count.Add(1)
+	})
+	l.Submit(q, KindMessage, ts(10), func() { count.Add(1) })
+	l.Quiesce()
+	if count.Load() != 2 {
+		t.Fatalf("completed %d callbacks, want 2", count.Load())
+	}
+}
+
+func TestCrossOperatorParallelism(t *testing.T) {
+	l := New(8)
+	defer l.Stop()
+	var running, maxRunning atomic.Int32
+	var wg sync.WaitGroup
+	for op := 0; op < 8; op++ {
+		q := l.NewOpQueue(ModeSequential)
+		wg.Add(1)
+		l.Submit(q, KindWatermark, ts(0), func() {
+			defer wg.Done()
+			n := running.Add(1)
+			for {
+				old := maxRunning.Load()
+				if n <= old || maxRunning.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(3 * time.Millisecond)
+			running.Add(-1)
+		})
+	}
+	wg.Wait()
+	l.Quiesce()
+	if maxRunning.Load() < 2 {
+		t.Fatalf("operators did not run in parallel (max %d)", maxRunning.Load())
+	}
+}
+
+func TestAccuracyCoordinatePriority(t *testing.T) {
+	// Among ready message callbacks of the same logical time, the lattice
+	// prefers higher ĉ (§5.3). Use a single worker held by a gate so the
+	// items below — each on its own operator so all are dispatchable — sit
+	// in the ready heap together before any runs.
+	l := New(1)
+	defer l.Stop()
+	gate := l.NewOpQueue(ModeSequential)
+	release := make(chan struct{})
+	l.Submit(gate, KindMessage, ts(0), func() { <-release })
+	var mu sync.Mutex
+	var order []uint64
+	for _, c := range []uint64{1, 3, 2} {
+		c := c
+		l.Submit(l.NewOpQueue(ModeSequential), KindMessage, ts(7, c), func() {
+			mu.Lock()
+			order = append(order, c)
+			mu.Unlock()
+		})
+	}
+	close(release)
+	l.Quiesce()
+	want := []uint64{3, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("accuracy priority order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestQuiesceOnEmptyLattice(t *testing.T) {
+	l := New(2)
+	defer l.Stop()
+	done := make(chan struct{})
+	go func() { l.Quiesce(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Quiesce on an empty lattice blocked")
+	}
+}
+
+func TestStopDropsPendingAndReturns(t *testing.T) {
+	l := New(1)
+	q := l.NewOpQueue(ModeSequential)
+	started := make(chan struct{})
+	block := make(chan struct{})
+	l.Submit(q, KindMessage, ts(0), func() { close(started); <-block })
+	for i := 0; i < 10; i++ {
+		l.Submit(q, KindMessage, ts(uint64(i+1)), func() {})
+	}
+	<-started
+	done := make(chan struct{})
+	go func() { l.Stop(); close(done) }()
+	close(block)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not return")
+	}
+}
+
+func TestSubmitAfterStopIsNoop(t *testing.T) {
+	l := New(1)
+	l.Stop()
+	q := l.NewOpQueue(ModeSequential)
+	l.Submit(q, KindMessage, ts(0), func() { t.Error("callback ran after Stop") })
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Property: under random submission of messages and watermarks across many
+// operators, per-operator watermark order is always monotone and every
+// callback runs exactly once.
+func TestQuickRandomTrafficInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		l := New(1 + r.Intn(8))
+		type opState struct {
+			q      *OpQueue
+			nextWM uint64 // watermarks are submitted monotonically, as real streams produce them
+			mu     sync.Mutex
+			wm     []uint64
+		}
+		ops := make([]*opState, 5)
+		for i := range ops {
+			mode := ModeSequential
+			if r.Intn(2) == 0 {
+				mode = ModeParallelMessages
+			}
+			ops[i] = &opState{q: l.NewOpQueue(mode)}
+		}
+		var ran atomic.Int32
+		n := 200
+		for i := 0; i < n; i++ {
+			op := ops[r.Intn(len(ops))]
+			tsv := uint64(r.Intn(20))
+			if r.Intn(3) == 0 {
+				op.nextWM += uint64(r.Intn(3))
+				tsv = op.nextWM
+				l.Submit(op.q, KindWatermark, ts(tsv), func() {
+					op.mu.Lock()
+					op.wm = append(op.wm, tsv)
+					op.mu.Unlock()
+					ran.Add(1)
+				})
+			} else {
+				l.Submit(op.q, KindMessage, ts(tsv), func() { ran.Add(1) })
+			}
+		}
+		l.Quiesce()
+		if int(ran.Load()) != n {
+			t.Fatalf("trial %d: ran %d, want %d", trial, ran.Load(), n)
+		}
+		for i, op := range ops {
+			for j := 1; j < len(op.wm); j++ {
+				if op.wm[j] < op.wm[j-1] {
+					t.Fatalf("trial %d op %d: watermark order regressed: %v", trial, i, op.wm)
+				}
+			}
+		}
+		l.Stop()
+	}
+}

@@ -1,0 +1,46 @@
+package message
+
+import (
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+func TestConstructors(t *testing.T) {
+	d := Data(timestamp.New(3), "payload")
+	if !d.IsData() || d.IsWatermark() || d.IsTop() {
+		t.Fatalf("Data kind wrong: %+v", d)
+	}
+	if d.Payload.(string) != "payload" || d.Timestamp.L != 3 {
+		t.Fatalf("Data contents wrong: %+v", d)
+	}
+	w := Watermark(timestamp.New(5))
+	if !w.IsWatermark() || w.IsData() || w.Payload != nil {
+		t.Fatalf("Watermark wrong: %+v", w)
+	}
+	top := Top()
+	if !top.IsTop() || !top.IsWatermark() {
+		t.Fatalf("Top wrong: %+v", top)
+	}
+	if Watermark(timestamp.New(1)).IsTop() {
+		t.Fatal("ordinary watermark reported as Top")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindData.String() != "data" || KindWatermark.String() != "watermark" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	if s := Data(timestamp.New(2), 7).String(); s != "MT[2](int)" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := Watermark(timestamp.New(2)).String(); s != "WT[2]" {
+		t.Fatalf("String = %q", s)
+	}
+}

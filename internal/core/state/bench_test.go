@@ -1,0 +1,36 @@
+package state
+
+import (
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// BenchmarkViewCommit measures the per-timestamp transactional cycle on the
+// default snapshot store with a small value state.
+func BenchmarkViewCommit(b *testing.B) {
+	type s struct{ N int }
+	st := Typed(s{}, CloneByValue[s]())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := timestamp.New(uint64(i + 1))
+		v := st.View(ts).(s)
+		v.N++
+		st.Commit(ts, v)
+		if i%64 == 0 {
+			st.GC(timestamp.New(uint64(i)))
+		}
+	}
+}
+
+func BenchmarkCommittedLookup(b *testing.B) {
+	type s struct{ N int }
+	st := Typed(s{}, CloneByValue[s]())
+	for l := uint64(1); l <= 64; l++ {
+		st.Commit(timestamp.New(l), s{N: int(l)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = st.Committed(timestamp.New(32))
+	}
+}

@@ -1,0 +1,164 @@
+package state
+
+import (
+	"sync"
+
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// LogState is a custom Store (§5.4) that logs operations instead of
+// snapshotting full state per timestamp, in the style of operation-based
+// CRDTs. It suits states that grow monotonically — e.g. a Planner that
+// appends waypoints — where snapshotting every version would be wasteful.
+//
+// Callbacks receive a *LogView; they mutate the materialized Value through
+// Record, which both applies the operation and logs it. Commit appends the
+// recorded operations at the view's timestamp; views are materialized by
+// replaying the log.
+type LogState struct {
+	newBase func() any
+	apply   func(st, op any)
+
+	mu      sync.Mutex
+	entries []logEntry // ascending by ts
+}
+
+type logEntry struct {
+	ts  timestamp.Timestamp
+	ops []any
+}
+
+// LogView is the working view handed to a callback executing one timestamp.
+type LogView struct {
+	// Value is the state materialized from all operations committed for
+	// timestamps strictly below the view's timestamp.
+	Value any
+	apply func(st, op any)
+	ops   []any
+}
+
+// Record applies op to the materialized value and logs it for commit.
+func (v *LogView) Record(op any) {
+	v.apply(v.Value, op)
+	v.ops = append(v.ops, op)
+}
+
+// Ops returns the operations recorded so far (the "dirty state" a DEH
+// receives under the Abort policy).
+func (v *LogView) Ops() []any { return v.ops }
+
+// NewLog returns a LogState. newBase must return a fresh, independent base
+// state; apply must apply one logged operation to a materialized state.
+func NewLog(newBase func() any, apply func(st, op any)) *LogState {
+	if newBase == nil || apply == nil {
+		panic("state: NewLog requires newBase and apply")
+	}
+	return &LogState{newBase: newBase, apply: apply}
+}
+
+// View implements Store.
+func (l *LogState) View(t timestamp.Timestamp) any {
+	return &LogView{Value: l.materialize(t, true), apply: l.apply}
+}
+
+// Commit implements Store. The view must be a *LogView produced by View.
+func (l *LogState) Commit(t timestamp.Timestamp, view any) {
+	lv, ok := view.(*LogView)
+	if !ok {
+		panic("state: LogState.Commit requires a *LogView")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := len(l.entries)
+	for i > 0 && t.Less(l.entries[i-1].ts) {
+		i--
+	}
+	if i > 0 && l.entries[i-1].ts.Equal(t) {
+		l.entries[i-1].ops = append([]any(nil), lv.ops...)
+		return
+	}
+	l.entries = append(l.entries, logEntry{})
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = logEntry{ts: t, ops: append([]any(nil), lv.ops...)}
+}
+
+// Committed implements Store: it materializes the state from operations
+// committed at timestamps <= t.
+func (l *LogState) Committed(t timestamp.Timestamp) (any, bool) {
+	l.mu.Lock()
+	n := 0
+	for _, e := range l.entries {
+		if e.ts.LessEq(t) {
+			n++
+		}
+	}
+	l.mu.Unlock()
+	return l.materialize(t, false), n > 0
+}
+
+// Last implements Store.
+func (l *LogState) Last() (any, timestamp.Timestamp, bool) {
+	l.mu.Lock()
+	if len(l.entries) == 0 {
+		l.mu.Unlock()
+		return l.materialize(timestamp.Bottom(), false), timestamp.Bottom(), false
+	}
+	last := l.entries[len(l.entries)-1].ts
+	l.mu.Unlock()
+	return l.materialize(last, false), last, true
+}
+
+// Discard implements Store: uncommitted operations live only in the view.
+func (l *LogState) Discard(timestamp.Timestamp, any) {}
+
+// GC implements Store: it folds entries strictly below t into a single
+// consolidated entry so replay cost stays bounded.
+func (l *LogState) GC(t timestamp.Timestamp) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var folded []any
+	var foldTS timestamp.Timestamp
+	rest := l.entries[:0]
+	n := 0
+	for _, e := range l.entries {
+		if e.ts.Less(t) {
+			folded = append(folded, e.ops...)
+			foldTS = e.ts
+			n++
+		}
+	}
+	if n <= 1 {
+		return
+	}
+	rest = append(rest, logEntry{ts: foldTS, ops: folded})
+	for _, e := range l.entries {
+		if !e.ts.Less(t) {
+			rest = append(rest, e)
+		}
+	}
+	l.entries = append([]logEntry(nil), rest...)
+}
+
+// Versions implements Store.
+func (l *LogState) Versions() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// materialize replays the committed log up to t (strictly below when strict)
+// onto a fresh base.
+func (l *LogState) materialize(t timestamp.Timestamp, strict bool) any {
+	st := l.newBase()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.entries {
+		if (strict && !e.ts.Less(t)) || (!strict && !e.ts.LessEq(t)) {
+			break
+		}
+		for _, op := range e.ops {
+			l.apply(st, op)
+		}
+	}
+	return st
+}

@@ -1,0 +1,36 @@
+package stream
+
+import (
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// BenchmarkBroadcastZeroCopy measures the intra-worker send path: one data
+// message delivered by reference to 5 subscribers.
+func BenchmarkBroadcastZeroCopy(b *testing.B) {
+	br := NewBroadcaster(NewID(), "bench")
+	for i := 0; i < 5; i++ {
+		br.Subscribe(SubscriberFunc(func(ID, message.Message) {}))
+	}
+	payload := make([]byte, 6<<20)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := br.Send(message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWatermarkSend(b *testing.B) {
+	br := NewBroadcaster(NewID(), "bench")
+	br.Subscribe(SubscriberFunc(func(ID, message.Message) {}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := br.Send(message.Watermark(timestamp.New(uint64(i + 1)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

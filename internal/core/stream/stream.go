@@ -1,0 +1,195 @@
+// Package stream implements ERDOS' typed streams (§4.2 of the paper).
+//
+// A stream connects one producing operator to any number of consuming
+// operators and carries timestamped data messages and watermark messages.
+// Internally the runtime is untyped — a stream delivers message.Message
+// values to subscribers — while the generic WriteStream[T]/ReadStream[T]
+// wrappers restore compile-time type safety at the operator boundary.
+//
+// The writer side enforces the stream invariants that the rest of the system
+// relies on:
+//
+//   - watermarks are monotonically non-decreasing;
+//   - a data message may not be sent for a timestamp at or below the
+//     stream's current watermark (its completion has already been signalled);
+//   - nothing may be sent after the final (Top) watermark.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// ID uniquely identifies a stream within a dataflow graph.
+type ID uint64
+
+var nextID atomic.Uint64
+
+// NewID allocates a fresh process-unique stream ID.
+func NewID() ID { return ID(nextID.Add(1)) }
+
+// Errors returned by the writer side of a stream.
+var (
+	// ErrClosed is returned when sending on a stream whose final watermark
+	// has already been sent.
+	ErrClosed = errors.New("stream: closed (final watermark already sent)")
+	// ErrWatermarkRegression is returned when a watermark would move the
+	// stream's low watermark backwards.
+	ErrWatermarkRegression = errors.New("stream: watermark regression")
+	// ErrLateMessage is returned when a data message is sent for a
+	// timestamp whose completion was already signalled by a watermark.
+	ErrLateMessage = errors.New("stream: data message at or below watermark")
+)
+
+// Subscriber consumes the messages sent on a stream. Deliver must not
+// block indefinitely; the runtime's inboxes are unbounded queues.
+type Subscriber interface {
+	Deliver(id ID, m message.Message)
+}
+
+// SubscriberFunc adapts a function to the Subscriber interface.
+type SubscriberFunc func(id ID, m message.Message)
+
+// Deliver implements Subscriber.
+func (f SubscriberFunc) Deliver(id ID, m message.Message) { f(id, m) }
+
+// Broadcaster is the writer end of a stream: it validates the stream
+// invariants and delivers each message to every subscriber. Intra-worker
+// subscribers receive the same Message value (zero copy); inter-worker
+// transports serialize it once per remote worker.
+type Broadcaster struct {
+	id   ID
+	name string
+
+	mu        sync.Mutex
+	subs      []Subscriber
+	watermark timestamp.Timestamp
+	hasWM     bool
+	closed    bool
+	sentData  uint64
+	sentWM    uint64
+}
+
+// NewBroadcaster returns the writer end of stream id.
+func NewBroadcaster(id ID, name string) *Broadcaster {
+	return &Broadcaster{id: id, name: name}
+}
+
+// ID returns the stream's identifier.
+func (b *Broadcaster) ID() ID { return b.id }
+
+// Name returns the stream's diagnostic name.
+func (b *Broadcaster) Name() string { return b.name }
+
+// Subscribe registers a subscriber. Subscribers added after messages have
+// been sent only observe subsequent messages.
+func (b *Broadcaster) Subscribe(s Subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subs = append(b.subs, s)
+}
+
+// Send validates and broadcasts m, returning an error if m violates the
+// stream invariants. Delivery order to each subscriber matches send order.
+func (b *Broadcaster) Send(m message.Message) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: stream %q", ErrClosed, b.name)
+	}
+	switch m.Kind {
+	case message.KindWatermark:
+		if b.hasWM && m.Timestamp.Less(b.watermark) {
+			b.mu.Unlock()
+			return fmt.Errorf("%w: stream %q: %v after %v",
+				ErrWatermarkRegression, b.name, m.Timestamp, b.watermark)
+		}
+		b.watermark = m.Timestamp
+		b.hasWM = true
+		if m.Timestamp.IsTop() {
+			b.closed = true
+		}
+		b.sentWM++
+	case message.KindData:
+		if b.hasWM && m.Timestamp.LessEq(b.watermark) {
+			b.mu.Unlock()
+			return fmt.Errorf("%w: stream %q: %v at watermark %v",
+				ErrLateMessage, b.name, m.Timestamp, b.watermark)
+		}
+		b.sentData++
+	default:
+		b.mu.Unlock()
+		return fmt.Errorf("stream %q: unknown message kind %v", b.name, m.Kind)
+	}
+	subs := b.subs
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.Deliver(b.id, m)
+	}
+	return nil
+}
+
+// Watermark returns the stream's current watermark and whether one has been
+// sent yet.
+func (b *Broadcaster) Watermark() (timestamp.Timestamp, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.watermark, b.hasWM
+}
+
+// Closed reports whether the final watermark has been sent.
+func (b *Broadcaster) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// Stats returns the number of data messages and watermarks sent so far.
+// The deadline machinery consumes these counters when evaluating deadline
+// end conditions (§5.1).
+func (b *Broadcaster) Stats() (data, watermarks uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sentData, b.sentWM
+}
+
+// WriteStream is the typed writer handle exposed to operators: a stream of
+// element type T.
+type WriteStream[T any] struct {
+	b *Broadcaster
+}
+
+// Wrap returns a typed writer over b.
+func Wrap[T any](b *Broadcaster) WriteStream[T] { return WriteStream[T]{b: b} }
+
+// Send sends a data message with payload v at timestamp t.
+func (w WriteStream[T]) Send(t timestamp.Timestamp, v T) error {
+	return w.b.Send(message.Data(t, v))
+}
+
+// SendWatermark sends a watermark for timestamp t.
+func (w WriteStream[T]) SendWatermark(t timestamp.Timestamp) error {
+	return w.b.Send(message.Watermark(t))
+}
+
+// Close sends the final watermark.
+func (w WriteStream[T]) Close() error { return w.b.Send(message.Top()) }
+
+// ID returns the underlying stream ID.
+func (w WriteStream[T]) ID() ID { return w.b.ID() }
+
+// Payload extracts a typed payload from an untyped message. It panics with
+// a descriptive message when the stream wiring is inconsistent, which is a
+// programming error caught by graph validation in normal use.
+func Payload[T any](m message.Message) T {
+	v, ok := m.Payload.(T)
+	if !ok {
+		panic(fmt.Sprintf("stream: payload type %T does not match callback type %T", m.Payload, v))
+	}
+	return v
+}

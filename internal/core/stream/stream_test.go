@@ -1,0 +1,227 @@
+package stream
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+type capture struct {
+	mu   sync.Mutex
+	msgs []message.Message
+}
+
+func (c *capture) Deliver(_ ID, m message.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *capture) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func TestBroadcastDeliversToAllSubscribers(t *testing.T) {
+	b := NewBroadcaster(NewID(), "s")
+	subs := []*capture{{}, {}, {}}
+	for _, s := range subs {
+		b.Subscribe(s)
+	}
+	if err := b.Send(message.Data(timestamp.New(1), 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(message.Watermark(timestamp.New(1))); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range subs {
+		if s.len() != 2 {
+			t.Fatalf("subscriber %d got %d messages, want 2", i, s.len())
+		}
+		if s.msgs[0].Payload.(int) != 42 {
+			t.Fatalf("subscriber %d payload = %v", i, s.msgs[0].Payload)
+		}
+	}
+}
+
+func TestZeroCopySharedPayload(t *testing.T) {
+	b := NewBroadcaster(NewID(), "s")
+	var got []*[]byte
+	for i := 0; i < 3; i++ {
+		b.Subscribe(SubscriberFunc(func(_ ID, m message.Message) {
+			p := m.Payload.(*[]byte)
+			got = append(got, p)
+		}))
+	}
+	payload := make([]byte, 1<<20)
+	if err := b.Send(message.Data(timestamp.New(0), &payload)); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range got {
+		if p != &payload {
+			t.Fatalf("subscriber %d received a copy, want the same pointer", i)
+		}
+	}
+}
+
+func TestWatermarkRegressionRejected(t *testing.T) {
+	b := NewBroadcaster(NewID(), "s")
+	if err := b.Send(message.Watermark(timestamp.New(5))); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Send(message.Watermark(timestamp.New(4)))
+	if !errors.Is(err, ErrWatermarkRegression) {
+		t.Fatalf("err = %v, want ErrWatermarkRegression", err)
+	}
+	// Equal watermark is permitted (idempotent completion signal).
+	if err := b.Send(message.Watermark(timestamp.New(5))); err != nil {
+		t.Fatalf("equal watermark should be accepted: %v", err)
+	}
+}
+
+func TestLateDataRejected(t *testing.T) {
+	b := NewBroadcaster(NewID(), "s")
+	if err := b.Send(message.Watermark(timestamp.New(5))); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Send(message.Data(timestamp.New(5), "late"))
+	if !errors.Is(err, ErrLateMessage) {
+		t.Fatalf("err = %v, want ErrLateMessage", err)
+	}
+	if err := b.Send(message.Data(timestamp.New(6), "ok")); err != nil {
+		t.Fatalf("future data should be accepted: %v", err)
+	}
+}
+
+func TestClosedStreamRejectsEverything(t *testing.T) {
+	b := NewBroadcaster(NewID(), "s")
+	if err := b.Send(message.Top()); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Closed() {
+		t.Fatal("stream should be closed after Top watermark")
+	}
+	if err := b.Send(message.Data(timestamp.New(9), 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("data after close: err = %v, want ErrClosed", err)
+	}
+	if err := b.Send(message.Watermark(timestamp.New(9))); !errors.Is(err, ErrClosed) {
+		t.Fatalf("watermark after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	b := NewBroadcaster(NewID(), "s")
+	for i := 0; i < 3; i++ {
+		if err := b.Send(message.Data(timestamp.New(uint64(i)), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Send(message.Watermark(timestamp.New(2))); err != nil {
+		t.Fatal(err)
+	}
+	d, w := b.Stats()
+	if d != 3 || w != 1 {
+		t.Fatalf("Stats = (%d, %d), want (3, 1)", d, w)
+	}
+}
+
+func TestTypedWrapper(t *testing.T) {
+	b := NewBroadcaster(NewID(), "typed")
+	c := &capture{}
+	b.Subscribe(c)
+	ws := Wrap[string](b)
+	if err := ws.Send(timestamp.New(1), "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.SendWatermark(timestamp.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.len() != 3 {
+		t.Fatalf("got %d messages, want 3", c.len())
+	}
+	if got := Payload[string](c.msgs[0]); got != "hello" {
+		t.Fatalf("Payload = %q", got)
+	}
+}
+
+func TestPayloadTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on payload type mismatch")
+		}
+	}()
+	Payload[int](message.Data(timestamp.New(0), "not an int"))
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[ID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate stream ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+// Property: any sequence of sends accepted by the broadcaster leaves the
+// watermark monotone and never delivers a data message at or below the
+// watermark that preceded it.
+func TestQuickInvariantsUnderRandomTraffic(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		b := NewBroadcaster(NewID(), "rand")
+		type wmState struct {
+			ts  timestamp.Timestamp
+			set bool
+		}
+		var wmAtSend []wmState
+		var kinds []message.Kind
+		var stamps []timestamp.Timestamp
+		b.Subscribe(SubscriberFunc(func(_ ID, m message.Message) {
+			kinds = append(kinds, m.Kind)
+			stamps = append(stamps, m.Timestamp)
+		}))
+		var lastWM timestamp.Timestamp
+		hasWM := false
+		for i := 0; i < 50; i++ {
+			ts := timestamp.New(uint64(r.Intn(10)))
+			var m message.Message
+			if r.Intn(2) == 0 {
+				m = message.Data(ts, i)
+			} else {
+				m = message.Watermark(ts)
+			}
+			if err := b.Send(m); err == nil {
+				wmAtSend = append(wmAtSend, wmState{ts: lastWM, set: hasWM})
+				if m.IsWatermark() {
+					lastWM, hasWM = ts, true
+				}
+			}
+		}
+		// Check monotone watermarks in delivered order.
+		var prev timestamp.Timestamp
+		seen := false
+		for i, k := range kinds {
+			if k == message.KindWatermark {
+				if seen && stamps[i].Less(prev) {
+					t.Fatalf("trial %d: delivered watermark regressed: %v after %v", trial, stamps[i], prev)
+				}
+				prev, seen = stamps[i], true
+			} else if i < len(wmAtSend) {
+				// Data must be above the watermark seen at its send time.
+				if wmAtSend[i].set && stamps[i].LessEq(wmAtSend[i].ts) {
+					t.Fatalf("trial %d: late data delivered: %v at watermark %v", trial, stamps[i], wmAtSend[i].ts)
+				}
+			}
+		}
+	}
+}

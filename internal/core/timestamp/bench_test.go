@@ -1,0 +1,19 @@
+package timestamp
+
+import "testing"
+
+func BenchmarkCmp(b *testing.B) {
+	x, y := New(5, 1, 2), New(5, 1, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Cmp(y)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	x := New(5, 1, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Key()
+	}
+}

@@ -1,0 +1,190 @@
+// Package timestamp implements the extended timestamps used by the D3
+// execution model: t = (l, ĉ) where l is a logical time derived from an
+// ordered time domain (wall-clock time on a real vehicle, simulation time in
+// a simulator) and ĉ is a vector of application-specific coordinates that
+// convey, e.g., the accuracy of intermediate results produced by anytime
+// algorithms or speculatively-executed model variants (§4.2, §5.3 of the
+// paper).
+//
+// Timestamps are totally ordered: first by logical time, then
+// lexicographically by the coordinate vector, with missing coordinates
+// treated as zero. The distinguished Top timestamp orders after every other
+// timestamp and is carried by the final watermark of a stream to signal that
+// no further messages will ever be sent.
+package timestamp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timestamp is an ERDOS timestamp t = (l, ĉ). The zero value is the minimum
+// timestamp (l = 0, no coordinates).
+type Timestamp struct {
+	// L is the logical time. Sources derive it from their time domain:
+	// wall-clock micros on a real AV, simulator ticks in simulation.
+	L uint64
+	// C is the application-specific coordinate vector ĉ. Higher values
+	// signify higher-accuracy results for the same logical time; the
+	// runtime prioritizes computation on inputs with higher ĉ (§5.3).
+	C []uint64
+	// top marks the distinguished maximum timestamp.
+	top bool
+}
+
+// New returns a timestamp with logical time l and coordinates c.
+func New(l uint64, c ...uint64) Timestamp {
+	if len(c) == 0 {
+		return Timestamp{L: l}
+	}
+	cc := make([]uint64, len(c))
+	copy(cc, c)
+	return Timestamp{L: l, C: cc}
+}
+
+// Top returns the distinguished maximum timestamp. A watermark carrying Top
+// closes its stream: every possible timestamp is complete.
+func Top() Timestamp { return Timestamp{top: true} }
+
+// Bottom returns the minimum timestamp (logical time zero, no coordinates).
+func Bottom() Timestamp { return Timestamp{} }
+
+// IsTop reports whether t is the distinguished maximum timestamp.
+func (t Timestamp) IsTop() bool { return t.top }
+
+// Coordinate returns the i-th coordinate of ĉ, treating missing trailing
+// coordinates as zero.
+func (t Timestamp) Coordinate(i int) uint64 {
+	if i < len(t.C) {
+		return t.C[i]
+	}
+	return 0
+}
+
+// Cmp compares t with u, returning -1 if t < u, 0 if t == u and +1 if t > u.
+// Ordering is by (top, L, C) with C compared lexicographically and missing
+// coordinates treated as zero, so New(3) == New(3, 0) and
+// New(3, 1) > New(3).
+func (t Timestamp) Cmp(u Timestamp) int {
+	switch {
+	case t.top && u.top:
+		return 0
+	case t.top:
+		return 1
+	case u.top:
+		return -1
+	}
+	switch {
+	case t.L < u.L:
+		return -1
+	case t.L > u.L:
+		return 1
+	}
+	n := len(t.C)
+	if len(u.C) > n {
+		n = len(u.C)
+	}
+	for i := 0; i < n; i++ {
+		a, b := t.Coordinate(i), u.Coordinate(i)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether t orders strictly before u.
+func (t Timestamp) Less(u Timestamp) bool { return t.Cmp(u) < 0 }
+
+// LessEq reports whether t orders before or equal to u.
+func (t Timestamp) LessEq(u Timestamp) bool { return t.Cmp(u) <= 0 }
+
+// Equal reports whether t and u denote the same point in time. Timestamps
+// that differ only in trailing zero coordinates are equal.
+func (t Timestamp) Equal(u Timestamp) bool { return t.Cmp(u) == 0 }
+
+// Succ returns the immediate successor of t in the logical-time dimension,
+// dropping coordinates: the earliest timestamp of the next logical time.
+func (t Timestamp) Succ() Timestamp {
+	if t.top {
+		return t
+	}
+	return Timestamp{L: t.L + 1}
+}
+
+// WithCoordinates returns a copy of t with ĉ replaced by c. It is used by
+// anytime algorithms and speculative execution to annotate refined results
+// for the same logical time (§5.3).
+func (t Timestamp) WithCoordinates(c ...uint64) Timestamp {
+	if t.top {
+		return t
+	}
+	return New(t.L, c...)
+}
+
+// Min returns the smaller of t and u.
+func Min(t, u Timestamp) Timestamp {
+	if t.Cmp(u) <= 0 {
+		return t
+	}
+	return u
+}
+
+// Max returns the larger of t and u.
+func Max(t, u Timestamp) Timestamp {
+	if t.Cmp(u) >= 0 {
+		return t
+	}
+	return u
+}
+
+// String renders the timestamp as "T[l|c1,c2]", "T[l]" or "T[top]".
+func (t Timestamp) String() string {
+	if t.top {
+		return "T[top]"
+	}
+	if len(t.C) == 0 {
+		return fmt.Sprintf("T[%d]", t.L)
+	}
+	parts := make([]string, len(t.C))
+	for i, c := range t.C {
+		parts[i] = fmt.Sprint(c)
+	}
+	return fmt.Sprintf("T[%d|%s]", t.L, strings.Join(parts, ","))
+}
+
+// Key returns a comparable value usable as a map key. Timestamps that are
+// Equal produce identical keys (trailing zero coordinates are dropped).
+func (t Timestamp) Key() Key {
+	if t.top {
+		return Key{top: true}
+	}
+	// Drop trailing zero coordinates so equal timestamps share a key.
+	c := t.C
+	for len(c) > 0 && c[len(c)-1] == 0 {
+		c = c[:len(c)-1]
+	}
+	k := Key{l: t.L, n: len(c)}
+	if len(c) > len(k.c) {
+		// Coordinate vectors longer than the inline array fall back to a
+		// string encoding; this is rare in practice (AV pipelines use one
+		// or two coordinates).
+		k.overflow = fmt.Sprint(c)
+		k.n = -1
+		return k
+	}
+	copy(k.c[:], c)
+	return k
+}
+
+// Key is a comparable encoding of a Timestamp, suitable for use as a map key.
+type Key struct {
+	l        uint64
+	c        [4]uint64
+	n        int
+	top      bool
+	overflow string
+}

@@ -1,0 +1,202 @@
+package timestamp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderingBasics(t *testing.T) {
+	cases := []struct {
+		a, b Timestamp
+		want int
+	}{
+		{New(0), New(0), 0},
+		{New(0), New(1), -1},
+		{New(2), New(1), 1},
+		{New(3), New(3, 0), 0},
+		{New(3, 1), New(3), 1},
+		{New(3), New(3, 0, 1), -1},
+		{New(3, 1, 2), New(3, 1, 2), 0},
+		{New(3, 1, 2), New(3, 1, 3), -1},
+		{New(3, 2), New(3, 1, 9), 1},
+		{Top(), Top(), 0},
+		{Top(), New(1 << 60), 1},
+		{New(0), Top(), -1},
+		{Bottom(), New(0), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Cmp(c.a); got != -c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestLessEqualHelpers(t *testing.T) {
+	a, b := New(1, 2), New(1, 3)
+	if !a.Less(b) || b.Less(a) {
+		t.Fatalf("Less(%v, %v) inconsistent", a, b)
+	}
+	if !a.LessEq(a) || !a.LessEq(b) {
+		t.Fatalf("LessEq broken for %v, %v", a, b)
+	}
+	if !a.Equal(New(1, 2, 0)) {
+		t.Fatalf("Equal should ignore trailing zero coordinates")
+	}
+	if !Min(a, b).Equal(a) || !Max(a, b).Equal(b) {
+		t.Fatalf("Min/Max broken")
+	}
+}
+
+func TestSucc(t *testing.T) {
+	if got := New(4, 7).Succ(); !got.Equal(New(5)) {
+		t.Fatalf("Succ(New(4,7)) = %v, want T[5]", got)
+	}
+	if got := Top().Succ(); !got.IsTop() {
+		t.Fatalf("Succ(Top) must remain Top, got %v", got)
+	}
+	a := New(4, 7)
+	if !a.Less(a.Succ()) {
+		t.Fatalf("t must be < t.Succ()")
+	}
+}
+
+func TestWithCoordinates(t *testing.T) {
+	a := New(9)
+	b := a.WithCoordinates(3, 1)
+	if b.L != 9 || b.Coordinate(0) != 3 || b.Coordinate(1) != 1 {
+		t.Fatalf("WithCoordinates produced %v", b)
+	}
+	if !a.Less(b) {
+		t.Fatalf("higher-accuracy coordinates must order after the base timestamp")
+	}
+	if got := Top().WithCoordinates(1); !got.IsTop() {
+		t.Fatalf("Top().WithCoordinates must remain Top")
+	}
+}
+
+func TestCoordinateOutOfRange(t *testing.T) {
+	a := New(1, 5)
+	if a.Coordinate(0) != 5 || a.Coordinate(1) != 0 || a.Coordinate(100) != 0 {
+		t.Fatalf("Coordinate out-of-range must be zero")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(3).String(); s != "T[3]" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := New(3, 1, 2).String(); s != "T[3|1,2]" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := Top().String(); s != "T[top]" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestKeyEquality(t *testing.T) {
+	if New(3).Key() != New(3, 0, 0).Key() {
+		t.Fatalf("equal timestamps must share a key")
+	}
+	if New(3, 1).Key() == New(3).Key() {
+		t.Fatalf("distinct timestamps must not share a key")
+	}
+	if Top().Key() == New(0).Key() {
+		t.Fatalf("Top key must be distinct")
+	}
+	long := New(1, 1, 2, 3, 4, 5)
+	if long.Key() != New(1, 1, 2, 3, 4, 5).Key() {
+		t.Fatalf("overflow keys must be stable")
+	}
+	if long.Key() == New(1, 1, 2, 3, 4, 6).Key() {
+		t.Fatalf("overflow keys must distinguish coordinates")
+	}
+}
+
+func TestNewCopiesCoordinates(t *testing.T) {
+	c := []uint64{1, 2}
+	ts := New(0, c...)
+	c[0] = 99
+	if ts.Coordinate(0) != 1 {
+		t.Fatalf("New must copy the coordinate slice")
+	}
+}
+
+func randTS(r *rand.Rand) Timestamp {
+	if r.Intn(20) == 0 {
+		return Top()
+	}
+	n := r.Intn(4)
+	c := make([]uint64, n)
+	for i := range c {
+		c[i] = uint64(r.Intn(3))
+	}
+	return New(uint64(r.Intn(5)), c...)
+}
+
+// Property: Cmp is a total order — antisymmetric, transitive, reflexive.
+func TestQuickTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		a, b, c := randTS(r), randTS(r), randTS(r)
+		if a.Cmp(a) != 0 {
+			t.Fatalf("not reflexive: %v", a)
+		}
+		if a.Cmp(b) != -b.Cmp(a) {
+			t.Fatalf("not antisymmetric: %v vs %v", a, b)
+		}
+		if a.Cmp(b) <= 0 && b.Cmp(c) <= 0 && a.Cmp(c) > 0 {
+			t.Fatalf("not transitive: %v <= %v <= %v but a > c", a, b, c)
+		}
+	}
+}
+
+// Property: Equal timestamps have equal Keys and Cmp-sorting is stable
+// under duplicate insertion.
+func TestQuickKeyConsistentWithEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a, b := randTS(r), randTS(r)
+		if a.Equal(b) != (a.Key() == b.Key()) {
+			t.Fatalf("Key/Equal mismatch: %v vs %v", a, b)
+		}
+	}
+}
+
+// Property: sorting by Less yields a monotone sequence.
+func TestQuickSortMonotone(t *testing.T) {
+	f := func(ls []uint64) bool {
+		ts := make([]Timestamp, len(ls))
+		for i, l := range ls {
+			ts[i] = New(l % 100)
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+		for i := 1; i < len(ts); i++ {
+			if ts[i].Less(ts[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Succ is strictly increasing for non-Top timestamps.
+func TestQuickSuccIncreasing(t *testing.T) {
+	f := func(l uint64, c []uint64) bool {
+		if l == ^uint64(0) {
+			l-- // avoid overflow wrap in the property itself
+		}
+		ts := New(l, c...)
+		return ts.Less(ts.Succ())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

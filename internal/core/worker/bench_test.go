@@ -1,0 +1,53 @@
+package worker
+
+import (
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/operator"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// BenchmarkChainThroughput measures the full runtime's per-timestamp cost
+// through a three-operator chain (inject -> 3x forward -> commit), i.e. the
+// scheduling + watermark + state machinery without user computation.
+func BenchmarkChainThroughput(b *testing.B) {
+	g := graph.New()
+	in := g.AddStream("in", "int")
+	_ = g.MarkIngest(in)
+	prev := in
+	for i := 0; i < 3; i++ {
+		out := g.AddStream("s", "int")
+		idx := i
+		_ = idx
+		err := g.AddOperator(&operator.Spec{
+			Name:          string(rune('a' + i)),
+			Inputs:        []stream.ID{prev},
+			Outputs:       []stream.ID{out},
+			AutoWatermark: true,
+			OnData: func(ctx *operator.Context, _ int, m message.Message) {
+				_ = ctx.Send(0, m.Timestamp, m.Payload)
+			},
+			OnWatermark: func(ctx *operator.Context) {},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev = out
+	}
+	w, err := New(g, Options{Local: true, Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := timestamp.New(uint64(i + 1))
+		_ = w.Inject(in, message.Data(ts, i))
+		_ = w.Inject(in, message.Watermark(ts))
+	}
+	w.Quiesce()
+}

@@ -1,0 +1,702 @@
+// Package worker implements ERDOS' worker runtime (§6 of the paper): it
+// instantiates a dataflow graph's streams and operators, executes callbacks
+// on the execution lattice, maintains per-stream statistics that drive
+// deadline start and end conditions, arms deadlines, and orchestrates
+// deadline exception handlers under the Abort and Continue policies.
+//
+// A Worker owns a broadcaster for every stream of the graph but only
+// instantiates the operators assigned to it, so the same type serves both
+// the single-process local mode and the leader/worker distributed mode: the
+// comm layer forwards messages of remote readers by subscribing to local
+// broadcasters and injects messages from remote writers via Inject.
+package worker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/deadline"
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/lattice"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/operator"
+	"github.com/erdos-go/erdos/internal/core/state"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// Options configures a Worker.
+type Options struct {
+	// Name identifies the worker; operators whose Placement matches (or is
+	// empty when Local is set) run here.
+	Name string
+	// Local instantiates every operator regardless of placement.
+	Local bool
+	// Owns overrides placement when non-nil: an operator is instantiated
+	// here iff Owns(spec) (used by the leader's scheduling decisions).
+	Owns func(spec string) bool
+	// Threads sizes the lattice's goroutine pool (default 8).
+	Threads int
+	// Clock drives deadline enforcement (default the wall clock).
+	Clock deadline.Clock
+	// HistoryDepth bounds how many logical times of state versions and
+	// tracking entries are retained behind the low watermark (default 64).
+	HistoryDepth uint64
+}
+
+// Stats is a snapshot of a worker's counters.
+type Stats struct {
+	Delivered        uint64
+	DroppedStale     uint64
+	WatermarkBatches uint64
+	DeadlineMisses   uint64
+	HandlerRuns      uint64
+	InsertedWMs      uint64
+	// HandlerDelays records the delay between each deadline expiry and the
+	// start of its exception handler.
+	HandlerDelays []time.Duration
+}
+
+// Worker executes the operators of one graph partition.
+type Worker struct {
+	name    string
+	lat     *lattice.Lattice
+	mon     *deadline.Monitor
+	clock   deadline.Clock
+	history uint64
+
+	broadcasters map[stream.ID]*stream.Broadcaster
+	ops          map[string]*opRuntime
+
+	mu    sync.Mutex
+	stats Stats
+	wg    sync.WaitGroup
+}
+
+// New builds a worker for graph g. The graph must already Validate().
+func New(g *graph.Graph, opts Options) (*Worker, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 8
+	}
+	if opts.Clock == nil {
+		opts.Clock = deadline.Real{}
+	}
+	if opts.HistoryDepth == 0 {
+		opts.HistoryDepth = 64
+	}
+	w := &Worker{
+		name:         opts.Name,
+		lat:          lattice.New(opts.Threads),
+		mon:          deadline.NewMonitor(opts.Clock),
+		clock:        opts.Clock,
+		history:      opts.HistoryDepth,
+		broadcasters: make(map[stream.ID]*stream.Broadcaster),
+		ops:          make(map[string]*opRuntime),
+	}
+	for _, s := range g.Streams() {
+		w.broadcasters[s.ID] = stream.NewBroadcaster(s.ID, s.Name)
+	}
+	for _, spec := range g.Operators() {
+		switch {
+		case opts.Local:
+			// instantiate everything
+		case opts.Owns != nil:
+			if !opts.Owns(spec.Name) {
+				continue
+			}
+		default:
+			if spec.Placement != opts.Name {
+				continue
+			}
+		}
+		rt, err := w.newOpRuntime(spec)
+		if err != nil {
+			w.Stop()
+			return nil, err
+		}
+		w.ops[spec.Name] = rt
+	}
+	for _, feed := range g.DeadlineFeeds() {
+		b, ok := w.broadcasters[feed.Stream]
+		if !ok {
+			continue
+		}
+		target := feed.Target
+		b.Subscribe(stream.SubscriberFunc(func(_ stream.ID, m message.Message) {
+			if !m.IsData() {
+				return
+			}
+			if d, ok := m.Payload.(time.Duration); ok {
+				target.Update(m.Timestamp, d)
+			}
+		}))
+	}
+	return w, nil
+}
+
+// Broadcaster returns the local writer end of stream id.
+func (w *Worker) Broadcaster(id stream.ID) (*stream.Broadcaster, bool) {
+	b, ok := w.broadcasters[id]
+	return b, ok
+}
+
+// Inject sends m on stream id, as the application (ingest streams) or the
+// comm layer (messages from remote writers) would.
+func (w *Worker) Inject(id stream.ID, m message.Message) error {
+	b, ok := w.broadcasters[id]
+	if !ok {
+		return fmt.Errorf("worker %q: inject on unknown stream %d", w.name, id)
+	}
+	return b.Send(m)
+}
+
+// Subscribe registers fn to observe every message on stream id (extract
+// streams, the comm layer's remote forwarding, instrumentation).
+func (w *Worker) Subscribe(id stream.ID, fn func(message.Message)) error {
+	b, ok := w.broadcasters[id]
+	if !ok {
+		return fmt.Errorf("worker %q: subscribe on unknown stream %d", w.name, id)
+	}
+	b.Subscribe(stream.SubscriberFunc(func(_ stream.ID, m message.Message) { fn(m) }))
+	return nil
+}
+
+// Quiesce waits for every scheduled callback to complete.
+func (w *Worker) Quiesce() { w.lat.Quiesce() }
+
+// WaitHandlers waits for in-flight deadline exception handlers.
+func (w *Worker) WaitHandlers() { w.wg.Wait() }
+
+// Stop tears the worker down.
+func (w *Worker) Stop() {
+	w.mon.Stop()
+	w.lat.Stop()
+	w.wg.Wait()
+}
+
+// Stats returns a snapshot of the worker's counters.
+func (w *Worker) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.stats
+	s.HandlerDelays = append([]time.Duration(nil), w.stats.HandlerDelays...)
+	return s
+}
+
+// Operator returns diagnostic information about a local operator.
+func (w *Worker) Operator(name string) (OpInfo, bool) {
+	rt, ok := w.ops[name]
+	if !ok {
+		return OpInfo{}, false
+	}
+	return rt.info(), true
+}
+
+// OpInfo is a diagnostic snapshot of one operator.
+type OpInfo struct {
+	Name           string
+	LowWatermark   timestamp.Timestamp
+	HasWatermark   bool
+	PendingTimes   int
+	CommittedTimes int
+}
+
+// --- operator runtime ---
+
+type opRuntime struct {
+	w    *Worker
+	spec *operator.Spec
+	q    *lattice.OpQueue
+	st   state.Store
+	outs []operator.Output
+
+	ttTrackers []*deadline.TimestampTracker
+	ttSpecs    []operator.TimestampDeadlineSpec
+	freq       []freqWiring
+
+	mu        sync.Mutex
+	inWM      []wmState
+	times     map[uint64]*timeWork
+	committed int
+}
+
+type wmState struct {
+	ts   timestamp.Timestamp
+	have bool
+}
+
+type timeWork struct {
+	ts           timestamp.Timestamp
+	view         any
+	viewMade     bool
+	gate         *operator.Gate
+	firstArrival time.Time
+	hasArrival   bool
+	scheduled    bool // watermark callback submitted
+	handledAbort bool // an Abort DEH took over this time
+	done         bool // watermark processing finished (committed or aborted)
+}
+
+func (w *Worker) newOpRuntime(spec *operator.Spec) (*opRuntime, error) {
+	rt := &opRuntime{
+		w:     w,
+		spec:  spec,
+		q:     w.lat.NewOpQueue(spec.Mode),
+		times: make(map[uint64]*timeWork),
+		inWM:  make([]wmState, len(spec.Inputs)),
+	}
+	if spec.NewState != nil {
+		rt.st = spec.NewState()
+	} else {
+		rt.st = state.NewNone()
+	}
+	for i, id := range spec.Outputs {
+		b, ok := w.broadcasters[id]
+		if !ok {
+			return nil, fmt.Errorf("worker %q: operator %q output stream %d missing", w.name, spec.Name, id)
+		}
+		rt.outs = append(rt.outs, &gatedOutput{rt: rt, b: b, index: i})
+	}
+	for _, ds := range spec.Deadlines {
+		ds := ds
+		tr := deadline.NewTimestampTracker(w.mon, ds.Value, ds.Policy, nil)
+		tr.Start = ds.Start
+		tr.End = ds.End
+		tr.OnMiss = func(m deadline.Miss) { rt.onMiss(ds, m) }
+		rt.ttTrackers = append(rt.ttTrackers, tr)
+		rt.ttSpecs = append(rt.ttSpecs, ds)
+	}
+	for i, id := range spec.Inputs {
+		input := i
+		b, ok := w.broadcasters[id]
+		if !ok {
+			return nil, fmt.Errorf("worker %q: operator %q input stream %d missing", w.name, spec.Name, id)
+		}
+		b.Subscribe(stream.SubscriberFunc(func(_ stream.ID, m message.Message) {
+			rt.onReceive(input, m)
+		}))
+	}
+	for _, fs := range spec.FrequencyDeadlines {
+		fs := fs
+		fr := deadline.NewFrequencyTracker(w.mon, fs.Value, func(last timestamp.Timestamp, _ deadline.Miss) {
+			rt.insertWatermark(fs, last)
+		})
+		rt.freqAttach(fs.Input, fr)
+	}
+	return rt, nil
+}
+
+// freqTrackers are attached per input; stored on the runtime for receive
+// hooks.
+type freqWiring struct {
+	input int
+	fr    *deadline.FrequencyTracker
+}
+
+func (rt *opRuntime) freqAttach(input int, fr *deadline.FrequencyTracker) {
+	rt.freq = append(rt.freq, freqWiring{input: input, fr: fr})
+}
+
+// onReceive handles a message delivered on input i.
+func (rt *opRuntime) onReceive(i int, m message.Message) {
+	rt.mu.Lock()
+	if m.IsWatermark() {
+		ws := &rt.inWM[i]
+		if ws.have && m.Timestamp.LessEq(ws.ts) {
+			// Stale or duplicate watermark (e.g. the real input arriving
+			// after a frequency deadline already simulated it).
+			rt.w.countStale()
+			rt.mu.Unlock()
+			return
+		}
+		ws.ts, ws.have = m.Timestamp, true
+		tw := rt.timeLocked(m.Timestamp)
+		rt.noteArrivalLocked(tw)
+		for _, tr := range rt.ttTrackers {
+			tr.ObserveReceive(m.Timestamp, true)
+		}
+		for _, fw := range rt.freq {
+			if fw.input == i {
+				fw.fr.ObserveWatermark(m.Timestamp)
+			}
+		}
+		rt.scheduleCompleteLocked()
+		rt.mu.Unlock()
+		rt.w.countDelivered()
+		return
+	}
+
+	// Data message.
+	low, haveLow := rt.lowWatermarkLocked()
+	if haveLow && m.Timestamp.L <= low.L && !low.IsTop() {
+		rt.w.countStale()
+		rt.mu.Unlock()
+		return
+	}
+	tw := rt.timeLocked(m.Timestamp)
+	rt.noteArrivalLocked(tw)
+	for _, tr := range rt.ttTrackers {
+		tr.ObserveReceive(m.Timestamp, false)
+	}
+	var run func()
+	if rt.spec.OnData != nil && !tw.handledAbort {
+		input := i
+		msg := m
+		l := m.Timestamp.L
+		run = func() { rt.runData(l, input, msg) }
+	}
+	rt.mu.Unlock()
+	rt.w.countDelivered()
+	if run != nil {
+		rt.w.lat.Submit(rt.q, lattice.KindMessage, m.Timestamp, run)
+	}
+}
+
+// runData executes the data callback for one message.
+func (rt *opRuntime) runData(l uint64, input int, m message.Message) {
+	rt.mu.Lock()
+	tw, ok := rt.times[l]
+	if !ok || tw.handledAbort || tw.done {
+		rt.mu.Unlock()
+		return
+	}
+	ctx := rt.contextLocked(tw)
+	rt.mu.Unlock()
+	rt.spec.OnData(ctx, input, m)
+}
+
+// scheduleCompleteLocked submits watermark callbacks for every pending
+// logical time at or below the operator's low watermark. Caller holds rt.mu.
+func (rt *opRuntime) scheduleCompleteLocked() {
+	low, ok := rt.lowWatermarkLocked()
+	if !ok {
+		return
+	}
+	var due []uint64
+	for l, tw := range rt.times {
+		if tw.scheduled || tw.done {
+			continue
+		}
+		if l <= low.L || low.IsTop() {
+			due = append(due, l)
+		}
+	}
+	sort.Slice(due, func(a, b int) bool { return due[a] < due[b] })
+	for _, l := range due {
+		tw := rt.times[l]
+		tw.scheduled = true
+		ts := tw.ts
+		rt.w.lat.Submit(rt.q, lattice.KindWatermark, ts, func() { rt.runWatermark(ts) })
+	}
+}
+
+// runWatermark executes the watermark callback for a completed timestamp,
+// then releases the output watermark and commits state (§6.2).
+func (rt *opRuntime) runWatermark(ts timestamp.Timestamp) {
+	l := ts.L
+	rt.mu.Lock()
+	tw, ok := rt.times[l]
+	if !ok || tw.done {
+		rt.mu.Unlock()
+		return
+	}
+	if tw.handledAbort {
+		// An Abort DEH already produced output and state for this time.
+		tw.done = true
+		rt.gcLocked(l)
+		rt.mu.Unlock()
+		return
+	}
+	ctx := rt.contextLocked(tw)
+	rt.mu.Unlock()
+
+	if rt.spec.OnWatermark != nil {
+		rt.spec.OnWatermark(ctx)
+	}
+
+	rt.mu.Lock()
+	aborted := tw.gate != nil && tw.gate.Aborted()
+	// Materialize the view if no callback did, so time-versioning advances
+	// even for timestamps that left the state untouched.
+	view := rt.viewLocked(tw)
+	tw.done = true
+	rt.committed++
+	rt.gcLocked(l)
+	rt.mu.Unlock()
+
+	if aborted {
+		// The DEH (Abort policy) released output and committed state.
+		rt.st.Discard(ts, view)
+		return
+	}
+	if rt.spec.AutoWatermark {
+		for _, o := range rt.outs {
+			// Errors here indicate the handler already closed or advanced
+			// the stream; the stream invariants make that visible.
+			_ = o.Send(message.Watermark(ts))
+		}
+	}
+	rt.st.Commit(ts, view)
+	rt.w.countWatermarkBatch()
+}
+
+// onMiss orchestrates a deadline exception handler (§5.4).
+func (rt *opRuntime) onMiss(spec operator.TimestampDeadlineSpec, miss deadline.Miss) {
+	rt.w.countMiss()
+	if spec.Handler == nil {
+		return
+	}
+	rt.w.wg.Add(1)
+	go func() {
+		defer rt.w.wg.Done()
+		started := rt.w.clock.Now()
+
+		rt.mu.Lock()
+		tw := rt.timeLocked(miss.Timestamp)
+		var dirty any
+		if tw.viewMade {
+			dirty = tw.view
+		}
+		if miss.Policy == deadline.Abort {
+			tw.handledAbort = true
+			if tw.gate != nil {
+				tw.gate.Abort()
+			}
+		}
+		rt.mu.Unlock()
+
+		committed, _ := rt.st.Committed(prevTime(miss.Timestamp))
+		hctx := operator.NewHandlerContext(rt.spec.Name, miss, committed, dirty, rt.rawOutputs())
+		spec.Handler(hctx)
+
+		if miss.Policy == deadline.Abort && dirty != nil {
+			// The handler amended the dirty state; publish it.
+			rt.st.Commit(miss.Timestamp, dirty)
+		}
+		rt.w.recordHandler(started.Sub(miss.ExpiredAt))
+	}()
+}
+
+// insertWatermark simulates the arrival of missing input on input stream i
+// when a frequency deadline expires (§5.1): the next logical time's
+// watermark is inserted with the lowest accuracy coordinate.
+func (rt *opRuntime) insertWatermark(fs operator.FrequencyDeadlineSpec, last timestamp.Timestamp) {
+	next := timestamp.New(last.L + 1)
+	rt.w.countInserted()
+	if fs.OnInsert != nil {
+		fs.OnInsert(next)
+	}
+	rt.onReceive(fs.Input, message.Watermark(next))
+}
+
+// contextLocked builds the callback Context for tw. Caller holds rt.mu.
+func (rt *opRuntime) contextLocked(tw *timeWork) *operator.Context {
+	view := rt.viewLocked(tw)
+	var rel time.Duration
+	var abs time.Time
+	hasDL := false
+	if len(rt.ttSpecs) > 0 {
+		rel = rt.ttSpecs[0].Value.For(tw.ts)
+		if tw.hasArrival {
+			abs = tw.firstArrival.Add(rel)
+		} else {
+			abs = rt.w.clock.Now().Add(rel)
+		}
+		hasDL = true
+	}
+	return operator.NewContext(rt.spec.Name, tw.ts, view, rt.outs, rel, abs, hasDL, tw.gate)
+}
+
+// viewLocked lazily creates the shared working view for a timestamp.
+func (rt *opRuntime) viewLocked(tw *timeWork) any {
+	if !tw.viewMade {
+		tw.view = rt.st.View(tw.ts)
+		tw.viewMade = true
+	}
+	return tw.view
+}
+
+// timeLocked returns (creating if needed) the work record for t's logical
+// time.
+func (rt *opRuntime) timeLocked(t timestamp.Timestamp) *timeWork {
+	tw, ok := rt.times[t.L]
+	if !ok {
+		tw = &timeWork{ts: timestamp.New(t.L), gate: operator.NewGate()}
+		rt.times[t.L] = tw
+	}
+	return tw
+}
+
+func (rt *opRuntime) noteArrivalLocked(tw *timeWork) {
+	if !tw.hasArrival {
+		tw.firstArrival = rt.w.clock.Now()
+		tw.hasArrival = true
+	}
+}
+
+// lowWatermarkLocked computes the minimum watermark across input streams.
+func (rt *opRuntime) lowWatermarkLocked() (timestamp.Timestamp, bool) {
+	if len(rt.inWM) == 0 {
+		return timestamp.Timestamp{}, false
+	}
+	low := timestamp.Top()
+	for _, ws := range rt.inWM {
+		if !ws.have {
+			return timestamp.Timestamp{}, false
+		}
+		low = timestamp.Min(low, ws.ts)
+	}
+	return low, true
+}
+
+// gcLocked discards finished work records far enough behind l.
+func (rt *opRuntime) gcLocked(l uint64) {
+	h := rt.w.history
+	if l < h {
+		return
+	}
+	cut := l - h
+	for k, tw := range rt.times {
+		if k < cut && tw.done {
+			delete(rt.times, k)
+		}
+	}
+	for _, tr := range rt.ttTrackers {
+		tr.GCBelow(cut)
+	}
+	rt.st.GC(timestamp.New(cut))
+}
+
+// rawOutputs returns outputs without abort gating, for handlers.
+func (rt *opRuntime) rawOutputs() []operator.Output {
+	outs := make([]operator.Output, len(rt.outs))
+	for i, o := range rt.outs {
+		g := o.(*gatedOutput)
+		outs[i] = &rawOutput{rt: rt, b: g.b, index: g.index}
+	}
+	return outs
+}
+
+func (rt *opRuntime) info() OpInfo {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	low, have := rt.lowWatermarkLocked()
+	pending := 0
+	for _, tw := range rt.times {
+		if !tw.done {
+			pending++
+		}
+	}
+	return OpInfo{
+		Name:           rt.spec.Name,
+		LowWatermark:   low,
+		HasWatermark:   have,
+		PendingTimes:   pending,
+		CommittedTimes: rt.committed,
+	}
+}
+
+// gatedOutput feeds deadline end conditions and respects abort gating via
+// Context; the Context itself checks the gate, so this type only needs the
+// DEC observation hook.
+type gatedOutput struct {
+	rt    *opRuntime
+	b     *stream.Broadcaster
+	index int
+}
+
+// Send implements operator.Output.
+func (o *gatedOutput) Send(m message.Message) error {
+	if err := o.b.Send(m); err != nil {
+		return err
+	}
+	o.rt.observeSend(o.index, m)
+	return nil
+}
+
+// StreamID implements operator.Output.
+func (o *gatedOutput) StreamID() stream.ID { return o.b.ID() }
+
+// rawOutput is the handler-facing output: identical delivery, identical DEC
+// observation, no gating (handlers must always be able to release output).
+type rawOutput struct {
+	rt    *opRuntime
+	b     *stream.Broadcaster
+	index int
+}
+
+// Send implements operator.Output.
+func (o *rawOutput) Send(m message.Message) error {
+	if err := o.b.Send(m); err != nil {
+		return err
+	}
+	o.rt.observeSend(o.index, m)
+	return nil
+}
+
+// StreamID implements operator.Output.
+func (o *rawOutput) StreamID() stream.ID { return o.b.ID() }
+
+// observeSend feeds the DEC of every timestamp deadline registered on the
+// sending output.
+func (rt *opRuntime) observeSend(output int, m message.Message) {
+	for i, tr := range rt.ttTrackers {
+		spec := rt.ttSpecs[i]
+		if spec.Output == operator.AllOutputs || spec.Output == output {
+			tr.ObserveSend(m.Timestamp, m.IsWatermark())
+		}
+	}
+}
+
+// prevTime returns a timestamp strictly below t's logical time for
+// committed-state lookups (the DEH receives the state for t' < t).
+func prevTime(t timestamp.Timestamp) timestamp.Timestamp {
+	if t.L == 0 {
+		return timestamp.Bottom()
+	}
+	return timestamp.New(t.L - 1)
+}
+
+// --- worker counters ---
+
+func (w *Worker) countDelivered() {
+	w.mu.Lock()
+	w.stats.Delivered++
+	w.mu.Unlock()
+}
+
+func (w *Worker) countStale() {
+	w.mu.Lock()
+	w.stats.DroppedStale++
+	w.mu.Unlock()
+}
+
+func (w *Worker) countWatermarkBatch() {
+	w.mu.Lock()
+	w.stats.WatermarkBatches++
+	w.mu.Unlock()
+}
+
+func (w *Worker) countMiss() {
+	w.mu.Lock()
+	w.stats.DeadlineMisses++
+	w.mu.Unlock()
+}
+
+func (w *Worker) countInserted() {
+	w.mu.Lock()
+	w.stats.InsertedWMs++
+	w.mu.Unlock()
+}
+
+func (w *Worker) recordHandler(delay time.Duration) {
+	w.mu.Lock()
+	w.stats.HandlerRuns++
+	w.stats.HandlerDelays = append(w.stats.HandlerDelays, delay)
+	w.mu.Unlock()
+}

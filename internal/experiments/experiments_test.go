@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig2aNoSilverBullet(t *testing.T) {
+	r := Fig2aDetectorChoice(42)
+	if r.Distinct < 3 {
+		t.Fatalf("only %d distinct optima; the point of Fig. 2a is that the optimum varies", r.Distinct)
+	}
+	// The optimum must also vary within at least one scenario.
+	within := false
+	for _, row := range r.Best {
+		for i := 1; i < len(row); i++ {
+			if row[i] != row[0] {
+				within = true
+			}
+		}
+	}
+	if !within {
+		t.Fatal("the optimum never varied within a scenario")
+	}
+	if !strings.Contains(r.Render(), "distinct optima") {
+		t.Fatal("render missing summary")
+	}
+}
+
+func TestFig2bOrdering(t *testing.T) {
+	r := Fig2bTrackerRuntime(1)
+	if len(r.Trackers) != 3 {
+		t.Fatalf("trackers = %v", r.Trackers)
+	}
+	for i, name := range r.Trackers {
+		row := r.MedianMS[i]
+		for j := 1; j < len(row); j++ {
+			if row[j] <= row[j-1] {
+				t.Fatalf("%s runtime not increasing with agents: %v", name, row)
+			}
+		}
+	}
+	// DaSiamRPN at 10 agents must dominate SORT by a large factor.
+	if r.MedianMS[2][3] < 20*r.MedianMS[0][3] {
+		t.Fatalf("DaSiamRPN/SORT factor too small: %v vs %v", r.MedianMS[2][3], r.MedianMS[0][3])
+	}
+}
+
+func TestFig2cLinearGrowth(t *testing.T) {
+	r := Fig2cPredictionHorizon(1)
+	for i, name := range r.Predictors {
+		row := r.MedianMS[i]
+		for j := 1; j < len(row); j++ {
+			if row[j] <= row[j-1] {
+				t.Fatalf("%s runtime not increasing with horizon: %v", name, row)
+			}
+		}
+	}
+}
+
+func TestFig2dComfortImproves(t *testing.T) {
+	r := Fig2dPlanningComfort()
+	if len(r.MaxJerk) != 3 {
+		t.Fatalf("configs = %v", r.Runtimes)
+	}
+	if r.MaxJerk[2] >= r.MaxJerk[0] {
+		t.Fatalf("fine-grid jerk (%.1f) must beat coarse-grid jerk (%.1f)",
+			r.MaxJerk[2], r.MaxJerk[0])
+	}
+	if r.Candidates[2] <= r.Candidates[0] || r.Runtimes[2] <= r.Runtimes[0] {
+		t.Fatal("finer configurations must cost more")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := Fig3ResponseVariability(11)
+	if r.TailRatio < 2.0 {
+		t.Fatalf("p99/mean = %.1f, want heavy tail (paper: 3.3x)", r.TailRatio)
+	}
+	if r.Dropped == 0 {
+		t.Fatal("expected dropped sensor messages")
+	}
+	if !strings.Contains(r.Render(), "p99/mean") {
+		t.Fatal("render missing tail ratio")
+	}
+}
+
+func TestFig9Utilization(t *testing.T) {
+	r := Fig9MeetingDeadlines(5)
+	det := r.DetectionUtilization()
+	plan := r.PlanningUtilization()
+	if plan < 0.9 {
+		t.Fatalf("planning utilization %.2f, want ~1 (anytime fills its allotment)", plan)
+	}
+	if det >= plan {
+		t.Fatalf("detection utilization (%.2f) must trail planning (%.2f): the model family is discrete", det, plan)
+	}
+	if r.PlanningMisses != 0 {
+		t.Fatalf("planning missed %d deadlines; the anytime planner must fit", r.PlanningMisses)
+	}
+	frac := float64(r.DetectionMisses) / float64(r.Frames)
+	if frac > 0.08 {
+		t.Fatalf("detection missed %.0f%% of frames; conservative selection should rarely miss", frac*100)
+	}
+}
+
+func TestFig10HandlerDelayShape(t *testing.T) {
+	r := Fig10HandlerDelay(40)
+	if r.ErdosMedian <= 0 || r.ActionlibMedian <= 0 {
+		t.Fatalf("degenerate measurement: %+v", r)
+	}
+	if r.ErdosMedian >= r.ActionlibMedian {
+		t.Fatalf("erdos handler delay (%v) must beat actionlib polling (%v)",
+			r.ErdosMedian, r.ActionlibMedian)
+	}
+	if r.ErdosMedian > 2*time.Millisecond {
+		t.Fatalf("erdos handler delay %v implausibly large", r.ErdosMedian)
+	}
+}
+
+func TestFig10DEHEffect(t *testing.T) {
+	r := Fig10DEHEffect(42, 10)
+	if r.WithMissRatio != 0 {
+		t.Fatalf("with DEH the end-to-end deadline must always be met, got %.3f%%", r.WithMissRatio*100)
+	}
+	if r.WithoutMissRatio <= 0 {
+		t.Fatal("without DEH some end-to-end deadlines must be missed")
+	}
+	if r.WithoutMissRatio > 0.25 {
+		t.Fatalf("without-DEH miss ratio %.1f%% too high for the best configuration", r.WithoutMissRatio*100)
+	}
+	if r.WithP99 > r.Deadline {
+		t.Fatalf("with DEH p99 %v exceeds the deadline %v", r.WithP99, r.Deadline)
+	}
+}
+
+func TestFig11Headline(t *testing.T) {
+	r := Fig11Collisions(42, 50)
+	if !(r.Dynamic < r.BestStatic && r.BestStatic <= r.DataDriven+3 && r.DataDriven < r.Periodic) {
+		t.Fatalf("ordering violated: %+v", r)
+	}
+	if r.ReductionVsPeriodic < 0.5 || r.ReductionVsPeriodic > 0.85 {
+		t.Fatalf("reduction %.0f%%, want in [50, 85] (paper: 68%%)", r.ReductionVsPeriodic*100)
+	}
+	if !strings.Contains(r.Render(), "collision reduction") {
+		t.Fatal("render missing headline")
+	}
+}
+
+func TestFig12Bimodality(t *testing.T) {
+	f11 := Fig11Collisions(42, 20)
+	r := Fig12ResponseHistogram(42, 20, f11.BestStaticDeadline)
+	if r.StaticN == 0 || r.DynN == 0 {
+		t.Fatal("no samples collected")
+	}
+	// The static configuration's responses concentrate near its deadline;
+	// the dynamic execution spends most frames slower (more accurate) but
+	// adapts to fast responses when the environment demands it (Fig. 12).
+	if r.DynMed <= r.StaticMed {
+		t.Fatalf("dynamic median (%v) should exceed the best static's (%v): it usually affords accuracy",
+			r.DynMed, r.StaticMed)
+	}
+	if r.DynFastShare <= 0 {
+		t.Fatal("dynamic execution must show a fast mode under pressure")
+	}
+}
+
+func TestFig13Render(t *testing.T) {
+	r := Fig13ScenarioGrid(3)
+	out := r.Render()
+	if !strings.Contains(out, "Person Behind Truck") || !strings.Contains(out, "Traffic Jam") {
+		t.Fatal("render incomplete")
+	}
+	if len(r.PersonBehindTruck) != 18 || len(r.TrafficJam) != 18 {
+		t.Fatalf("grid sizes: %d, %d (want 6 configs x 3 speeds)",
+			len(r.PersonBehindTruck), len(r.TrafficJam))
+	}
+}
+
+func TestFig14Timeline(t *testing.T) {
+	r := Fig14AdaptTimeline(6)
+	if len(r.Responses) < 3 {
+		t.Fatalf("timeline too short: %d frames", len(r.Responses))
+	}
+	first, minD := r.Deadlines[0], r.Deadlines[0]
+	for _, d := range r.Deadlines {
+		if d < minD {
+			minD = d
+		}
+	}
+	if minD >= first {
+		t.Fatal("deadline never tightened during the encounter")
+	}
+	if r.Outcome.Collided {
+		t.Fatalf("the adapted pipeline should avoid the 12 m/s person-behind-truck: %+v", r.Outcome)
+	}
+}
+
+func TestPolicyOverheadSmall(t *testing.T) {
+	r := PolicyMechanismOverhead(120)
+	if r.WithoutMedian <= 0 || r.WithMedian <= 0 {
+		t.Fatalf("degenerate measurement: %+v", r)
+	}
+	// The paper reports < 1%; allow slack for CI noise but insist the
+	// mechanism is cheap.
+	if r.OverheadPct > 25 {
+		t.Fatalf("policy mechanism overhead %.1f%%, want small", r.OverheadPct)
+	}
+}
+
+func TestFig8aShape(t *testing.T) {
+	r := Fig8aMessageDelay(15)
+	// ERDOS' zero-copy intra path must stay roughly flat across sizes and
+	// beat the copying systems at 1MB+.
+	e := r.IntraMedian["erdos"]
+	ros2 := r.IntraMedian["ros2"]
+	flink := r.IntraMedian["flink"]
+	if e[3] > 50*time.Microsecond && e[3] > e[0]*100 {
+		t.Fatalf("erdos intra delay grew with size: %v", e)
+	}
+	if !(e[2] < ros2[2] && e[2] < flink[2]) {
+		t.Fatalf("erdos must win intra at 1MB: erdos=%v ros2=%v flink=%v", e[2], ros2[2], flink[2])
+	}
+	// Inter-worker at 1MB: erdos fastest.
+	ei := r.InterMedian["erdos"][2]
+	for _, sys := range []string{"ros", "ros2", "flink"} {
+		if ei >= r.InterMedian[sys][2] {
+			t.Fatalf("erdos inter (%v) must beat %s (%v) at 1MB", ei, sys, r.InterMedian[sys][2])
+		}
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	r := Fig8bFanout(8)
+	e := r.IntraMedian["erdos"]
+	ros2 := r.IntraMedian["ros2"]
+	if e[3] >= ros2[3] {
+		t.Fatalf("erdos 5-way fanout (%v) must beat ros2 (%v): zero copy vs 3 conversions", e[3], ros2[3])
+	}
+	// ERDOS broadcast latency stays far below a camera frame budget.
+	if e[3] > 5*time.Millisecond {
+		t.Fatalf("erdos 6MB 5-way intra fanout = %v, implausibly slow", e[3])
+	}
+}
+
+func TestFig8cShape(t *testing.T) {
+	r := Fig8cSensorScaling(6)
+	if len(r.Configs) != 4 {
+		t.Fatalf("configs = %d", len(r.Configs))
+	}
+	last := r.Configs[len(r.Configs)-1]
+	if last.Operators != 75 {
+		t.Fatalf("full-scale pipeline has %d operators, want 75", last.Operators)
+	}
+	if last.ErdosIntra >= last.Ros2Intra {
+		t.Fatalf("erdos (%v) must beat ros2 (%v) at full scale", last.ErdosIntra, last.Ros2Intra)
+	}
+	if last.ErdosRuntime <= 0 {
+		t.Fatal("runtime measurement failed")
+	}
+}

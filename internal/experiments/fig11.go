@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/metrics"
+	"github.com/erdos-go/erdos/internal/pipeline"
+	"github.com/erdos-go/erdos/internal/policy"
+	"github.com/erdos-go/erdos/internal/sim"
+)
+
+// Fig11Result reports collisions over the 50 km challenge drive under the
+// four execution models (Fig. 11), using the best static configuration.
+type Fig11Result struct {
+	Periodic, DataDriven, BestStatic, Dynamic int
+	BestStaticDeadline                        time.Duration
+	PerStatic                                 map[time.Duration]int
+	// ReductionVsPeriodic is the headline number (paper: 68%).
+	ReductionVsPeriodic float64
+}
+
+// Fig11Collisions runs the suite under every execution model.
+func Fig11Collisions(seed int64, km float64) Fig11Result {
+	suite := sim.ChallengeSuite(seed, km)
+	res := Fig11Result{PerStatic: map[time.Duration]int{}}
+	res.Periodic = sim.RunSuite(pipeline.StaticConfig(pipeline.Periodic, 200*time.Millisecond), suite, 1).Collisions
+	res.DataDriven = sim.RunSuite(pipeline.StaticConfig(pipeline.DataDriven, 200*time.Millisecond), suite, 1).Collisions
+	res.Dynamic = sim.RunSuite(pipeline.DynamicConfig(), suite, 1).Collisions
+	res.BestStatic = 1 << 30
+	for _, d := range policy.StaticConfigs {
+		c := sim.RunSuite(pipeline.StaticConfig(pipeline.D3Static, d), suite, 1).Collisions
+		res.PerStatic[d] = c
+		if c < res.BestStatic {
+			res.BestStatic, res.BestStaticDeadline = c, d
+		}
+	}
+	if res.Periodic > 0 {
+		res.ReductionVsPeriodic = 1 - float64(res.Dynamic)/float64(res.Periodic)
+	}
+	return res
+}
+
+// Render prints the Fig. 11 bars.
+func (r Fig11Result) Render() string {
+	t := metrics.NewTable("execution model", "collisions", "vs periodic")
+	row := func(name string, c int) {
+		factor := "-"
+		if c > 0 {
+			factor = fmt.Sprintf("%.1fx", float64(r.Periodic)/float64(c))
+		}
+		t.Row(name, c, factor)
+	}
+	row("periodic (WCET)", r.Periodic)
+	row("data-driven", r.DataDriven)
+	row(fmt.Sprintf("d3 static (%v)", r.BestStaticDeadline), r.BestStatic)
+	row("d3 dynamic", r.Dynamic)
+	t.Row("collision reduction", fmt.Sprintf("%.0f%%", r.ReductionVsPeriodic*100), "(paper: 68%)")
+	return t.String()
+}
+
+// Fig12Result is the response-time histogram, static vs dynamic (Fig. 12).
+type Fig12Result struct {
+	Static, Dynamic    *metrics.Histogram
+	StaticMed, DynMed  time.Duration
+	StaticP99, DynP99  time.Duration
+	StaticDeadline     time.Duration
+	DynFastShare       float64 // fraction of frames faster than 300 ms
+	StaticFastShare    float64
+	StaticN, DynN      int
+	DynamicMinDeadline time.Duration
+	DynamicMaxDeadline time.Duration
+}
+
+// Fig12ResponseHistogram collects per-frame responses over the drive for
+// the best static configuration and the dynamic policy.
+func Fig12ResponseHistogram(seed int64, km float64, bestStatic time.Duration) Fig12Result {
+	suite := sim.ChallengeSuite(seed, km)
+	stat := sim.RunSuite(pipeline.StaticConfig(pipeline.D3Static, bestStatic), suite, 1)
+	dyn := sim.RunSuite(pipeline.DynamicConfig(), suite, 1)
+	res := Fig12Result{
+		Static:         metrics.NewHistogram(25 * time.Millisecond),
+		Dynamic:        metrics.NewHistogram(25 * time.Millisecond),
+		StaticDeadline: bestStatic,
+	}
+	ss, ds := metrics.NewSample(), metrics.NewSample()
+	fast := 0
+	for _, sec := range stat.Responses {
+		d := time.Duration(sec * float64(time.Second))
+		res.Static.Add(d)
+		ss.Add(d)
+		if d < 300*time.Millisecond {
+			fast++
+		}
+	}
+	res.StaticFastShare = float64(fast) / float64(len(stat.Responses))
+	fast = 0
+	for _, sec := range dyn.Responses {
+		d := time.Duration(sec * float64(time.Second))
+		res.Dynamic.Add(d)
+		ds.Add(d)
+		if d < 300*time.Millisecond {
+			fast++
+		}
+	}
+	res.DynFastShare = float64(fast) / float64(len(dyn.Responses))
+	res.StaticMed, res.DynMed = ss.Median(), ds.Median()
+	res.StaticP99, res.DynP99 = ss.P99(), ds.P99()
+	res.StaticN, res.DynN = ss.Len(), ds.Len()
+	return res
+}
+
+// Render prints both histograms side by side.
+func (r Fig12Result) Render() string {
+	t := metrics.NewTable("bin start", "static freq", "dynamic freq")
+	sBins := map[time.Duration]float64{}
+	for _, b := range r.Static.Bins() {
+		sBins[b.Start] = b.Freq
+	}
+	dBins := map[time.Duration]float64{}
+	for _, b := range r.Dynamic.Bins() {
+		dBins[b.Start] = b.Freq
+	}
+	for start := time.Duration(0); start <= 550*time.Millisecond; start += 25 * time.Millisecond {
+		t.Row(start, fmt.Sprintf("%.3f", sBins[start]), fmt.Sprintf("%.3f", dBins[start]))
+	}
+	t.Row("median", r.StaticMed, r.DynMed)
+	t.Row("share under 300ms", fmt.Sprintf("%.0f%%", r.StaticFastShare*100), fmt.Sprintf("%.0f%%", r.DynFastShare*100))
+	return t.String()
+}
+
+// Fig13Result is the §7.4.2 scenario grid.
+type Fig13Result struct {
+	PersonBehindTruck []sim.GridCell
+	TrafficJam        []sim.GridCell
+	PBTSpeeds         []float64
+	JamSpeeds         []float64
+}
+
+// Fig13ScenarioGrid evaluates both scenarios across speeds and
+// configurations.
+func Fig13ScenarioGrid(seed int64) Fig13Result {
+	return Fig13Result{
+		PersonBehindTruck: sim.ScenarioGrid(sim.PersonBehindTruck, []float64{11, 12, 13}, seed),
+		TrafficJam:        sim.ScenarioGrid(sim.TrafficJam, []float64{8, 10, 12}, seed),
+		PBTSpeeds:         []float64{11, 12, 13},
+		JamSpeeds:         []float64{8, 10, 12},
+	}
+}
+
+// Render prints the two grids in the paper's layout (collision speed in
+// m/s; 0 denotes an avoided collision).
+func (r Fig13Result) Render() string {
+	out := "Person Behind Truck (driving speed m/s ->)\n"
+	out += renderGrid(r.PersonBehindTruck, r.PBTSpeeds)
+	out += "Traffic Jam (driving speed m/s ->)\n"
+	out += renderGrid(r.TrafficJam, r.JamSpeeds)
+	return out
+}
+
+func renderGrid(cells []sim.GridCell, speeds []float64) string {
+	t := headerForSpeeds(speeds)
+	byDeadline := map[time.Duration][]sim.GridCell{}
+	var order []time.Duration
+	for _, c := range cells {
+		if _, ok := byDeadline[c.Deadline]; !ok {
+			order = append(order, c.Deadline)
+		}
+		byDeadline[c.Deadline] = append(byDeadline[c.Deadline], c)
+	}
+	for _, d := range order {
+		label := "D3"
+		if d > 0 {
+			label = d.String()
+		}
+		cellsAny := []any{label}
+		for _, c := range byDeadline[d] {
+			if c.CollisionSpeed > 0 {
+				cellsAny = append(cellsAny, fmt.Sprintf("%.1f", c.CollisionSpeed))
+			} else {
+				cellsAny = append(cellsAny, fmt.Sprintf("0 (%s)", c.Avoided))
+			}
+		}
+		t.Row(cellsAny...)
+	}
+	return t.String()
+}
+
+func headerForSpeeds(speeds []float64) *metrics.Table {
+	hdr := []string{"deadline"}
+	for _, v := range speeds {
+		hdr = append(hdr, fmt.Sprintf("%.0f m/s", v))
+	}
+	return metrics.NewTable(hdr...)
+}
+
+// Fig14Result is one person-behind-truck encounter's timeline under the
+// dynamic policy (Fig. 14): the response time drops once the person becomes
+// visible and the policy tightens the deadline.
+type Fig14Result struct {
+	FrameTimes []time.Duration
+	Responses  []time.Duration
+	Deadlines  []time.Duration
+	Detectors  []string
+	Outcome    sim.Outcome
+}
+
+// Fig14AdaptTimeline runs the encounter and extracts the timeline.
+func Fig14AdaptTimeline(seed int64) Fig14Result {
+	cfg := pipeline.DynamicConfig()
+	out := sim.RunEncounter(pipeline.New(cfg, seed), sim.PersonBehindTruck(12), seed)
+	res := Fig14Result{Outcome: out}
+	for i := range out.Responses {
+		res.FrameTimes = append(res.FrameTimes, time.Duration(i)*cfg.SensorPeriod)
+		res.Responses = append(res.Responses, out.Responses[i])
+		res.Deadlines = append(res.Deadlines, out.Deadlines[i])
+		res.Detectors = append(res.Detectors, out.Detectors[i])
+	}
+	return res
+}
+
+// Render prints the timeline.
+func (r Fig14Result) Render() string {
+	t := metrics.NewTable("t", "deadline", "response", "detector")
+	for i := range r.FrameTimes {
+		t.Row(r.FrameTimes[i], r.Deadlines[i], r.Responses[i], r.Detectors[i])
+	}
+	out := t.String()
+	if r.Outcome.Collided {
+		out += fmt.Sprintf("outcome: collision at %.1f m/s\n", r.Outcome.CollisionSpeed)
+	} else {
+		out += fmt.Sprintf("outcome: avoided (%s)\n", r.Outcome.Avoided)
+	}
+	return out
+}

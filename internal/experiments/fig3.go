@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/tlight"
+	"github.com/erdos-go/erdos/internal/metrics"
+)
+
+// Fig3Result reproduces the Apollo traffic-light response-time variability
+// study (Fig. 3): a heavy-tailed perception response that forces the
+// pipeline to drop sensor messages when a slow detection keeps resources
+// busy, with a p99/mean skew of ~3.3x.
+type Fig3Result struct {
+	// Timeline holds (time, response) samples for the plotted drive.
+	Times     []time.Duration
+	Responses []time.Duration
+	Mean, P99 time.Duration
+	TailRatio float64
+	Dropped   int
+	Total     int
+}
+
+// Fig3ResponseVariability replays a 40 s drive at Apollo's 10 Hz.
+func Fig3ResponseVariability(seed int64) Fig3Result {
+	tr := tlight.Simulate(seed, 40*time.Second, 100*time.Millisecond)
+	s := metrics.NewSample()
+	s.AddAll(tr.Runtimes)
+	return Fig3Result{
+		Times:     tr.Times,
+		Responses: tr.Runtimes,
+		Mean:      s.Mean(),
+		P99:       s.P99(),
+		TailRatio: s.TailRatio(),
+		Dropped:   tr.Dropped,
+		Total:     tr.Dropped + len(tr.Runtimes),
+	}
+}
+
+// Render prints the Fig. 3 summary plus a coarse timeline.
+func (r Fig3Result) Render() string {
+	t := metrics.NewTable("metric", "value")
+	t.Row("perception mean", r.Mean)
+	t.Row("perception p99", r.P99)
+	t.Row("p99/mean (paper: ~3.3x)", fmt.Sprintf("%.1fx", r.TailRatio))
+	t.Row("sensor messages dropped", fmt.Sprintf("%d of %d", r.Dropped, r.Total))
+	out := t.String()
+	out += "timeline (one column per 2s, mean response):\n  "
+	bucket := map[int][]time.Duration{}
+	for i, at := range r.Times {
+		bucket[int(at/(2*time.Second))] = append(bucket[int(at/(2*time.Second))], r.Responses[i])
+	}
+	for b := 0; b < 20; b++ {
+		s := metrics.NewSample()
+		s.AddAll(bucket[b])
+		out += fmt.Sprintf("%4.0f", float64(s.Mean())/float64(time.Millisecond))
+	}
+	out += " ms\n"
+	return out
+}

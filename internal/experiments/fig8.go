@@ -1,0 +1,463 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/baselines"
+	"github.com/erdos-go/erdos/internal/core/erdos"
+	streampkg "github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/metrics"
+)
+
+// Fig8Systems lists the systems compared in §7.2.
+var Fig8Systems = []string{"erdos", "ros", "ros2", "flink"}
+
+// intraFactory builds an intra-process publisher for a system.
+func intraFactory(system string, recvs []baselines.Receiver) baselines.Publisher {
+	switch system {
+	case "erdos":
+		return baselines.NewErdosIntra(recvs)
+	case "erdos-copy":
+		return baselines.NewCopyIntra(recvs)
+	case "ros2":
+		return baselines.NewRos2Intra(recvs)
+	case "flink":
+		return baselines.NewFlinkIntra(recvs)
+	default:
+		return nil
+	}
+}
+
+// interFactory builds a TCP publisher for a system.
+func interFactory(system string, n int, recv baselines.Receiver) (baselines.Publisher, error) {
+	switch system {
+	case "erdos":
+		return baselines.NewErdosInter(n, recv)
+	case "ros":
+		return baselines.NewRosInter(n, recv)
+	case "ros2":
+		return baselines.NewRos2Inter(n, recv)
+	case "flink":
+		return baselines.NewFlinkInter(n, recv)
+	default:
+		return nil, fmt.Errorf("unknown system %q", system)
+	}
+}
+
+// measureIntra returns the median callback-invocation delay for one
+// intra-process publisher at the given payload size.
+func measureIntra(system string, size, msgs int) time.Duration {
+	done := make(chan struct{}, 1)
+	var sentAt time.Time
+	s := metrics.NewSample()
+	pub := intraFactory(system, []baselines.Receiver{func(uint64, []byte) {
+		s.Add(time.Since(sentAt))
+		done <- struct{}{}
+	}})
+	if pub == nil {
+		return 0
+	}
+	defer pub.Close()
+	payload := make([]byte, size)
+	for i := 0; i < msgs; i++ {
+		sentAt = time.Now()
+		_ = pub.Publish(payload)
+		<-done
+	}
+	return s.Median()
+}
+
+// measureInter returns the median callback-invocation delay over TCP.
+func measureInter(system string, size, msgs int) (time.Duration, error) {
+	done := make(chan struct{}, 1)
+	var mu sync.Mutex
+	var sentAt time.Time
+	s := metrics.NewSample()
+	pub, err := interFactory(system, 1, func(uint64, []byte) {
+		mu.Lock()
+		s.Add(time.Since(sentAt))
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer pub.Close()
+	payload := make([]byte, size)
+	for i := 0; i < msgs; i++ {
+		mu.Lock()
+		sentAt = time.Now()
+		mu.Unlock()
+		if err := pub.Publish(payload); err != nil {
+			return 0, err
+		}
+		<-done
+	}
+	return s.Median(), nil
+}
+
+// Fig8aResult is the message-size sweep (Fig. 8a).
+type Fig8aResult struct {
+	Sizes []int
+	// IntraMedian[system][size] and InterMedian[system][size]; intra has
+	// no "ros" entry (ROS1 nodes are separate processes), matching the
+	// paper's plot.
+	IntraMedian map[string][]time.Duration
+	InterMedian map[string][]time.Duration
+}
+
+// Fig8aMessageDelay sweeps 10 KB - 10 MB payloads.
+func Fig8aMessageDelay(msgs int) Fig8aResult {
+	if msgs <= 0 {
+		msgs = 50
+	}
+	res := Fig8aResult{
+		Sizes:       []int{10 << 10, 100 << 10, 1 << 20, 10 << 20},
+		IntraMedian: map[string][]time.Duration{},
+		InterMedian: map[string][]time.Duration{},
+	}
+	for _, sys := range []string{"erdos", "ros2", "flink"} {
+		for _, size := range res.Sizes {
+			res.IntraMedian[sys] = append(res.IntraMedian[sys], measureIntra(sys, size, msgs))
+		}
+	}
+	for _, sys := range Fig8Systems {
+		for _, size := range res.Sizes {
+			d, err := measureInter(sys, size, msgs)
+			if err != nil {
+				d = -1
+			}
+			res.InterMedian[sys] = append(res.InterMedian[sys], d)
+		}
+	}
+	return res
+}
+
+// Render prints the Fig. 8a series.
+func (r Fig8aResult) Render() string {
+	t := metrics.NewTable("placement", "system", "10KB", "100KB", "1MB", "10MB")
+	for _, sys := range []string{"erdos", "ros2", "flink"} {
+		cells := []any{"intra-worker", sys}
+		for _, d := range r.IntraMedian[sys] {
+			cells = append(cells, d)
+		}
+		t.Row(cells...)
+	}
+	for _, sys := range Fig8Systems {
+		cells := []any{"inter-worker", sys}
+		for _, d := range r.InterMedian[sys] {
+			cells = append(cells, d)
+		}
+		t.Row(cells...)
+	}
+	return t.String()
+}
+
+// Fig8bResult is the operator-fanout sweep (Fig. 8b) with a 6 MB camera
+// image broadcast to 2-5 receivers; the delay is until the last receiver's
+// callback runs.
+type Fig8bResult struct {
+	Receivers   []int
+	IntraMedian map[string][]time.Duration
+	InterMedian map[string][]time.Duration
+}
+
+// Fig8bFanout sweeps the receiver counts.
+func Fig8bFanout(msgs int) Fig8bResult {
+	if msgs <= 0 {
+		msgs = 30
+	}
+	const size = 6 << 20
+	res := Fig8bResult{
+		Receivers:   []int{2, 3, 4, 5},
+		IntraMedian: map[string][]time.Duration{},
+		InterMedian: map[string][]time.Duration{},
+	}
+	for _, sys := range []string{"erdos", "ros2", "flink"} {
+		for _, n := range res.Receivers {
+			res.IntraMedian[sys] = append(res.IntraMedian[sys], measureIntraFanout(sys, size, n, msgs))
+		}
+	}
+	for _, sys := range Fig8Systems {
+		for _, n := range res.Receivers {
+			d, err := measureInterFanout(sys, size, n, msgs)
+			if err != nil {
+				d = -1
+			}
+			res.InterMedian[sys] = append(res.InterMedian[sys], d)
+		}
+	}
+	return res
+}
+
+func measureIntraFanout(system string, size, n, msgs int) time.Duration {
+	var pending atomic.Int32
+	done := make(chan struct{}, 1)
+	var sentAt time.Time
+	s := metrics.NewSample()
+	recv := func(uint64, []byte) {
+		if pending.Add(-1) == 0 {
+			s.Add(time.Since(sentAt))
+			done <- struct{}{}
+		}
+	}
+	recvs := make([]baselines.Receiver, n)
+	for i := range recvs {
+		recvs[i] = recv
+	}
+	pub := intraFactory(system, recvs)
+	if pub == nil {
+		return 0
+	}
+	defer pub.Close()
+	payload := make([]byte, size)
+	for i := 0; i < msgs; i++ {
+		pending.Store(int32(n))
+		sentAt = time.Now()
+		_ = pub.Publish(payload)
+		<-done
+	}
+	return s.Median()
+}
+
+func measureInterFanout(system string, size, n, msgs int) (time.Duration, error) {
+	var pending atomic.Int32
+	done := make(chan struct{}, 1)
+	var mu sync.Mutex
+	var sentAt time.Time
+	s := metrics.NewSample()
+	pub, err := interFactory(system, n, func(uint64, []byte) {
+		if pending.Add(-1) == 0 {
+			mu.Lock()
+			s.Add(time.Since(sentAt))
+			mu.Unlock()
+			done <- struct{}{}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer pub.Close()
+	payload := make([]byte, size)
+	for i := 0; i < msgs; i++ {
+		pending.Store(int32(n))
+		mu.Lock()
+		sentAt = time.Now()
+		mu.Unlock()
+		if err := pub.Publish(payload); err != nil {
+			return 0, err
+		}
+		<-done
+	}
+	return s.Median(), nil
+}
+
+// Fig8cResult is the synthetic-pipeline scaling study (Fig. 8c): an
+// emulated Pylot with 4-10 cameras and 2-5 LiDARs fanning into 5 operators
+// per sensor (75 operators at full scale, ~925 MB/s), every operator with a
+// 0 ms runtime, measuring end-to-end response from sensor injection to the
+// merged output.
+type Fig8cResult struct {
+	Configs []Fig8cConfig
+}
+
+// Fig8cConfig is one pipeline size's measurement.
+type Fig8cConfig struct {
+	Cameras, Lidars int
+	Operators       int
+	ErdosIntra      time.Duration
+	ErdosRuntime    time.Duration // full ERDOS runtime with watermarks
+	Ros2Intra       time.Duration
+	FlinkIntra      time.Duration
+}
+
+// Fig8cSensorScaling measures each pipeline size.
+func Fig8cSensorScaling(frames int) Fig8cResult {
+	if frames <= 0 {
+		frames = 20
+	}
+	var res Fig8cResult
+	sizes := []struct{ cams, lidars int }{{4, 2}, {6, 3}, {8, 4}, {10, 5}}
+	for _, sz := range sizes {
+		cfg := Fig8cConfig{
+			Cameras: sz.cams, Lidars: sz.lidars,
+			Operators: (sz.cams + sz.lidars) * 5,
+		}
+		cfg.ErdosIntra = pipelineDelay("erdos", sz.cams, sz.lidars, frames)
+		cfg.Ros2Intra = pipelineDelay("ros2", sz.cams, sz.lidars, frames)
+		cfg.FlinkIntra = pipelineDelay("flink", sz.cams, sz.lidars, frames)
+		cfg.ErdosRuntime = erdosRuntimePipelineDelay(sz.cams, sz.lidars, frames)
+		res.Configs = append(res.Configs, cfg)
+	}
+	return res
+}
+
+// pipelineDelay builds the synthetic topology over a system's intra-process
+// publishers: each sensor broadcasts its frame to 5 operators; each
+// operator immediately publishes a 10 KB result to the merger; the frame is
+// complete when the merger has one result per operator.
+func pipelineDelay(system string, cams, lidars, frames int) time.Duration {
+	const camSize = 6 << 20
+	const lidarSize = 1 << 20
+	const resultSize = 10 << 10
+
+	ops := (cams + lidars) * 5
+	var remaining atomic.Int32
+	frameDone := make(chan struct{}, 1)
+	merger := func(uint64, []byte) {
+		if remaining.Add(-1) == 0 {
+			frameDone <- struct{}{}
+		}
+	}
+	// Each operator owns a publisher to the merger.
+	opPubs := make([]baselines.Publisher, ops)
+	for i := range opPubs {
+		opPubs[i] = intraFactory(system, []baselines.Receiver{merger})
+	}
+	result := make([]byte, resultSize)
+	// Each sensor broadcasts to its 5 operators, which forward.
+	sensorPubs := make([]baselines.Publisher, cams+lidars)
+	opIdx := 0
+	for s := range sensorPubs {
+		recvs := make([]baselines.Receiver, 5)
+		for j := 0; j < 5; j++ {
+			pub := opPubs[opIdx]
+			opIdx++
+			recvs[j] = func(uint64, []byte) { _ = pub.Publish(result) }
+		}
+		sensorPubs[s] = intraFactory(system, recvs)
+	}
+	defer func() {
+		for _, p := range sensorPubs {
+			p.Close()
+		}
+		for _, p := range opPubs {
+			p.Close()
+		}
+	}()
+
+	camFrame := make([]byte, camSize)
+	lidarFrame := make([]byte, lidarSize)
+	sample := metrics.NewSample()
+	for f := 0; f < frames; f++ {
+		remaining.Store(int32(ops))
+		start := time.Now()
+		for s, pub := range sensorPubs {
+			if s < cams {
+				_ = pub.Publish(camFrame)
+			} else {
+				_ = pub.Publish(lidarFrame)
+			}
+		}
+		<-frameDone
+		sample.Add(time.Since(start))
+	}
+	return sample.Median()
+}
+
+// erdosRuntimePipelineDelay builds the same topology on the full ERDOS
+// runtime (graph, lattice, watermarks) rather than the bare messaging path,
+// so the measurement includes the system's scheduling overheads.
+func erdosRuntimePipelineDelay(cams, lidars, frames int) time.Duration {
+	g := erdos.NewGraph()
+	type sensor struct {
+		stream erdos.Stream[[]byte]
+		size   int
+	}
+	var sensors []sensor
+	for i := 0; i < cams; i++ {
+		sensors = append(sensors, sensor{erdos.IngestStream[[]byte](g, fmt.Sprintf("cam-%d", i)), 6 << 20})
+	}
+	for i := 0; i < lidars; i++ {
+		sensors = append(sensors, sensor{erdos.IngestStream[[]byte](g, fmt.Sprintf("lidar-%d", i)), 1 << 20})
+	}
+	merged := erdos.AddStream[int](g, "merged")
+	mergeOp := g.Operator("merger")
+	mergeOut := erdos.Output(mergeOp, merged)
+	var opStreams []erdos.Stream[[]byte]
+	for si, s := range sensors {
+		for j := 0; j < 5; j++ {
+			out := erdos.AddStream[[]byte](g, fmt.Sprintf("det-%d-%d", si, j))
+			opStreams = append(opStreams, out)
+			op := g.Operator(fmt.Sprintf("op-%d-%d", si, j))
+			oi := erdos.Output(op, out)
+			erdos.Input(op, s.stream, func(ctx *erdos.Context, t erdos.Timestamp, v []byte) {
+				_ = ctx.Send(oi, t, []byte(nil)) // 0 ms runtime operator
+			})
+			op.Build()
+		}
+	}
+	total := len(opStreams)
+	for _, os := range opStreams {
+		erdos.Input(mergeOp, os, nil)
+	}
+	mergeOp.OnWatermark(func(ctx *erdos.Context) {
+		_ = ctx.Send(mergeOut, ctx.Timestamp, total)
+	})
+	mergeOp.Build()
+
+	rt, err := g.RunLocal(erdos.WithThreads(8))
+	if err != nil {
+		return -1
+	}
+	defer rt.Stop()
+	frameDone := make(chan struct{}, 1)
+	sink, err := erdos.Collect(rt, merged)
+	if err != nil {
+		return -1
+	}
+	sink.OnData(func(erdos.Timestamped[int]) { frameDone <- struct{}{} })
+	writers := make([]streampkg.WriteStream[[]byte], len(sensors))
+	for i, s := range sensors {
+		w, err := erdos.Writer(rt, s.stream)
+		if err != nil {
+			return -1
+		}
+		writers[i] = w
+	}
+	sample := metrics.NewSample()
+	for f := 1; f <= frames; f++ {
+		ts := erdos.T(uint64(f))
+		start := time.Now()
+		for i, s := range sensors {
+			_ = writers[i].Send(ts, make([]byte, s.size))
+			_ = writers[i].SendWatermark(ts)
+		}
+		<-frameDone
+		sample.Add(time.Since(start))
+	}
+	return sample.Median()
+}
+
+// Render prints the Fig. 8c series.
+func (r Fig8cResult) Render() string {
+	t := metrics.NewTable("pipeline", "operators", "erdos-msg", "erdos-runtime", "ros2", "flink")
+	for _, c := range r.Configs {
+		t.Row(fmt.Sprintf("%d cams + %d lidars", c.Cameras, c.Lidars),
+			c.Operators, c.ErdosIntra, c.ErdosRuntime, c.Ros2Intra, c.FlinkIntra)
+	}
+	return t.String()
+}
+
+// Render prints the Fig. 8b series.
+func (r Fig8bResult) Render() string {
+	t := metrics.NewTable("placement", "system", "2 recv", "3 recv", "4 recv", "5 recv")
+	for _, sys := range []string{"erdos", "ros2", "flink"} {
+		cells := []any{"intra-worker", sys}
+		for _, d := range r.IntraMedian[sys] {
+			cells = append(cells, d)
+		}
+		t.Row(cells...)
+	}
+	for _, sys := range Fig8Systems {
+		cells := []any{"inter-worker", sys}
+		for _, d := range r.InterMedian[sys] {
+			cells = append(cells, d)
+		}
+		t.Row(cells...)
+	}
+	return t.String()
+}

@@ -1,0 +1,236 @@
+// Package metrics provides the latency statistics used throughout the
+// evaluation harness: duration samples, percentiles, histograms and simple
+// fixed-width table rendering for figure regeneration.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample accumulates duration observations.
+type Sample struct {
+	vals   []time.Duration
+	sorted bool
+}
+
+// NewSample returns an empty sample.
+func NewSample() *Sample { return &Sample{} }
+
+// Add records one observation.
+func (s *Sample) Add(d time.Duration) {
+	s.vals = append(s.vals, d)
+	s.sorted = false
+}
+
+// AddAll records many observations.
+func (s *Sample) AddAll(ds []time.Duration) {
+	s.vals = append(s.vals, ds...)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / time.Duration(len(s.vals))
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using
+// nearest-rank on the sorted sample.
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.vals[rank-1]
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() time.Duration { return s.Percentile(50) }
+
+// P99 returns the 99th percentile.
+func (s *Sample) P99() time.Duration { return s.Percentile(99) }
+
+// Max returns the maximum observation.
+func (s *Sample) Max() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.vals[len(s.vals)-1]
+}
+
+// Min returns the minimum observation.
+func (s *Sample) Min() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.vals[0]
+}
+
+// TailRatio returns p99/mean — the skew metric the paper uses to argue
+// against WCET-driven execution (§2.2, Fig. 3).
+func (s *Sample) TailRatio() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return float64(s.P99()) / float64(m)
+}
+
+// Values returns a copy of the raw observations.
+func (s *Sample) Values() []time.Duration {
+	return append([]time.Duration(nil), s.vals...)
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Slice(s.vals, func(i, j int) bool { return s.vals[i] < s.vals[j] })
+		s.sorted = true
+	}
+}
+
+// Histogram buckets duration observations into fixed-width bins, as Fig. 12
+// renders response-time distributions.
+type Histogram struct {
+	Width   time.Duration
+	buckets map[int]int
+	total   int
+}
+
+// NewHistogram returns a histogram with the given bin width.
+func NewHistogram(width time.Duration) *Histogram {
+	return &Histogram{Width: width, buckets: make(map[int]int)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[int(d/h.Width)]++
+	h.total++
+}
+
+// Bins returns (binStart, relativeFrequency) pairs in ascending order.
+func (h *Histogram) Bins() []Bin {
+	idx := make([]int, 0, len(h.buckets))
+	for i := range h.buckets {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	out := make([]Bin, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, Bin{
+			Start: time.Duration(i) * h.Width,
+			Count: h.buckets[i],
+			Freq:  float64(h.buckets[i]) / float64(h.total),
+		})
+	}
+	return out
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Bin is one histogram bucket.
+type Bin struct {
+	Start time.Duration
+	Count int
+	Freq  float64
+}
+
+// Table renders aligned rows for figure output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; cells are rendered with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.2fms", float64(v)/float64(time.Millisecond))
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.header, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

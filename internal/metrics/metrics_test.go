@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleBasics(t *testing.T) {
+	s := NewSample()
+	if s.Mean() != 0 || s.Median() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := s.Median(); got != 50*time.Millisecond {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := s.P99(); got != 99*time.Millisecond {
+		t.Fatalf("P99 = %v", got)
+	}
+	if s.Min() != time.Millisecond || s.Max() != 100*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	s := NewSample()
+	s.Add(5 * time.Millisecond)
+	if s.Percentile(0) != 5*time.Millisecond || s.Percentile(100) != 5*time.Millisecond {
+		t.Fatal("single-element percentiles broken")
+	}
+	s.AddAll([]time.Duration{time.Millisecond, 9 * time.Millisecond})
+	if got := s.Percentile(50); got != 5*time.Millisecond {
+		t.Fatalf("P50 of {1,5,9} = %v", got)
+	}
+}
+
+func TestTailRatio(t *testing.T) {
+	s := NewSample()
+	for i := 0; i < 97; i++ {
+		s.Add(10 * time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		s.Add(100 * time.Millisecond)
+	}
+	r := s.TailRatio()
+	if r < 5 || r > 12 {
+		t.Fatalf("TailRatio = %.2f", r)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := NewSample()
+		for _, v := range vals {
+			s.Add(time.Duration(v) * time.Microsecond)
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10 * time.Millisecond)
+	h.Add(5 * time.Millisecond)
+	h.Add(15 * time.Millisecond)
+	h.Add(15 * time.Millisecond)
+	h.Add(-time.Millisecond) // clamps to bin 0
+	bins := h.Bins()
+	if len(bins) != 2 {
+		t.Fatalf("bins = %+v", bins)
+	}
+	if bins[0].Count != 2 || bins[1].Count != 2 {
+		t.Fatalf("counts = %+v", bins)
+	}
+	if bins[0].Freq != 0.5 {
+		t.Fatalf("freq = %v", bins[0].Freq)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if bins[1].Start != 10*time.Millisecond {
+		t.Fatalf("bin start = %v", bins[1].Start)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 42)
+	tb.Row("beta", 3.14159)
+	tb.Row("gamma", 1500*time.Microsecond)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "42") {
+		t.Fatalf("table missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float formatting broken:\n%s", out)
+	}
+	if !strings.Contains(out, "1.50ms") {
+		t.Fatalf("duration formatting broken:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Fatalf("CSV header broken:\n%s", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 4 {
+		t.Fatalf("CSV rows broken:\n%s", csv)
+	}
+}

@@ -1,0 +1,315 @@
+// Package pipeline assembles Pylot's AV pipeline (§7.1 of the paper) from
+// the component models in internal/av and executes it, frame by frame,
+// under the four execution models compared in §7.4:
+//
+//   - Periodic: every component runs at a fixed period derived from a
+//     conservative worst-case execution time (the Apollo/Autoware style);
+//     output waits at each period boundary, so the end-to-end response is
+//     large but stable.
+//   - DataDriven: every component runs to completion upon receiving all of
+//     its input (the ROS style); responses track the sum of sampled
+//     runtimes, with an unbounded tail.
+//   - D3Static: a fixed end-to-end deadline enforced by deadline exception
+//     handlers; a missed deadline releases the previous result, bounding
+//     the response at the deadline but staling perception by one frame.
+//   - D3Dynamic: the same enforcement with the deadline supplied per frame
+//     by a deadline policy (package policy), and the detector chosen to
+//     fit the allocated budget (§5.3's changing-the-implementation).
+package pipeline
+
+import (
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/control"
+	"github.com/erdos-go/erdos/internal/av/detection"
+	"github.com/erdos-go/erdos/internal/av/prediction"
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/policy"
+	"github.com/erdos-go/erdos/internal/trace"
+)
+
+// ExecModel selects the execution model.
+type ExecModel int
+
+const (
+	// Periodic is the WCET-driven periodic execution model.
+	Periodic ExecModel = iota
+	// DataDriven executes on input arrival with no deadline enforcement.
+	DataDriven
+	// D3Static enforces a fixed end-to-end deadline with DEHs.
+	D3Static
+	// D3Dynamic enforces a policy-supplied per-frame deadline.
+	D3Dynamic
+)
+
+// String names the execution model.
+func (m ExecModel) String() string {
+	switch m {
+	case Periodic:
+		return "periodic"
+	case DataDriven:
+		return "data-driven"
+	case D3Static:
+		return "d3-static"
+	case D3Dynamic:
+		return "d3-dynamic"
+	default:
+		return "unknown"
+	}
+}
+
+// Budget splits an end-to-end deadline across the pipeline's stages. The
+// fractions follow Pylot's allocation: perception dominates, planning gets
+// what perception leaves, control is fixed.
+type Budget struct {
+	Detection  time.Duration
+	Tracking   time.Duration
+	Prediction time.Duration
+	Planning   time.Duration
+	Control    time.Duration
+}
+
+// SplitDeadline allocates an end-to-end deadline D across stages: detection
+// receives 30% (the detector is then the most accurate family member that
+// fits), tracking/prediction/control have small fixed shares, and planning
+// — being a true anytime algorithm — absorbs whatever remains at runtime
+// (Fig. 9: "the planning component fully utilizes its time allocation").
+func SplitDeadline(d time.Duration) Budget {
+	return Budget{
+		Detection:  d * 30 / 100,
+		Tracking:   d * 6 / 100,
+		Prediction: d * 8 / 100,
+		Planning:   d * 53 / 100,
+		Control:    d * 3 / 100,
+	}
+}
+
+// Config fixes the pipeline's components for one experiment.
+type Config struct {
+	Exec ExecModel
+	// Deadline is the static end-to-end deadline (D3Static) or the initial
+	// deadline (D3Dynamic).
+	Deadline time.Duration
+	// Policy supplies per-frame deadlines for D3Dynamic.
+	Policy policy.Policy
+	// Detector is the fixed detector for Periodic/DataDriven/D3Static;
+	// D3Dynamic picks per frame from the EfficientDet family.
+	Detector detection.Model
+	// Tracker and Predictor are fixed across models in §7.4.1 ("we adapt
+	// the detector ... but keep all the other components fixed").
+	Tracker   tracking.Model
+	Predictor prediction.Model
+	// SensorPeriod is the camera period (the simulation pipeline runs at
+	// 10 Hz, matching Apollo's planning rate).
+	SensorPeriod time.Duration
+}
+
+// StaticConfig returns the configuration for a static deadline D: the
+// detector is the most accurate one whose median runtime fits D's
+// perception budget.
+func StaticConfig(exec ExecModel, d time.Duration) Config {
+	det, ok := detection.BestWithin(SplitDeadline(d).Detection)
+	if !ok {
+		det = detection.EfficientDet[0]
+	}
+	return Config{
+		Exec:         exec,
+		Deadline:     d,
+		Detector:     det,
+		Tracker:      tracking.SORT,
+		Predictor:    prediction.Linear,
+		SensorPeriod: 100 * time.Millisecond,
+	}
+}
+
+// DynamicConfig returns the D3Dynamic configuration with the §7.4 policy.
+func DynamicConfig() Config {
+	c := StaticConfig(D3Dynamic, 400*time.Millisecond)
+	c.Exec = D3Dynamic
+	c.Policy = policy.NewStoppingDistance()
+	return c
+}
+
+// Frame is the per-frame environment the pipeline observes.
+type Frame struct {
+	// Agents is the number of agents in the scene (drives runtimes).
+	Agents int
+	// Speed is the AV speed (drives the prediction horizon).
+	Speed float64
+	// NearestAgent is the distance to the nearest tracked agent ahead,
+	// when HasAgent (drives the dynamic policy).
+	NearestAgent float64
+	HasAgent     bool
+}
+
+// Response is the outcome of one pipeline iteration.
+type Response struct {
+	// Total is the end-to-end response time experienced by control.
+	Total time.Duration
+	// Detection, Tracking, Prediction, Planning are the per-stage times.
+	Detection, Tracking, Prediction, Planning time.Duration
+	// Deadline is the end-to-end deadline in force (0 when unenforced).
+	Deadline time.Duration
+	// Missed reports that the raw computation overran the deadline and a
+	// DEH released output (D3 models only).
+	Missed bool
+	// StaleDetection reports that the released perception output is the
+	// previous frame's (the DEH's "amend previous result" measure).
+	StaleDetection bool
+	// Detector is the detector that ran this frame.
+	Detector detection.Model
+}
+
+// Pipeline executes frames under a Config.
+type Pipeline struct {
+	Cfg Config
+	rng *trace.Rand
+
+	lastDeadline time.Duration
+	lastResponse time.Duration
+}
+
+// New returns a pipeline seeded for deterministic execution.
+func New(cfg Config, seed int64) *Pipeline {
+	if cfg.SensorPeriod == 0 {
+		cfg.SensorPeriod = 100 * time.Millisecond
+	}
+	return &Pipeline{Cfg: cfg, rng: trace.New(seed), lastDeadline: cfg.Deadline, lastResponse: cfg.Deadline}
+}
+
+// CurrentDeadline returns the deadline currently in force.
+func (p *Pipeline) CurrentDeadline() time.Duration { return p.lastDeadline }
+
+// wcet approximates a conservative worst-case estimate from a median: the
+// heavy-tailed stage distributions put p99 around 1.6x the median, and
+// hard-real-time sizing adds margin on top (§3.1).
+func wcet(median time.Duration) time.Duration {
+	return time.Duration(float64(median) * 1.9)
+}
+
+// Step runs one pipeline iteration for the frame.
+func (p *Pipeline) Step(f Frame) Response {
+	switch p.Cfg.Exec {
+	case Periodic:
+		return p.stepPeriodic(f)
+	case DataDriven:
+		return p.stepDataDriven(f)
+	case D3Static:
+		return p.stepD3(f, p.Cfg.Deadline)
+	case D3Dynamic:
+		d := p.Cfg.Deadline
+		if p.Cfg.Policy != nil {
+			d = p.Cfg.Policy.Decide(policy.Environment{
+				Speed:           f.Speed,
+				AgentDistance:   f.NearestAgent,
+				HasAgent:        f.HasAgent,
+				CurrentResponse: p.lastResponse,
+			})
+		}
+		return p.stepD3(f, d)
+	default:
+		return p.stepDataDriven(f)
+	}
+}
+
+// sampleStages draws this frame's stage runtimes for a given detector and
+// planning budget.
+func (p *Pipeline) sampleStages(f Frame, det detection.Model, planBudget time.Duration) Response {
+	horizon := prediction.HorizonForSpeed(f.Speed)
+	r := Response{Detector: det}
+	r.Detection = det.Runtime(p.rng, f.Agents)
+	r.Tracking = p.Cfg.Tracker.Runtime(p.rng, f.Agents)
+	r.Prediction = p.Cfg.Predictor.Runtime(p.rng, horizon, f.Agents)
+	// The FOT planner is anytime: it consumes its budget fully (Fig. 9)
+	// with small jitter from candidate granularity.
+	r.Planning = p.rng.JitterDur(planBudget, 0.03)
+	return r
+}
+
+// dataDrivenPlanBudget is the fixed planning allotment used when no
+// deadline constrains the anytime planner (the data-driven and periodic
+// configurations pick a discretization at development time).
+const dataDrivenPlanBudget = 100 * time.Millisecond
+
+// stepDataDriven sums the sampled runtimes: no enforcement, full tail.
+// Without a deadline the planner runs its configured discretization to
+// completion; occasionally a poor discretization yields an infeasible plan
+// and the planner re-plans, which is where the data-driven model's heavy
+// response-time tail comes from (§3.1).
+func (p *Pipeline) stepDataDriven(f Frame) Response {
+	r := p.sampleStages(f, p.Cfg.Detector, dataDrivenPlanBudget)
+	if p.rng.Bernoulli(0.05) {
+		r.Planning = r.Planning * 5 / 2
+	}
+	r.Total = r.Detection + r.Tracking + r.Prediction + r.Planning + control.Runtime
+	p.lastResponse = r.Total
+	return r
+}
+
+// stepPeriodic executes components at WCET-derived periods: each stage's
+// output waits for the next stage's period boundary, so the end-to-end
+// response accrues the period (not the runtime) of every stage plus an
+// average half-period alignment delay at each boundary.
+func (p *Pipeline) stepPeriodic(f Frame) Response {
+	r := p.sampleStages(f, p.Cfg.Detector, dataDrivenPlanBudget)
+	horizon := prediction.HorizonForSpeed(f.Speed)
+	periods := []time.Duration{
+		wcet(p.Cfg.Detector.MedianRuntime),
+		wcet(p.Cfg.Tracker.MedianRuntime(f.Agents)),
+		wcet(p.Cfg.Predictor.MedianRuntime(horizon, f.Agents)),
+		wcet(dataDrivenPlanBudget),
+		10 * time.Millisecond, // control at 100 Hz
+	}
+	var total time.Duration
+	for _, period := range periods {
+		// Half-period expected alignment wait plus the full period the
+		// stage occupies before publishing.
+		total += period + period/2
+	}
+	r.Total = total
+	r.Deadline = 0
+	p.lastResponse = r.Total
+	return r
+}
+
+// deadlineMargin is the slack the runtime reserves so the DEH has time to
+// release output before the end-to-end deadline expires.
+const deadlineMargin = 5 * time.Millisecond
+
+// stepD3 enforces an end-to-end deadline d with per-stage DEHs: the
+// detector is chosen to fit the budget (D3Dynamic re-picks every frame),
+// the anytime planner absorbs whatever time the other stages leave, and if
+// the sampled computation still overruns, the DEH releases the previous
+// result at the deadline, staling perception by one frame (§5.4).
+func (p *Pipeline) stepD3(f Frame, d time.Duration) Response {
+	p.lastDeadline = d
+	budget := SplitDeadline(d)
+	det := p.Cfg.Detector
+	if p.Cfg.Exec == D3Dynamic {
+		if m, ok := detection.BestWithin(budget.Detection); ok {
+			det = m
+		} else {
+			det = detection.EfficientDet[0]
+		}
+	}
+	r := p.sampleStages(f, det, 0)
+	// The anytime planner fills the remaining allocation (Fig. 9),
+	// stopping at candidate granularity safely inside the deadline; a miss
+	// therefore only occurs when the other stages alone blow the budget.
+	planBudget := d - deadlineMargin - r.Detection - r.Tracking - r.Prediction - control.Runtime
+	if planBudget < 10*time.Millisecond {
+		planBudget = 10 * time.Millisecond
+	}
+	r.Planning = time.Duration(float64(planBudget) * p.rng.Uniform(0.90, 0.99))
+	r.Deadline = d
+	raw := r.Detection + r.Tracking + r.Prediction + r.Planning + control.Runtime
+	if raw > d {
+		r.Missed = true
+		r.StaleDetection = true
+		r.Total = d
+	} else {
+		r.Total = raw
+	}
+	p.lastResponse = r.Total
+	return r
+}

@@ -1,0 +1,189 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/metrics"
+	"github.com/erdos-go/erdos/internal/policy"
+)
+
+func frame() Frame { return Frame{Agents: 5, Speed: 12} }
+
+func TestSplitDeadlineSumsBelowDeadline(t *testing.T) {
+	for _, d := range []time.Duration{125, 200, 250, 400, 500} {
+		d := d * time.Millisecond
+		b := SplitDeadline(d)
+		sum := b.Detection + b.Tracking + b.Prediction + b.Planning + b.Control
+		if sum > d {
+			t.Fatalf("split of %v sums to %v", d, sum)
+		}
+		if b.Detection <= 0 || b.Planning <= 0 {
+			t.Fatalf("degenerate split for %v: %+v", d, b)
+		}
+	}
+}
+
+func TestStaticConfigDetectorScalesWithDeadline(t *testing.T) {
+	d125 := StaticConfig(D3Static, 125*time.Millisecond).Detector
+	d500 := StaticConfig(D3Static, 500*time.Millisecond).Detector
+	if d125.MAP >= d500.MAP {
+		t.Fatalf("longer deadlines must afford more accurate detectors: %s vs %s",
+			d125.Name, d500.Name)
+	}
+	if d125.Name != "EDet2" {
+		t.Fatalf("125ms configuration detector = %s, want EDet2", d125.Name)
+	}
+}
+
+func TestD3StaticRespectsDeadline(t *testing.T) {
+	p := New(StaticConfig(D3Static, 200*time.Millisecond), 1)
+	for i := 0; i < 500; i++ {
+		r := p.Step(frame())
+		if r.Total > 200*time.Millisecond {
+			t.Fatalf("iteration %d: response %v exceeds the 200ms deadline", i, r.Total)
+		}
+		if r.Deadline != 200*time.Millisecond {
+			t.Fatalf("deadline reported as %v", r.Deadline)
+		}
+	}
+}
+
+func TestD3ResponseTracksDeadline(t *testing.T) {
+	// Fig. 9: the anytime planner consumes its allocation, so the
+	// end-to-end response sits just below the deadline.
+	for _, d := range []time.Duration{200, 400} {
+		d := d * time.Millisecond
+		p := New(StaticConfig(D3Static, d), 2)
+		s := metrics.NewSample()
+		for i := 0; i < 200; i++ {
+			s.Add(p.Step(frame()).Total)
+		}
+		med := s.Median()
+		if med < d*7/10 || med > d {
+			t.Fatalf("median response %v for deadline %v, want just below it", med, d)
+		}
+	}
+}
+
+func TestDataDrivenHasTail(t *testing.T) {
+	p := New(StaticConfig(DataDriven, 200*time.Millisecond), 3)
+	s := metrics.NewSample()
+	for i := 0; i < 2000; i++ {
+		s.Add(p.Step(frame()).Total)
+	}
+	if s.TailRatio() < 1.1 {
+		t.Fatalf("data-driven p99/mean = %.2f, want a visible tail", s.TailRatio())
+	}
+	if s.Max() <= s.Median() {
+		t.Fatal("no runtime variability in the data-driven model")
+	}
+}
+
+func TestPeriodicSlowerThanDataDriven(t *testing.T) {
+	pd := New(StaticConfig(Periodic, 200*time.Millisecond), 4)
+	dd := New(StaticConfig(DataDriven, 200*time.Millisecond), 4)
+	sp, sd := metrics.NewSample(), metrics.NewSample()
+	for i := 0; i < 300; i++ {
+		sp.Add(pd.Step(frame()).Total)
+		sd.Add(dd.Step(frame()).Total)
+	}
+	if sp.Mean() < 2*sd.Mean() {
+		t.Fatalf("periodic mean %v should be much slower than data-driven %v",
+			sp.Mean(), sd.Mean())
+	}
+}
+
+func TestDynamicAdaptsDetectorToDeadline(t *testing.T) {
+	cfg := DynamicConfig()
+	p := New(cfg, 5)
+	// Clear road: the policy affords the accurate detector.
+	far := p.Step(Frame{Agents: 4, Speed: 12})
+	// Agent inside the stopping envelope: the policy tightens and the
+	// pipeline swaps in a faster detector.
+	near := p.Step(Frame{Agents: 4, Speed: 12, HasAgent: true, NearestAgent: 15})
+	if near.Deadline >= far.Deadline {
+		t.Fatalf("deadline did not tighten: %v -> %v", far.Deadline, near.Deadline)
+	}
+	if near.Detector.MedianRuntime >= far.Detector.MedianRuntime {
+		t.Fatalf("detector did not adapt: %s -> %s", far.Detector.Name, near.Detector.Name)
+	}
+	if near.Total > near.Deadline {
+		t.Fatalf("adapted response %v exceeds deadline %v", near.Total, near.Deadline)
+	}
+}
+
+func TestMissedDeadlineStalesDetection(t *testing.T) {
+	// Force a miss by running a detector whose tail cannot fit: a 40ms
+	// deadline with the EDet7 detector pinned.
+	cfg := StaticConfig(D3Static, 40*time.Millisecond)
+	cfg.Detector = StaticConfig(D3Static, 500*time.Millisecond).Detector
+	p := New(cfg, 6)
+	missed := 0
+	for i := 0; i < 100; i++ {
+		r := p.Step(frame())
+		if r.Missed {
+			missed++
+			if !r.StaleDetection {
+				t.Fatal("missed frame must mark detection stale")
+			}
+			if r.Total != 40*time.Millisecond {
+				t.Fatalf("missed frame response %v, want the deadline", r.Total)
+			}
+		}
+	}
+	if missed == 0 {
+		t.Fatal("expected misses with an oversized detector")
+	}
+}
+
+func TestMissRatioSmallForFittingConfigs(t *testing.T) {
+	// §7.3: without DEH Pylot misses ~0.6% of end-to-end deadlines; a
+	// fitting configuration should miss rarely, not chronically.
+	p := New(StaticConfig(D3Static, 200*time.Millisecond), 7)
+	missed := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if p.Step(frame()).Missed {
+			missed++
+		}
+	}
+	ratio := float64(missed) / n
+	if ratio > 0.05 {
+		t.Fatalf("miss ratio %.3f for a fitting configuration, want < 5%%", ratio)
+	}
+}
+
+func TestExecModelString(t *testing.T) {
+	names := map[ExecModel]string{
+		Periodic: "periodic", DataDriven: "data-driven",
+		D3Static: "d3-static", D3Dynamic: "d3-dynamic",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q", m, m.String())
+		}
+	}
+}
+
+func TestPipelineDeterministicUnderSeed(t *testing.T) {
+	a := New(StaticConfig(DataDriven, 200*time.Millisecond), 11)
+	b := New(StaticConfig(DataDriven, 200*time.Millisecond), 11)
+	for i := 0; i < 50; i++ {
+		ra, rb := a.Step(frame()), b.Step(frame())
+		if ra.Total != rb.Total {
+			t.Fatalf("step %d differs: %v vs %v", i, ra.Total, rb.Total)
+		}
+	}
+}
+
+func TestPolicyIntegration(t *testing.T) {
+	cfg := DynamicConfig()
+	if cfg.Policy == nil {
+		t.Fatal("dynamic config must carry a policy")
+	}
+	d := cfg.Policy.Decide(policy.Environment{Speed: 12, HasAgent: false})
+	if d != 500*time.Millisecond {
+		t.Fatalf("clear-road deadline = %v, want the policy maximum", d)
+	}
+}

@@ -1,0 +1,157 @@
+// Package policy implements deadline policies pDP (§3, §5.2, §7.4 of the
+// paper). A policy receives the state of the environment and computes the
+// end-to-end deadline D that keeps the vehicle safe without forcing
+// unnecessarily-fast (and therefore low-accuracy) computation; the runtime
+// splits D across operators.
+//
+// The headline policy is the paper's §7.4 baseline: it computes the AV's
+// reaction time (the time to accumulate enough sensor readings for a
+// trajectory prediction plus the current configuration's end-to-end
+// runtime), estimates the stopping distance from the reaction time and
+// speed, and tightens the end-to-end deadline as other agents fall inside
+// that envelope.
+package policy
+
+import (
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/braking"
+)
+
+// Environment is the policy's input: the slice of world state it samples.
+type Environment struct {
+	// Speed is the AV's speed (m/s).
+	Speed float64
+	// AgentDistance is the distance to the nearest tracked agent ahead
+	// (meters); valid only when HasAgent.
+	AgentDistance float64
+	HasAgent      bool
+	// CurrentResponse is the measured end-to-end runtime of the currently
+	// deployed configuration.
+	CurrentResponse time.Duration
+}
+
+// Policy computes an end-to-end deadline from the environment.
+type Policy interface {
+	Decide(env Environment) time.Duration
+}
+
+// StaticPolicy always returns the same deadline (the paper's static
+// configurations: 125, 200, 250, 400 and 500 ms).
+type StaticPolicy time.Duration
+
+// Decide implements Policy.
+func (s StaticPolicy) Decide(Environment) time.Duration { return time.Duration(s) }
+
+// StaticConfigs lists the static end-to-end deadlines evaluated in §7.4.
+var StaticConfigs = []time.Duration{
+	125 * time.Millisecond,
+	200 * time.Millisecond,
+	250 * time.Millisecond,
+	400 * time.Millisecond,
+	500 * time.Millisecond,
+}
+
+// StoppingDistancePolicy is the paper's §7.4 deadline allocation policy.
+type StoppingDistancePolicy struct {
+	// SensorPeriod and Readings define the sensing half of the reaction
+	// time: the policy waits for Readings sensor messages (enough to build
+	// a trajectory prediction) arriving every SensorPeriod.
+	SensorPeriod time.Duration
+	Readings     int
+	// Min and Max bound the deadline D.
+	Min, Max time.Duration
+	// Deceleration is the braking model used for the stopping distance.
+	Deceleration float64
+	// Headroom (meters) is subtracted from the agent distance before
+	// computing the affordable response budget.
+	Headroom float64
+}
+
+// NewStoppingDistance returns the policy with the paper's parameters.
+func NewStoppingDistance() *StoppingDistancePolicy {
+	return &StoppingDistancePolicy{
+		SensorPeriod: 100 * time.Millisecond,
+		Readings:     8,
+		Min:          125 * time.Millisecond,
+		Max:          500 * time.Millisecond,
+		Deceleration: braking.Deceleration,
+		Headroom:     2.0,
+	}
+}
+
+// ReactionTime returns the sensing-plus-compute reaction time for the
+// current configuration.
+func (p *StoppingDistancePolicy) ReactionTime(currentResponse time.Duration) time.Duration {
+	return time.Duration(p.Readings)*p.SensorPeriod + currentResponse
+}
+
+// Decide implements Policy: with no agent in the stopping envelope the AV
+// can afford its most accurate (slowest) configuration; as an agent closes
+// in, the deadline tightens toward the response budget that still permits
+// stopping short of it.
+func (p *StoppingDistancePolicy) Decide(env Environment) time.Duration {
+	if !env.HasAgent || env.Speed <= 0 {
+		return p.Max
+	}
+	reaction := p.ReactionTime(env.CurrentResponse)
+	stop := braking.StoppingDistance(env.Speed, reaction, p.Deceleration)
+	if env.AgentDistance > stop+p.Headroom {
+		// The agent is beyond the stopping envelope even for the current
+		// (possibly slow) configuration: stay accurate.
+		return p.Max
+	}
+	// Inside the envelope: the affordable response budget is what remains
+	// of the distance after the physical braking distance, minus headroom.
+	budget := braking.ResponseBudget(env.Speed, env.AgentDistance-p.Headroom, p.Deceleration)
+	if budget < p.Min {
+		return p.Min
+	}
+	if budget > p.Max {
+		return p.Max
+	}
+	// Quantize to 5 ms so pDP output is stable frame to frame.
+	q := 5 * time.Millisecond
+	return budget / q * q
+}
+
+// BackupTrigger decides when the safety backup mode (§3, §5.2) engages: too
+// many consecutive missed deadlines mean the pipeline can no longer perform
+// its function and the vehicle should execute a minimal-risk maneuver.
+type BackupTrigger struct {
+	// Threshold is the number of consecutive misses that trips the backup.
+	Threshold int
+	misses    int
+	engaged   bool
+}
+
+// NewBackupTrigger returns a trigger with the given threshold.
+func NewBackupTrigger(threshold int) *BackupTrigger {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &BackupTrigger{Threshold: threshold}
+}
+
+// Observe records the outcome of one pipeline iteration and reports whether
+// the backup mode is engaged.
+func (b *BackupTrigger) Observe(missed bool) bool {
+	if b.engaged {
+		return true
+	}
+	if missed {
+		b.misses++
+		if b.misses >= b.Threshold {
+			b.engaged = true
+		}
+	} else {
+		b.misses = 0
+	}
+	return b.engaged
+}
+
+// Engaged reports the trigger state.
+func (b *BackupTrigger) Engaged() bool { return b.engaged }
+
+// Reset re-arms the trigger after the vehicle recovers.
+func (b *BackupTrigger) Reset() { b.misses, b.engaged = 0, false }

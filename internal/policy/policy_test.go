@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStaticPolicy(t *testing.T) {
+	p := StaticPolicy(250 * time.Millisecond)
+	if p.Decide(Environment{Speed: 20, HasAgent: true, AgentDistance: 1}) != 250*time.Millisecond {
+		t.Fatal("static policy must ignore the environment")
+	}
+}
+
+func TestNoAgentMeansMaxAccuracy(t *testing.T) {
+	p := NewStoppingDistance()
+	if d := p.Decide(Environment{Speed: 15}); d != p.Max {
+		t.Fatalf("clear road deadline = %v, want max %v", d, p.Max)
+	}
+	if d := p.Decide(Environment{Speed: 0, HasAgent: true, AgentDistance: 1}); d != p.Max {
+		t.Fatalf("stationary AV deadline = %v, want max", d)
+	}
+}
+
+func TestFarAgentKeepsMax(t *testing.T) {
+	p := NewStoppingDistance()
+	env := Environment{Speed: 10, HasAgent: true, AgentDistance: 200, CurrentResponse: 400 * time.Millisecond}
+	if d := p.Decide(env); d != p.Max {
+		t.Fatalf("far-agent deadline = %v, want max", d)
+	}
+}
+
+func TestCloseAgentTightens(t *testing.T) {
+	p := NewStoppingDistance()
+	far := p.Decide(Environment{Speed: 12, HasAgent: true, AgentDistance: 80, CurrentResponse: 400 * time.Millisecond})
+	near := p.Decide(Environment{Speed: 12, HasAgent: true, AgentDistance: 25, CurrentResponse: 400 * time.Millisecond})
+	veryNear := p.Decide(Environment{Speed: 12, HasAgent: true, AgentDistance: 15, CurrentResponse: 400 * time.Millisecond})
+	if !(veryNear <= near && near <= far) {
+		t.Fatalf("deadline not monotone in agent distance: %v, %v, %v", far, near, veryNear)
+	}
+	if veryNear != p.Min {
+		t.Fatalf("agent inside braking distance should force the minimum, got %v", veryNear)
+	}
+}
+
+func TestHigherSpeedTightens(t *testing.T) {
+	p := NewStoppingDistance()
+	slow := p.Decide(Environment{Speed: 8, HasAgent: true, AgentDistance: 30, CurrentResponse: 300 * time.Millisecond})
+	fast := p.Decide(Environment{Speed: 14, HasAgent: true, AgentDistance: 30, CurrentResponse: 300 * time.Millisecond})
+	if fast > slow {
+		t.Fatalf("deadline must tighten with speed: %v at 8 m/s, %v at 14 m/s", slow, fast)
+	}
+}
+
+func TestDeadlineWithinBounds(t *testing.T) {
+	p := NewStoppingDistance()
+	for dist := 1.0; dist < 120; dist += 3 {
+		for speed := 1.0; speed < 30; speed += 2 {
+			d := p.Decide(Environment{Speed: speed, HasAgent: true, AgentDistance: dist, CurrentResponse: 200 * time.Millisecond})
+			if d < p.Min || d > p.Max {
+				t.Fatalf("deadline %v out of [%v, %v] at speed %.0f dist %.0f", d, p.Min, p.Max, speed, dist)
+			}
+		}
+	}
+}
+
+func TestReactionTime(t *testing.T) {
+	p := NewStoppingDistance()
+	got := p.ReactionTime(200 * time.Millisecond)
+	if got != 8*100*time.Millisecond+200*time.Millisecond {
+		t.Fatalf("ReactionTime = %v", got)
+	}
+}
+
+func TestBackupTrigger(t *testing.T) {
+	b := NewBackupTrigger(3)
+	if b.Observe(true) || b.Observe(true) {
+		t.Fatal("engaged before threshold")
+	}
+	if !b.Observe(true) {
+		t.Fatal("did not engage at threshold")
+	}
+	if !b.Observe(false) {
+		t.Fatal("backup must stay engaged until reset")
+	}
+	b.Reset()
+	if b.Engaged() {
+		t.Fatal("reset did not disengage")
+	}
+	// Successes clear the consecutive count.
+	b.Observe(true)
+	b.Observe(true)
+	b.Observe(false)
+	b.Observe(true)
+	b.Observe(true)
+	if b.Engaged() {
+		t.Fatal("non-consecutive misses must not engage")
+	}
+}
+
+func TestBackupTriggerMinThreshold(t *testing.T) {
+	b := NewBackupTrigger(0)
+	if !b.Observe(true) {
+		t.Fatal("threshold must clamp to 1")
+	}
+}

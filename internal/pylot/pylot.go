@@ -1,0 +1,276 @@
+// Package pylot assembles the paper's AV pipeline (Fig. 1) as real
+// operators on the ERDOS runtime: camera frames flow through detection,
+// tracking, prediction and planning to control commands, with the deadline
+// policy pDP running as an operator subgraph that closes the feedback loop
+// of Fig. 4. The driving *evaluation* uses the virtual-time model in
+// internal/pipeline for reproducibility; this package is the
+// wall-clock-executable pipeline — what you would deploy — and is exercised
+// by the integration tests and the quickstart-style demos.
+//
+// Component compute is emulated by busy-waiting for the calibrated model
+// runtimes (scaled down by Config.TimeScale so tests run fast); the
+// planner, tracker, predictor and controller are the real implementations
+// from internal/av.
+package pylot
+
+import (
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/control"
+	"github.com/erdos-go/erdos/internal/av/detection"
+	"github.com/erdos-go/erdos/internal/av/planning"
+	"github.com/erdos-go/erdos/internal/av/prediction"
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/core/erdos"
+	"github.com/erdos-go/erdos/internal/policy"
+	"github.com/erdos-go/erdos/internal/trace"
+)
+
+// CameraFrame is the sensor input: the positions of visible agents plus
+// ego state, as a simulator or sensor bridge would produce.
+type CameraFrame struct {
+	Seq    uint64
+	Agents []tracking.Observation
+	// EgoSpeed is the vehicle's speed (m/s).
+	EgoSpeed float64
+}
+
+// Obstacles is the perception module's output.
+type Obstacles struct {
+	Tracks   []tracking.Track
+	Detector string
+}
+
+// Predictions is the prediction module's output.
+type Predictions struct {
+	Trajectories []prediction.Trajectory
+	Horizon      time.Duration
+}
+
+// Plan is the planning module's output.
+type Plan struct {
+	Trajectory planning.Trajectory
+	Waypoints  []control.Waypoint
+	Candidates int
+}
+
+// Command is the control module's output.
+type Command = control.Command
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// TimeScale divides every emulated compute time (10 = ten times
+	// faster than real time). 0 means 10.
+	TimeScale float64
+	// Policy computes the end-to-end deadline; nil uses the §7.4
+	// stopping-distance policy.
+	Policy policy.Policy
+	// Deadline is the initial end-to-end deadline.
+	Deadline time.Duration
+	// TargetSpeed is the cruise speed handed to control.
+	TargetSpeed float64
+	// Seed drives the emulated runtime distributions.
+	Seed int64
+}
+
+// Handles exposes the pipeline's boundary streams.
+type Handles struct {
+	Camera   erdos.Stream[CameraFrame]
+	Commands erdos.Stream[Command]
+	Plans    erdos.Stream[Plan]
+	// Deadlines carries pDP's end-to-end allocations (observable for
+	// diagnostics and tests).
+	Deadlines erdos.Stream[time.Duration]
+}
+
+// perceptionState carries the tracker across timestamps.
+type perceptionState struct {
+	Tracker *tracking.Tracker
+	LastObs []tracking.Observation
+	Ego     float64
+}
+
+func clonePerception(s *perceptionState) *perceptionState {
+	// The tracker is owned by the perception operator and accessed by one
+	// timestamp at a time (sequential lattice mode); tracks are copied on
+	// publish, so a shallow clone is sufficient and cheap.
+	c := *s
+	return &c
+}
+
+// Build assembles the graph. Call g.RunLocal (or run it on a cluster)
+// afterwards.
+func Build(g *erdos.Graph, cfg Config) Handles {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 10
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = policy.NewStoppingDistance()
+	}
+	if cfg.Deadline == 0 {
+		cfg.Deadline = 200 * time.Millisecond
+	}
+	if cfg.TargetSpeed == 0 {
+		cfg.TargetSpeed = 12
+	}
+	rng := trace.New(cfg.Seed)
+
+	camera := erdos.IngestStream[CameraFrame](g, "camera")
+	obstacles := erdos.AddStream[Obstacles](g, "obstacles")
+	predictions := erdos.AddStream[Predictions](g, "predictions")
+	plans := erdos.AddStream[Plan](g, "plans")
+	commands := erdos.AddStream[Command](g, "commands")
+	envInfo := erdos.AddStream[policy.Environment](g, "env-info")
+	deadlines := erdos.AddStream[time.Duration](g, "deadlines")
+
+	dyn := erdos.DynamicDeadline(g, deadlines, cfg.Deadline)
+	scale := cfg.TimeScale
+
+	// Perception: detection (emulated runtime, budget-driven model
+	// choice) + the real SORT-style tracker.
+	perception := g.Operator("perception")
+	pOut := erdos.Output(perception, obstacles)
+	envOut := erdos.Output(perception, envInfo)
+	erdos.WithState(perception, &perceptionState{Tracker: tracking.NewTracker()}, clonePerception)
+	erdos.Input(perception, camera, func(ctx *erdos.Context, t erdos.Timestamp, f CameraFrame) {
+		st := erdos.StateOf[*perceptionState](ctx)
+		st.LastObs = f.Agents
+		st.Ego = f.EgoSpeed
+	})
+	perception.OnWatermark(func(ctx *erdos.Context) {
+		st := erdos.StateOf[*perceptionState](ctx)
+		rel, _, ok := ctx.Deadline()
+		det := detection.EfficientDet[3]
+		if ok {
+			if m, fits := detection.BestWithin(rel * 30 / 100); fits {
+				det = m
+			} else {
+				det = detection.EfficientDet[0]
+			}
+		}
+		emulate(det.Runtime(rng, len(st.LastObs)), scale, ctx)
+		tracks := st.Tracker.Update(ctx.Timestamp.L, 0.1, st.LastObs)
+		emulate(tracking.SORT.Runtime(rng, len(tracks)), scale, ctx)
+		out := Obstacles{Detector: det.Name}
+		nearest, hasAgent := 0.0, false
+		for _, tr := range tracks {
+			out.Tracks = append(out.Tracks, *tr)
+			if !hasAgent || tr.X < nearest {
+				nearest, hasAgent = tr.X, true
+			}
+		}
+		_ = ctx.Send(pOut, ctx.Timestamp, out)
+		_ = ctx.Send(envOut, ctx.Timestamp, policy.Environment{
+			Speed:         st.Ego,
+			AgentDistance: nearest,
+			HasAgent:      hasAgent,
+			CurrentResponse: func() time.Duration {
+				if ok {
+					return rel
+				}
+				return cfg.Deadline
+			}(),
+		})
+	})
+	perception.TimestampDeadline("perception", dyn, erdos.Continue, nil)
+	perception.Build()
+
+	// pDP: the deadline policy as an operator subgraph (Fig. 4): consumes
+	// the environment info perception shares, publishes allocations.
+	pdp := g.Operator("pDP")
+	dOut := erdos.Output(pdp, deadlines)
+	pol := cfg.Policy
+	erdos.Input(pdp, envInfo, func(ctx *erdos.Context, t erdos.Timestamp, env policy.Environment) {
+		_ = ctx.Send(dOut, t, pol.Decide(env))
+	})
+	pdp.Build()
+
+	// Prediction: the real constant-velocity predictor with the emulated
+	// lightweight model runtime.
+	type predState struct{ Ego float64 }
+	predict := g.Operator("prediction")
+	prOut := erdos.Output(predict, predictions)
+	erdos.WithState(predict, &predState{}, func(s *predState) *predState { c := *s; return &c })
+	var lastObstacles Obstacles
+	erdos.Input(predict, obstacles, func(ctx *erdos.Context, t erdos.Timestamp, o Obstacles) {
+		lastObstacles = o
+	})
+	predict.OnWatermark(func(ctx *erdos.Context) {
+		horizon := prediction.HorizonForSpeed(cfg.TargetSpeed)
+		emulate(prediction.Linear.Runtime(rng, horizon, len(lastObstacles.Tracks)), scale, ctx)
+		tracks := make([]*tracking.Track, len(lastObstacles.Tracks))
+		for i := range lastObstacles.Tracks {
+			tracks[i] = &lastObstacles.Tracks[i]
+		}
+		_ = ctx.Send(prOut, ctx.Timestamp, Predictions{
+			Trajectories: prediction.Predict(tracks, horizon, 250*time.Millisecond),
+			Horizon:      horizon,
+		})
+	})
+	predict.Build()
+
+	// Planning: the real anytime FOT planner consuming its remaining
+	// allocation (§5.3).
+	planOp := g.Operator("planning")
+	plOut := erdos.Output(planOp, plans)
+	var lastPred Predictions
+	erdos.Input(planOp, predictions, func(ctx *erdos.Context, t erdos.Timestamp, p Predictions) {
+		lastPred = p
+	})
+	planOp.OnWatermark(func(ctx *erdos.Context) {
+		var obs []planning.Obstacle
+		for _, tr := range lastPred.Trajectories {
+			if len(tr.Waypoints) > 0 {
+				w := tr.Waypoints[0]
+				obs = append(obs, planning.Obstacle{X: w.X, Y: w.Y, Radius: 1.0})
+			}
+		}
+		budget := 40 * time.Millisecond
+		if rel, _, ok := ctx.Deadline(); ok {
+			budget = rel * 53 / 100
+		}
+		st := planning.VehicleState{Speed: cfg.TargetSpeed}
+		trj, ok, used := planning.PlanWithBudget(planning.DefaultConfig(), st, obs, budget, 2)
+		emulate(used, scale, ctx)
+		if !ok {
+			trj = planning.Trajectory{Target: 0, Duration: 2}
+		}
+		plan := Plan{Trajectory: trj, Candidates: int(used / planning.PerCandidateCost)}
+		for s := 0.25; s <= 1.0; s += 0.25 {
+			plan.Waypoints = append(plan.Waypoints, control.Waypoint{
+				X: cfg.TargetSpeed * trj.Duration * s,
+				Y: trj.Target * s,
+			})
+		}
+		_ = ctx.Send(plOut, ctx.Timestamp, plan)
+	})
+	planOp.TimestampDeadline("planning", dyn, erdos.Continue, nil)
+	planOp.Build()
+
+	// Control: the real PID + pure-pursuit controller at the end of the
+	// chain.
+	ctl := g.Operator("control")
+	cOut := erdos.Output(ctl, commands)
+	controller := control.NewController()
+	erdos.Input(ctl, plans, func(ctx *erdos.Context, t erdos.Timestamp, p Plan) {
+		emulate(control.Runtime, scale, ctx)
+		cmd := controller.Step(cfg.TargetSpeed*0.95, cfg.TargetSpeed, p.Waypoints, 100*time.Millisecond)
+		_ = ctx.Send(cOut, t, cmd)
+	})
+	ctl.OnWatermark(func(ctx *erdos.Context) {})
+	ctl.Build()
+
+	return Handles{Camera: camera, Commands: commands, Plans: plans, Deadlines: deadlines}
+}
+
+// emulate busy-waits for the modeled runtime scaled down, respecting
+// aborts so DEHs can take over promptly.
+func emulate(d time.Duration, scale float64, ctx *erdos.Context) {
+	d = time.Duration(float64(d) / scale)
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if ctx != nil && ctx.Aborted() {
+			return
+		}
+	}
+}

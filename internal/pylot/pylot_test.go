@@ -1,0 +1,111 @@
+package pylot
+
+import (
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/core/erdos"
+)
+
+// drive feeds frames of an agent approaching from ahead and returns the
+// collected outputs.
+func drive(t *testing.T, frames int, startDist, closing float64) (*erdos.Collector[Command], *erdos.Collector[Plan], *erdos.Collector[time.Duration]) {
+	t.Helper()
+	g := erdos.NewGraph()
+	h := Build(g, Config{TimeScale: 50, TargetSpeed: 12, Seed: 7})
+	rt, err := g.RunLocal(erdos.WithThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	cmds, err := erdos.Collect(rt, h.Commands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := erdos.Collect(rt, h.Plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dls, err := erdos.Collect(rt, h.Deadlines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam, err := erdos.Writer(rt, h.Camera)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 1; f <= frames; f++ {
+		ts := erdos.T(uint64(f))
+		dist := startDist - closing*float64(f-1)
+		frame := CameraFrame{Seq: uint64(f), EgoSpeed: 12}
+		if dist > 0 {
+			frame.Agents = []tracking.Observation{{X: dist, Y: 0}}
+		}
+		if err := cam.Send(ts, frame); err != nil {
+			t.Fatal(err)
+		}
+		if err := cam.SendWatermark(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Quiesce()
+	return cmds, plans, dls
+}
+
+func TestPipelineProducesCommandsEndToEnd(t *testing.T) {
+	cmds, plans, _ := drive(t, 6, 80, 2)
+	if cmds.Len() == 0 {
+		t.Fatal("no control commands produced")
+	}
+	if plans.Len() != 6 {
+		t.Fatalf("plans = %d, want one per frame", plans.Len())
+	}
+	for _, p := range plans.Data() {
+		if p.Value.Trajectory.Duration <= 0 {
+			t.Fatalf("degenerate plan: %+v", p.Value)
+		}
+		if len(p.Value.Waypoints) == 0 {
+			t.Fatal("plan without waypoints")
+		}
+	}
+}
+
+func TestDeadlineTightensAsAgentCloses(t *testing.T) {
+	_, _, dls := drive(t, 10, 90, 9) // agent closes from 90 m to ~9 m
+	data := dls.Data()
+	if len(data) < 5 {
+		t.Fatalf("too few policy decisions: %d", len(data))
+	}
+	first := data[0].Value
+	last := data[len(data)-1].Value
+	if last >= first {
+		t.Fatalf("pDP never tightened: first %v, last %v", first, last)
+	}
+	if last > 200*time.Millisecond {
+		t.Fatalf("final allocation %v too lax with an agent ~9 m ahead", last)
+	}
+}
+
+func TestClearRoadKeepsAccurateConfiguration(t *testing.T) {
+	_, _, dls := drive(t, 5, 500, 0) // agent far beyond the envelope
+	for _, d := range dls.Data() {
+		if d.Value < 400*time.Millisecond {
+			t.Fatalf("policy tightened to %v on a clear road", d.Value)
+		}
+	}
+}
+
+func TestPlannerSwervesAroundPredictedObstacle(t *testing.T) {
+	_, plans, _ := drive(t, 6, 25, 1) // stationary-ish obstacle in lane, close
+	data := plans.Data()
+	swerved := false
+	for _, p := range data {
+		if p.Value.Trajectory.Target > 0.9 || p.Value.Trajectory.Target < -0.9 {
+			swerved = true
+		}
+	}
+	if !swerved {
+		t.Fatal("planner never planned around the in-lane obstacle")
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"time"
+
+	"github.com/erdos-go/erdos/internal/pipeline"
+)
+
+// RunSuite drives every hazard of the suite under the given pipeline
+// configuration, returning aggregate collision and response statistics
+// (Figs. 11 and 12).
+func RunSuite(cfg pipeline.Config, s Suite, seed int64) SuiteResult {
+	var res SuiteResult
+	var speedSum float64
+	for i, h := range s.Hazards {
+		p := pipeline.New(cfg, seed+int64(i)*7919)
+		out := RunEncounter(p, h, seed+int64(i)*104729)
+		res.Encounters++
+		res.Frames += out.Frames
+		for _, r := range out.Responses {
+			res.Responses = append(res.Responses, r.Seconds())
+		}
+		res.Misses += out.Misses
+		if out.Collided {
+			res.Collisions++
+			speedSum += out.CollisionSpeed
+		}
+	}
+	if res.Collisions > 0 {
+		res.CollisionSpeed = speedSum / float64(res.Collisions)
+	}
+	return res
+}
+
+// GridCell is one cell of the Fig. 13 matrix.
+type GridCell struct {
+	Deadline       time.Duration // 0 marks the dynamic policy row
+	Speed          float64
+	CollisionSpeed float64
+	Avoided        Avoidance
+}
+
+// ScenarioGrid evaluates one scenario across driving speeds for every
+// static configuration plus the dynamic policy (Fig. 13). make returns the
+// hazard for a given speed.
+func ScenarioGrid(make func(speed float64) Hazard, speeds []float64, seed int64) []GridCell {
+	var cells []GridCell
+	for _, d := range staticDeadlines() {
+		for _, v := range speeds {
+			cfg := pipeline.StaticConfig(pipeline.D3Static, d)
+			out := RunEncounter(pipeline.New(cfg, seed), make(v), seed)
+			cells = append(cells, GridCell{
+				Deadline: d, Speed: v,
+				CollisionSpeed: out.CollisionSpeed, Avoided: out.Avoided,
+			})
+		}
+	}
+	for _, v := range speeds {
+		cfg := pipeline.DynamicConfig()
+		out := RunEncounter(pipeline.New(cfg, seed), make(v), seed)
+		cells = append(cells, GridCell{
+			Deadline: 0, Speed: v,
+			CollisionSpeed: out.CollisionSpeed, Avoided: out.Avoided,
+		})
+	}
+	return cells
+}
+
+func staticDeadlines() []time.Duration {
+	return []time.Duration{
+		125 * time.Millisecond,
+		200 * time.Millisecond,
+		250 * time.Millisecond,
+		400 * time.Millisecond,
+		500 * time.Millisecond,
+	}
+}

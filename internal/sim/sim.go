@@ -1,0 +1,238 @@
+// Package sim is the driving simulator substituting for CARLA (see
+// DESIGN.md): lane-frame kinematics, occlusion-aware visibility, hazard
+// scenarios and collision outcomes. The paper's driving evaluation (§7.4)
+// is, mechanically, the interaction of five quantities — visibility
+// distance, detection range (accuracy- and occlusion-dependent), end-to-end
+// response time, vehicle speed and braking capability — and this package
+// reproduces exactly that interaction, frame by frame, in virtual time.
+package sim
+
+import (
+	"time"
+
+	braking2 "github.com/erdos-go/erdos/internal/av/braking"
+	"github.com/erdos-go/erdos/internal/pipeline"
+	"github.com/erdos-go/erdos/internal/policy"
+	"github.com/erdos-go/erdos/internal/trace"
+)
+
+// Hazard describes one safety-critical encounter.
+type Hazard struct {
+	// Name labels the hazard kind.
+	Name string
+	// Distance is the range (meters) at which the hazard appears or first
+	// becomes physically visible.
+	Distance float64
+	// Occlusion is the steady-state occlusion fraction in [0, 1].
+	Occlusion float64
+	// EmergeTime, when positive, models an object emerging from behind an
+	// occluder: occlusion decays linearly from 1.0 to Occlusion over this
+	// many seconds after appearance (the person stepping out from behind
+	// the truck, §7.4.2).
+	EmergeTime float64
+	// PathWindow, when non-zero, bounds the interval (seconds after
+	// appearance) during which the hazard occupies the AV's path — a
+	// crossing pedestrian enters and then leaves the lane. Zero means the
+	// hazard is permanent (a stopped queue).
+	PathEnter, PathExit float64
+	// SwervePossible marks hazards an emergency swerve can avoid;
+	// SwerveTime is the maneuver time the swerve needs.
+	SwervePossible bool
+	SwerveTime     float64
+	// Agents is the scene's agent count (drives component runtimes).
+	Agents int
+	// Speed is the AV's approach speed (m/s).
+	Speed float64
+	// Decel is the braking deceleration available (m/s^2); zero selects
+	// the comfortable default.
+	Decel float64
+}
+
+// Avoidance classifies how an encounter ended without collision.
+type Avoidance string
+
+// Avoidance outcomes.
+const (
+	AvoidedStopped Avoidance = "stopped"
+	AvoidedCleared Avoidance = "cleared"
+	AvoidedSwerved Avoidance = "swerved"
+	AvoidedNone    Avoidance = ""
+)
+
+// Outcome is the result of one encounter.
+type Outcome struct {
+	Collided       bool
+	CollisionSpeed float64 // m/s at impact
+	Avoided        Avoidance
+	// DetectionDistance is the range at which the hazard was first
+	// perceived (0 when never detected).
+	DetectionDistance float64
+	// BrakeLatency is the end-to-end response of the frame that issued
+	// the braking command.
+	BrakeLatency time.Duration
+	// Responses and Deadlines record the per-frame pipeline behaviour
+	// during the encounter (Figs. 12 and 14).
+	Responses []time.Duration
+	Deadlines []time.Duration
+	Detectors []string
+	// Frames is the number of pipeline iterations simulated.
+	Frames int
+	// Misses counts frames whose computation overran the deadline.
+	Misses int
+	// BackupEngaged reports that the safety backup mode (§3) took over
+	// after repeated deadline misses and executed a minimal-risk maneuver.
+	BackupEngaged bool
+}
+
+// backupMissThreshold is the number of consecutive missed deadlines after
+// which the safety backup mode engages (§5.2: pDP invokes the backup mode
+// when the application can no longer perform its function).
+const backupMissThreshold = 5
+
+const defaultDecel = 3.5 // m/s^2, the §2.1 calibration (package braking)
+
+// RunEncounter simulates one hazard encounter under the pipeline's
+// execution model, with detection sampled per frame under the given seed.
+// The simulation advances in sensor frames; between frames, kinematics
+// integrate at a fine step.
+func RunEncounter(p *pipeline.Pipeline, h Hazard, seed int64) Outcome {
+	decel := h.Decel
+	if decel == 0 {
+		decel = defaultDecel
+	}
+	rng := trace.New(seed ^ 0x5eed)
+	period := p.Cfg.SensorPeriod.Seconds()
+	backup := policy.NewBackupTrigger(backupMissThreshold)
+	var out Outcome
+
+	v := h.Speed
+	x := 0.0 // distance travelled since the hazard appeared
+	t := 0.0
+	braking := false
+	brakeAt := -1.0 // wall time the braking command takes effect
+	detected := false
+	prevRaw := false
+	prevDetected := false
+	prevDist := 0.0
+	nextFrame := 0.0
+
+	const dt = 0.005
+	maxT := 40.0
+
+	for t < maxT {
+		// One pipeline frame at each sensor period boundary.
+		if t >= nextFrame {
+			nextFrame += period
+			d := h.Distance - x
+			resp := p.Step(pipeline.Frame{
+				Agents:       h.Agents,
+				Speed:        v,
+				NearestAgent: prevDist,
+				HasAgent:     prevDetected,
+			})
+			out.Responses = append(out.Responses, resp.Total)
+			out.Deadlines = append(out.Deadlines, resp.Deadline)
+			out.Detectors = append(out.Detectors, resp.Detector.Name)
+			out.Frames++
+			if resp.Missed {
+				out.Misses++
+			}
+			// Safety backup mode (§3): repeated consecutive misses mean
+			// the pipeline can no longer perform its function; execute a
+			// minimal-risk maneuver (hard braking) regardless of
+			// perception.
+			if backup.Observe(resp.Missed) && !out.BackupEngaged {
+				out.BackupEngaged = true
+				braking = true
+				decel = braking2.EmergencyDeceleration
+			}
+
+			occ := h.Occlusion
+			if h.EmergeTime > 0 {
+				emerged := 1 - t/h.EmergeTime
+				if emerged > occ {
+					occ = emerged
+				}
+				if occ > 1 {
+					occ = 1
+				}
+			}
+			// Per-frame probabilistic sighting: accurate models perceive
+			// the object almost as soon as physics allows; low-accuracy
+			// models need the object to get considerably closer.
+			raw := false
+			if d > 0 {
+				raw = rng.Bernoulli(resp.Detector.DetectProb(d, occ))
+			}
+			// A missed deadline's DEH releases the previous frame's
+			// perception (§5.4), staling the sighting by one frame.
+			effective := raw
+			if resp.StaleDetection {
+				effective = prevRaw
+			}
+			if effective && !detected {
+				detected = true
+				out.DetectionDistance = d
+				out.BrakeLatency = resp.Total
+			}
+			if detected {
+				// Once the object is tracked, every frame issues a
+				// command (the tracker coasts through missed sightings);
+				// an adapted, faster configuration lands its command
+				// earlier than the in-flight slow one (§5.3).
+				cmd := t + resp.Total.Seconds()
+				if brakeAt < 0 || cmd < brakeAt {
+					brakeAt = cmd
+				}
+			}
+			prevRaw = raw
+			// The policy observes the previous frame's tracking output.
+			prevDetected = detected
+			if detected {
+				prevDist = h.Distance - x
+			}
+		}
+
+		// Swerve or brake once the command lands.
+		if detected && !braking && brakeAt >= 0 && t >= brakeAt {
+			remaining := h.Distance - x
+			if h.SwervePossible && v > 0.1 && remaining/v >= h.SwerveTime {
+				out.Avoided = AvoidedSwerved
+				return out
+			}
+			braking = true
+		}
+
+		// Integrate kinematics.
+		if braking {
+			v -= decel * dt
+			if v <= 0 {
+				out.Avoided = AvoidedStopped
+				return out
+			}
+		}
+		x += v * dt
+		t += dt
+
+		// Collision / clearing check.
+		if x >= h.Distance {
+			inPath := true
+			if h.PathExit > 0 {
+				inPath = t >= h.PathEnter && t <= h.PathExit
+			}
+			if inPath {
+				out.Collided = true
+				out.CollisionSpeed = v
+				return out
+			}
+			out.Avoided = AvoidedCleared
+			return out
+		}
+	}
+	// Never reached the hazard (e.g. it was far and the AV stopped for
+	// other reasons) — treat as avoided.
+	if out.Avoided == AvoidedNone {
+		out.Avoided = AvoidedStopped
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/pipeline"
+)
+
+func staticP(exec pipeline.ExecModel, d time.Duration, seed int64) *pipeline.Pipeline {
+	return pipeline.New(pipeline.StaticConfig(exec, d), seed)
+}
+
+func TestEncounterDeterministicUnderSeed(t *testing.T) {
+	h := PersonBehindTruck(12)
+	a := RunEncounter(staticP(pipeline.D3Static, 250*time.Millisecond, 1), h, 9)
+	b := RunEncounter(staticP(pipeline.D3Static, 250*time.Millisecond, 1), h, 9)
+	if a.Collided != b.Collided || a.CollisionSpeed != b.CollisionSpeed || a.Frames != b.Frames {
+		t.Fatalf("encounter not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSlowEnoughAlwaysStops(t *testing.T) {
+	// A crawl-speed approach to a permanent obstacle must always stop.
+	h := TrafficJam(4)
+	out := RunEncounter(staticP(pipeline.D3Static, 500*time.Millisecond, 2), h, 2)
+	if out.Collided || out.Avoided != AvoidedStopped {
+		t.Fatalf("crawl approach outcome: %+v", out)
+	}
+}
+
+func TestUndetectableAlwaysCollides(t *testing.T) {
+	// Full occlusion with no emergence: the object is never perceived.
+	h := Hazard{Name: "invisible", Distance: 30, Occlusion: 1.0, Speed: 10, Agents: 2}
+	out := RunEncounter(staticP(pipeline.D3Static, 400*time.Millisecond, 3), h, 3)
+	if !out.Collided || out.CollisionSpeed < 9.9 {
+		t.Fatalf("undetectable hazard outcome: %+v", out)
+	}
+	if out.DetectionDistance != 0 {
+		t.Fatalf("phantom detection at %v", out.DetectionDistance)
+	}
+}
+
+func TestCrossingHazardClearsForSlowArrival(t *testing.T) {
+	// With a path window, arriving after PathExit avoids the collision.
+	h := Hazard{
+		Name: "crosser", Distance: 40, Occlusion: 1.0, // never detected
+		PathEnter: 0.1, PathExit: 2.0, Speed: 10, Agents: 2,
+	}
+	out := RunEncounter(staticP(pipeline.D3Static, 400*time.Millisecond, 4), h, 4)
+	if out.Collided || out.Avoided != AvoidedCleared {
+		t.Fatalf("crossing outcome: %+v (arrival at 4s is after the window)", out)
+	}
+}
+
+func TestFasterResponseNeverHurts(t *testing.T) {
+	// Identical physics, tighter deadline: the collision speed must not
+	// increase when only the response time shrinks and detection stays
+	// fixed (use an unoccluded, certain-detection hazard).
+	h := Hazard{Name: "wall", Distance: 26, Occlusion: 0, Speed: 13, Agents: 2}
+	slow := RunEncounter(staticP(pipeline.D3Static, 500*time.Millisecond, 5), h, 5)
+	fast := RunEncounter(staticP(pipeline.D3Static, 200*time.Millisecond, 5), h, 5)
+	if fast.CollisionSpeed > slow.CollisionSpeed+0.2 {
+		t.Fatalf("faster response collided harder: %.2f vs %.2f",
+			fast.CollisionSpeed, slow.CollisionSpeed)
+	}
+}
+
+// --- Fig. 13 shape: the two opposite scenarios of §7.4.2 ---
+
+func gridLookup(cells []GridCell, d time.Duration, speed float64) GridCell {
+	for _, c := range cells {
+		if c.Deadline == d && c.Speed == speed {
+			return c
+		}
+	}
+	return GridCell{}
+}
+
+func TestFig13PersonBehindTruckShape(t *testing.T) {
+	cells := ScenarioGrid(PersonBehindTruck, []float64{11, 12, 13}, 3)
+	// At 11 m/s every configuration avoids the person.
+	for _, d := range append([]time.Duration{0}, staticDeadlines()...) {
+		if c := gridLookup(cells, d, 11); c.CollisionSpeed > 0 {
+			t.Errorf("deadline %v collided at 11 m/s (%.1f)", d, c.CollisionSpeed)
+		}
+	}
+	// At 12 m/s the 200 ms configuration and the dynamic policy swerve in
+	// time; the slow accurate configurations and the low-accuracy 125 ms
+	// configuration collide (§7.4.2).
+	if c := gridLookup(cells, 200*time.Millisecond, 12); c.CollisionSpeed > 0 {
+		t.Errorf("200ms collided at 12 m/s (%.1f), should swerve", c.CollisionSpeed)
+	}
+	if c := gridLookup(cells, 0, 12); c.CollisionSpeed > 0 {
+		t.Errorf("dynamic policy collided at 12 m/s (%.1f), should adapt and swerve", c.CollisionSpeed)
+	}
+	for _, d := range []time.Duration{125 * time.Millisecond, 400 * time.Millisecond, 500 * time.Millisecond} {
+		if c := gridLookup(cells, d, 12); c.CollisionSpeed == 0 {
+			t.Errorf("deadline %v avoided at 12 m/s, expected a collision", d)
+		}
+	}
+	// Among the slow configurations, impact grows with the response time.
+	c400 := gridLookup(cells, 400*time.Millisecond, 12)
+	c500 := gridLookup(cells, 500*time.Millisecond, 12)
+	if c500.CollisionSpeed < c400.CollisionSpeed-0.5 {
+		t.Errorf("500ms impact (%.1f) should be >= 400ms impact (%.1f)",
+			c500.CollisionSpeed, c400.CollisionSpeed)
+	}
+	// At 13 m/s everything collides, and the dynamic policy's impact is
+	// no worse than any static configuration's.
+	dyn := gridLookup(cells, 0, 13)
+	if dyn.CollisionSpeed == 0 {
+		t.Error("13 m/s should exceed every configuration's envelope")
+	}
+	for _, d := range staticDeadlines() {
+		if c := gridLookup(cells, d, 13); c.CollisionSpeed > 0 && c.CollisionSpeed < dyn.CollisionSpeed-0.8 {
+			t.Errorf("dynamic impact %.1f worse than static %v's %.1f at 13 m/s",
+				dyn.CollisionSpeed, d, c.CollisionSpeed)
+		}
+	}
+}
+
+func TestFig13TrafficJamShape(t *testing.T) {
+	cells := ScenarioGrid(TrafficJam, []float64{8, 10, 12}, 3)
+	// At 8 m/s everyone stops.
+	for _, d := range append([]time.Duration{0}, staticDeadlines()...) {
+		if c := gridLookup(cells, d, 8); c.CollisionSpeed > 0 {
+			t.Errorf("deadline %v collided at 8 m/s (%.1f)", d, c.CollisionSpeed)
+		}
+	}
+	// At 10 m/s the fast, low-accuracy configuration perceives the
+	// occluded motorcycle too late; accurate configurations and the
+	// dynamic policy stop reliably (the opposite of person-behind-truck).
+	if c := gridLookup(cells, 125*time.Millisecond, 10); c.CollisionSpeed == 0 {
+		t.Error("125ms avoided at 10 m/s, expected a late-perception collision")
+	}
+	for _, d := range []time.Duration{0, 400 * time.Millisecond, 500 * time.Millisecond} {
+		if c := gridLookup(cells, d, 10); c.CollisionSpeed > 0 {
+			t.Errorf("deadline %v collided at 10 m/s (%.1f), accurate configs must stop", d, c.CollisionSpeed)
+		}
+	}
+	// At 12 m/s the fast configurations collide harder than at 10.
+	c10 := gridLookup(cells, 125*time.Millisecond, 10)
+	c12 := gridLookup(cells, 125*time.Millisecond, 12)
+	if c12.CollisionSpeed <= c10.CollisionSpeed {
+		t.Errorf("125ms impact at 12 (%.1f) should exceed impact at 10 (%.1f)",
+			c12.CollisionSpeed, c10.CollisionSpeed)
+	}
+}
+
+// --- Fig. 11 shape: collisions under the four execution models ---
+
+func TestFig11CollisionOrdering(t *testing.T) {
+	suite := ChallengeSuite(42, 50)
+	periodic := RunSuite(pipeline.StaticConfig(pipeline.Periodic, 200*time.Millisecond), suite, 1)
+	dataDriven := RunSuite(pipeline.StaticConfig(pipeline.DataDriven, 200*time.Millisecond), suite, 1)
+	dynamic := RunSuite(pipeline.DynamicConfig(), suite, 1)
+	bestStatic := 1 << 30
+	for _, d := range staticDeadlines() {
+		r := RunSuite(pipeline.StaticConfig(pipeline.D3Static, d), suite, 1)
+		if r.Collisions < bestStatic {
+			bestStatic = r.Collisions
+		}
+	}
+	if !(dynamic.Collisions < bestStatic &&
+		bestStatic <= dataDriven.Collisions+3 &&
+		dataDriven.Collisions < periodic.Collisions) {
+		t.Fatalf("ordering violated: periodic=%d data=%d static=%d dynamic=%d",
+			periodic.Collisions, dataDriven.Collisions, bestStatic, dynamic.Collisions)
+	}
+	// The paper's headline: a ~68% reduction over periodic execution.
+	reduction := 1 - float64(dynamic.Collisions)/float64(periodic.Collisions)
+	if reduction < 0.5 || reduction > 0.85 {
+		t.Fatalf("collision reduction vs periodic = %.0f%%, want in [50%%, 85%%] (paper: 68%%)",
+			reduction*100)
+	}
+	// And roughly 2.2x fewer under data-driven than periodic.
+	ratio := float64(periodic.Collisions) / float64(dataDriven.Collisions)
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Fatalf("periodic/data-driven = %.1fx, want ~2.2x", ratio)
+	}
+}
+
+func TestChallengeSuiteDeterministic(t *testing.T) {
+	a := ChallengeSuite(7, 10)
+	b := ChallengeSuite(7, 10)
+	if len(a.Hazards) != len(b.Hazards) {
+		t.Fatal("suite generation not deterministic")
+	}
+	for i := range a.Hazards {
+		if a.Hazards[i] != b.Hazards[i] {
+			t.Fatalf("hazard %d differs under same seed", i)
+		}
+	}
+	c := ChallengeSuite(8, 10)
+	same := true
+	for i := range a.Hazards {
+		if a.Hazards[i] != c.Hazards[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical suites")
+	}
+	if len(a.Hazards) != 40 {
+		t.Fatalf("10 km should yield 40 hazards, got %d", len(a.Hazards))
+	}
+}
+
+func TestSuiteResultAggregation(t *testing.T) {
+	suite := ChallengeSuite(3, 5)
+	r := RunSuite(pipeline.StaticConfig(pipeline.D3Static, 250*time.Millisecond), suite, 1)
+	if r.Encounters != len(suite.Hazards) {
+		t.Fatalf("encounters = %d, want %d", r.Encounters, len(suite.Hazards))
+	}
+	if r.Frames == 0 || len(r.Responses) != r.Frames {
+		t.Fatalf("frames = %d, responses = %d", r.Frames, len(r.Responses))
+	}
+	if r.Collisions > 0 && r.CollisionSpeed <= 0 {
+		t.Fatal("collision speed not aggregated")
+	}
+}
+
+// Fig. 14: during a person-behind-truck encounter, the dynamic policy must
+// visibly tighten the end-to-end deadline once the person is detected.
+func TestFig14DeadlineTightensOnDetection(t *testing.T) {
+	out := RunEncounter(pipeline.New(pipeline.DynamicConfig(), 6), PersonBehindTruck(12), 6)
+	if len(out.Deadlines) < 2 {
+		t.Fatalf("too few frames: %d", len(out.Deadlines))
+	}
+	first := out.Deadlines[0]
+	min := first
+	for _, d := range out.Deadlines {
+		if d < min {
+			min = d
+		}
+	}
+	if min >= first {
+		t.Fatalf("deadline never tightened: first %v, min %v (deadlines %v)", first, min, out.Deadlines)
+	}
+	if min > 200*time.Millisecond {
+		t.Fatalf("tightened deadline %v, want <= 200ms once the person is close", min)
+	}
+}
+
+func TestSafetyBackupModeEngagesOnChronicMisses(t *testing.T) {
+	// Pin an oversized detector into a tiny deadline: every frame misses,
+	// the backup trigger fires after the threshold, and the vehicle stops
+	// even though the hazard is never perceived (full occlusion).
+	cfg := pipeline.StaticConfig(pipeline.D3Static, 40*time.Millisecond)
+	cfg.Detector = pipeline.StaticConfig(pipeline.D3Static, 500*time.Millisecond).Detector
+	h := Hazard{Name: "invisible", Distance: 60, Occlusion: 1.0, Speed: 10, Agents: 12}
+	out := RunEncounter(pipeline.New(cfg, 9), h, 9)
+	if !out.BackupEngaged {
+		t.Fatalf("backup mode did not engage: %d misses over %d frames", out.Misses, out.Frames)
+	}
+	if out.Collided {
+		t.Fatalf("backup mode engaged but still collided at %.1f m/s", out.CollisionSpeed)
+	}
+	if out.Avoided != AvoidedStopped {
+		t.Fatalf("expected a minimal-risk stop, got %q", out.Avoided)
+	}
+}
+
+func TestSafetyBackupModeStaysOffForHealthyPipelines(t *testing.T) {
+	out := RunEncounter(staticP(pipeline.D3Static, 200*time.Millisecond, 4), TrafficJam(10), 4)
+	if out.BackupEngaged {
+		t.Fatal("healthy pipeline engaged the backup mode")
+	}
+}

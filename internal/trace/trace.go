@@ -1,0 +1,94 @@
+// Package trace provides the seeded randomness and runtime-distribution
+// models that drive the synthetic workloads: component runtimes in an AV
+// pipeline are not constant but environment-dependent (§2.2 of the paper),
+// with heavy right tails. Every generator is deterministic under a seed so
+// experiments reproduce exactly.
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Rand wraps a seeded source with the samplers the workload models need.
+type Rand struct{ *rand.Rand }
+
+// New returns a deterministic generator for the given seed.
+func New(seed int64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Uniform samples uniformly from [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// Normal samples a normal with the given mean and standard deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return mean + r.NormFloat64()*stddev
+}
+
+// LogNormalDur samples a right-skewed duration with the given median and a
+// shape parameter sigma (sigma ~0.25 gives mild skew, ~0.8 gives the heavy
+// tails Fig. 3 shows for perception).
+func (r *Rand) LogNormalDur(median time.Duration, sigma float64) time.Duration {
+	mu := math.Log(float64(median))
+	v := math.Exp(mu + sigma*r.NormFloat64())
+	return time.Duration(v)
+}
+
+// JitterDur samples median scaled by a normal factor with relative standard
+// deviation rel, clamped to [median/4, 4*median].
+func (r *Rand) JitterDur(median time.Duration, rel float64) time.Duration {
+	f := r.Normal(1, rel)
+	if f < 0.25 {
+		f = 0.25
+	}
+	if f > 4 {
+		f = 4
+	}
+	return time.Duration(float64(median) * f)
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// Poisson samples a Poisson-distributed count with mean lambda (Knuth's
+// method; adequate for the small lambdas used by scene generators).
+func (r *Rand) Poisson(lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// Exponential samples an exponential with the given mean.
+func (r *Rand) Exponential(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Pick returns a uniformly random element index weighted by weights.
+func (r *Rand) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uniform(0, 1) != b.Uniform(0, 1) {
+			t.Fatal("Uniform not deterministic")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(2)
+	var sum, sq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("mean = %.3f", mean)
+	}
+	if math.Abs(std-2) > 0.1 {
+		t.Fatalf("std = %.3f", std)
+	}
+}
+
+func TestLogNormalMedianAndSkew(t *testing.T) {
+	r := New(3)
+	const n = 20001
+	vals := make([]time.Duration, n)
+	var sum time.Duration
+	for i := range vals {
+		vals[i] = r.LogNormalDur(100*time.Millisecond, 0.5)
+		sum += vals[i]
+	}
+	// Median should be near the parameter; mean above it (right skew).
+	count := 0
+	for _, v := range vals {
+		if v < 100*time.Millisecond {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("median off: %.2f below the parameter", frac)
+	}
+	if sum/time.Duration(n) <= 100*time.Millisecond {
+		t.Fatal("log-normal mean must exceed the median (right skew)")
+	}
+}
+
+func TestJitterDurClamped(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 5000; i++ {
+		v := r.JitterDur(100*time.Millisecond, 2.0) // huge rel stddev
+		if v < 25*time.Millisecond || v > 400*time.Millisecond {
+			t.Fatalf("JitterDur out of clamp: %v", v)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(5)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bernoulli(0.3) = %.3f", frac)
+	}
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) fired")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(6)
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(3.5)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-3.5) > 0.1 {
+		t.Fatalf("Poisson mean = %.3f", mean)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(7)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(5)
+	}
+	if math.Abs(sum/n-5) > 0.2 {
+		t.Fatalf("Exponential mean = %.3f", sum/n)
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := New(8)
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Pick([]float64{1, 2, 7})]++
+	}
+	if f := float64(counts[2]) / n; f < 0.65 || f > 0.75 {
+		t.Fatalf("heavy option picked %.2f, want ~0.7", f)
+	}
+	if f := float64(counts[0]) / n; f < 0.07 || f > 0.13 {
+		t.Fatalf("light option picked %.2f, want ~0.1", f)
+	}
+}

@@ -1,0 +1,181 @@
+// Package vtime provides a discrete-event virtual clock. The driving
+// experiments run the AV pipeline in virtual time — mirroring Pylot's
+// pseudo-asynchronous mode (Appendix A.5 of the paper) — so a 50 km drive
+// that takes ~1 month of wall-clock simulation in CARLA reproduces here in
+// milliseconds, deterministically.
+//
+// The Engine keeps a priority queue of scheduled events; Run executes them
+// in time order, each possibly scheduling further events. The engine also
+// implements deadline.Clock, so the same deadline-enforcement machinery that
+// runs on the wall clock in production runs on virtual time in simulation.
+package vtime
+
+import (
+	"container/heap"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/deadline"
+)
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all events execute on the caller's goroutine inside Run.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	epoch  time.Time
+}
+
+// New returns an engine positioned at virtual time zero.
+func New() *Engine {
+	// A fixed epoch anchors time.Time conversions for deadline.Clock.
+	return &Engine{epoch: time.Unix(1_000_000_000, 0)}
+}
+
+// Now returns the current virtual time as an offset from the start.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// NowTime returns the current virtual time as a time.Time (deadline.Clock).
+func (e *Engine) NowTime() time.Time { return e.epoch.Add(e.now) }
+
+// At schedules fn at absolute virtual time t (>= Now; earlier times are
+// clamped to Now).
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, fn: fn, seq: e.seq}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn after d elapses.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn every period, starting at start, until fn returns
+// false.
+func (e *Engine) Every(start, period time.Duration, fn func() bool) {
+	var tick func()
+	next := start
+	tick = func() {
+		if !fn() {
+			return
+		}
+		next += period
+		e.At(next, tick)
+	}
+	e.At(start, tick)
+}
+
+// Run executes events until the queue empties or the optional horizon is
+// passed (zero horizon means no limit). It returns the final virtual time.
+func (e *Engine) Run(horizon time.Duration) time.Duration {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if horizon > 0 && ev.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.done = true
+		ev.fn()
+	}
+	if horizon > 0 && e.now < horizon {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// Step executes the single next event, reporting whether one existed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.done = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Event is a scheduled callback.
+type Event struct {
+	at        time.Duration
+	fn        func()
+	seq       uint64
+	idx       int
+	cancelled bool
+	done      bool
+}
+
+// Cancel prevents the event from running (no-op if it already ran).
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// At returns the event's scheduled virtual time.
+func (ev *Event) At() time.Duration { return ev.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
+func (h *eventHeap) Push(x any)   { ev := x.(*Event); ev.idx = len(*h); *h = append(*h, ev) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Clock adapts an Engine to the deadline.Clock interface so deadline
+// enforcement can be driven by virtual time.
+type Clock struct{ E *Engine }
+
+// Now implements deadline.Clock.
+func (c Clock) Now() time.Time { return c.E.NowTime() }
+
+// AfterFunc implements deadline.Clock.
+func (c Clock) AfterFunc(d time.Duration, f func()) deadline.TimerHandle {
+	return Timer{ev: c.E.After(d, f)}
+}
+
+// Timer wraps a scheduled event as a deadline.TimerHandle.
+type Timer struct{ ev *Event }
+
+// Stop implements deadline.TimerHandle.
+func (t Timer) Stop() bool {
+	if t.ev.cancelled || t.ev.done {
+		return false
+	}
+	t.ev.Cancel()
+	return true
+}

@@ -1,0 +1,156 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.After(30*time.Millisecond, func() { order = append(order, 3) })
+	e.After(10*time.Millisecond, func() { order = append(order, 1) })
+	e.After(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(10*time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventsScheduleMoreEvents(t *testing.T) {
+	e := New()
+	hits := 0
+	var tick func()
+	tick = func() {
+		hits++
+		if hits < 5 {
+			e.After(10*time.Millisecond, tick)
+		}
+	}
+	e.After(10*time.Millisecond, tick)
+	e.Run(0)
+	if hits != 5 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if e.Now() != 50*time.Millisecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestHorizonStopsEarly(t *testing.T) {
+	e := New()
+	ran := false
+	e.At(100*time.Millisecond, func() { ran = true })
+	e.Run(50 * time.Millisecond)
+	if ran {
+		t.Fatal("event beyond horizon ran")
+	}
+	if e.Now() != 50*time.Millisecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	// Resuming past the horizon runs it.
+	e.Run(200 * time.Millisecond)
+	if !ran {
+		t.Fatal("event not run after extending the horizon")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.After(10*time.Millisecond, func() { ran = true })
+	ev.Cancel()
+	e.Run(0)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New()
+	hits := 0
+	e.Every(10*time.Millisecond, 20*time.Millisecond, func() bool {
+		hits++
+		return hits < 4
+	})
+	e.Run(0)
+	if hits != 4 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if e.Now() != 70*time.Millisecond { // 10, 30, 50, 70
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := New()
+	n := 0
+	e.After(time.Millisecond, func() { n++ })
+	e.After(2*time.Millisecond, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine must return false")
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := New()
+	e.After(10*time.Millisecond, func() {
+		// Scheduling in the past clamps to now.
+		e.At(time.Millisecond, func() {
+			if e.Now() != 10*time.Millisecond {
+				t.Errorf("clamped event ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run(0)
+}
+
+func TestClockAdapter(t *testing.T) {
+	e := New()
+	c := Clock{E: e}
+	fired := false
+	h := c.AfterFunc(5*time.Millisecond, func() { fired = true })
+	if c.Now() != e.NowTime() {
+		t.Fatal("clock time mismatch")
+	}
+	e.Run(10 * time.Millisecond)
+	if !fired {
+		t.Fatal("AfterFunc did not fire")
+	}
+	if h.Stop() {
+		t.Fatal("Stop after firing must return false")
+	}
+
+	h2 := c.AfterFunc(5*time.Millisecond, func() { t.Error("stopped timer fired") })
+	if !h2.Stop() {
+		t.Fatal("Stop on pending timer must return true")
+	}
+	e.Run(30 * time.Millisecond)
+}
