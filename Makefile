@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench figures
+
+## check: everything CI runs — formatting, vet, build, tests under -race
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: scheduler/data-plane micro-benchmarks -> BENCH_lattice.json
+bench:
+	$(GO) run ./cmd/erdos-bench -bench lattice -out BENCH_lattice.json
+
+## figures: regenerate the paper's Fig. 8 messaging benchmarks
+figures:
+	$(GO) run ./cmd/erdos-bench

@@ -1,26 +1,95 @@
 // Command erdos-bench runs the §7.2 messaging benchmarks (Fig. 8):
 // callback-invocation delay across message sizes, operator fanout, and
 // synthetic-pipeline sensor scaling, comparing ERDOS' messaging path
-// against the ROS-, ROS2- and Flink-style baselines.
+// against the ROS-, ROS2- and Flink-style baselines. It also runs the
+// scheduler/data-plane micro-benchmarks and records them to
+// BENCH_lattice.json so the repo keeps a perf trajectory across PRs.
 //
 // Usage:
 //
-//	erdos-bench                 # all three benchmarks
-//	erdos-bench -bench fanout   # one of: size | fanout | scaling
+//	erdos-bench                 # the three Fig. 8 benchmarks
+//	erdos-bench -bench fanout   # one of: size | fanout | scaling | lattice
+//	erdos-bench -bench lattice  # scheduler micro-benchmarks -> BENCH_lattice.json
 //	erdos-bench -msgs 200       # more samples per point
+//	erdos-bench -bench lattice -out other.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/erdos-go/erdos/internal/experiments"
 )
 
+// latticeBenchFile is the JSON shape of BENCH_lattice.json.
+type latticeBenchFile struct {
+	GeneratedBy string                         `json:"generated_by"`
+	Date        string                         `json:"date"`
+	GoVersion   string                         `json:"go_version"`
+	NumCPU      int                            `json:"num_cpu"`
+	GoMaxProcs  int                            `json:"go_max_procs"`
+	PreChange   []experiments.MicroBenchResult `json:"pre_change_seed_scheduler"`
+	PostChange  []experiments.MicroBenchResult `json:"post_change"`
+	Speedup     map[string]map[string]float64  `json:"speedup_vs_pre_change"`
+}
+
+func runLatticeBench(out string) error {
+	fmt.Println("=== scheduler & data-plane micro-benchmarks ===")
+	post := experiments.LatticeMicroBench()
+	pre := experiments.PreChangeLatticeBaseline
+	preByName := map[string]experiments.MicroBenchResult{}
+	for _, r := range pre {
+		preByName[r.Name] = r
+	}
+	speedup := map[string]map[string]float64{}
+	for _, r := range post {
+		fmt.Printf("%-26s %12.1f ns/op %8d B/op %5d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if p, ok := preByName[r.Name]; ok && r.NsPerOp > 0 {
+			speedup[r.Name] = map[string]float64{
+				"throughput": p.NsPerOp / r.NsPerOp,
+				"allocs":     float64(p.AllocsPerOp) / maxf(float64(r.AllocsPerOp), 1),
+			}
+			fmt.Printf("%-26s %12.2fx vs pre-change scheduler\n", "", p.NsPerOp/r.NsPerOp)
+		}
+	}
+	f := latticeBenchFile{
+		GeneratedBy: "cmd/erdos-bench -bench lattice",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		PreChange:   pre,
+		PostChange:  post,
+		Speedup:     speedup,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 func main() {
-	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | all")
+	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | lattice | all")
 	msgs := flag.Int("msgs", 50, "messages per measurement point")
+	out := flag.String("out", "BENCH_lattice.json", "output file for -bench lattice")
 	flag.Parse()
 
 	ran := false
@@ -37,6 +106,13 @@ func main() {
 	if *bench == "all" || *bench == "scaling" {
 		fmt.Println("=== synthetic Pylot sensor scaling (Fig. 8c) ===")
 		fmt.Println(experiments.Fig8cSensorScaling(*msgs).Render())
+		ran = true
+	}
+	if *bench == "lattice" {
+		if err := runLatticeBench(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "lattice bench: %v\n", err)
+			os.Exit(1)
+		}
 		ran = true
 	}
 	if !ran {

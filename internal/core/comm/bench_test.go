@@ -43,3 +43,41 @@ func BenchmarkInterWorkerSend(b *testing.B) {
 		time.Sleep(100 * time.Microsecond)
 	}
 }
+
+// BenchmarkCommRawRoundtrip measures the full request/response latency of a
+// 4KB []byte payload over loopback TCP: c -> a (echo) -> c. This is the
+// data-plane path a remote sensor frame takes, and it exercises the
+// []byte fast path end to end.
+func BenchmarkCommRawRoundtrip(b *testing.B) {
+	var echoTo atomic.Pointer[Transport]
+	done := make(chan struct{}, 1)
+	a, err := Listen("a", "127.0.0.1:0", func(_ string, id stream.ID, m message.Message) {
+		_ = echoTo.Load().Send("c", id, m)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	echoTo.Store(a)
+	c, err := Listen("c", "127.0.0.1:0", func(string, stream.ID, message.Message) {
+		done <- struct{}{}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Dial(a.Addr()); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	id := stream.NewID()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send("a", id, message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}

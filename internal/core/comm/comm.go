@@ -3,18 +3,26 @@
 // while operators colocated on a worker communicate references through the
 // in-process broadcaster (zero copy).
 //
-// Wire format: each connection carries a gob stream of Envelope values. A
-// fast path ships []byte payloads without per-message reflection; other
-// payload types must be registered with RegisterPayload (gob registration).
+// Wire format: after a gob handshake, each connection carries a sequence of
+// tagged frames. Watermarks and []byte data payloads — the sensor-frame hot
+// path — travel as length-prefixed binary frames with no reflection at all;
+// any other payload type falls back to a gob-encoded Envelope frame and must
+// be registered with RegisterPayload. Header encoding uses pooled scratch
+// buffers and payload bytes are written straight from the message, so the
+// fast path costs one allocation on the receive side (the payload) and none
+// on the send side.
 package comm
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/erdos-go/erdos/internal/core/message"
@@ -30,7 +38,15 @@ func init() {
 	gob.Register(time.Duration(0))
 }
 
-// Envelope is the wire representation of one stream message.
+// Frame tags. tagRaw frames carry watermarks and []byte data payloads in
+// plain binary; tagGob frames carry an Envelope through gob's type registry.
+const (
+	tagRaw byte = 0x01
+	tagGob byte = 0x02
+)
+
+// Envelope is the gob wire representation of one stream message; only
+// messages that cannot take the binary fast path travel as Envelopes.
 type Envelope struct {
 	Stream uint64
 	Kind   uint8
@@ -89,14 +105,21 @@ type Handler func(from string, id stream.ID, m message.Message)
 type Transport struct {
 	name    string
 	ln      net.Listener
-	handler Handler
+	handler Handler // immutable after Listen
 
+	// peers is a copy-on-write snapshot: Send looks a peer up without any
+	// lock; mu serializes snapshot replacement (connect/close only).
+	peers  atomic.Pointer[map[string]*peer]
 	mu     sync.Mutex
-	peers  map[string]*peer
 	closed bool
 	wg     sync.WaitGroup
 
-	sent, received uint64
+	sent, received atomic.Uint64
+}
+
+type outMsg struct {
+	id stream.ID
+	m  message.Message
 }
 
 type peer struct {
@@ -104,7 +127,7 @@ type peer struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	bw   *bufio.Writer
-	out  chan Envelope
+	out  chan outMsg
 	done chan struct{}
 }
 
@@ -117,7 +140,9 @@ func Listen(name, addr string, handler Handler) (*Transport, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Transport{name: name, ln: ln, handler: handler, peers: make(map[string]*peer)}
+	t := &Transport{name: name, ln: ln, handler: handler}
+	empty := map[string]*peer{}
+	t.peers.Store(&empty)
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -148,7 +173,8 @@ func (t *Transport) Dial(addr string) error {
 		conn.Close()
 		return err
 	}
-	dec := gob.NewDecoder(bufio.NewReaderSize(conn, 1<<16))
+	br := bufio.NewReaderSize(conn, 1<<16)
+	dec := gob.NewDecoder(br)
 	var h hello
 	if err := dec.Decode(&h); err != nil {
 		conn.Close()
@@ -162,24 +188,22 @@ func (t *Transport) Dial(addr string) error {
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
-		t.readLoop(p, dec)
+		t.readLoop(p, br, dec)
 	}()
 	return nil
 }
 
-// Send transmits m on stream id to the named peer.
+// Send transmits m on stream id to the named peer. The lookup is lock-free
+// and the sent counter is only incremented once the message is actually
+// queued on a live connection.
 func (t *Transport) Send(peerName string, id stream.ID, m message.Message) error {
-	t.mu.Lock()
-	p, ok := t.peers[peerName]
-	if !ok || t.closed {
-		t.mu.Unlock()
+	p := (*t.peers.Load())[peerName]
+	if p == nil {
 		return fmt.Errorf("comm: %s has no peer %q", t.name, peerName)
 	}
-	t.sent++
-	t.mu.Unlock()
-	env := ToEnvelope(id, m)
 	select {
-	case p.out <- env:
+	case p.out <- outMsg{id: id, m: m}:
+		t.sent.Add(1)
 		return nil
 	case <-p.done:
 		return errors.New("comm: peer connection closed")
@@ -188,10 +212,9 @@ func (t *Transport) Send(peerName string, id stream.ID, m message.Message) error
 
 // Peers returns the connected peer names.
 func (t *Transport) Peers() []string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]string, 0, len(t.peers))
-	for n := range t.peers {
+	peers := *t.peers.Load()
+	out := make([]string, 0, len(peers))
+	for n := range peers {
 		out = append(out, n)
 	}
 	return out
@@ -199,9 +222,7 @@ func (t *Transport) Peers() []string {
 
 // Counters returns messages sent and received.
 func (t *Transport) Counters() (sent, received uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.sent, t.received
+	return t.sent.Load(), t.received.Load()
 }
 
 // Close tears down every connection and stops the accept loop.
@@ -212,10 +233,9 @@ func (t *Transport) Close() {
 		return
 	}
 	t.closed = true
-	peers := make([]*peer, 0, len(t.peers))
-	for _, p := range t.peers {
-		peers = append(peers, p)
-	}
+	peers := *t.peers.Load()
+	empty := map[string]*peer{}
+	t.peers.Store(&empty)
 	t.mu.Unlock()
 	t.ln.Close()
 	for _, p := range peers {
@@ -238,7 +258,8 @@ func (t *Transport) acceptLoop() {
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
-			dec := gob.NewDecoder(bufio.NewReaderSize(conn, 1<<16))
+			br := bufio.NewReaderSize(conn, 1<<16)
+			dec := gob.NewDecoder(br)
 			var h hello
 			if err := dec.Decode(&h); err != nil {
 				conn.Close()
@@ -259,7 +280,7 @@ func (t *Transport) acceptLoop() {
 				conn.Close()
 				return
 			}
-			t.readLoop(p, dec)
+			t.readLoop(p, br, dec)
 		}()
 	}
 }
@@ -270,7 +291,8 @@ func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, bw *bu
 	if t.closed {
 		return nil
 	}
-	if _, dup := t.peers[name]; dup {
+	old := *t.peers.Load()
+	if _, dup := old[name]; dup {
 		return nil
 	}
 	p := &peer{
@@ -278,17 +300,106 @@ func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, bw *bu
 		conn: conn,
 		enc:  enc,
 		bw:   bw,
-		out:  make(chan Envelope, 1024),
+		out:  make(chan outMsg, 1024),
 		done: make(chan struct{}),
 	}
-	t.peers[name] = p
+	next := make(map[string]*peer, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = p
+	t.peers.Store(&next)
 	t.wg.Add(1)
 	go t.writeLoop(p)
 	return p
 }
 
-// writeLoop serializes envelope encoding per connection and batches flushes:
-// it drains whatever is queued, encoding each envelope, and flushes once the
+// scratchPool recycles the header buffers of binary frames.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 128)
+		return &b
+	},
+}
+
+// rawEligible reports whether m can take the reflection-free binary path:
+// watermarks always can, data messages when the payload is []byte.
+func rawEligible(m message.Message) bool {
+	if !m.IsData() {
+		return true
+	}
+	_, ok := m.Payload.([]byte)
+	return ok
+}
+
+// writeRawFrame emits a tagRaw frame: uvarint stream id, kind byte, binary
+// timestamp, and for data messages a uvarint length-prefixed payload written
+// directly from the message (no intermediate copy).
+func writeRawFrame(bw *bufio.Writer, id stream.ID, m message.Message) error {
+	sp := scratchPool.Get().(*[]byte)
+	buf := append((*sp)[:0], tagRaw)
+	buf = binary.AppendUvarint(buf, uint64(id))
+	buf = append(buf, byte(m.Kind))
+	buf = m.Timestamp.AppendBinary(buf)
+	var raw []byte
+	if m.IsData() {
+		raw, _ = m.Payload.([]byte)
+		buf = binary.AppendUvarint(buf, uint64(len(raw)))
+	}
+	_, err := bw.Write(buf)
+	*sp = buf
+	scratchPool.Put(sp)
+	if err == nil && len(raw) > 0 {
+		_, err = bw.Write(raw)
+	}
+	return err
+}
+
+// readRawFrame decodes the body of a tagRaw frame (the tag byte has been
+// consumed). The payload allocation is the only one on this path.
+func readRawFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
+	sid, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, message.Message{}, err
+	}
+	kind, err := br.ReadByte()
+	if err != nil {
+		return 0, message.Message{}, err
+	}
+	ts, err := timestamp.ReadBinary(br)
+	if err != nil {
+		return 0, message.Message{}, err
+	}
+	m := message.Message{Kind: message.Kind(kind), Timestamp: ts}
+	if m.IsData() {
+		plen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, message.Message{}, err
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return 0, message.Message{}, err
+		}
+		m.Payload = payload
+	}
+	return stream.ID(sid), m, nil
+}
+
+// writeMsg frames one message: binary fast path when eligible, gob Envelope
+// otherwise.
+func (p *peer) writeMsg(o outMsg) error {
+	if rawEligible(o.m) {
+		return writeRawFrame(p.bw, o.id, o.m)
+	}
+	if err := p.bw.WriteByte(tagGob); err != nil {
+		return err
+	}
+	env := ToEnvelope(o.id, o.m)
+	return p.enc.Encode(&env)
+}
+
+// writeLoop serializes frame encoding per connection and batches flushes:
+// it drains whatever is queued, encoding each message, and flushes once the
 // queue momentarily empties.
 func (t *Transport) writeLoop(p *peer) {
 	defer t.wg.Done()
@@ -296,15 +407,15 @@ func (t *Transport) writeLoop(p *peer) {
 		select {
 		case <-p.done:
 			return
-		case env := <-p.out:
-			if err := p.enc.Encode(&env); err != nil {
+		case o := <-p.out:
+			if err := p.writeMsg(o); err != nil {
 				return
 			}
 		drain:
 			for {
 				select {
-				case env = <-p.out:
-					if err := p.enc.Encode(&env); err != nil {
+				case o = <-p.out:
+					if err := p.writeMsg(o); err != nil {
 						return
 					}
 				default:
@@ -318,21 +429,33 @@ func (t *Transport) writeLoop(p *peer) {
 	}
 }
 
-// readLoop decodes envelopes until the connection fails; callers own the
+// readLoop decodes frames until the connection fails; callers own the
 // goroutine accounting.
-func (t *Transport) readLoop(p *peer, dec *gob.Decoder) {
+func (t *Transport) readLoop(p *peer, br *bufio.Reader, dec *gob.Decoder) {
 	for {
-		var env Envelope
-		if err := dec.Decode(&env); err != nil {
+		tag, err := br.ReadByte()
+		if err != nil {
 			return
 		}
-		t.mu.Lock()
-		t.received++
-		handler := t.handler
-		t.mu.Unlock()
-		if handler != nil {
-			id, m := FromEnvelope(env)
-			handler(p.name, id, m)
+		var id stream.ID
+		var m message.Message
+		switch tag {
+		case tagRaw:
+			if id, m, err = readRawFrame(br); err != nil {
+				return
+			}
+		case tagGob:
+			var env Envelope
+			if err := dec.Decode(&env); err != nil {
+				return
+			}
+			id, m = FromEnvelope(env)
+		default:
+			return // protocol corruption; drop the connection
+		}
+		t.received.Add(1)
+		if t.handler != nil {
+			t.handler(p.name, id, m)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -174,6 +175,141 @@ func TestTransportOrderingPerPeer(t *testing.T) {
 	}
 	if _, recv := a.Counters(); recv != n {
 		t.Fatalf("received counter = %d", recv)
+	}
+}
+
+// TestRawFastPathRoundTrip drives []byte payloads and watermarks — the
+// binary fast path — over a real TCP connection, interleaved with gob-path
+// struct payloads to prove both framings coexist on one gob-initialized
+// stream. None of the raw frames touch reflection.
+func TestRawFastPathRoundTrip(t *testing.T) {
+	RegisterPayload(obstacle{})
+	got := make(chan message.Message, 16)
+	a, err := Listen("a", "127.0.0.1:0", func(_ string, _ stream.ID, m message.Message) {
+		got <- m
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Dial(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	id := stream.NewID()
+	sent := []message.Message{
+		message.Data(timestamp.New(7, 3, 1), []byte("camera-frame")),
+		message.Watermark(timestamp.New(7, 3, 1)),
+		message.Data(timestamp.New(8), obstacle{X: 1, Tag: "gob"}), // gob fallback
+		message.Data(timestamp.New(9, 2), []byte{}),                // empty raw payload
+		message.Data(timestamp.New(10), obstacle{X: 2, Tag: "gob2"}),
+		message.Data(timestamp.New(11), []byte("after-gob")),
+		message.Top(),
+	}
+	for _, m := range sent {
+		if err := b.Send("a", id, m); err != nil {
+			t.Fatalf("send %v: %v", m, err)
+		}
+	}
+	for i, want := range sent {
+		var m message.Message
+		select {
+		case m = <-got:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("message %d never arrived", i)
+		}
+		if m.Kind != want.Kind || !m.Timestamp.Equal(want.Timestamp) || m.Timestamp.IsTop() != want.Timestamp.IsTop() {
+			t.Fatalf("message %d = %v, want %v", i, m, want)
+		}
+		switch wp := want.Payload.(type) {
+		case []byte:
+			if !bytes.Equal(m.Payload.([]byte), wp) {
+				t.Fatalf("message %d payload = %q, want %q", i, m.Payload, wp)
+			}
+		case obstacle:
+			if m.Payload.(obstacle) != wp {
+				t.Fatalf("message %d payload = %+v, want %+v", i, m.Payload, wp)
+			}
+		}
+	}
+	// Coordinates must survive the binary timestamp codec exactly.
+	if ts := sent[0].Timestamp; ts.Coordinate(0) != 3 || ts.Coordinate(1) != 1 {
+		t.Fatalf("test corrupted its own fixture: %v", ts)
+	}
+	if sentN, _ := b.Counters(); sentN != uint64(len(sent)) {
+		t.Fatalf("sent counter = %d, want %d", sentN, len(sent))
+	}
+	if _, recv := a.Counters(); recv != uint64(len(sent)) {
+		t.Fatalf("received counter = %d, want %d", recv, len(sent))
+	}
+}
+
+// Regression for the sent-counter overcount: a Send that fails because the
+// connection closed underneath it must not bump the counter. The remote
+// handler blocks so TCP backpressure fills the outbound queue, the sender
+// wedges in Send, and Close fails that Send via the done channel.
+func TestSendFailureDoesNotCountAsSent(t *testing.T) {
+	unblock := make(chan struct{})
+	a, err := Listen("a", "127.0.0.1:0", func(string, stream.ID, message.Message) {
+		<-unblock
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer close(unblock) // runs before a.Close, releasing a's readLoop
+	c, err := Listen("c", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Dial(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	id := stream.NewID()
+	payload := make([]byte, 64<<10)
+	progress := make(chan struct{}, 1)
+	var okSends atomic.Uint64
+	var failedSends atomic.Uint64
+	go func() {
+		for i := 0; ; i++ {
+			if err := c.Send("a", id, message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
+				failedSends.Add(1)
+				return
+			}
+			okSends.Add(1)
+			select {
+			case progress <- struct{}{}:
+			default:
+			}
+		}
+	}()
+	// Wait until the sender makes no progress for a while: it is wedged in
+	// Send with the queue and socket buffers full.
+	idle := 0
+	for idle < 5 {
+		select {
+		case <-progress:
+			idle = 0
+		case <-time.After(100 * time.Millisecond):
+			idle++
+		}
+	}
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for failedSends.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sender never observed the closed connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if sent, _ := c.Counters(); sent != okSends.Load() {
+		t.Fatalf("sent counter = %d, want %d successful sends (failed send was counted)",
+			sent, okSends.Load())
 	}
 }
 

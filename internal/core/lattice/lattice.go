@@ -16,11 +16,21 @@
 // lattice prioritizes lower logical times first and, within a logical time,
 // higher accuracy coordinates ĉ first, implementing §5.3's preference for
 // higher-accuracy intermediate results.
+//
+// Scalability: there is no global run-queue lock. Each operator guards its
+// own pending heap and running set, dispatchable callbacks are pushed onto
+// the submitting operator's home shard — one priority queue per pool
+// goroutine — and idle goroutines steal from other shards. Producers wake at
+// most one parked goroutine per promoted callback (Signal, never a
+// thundering-herd Broadcast), Items are recycled through a sync.Pool, and an
+// operator's running message callbacks are tracked in an indexed min-heap so
+// the watermark-barrier check is O(1) and completion is O(log n).
 package lattice
 
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 
 	"github.com/erdos-go/erdos/internal/core/timestamp"
 )
@@ -49,24 +59,49 @@ const (
 
 // Item is one bound callback.
 type Item struct {
-	op   *OpQueue
-	ts   timestamp.Timestamp
-	kind Kind
-	run  func()
-	seq  uint64
-	idx  int // heap index within the op's pending heap, -1 when dispatched
+	op     *OpQueue
+	ts     timestamp.Timestamp
+	kind   Kind
+	run    func()
+	seq    uint64
+	idx    int // heap index within a pending/shard heap, -1 when dispatched
+	runIdx int // heap index within the op's running heap, -1 when not running
+}
+
+// shard is one pool goroutine's local run queue. Shards are individually
+// heap-allocated so their hot mutexes do not share a cache line.
+type shard struct {
+	mu sync.Mutex
+	q  itemHeap
 }
 
 // Lattice is the worker-wide run queue.
 type Lattice struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	ready    readyHeap
-	stopped  bool
-	inflight int
-	pending  int
+	shards []*shard
+
+	// parked counts goroutines blocked on parkCond; producers check it
+	// without the lock so an all-busy pool never pays for a wakeup.
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	parked   atomic.Int32
+
+	// ready counts callbacks sitting in shard queues; pending counts
+	// callbacks submitted but not yet completed (queued, promoted or
+	// in-flight).
+	ready   atomic.Int64
+	pending atomic.Int64
+
+	idleMu   sync.Mutex
 	idleCond *sync.Cond
-	seq      uint64
+
+	stopped  atomic.Bool
+	seq      atomic.Uint64
+	nextHome atomic.Uint32
+
+	opsMu sync.Mutex
+	ops   []*OpQueue
+
+	itemPool sync.Pool
 	wg       sync.WaitGroup
 }
 
@@ -75,94 +110,206 @@ func New(workers int) *Lattice {
 	if workers < 1 {
 		workers = 1
 	}
-	l := &Lattice{}
-	l.cond = sync.NewCond(&l.mu)
-	l.idleCond = sync.NewCond(&l.mu)
+	l := &Lattice{shards: make([]*shard, workers)}
+	l.parkCond = sync.NewCond(&l.parkMu)
+	l.idleCond = sync.NewCond(&l.idleMu)
+	l.itemPool.New = func() any { return &Item{idx: -1, runIdx: -1} }
+	for i := range l.shards {
+		l.shards[i] = &shard{}
+	}
 	l.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go l.worker()
+		go l.worker(i)
 	}
 	return l
 }
 
 // NewOpQueue registers a new operator with the given parallelism mode.
 func (l *Lattice) NewOpQueue(mode Mode) *OpQueue {
-	return &OpQueue{lat: l, mode: mode}
+	q := &OpQueue{
+		lat:  l,
+		mode: mode,
+		home: int(l.nextHome.Add(1)-1) % len(l.shards),
+	}
+	l.opsMu.Lock()
+	l.ops = append(l.ops, q)
+	l.opsMu.Unlock()
+	return q
 }
 
 // Submit enqueues a bound callback for op at timestamp ts.
 func (l *Lattice) Submit(op *OpQueue, kind Kind, ts timestamp.Timestamp, run func()) {
-	l.mu.Lock()
-	if l.stopped {
-		l.mu.Unlock()
+	if l.stopped.Load() {
 		return
 	}
-	l.seq++
-	it := &Item{op: op, ts: ts, kind: kind, run: run, seq: l.seq, idx: -1}
-	l.pending++
+	it := l.itemPool.Get().(*Item)
+	it.op, it.ts, it.kind, it.run = op, ts, kind, run
+	it.seq = l.seq.Add(1)
+	it.idx, it.runIdx = -1, -1
+
+	op.mu.Lock()
+	if l.stopped.Load() {
+		op.mu.Unlock()
+		l.recycle(it)
+		return
+	}
+	l.pending.Add(1)
 	heap.Push(&op.pendingHeap, it)
-	l.promoteLocked(op)
-	l.mu.Unlock()
+	woke := l.promoteLocked(op)
+	op.mu.Unlock()
+	l.wake(woke)
 }
 
 // Quiesce blocks until every submitted callback has completed.
 func (l *Lattice) Quiesce() {
-	l.mu.Lock()
-	for l.pending > 0 || l.inflight > 0 {
+	l.idleMu.Lock()
+	for l.pending.Load() > 0 {
 		l.idleCond.Wait()
 	}
-	l.mu.Unlock()
+	l.idleMu.Unlock()
 }
 
 // Stop drains in-flight callbacks and shuts the worker pool down. Pending
-// callbacks that were not yet dispatched are dropped.
+// callbacks that were not yet dispatched are dropped — both the ones on
+// shard run queues and the ones still blocked in per-operator pending heaps
+// — and any concurrent Quiesce observes the drained count immediately.
 func (l *Lattice) Stop() {
-	l.mu.Lock()
-	l.stopped = true
-	l.pending -= len(l.ready)
-	l.ready = l.ready[:0]
-	l.cond.Broadcast()
+	l.stopped.Store(true)
+
+	// Drop undispatched work from every operator's pending heap. Without
+	// this, items blocked behind a running callback would stay counted in
+	// pending forever and a concurrent Quiesce would never wake.
+	l.opsMu.Lock()
+	ops := append([]*OpQueue(nil), l.ops...)
+	l.opsMu.Unlock()
+	var dropped int64
+	for _, op := range ops {
+		op.mu.Lock()
+		dropped += int64(len(op.pendingHeap))
+		op.pendingHeap = nil
+		op.mu.Unlock()
+	}
+	// Drop promoted-but-unclaimed work from the shard run queues.
+	for _, s := range l.shards {
+		s.mu.Lock()
+		n := int64(len(s.q))
+		s.q = nil
+		s.mu.Unlock()
+		dropped += n
+		l.ready.Add(-n)
+	}
+	l.pending.Add(-dropped)
+
+	l.parkMu.Lock()
+	l.parkCond.Broadcast()
+	l.parkMu.Unlock()
+	l.idleMu.Lock()
 	l.idleCond.Broadcast()
-	l.mu.Unlock()
+	l.idleMu.Unlock()
 	l.wg.Wait()
 }
 
-func (l *Lattice) worker() {
+func (l *Lattice) worker(id int) {
 	defer l.wg.Done()
 	for {
-		l.mu.Lock()
-		for len(l.ready) == 0 && !l.stopped {
-			l.cond.Wait()
+		it := l.findWork(id)
+		if it == nil {
+			if l.stopped.Load() {
+				return
+			}
+			l.park()
+			continue
 		}
-		if l.stopped && len(l.ready) == 0 {
-			l.mu.Unlock()
-			return
-		}
-		it := heap.Pop(&l.ready).(*Item)
-		l.inflight++
-		l.mu.Unlock()
-
 		it.run()
-
-		l.mu.Lock()
-		l.inflight--
-		l.pending--
-		it.op.completeLocked(it)
-		l.promoteLocked(it.op)
-		if l.pending == 0 && l.inflight == 0 {
-			l.idleCond.Broadcast()
-		}
-		l.mu.Unlock()
+		l.complete(it)
 	}
 }
 
-// promoteLocked moves every dispatchable item of op from its pending heap
-// onto the global ready heap. Caller holds l.mu.
-func (l *Lattice) promoteLocked(op *OpQueue) {
-	if l.stopped {
+// findWork pops the highest-priority callback from the goroutine's own
+// shard, stealing from the other shards when it is empty.
+func (l *Lattice) findWork(id int) *Item {
+	if it := l.popShard(id); it != nil {
+		return it
+	}
+	n := len(l.shards)
+	for off := 1; off < n; off++ {
+		if it := l.popShard((id + off) % n); it != nil {
+			return it
+		}
+	}
+	return nil
+}
+
+func (l *Lattice) popShard(i int) *Item {
+	s := l.shards[i]
+	s.mu.Lock()
+	if len(s.q) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	it := heap.Pop(&s.q).(*Item)
+	s.mu.Unlock()
+	l.ready.Add(-1)
+	return it
+}
+
+// park blocks until new work is promoted or the lattice stops. The parked
+// counter is published before the final emptiness check so a producer that
+// promotes work concurrently either sees us parked (and signals under
+// parkMu) or we see its ready increment (and skip the wait).
+func (l *Lattice) park() {
+	l.parkMu.Lock()
+	l.parked.Add(1)
+	for l.ready.Load() == 0 && !l.stopped.Load() {
+		l.parkCond.Wait()
+	}
+	l.parked.Add(-1)
+	l.parkMu.Unlock()
+}
+
+// wake signals up to n parked goroutines, one per promoted callback.
+func (l *Lattice) wake(n int) {
+	if n <= 0 || l.parked.Load() == 0 {
 		return
 	}
-	promoted := false
+	l.parkMu.Lock()
+	for i := 0; i < n; i++ {
+		l.parkCond.Signal()
+	}
+	l.parkMu.Unlock()
+}
+
+// complete retires a finished callback: it clears the operator's running
+// state, promotes newly dispatchable work, recycles the Item and wakes the
+// idle waiters when the lattice drained.
+func (l *Lattice) complete(it *Item) {
+	op := it.op
+	op.mu.Lock()
+	op.completeLocked(it)
+	woke := l.promoteLocked(op)
+	op.mu.Unlock()
+	l.recycle(it)
+	if l.pending.Add(-1) == 0 {
+		l.idleMu.Lock()
+		l.idleCond.Broadcast()
+		l.idleMu.Unlock()
+	}
+	l.wake(woke)
+}
+
+func (l *Lattice) recycle(it *Item) {
+	*it = Item{idx: -1, runIdx: -1}
+	l.itemPool.Put(it)
+}
+
+// promoteLocked moves every dispatchable item of op from its pending heap
+// onto op's home shard, returning how many were promoted. Caller holds
+// op.mu; the shard lock nests inside it (never the reverse).
+func (l *Lattice) promoteLocked(op *OpQueue) int {
+	if l.stopped.Load() {
+		return 0
+	}
+	n := 0
 	for len(op.pendingHeap) > 0 {
 		head := op.pendingHeap[0]
 		if !op.canDispatchLocked(head) {
@@ -170,29 +317,50 @@ func (l *Lattice) promoteLocked(op *OpQueue) {
 		}
 		heap.Pop(&op.pendingHeap)
 		op.noteDispatchLocked(head)
-		heap.Push(&l.ready, head)
-		promoted = true
+		l.pushShard(op.home, head)
+		n++
 	}
-	if promoted {
-		l.cond.Broadcast()
-	}
+	return n
 }
 
-// OpQueue tracks one operator's pending and running callbacks.
+func (l *Lattice) pushShard(home int, it *Item) {
+	s := l.shards[home]
+	s.mu.Lock()
+	if l.stopped.Load() {
+		// Stop already drained this shard; drop the item like the rest of
+		// the undispatched work (its operator never runs again).
+		s.mu.Unlock()
+		if l.pending.Add(-1) == 0 {
+			l.idleMu.Lock()
+			l.idleCond.Broadcast()
+			l.idleMu.Unlock()
+		}
+		return
+	}
+	heap.Push(&s.q, it)
+	s.mu.Unlock()
+	l.ready.Add(1)
+}
+
+// OpQueue tracks one operator's pending and running callbacks under its own
+// lock; operators never contend with each other on submission or completion.
 type OpQueue struct {
-	lat         *Lattice
-	mode        Mode
-	pendingHeap opHeap
-	runningMsgs []timestamp.Timestamp
+	lat  *Lattice
+	mode Mode
+	home int // preferred shard for this operator's callbacks
+
+	mu          sync.Mutex
+	pendingHeap itemHeap
+	running     runningHeap // running message callbacks, min timestamp at root
 	runningWM   bool
 }
 
 // canDispatchLocked reports whether it (the head of the pending heap) may
-// run now. Caller holds the lattice mutex.
+// run now. Caller holds q.mu.
 func (q *OpQueue) canDispatchLocked(it *Item) bool {
 	switch q.mode {
 	case ModeSequential:
-		return len(q.runningMsgs) == 0 && !q.runningWM
+		return len(q.running) == 0 && !q.runningWM
 	case ModeParallelMessages:
 		if q.runningWM {
 			return false // watermark callbacks are barriers
@@ -202,13 +370,9 @@ func (q *OpQueue) canDispatchLocked(it *Item) bool {
 		}
 		// A watermark callback for t waits for running message callbacks
 		// with timestamp <= t. Queued ones with ts <= t order before it in
-		// the heap, so head position already implies they were dispatched.
-		for _, ts := range q.runningMsgs {
-			if ts.LessEq(it.ts) {
-				return false
-			}
-		}
-		return true
+		// the heap, so head position already implies they were dispatched;
+		// the running heap's root is the minimum running timestamp.
+		return len(q.running) == 0 || !q.running[0].ts.LessEq(it.ts)
 	default:
 		return false
 	}
@@ -218,7 +382,7 @@ func (q *OpQueue) noteDispatchLocked(it *Item) {
 	if it.kind == KindWatermark {
 		q.runningWM = true
 	} else {
-		q.runningMsgs = append(q.runningMsgs, it.ts)
+		heap.Push(&q.running, it)
 	}
 }
 
@@ -227,11 +391,8 @@ func (q *OpQueue) completeLocked(it *Item) {
 		q.runningWM = false
 		return
 	}
-	for i, ts := range q.runningMsgs {
-		if ts.Equal(it.ts) {
-			q.runningMsgs = append(q.runningMsgs[:i], q.runningMsgs[i+1:]...)
-			return
-		}
+	if it.runIdx >= 0 {
+		heap.Remove(&q.running, it.runIdx)
 	}
 }
 
@@ -260,14 +421,15 @@ func less(a, b *Item) bool {
 	return a.seq < b.seq
 }
 
-// opHeap is the per-operator pending heap.
-type opHeap []*Item
+// itemHeap is a priority heap of items, used both for per-operator pending
+// heaps and for shard run queues.
+type itemHeap []*Item
 
-func (h opHeap) Len() int           { return len(h) }
-func (h opHeap) Less(i, j int) bool { return less(h[i], h[j]) }
-func (h opHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
-func (h *opHeap) Push(x any)        { it := x.(*Item); it.idx = len(*h); *h = append(*h, it) }
-func (h *opHeap) Pop() any {
+func (h itemHeap) Len() int           { return len(h) }
+func (h itemHeap) Less(i, j int) bool { return less(h[i], h[j]) }
+func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
+func (h *itemHeap) Push(x any)        { it := x.(*Item); it.idx = len(*h); *h = append(*h, it) }
+func (h *itemHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]
@@ -277,18 +439,22 @@ func (h *opHeap) Pop() any {
 	return it
 }
 
-// readyHeap is the worker-wide ready heap.
-type readyHeap []*Item
+// runningHeap indexes an operator's in-flight message callbacks by
+// timestamp: the root is the minimum running timestamp (O(1) watermark
+// barrier check) and completion removes by stored index (O(log n)),
+// replacing the former linear scan of a slice.
+type runningHeap []*Item
 
-func (h readyHeap) Len() int           { return len(h) }
-func (h readyHeap) Less(i, j int) bool { return less(h[i], h[j]) }
-func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x any)        { *h = append(*h, x.(*Item)) }
-func (h *readyHeap) Pop() any {
+func (h runningHeap) Len() int           { return len(h) }
+func (h runningHeap) Less(i, j int) bool { return h[i].ts.Less(h[j].ts) }
+func (h runningHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].runIdx, h[j].runIdx = i, j }
+func (h *runningHeap) Push(x any)        { it := x.(*Item); it.runIdx = len(*h); *h = append(*h, it) }
+func (h *runningHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]
 	old[n-1] = nil
+	it.runIdx = -1
 	*h = old[:n-1]
 	return it
 }

@@ -229,6 +229,129 @@ func TestSubmitAfterStopIsNoop(t *testing.T) {
 	time.Sleep(10 * time.Millisecond)
 }
 
+// Regression for the Stop/Quiesce deadlock: Stop used to subtract only the
+// globally-ready items from pending, leaving callbacks still blocked in
+// per-operator pending heaps counted forever, so a concurrent Quiesce never
+// woke. Stop must drain the operator heaps and wake idle waiters.
+func TestStopWakesConcurrentQuiesce(t *testing.T) {
+	l := New(1)
+	q := l.NewOpQueue(ModeSequential)
+	started := make(chan struct{})
+	block := make(chan struct{})
+	l.Submit(q, KindMessage, ts(0), func() { close(started); <-block })
+	// These stay in the op's pending heap: the running callback blocks
+	// promotion in ModeSequential, so none of them reach a run queue.
+	for i := 0; i < 10; i++ {
+		l.Submit(q, KindMessage, ts(uint64(i+1)), func() {})
+	}
+	<-started
+	quiesced := make(chan struct{})
+	go func() { l.Quiesce(); close(quiesced) }()
+	stopped := make(chan struct{})
+	go func() { l.Stop(); close(stopped) }()
+	close(block)
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not return")
+	}
+	select {
+	case <-quiesced:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Quiesce hung across Stop: dropped pending-heap items still counted")
+	}
+}
+
+// Stress test for ModeParallelMessages under -race: many operators receive
+// concurrent message submissions and monotone watermarks from independent
+// producers. Whenever a watermark callback for t runs, every already-enqueued
+// message callback with ts <= t must have completed and none may be running.
+func TestParallelMessagesWatermarkBarrierStress(t *testing.T) {
+	const (
+		numOps  = 16
+		maxL    = 40
+		msgsPer = 120
+	)
+	l := New(8)
+	defer l.Stop()
+
+	type opState struct {
+		q         *OpQueue
+		submitted [maxL + 1]atomic.Int64 // messages enqueued at each logical time
+		done      [maxL + 1]atomic.Int64 // message callbacks completed
+		running   [maxL + 1]atomic.Int64 // message callbacks currently executing
+		wmActive  atomic.Int32           // watermark callbacks in flight (must be <= 1)
+		violation atomic.Pointer[string]
+	}
+	fail := func(s *opState, msg string) {
+		s.violation.CompareAndSwap(nil, &msg)
+	}
+	ops := make([]*opState, numOps)
+	for i := range ops {
+		ops[i] = &opState{q: l.NewOpQueue(ModeParallelMessages)}
+	}
+
+	var wg sync.WaitGroup
+	for i, s := range ops {
+		s := s
+		seed := int64(i + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			wm := uint64(0) // high watermark submitted so far; only grows
+			for n := 0; n < msgsPer; n++ {
+				if wm < maxL {
+					// Messages go strictly above the submitted watermark, so
+					// every message with ts <= a watermark's timestamp was
+					// enqueued before that watermark (single submitter).
+					lt := wm + 1 + uint64(r.Intn(int(maxL-wm)))
+					s.submitted[lt].Add(1)
+					l.Submit(s.q, KindMessage, ts(lt), func() {
+						s.running[lt].Add(1)
+						s.done[lt].Add(1) // before running drops; barrier check reads running first
+						s.running[lt].Add(-1)
+					})
+				}
+				if r.Intn(4) == 0 && wm < maxL {
+					wm += uint64(1 + r.Intn(3))
+					if wm > maxL {
+						wm = maxL
+					}
+					wmv := wm
+					l.Submit(s.q, KindWatermark, ts(wmv), func() {
+						if s.wmActive.Add(1) != 1 {
+							fail(s, "watermark callbacks overlapped")
+						}
+						for t := uint64(0); t <= wmv; t++ {
+							if s.running[t].Load() != 0 {
+								fail(s, "message callback with ts <= watermark still running")
+							}
+							if s.submitted[t].Load() != s.done[t].Load() {
+								fail(s, "enqueued message with ts <= watermark not completed")
+							}
+						}
+						s.wmActive.Add(-1)
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	l.Quiesce()
+	for i, s := range ops {
+		if p := s.violation.Load(); p != nil {
+			t.Fatalf("op %d: %s", i, *p)
+		}
+		for t2 := uint64(0); t2 <= maxL; t2++ {
+			if s.submitted[t2].Load() != s.done[t2].Load() {
+				t.Fatalf("op %d: %d messages at t=%d never ran", i,
+					s.submitted[t2].Load()-s.done[t2].Load(), t2)
+			}
+		}
+	}
+}
+
 // Property: under random submission of messages and watermarks across many
 // operators, per-operator watermark order is always monotone and every
 // callback runs exactly once.

@@ -62,22 +62,37 @@ func (f SubscriberFunc) Deliver(id ID, m message.Message) { f(id, m) }
 // invariants and delivers each message to every subscriber. Intra-worker
 // subscribers receive the same Message value (zero copy); inter-worker
 // transports serialize it once per remote worker.
+//
+// The data-message path is lock-free: the subscriber list is a copy-on-write
+// snapshot, the send counters are atomics, and the watermark state is an
+// immutable snapshot swapped atomically. Only watermark sends (which advance
+// that state) and Subscribe take the mutex. Under concurrent writers the
+// invariant checks are best-effort — a data message racing a watermark send
+// may validate against the pre-watermark state — which matches delivery
+// semantics, since delivery already happened outside the lock.
 type Broadcaster struct {
 	id   ID
 	name string
 
-	mu        sync.Mutex
-	subs      []Subscriber
-	watermark timestamp.Timestamp
-	hasWM     bool
-	closed    bool
-	sentData  uint64
-	sentWM    uint64
+	mu       sync.Mutex                   // serializes Subscribe and watermark transitions
+	subs     atomic.Pointer[[]Subscriber] // copy-on-write subscriber snapshot
+	wm       atomic.Pointer[wmState]      // immutable watermark snapshot
+	sentData atomic.Uint64
+	sentWM   atomic.Uint64
+}
+
+// wmState is an immutable snapshot of a stream's watermark progress.
+type wmState struct {
+	ts     timestamp.Timestamp
+	has    bool
+	closed bool
 }
 
 // NewBroadcaster returns the writer end of stream id.
 func NewBroadcaster(id ID, name string) *Broadcaster {
-	return &Broadcaster{id: id, name: name}
+	b := &Broadcaster{id: id, name: name}
+	b.wm.Store(&wmState{})
+	return b
 }
 
 // ID returns the stream's identifier.
@@ -91,45 +106,54 @@ func (b *Broadcaster) Name() string { return b.name }
 func (b *Broadcaster) Subscribe(s Subscriber) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.subs = append(b.subs, s)
+	var old []Subscriber
+	if p := b.subs.Load(); p != nil {
+		old = *p
+	}
+	next := make([]Subscriber, len(old)+1)
+	copy(next, old)
+	next[len(old)] = s
+	b.subs.Store(&next)
 }
 
 // Send validates and broadcasts m, returning an error if m violates the
 // stream invariants. Delivery order to each subscriber matches send order.
+// Data messages take no lock: validation reads the watermark snapshot, the
+// counter bump is atomic, and fan-out iterates a copy-on-write slice.
 func (b *Broadcaster) Send(m message.Message) error {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return fmt.Errorf("%w: stream %q", ErrClosed, b.name)
-	}
+	st := b.wm.Load()
 	switch m.Kind {
 	case message.KindWatermark:
-		if b.hasWM && m.Timestamp.Less(b.watermark) {
+		b.mu.Lock()
+		st = b.wm.Load() // revalidate under the lock; watermarks serialize
+		if st.closed {
+			b.mu.Unlock()
+			return fmt.Errorf("%w: stream %q", ErrClosed, b.name)
+		}
+		if st.has && m.Timestamp.Less(st.ts) {
 			b.mu.Unlock()
 			return fmt.Errorf("%w: stream %q: %v after %v",
-				ErrWatermarkRegression, b.name, m.Timestamp, b.watermark)
+				ErrWatermarkRegression, b.name, m.Timestamp, st.ts)
 		}
-		b.watermark = m.Timestamp
-		b.hasWM = true
-		if m.Timestamp.IsTop() {
-			b.closed = true
-		}
-		b.sentWM++
-	case message.KindData:
-		if b.hasWM && m.Timestamp.LessEq(b.watermark) {
-			b.mu.Unlock()
-			return fmt.Errorf("%w: stream %q: %v at watermark %v",
-				ErrLateMessage, b.name, m.Timestamp, b.watermark)
-		}
-		b.sentData++
-	default:
+		b.wm.Store(&wmState{ts: m.Timestamp, has: true, closed: m.Timestamp.IsTop()})
 		b.mu.Unlock()
+		b.sentWM.Add(1)
+	case message.KindData:
+		if st.closed {
+			return fmt.Errorf("%w: stream %q", ErrClosed, b.name)
+		}
+		if st.has && m.Timestamp.LessEq(st.ts) {
+			return fmt.Errorf("%w: stream %q: %v at watermark %v",
+				ErrLateMessage, b.name, m.Timestamp, st.ts)
+		}
+		b.sentData.Add(1)
+	default:
 		return fmt.Errorf("stream %q: unknown message kind %v", b.name, m.Kind)
 	}
-	subs := b.subs
-	b.mu.Unlock()
-	for _, s := range subs {
-		s.Deliver(b.id, m)
+	if p := b.subs.Load(); p != nil {
+		for _, s := range *p {
+			s.Deliver(b.id, m)
+		}
 	}
 	return nil
 }
@@ -137,25 +161,20 @@ func (b *Broadcaster) Send(m message.Message) error {
 // Watermark returns the stream's current watermark and whether one has been
 // sent yet.
 func (b *Broadcaster) Watermark() (timestamp.Timestamp, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.watermark, b.hasWM
+	st := b.wm.Load()
+	return st.ts, st.has
 }
 
 // Closed reports whether the final watermark has been sent.
 func (b *Broadcaster) Closed() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.closed
+	return b.wm.Load().closed
 }
 
 // Stats returns the number of data messages and watermarks sent so far.
 // The deadline machinery consumes these counters when evaluating deadline
 // end conditions (§5.1).
 func (b *Broadcaster) Stats() (data, watermarks uint64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.sentData, b.sentWM
+	return b.sentData.Load(), b.sentWM.Load()
 }
 
 // WriteStream is the typed writer handle exposed to operators: a stream of

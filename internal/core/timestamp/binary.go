@@ -1,0 +1,71 @@
+package timestamp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary encoding of a timestamp, used by the data plane's reflection-free
+// fast path. The format is a flags byte (bit 0: Top) followed, for non-Top
+// timestamps, by uvarint(L), uvarint(len(C)) and one uvarint per coordinate.
+const (
+	flagTop = 1 << 0
+
+	// maxCoordinates bounds the coordinate vector accepted by ReadBinary so
+	// a corrupt length prefix cannot drive a huge allocation. AV pipelines
+	// use one or two coordinates (§5.3); 64 is far beyond any real use.
+	maxCoordinates = 64
+)
+
+// ErrBadEncoding is returned by ReadBinary for malformed input.
+var ErrBadEncoding = errors.New("timestamp: malformed binary encoding")
+
+// AppendBinary appends t's compact binary encoding to dst and returns the
+// extended slice. It never allocates beyond dst's growth.
+func (t Timestamp) AppendBinary(dst []byte) []byte {
+	if t.top {
+		return append(dst, flagTop)
+	}
+	dst = append(dst, 0)
+	dst = binary.AppendUvarint(dst, t.L)
+	dst = binary.AppendUvarint(dst, uint64(len(t.C)))
+	for _, c := range t.C {
+		dst = binary.AppendUvarint(dst, c)
+	}
+	return dst
+}
+
+// ReadBinary decodes one timestamp from r, consuming exactly the bytes
+// AppendBinary produced.
+func ReadBinary(r io.ByteReader) (Timestamp, error) {
+	flags, err := r.ReadByte()
+	if err != nil {
+		return Timestamp{}, err
+	}
+	if flags&flagTop != 0 {
+		return Top(), nil
+	}
+	l, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Timestamp{}, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Timestamp{}, err
+	}
+	if n == 0 {
+		return Timestamp{L: l}, nil
+	}
+	if n > maxCoordinates {
+		return Timestamp{}, fmt.Errorf("%w: %d coordinates", ErrBadEncoding, n)
+	}
+	c := make([]uint64, n)
+	for i := range c {
+		if c[i], err = binary.ReadUvarint(r); err != nil {
+			return Timestamp{}, err
+		}
+	}
+	return Timestamp{L: l, C: c}, nil
+}

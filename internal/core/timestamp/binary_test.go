@@ -1,0 +1,78 @@
+package timestamp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	cases := []Timestamp{
+		Bottom(),
+		New(0),
+		New(1),
+		New(1 << 62),
+		New(7, 3),
+		New(7, 3, 0, 9),
+		New(42, 0),
+		Top(),
+	}
+	var buf []byte
+	for _, ts := range cases {
+		buf = ts.AppendBinary(buf)
+	}
+	r := bytes.NewReader(buf)
+	for _, want := range cases {
+		got, err := ReadBinary(r)
+		if err != nil {
+			t.Fatalf("ReadBinary(%v): %v", want, err)
+		}
+		if !got.Equal(want) || got.IsTop() != want.IsTop() {
+			t.Fatalf("round trip = %v, want %v", got, want)
+		}
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		t.Fatalf("trailing bytes after decoding all timestamps")
+	}
+}
+
+func TestBinaryRoundTripPreservesCoordinates(t *testing.T) {
+	ts := New(5, 1, 2, 3)
+	got, err := ReadBinary(bytes.NewReader(ts.AppendBinary(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.C) != 3 || got.C[0] != 1 || got.C[1] != 2 || got.C[2] != 3 {
+		t.Fatalf("coordinates = %v", got.C)
+	}
+}
+
+func TestReadBinaryRejectsHugeCoordinateCount(t *testing.T) {
+	// flags=0, L=0, len(C) = 1<<40: must fail without allocating.
+	var buf []byte
+	buf = append(buf, 0, 0)
+	buf = appendUvarintForTest(buf, 1<<40)
+	_, err := ReadBinary(bufio.NewReader(bytes.NewReader(buf)))
+	if !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("err = %v, want ErrBadEncoding", err)
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	full := New(900, 4, 5).AppendBinary(nil)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+func appendUvarintForTest(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}

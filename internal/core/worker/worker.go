@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/erdos-go/erdos/internal/core/deadline"
@@ -70,9 +71,20 @@ type Worker struct {
 	broadcasters map[stream.ID]*stream.Broadcaster
 	ops          map[string]*opRuntime
 
-	mu    sync.Mutex
-	stats Stats
-	wg    sync.WaitGroup
+	// Per-message counters are atomics: countDelivered/countStale sit on the
+	// data-plane hot path and must not funnel every message through one
+	// mutex. Only the handler-delay slice keeps a lock.
+	delivered   atomic.Uint64
+	stale       atomic.Uint64
+	wmBatches   atomic.Uint64
+	misses      atomic.Uint64
+	handlerRuns atomic.Uint64
+	insertedWMs atomic.Uint64
+
+	handlerMu     sync.Mutex
+	handlerDelays []time.Duration
+
+	wg sync.WaitGroup
 }
 
 // New builds a worker for graph g. The graph must already Validate().
@@ -181,10 +193,17 @@ func (w *Worker) Stop() {
 
 // Stats returns a snapshot of the worker's counters.
 func (w *Worker) Stats() Stats {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	s := w.stats
-	s.HandlerDelays = append([]time.Duration(nil), w.stats.HandlerDelays...)
+	s := Stats{
+		Delivered:        w.delivered.Load(),
+		DroppedStale:     w.stale.Load(),
+		WatermarkBatches: w.wmBatches.Load(),
+		DeadlineMisses:   w.misses.Load(),
+		HandlerRuns:      w.handlerRuns.Load(),
+		InsertedWMs:      w.insertedWMs.Load(),
+	}
+	w.handlerMu.Lock()
+	s.HandlerDelays = append([]time.Duration(nil), w.handlerDelays...)
+	w.handlerMu.Unlock()
 	return s
 }
 
@@ -664,39 +683,19 @@ func prevTime(t timestamp.Timestamp) timestamp.Timestamp {
 
 // --- worker counters ---
 
-func (w *Worker) countDelivered() {
-	w.mu.Lock()
-	w.stats.Delivered++
-	w.mu.Unlock()
-}
+func (w *Worker) countDelivered() { w.delivered.Add(1) }
 
-func (w *Worker) countStale() {
-	w.mu.Lock()
-	w.stats.DroppedStale++
-	w.mu.Unlock()
-}
+func (w *Worker) countStale() { w.stale.Add(1) }
 
-func (w *Worker) countWatermarkBatch() {
-	w.mu.Lock()
-	w.stats.WatermarkBatches++
-	w.mu.Unlock()
-}
+func (w *Worker) countWatermarkBatch() { w.wmBatches.Add(1) }
 
-func (w *Worker) countMiss() {
-	w.mu.Lock()
-	w.stats.DeadlineMisses++
-	w.mu.Unlock()
-}
+func (w *Worker) countMiss() { w.misses.Add(1) }
 
-func (w *Worker) countInserted() {
-	w.mu.Lock()
-	w.stats.InsertedWMs++
-	w.mu.Unlock()
-}
+func (w *Worker) countInserted() { w.insertedWMs.Add(1) }
 
 func (w *Worker) recordHandler(delay time.Duration) {
-	w.mu.Lock()
-	w.stats.HandlerRuns++
-	w.stats.HandlerDelays = append(w.stats.HandlerDelays, delay)
-	w.mu.Unlock()
+	w.handlerRuns.Add(1)
+	w.handlerMu.Lock()
+	w.handlerDelays = append(w.handlerDelays, delay)
+	w.handlerMu.Unlock()
 }

@@ -1,0 +1,183 @@
+// Scheduler and data-plane micro-benchmarks, recorded to BENCH_lattice.json
+// by `erdos-bench -bench lattice` so successive PRs accumulate a performance
+// trajectory for the worker hot path. The workloads mirror the Benchmark*
+// functions in internal/core/lattice and internal/core/comm but run through
+// testing.Benchmark so a plain binary can measure them.
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/lattice"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// MicroBenchResult is one micro-benchmark measurement.
+type MicroBenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	N           int     `json:"iterations"`
+}
+
+func toResult(name string, r testing.BenchmarkResult) MicroBenchResult {
+	ns := float64(r.NsPerOp())
+	ops := 0.0
+	if ns > 0 {
+		ops = 1e9 / ns
+	}
+	return MicroBenchResult{
+		Name:        name,
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		OpsPerSec:   ops,
+		N:           r.N,
+	}
+}
+
+// PreChangeLatticeBaseline is the measurement of the seed scheduler (global
+// mutex + single ready heap + cond.Broadcast) and gob-only data plane, taken
+// on the same machine immediately before the sharded rewrite landed. It is
+// kept as the fixed "before" edge of the perf trajectory.
+var PreChangeLatticeBaseline = []MicroBenchResult{
+	{Name: "LatticeSubmitExecute", NsPerOp: 874.7, AllocsPerOp: 1, BytesPerOp: 92, OpsPerSec: 1143249},
+	{Name: "LatticeThroughput", NsPerOp: 108673, AllocsPerOp: 1, BytesPerOp: 347, OpsPerSec: 9202},
+	{Name: "LatticeContention", NsPerOp: 48748, AllocsPerOp: 1, BytesPerOp: 341, OpsPerSec: 20514},
+	{Name: "CommInterWorkerSend64KB", NsPerOp: 72912, AllocsPerOp: 7, BytesPerOp: 139478, OpsPerSec: 13715},
+	{Name: "CommRawRoundtrip4KB", NsPerOp: 16901, AllocsPerOp: 15, BytesPerOp: 18536, OpsPerSec: 59168},
+}
+
+// LatticeMicroBench measures the current scheduler and data plane with the
+// same workloads as the pre-change baseline.
+func LatticeMicroBench() []MicroBenchResult {
+	return []MicroBenchResult{
+		toResult("LatticeSubmitExecute", testing.Benchmark(benchSubmitExecute)),
+		toResult("LatticeThroughput", testing.Benchmark(benchLatticeThroughput)),
+		toResult("LatticeContention", testing.Benchmark(benchLatticeContention)),
+		toResult("CommInterWorkerSend64KB", testing.Benchmark(benchCommSend64KB)),
+		toResult("CommRawRoundtrip4KB", testing.Benchmark(benchCommRawRoundtrip)),
+	}
+}
+
+func benchSubmitExecute(b *testing.B) {
+	l := lattice.New(4)
+	defer l.Stop()
+	q := l.NewOpQueue(lattice.ModeSequential)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Submit(q, lattice.KindMessage, timestamp.New(uint64(i)), func() {})
+	}
+	l.Quiesce()
+}
+
+func benchLatticeThroughput(b *testing.B) {
+	l := lattice.New(4)
+	defer l.Stop()
+	const numOps = 16
+	qs := make([]*lattice.OpQueue, numOps)
+	for i := range qs {
+		qs[i] = l.NewOpQueue(lattice.ModeParallelMessages)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Submit(qs[i%numOps], lattice.KindMessage, timestamp.New(uint64(i)), func() {})
+	}
+	l.Quiesce()
+}
+
+func benchLatticeContention(b *testing.B) {
+	l := lattice.New(8)
+	defer l.Stop()
+	const numOps = 32
+	qs := make([]*lattice.OpQueue, numOps)
+	for i := range qs {
+		qs[i] = l.NewOpQueue(lattice.ModeParallelMessages)
+	}
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			l.Submit(qs[i%numOps], lattice.KindMessage, timestamp.New(i), func() {})
+		}
+	})
+	l.Quiesce()
+}
+
+func benchCommSend64KB(b *testing.B) {
+	var received atomic.Int64
+	a, err := comm.Listen("bench-a", "127.0.0.1:0", func(string, stream.ID, message.Message) {
+		received.Add(1)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	c, err := comm.Listen("bench-c", "127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Dial(a.Addr()); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	id := stream.NewID()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send("bench-a", id, message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for received.Load() < int64(b.N) {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func benchCommRawRoundtrip(b *testing.B) {
+	var echoTo atomic.Pointer[comm.Transport]
+	done := make(chan struct{}, 1)
+	a, err := comm.Listen("bench-echo", "127.0.0.1:0", func(_ string, id stream.ID, m message.Message) {
+		_ = echoTo.Load().Send("bench-cli", id, m)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	echoTo.Store(a)
+	c, err := comm.Listen("bench-cli", "127.0.0.1:0", func(string, stream.ID, message.Message) {
+		done <- struct{}{}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Dial(a.Addr()); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	id := stream.NewID()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send("bench-echo", id, message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}

@@ -113,7 +113,13 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 	if cfg.TargetSpeed == 0 {
 		cfg.TargetSpeed = 12
 	}
-	rng := trace.New(cfg.Seed)
+	// One generator per operator: watermark callbacks of different
+	// operators run concurrently on the lattice pool, and *trace.Rand is
+	// not safe for concurrent use. Distinct streams also keep each
+	// operator's modeled runtimes deterministic under a seed regardless
+	// of how callbacks interleave across operators.
+	perceptionRng := trace.New(cfg.Seed)
+	predictionRng := trace.New(cfg.Seed + 1)
 
 	camera := erdos.IngestStream[CameraFrame](g, "camera")
 	obstacles := erdos.AddStream[Obstacles](g, "obstacles")
@@ -148,9 +154,9 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 				det = detection.EfficientDet[0]
 			}
 		}
-		emulate(det.Runtime(rng, len(st.LastObs)), scale, ctx)
+		emulate(det.Runtime(perceptionRng, len(st.LastObs)), scale, ctx)
 		tracks := st.Tracker.Update(ctx.Timestamp.L, 0.1, st.LastObs)
-		emulate(tracking.SORT.Runtime(rng, len(tracks)), scale, ctx)
+		emulate(tracking.SORT.Runtime(perceptionRng, len(tracks)), scale, ctx)
 		out := Obstacles{Detector: det.Name}
 		nearest, hasAgent := 0.0, false
 		for _, tr := range tracks {
@@ -197,7 +203,7 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 	})
 	predict.OnWatermark(func(ctx *erdos.Context) {
 		horizon := prediction.HorizonForSpeed(cfg.TargetSpeed)
-		emulate(prediction.Linear.Runtime(rng, horizon, len(lastObstacles.Tracks)), scale, ctx)
+		emulate(prediction.Linear.Runtime(predictionRng, horizon, len(lastObstacles.Tracks)), scale, ctx)
 		tracks := make([]*tracking.Track, len(lastObstacles.Tracks))
 		for i := range lastObstacles.Tracks {
 			tracks[i] = &lastObstacles.Tracks[i]
