@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench figures
+.PHONY: check fmt vet build test race fuzz bench figures
 
-## check: everything CI runs — formatting, vet, build, tests under -race
-check: fmt vet build race
+## check: everything CI runs — formatting, vet, build, tests under -race,
+## and a short fuzz smoke pass over the wire-format decoders
+check: fmt vet build race fuzz
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -22,6 +23,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## fuzz: short smoke run of the binary-codec fuzz targets; a real campaign
+## raises -fuzztime and lets the corpus accumulate under testdata/.
+FUZZTIME ?= 3s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTimestampBinary -fuzztime $(FUZZTIME) ./internal/core/timestamp
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/core/comm
 
 ## bench: scheduler/data-plane micro-benchmarks -> BENCH_lattice.json
 bench:

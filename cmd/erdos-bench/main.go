@@ -8,8 +8,9 @@
 // Usage:
 //
 //	erdos-bench                 # the three Fig. 8 benchmarks
-//	erdos-bench -bench fanout   # one of: size | fanout | scaling | lattice
+//	erdos-bench -bench fanout   # one of: size | fanout | scaling | lattice | comm
 //	erdos-bench -bench lattice  # scheduler micro-benchmarks -> BENCH_lattice.json
+//	erdos-bench -bench comm     # data-plane micro-benchmarks -> BENCH_comm.json
 //	erdos-bench -msgs 200       # more samples per point
 //	erdos-bench -bench lattice -out other.json
 package main
@@ -79,6 +80,71 @@ func runLatticeBench(out string) error {
 	return nil
 }
 
+// commBenchFile is the JSON shape of BENCH_comm.json.
+type commBenchFile struct {
+	GeneratedBy string                         `json:"generated_by"`
+	Date        string                         `json:"date"`
+	GoVersion   string                         `json:"go_version"`
+	NumCPU      int                            `json:"num_cpu"`
+	GoMaxProcs  int                            `json:"go_max_procs"`
+	PreChange   []experiments.MicroBenchResult `json:"pre_change_gob_data_plane"`
+	PostChange  []experiments.MicroBenchResult `json:"post_change"`
+	Speedup     map[string]map[string]float64  `json:"speedup_vs_pre_change"`
+	Fig8cPre    []experiments.Fig8cPoint       `json:"fig8c_pre_change"`
+	Fig8cPost   []experiments.Fig8cPoint       `json:"fig8c_post_change"`
+}
+
+func runCommBench(out string, msgs int) error {
+	fmt.Println("=== typed-codec data-plane micro-benchmarks ===")
+	post := experiments.CommMicroBench()
+	pre := experiments.PreChangeCommBaseline
+	preByName := map[string]experiments.MicroBenchResult{}
+	for _, r := range pre {
+		preByName[r.Name] = r
+	}
+	speedup := map[string]map[string]float64{}
+	for _, r := range post {
+		fmt.Printf("%-28s %12.1f ns/op %8d B/op %5d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if p, ok := preByName[r.Name]; ok && r.NsPerOp > 0 {
+			speedup[r.Name] = map[string]float64{
+				"throughput": p.NsPerOp / r.NsPerOp,
+				"allocs":     float64(p.AllocsPerOp) / maxf(float64(r.AllocsPerOp), 1),
+			}
+			fmt.Printf("%-28s %12.2fx vs pre-change gob data plane\n", "", p.NsPerOp/r.NsPerOp)
+		}
+	}
+	fmt.Println("=== sensor scaling rerun (Fig. 8c) ===")
+	fig8cPost := experiments.PostFig8c(msgs)
+	for i, p := range fig8cPost {
+		pc := experiments.PreChangeFig8c[i%len(experiments.PreChangeFig8c)]
+		fmt.Printf("%2d cams + %d lidars / %d ops: %8.3f ms (pre %8.3f ms)\n",
+			p.Cameras, p.Lidars, p.Operators, p.ErdosRuntime, pc.ErdosRuntime)
+	}
+	f := commBenchFile{
+		GeneratedBy: "cmd/erdos-bench -bench comm",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		PreChange:   pre,
+		PostChange:  post,
+		Speedup:     speedup,
+		Fig8cPre:    experiments.PreChangeFig8c,
+		Fig8cPost:   fig8cPost,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a
@@ -87,9 +153,9 @@ func maxf(a, b float64) float64 {
 }
 
 func main() {
-	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | lattice | all")
+	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | lattice | comm | all")
 	msgs := flag.Int("msgs", 50, "messages per measurement point")
-	out := flag.String("out", "BENCH_lattice.json", "output file for -bench lattice")
+	out := flag.String("out", "", "output file for -bench lattice / -bench comm")
 	flag.Parse()
 
 	ran := false
@@ -109,8 +175,23 @@ func main() {
 		ran = true
 	}
 	if *bench == "lattice" {
-		if err := runLatticeBench(*out); err != nil {
+		dst := *out
+		if dst == "" {
+			dst = "BENCH_lattice.json"
+		}
+		if err := runLatticeBench(dst); err != nil {
 			fmt.Fprintf(os.Stderr, "lattice bench: %v\n", err)
+			os.Exit(1)
+		}
+		ran = true
+	}
+	if *bench == "comm" {
+		dst := *out
+		if dst == "" {
+			dst = "BENCH_comm.json"
+		}
+		if err := runCommBench(dst, 10); err != nil {
+			fmt.Fprintf(os.Stderr, "comm bench: %v\n", err)
 			os.Exit(1)
 		}
 		ran = true

@@ -1,0 +1,46 @@
+package control
+
+import "github.com/erdos-go/erdos/internal/core/comm"
+
+// CommandCodecID identifies control.Command frames on the wire; Command is
+// a top-level stream payload (the pipeline's commands stream), so it
+// implements comm.FramePayload directly.
+const CommandCodecID uint64 = 2
+
+func init() {
+	comm.RegisterCodec(comm.Codec{
+		ID:      CommandCodecID,
+		Name:    "control.Command",
+		Version: 1,
+		Unmarshal: func(body []byte, _ uint8) (any, error) {
+			r := comm.NewFrameReader(body)
+			var c Command
+			c.Steer = r.Float64()
+			c.Throttle = r.Float64()
+			c.Brake = r.Float64()
+			return c, r.Err()
+		},
+	})
+}
+
+// FrameCodec implements comm.FramePayload.
+func (c Command) FrameCodec() uint64 { return CommandCodecID }
+
+// MarshalFrame appends the command's wire encoding to dst.
+func (c Command) MarshalFrame(dst []byte) []byte {
+	dst = comm.AppendFloat64(dst, c.Steer)
+	dst = comm.AppendFloat64(dst, c.Throttle)
+	return comm.AppendFloat64(dst, c.Brake)
+}
+
+// MarshalFrame appends the waypoint's wire encoding to dst.
+func (w Waypoint) MarshalFrame(dst []byte) []byte {
+	dst = comm.AppendFloat64(dst, w.X)
+	return comm.AppendFloat64(dst, w.Y)
+}
+
+// UnmarshalFrame decodes the fields MarshalFrame wrote.
+func (w *Waypoint) UnmarshalFrame(r *comm.FrameReader) {
+	w.X = r.Float64()
+	w.Y = r.Float64()
+}

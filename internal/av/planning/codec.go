@@ -1,0 +1,23 @@
+package planning
+
+import "github.com/erdos-go/erdos/internal/core/comm"
+
+// Frame codec helpers for the comm typed fast path.
+
+// MarshalFrame appends the trajectory's wire encoding to dst.
+func (t Trajectory) MarshalFrame(dst []byte) []byte {
+	dst = comm.AppendFloat64(dst, t.Target)
+	dst = comm.AppendFloat64(dst, t.Duration)
+	dst = comm.AppendFloat64(dst, t.MaxJerk)
+	dst = comm.AppendFloat64(dst, t.Cost)
+	return comm.AppendBool(dst, t.Feasible)
+}
+
+// UnmarshalFrame decodes the fields MarshalFrame wrote.
+func (t *Trajectory) UnmarshalFrame(r *comm.FrameReader) {
+	t.Target = r.Float64()
+	t.Duration = r.Float64()
+	t.MaxJerk = r.Float64()
+	t.Cost = r.Float64()
+	t.Feasible = r.Bool()
+}

@@ -1,0 +1,45 @@
+package prediction
+
+import (
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/comm"
+)
+
+// Frame codec helpers for the comm typed fast path.
+
+// MarshalFrame appends the waypoint's wire encoding to dst.
+func (w Waypoint) MarshalFrame(dst []byte) []byte {
+	dst = comm.AppendVarint(dst, int64(w.T))
+	dst = comm.AppendFloat64(dst, w.X)
+	return comm.AppendFloat64(dst, w.Y)
+}
+
+// UnmarshalFrame decodes the fields MarshalFrame wrote.
+func (w *Waypoint) UnmarshalFrame(r *comm.FrameReader) {
+	w.T = time.Duration(r.Varint())
+	w.X = r.Float64()
+	w.Y = r.Float64()
+}
+
+// MarshalFrame appends the trajectory's wire encoding to dst.
+func (t Trajectory) MarshalFrame(dst []byte) []byte {
+	dst = comm.AppendVarint(dst, int64(t.TrackID))
+	dst = comm.AppendUvarint(dst, uint64(len(t.Waypoints)))
+	for _, w := range t.Waypoints {
+		dst = w.MarshalFrame(dst)
+	}
+	return dst
+}
+
+// UnmarshalFrame decodes the fields MarshalFrame wrote.
+func (t *Trajectory) UnmarshalFrame(r *comm.FrameReader) {
+	t.TrackID = int(r.Varint())
+	n := r.Len(17) // varint T + two float64s per waypoint
+	if n > 0 {
+		t.Waypoints = make([]Waypoint, n)
+		for i := range t.Waypoints {
+			t.Waypoints[i].UnmarshalFrame(r)
+		}
+	}
+}

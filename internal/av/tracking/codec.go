@@ -1,0 +1,43 @@
+package tracking
+
+import "github.com/erdos-go/erdos/internal/core/comm"
+
+// Frame codec helpers for the comm typed fast path. Only exported fields
+// travel — matching what the gob fallback would encode — so the tracker's
+// private velocity-estimation state stays worker-local.
+
+// MarshalFrame appends the track's wire encoding to dst.
+func (t *Track) MarshalFrame(dst []byte) []byte {
+	dst = comm.AppendVarint(dst, int64(t.ID))
+	dst = comm.AppendFloat64(dst, t.X)
+	dst = comm.AppendFloat64(dst, t.Y)
+	dst = comm.AppendFloat64(dst, t.VX)
+	dst = comm.AppendFloat64(dst, t.VY)
+	dst = comm.AppendVarint(dst, int64(t.Age))
+	dst = comm.AppendVarint(dst, int64(t.Misses))
+	return comm.AppendUvarint(dst, t.LastUpdate)
+}
+
+// UnmarshalFrame decodes the fields MarshalFrame wrote.
+func (t *Track) UnmarshalFrame(r *comm.FrameReader) {
+	t.ID = int(r.Varint())
+	t.X = r.Float64()
+	t.Y = r.Float64()
+	t.VX = r.Float64()
+	t.VY = r.Float64()
+	t.Age = int(r.Varint())
+	t.Misses = int(r.Varint())
+	t.LastUpdate = r.Uvarint()
+}
+
+// MarshalFrame appends the observation's wire encoding to dst.
+func (o Observation) MarshalFrame(dst []byte) []byte {
+	dst = comm.AppendFloat64(dst, o.X)
+	return comm.AppendFloat64(dst, o.Y)
+}
+
+// UnmarshalFrame decodes the fields MarshalFrame wrote.
+func (o *Observation) UnmarshalFrame(r *comm.FrameReader) {
+	o.X = r.Float64()
+	o.Y = r.Float64()
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/operator"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+// chainGraph builds src→mid→sink with no explicit placements.
+func chainGraph(t *testing.T, pin map[string]string) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	a := g.AddStream("a", "int")
+	b := g.AddStream("b", "int")
+	c := g.AddStream("c", "int")
+	if err := g.MarkIngest(a); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, in, out []stream.ID) {
+		if err := g.AddOperator(&operator.Spec{
+			Name: name, Placement: pin[name],
+			Inputs: in, Outputs: out,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("src", []stream.ID{a}, []stream.ID{b})
+	mk("mid", []stream.ID{b}, []stream.ID{c})
+	mk("sink", []stream.ID{c}, nil)
+	return g
+}
+
+func TestPlacementCoLocatesAffinityGroups(t *testing.T) {
+	g := chainGraph(t, nil)
+	if err := g.WithAffinity("src", "mid", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	assign, err := Placement(g, []string{"w1", "w2", "w3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign["src"] != assign["mid"] || assign["src"] != assign["sink"] {
+		t.Fatalf("affinity group split: %v", assign)
+	}
+}
+
+func TestPlacementAffinityGroupUsesOneRoundRobinSlot(t *testing.T) {
+	g := chainGraph(t, nil)
+	// extra operator after the group must land on the next worker, not be
+	// skewed by group members each consuming a slot.
+	d := g.AddStream("d", "int")
+	if err := g.MarkIngest(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOperator(&operator.Spec{Name: "extra", Inputs: []stream.ID{d}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WithAffinity("src", "mid", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	assign, err := Placement(g, []string{"w1", "w2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign["src"] != "w1" || assign["mid"] != "w1" || assign["sink"] != "w1" {
+		t.Fatalf("group not on w1: %v", assign)
+	}
+	if assign["extra"] != "w2" {
+		t.Fatalf("extra = %s, want w2 (group should consume one slot): %v", assign["extra"], assign)
+	}
+}
+
+func TestPlacementExplicitPinAnchorsGroup(t *testing.T) {
+	g := chainGraph(t, map[string]string{"src": "w2"})
+	if err := g.WithAffinity("src", "mid"); err != nil {
+		t.Fatal(err)
+	}
+	assign, err := Placement(g, []string{"w1", "w2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign["src"] != "w2" {
+		t.Fatalf("pinned src moved: %v", assign)
+	}
+	if assign["mid"] != "w2" {
+		t.Fatalf("mid should follow src's pin: %v", assign)
+	}
+}

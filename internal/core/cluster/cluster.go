@@ -56,7 +56,9 @@ func init() {
 }
 
 // Placement computes the operator assignment for a graph: an operator's
-// explicit Placement wins; unplaced operators are assigned round-robin.
+// explicit Placement wins; unplaced operators in an affinity group follow
+// the group's first assigned member (the whole group consumes one
+// round-robin slot); remaining operators are assigned round-robin.
 func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("cluster: no workers")
@@ -66,17 +68,34 @@ func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
 		valid[w] = true
 	}
 	assign := make(map[string]string)
+	groupWorker := make(map[int]string)
 	next := 0
 	for _, op := range g.Operators() {
+		gid, grouped := g.AffinityOf(op.Name)
 		if op.Placement != "" {
 			if !valid[op.Placement] {
 				return nil, fmt.Errorf("cluster: operator %q pinned to unknown worker %q", op.Name, op.Placement)
 			}
 			assign[op.Name] = op.Placement
+			if grouped {
+				if _, ok := groupWorker[gid]; !ok {
+					groupWorker[gid] = op.Placement
+				}
+			}
 			continue
 		}
-		assign[op.Name] = workers[next%len(workers)]
+		if grouped {
+			if w, ok := groupWorker[gid]; ok {
+				assign[op.Name] = w
+				continue
+			}
+		}
+		w := workers[next%len(workers)]
 		next++
+		assign[op.Name] = w
+		if grouped {
+			groupWorker[gid] = w
+		}
 	}
 	return assign, nil
 }
@@ -84,8 +103,15 @@ func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
 // Routes computes the cross-worker forwarding table. ingestAt names the
 // worker on which the application injects each ingest stream (defaulting to
 // the first worker); extractAt lists extra workers that need a stream
-// forwarded for extraction.
+// forwarded for extraction. Deadline-feed streams (pDP's allocations) are
+// forwarded to every other worker: each worker subscribes its local
+// dynamic-deadline sources to its own broadcaster, so all of them need the
+// updates regardless of operator placement.
 func Routes(g *graph.Graph, assign map[string]string, workers []string, ingestAt map[stream.ID]string, extractAt map[stream.ID][]string) []Route {
+	feeds := make(map[stream.ID]bool)
+	for _, f := range g.DeadlineFeeds() {
+		feeds[f.Stream] = true
+	}
 	var routes []Route
 	for _, s := range g.Streams() {
 		producer := ""
@@ -109,6 +135,13 @@ func Routes(g *graph.Graph, assign map[string]string, workers []string, ingestAt
 		for _, w := range extractAt[s.ID] {
 			if w != producer {
 				consumers[w] = true
+			}
+		}
+		if feeds[s.ID] {
+			for _, w := range workers {
+				if w != producer {
+					consumers[w] = true
+				}
 			}
 		}
 		if len(consumers) == 0 {
@@ -299,8 +332,15 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options) (*Node, error)
 		consumers := append([]string(nil), r.Consumers...)
 		id := stream.ID(r.Stream)
 		err := w.Subscribe(id, func(m message.Message) {
+			// The producing operator's deadline slack bounds how long the
+			// transport may hold the frame for coalescing; messages with no
+			// armed deadline flush on queue drain as before.
+			var hint comm.FlushHint
+			if dl, ok := w.SendDeadline(id, m.Timestamp); ok {
+				hint.FlushBy = dl
+			}
 			for _, c := range consumers {
-				if err := tr.Send(c, id, m); err == nil {
+				if err := tr.SendWithHint(c, id, m, hint); err == nil {
 					n.mu.Lock()
 					n.forwarded++
 					n.mu.Unlock()

@@ -1,0 +1,259 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FramePayload is implemented by payload types that travel as tagTyped
+// binary frames instead of gob Envelopes. MarshalFrame appends the body
+// encoding to dst and returns the extended slice; the codec named by
+// FrameCodec (registered via RegisterCodec) decodes it on the far side.
+type FramePayload interface {
+	// FrameCodec returns the registered codec ID for this type.
+	FrameCodec() uint64
+	// MarshalFrame appends the frame body to dst and returns it.
+	MarshalFrame(dst []byte) []byte
+}
+
+// Codec describes one typed frame encoding. Version is the newest body
+// layout the local build writes; Unmarshal must accept every version up to
+// and including it, so old peers can be decoded after a layout change.
+type Codec struct {
+	// ID is the wire identifier; it must be stable across builds and
+	// unique across the process.
+	ID uint64
+	// Name is used in diagnostics only.
+	Name string
+	// Version is written into every outbound frame of this codec.
+	Version uint8
+	// Unmarshal decodes a frame body produced by MarshalFrame at the
+	// given version and returns the payload value (not a pointer) so it
+	// round-trips identically to the gob path.
+	Unmarshal func(body []byte, version uint8) (any, error)
+}
+
+// codecs is a copy-on-write snapshot: the hot send/receive paths look a
+// codec up without any lock; codecMu serializes registration.
+var (
+	codecMu sync.Mutex
+	codecs  atomic.Pointer[map[uint64]*Codec]
+)
+
+func init() {
+	m := map[uint64]*Codec{}
+	codecs.Store(&m)
+	RegisterCodec(Codec{
+		ID:      DurationCodecID,
+		Name:    "time.Duration",
+		Version: 1,
+		Unmarshal: func(body []byte, _ uint8) (any, error) {
+			r := NewFrameReader(body)
+			d := time.Duration(r.Varint())
+			return d, r.Err()
+		},
+	})
+}
+
+// DurationCodecID is the built-in codec for time.Duration payloads (the
+// pDP deadline stream); the body is one varint of nanoseconds.
+const DurationCodecID uint64 = 1
+
+// RegisterCodec installs a typed frame codec. It panics on a zero ID, a
+// duplicate ID, or a nil Unmarshal — all programming errors that would
+// otherwise surface as undecodable frames on a remote worker.
+func RegisterCodec(c Codec) {
+	if c.ID == 0 {
+		panic("comm: codec ID 0 is reserved")
+	}
+	if c.Unmarshal == nil {
+		panic(fmt.Sprintf("comm: codec %d (%s) has no Unmarshal", c.ID, c.Name))
+	}
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	old := *codecs.Load()
+	if prev, dup := old[c.ID]; dup {
+		panic(fmt.Sprintf("comm: codec ID %d already registered as %s", c.ID, prev.Name))
+	}
+	next := make(map[uint64]*Codec, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[c.ID] = &c
+	codecs.Store(&next)
+}
+
+// lookupCodec returns the registered codec for id, lock-free.
+func lookupCodec(id uint64) *Codec { return (*codecs.Load())[id] }
+
+// DecodeFrameBody decodes a typed frame body through the codec registry —
+// the same path the transport's receive loop uses. Unknown codec IDs and
+// versions newer than the local codec are errors.
+func DecodeFrameBody(codecID uint64, version uint8, body []byte) (any, error) {
+	c := lookupCodec(codecID)
+	if c == nil {
+		return nil, fmt.Errorf("comm: unknown codec %d", codecID)
+	}
+	if version > c.Version {
+		return nil, fmt.Errorf("comm: codec %s version %d newer than local %d", c.Name, version, c.Version)
+	}
+	v, err := c.Unmarshal(body, version)
+	if err != nil {
+		return nil, fmt.Errorf("comm: codec %s: %w", c.Name, err)
+	}
+	return v, nil
+}
+
+// Append helpers shared by per-type MarshalFrame implementations. Varints
+// follow encoding/binary; floats are fixed 8-byte little-endian IEEE 754.
+
+// AppendUvarint appends v as a uvarint.
+func AppendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+// AppendVarint appends v as a zig-zag varint.
+func AppendVarint(dst []byte, v int64) []byte { return binary.AppendVarint(dst, v) }
+
+// AppendFloat64 appends f as 8 little-endian bytes.
+func AppendFloat64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// AppendBool appends b as one byte (0 or 1).
+func AppendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendString appends s as a uvarint length prefix followed by its bytes.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// ErrShortFrame is reported by FrameReader when a frame body ends before
+// the value being decoded.
+var ErrShortFrame = fmt.Errorf("comm: truncated frame body")
+
+// FrameReader is a sticky-error cursor over a typed frame body: decode
+// calls after the first failure return zero values, so Unmarshal
+// implementations can decode a whole struct and check Err once.
+type FrameReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewFrameReader returns a reader over body.
+func NewFrameReader(body []byte) *FrameReader { return &FrameReader{b: body} }
+
+// Err returns the first decode error, or nil.
+func (r *FrameReader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *FrameReader) Remaining() int { return len(r.b) - r.off }
+
+func (r *FrameReader) fail() {
+	if r.err == nil {
+		r.err = ErrShortFrame
+	}
+}
+
+// Uvarint decodes a uvarint.
+func (r *FrameReader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint decodes a zig-zag varint.
+func (r *FrameReader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Float64 decodes 8 little-endian bytes as a float64.
+func (r *FrameReader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Byte decodes one byte.
+func (r *FrameReader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// Bool decodes one byte as a bool.
+func (r *FrameReader) Bool() bool { return r.Byte() != 0 }
+
+// String decodes a uvarint length prefix followed by that many bytes.
+// The returned string copies out of the frame body.
+func (r *FrameReader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Len is a bounds-checked element count for decoding slices: it rejects
+// counts that could not possibly fit in the remaining body (each element
+// needs at least min bytes), so a corrupt length prefix cannot drive a
+// huge allocation.
+func (r *FrameReader) Len(min int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64(r.Remaining()/min) {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}

@@ -6,11 +6,18 @@
 // Wire format: after a gob handshake, each connection carries a sequence of
 // tagged frames. Watermarks and []byte data payloads — the sensor-frame hot
 // path — travel as length-prefixed binary frames with no reflection at all;
-// any other payload type falls back to a gob-encoded Envelope frame and must
-// be registered with RegisterPayload. Header encoding uses pooled scratch
+// payload types implementing FramePayload (with a codec registered via
+// RegisterCodec) travel as versioned typed frames, also reflection-free; any
+// other payload type falls back to a gob-encoded Envelope frame and must be
+// registered with RegisterPayload. Header encoding uses pooled scratch
 // buffers and payload bytes are written straight from the message, so the
 // fast path costs one allocation on the receive side (the payload) and none
 // on the send side.
+//
+// The write loop coalesces small frames per peer into one flush, bounded by
+// a byte budget and — for frames carrying a FlushHint — the minimum deadline
+// slack of the queued streams; frames without a hint flush as soon as the
+// queue drains, exactly like the pre-coalescing behavior.
 package comm
 
 import (
@@ -39,11 +46,17 @@ func init() {
 }
 
 // Frame tags. tagRaw frames carry watermarks and []byte data payloads in
-// plain binary; tagGob frames carry an Envelope through gob's type registry.
+// plain binary; tagGob frames carry an Envelope through gob's type registry;
+// tagTyped frames carry a FramePayload body encoded by a registered Codec.
 const (
-	tagRaw byte = 0x01
-	tagGob byte = 0x02
+	tagRaw   byte = 0x01
+	tagGob   byte = 0x02
+	tagTyped byte = 0x03
 )
+
+// maxFramePayload bounds the declared body length of raw and typed frames
+// so a corrupt length prefix cannot drive an arbitrarily large allocation.
+const maxFramePayload = 64 << 20
 
 // Envelope is the gob wire representation of one stream message; only
 // messages that cannot take the binary fast path travel as Envelopes.
@@ -115,11 +128,59 @@ type Transport struct {
 	wg     sync.WaitGroup
 
 	sent, received atomic.Uint64
+
+	// Per-frame-kind counters: the data plane is gob-free exactly when
+	// gobSent/gobRecv stay at zero after the handshake.
+	rawSent, typedSent, gobSent atomic.Uint64
+	rawRecv, typedRecv, gobRecv atomic.Uint64
+
+	// Coalescing telemetry: flushes counts bw.Flush calls, coalesced
+	// counts frames that shared a flush with an earlier frame, and
+	// lateFlushes counts flushes that completed after the earliest
+	// FlushBy of a held frame — i.e. deadline-slack violations caused by
+	// holding, which the deadline-stress test asserts never happen.
+	flushes, coalesced, lateFlushes atomic.Uint64
+}
+
+// FrameStats breaks the frame counters down by wire encoding.
+type FrameStats struct {
+	Raw   uint64
+	Typed uint64
+	Gob   uint64
+}
+
+// SentFrames returns how many frames of each encoding were written.
+func (t *Transport) SentFrames() FrameStats {
+	return FrameStats{Raw: t.rawSent.Load(), Typed: t.typedSent.Load(), Gob: t.gobSent.Load()}
+}
+
+// ReceivedFrames returns how many frames of each encoding were decoded.
+func (t *Transport) ReceivedFrames() FrameStats {
+	return FrameStats{Raw: t.rawRecv.Load(), Typed: t.typedRecv.Load(), Gob: t.gobRecv.Load()}
+}
+
+// CoalesceStats returns flush batching telemetry: total flushes, frames
+// that rode along with an earlier frame in the same flush, and flushes
+// that completed after a held frame's FlushBy.
+func (t *Transport) CoalesceStats() (flushes, coalesced, lateFlushes uint64) {
+	return t.flushes.Load(), t.coalesced.Load(), t.lateFlushes.Load()
+}
+
+// FlushHint bounds how long the transport may hold a frame in the per-peer
+// coalescing buffer. The zero hint means "no slack": the frame is flushed
+// as soon as the write queue drains.
+type FlushHint struct {
+	// FlushBy is the absolute instant by which the frame must be on the
+	// wire, typically the producing operator's timestamp deadline.
+	FlushBy time.Time
 }
 
 type outMsg struct {
 	id stream.ID
 	m  message.Message
+	// flushBy is the frame's coalescing deadline; zero means flush on
+	// queue drain.
+	flushBy time.Time
 }
 
 type peer struct {
@@ -197,12 +258,19 @@ func (t *Transport) Dial(addr string) error {
 // and the sent counter is only incremented once the message is actually
 // queued on a live connection.
 func (t *Transport) Send(peerName string, id stream.ID, m message.Message) error {
+	return t.SendWithHint(peerName, id, m, FlushHint{})
+}
+
+// SendWithHint is Send with a coalescing deadline: the transport may hold
+// the frame in the peer's write buffer until hint.FlushBy (bounded by the
+// byte budget and maximum hold time) to batch it with neighboring frames.
+func (t *Transport) SendWithHint(peerName string, id stream.ID, m message.Message, hint FlushHint) error {
 	p := (*t.peers.Load())[peerName]
 	if p == nil {
 		return fmt.Errorf("comm: %s has no peer %q", t.name, peerName)
 	}
 	select {
-	case p.out <- outMsg{id: id, m: m}:
+	case p.out <- outMsg{id: id, m: m, flushBy: hint.FlushBy}:
 		t.sent.Add(1)
 		return nil
 	case <-p.done:
@@ -334,8 +402,8 @@ func rawEligible(m message.Message) bool {
 
 // writeRawFrame emits a tagRaw frame: uvarint stream id, kind byte, binary
 // timestamp, and for data messages a uvarint length-prefixed payload written
-// directly from the message (no intermediate copy).
-func writeRawFrame(bw *bufio.Writer, id stream.ID, m message.Message) error {
+// directly from the message (no intermediate copy). Returns bytes written.
+func writeRawFrame(bw *bufio.Writer, id stream.ID, m message.Message) (int, error) {
 	sp := scratchPool.Get().(*[]byte)
 	buf := append((*sp)[:0], tagRaw)
 	buf = binary.AppendUvarint(buf, uint64(id))
@@ -346,13 +414,44 @@ func writeRawFrame(bw *bufio.Writer, id stream.ID, m message.Message) error {
 		raw, _ = m.Payload.([]byte)
 		buf = binary.AppendUvarint(buf, uint64(len(raw)))
 	}
+	n := len(buf) + len(raw)
 	_, err := bw.Write(buf)
 	*sp = buf
 	scratchPool.Put(sp)
 	if err == nil && len(raw) > 0 {
 		_, err = bw.Write(raw)
 	}
-	return err
+	return n, err
+}
+
+// writeTypedFrame emits a tagTyped frame: uvarint stream id, binary
+// timestamp, uvarint codec id, codec version byte, and a uvarint
+// length-prefixed body appended by the payload's MarshalFrame. Typed
+// frames always carry data messages, so no kind byte is needed. The body
+// is marshaled into the pooled scratch after the header so its length
+// prefix can be written without a second pass; nothing escapes, so the
+// send side stays allocation-free in steady state.
+func writeTypedFrame(bw *bufio.Writer, id stream.ID, m message.Message, codecID uint64, version uint8, marshal func([]byte) []byte) (int, error) {
+	sp := scratchPool.Get().(*[]byte)
+	buf := append((*sp)[:0], tagTyped)
+	buf = binary.AppendUvarint(buf, uint64(id))
+	buf = m.Timestamp.AppendBinary(buf)
+	buf = binary.AppendUvarint(buf, codecID)
+	buf = append(buf, version)
+	bodyAt := len(buf)
+	buf = marshal(buf)
+	body := buf[bodyAt:]
+	// Length prefix goes between header and body: encode it into spare
+	// capacity and shift the body up by its width.
+	var lp [binary.MaxVarintLen64]byte
+	w := binary.PutUvarint(lp[:], uint64(len(body)))
+	buf = append(buf, lp[:w]...)
+	copy(buf[bodyAt+w:], body)
+	copy(buf[bodyAt:], lp[:w])
+	_, err := bw.Write(buf)
+	*sp = buf
+	scratchPool.Put(sp)
+	return len(buf), err
 }
 
 // readRawFrame decodes the body of a tagRaw frame (the tag byte has been
@@ -376,6 +475,9 @@ func readRawFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
 		if err != nil {
 			return 0, message.Message{}, err
 		}
+		if plen > maxFramePayload {
+			return 0, message.Message{}, fmt.Errorf("comm: raw frame of %d bytes exceeds limit", plen)
+		}
 		payload := make([]byte, plen)
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return 0, message.Message{}, err
@@ -385,45 +487,205 @@ func readRawFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
 	return stream.ID(sid), m, nil
 }
 
-// writeMsg frames one message: binary fast path when eligible, gob Envelope
-// otherwise.
-func (p *peer) writeMsg(o outMsg) error {
-	if rawEligible(o.m) {
-		return writeRawFrame(p.bw, o.id, o.m)
+// readTypedFrame decodes the body of a tagTyped frame (the tag byte has
+// been consumed). Unknown codec IDs and versions newer than the local
+// codec are protocol errors: the caller drops the connection rather than
+// silently losing data.
+func readTypedFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
+	sid, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, message.Message{}, err
 	}
-	if err := p.bw.WriteByte(tagGob); err != nil {
-		return err
+	ts, err := timestamp.ReadBinary(br)
+	if err != nil {
+		return 0, message.Message{}, err
 	}
-	env := ToEnvelope(o.id, o.m)
-	return p.enc.Encode(&env)
+	codecID, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, message.Message{}, err
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return 0, message.Message{}, err
+	}
+	blen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, message.Message{}, err
+	}
+	if blen > maxFramePayload {
+		return 0, message.Message{}, fmt.Errorf("comm: typed frame of %d bytes exceeds limit", blen)
+	}
+	body := make([]byte, blen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return 0, message.Message{}, err
+	}
+	payload, err := DecodeFrameBody(codecID, version, body)
+	if err != nil {
+		return 0, message.Message{}, err
+	}
+	return stream.ID(sid), message.Message{
+		Kind:      message.KindData,
+		Timestamp: ts,
+		Payload:   payload,
+	}, nil
 }
 
-// writeLoop serializes frame encoding per connection and batches flushes:
-// it drains whatever is queued, encoding each message, and flushes once the
-// queue momentarily empties.
+// writeMsg frames one message — raw binary, typed binary, or gob Envelope —
+// and returns the encoded size plus whether the frame must be flushed on
+// queue drain regardless of hints (gob frames report a nominal size since
+// the encoder writes through bw directly; they are rare by construction).
+func (t *Transport) writeMsg(p *peer, o outMsg) (n int, mustFlush bool, err error) {
+	if rawEligible(o.m) {
+		n, err = writeRawFrame(p.bw, o.id, o.m)
+		if err == nil {
+			t.rawSent.Add(1)
+		}
+		return n, o.flushBy.IsZero(), err
+	}
+	if fp, ok := o.m.Payload.(FramePayload); ok {
+		if c := lookupCodec(fp.FrameCodec()); c != nil {
+			n, err = writeTypedFrame(p.bw, o.id, o.m, c.ID, c.Version, fp.MarshalFrame)
+			if err == nil {
+				t.typedSent.Add(1)
+			}
+			return n, o.flushBy.IsZero(), err
+		}
+	} else if d, ok := o.m.Payload.(time.Duration); ok {
+		n, err = writeTypedFrame(p.bw, o.id, o.m, DurationCodecID, 1, func(dst []byte) []byte {
+			return binary.AppendVarint(dst, int64(d))
+		})
+		if err == nil {
+			t.typedSent.Add(1)
+		}
+		return n, o.flushBy.IsZero(), err
+	}
+	if err := p.bw.WriteByte(tagGob); err != nil {
+		return 1, true, err
+	}
+	env := ToEnvelope(o.id, o.m)
+	if err := p.enc.Encode(&env); err != nil {
+		return 1, true, err
+	}
+	t.gobSent.Add(1)
+	return 256, true, nil
+}
+
+// Coalescing knobs. A flush is forced once flushBudget bytes are buffered;
+// frames carrying a FlushHint may be held for up to maxCoalesceHold past
+// their arrival waiting for companions, but never later than flushGuard
+// before the earliest FlushBy among held frames.
+const (
+	flushBudget     = 32 << 10
+	maxCoalesceHold = time.Millisecond
+	flushGuard      = 500 * time.Microsecond
+)
+
+// writeLoop serializes frame encoding per connection and batches flushes.
+// It drains whatever is queued, encoding each message; if every buffered
+// frame carries deadline slack (a FlushHint) it holds the buffer — bounded
+// by flushBudget, maxCoalesceHold and the minimum FlushBy minus flushGuard
+// — waiting for more frames to share the flush. Any unhinted frame forces
+// the pre-coalescing behavior: flush as soon as the queue drains.
 func (t *Transport) writeLoop(p *peer) {
 	defer t.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var (
+		buffered  int       // bytes encoded since the last flush
+		held      int       // frames encoded since the last flush
+		holdBy    time.Time // earliest FlushBy among held hinted frames
+		holdSince time.Time // when the oldest held frame was encoded
+		mustFlush bool      // a held frame has no slack
+	)
+	flush := func() bool {
+		err := p.bw.Flush()
+		t.flushes.Add(1)
+		if held > 1 {
+			t.coalesced.Add(uint64(held - 1))
+		}
+		if !holdBy.IsZero() && time.Now().After(holdBy) {
+			t.lateFlushes.Add(1)
+		}
+		buffered, held, mustFlush = 0, 0, false
+		holdBy, holdSince = time.Time{}, time.Time{}
+		return err == nil
+	}
+	write := func(o outMsg) bool {
+		n, force, err := t.writeMsg(p, o)
+		if err != nil {
+			return false
+		}
+		buffered += n
+		held++
+		if holdSince.IsZero() {
+			holdSince = time.Now()
+		}
+		if force {
+			mustFlush = true
+		} else if holdBy.IsZero() || o.flushBy.Before(holdBy) {
+			holdBy = o.flushBy
+		}
+		return true
+	}
 	for {
 		select {
 		case <-p.done:
 			return
 		case o := <-p.out:
-			if err := p.writeMsg(o); err != nil {
+			if !write(o) {
 				return
 			}
-		drain:
-			for {
-				select {
-				case o = <-p.out:
-					if err := p.writeMsg(o); err != nil {
+			for held > 0 {
+			drain:
+				for buffered < flushBudget {
+					select {
+					case o = <-p.out:
+						if !write(o) {
+							return
+						}
+					default:
+						break drain
+					}
+				}
+				if mustFlush || buffered >= flushBudget {
+					if !flush() {
 						return
 					}
-				default:
-					break drain
+					continue
 				}
-			}
-			if err := p.bw.Flush(); err != nil {
-				return
+				// Every held frame has slack: wait for company until the
+				// earliest deadline (minus a scheduling guard), capped by
+				// the maximum hold.
+				until := holdBy.Add(-flushGuard)
+				if holdCap := holdSince.Add(maxCoalesceHold); holdCap.Before(until) {
+					until = holdCap
+				}
+				wait := time.Until(until)
+				if wait <= 0 {
+					if !flush() {
+						return
+					}
+					continue
+				}
+				timer.Reset(wait)
+				select {
+				case <-p.done:
+					timer.Stop()
+					return
+				case o = <-p.out:
+					if !timer.Stop() {
+						<-timer.C
+					}
+					if !write(o) {
+						return
+					}
+				case <-timer.C:
+					if !flush() {
+						return
+					}
+				}
 			}
 		}
 	}
@@ -444,12 +706,19 @@ func (t *Transport) readLoop(p *peer, br *bufio.Reader, dec *gob.Decoder) {
 			if id, m, err = readRawFrame(br); err != nil {
 				return
 			}
+			t.rawRecv.Add(1)
+		case tagTyped:
+			if id, m, err = readTypedFrame(br); err != nil {
+				return
+			}
+			t.typedRecv.Add(1)
 		case tagGob:
 			var env Envelope
 			if err := dec.Decode(&env); err != nil {
 				return
 			}
 			id, m = FromEnvelope(env)
+			t.gobRecv.Add(1)
 		default:
 			return // protocol corruption; drop the connection
 		}

@@ -1,0 +1,74 @@
+package comm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// fuzzSeedRaw encodes one valid raw frame (tag byte stripped, as the read
+// path sees it after dispatching on the tag).
+func fuzzSeedRaw(m message.Message) []byte {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if _, err := writeRawFrame(bw, 9, m); err != nil {
+		panic(err)
+	}
+	if err := bw.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()[1:]
+}
+
+// fuzzSeedTyped encodes one valid typed frame body for the Duration codec.
+func fuzzSeedTyped(ns int64, version uint8) []byte {
+	var body []byte
+	body = binary.AppendUvarint(body, 9) // stream id
+	body = timestamp.New(4).AppendBinary(body)
+	body = binary.AppendUvarint(body, DurationCodecID)
+	body = append(body, version)
+	var enc []byte
+	enc = binary.AppendVarint(enc, ns)
+	body = binary.AppendUvarint(body, uint64(len(enc)))
+	return append(body, enc...)
+}
+
+// FuzzFrameDecode drives both tagged-frame decoders over arbitrary bytes:
+// truncation, length-prefix overflow, unknown codecs, and version skew must
+// all surface as errors, never panics or unbounded allocations. The first
+// input byte selects the decoder so one corpus covers both formats.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(append([]byte{0}, fuzzSeedRaw(message.Data(timestamp.New(7), []byte("abc")))...))
+	f.Add(append([]byte{0}, fuzzSeedRaw(message.Watermark(timestamp.New(3, 1)))...))
+	f.Add(append([]byte{1}, fuzzSeedTyped(1500, 1)...))
+	f.Add(append([]byte{1}, fuzzSeedTyped(-42, 1)...))
+	// Version from the future: must be rejected.
+	f.Add(append([]byte{1}, fuzzSeedTyped(1500, 99)...))
+	// Raw frame claiming a payload longer than maxFramePayload.
+	overflow := []byte{9, byte(message.KindData), 0, 1, 0}
+	overflow = binary.AppendUvarint(overflow, maxFramePayload+1)
+	f.Add(append([]byte{0}, overflow...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		br := bufio.NewReader(bytes.NewReader(data[1:]))
+		if data[0]%2 == 0 {
+			if _, m, err := readRawFrame(br); err == nil && m.IsData() {
+				if _, ok := m.Payload.([]byte); !ok {
+					t.Fatalf("raw data frame decoded to %T, want []byte", m.Payload)
+				}
+			}
+		} else {
+			if _, m, err := readTypedFrame(br); err == nil {
+				if m.Payload == nil {
+					t.Fatal("typed frame decoded with nil payload")
+				}
+			}
+		}
+	})
+}

@@ -96,6 +96,17 @@ func IngestStream[T any](g *Graph, name string) Stream[T] {
 	return s
 }
 
+// Affinity declares the named operators — typically a producer→consumer
+// chain — as a co-location group: they share a lattice home shard within a
+// worker, and unpinned members are scheduled onto the same worker in a
+// cluster. Call after the operators are built.
+func (g *Graph) Affinity(ops ...string) *Graph {
+	if err := g.g.WithAffinity(ops...); err != nil {
+		g.errs = append(g.errs, err)
+	}
+	return g
+}
+
 // DynamicDeadline declares that stream s carries relative-deadline updates
 // from the deadline policy pDP and returns the deadline source that tracks
 // them (§5.2). The source can be passed to OpBuilder.TimestampDeadline.

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/operator"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+func affinityGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	a := g.AddStream("a", "int")
+	b := g.AddStream("b", "int")
+	c := g.AddStream("c", "int")
+	if err := g.MarkIngest(a); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, in, out []stream.ID) {
+		spec := &operator.Spec{Name: name, Inputs: in, Outputs: out}
+		if err := g.AddOperator(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("src", []stream.ID{a}, []stream.ID{b})
+	mk("mid", []stream.ID{b}, []stream.ID{c})
+	mk("sink", []stream.ID{c}, nil)
+	return g
+}
+
+func TestWithAffinityGroupsAndLookup(t *testing.T) {
+	g := affinityGraph(t)
+	if err := g.WithAffinity("src", "mid"); err != nil {
+		t.Fatal(err)
+	}
+	if idx, ok := g.AffinityOf("src"); !ok || idx != 0 {
+		t.Fatalf("AffinityOf(src) = %d, %v", idx, ok)
+	}
+	if idx, ok := g.AffinityOf("mid"); !ok || idx != 0 {
+		t.Fatalf("AffinityOf(mid) = %d, %v", idx, ok)
+	}
+	if _, ok := g.AffinityOf("sink"); ok {
+		t.Fatal("sink should have no affinity group")
+	}
+	groups := g.AffinityGroups()
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithAffinityRejectsBadGroups(t *testing.T) {
+	g := affinityGraph(t)
+	if err := g.WithAffinity("src"); err == nil {
+		t.Fatal("single-operator group accepted")
+	}
+	if err := g.WithAffinity("src", "nope"); err == nil {
+		t.Fatal("unregistered operator accepted")
+	}
+	if err := g.WithAffinity("src", "mid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WithAffinity("mid", "sink"); err == nil {
+		t.Fatal("operator admitted to two groups")
+	}
+}

@@ -41,14 +41,57 @@ type Graph struct {
 	ops     []*operator.Spec
 	opNames map[string]bool
 	feeds   []DeadlineFeed
+
+	// affinity maps operator name → affinity group index; groups are
+	// placement hints asking the scheduler to co-locate the operators.
+	affinity map[string]int
+	groups   [][]string
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		streams: make(map[stream.ID]*StreamSpec),
-		opNames: make(map[string]bool),
+		streams:  make(map[stream.ID]*StreamSpec),
+		opNames:  make(map[string]bool),
+		affinity: make(map[string]int),
 	}
+}
+
+// WithAffinity declares the named operators — typically a producer→consumer
+// chain — as a co-location group: within a worker they share a home shard
+// on the execution lattice, and across a cluster the scheduler keeps
+// unpinned members on the same worker. It is a hint, not an isolation
+// boundary: work stealing may still move callbacks, and an explicit
+// operator Placement overrides the group. Call after the operators are
+// registered; an operator may belong to at most one group.
+func (g *Graph) WithAffinity(ops ...string) error {
+	if len(ops) < 2 {
+		return fmt.Errorf("graph: affinity group needs at least two operators")
+	}
+	for _, name := range ops {
+		if !g.opNames[name] {
+			return fmt.Errorf("graph: affinity group names unregistered operator %q", name)
+		}
+		if prev, ok := g.affinity[name]; ok {
+			return fmt.Errorf("graph: operator %q already in affinity group %d", name, prev)
+		}
+	}
+	idx := len(g.groups)
+	g.groups = append(g.groups, append([]string(nil), ops...))
+	for _, name := range ops {
+		g.affinity[name] = idx
+	}
+	return nil
+}
+
+// AffinityGroups returns the declared co-location groups in declaration
+// order.
+func (g *Graph) AffinityGroups() [][]string { return g.groups }
+
+// AffinityOf returns the affinity group index of an operator, if any.
+func (g *Graph) AffinityOf(op string) (int, bool) {
+	idx, ok := g.affinity[op]
+	return idx, ok
 }
 
 // AddStream registers a stream and returns its ID.

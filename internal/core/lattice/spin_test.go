@@ -1,0 +1,91 @@
+package lattice
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+func TestNewOpQueuePinnedSharesHomeShard(t *testing.T) {
+	l := New(4)
+	defer l.Stop()
+	a := l.NewOpQueuePinned(ModeSequential, 3)
+	b := l.NewOpQueuePinned(ModeSequential, 3)
+	c := l.NewOpQueuePinned(ModeSequential, 7) // 7 % 4 == 3 as well
+	if a.home != b.home || a.home != c.home {
+		t.Fatalf("homes differ: %d %d %d", a.home, b.home, c.home)
+	}
+	d := l.NewOpQueuePinned(ModeSequential, 2)
+	if d.home == a.home {
+		t.Fatalf("distinct keys mapped to same shard: %d", d.home)
+	}
+	// Negative keys must not panic and must stay in range.
+	e := l.NewOpQueuePinned(ModeSequential, -1)
+	if e.home < 0 || e.home >= 4 {
+		t.Fatalf("negative key home out of range: %d", e.home)
+	}
+}
+
+func TestPinnedQueuesStillExecute(t *testing.T) {
+	l := New(2)
+	defer l.Stop()
+	q := l.NewOpQueuePinned(ModeSequential, 5)
+	var ran atomic.Int32
+	for i := 0; i < 100; i++ {
+		l.Submit(q, KindMessage, ts(uint64(i+1)), func() { ran.Add(1) })
+	}
+	l.Quiesce()
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100", ran.Load())
+	}
+}
+
+// TestSequentialPingPongLatency is the regression guard for the PR 1
+// single-item ping-pong slowdown: a lone in-flight item bouncing between
+// the submitting goroutine and the pool must complete in well under a
+// park/unpark round trip thanks to the pre-park spin. The bound is loose
+// (200µs mean on a box where the spin path runs in under 1µs) so the test
+// stays robust on loaded CI machines while still catching a return to
+// futex-per-item behavior (tens of µs) with two orders of magnitude of
+// headroom over the regression it guards.
+func TestSequentialPingPongLatency(t *testing.T) {
+	l := New(4)
+	defer l.Stop()
+	q := l.NewOpQueue(ModeSequential)
+	var seq atomic.Uint64
+
+	const rounds = 5000
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		want := uint64(i + 1)
+		l.Submit(q, KindMessage, ts(want), func() { seq.Store(want) })
+		for seq.Load() != want {
+			runtime.Gosched()
+		}
+	}
+	mean := time.Since(start) / rounds
+	if mean > 200*time.Microsecond {
+		t.Fatalf("sequential ping-pong mean latency %v, want < 200µs", mean)
+	}
+}
+
+// BenchmarkLatticePingPong measures single-item submit→execute latency with
+// one in-flight callback — the workload the pre-park spin exists for.
+func BenchmarkLatticePingPong(b *testing.B) {
+	l := New(4)
+	defer l.Stop()
+	q := l.NewOpQueue(ModeSequential)
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		want := uint64(i + 1)
+		l.Submit(q, KindMessage, timestamp.New(want), func() { seq.Store(want) })
+		for seq.Load() != want {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package timestamp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTimestampBinary drives ReadBinary over arbitrary byte streams: it must
+// never panic, and any value it accepts must survive a canonical
+// AppendBinary → ReadBinary round trip unchanged.
+func FuzzTimestampBinary(f *testing.F) {
+	f.Add(New(0).AppendBinary(nil))
+	f.Add(New(42).WithCoordinates(1, 2, 3).AppendBinary(nil))
+	f.Add(Top().AppendBinary(nil))
+	// Non-canonical flags byte with extra bits set.
+	f.Add([]byte{0xfe, 0x07, 0x00})
+	// Coordinate count just above the decoder's allocation bound.
+	f.Add([]byte{0x00, 0x01, 0x41})
+	// Max-length uvarint logical time.
+	f.Add([]byte{0x00, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc := ts.AppendBinary(nil)
+		got, err := ReadBinary(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v (ts=%v enc=%x)", err, ts, enc)
+		}
+		if !got.Equal(ts) {
+			t.Fatalf("round trip mismatch: decoded %v, re-decoded %v", ts, got)
+		}
+		if ts.IsTop() != got.IsTop() {
+			t.Fatalf("top flag lost in round trip: %v vs %v", ts, got)
+		}
+	})
+}

@@ -70,6 +70,9 @@ type Worker struct {
 
 	broadcasters map[stream.ID]*stream.Broadcaster
 	ops          map[string]*opRuntime
+	// producers maps each stream to the local operator writing it, for
+	// deadline-slack queries on outbound messages (SendDeadline).
+	producers map[stream.ID]*opRuntime
 
 	// Per-message counters are atomics: countDelivered/countStale sit on the
 	// data-plane hot path and must not funnel every message through one
@@ -109,6 +112,7 @@ func New(g *graph.Graph, opts Options) (*Worker, error) {
 		history:      opts.HistoryDepth,
 		broadcasters: make(map[stream.ID]*stream.Broadcaster),
 		ops:          make(map[string]*opRuntime),
+		producers:    make(map[stream.ID]*opRuntime),
 	}
 	for _, s := range g.Streams() {
 		w.broadcasters[s.ID] = stream.NewBroadcaster(s.ID, s.Name)
@@ -126,12 +130,15 @@ func New(g *graph.Graph, opts Options) (*Worker, error) {
 				continue
 			}
 		}
-		rt, err := w.newOpRuntime(spec)
+		rt, err := w.newOpRuntime(spec, g)
 		if err != nil {
 			w.Stop()
 			return nil, err
 		}
 		w.ops[spec.Name] = rt
+		for _, id := range spec.Outputs {
+			w.producers[id] = rt
+		}
 	}
 	for _, feed := range g.DeadlineFeeds() {
 		b, ok := w.broadcasters[feed.Stream]
@@ -176,6 +183,25 @@ func (w *Worker) Subscribe(id stream.ID, fn func(message.Message)) error {
 	}
 	b.Subscribe(stream.SubscriberFunc(func(_ stream.ID, m message.Message) { fn(m) }))
 	return nil
+}
+
+// SendDeadline reports the absolute instant by which the operator producing
+// stream id must finish timestamp ts — the deadline slack available to the
+// data plane when forwarding that timestamp's output to remote consumers.
+// It returns false when the producing operator is not local, declares no
+// timestamp deadline, or has not yet seen ts arrive (no deadline armed).
+func (w *Worker) SendDeadline(id stream.ID, ts timestamp.Timestamp) (time.Time, bool) {
+	rt, ok := w.producers[id]
+	if !ok || len(rt.ttSpecs) == 0 || ts.IsTop() {
+		return time.Time{}, false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	tw, ok := rt.times[ts.L]
+	if !ok || !tw.hasArrival {
+		return time.Time{}, false
+	}
+	return tw.firstArrival.Add(rt.ttSpecs[0].Value.For(tw.ts)), true
 }
 
 // Quiesce waits for every scheduled callback to complete.
@@ -261,11 +287,19 @@ type timeWork struct {
 	done         bool // watermark processing finished (committed or aborted)
 }
 
-func (w *Worker) newOpRuntime(spec *operator.Spec) (*opRuntime, error) {
+func (w *Worker) newOpRuntime(spec *operator.Spec, g *graph.Graph) (*opRuntime, error) {
+	// Operators in an affinity group share a home shard on the lattice so a
+	// producer→consumer chain's callbacks stay on one goroutine's queue.
+	var q *lattice.OpQueue
+	if gid, ok := g.AffinityOf(spec.Name); ok {
+		q = w.lat.NewOpQueuePinned(spec.Mode, gid)
+	} else {
+		q = w.lat.NewOpQueue(spec.Mode)
+	}
 	rt := &opRuntime{
 		w:     w,
 		spec:  spec,
-		q:     w.lat.NewOpQueue(spec.Mode),
+		q:     q,
 		times: make(map[uint64]*timeWork),
 		inWM:  make([]wmState, len(spec.Inputs)),
 	}

@@ -1,0 +1,235 @@
+// Data-plane micro-benchmarks for the typed-codec wire format, recorded to
+// BENCH_comm.json by `erdos-bench -bench comm`. The pre-change baseline was
+// measured on the same machine immediately before the typed binary codecs,
+// deadline-aware coalescing, and pre-park spin landed, when every non-raw
+// payload crossed the socket as a gob Envelope.
+package experiments
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/lattice"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+	"github.com/erdos-go/erdos/internal/pylot"
+)
+
+// PreChangeCommBaseline fixes the "before" edge of the data-plane perf
+// trajectory: the gob envelope path for struct payloads, flush-per-frame
+// writes, and the PR 1 scheduler without the pre-park spin. The raw
+// round-trip figure is the one recorded in BENCH_lattice.json when that
+// code landed; the rest were measured immediately before this change on
+// the same machine. Burst sends have no pre-change entry: the old harness
+// spin-waited on the receive counter, so its number measured the netpoll
+// wakeup tick rather than the data plane.
+var PreChangeCommBaseline = []MicroBenchResult{
+	{Name: "CommTypedObstaclesRoundtrip", NsPerOp: 21328, AllocsPerOp: 21, BytesPerOp: 4203, OpsPerSec: 46887},
+	{Name: "CommSmallFrameSend1KB", NsPerOp: 1442, AllocsPerOp: 3, BytesPerOp: 1072, OpsPerSec: 693481},
+	{Name: "CommRawRoundtrip4KB", NsPerOp: 17549, AllocsPerOp: 5, BytesPerOp: 8264, OpsPerSec: 56983},
+	{Name: "LatticePingPong", NsPerOp: 658, AllocsPerOp: 1, BytesPerOp: 24, OpsPerSec: 1519757},
+}
+
+// Fig8cPoint is one synthetic-pipeline sensor-scaling measurement.
+type Fig8cPoint struct {
+	Cameras      int     `json:"cameras"`
+	Lidars       int     `json:"lidars"`
+	Operators    int     `json:"operators"`
+	ErdosRuntime float64 `json:"erdos_runtime_ms"`
+}
+
+// PreChangeFig8c is the sensor-scaling run (10 frames per config) taken with
+// the gob data plane, for the same configurations Fig8cSensorScaling uses.
+var PreChangeFig8c = []Fig8cPoint{
+	{Cameras: 4, Lidars: 2, Operators: 30, ErdosRuntime: 3.348},
+	{Cameras: 6, Lidars: 3, Operators: 45, ErdosRuntime: 5.592},
+	{Cameras: 8, Lidars: 4, Operators: 60, ErdosRuntime: 8.469},
+	{Cameras: 10, Lidars: 5, Operators: 75, ErdosRuntime: 12.670},
+}
+
+// PostFig8c reruns the sensor-scaling pipeline on the current data plane.
+func PostFig8c(frames int) []Fig8cPoint {
+	r := Fig8cSensorScaling(frames)
+	pts := make([]Fig8cPoint, 0, len(r.Configs))
+	for _, c := range r.Configs {
+		pts = append(pts, Fig8cPoint{
+			Cameras: c.Cameras, Lidars: c.Lidars, Operators: c.Operators,
+			ErdosRuntime: float64(c.ErdosRuntime.Microseconds()) / 1e3,
+		})
+	}
+	return pts
+}
+
+// benchBest runs f several times and keeps the fastest result. Single-CPU
+// machines sharing a host show 30%+ run-to-run swing on socket round
+// trips; the minimum is the standard low-noise estimator for that regime.
+func benchBest(f func(*testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(f)
+	for i := 1; i < 3; i++ {
+		if r := testing.Benchmark(f); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// CommMicroBench measures the current data plane with the same workloads as
+// the pre-change baseline, plus the hinted burst the coalescer exists for.
+func CommMicroBench() []MicroBenchResult {
+	return []MicroBenchResult{
+		toResult("CommTypedObstaclesRoundtrip", benchBest(benchTypedObstaclesRoundtrip)),
+		toResult("CommSmallFrameSend1KB", benchBest(benchSmallFrameSend1KB)),
+		toResult("CommRawRoundtrip4KB", benchBest(benchCommRawRoundtrip)),
+		toResult("CommBurstSend32x1KB", benchBest(benchBurstSend(false))),
+		toResult("CommHintedBurstSend32x1KB", benchBest(benchBurstSend(true))),
+		toResult("LatticePingPong", benchBest(benchLatticePingPong)),
+	}
+}
+
+func benchObstacles() pylot.Obstacles {
+	o := pylot.Obstacles{Detector: "edet4"}
+	for i := 0; i < 12; i++ {
+		o.Tracks = append(o.Tracks, tracking.Track{
+			ID: i, X: float64(i) * 3.5, Y: -1.25, VX: 0.5, VY: 0.1,
+			Age: 10 + i, LastUpdate: 42,
+		})
+	}
+	return o
+}
+
+// benchTypedObstaclesRoundtrip echoes a 12-track Obstacles payload between
+// two transports. Pre-change this was a gob Envelope in both directions; it
+// now rides the registered typed codec.
+func benchTypedObstaclesRoundtrip(b *testing.B) {
+	var echoTo atomic.Pointer[comm.Transport]
+	done := make(chan struct{}, 1)
+	a, err := comm.Listen("cb-echo", "127.0.0.1:0", func(_ string, id stream.ID, m message.Message) {
+		_ = echoTo.Load().Send("cb-cli", id, m)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	echoTo.Store(a)
+	c, err := comm.Listen("cb-cli", "127.0.0.1:0", func(string, stream.ID, message.Message) {
+		done <- struct{}{}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Dial(a.Addr()); err != nil {
+		b.Fatal(err)
+	}
+	payload := benchObstacles()
+	id := stream.NewID()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send("cb-echo", id, message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}
+
+func benchSmallFrameSend1KB(b *testing.B) {
+	var received atomic.Int64
+	a, err := comm.Listen("cb-a", "127.0.0.1:0", func(string, stream.ID, message.Message) {
+		received.Add(1)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	c, err := comm.Listen("cb-c", "127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Dial(a.Addr()); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	id := stream.NewID()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send("cb-a", id, message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for received.Load() < int64(b.N) {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// benchBurstSend sends 32 one-KB frames back to back and blocks until all
+// of them arrive (channel-signalled, so the waiting goroutine parks and
+// socket readiness is delivered immediately instead of on the next netpoll
+// tick). With a zero hint every frame flushes on queue drain; a deadline
+// hint lets the writer coalesce the burst into a handful of syscalls at the
+// cost of bounded hold latency.
+func benchBurstSend(hinted bool) func(b *testing.B) {
+	const burst = 32
+	return func(b *testing.B) {
+		var received atomic.Int64
+		done := make(chan struct{}, 1)
+		a, err := comm.Listen("cb-ba", "127.0.0.1:0", func(string, stream.ID, message.Message) {
+			if received.Add(1)%burst == 0 {
+				done <- struct{}{}
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer a.Close()
+		c, err := comm.Listen("cb-bc", "127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Dial(a.Addr()); err != nil {
+			b.Fatal(err)
+		}
+		payload := make([]byte, 1024)
+		id := stream.NewID()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var h comm.FlushHint
+			if hinted {
+				h.FlushBy = time.Now().Add(5 * time.Millisecond)
+			}
+			for j := 0; j < burst; j++ {
+				m := message.Data(timestamp.New(uint64(i*burst+j+1)), payload)
+				if err := c.SendWithHint("cb-ba", id, m, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+			<-done
+		}
+	}
+}
+
+func benchLatticePingPong(b *testing.B) {
+	l := lattice.New(4)
+	defer l.Stop()
+	q := l.NewOpQueue(lattice.ModeSequential)
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		want := uint64(i + 1)
+		l.Submit(q, lattice.KindMessage, timestamp.New(want), func() { seq.Store(want) })
+		for seq.Load() != want {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package policy
+
+import (
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/comm"
+)
+
+// EnvironmentCodecID identifies policy.Environment frames on the wire (the
+// perception→pDP env-info stream).
+const EnvironmentCodecID uint64 = 3
+
+func init() {
+	comm.RegisterCodec(comm.Codec{
+		ID:      EnvironmentCodecID,
+		Name:    "policy.Environment",
+		Version: 1,
+		Unmarshal: func(body []byte, _ uint8) (any, error) {
+			r := comm.NewFrameReader(body)
+			var e Environment
+			e.Speed = r.Float64()
+			e.AgentDistance = r.Float64()
+			e.HasAgent = r.Bool()
+			e.CurrentResponse = time.Duration(r.Varint())
+			return e, r.Err()
+		},
+	})
+}
+
+// FrameCodec implements comm.FramePayload.
+func (e Environment) FrameCodec() uint64 { return EnvironmentCodecID }
+
+// MarshalFrame appends the environment's wire encoding to dst.
+func (e Environment) MarshalFrame(dst []byte) []byte {
+	dst = comm.AppendFloat64(dst, e.Speed)
+	dst = comm.AppendFloat64(dst, e.AgentDistance)
+	dst = comm.AppendBool(dst, e.HasAgent)
+	return comm.AppendVarint(dst, int64(e.CurrentResponse))
+}

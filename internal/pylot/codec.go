@@ -1,0 +1,148 @@
+package pylot
+
+import (
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/control"
+	"github.com/erdos-go/erdos/internal/av/prediction"
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/core/comm"
+)
+
+// Typed frame codecs for every pylot boundary payload, completing the
+// zero-gob data plane: with these (plus control.Command, policy.Environment
+// and the built-in time.Duration codec) no steady-state pipeline message
+// falls back to a gob Envelope. IDs 16+ are reserved for pipeline-level
+// payloads; core/av-level codecs use low IDs.
+const (
+	CameraFrameCodecID uint64 = 16
+	ObstaclesCodecID   uint64 = 17
+	PredictionsCodecID uint64 = 18
+	PlanCodecID        uint64 = 19
+)
+
+func init() {
+	comm.RegisterCodec(comm.Codec{
+		ID:      CameraFrameCodecID,
+		Name:    "pylot.CameraFrame",
+		Version: 1,
+		Unmarshal: func(body []byte, _ uint8) (any, error) {
+			r := comm.NewFrameReader(body)
+			var f CameraFrame
+			f.Seq = r.Uvarint()
+			f.EgoSpeed = r.Float64()
+			if n := r.Len(16); n > 0 {
+				f.Agents = make([]tracking.Observation, n)
+				for i := range f.Agents {
+					f.Agents[i].UnmarshalFrame(r)
+				}
+			}
+			return f, r.Err()
+		},
+	})
+	comm.RegisterCodec(comm.Codec{
+		ID:      ObstaclesCodecID,
+		Name:    "pylot.Obstacles",
+		Version: 1,
+		Unmarshal: func(body []byte, _ uint8) (any, error) {
+			r := comm.NewFrameReader(body)
+			var o Obstacles
+			o.Detector = r.String()
+			if n := r.Len(36); n > 0 { // 4 floats + 3 varints + 1 uvarint
+				o.Tracks = make([]tracking.Track, n)
+				for i := range o.Tracks {
+					o.Tracks[i].UnmarshalFrame(r)
+				}
+			}
+			return o, r.Err()
+		},
+	})
+	comm.RegisterCodec(comm.Codec{
+		ID:      PredictionsCodecID,
+		Name:    "pylot.Predictions",
+		Version: 1,
+		Unmarshal: func(body []byte, _ uint8) (any, error) {
+			r := comm.NewFrameReader(body)
+			var p Predictions
+			p.Horizon = time.Duration(r.Varint())
+			if n := r.Len(2); n > 0 { // varint id + uvarint count per trajectory
+				p.Trajectories = make([]prediction.Trajectory, n)
+				for i := range p.Trajectories {
+					p.Trajectories[i].UnmarshalFrame(r)
+				}
+			}
+			return p, r.Err()
+		},
+	})
+	comm.RegisterCodec(comm.Codec{
+		ID:      PlanCodecID,
+		Name:    "pylot.Plan",
+		Version: 1,
+		Unmarshal: func(body []byte, _ uint8) (any, error) {
+			r := comm.NewFrameReader(body)
+			var p Plan
+			p.Trajectory.UnmarshalFrame(r)
+			if n := r.Len(16); n > 0 {
+				p.Waypoints = make([]control.Waypoint, n)
+				for i := range p.Waypoints {
+					p.Waypoints[i].UnmarshalFrame(r)
+				}
+			}
+			p.Candidates = int(r.Varint())
+			return p, r.Err()
+		},
+	})
+}
+
+// FrameCodec implements comm.FramePayload.
+func (f CameraFrame) FrameCodec() uint64 { return CameraFrameCodecID }
+
+// MarshalFrame appends the frame's wire encoding to dst.
+func (f CameraFrame) MarshalFrame(dst []byte) []byte {
+	dst = comm.AppendUvarint(dst, f.Seq)
+	dst = comm.AppendFloat64(dst, f.EgoSpeed)
+	dst = comm.AppendUvarint(dst, uint64(len(f.Agents)))
+	for _, a := range f.Agents {
+		dst = a.MarshalFrame(dst)
+	}
+	return dst
+}
+
+// FrameCodec implements comm.FramePayload.
+func (o Obstacles) FrameCodec() uint64 { return ObstaclesCodecID }
+
+// MarshalFrame appends the obstacles' wire encoding to dst.
+func (o Obstacles) MarshalFrame(dst []byte) []byte {
+	dst = comm.AppendString(dst, o.Detector)
+	dst = comm.AppendUvarint(dst, uint64(len(o.Tracks)))
+	for i := range o.Tracks {
+		dst = o.Tracks[i].MarshalFrame(dst)
+	}
+	return dst
+}
+
+// FrameCodec implements comm.FramePayload.
+func (p Predictions) FrameCodec() uint64 { return PredictionsCodecID }
+
+// MarshalFrame appends the predictions' wire encoding to dst.
+func (p Predictions) MarshalFrame(dst []byte) []byte {
+	dst = comm.AppendVarint(dst, int64(p.Horizon))
+	dst = comm.AppendUvarint(dst, uint64(len(p.Trajectories)))
+	for _, t := range p.Trajectories {
+		dst = t.MarshalFrame(dst)
+	}
+	return dst
+}
+
+// FrameCodec implements comm.FramePayload.
+func (p Plan) FrameCodec() uint64 { return PlanCodecID }
+
+// MarshalFrame appends the plan's wire encoding to dst.
+func (p Plan) MarshalFrame(dst []byte) []byte {
+	dst = p.Trajectory.MarshalFrame(dst)
+	dst = comm.AppendUvarint(dst, uint64(len(p.Waypoints)))
+	for _, w := range p.Waypoints {
+		dst = w.MarshalFrame(dst)
+	}
+	return comm.AppendVarint(dst, int64(p.Candidates))
+}

@@ -1,0 +1,227 @@
+package pylot
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/control"
+	"github.com/erdos-go/erdos/internal/av/planning"
+	"github.com/erdos-go/erdos/internal/av/prediction"
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/core/cluster"
+	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/erdos"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/worker"
+	"github.com/erdos-go/erdos/internal/policy"
+)
+
+// codecFixtures returns one representative value per typed-frame payload,
+// with every exported field non-zero so round-trip equality is meaningful.
+func codecFixtures() []struct {
+	name    string
+	codecID uint64
+	payload comm.FramePayload
+} {
+	tracks := []tracking.Track{
+		{ID: 1, X: 40.5, Y: -1.25, VX: -3.5, VY: 0.25, Age: 12, Misses: 1, LastUpdate: 9},
+		{ID: 2, X: 18.25, Y: 2.5, VX: 0.5, VY: -0.75, Age: 3, Misses: 0, LastUpdate: 9},
+	}
+	return []struct {
+		name    string
+		codecID uint64
+		payload comm.FramePayload
+	}{
+		{"CameraFrame", CameraFrameCodecID, CameraFrame{
+			Seq: 7, EgoSpeed: 11.5,
+			Agents: []tracking.Observation{{X: 40, Y: -1}, {X: 18, Y: 2}},
+		}},
+		{"Obstacles", ObstaclesCodecID, Obstacles{Tracks: tracks, Detector: "edet4"}},
+		{"Predictions", PredictionsCodecID, Predictions{
+			Horizon: 3 * time.Second,
+			Trajectories: []prediction.Trajectory{
+				{TrackID: 1, Waypoints: []prediction.Waypoint{
+					{T: 250 * time.Millisecond, X: 39.6, Y: -1.2},
+					{T: 500 * time.Millisecond, X: 38.8, Y: -1.1},
+				}},
+				{TrackID: 2},
+			},
+		}},
+		{"Plan", PlanCodecID, Plan{
+			Trajectory: planning.Trajectory{Target: 1.5, Duration: 3.25, MaxJerk: 0.8, Cost: 2.25, Feasible: true},
+			Waypoints:  []control.Waypoint{{X: 3, Y: 0.5}, {X: 6, Y: 1.0}},
+			Candidates: 17,
+		}},
+		{"Command", control.CommandCodecID, Command{Steer: -0.125, Throttle: 0.6, Brake: 0.1}},
+		{"Environment", policy.EnvironmentCodecID, policy.Environment{
+			Speed: 12.5, AgentDistance: 34.25, HasAgent: true, CurrentResponse: 180 * time.Millisecond,
+		}},
+	}
+}
+
+// TestPayloadCodecRoundTrip checks that every pipeline payload decodes to a
+// value equal to the original through the registered codec — the same
+// guarantee the gob fallback gave for exported fields.
+func TestPayloadCodecRoundTrip(t *testing.T) {
+	for _, f := range codecFixtures() {
+		body := f.payload.MarshalFrame(nil)
+		got, err := comm.DecodeFrameBody(f.codecID, 1, body)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", f.name, err)
+		}
+		if !reflect.DeepEqual(got, any(f.payload)) {
+			t.Fatalf("%s: round trip mismatch:\n got %+v\nwant %+v", f.name, got, f.payload)
+		}
+		if f.payload.FrameCodec() != f.codecID {
+			t.Fatalf("%s: FrameCodec = %d, want %d", f.name, f.payload.FrameCodec(), f.codecID)
+		}
+	}
+}
+
+// TestPayloadCodecTruncation feeds every strict prefix of each encoded body
+// to its codec: all must error (the decoders always consume the complete
+// structure) and none may panic or over-allocate.
+func TestPayloadCodecTruncation(t *testing.T) {
+	for _, f := range codecFixtures() {
+		body := f.payload.MarshalFrame(nil)
+		for n := 0; n < len(body); n++ {
+			if _, err := comm.DecodeFrameBody(f.codecID, 1, body[:n]); err == nil {
+				t.Fatalf("%s: prefix of %d/%d bytes decoded without error", f.name, n, len(body))
+			}
+		}
+	}
+}
+
+// TestPayloadCodecVersionSkew: frames claiming a newer codec version than
+// the local build must be rejected, never mis-decoded.
+func TestPayloadCodecVersionSkew(t *testing.T) {
+	for _, f := range codecFixtures() {
+		body := f.payload.MarshalFrame(nil)
+		if _, err := comm.DecodeFrameBody(f.codecID, 2, body); err == nil {
+			t.Fatalf("%s: version 2 frame accepted by version 1 codec", f.name)
+		}
+	}
+}
+
+// TestZeroGobPylotCluster is the steady-state acceptance test: a pylot
+// pipeline split across two workers, with every boundary stream forwarded
+// across the wire, must send zero gob envelopes on the data plane — every
+// payload type rides a raw or typed binary frame.
+func TestZeroGobPylotCluster(t *testing.T) {
+	g := erdos.NewGraph()
+	Build(g, Config{TimeScale: 50, TargetSpeed: 12, Seed: 7})
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	raw := g.Raw()
+
+	// Ingest on w1; extract every boundary stream on both workers so each
+	// payload type (CameraFrame, Obstacles, Predictions, Plan, Command,
+	// plus the Environment and Duration policy streams) crosses the socket
+	// in some direction.
+	var camID, cmdID stream.ID
+	extract := map[stream.ID][]string{}
+	for _, s := range raw.Streams() {
+		extract[s.ID] = []string{"w1", "w2"}
+		switch s.Name {
+		case "camera":
+			camID = s.ID
+		case "commands":
+			cmdID = s.ID
+		}
+	}
+	ingestAt := map[stream.ID]string{camID: "w1"}
+
+	l, err := cluster.NewLeader("127.0.0.1:0", []string{"w1", "w2"}, raw, ingestAt, extract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes [2]*cluster.Node
+	var wg sync.WaitGroup
+	var errs [2]error
+	for i, name := range []string{"w1", "w2"} {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			nodes[i], errs[i] = cluster.Join(l.Addr(), name, raw, worker.Options{Threads: 4})
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	defer nodes[0].Close()
+	defer nodes[1].Close()
+	if err := l.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The affinity group keeps perception→prediction→planning on one
+	// worker even though only perception would land there round-robin.
+	assign := nodes[0].Schedule.Assignments
+	if assign["perception"] != assign["prediction"] || assign["perception"] != assign["planning"] {
+		t.Fatalf("affinity chain split across workers: %v", assign)
+	}
+
+	var mu sync.Mutex
+	var commands []Command
+	if err := nodes[1].Worker.Subscribe(cmdID, func(m message.Message) {
+		if !m.IsData() {
+			return
+		}
+		mu.Lock()
+		commands = append(commands, m.Payload.(Command))
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const frames = 12
+	for f := 1; f <= frames; f++ {
+		ts := erdos.T(uint64(f))
+		frame := CameraFrame{Seq: uint64(f), EgoSpeed: 12,
+			Agents: []tracking.Observation{{X: 80 - 2*float64(f), Y: 0}}}
+		if err := nodes[0].Worker.Inject(camID, message.Data(ts, frame)); err != nil {
+			t.Fatal(err)
+		}
+		if err := nodes[0].Worker.Inject(camID, message.Watermark(ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		mu.Lock()
+		n := len(commands)
+		mu.Unlock()
+		if n >= frames {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d commands, want %d", n, frames)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for i, n := range nodes {
+		sent := n.Transport.SentFrames()
+		recv := n.Transport.ReceivedFrames()
+		if sent.Gob != 0 || recv.Gob != 0 {
+			t.Fatalf("node %d: gob frames on the data plane: sent %+v recv %+v", i, sent, recv)
+		}
+	}
+	// The boundary payloads all cross from w1, so its typed counter must
+	// be busy (Commands, Obstacles, Predictions, Plans, Environment) and
+	// w2 forwards typed Duration allocations back.
+	if s := nodes[0].Transport.SentFrames(); s.Typed == 0 {
+		t.Fatalf("w1 sent no typed frames: %+v", s)
+	}
+	if s := nodes[1].Transport.SentFrames(); s.Typed == 0 {
+		t.Fatalf("w2 sent no typed frames: %+v", s)
+	}
+}

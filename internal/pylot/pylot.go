@@ -266,6 +266,12 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 	ctl.OnWatermark(func(ctx *erdos.Context) {})
 	ctl.Build()
 
+	// The perception→prediction→planning chain dominates the critical path
+	// of every frame; co-locating it keeps each timestamp's cascade of
+	// callbacks on one lattice shard (and, on a cluster, one worker) so
+	// intermediate payloads never cross a cache line or a socket.
+	g.Affinity("perception", "prediction", "planning")
+
 	return Handles{Camera: camera, Commands: commands, Plans: plans, Deadlines: deadlines}
 }
 
