@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz bench figures
+.PHONY: check fmt vet build test race fuzz chaos bench figures
 
 ## check: everything CI runs — formatting, vet, build, tests under -race,
 ## and a short fuzz smoke pass over the wire-format decoders
@@ -30,6 +30,15 @@ FUZZTIME ?= 3s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTimestampBinary -fuzztime $(FUZZTIME) ./internal/core/timestamp
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/core/comm
+
+## chaos: the fault-injection suite under the race detector — seeded worker
+## kills and operator stalls against live clusters, asserting detection
+## latency, exactly-once delivery across recovery, and DEH-surfaced misses
+CHAOS_COUNT ?= 3
+chaos:
+	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestChaosWorkerCrash' ./internal/pylot
+	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestFailover|TestReassign' ./internal/core/cluster
+	$(GO) test -race ./internal/core/faults
 
 ## bench: scheduler/data-plane micro-benchmarks -> BENCH_lattice.json
 bench:

@@ -88,8 +88,10 @@ type commBenchFile struct {
 	NumCPU      int                            `json:"num_cpu"`
 	GoMaxProcs  int                            `json:"go_max_procs"`
 	PreChange   []experiments.MicroBenchResult `json:"pre_change_gob_data_plane"`
+	PrePooling  []experiments.MicroBenchResult `json:"pre_pooling_receive_path"`
 	PostChange  []experiments.MicroBenchResult `json:"post_change"`
 	Speedup     map[string]map[string]float64  `json:"speedup_vs_pre_change"`
+	PoolSpeedup map[string]map[string]float64  `json:"speedup_vs_pre_pooling"`
 	Fig8cPre    []experiments.Fig8cPoint       `json:"fig8c_pre_change"`
 	Fig8cPost   []experiments.Fig8cPoint       `json:"fig8c_post_change"`
 }
@@ -102,7 +104,13 @@ func runCommBench(out string, msgs int) error {
 	for _, r := range pre {
 		preByName[r.Name] = r
 	}
+	prePool := experiments.PrePoolingCommBaseline
+	prePoolByName := map[string]experiments.MicroBenchResult{}
+	for _, r := range prePool {
+		prePoolByName[r.Name] = r
+	}
 	speedup := map[string]map[string]float64{}
+	poolSpeedup := map[string]map[string]float64{}
 	for _, r := range post {
 		fmt.Printf("%-28s %12.1f ns/op %8d B/op %5d allocs/op\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
@@ -112,6 +120,13 @@ func runCommBench(out string, msgs int) error {
 				"allocs":     float64(p.AllocsPerOp) / maxf(float64(r.AllocsPerOp), 1),
 			}
 			fmt.Printf("%-28s %12.2fx vs pre-change gob data plane\n", "", p.NsPerOp/r.NsPerOp)
+		}
+		if p, ok := prePoolByName[r.Name]; ok && r.NsPerOp > 0 {
+			poolSpeedup[r.Name] = map[string]float64{
+				"throughput": p.NsPerOp / r.NsPerOp,
+				"allocs":     float64(p.AllocsPerOp) / maxf(float64(r.AllocsPerOp), 1),
+			}
+			fmt.Printf("%-28s %12.2fx vs pre-pooling receive path\n", "", p.NsPerOp/r.NsPerOp)
 		}
 	}
 	fmt.Println("=== sensor scaling rerun (Fig. 8c) ===")
@@ -128,8 +143,10 @@ func runCommBench(out string, msgs int) error {
 		NumCPU:      runtime.NumCPU(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		PreChange:   pre,
+		PrePooling:  prePool,
 		PostChange:  post,
 		Speedup:     speedup,
+		PoolSpeedup: poolSpeedup,
 		Fig8cPre:    experiments.PreChangeFig8c,
 		Fig8cPost:   fig8cPost,
 	}

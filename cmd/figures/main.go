@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (2a,2b,2c,2d,3,8a,8b,8c,9,10,11,12,13,14,policy,all)")
+	fig := flag.String("fig", "all", "figure to regenerate (2a,2b,2c,2d,3,8a,8b,8c,9,10,11,12,13,14,policy,failover,all)")
 	seed := flag.Int64("seed", 42, "seed for the synthetic workloads")
 	km := flag.Float64("km", 50, "drive length for the suite figures")
 	msgs := flag.Int("msgs", 50, "messages per point for the messaging figures")
@@ -92,5 +92,8 @@ func main() {
 	}
 	if want("14") {
 		emit("14 (adapting to deadlines)", experiments.Fig14AdaptTimeline(6).Render())
+	}
+	if want("failover") {
+		emit("failover (reaction time vs heartbeat period)", experiments.FailoverReaction(5).Render())
 	}
 }

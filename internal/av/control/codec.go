@@ -8,12 +8,13 @@ import "github.com/erdos-go/erdos/internal/core/comm"
 const CommandCodecID uint64 = 2
 
 func init() {
+	comm.RegisterPayload(Command{})
 	comm.RegisterCodec(comm.Codec{
 		ID:      CommandCodecID,
 		Name:    "control.Command",
 		Version: 1,
 		Unmarshal: func(body []byte, _ uint8) (any, error) {
-			r := comm.NewFrameReader(body)
+			r := comm.ReaderOf(body)
 			var c Command
 			c.Steer = r.Float64()
 			c.Throttle = r.Float64()

@@ -10,6 +10,8 @@
 package tracking
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"time"
@@ -104,6 +106,74 @@ func NewTracker() *Tracker {
 
 // Tracks returns the live tracks.
 func (t *Tracker) Tracks() []*Track { return t.tracks }
+
+// Clone returns a deep copy: the copy's tracks are independent of the
+// original's, so a versioned-state commit can be read (checkpointed,
+// rolled back to) while the live tracker keeps mutating.
+func (t *Tracker) Clone() *Tracker {
+	c := &Tracker{GateDistance: t.GateDistance, MaxMisses: t.MaxMisses, nextID: t.nextID}
+	if len(t.tracks) > 0 {
+		c.tracks = make([]*Track, len(t.tracks))
+		for i, tr := range t.tracks {
+			cp := *tr
+			c.tracks[i] = &cp
+		}
+	}
+	return c
+}
+
+// trackGob flattens a Track's unexported velocity-estimation fields so a
+// checkpointed tracker resumes with identical dynamics, not just identical
+// positions.
+type trackGob struct {
+	Track
+	LastX, LastY float64
+	LastFrame    uint64
+	HasLast      bool
+}
+
+// trackerGob is the wire form of a Tracker for state checkpoints.
+type trackerGob struct {
+	GateDistance float64
+	MaxMisses    int
+	NextID       int
+	Tracks       []trackGob
+}
+
+// GobEncode serializes the tracker — including track identity allocation
+// and the velocity-estimation anchors — so operator-state checkpoints
+// carry it across a worker migration.
+func (t *Tracker) GobEncode() ([]byte, error) {
+	s := trackerGob{GateDistance: t.GateDistance, MaxMisses: t.MaxMisses, NextID: t.nextID}
+	for _, tr := range t.tracks {
+		s.Tracks = append(s.Tracks, trackGob{
+			Track: *tr, LastX: tr.lastX, LastY: tr.lastY,
+			LastFrame: tr.lastFrame, HasLast: tr.hasLast,
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a tracker serialized by GobEncode.
+func (t *Tracker) GobDecode(b []byte) error {
+	var s trackerGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
+		return err
+	}
+	t.GateDistance, t.MaxMisses, t.nextID = s.GateDistance, s.MaxMisses, s.NextID
+	t.tracks = t.tracks[:0]
+	for _, tg := range s.Tracks {
+		tr := tg.Track
+		tr.lastX, tr.lastY = tg.LastX, tg.LastY
+		tr.lastFrame, tr.hasLast = tg.LastFrame, tg.HasLast
+		t.tracks = append(t.tracks, &tr)
+	}
+	return nil
+}
 
 // Update advances every track by dt, associates the frame's observations,
 // spawns tracks for unmatched observations and retires stale tracks. It

@@ -1,10 +1,20 @@
 // Package cluster implements ERDOS' leader-worker architecture (§6 of the
 // paper). The leader owns a TCP control plane over which workers register;
 // it partitions the operator graph, distributes the schedule and stream
-// routing table, synchronizes initialization so every operator is ready
-// before any message flows, and then gets out of the way — the data plane
-// (package comm) runs worker-to-worker, keeping the leader off the critical
-// path.
+// routing table, and synchronizes initialization so every operator is ready
+// before any message flows. The data plane (package comm) runs
+// worker-to-worker, keeping the leader off the critical path.
+//
+// With a heartbeat period configured the leader stays resident after start
+// (§3.4): workers send periodic heartbeats carrying lazy state checkpoints,
+// the leader declares a worker dead after a configurable silence, re-places
+// its operators onto survivors (affinity groups intact), and pushes an
+// updated Schedule/Routes delta; survivors adopt the orphaned operators,
+// restore their time-versioned state at the last consistent watermark, and
+// replay recent traffic to the new owners, while the outage itself surfaces
+// to the application as deadline misses handled by the existing DEH
+// policies. With a zero heartbeat period the leader behaves exactly as
+// before: register → schedule → start → get out of the way.
 package cluster
 
 import (
@@ -13,10 +23,13 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/erdos-go/erdos/internal/core/comm"
 	"github.com/erdos-go/erdos/internal/core/graph"
 	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/state"
 	"github.com/erdos-go/erdos/internal/core/stream"
 	"github.com/erdos-go/erdos/internal/core/worker"
 )
@@ -37,9 +50,21 @@ type Schedule struct {
 	Routes []Route
 	// PeerAddrs maps worker name to its data-plane address.
 	PeerAddrs map[string]string
+	// Heartbeat is the worker heartbeat period; zero disables the
+	// resident control plane (one-shot leader).
+	Heartbeat time.Duration
+	// FailAfter is the heartbeat silence after which the leader declares
+	// a worker dead.
+	FailAfter time.Duration
+	// Epoch increments with every reschedule; workers ignore deltas for
+	// epochs they have already applied.
+	Epoch uint64
 }
 
-// control plane message types
+// Control plane message types. The registration/start phase exchanges the
+// typed messages directly; after start, the resident control plane wraps
+// every message in ctrlMsg so both directions can carry multiple types over
+// the same gob stream.
 type registerMsg struct {
 	Name     string
 	DataAddr string
@@ -48,11 +73,59 @@ type scheduleMsg struct{ Schedule Schedule }
 type readyMsg struct{ Name string }
 type startMsg struct{}
 
+// ctrlMsg is the post-start envelope.
+type ctrlMsg struct{ M any }
+
+// heartbeatMsg is sent worker→leader every Schedule.Heartbeat. Checkpoints
+// carries the worker's operator state snapshots (lazy checkpointing: the
+// recent committed versions per operator ride along with the heartbeat).
+// Frontiers carries the worker's per-input-stream received watermarks, the
+// raw material for the consistent restore cut on failover. A stale frontier
+// only understates progress, so the cut it produces is conservative — never
+// unsafe.
+type heartbeatMsg struct {
+	Name        string
+	Seq         uint64
+	Checkpoints map[string]state.Checkpoint
+	Frontiers   map[stream.ID]uint64
+}
+
+// rescheduleMsg is pushed leader→workers after a failure: the dead worker,
+// the new schedule, the last known checkpoints of the orphaned operators
+// for restore-on-migration, and per-orphan restore cuts (the newest
+// watermark each may restore at so that no output a surviving consumer
+// still needs is skipped; absent means unconstrained).
+type rescheduleMsg struct {
+	Dead        string
+	Schedule    Schedule
+	Checkpoints map[string]state.Checkpoint
+	RestoreAt   map[string]uint64
+}
+
+// rescheduleAckMsg confirms a worker applied the delta for Epoch.
+type rescheduleAckMsg struct {
+	Name  string
+	Epoch uint64
+}
+
+// replayMsg is the leader's barrier release: every survivor has applied
+// the Epoch delta (adopted operators are subscribed and fenced), so
+// producers may now replay their retained windows and start forwarding to
+// the new consumers. Without the barrier a replayed window could reach a
+// worker before it adopts the consuming operator and be lost.
+type replayMsg struct {
+	Epoch uint64
+}
+
 func init() {
 	gob.Register(registerMsg{})
 	gob.Register(scheduleMsg{})
 	gob.Register(readyMsg{})
 	gob.Register(startMsg{})
+	gob.Register(heartbeatMsg{})
+	gob.Register(rescheduleMsg{})
+	gob.Register(rescheduleAckMsg{})
+	gob.Register(replayMsg{})
 }
 
 // Placement computes the operator assignment for a graph: an operator's
@@ -98,6 +171,60 @@ func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
 		}
 	}
 	return assign, nil
+}
+
+// Reassign re-places a dead worker's operators onto the survivors: affinity
+// groups move as a unit (following any surviving member's worker when one
+// exists), pins to the dead worker are treated as unpinned, and each orphan
+// lands on the least-loaded survivor at that point (ties break
+// lexicographically), keeping the result deterministic.
+func Reassign(g *graph.Graph, assign map[string]string, dead string, survivors []string) map[string]string {
+	next := make(map[string]string, len(assign))
+	load := make(map[string]int, len(survivors))
+	for _, w := range survivors {
+		load[w] = 0
+	}
+	groupWorker := make(map[int]string)
+	for op, w := range assign {
+		if w == dead {
+			continue
+		}
+		next[op] = w
+		load[w]++
+		if gid, ok := g.AffinityOf(op); ok {
+			groupWorker[gid] = w
+		}
+	}
+	leastLoaded := func() string {
+		best := ""
+		for _, w := range survivors {
+			if best == "" || load[w] < load[best] || (load[w] == load[best] && w < best) {
+				best = w
+			}
+		}
+		return best
+	}
+	for _, op := range g.Operators() {
+		if assign[op.Name] != dead {
+			continue
+		}
+		gid, grouped := g.AffinityOf(op.Name)
+		var target string
+		if grouped {
+			if w, ok := groupWorker[gid]; ok {
+				target = w
+			}
+		}
+		if target == "" {
+			target = leastLoaded()
+		}
+		next[op.Name] = target
+		load[target]++
+		if grouped {
+			groupWorker[gid] = target
+		}
+	}
+	return next
 }
 
 // Routes computes the cross-worker forwarding table. ingestAt names the
@@ -157,20 +284,64 @@ func Routes(g *graph.Graph, assign map[string]string, workers []string, ingestAt
 	return routes
 }
 
+// session is the leader's view of one worker's control connection. After
+// the start phase the monitor goroutine is the only writer, so enc needs no
+// extra locking.
+type session struct {
+	name string
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	reg  registerMsg
+}
+
 // Leader runs the control plane for a fixed set of workers.
 type Leader struct {
-	ln      net.Listener
-	workers []string
-	g       *graph.Graph
-	ingest  map[stream.ID]string
-	extract map[stream.ID][]string
+	ln        net.Listener
+	workers   []string
+	g         *graph.Graph
+	heartbeat time.Duration
+	failAfter time.Duration
 
-	err  error
-	done chan struct{}
+	started chan struct{}
+	done    chan struct{}
+	quit    chan struct{}
+	quitSet sync.Once
+	wg      sync.WaitGroup
+
+	mu          sync.Mutex
+	err         error
+	sessions    map[string]*session
+	alive       map[string]bool
+	lastBeat    map[string]time.Time
+	ackEpoch    map[string]uint64
+	checkpoints map[string]map[string]state.Checkpoint
+	frontiers   map[string]map[stream.ID]uint64
+	assign      map[string]string
+	sched       Schedule
+	ingest      map[stream.ID]string
+	extract     map[stream.ID][]string
+	events      []Event
+}
+
+// LeaderOption configures NewLeader.
+type LeaderOption func(*Leader)
+
+// WithHeartbeat keeps the leader resident after start: workers heartbeat
+// every period, and a worker silent for failAfter is declared dead and its
+// operators re-placed. failAfter <= 0 defaults to 2x the period.
+func WithHeartbeat(period, failAfter time.Duration) LeaderOption {
+	return func(l *Leader) {
+		l.heartbeat = period
+		if failAfter <= 0 {
+			failAfter = 2 * period
+		}
+		l.failAfter = failAfter
+	}
 }
 
 // NewLeader starts a leader on addr expecting the named workers to join.
-func NewLeader(addr string, workers []string, g *graph.Graph, ingestAt map[stream.ID]string, extractAt map[stream.ID][]string) (*Leader, error) {
+func NewLeader(addr string, workers []string, g *graph.Graph, ingestAt map[stream.ID]string, extractAt map[stream.ID][]string, opts ...LeaderOption) (*Leader, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -178,7 +349,18 @@ func NewLeader(addr string, workers []string, g *graph.Graph, ingestAt map[strea
 	l := &Leader{
 		ln: ln, workers: workers, g: g,
 		ingest: ingestAt, extract: extractAt,
-		done: make(chan struct{}),
+		started:     make(chan struct{}),
+		done:        make(chan struct{}),
+		quit:        make(chan struct{}),
+		sessions:    make(map[string]*session),
+		alive:       make(map[string]bool),
+		lastBeat:    make(map[string]time.Time),
+		ackEpoch:    make(map[string]uint64),
+		checkpoints: make(map[string]map[string]state.Checkpoint),
+		frontiers:   make(map[string]map[stream.ID]uint64),
+	}
+	for _, o := range opts {
+		o(l)
 	}
 	go l.run()
 	return l, nil
@@ -187,72 +369,137 @@ func NewLeader(addr string, workers []string, g *graph.Graph, ingestAt map[strea
 // Addr returns the leader's control-plane address.
 func (l *Leader) Addr() string { return l.ln.Addr().String() }
 
-// Wait blocks until the cluster is started (or the leader failed).
+// Wait blocks until the cluster is started (or the leader failed). A
+// resident leader keeps running after Wait returns; use Stop to shut it
+// down.
 func (l *Leader) Wait() error {
-	<-l.done
+	<-l.started
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.err
+}
+
+// Stop shuts a resident leader down and waits for its goroutines. One-shot
+// leaders (no heartbeat) stop on their own; calling Stop is still safe.
+func (l *Leader) Stop() {
+	l.quitSet.Do(func() { close(l.quit) })
+	<-l.done
+}
+
+func (l *Leader) setErr(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
 }
 
 func (l *Leader) run() {
 	defer close(l.done)
-	defer l.ln.Close()
-	type session struct {
-		conn net.Conn
-		enc  *gob.Encoder
-		dec  *gob.Decoder
-		reg  registerMsg
+	err := l.startPhase()
+	if err != nil {
+		l.setErr(err)
 	}
-	sessions := make(map[string]*session)
-	for len(sessions) < len(l.workers) {
+	close(l.started)
+	if err != nil || l.heartbeat <= 0 {
+		l.closeSessions()
+		l.ln.Close()
+		return
+	}
+	// Resident mode: one reader per session keeps heartbeats and acks
+	// flowing in; the monitor turns heartbeat silence into failover.
+	now := time.Now()
+	l.mu.Lock()
+	sessions := make([]*session, 0, len(l.sessions))
+	for _, s := range l.sessions {
+		l.alive[s.name] = true
+		l.lastBeat[s.name] = now
+		sessions = append(sessions, s)
+	}
+	l.mu.Unlock()
+	for _, s := range sessions {
+		s := s
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			l.readSession(s)
+		}()
+	}
+	l.monitor()
+	l.closeSessions()
+	l.ln.Close()
+	l.wg.Wait()
+}
+
+// startPhase runs the original one-shot protocol: collect registrations,
+// push the schedule, collect readies, broadcast start.
+func (l *Leader) startPhase() error {
+	registered := 0
+	for registered < len(l.workers) {
 		conn, err := l.ln.Accept()
 		if err != nil {
-			l.err = err
-			return
+			return err
 		}
 		s := &session{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 		if err := s.dec.Decode(&s.reg); err != nil {
-			l.err = fmt.Errorf("cluster: register decode: %w", err)
-			return
+			return fmt.Errorf("cluster: register decode: %w", err)
 		}
-		sessions[s.reg.Name] = s
+		s.name = s.reg.Name
+		l.mu.Lock()
+		l.sessions[s.name] = s
+		registered = len(l.sessions)
+		l.mu.Unlock()
 	}
-	defer func() {
-		for _, s := range sessions {
-			s.conn.Close()
-		}
-	}()
 	assign, err := Placement(l.g, l.workers)
 	if err != nil {
-		l.err = err
-		return
+		return err
 	}
-	peerAddrs := make(map[string]string, len(sessions))
-	for name, s := range sessions {
+	l.mu.Lock()
+	peerAddrs := make(map[string]string, len(l.sessions))
+	for name, s := range l.sessions {
 		peerAddrs[name] = s.reg.DataAddr
 	}
 	sched := Schedule{
 		Assignments: assign,
 		Routes:      Routes(l.g, assign, l.workers, l.ingest, l.extract),
 		PeerAddrs:   peerAddrs,
+		Heartbeat:   l.heartbeat,
+		FailAfter:   l.failAfter,
 	}
+	l.assign, l.sched = assign, sched
+	sessions := make([]*session, 0, len(l.sessions))
+	for _, s := range l.sessions {
+		sessions = append(sessions, s)
+	}
+	l.mu.Unlock()
 	for _, s := range sessions {
 		if err := s.enc.Encode(scheduleMsg{Schedule: sched}); err != nil {
-			l.err = err
-			return
+			return err
 		}
 	}
 	for _, s := range sessions {
 		var r readyMsg
 		if err := s.dec.Decode(&r); err != nil {
-			l.err = fmt.Errorf("cluster: ready decode: %w", err)
-			return
+			return fmt.Errorf("cluster: ready decode: %w", err)
 		}
 	}
 	for _, s := range sessions {
 		if err := s.enc.Encode(startMsg{}); err != nil {
-			l.err = err
-			return
+			return err
 		}
+	}
+	return nil
+}
+
+func (l *Leader) closeSessions() {
+	l.mu.Lock()
+	sessions := make([]*session, 0, len(l.sessions))
+	for _, s := range l.sessions {
+		sessions = append(sessions, s)
+	}
+	l.mu.Unlock()
+	for _, s := range sessions {
+		s.conn.Close()
 	}
 }
 
@@ -262,53 +509,129 @@ type Node struct {
 	Name      string
 	Worker    *worker.Worker
 	Transport *comm.Transport
-	Schedule  Schedule
 
+	g        *graph.Graph
+	ctrlConn net.Conn
+	enc      *gob.Encoder
+	encMu    sync.Mutex
+
+	mu       sync.Mutex
+	schedule Schedule
+	epoch    uint64
+	// fwd holds per-stream forwarding state for locally-produced streams
+	// (map guarded by mu; each entry has its own lock serializing sends).
+	fwd map[stream.ID]*fwdState
+	// pending are replay obligations deferred to the leader's replay
+	// barrier for the pendingEpoch reschedule.
+	pending      []pendingReplay
+	pendingEpoch uint64
+
+	forwarded atomic.Uint64
+	stop      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+}
+
+// fwdState is one locally-produced stream's forwarding state. Its mutex
+// serializes live forwarding with reschedule-time replay, so a retained
+// window is always delivered to a new consumer before any newer message.
+type fwdState struct {
 	mu        sync.Mutex
-	forwarded uint64
+	consumers []string
+	ring      *replayRing
+}
+
+// pendingReplay is a deferred ring replay: once the leader confirms every
+// survivor applied the epoch, the stream's retained window is sent to the
+// added consumers and the full consumer list takes effect.
+type pendingReplay struct {
+	id        stream.ID
+	consumers []string
+}
+
+// Schedule returns the node's current schedule (updated on reschedule).
+func (n *Node) Schedule() Schedule {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.schedule
+}
+
+// Epoch returns the newest schedule epoch the node has applied.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// joinCfg carries Join's optional knobs.
+type joinCfg struct {
+	commOpts []comm.Option
+}
+
+// JoinOption configures Join.
+type JoinOption func(*joinCfg)
+
+// WithCommOptions passes transport options (fault-injection hooks, codec
+// filters) through to the node's data-plane transport.
+func WithCommOptions(opts ...comm.Option) JoinOption {
+	return func(c *joinCfg) { c.commOpts = append(c.commOpts, opts...) }
 }
 
 // Join connects to the leader at addr, registers, builds the local worker
 // for graph g, wires the data plane per the schedule, and returns once the
-// leader starts the cluster.
-func Join(addr, name string, g *graph.Graph, opts worker.Options) (*Node, error) {
+// leader starts the cluster. When the schedule carries a heartbeat period
+// the node stays attached to the leader: it heartbeats with lazy state
+// checkpoints and applies reschedule deltas after failures.
+func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinOption) (*Node, error) {
+	var cfg joinCfg
+	for _, o := range jopts {
+		o(&cfg)
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 
-	n := &Node{Name: name}
+	n := &Node{
+		Name:     name,
+		g:        g,
+		ctrlConn: conn,
+		enc:      enc,
+		fwd:      make(map[stream.ID]*fwdState),
+		stop:     make(chan struct{}),
+	}
+	fail := func(err error) (*Node, error) {
+		n.Close()
+		return nil, err
+	}
 	tr, err := comm.Listen(name, "127.0.0.1:0", func(_ string, id stream.ID, m message.Message) {
 		if n.Worker != nil {
 			_ = n.Worker.Inject(id, m)
 		}
-	})
+	}, cfg.commOpts...)
 	if err != nil {
+		conn.Close()
 		return nil, err
 	}
 	n.Transport = tr
 
 	if err := enc.Encode(registerMsg{Name: name, DataAddr: tr.Addr()}); err != nil {
-		tr.Close()
-		return nil, err
+		return fail(err)
 	}
 	var sm scheduleMsg
 	if err := dec.Decode(&sm); err != nil {
-		tr.Close()
-		return nil, fmt.Errorf("cluster: schedule decode: %w", err)
+		return fail(fmt.Errorf("cluster: schedule decode: %w", err))
 	}
-	n.Schedule = sm.Schedule
+	n.schedule = sm.Schedule
 
 	opts.Name = name
 	assign := sm.Schedule.Assignments
 	opts.Owns = func(op string) bool { return assign[op] == name }
 	w, err := worker.New(g, opts)
 	if err != nil {
-		tr.Close()
-		return nil, err
+		return fail(err)
 	}
 	n.Worker = w
 
@@ -319,65 +642,112 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options) (*Node, error)
 			continue
 		}
 		if err := tr.Dial(peerAddr); err != nil {
-			n.Close()
-			return nil, fmt.Errorf("cluster: dial %s: %w", peerName, err)
+			return fail(fmt.Errorf("cluster: dial %s: %w", peerName, err))
 		}
 	}
 
 	// Install forwarding for streams produced here with remote readers.
+	resident := sm.Schedule.Heartbeat > 0
 	for _, r := range sm.Schedule.Routes {
 		if r.Producer != name {
 			continue
 		}
-		consumers := append([]string(nil), r.Consumers...)
-		id := stream.ID(r.Stream)
-		err := w.Subscribe(id, func(m message.Message) {
-			// The producing operator's deadline slack bounds how long the
-			// transport may hold the frame for coalescing; messages with no
-			// armed deadline flush on queue drain as before.
-			var hint comm.FlushHint
-			if dl, ok := w.SendDeadline(id, m.Timestamp); ok {
-				hint.FlushBy = dl
-			}
-			for _, c := range consumers {
-				if err := tr.SendWithHint(c, id, m, hint); err == nil {
-					n.mu.Lock()
-					n.forwarded++
-					n.mu.Unlock()
-				}
-			}
-		})
-		if err != nil {
-			n.Close()
-			return nil, err
+		if err := n.setForwarding(stream.ID(r.Stream), r.Consumers, resident); err != nil {
+			return fail(err)
 		}
 	}
 
 	if err := enc.Encode(readyMsg{Name: name}); err != nil {
-		n.Close()
-		return nil, err
+		return fail(err)
 	}
 	var st startMsg
 	if err := dec.Decode(&st); err != nil {
-		n.Close()
-		return nil, fmt.Errorf("cluster: start decode: %w", err)
+		return fail(fmt.Errorf("cluster: start decode: %w", err))
+	}
+
+	if resident {
+		n.wg.Add(2)
+		go func() {
+			defer n.wg.Done()
+			n.heartbeatLoop(sm.Schedule.Heartbeat)
+		}()
+		go func() {
+			defer n.wg.Done()
+			n.controlLoop(dec)
+		}()
+	} else {
+		conn.Close()
+		n.ctrlConn = nil
 	}
 	return n, nil
 }
 
-// Forwarded returns how many messages this node shipped to remote peers.
-func (n *Node) Forwarded() uint64 {
+// setForwarding installs or updates the remote consumer list of a
+// locally-produced stream, subscribing the forwarding tap on first use.
+// Ring buffering is enabled for resident clusters so a reschedule can
+// replay the recent window to a new consumer.
+func (n *Node) setForwarding(id stream.ID, consumers []string, ring bool) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.forwarded
+	fs := n.fwd[id]
+	needSub := fs == nil
+	if needSub {
+		fs = &fwdState{}
+		n.fwd[id] = fs
+	}
+	n.mu.Unlock()
+	fs.mu.Lock()
+	fs.consumers = append([]string(nil), consumers...)
+	if ring && fs.ring == nil {
+		fs.ring = newReplayRing(replayDepth)
+	}
+	fs.mu.Unlock()
+	if !needSub {
+		return nil
+	}
+	w, tr := n.Worker, n.Transport
+	return w.Subscribe(id, func(m message.Message) {
+		// The producing operator's deadline slack bounds how long the
+		// transport may hold the frame for coalescing; messages with no
+		// armed deadline flush on queue drain as before.
+		var hint comm.FlushHint
+		if dl, ok := w.SendDeadline(id, m.Timestamp); ok {
+			hint.FlushBy = dl
+		}
+		// Ring append and sends happen under the stream lock: a replay in
+		// progress finishes delivering the retained window to a new
+		// consumer before this (newer) message can reach it.
+		fs.mu.Lock()
+		if fs.ring != nil {
+			fs.ring.add(m)
+		}
+		for _, c := range fs.consumers {
+			if err := tr.SendWithHint(c, id, m, hint); err == nil {
+				n.forwarded.Add(1)
+			}
+		}
+		fs.mu.Unlock()
+	})
 }
 
-// Close tears the node down.
+// Forwarded returns how many messages this node shipped to remote peers.
+func (n *Node) Forwarded() uint64 { return n.forwarded.Load() }
+
+// Close tears the node down gracefully.
 func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	if n.ctrlConn != nil {
+		n.ctrlConn.Close()
+	}
 	if n.Transport != nil {
 		n.Transport.Close()
 	}
 	if n.Worker != nil {
 		n.Worker.Stop()
 	}
+	n.wg.Wait()
 }
+
+// Kill tears the node down ungracefully — no deregistration, no draining —
+// emulating a crashed worker process. The leader only learns of the death
+// through heartbeat silence, exactly as it would for a real crash.
+func (n *Node) Kill() { n.Close() }

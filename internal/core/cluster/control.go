@@ -1,0 +1,586 @@
+// Resident control plane: heartbeat-driven failure detection on the leader
+// and reschedule application on the nodes. See the package comment for the
+// protocol overview.
+package cluster
+
+import (
+	"encoding/gob"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/state"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+// EventKind enumerates the leader's failover log entries.
+type EventKind int
+
+const (
+	// EventFailureDetected marks the instant heartbeat silence crossed
+	// FailAfter for a worker.
+	EventFailureDetected EventKind = iota
+	// EventRescheduled marks the reschedule delta being pushed.
+	EventRescheduled
+	// EventRecovered marks all surviving workers acknowledging the delta.
+	EventRecovered
+	// EventClusterLost marks a failure with no survivors to fail over to.
+	EventClusterLost
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventFailureDetected:
+		return "failure-detected"
+	case EventRescheduled:
+		return "rescheduled"
+	case EventRecovered:
+		return "recovered"
+	case EventClusterLost:
+		return "cluster-lost"
+	}
+	return "unknown"
+}
+
+// Event is one entry in the leader's failover log.
+type Event struct {
+	Kind EventKind
+	// Worker is the dead worker the event concerns.
+	Worker string
+	// At is the wall clock of the event.
+	At time.Time
+	// Epoch is the schedule epoch the event belongs to (the new epoch for
+	// reschedule/recovery events).
+	Epoch uint64
+}
+
+// Events returns a copy of the leader's failover log.
+func (l *Leader) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// readSession drains one worker's control connection after start:
+// heartbeats refresh the liveness clock and stash the worker's lazy
+// checkpoints; acks advance the worker's applied epoch.
+func (l *Leader) readSession(s *session) {
+	for {
+		var cm ctrlMsg
+		if err := s.dec.Decode(&cm); err != nil {
+			return
+		}
+		switch m := cm.M.(type) {
+		case heartbeatMsg:
+			l.mu.Lock()
+			l.lastBeat[m.Name] = time.Now()
+			if len(m.Checkpoints) > 0 {
+				l.checkpoints[m.Name] = m.Checkpoints
+			}
+			if m.Frontiers != nil {
+				l.frontiers[m.Name] = m.Frontiers
+			}
+			l.mu.Unlock()
+		case rescheduleAckMsg:
+			l.mu.Lock()
+			if m.Epoch > l.ackEpoch[m.Name] {
+				l.ackEpoch[m.Name] = m.Epoch
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// monitor polls heartbeat ages and runs failover when one crosses
+// FailAfter. Polling at a quarter of the fail window keeps worst-case
+// detection latency at FailAfter + FailAfter/4 past the last heartbeat.
+func (l *Leader) monitor() {
+	tick := l.failAfter / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		var dead []string
+		l.mu.Lock()
+		for w, up := range l.alive {
+			if up && now.Sub(l.lastBeat[w]) > l.failAfter {
+				dead = append(dead, w)
+			}
+		}
+		l.mu.Unlock()
+		sort.Strings(dead)
+		for _, d := range dead {
+			l.failover(d)
+		}
+	}
+}
+
+// failover re-places a dead worker's operators onto the survivors and
+// pushes the new schedule, shipping the dead worker's last known
+// checkpoints so the adopters can restore state at the last consistent
+// watermark.
+func (l *Leader) failover(dead string) {
+	detected := time.Now()
+	l.mu.Lock()
+	if !l.alive[dead] {
+		l.mu.Unlock()
+		return
+	}
+	l.alive[dead] = false
+	var survivors []string
+	for w, up := range l.alive {
+		if up {
+			survivors = append(survivors, w)
+		}
+	}
+	sort.Strings(survivors)
+	epoch := l.sched.Epoch + 1
+	l.events = append(l.events, Event{Kind: EventFailureDetected, Worker: dead, At: detected, Epoch: epoch})
+	if len(survivors) == 0 {
+		l.events = append(l.events, Event{Kind: EventClusterLost, Worker: dead, At: time.Now(), Epoch: epoch})
+		l.mu.Unlock()
+		return
+	}
+
+	assign := Reassign(l.g, l.assign, dead, survivors)
+	// Re-home ingest injection and extraction points that lived on the
+	// dead worker so the routing table never names it.
+	ingest := make(map[stream.ID]string, len(l.ingest))
+	for id, w := range l.ingest {
+		if w == dead {
+			w = survivors[0]
+		}
+		ingest[id] = w
+	}
+	extract := make(map[stream.ID][]string, len(l.extract))
+	for id, ws := range l.extract {
+		keep := make([]string, 0, len(ws))
+		for _, w := range ws {
+			if w != dead {
+				keep = append(keep, w)
+			}
+		}
+		extract[id] = keep
+	}
+	peerAddrs := make(map[string]string, len(l.sched.PeerAddrs))
+	for w, a := range l.sched.PeerAddrs {
+		if w != dead {
+			peerAddrs[w] = a
+		}
+	}
+	sched := Schedule{
+		Assignments: assign,
+		Routes:      Routes(l.g, assign, survivors, ingest, extract),
+		PeerAddrs:   peerAddrs,
+		Heartbeat:   l.heartbeat,
+		FailAfter:   l.failAfter,
+		Epoch:       epoch,
+	}
+	// Only checkpoints for operators that actually lived on the dead
+	// worker travel with the delta.
+	cps := make(map[string]state.Checkpoint)
+	for op, cp := range l.checkpoints[dead] {
+		if l.assign[op] == dead {
+			cps[op] = cp
+		}
+	}
+	// The consistent restore cut: each orphan may only restore as far
+	// forward as every consumer of its outputs has provably received —
+	// anything newer the dead worker produced may have been lost in flight
+	// and must be regenerated by re-processing past the cut.
+	cuts := restoreCuts(l.g, l.assign, dead, l.frontiers, cps)
+	l.assign, l.sched, l.ingest, l.extract = assign, sched, ingest, extract
+	var sessions []*session
+	for _, w := range survivors {
+		if s, ok := l.sessions[w]; ok {
+			sessions = append(sessions, s)
+		}
+	}
+	l.events = append(l.events, Event{Kind: EventRescheduled, Worker: dead, At: time.Now(), Epoch: epoch})
+	l.mu.Unlock()
+
+	rm := rescheduleMsg{Dead: dead, Schedule: sched, Checkpoints: cps, RestoreAt: cuts}
+	for _, s := range sessions {
+		_ = s.enc.Encode(ctrlMsg{M: rm})
+	}
+	if !l.awaitAcks(survivors, epoch) {
+		return
+	}
+	// Barrier release: every survivor has adopted and fenced its share of
+	// the orphans, so producers can replay retained windows without racing
+	// a not-yet-subscribed consumer.
+	for _, s := range sessions {
+		_ = s.enc.Encode(ctrlMsg{M: replayMsg{Epoch: epoch}})
+	}
+	l.mu.Lock()
+	l.events = append(l.events, Event{Kind: EventRecovered, Worker: dead, At: time.Now(), Epoch: epoch})
+	l.mu.Unlock()
+}
+
+// restoreCuts computes, per orphaned operator, the newest watermark it may
+// be restored at without skipping an output some consumer still needs: the
+// minimum over its output streams of (a) every surviving reader's reported
+// frontier on that stream — everything at or below a frontier has reached
+// the reader, anything newer may have died in flight with the worker — and
+// (b) every co-orphaned reader's own predicted restore point, since a
+// restored consumer re-processes past its fence and needs those inputs
+// regenerated. (b) makes this a fixpoint over the orphan set; it converges
+// in at most one pass per orphan because cuts only decrease. A reader with
+// no reported frontier yet contributes zero (restore at the oldest retained
+// version — conservative, never unsafe: over-regenerated outputs are
+// stale-dropped at consumer fences). Operators with no readers are
+// unconstrained.
+func restoreCuts(g *graph.Graph, assign map[string]string, dead string,
+	frontiers map[string]map[stream.ID]uint64, cps map[string]state.Checkpoint) map[string]uint64 {
+	readers := make(map[stream.ID][]string)
+	outputs := make(map[string][]stream.ID)
+	cuts := make(map[string]uint64)
+	for _, spec := range g.Operators() {
+		for _, in := range spec.Inputs {
+			readers[in] = append(readers[in], spec.Name)
+		}
+		if assign[spec.Name] == dead {
+			outputs[spec.Name] = spec.Outputs
+			cuts[spec.Name] = math.MaxUint64
+		}
+	}
+	// predicted restore point of an orphaned reader: what its checkpoint
+	// will actually fence at for the current cut (possibly older than the
+	// cut itself when no version lands exactly on it).
+	fence := func(op string) uint64 {
+		if cp, ok := cps[op]; ok {
+			return cp.PickL(cuts[op])
+		}
+		return cuts[op]
+	}
+	for changed := true; changed; {
+		changed = false
+		for op, outs := range outputs {
+			cut := cuts[op]
+			for _, out := range outs {
+				for _, r := range readers[out] {
+					var c uint64
+					if assign[r] == dead {
+						c = fence(r)
+					} else {
+						c = frontiers[assign[r]][out]
+					}
+					if c < cut {
+						cut = c
+					}
+				}
+			}
+			if cut < cuts[op] {
+				cuts[op] = cut
+				changed = true
+			}
+		}
+	}
+	return cuts
+}
+
+// awaitAcks waits until every survivor has acknowledged epoch (bounded by
+// 4x the fail window so a wedged survivor cannot stall the monitor
+// forever). A survivor that dies mid-recovery is excused — it gets its own
+// failover pass.
+func (l *Leader) awaitAcks(survivors []string, epoch uint64) bool {
+	deadline := time.Now().Add(4 * l.failAfter)
+	for time.Now().Before(deadline) {
+		select {
+		case <-l.quit:
+			return false
+		case <-time.After(time.Millisecond):
+		}
+		l.mu.Lock()
+		acked := 0
+		for _, w := range survivors {
+			if !l.alive[w] || l.ackEpoch[w] >= epoch {
+				acked++
+			}
+		}
+		done := acked == len(survivors)
+		l.mu.Unlock()
+		if done {
+			return true
+		}
+	}
+	return false
+}
+
+// replayDepth bounds how many recent messages per stream a node retains
+// for re-delivery to a reassigned consumer. The receiver's restored
+// watermark stale-drops anything already applied, so replaying too much is
+// merely redundant, never incorrect.
+const replayDepth = 512
+
+// replayRing is a fixed-size ring of a stream's most recent messages
+// (data and watermarks, in send order).
+type replayRing struct {
+	buf   []message.Message
+	start int
+	n     int
+}
+
+func newReplayRing(depth int) *replayRing {
+	return &replayRing{buf: make([]message.Message, depth)}
+}
+
+func (r *replayRing) add(m message.Message) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = m
+		r.n++
+		return
+	}
+	r.buf[r.start] = m
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+func (r *replayRing) snapshot() []message.Message {
+	out := make([]message.Message, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// heartbeatLoop ships heartbeats (with the worker's current operator
+// checkpoints) until the node stops or the leader goes away.
+func (n *Node) heartbeatLoop(period time.Duration) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		seq++
+		hb := heartbeatMsg{Name: n.Name, Seq: seq,
+			Checkpoints: n.Worker.Checkpoints(), Frontiers: n.Worker.Frontiers()}
+		n.encMu.Lock()
+		err := n.enc.Encode(ctrlMsg{M: hb})
+		n.encMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// controlLoop applies leader pushes (reschedule deltas and replay-barrier
+// releases) until the control connection drops.
+func (n *Node) controlLoop(dec *gob.Decoder) {
+	for {
+		var cm ctrlMsg
+		if err := dec.Decode(&cm); err != nil {
+			return
+		}
+		switch m := cm.M.(type) {
+		case rescheduleMsg:
+			n.applyReschedule(m)
+		case replayMsg:
+			n.runReplay(m.Epoch)
+		}
+	}
+}
+
+// applyReschedule is the survivor side of failover:
+//
+//  1. drop the dead peer's data-plane connection;
+//  2. adopt orphaned operators assigned here, restoring their
+//     time-versioned state from the shipped checkpoints (the restored
+//     watermark fences out replayed duplicates) and replaying
+//     locally-produced input windows inside the adoption window;
+//  3. retarget forwarding: dropped consumers stop immediately, while
+//     additions are deferred to the leader's replay barrier so the
+//     retained window reaches the new consumer first;
+//  4. re-dial any peer the mesh lost (exponential backoff), and
+//  5. ack the epoch to the leader.
+func (n *Node) applyReschedule(rm rescheduleMsg) {
+	n.mu.Lock()
+	if rm.Schedule.Epoch <= n.epoch {
+		n.mu.Unlock()
+		n.ack(rm.Schedule.Epoch)
+		return
+	}
+	n.epoch = rm.Schedule.Epoch
+	n.schedule = rm.Schedule
+	n.mu.Unlock()
+
+	n.Transport.Disconnect(rm.Dead)
+
+	// Adopt orphans assigned here. Inputs produced on this node have
+	// their retained windows replayed atomically with the adoption: the
+	// forwarding locks are held across the ring snapshot and the
+	// operator's input subscription, so no live message can overtake the
+	// replayed window.
+	for _, spec := range n.g.Operators() {
+		if rm.Schedule.Assignments[spec.Name] != n.Name || n.Worker.Has(spec.Name) {
+			continue
+		}
+		var cp *state.Checkpoint
+		if c, ok := rm.Checkpoints[spec.Name]; ok {
+			c := c
+			cp = &c
+		}
+		replay := make(map[stream.ID][]message.Message)
+		var locked []*fwdState
+		n.mu.Lock()
+		local := make(map[stream.ID]*fwdState)
+		for _, in := range spec.Inputs {
+			if fs := n.fwd[in]; fs != nil {
+				local[in] = fs
+			}
+		}
+		n.mu.Unlock()
+		for in, fs := range local {
+			fs.mu.Lock()
+			locked = append(locked, fs)
+			if fs.ring != nil {
+				replay[in] = fs.ring.snapshot()
+			}
+		}
+		restoreAt := uint64(math.MaxUint64)
+		if r, ok := rm.RestoreAt[spec.Name]; ok {
+			restoreAt = r
+		}
+		_ = n.Worker.Adopt(spec.Name, cp, restoreAt, replay)
+		for _, fs := range locked {
+			fs.mu.Unlock()
+		}
+	}
+
+	// Retarget forwarding. Streams newly produced here (adopted
+	// operators' outputs) have no history and subscribe immediately;
+	// existing streams shrink to the consumers they keep, with additions
+	// parked until the barrier.
+	routed := make(map[stream.ID][]string)
+	for _, r := range rm.Schedule.Routes {
+		if r.Producer == n.Name {
+			routed[stream.ID(r.Stream)] = r.Consumers
+		}
+	}
+	n.mu.Lock()
+	for id := range n.fwd {
+		if _, ok := routed[id]; !ok {
+			routed[id] = nil
+		}
+	}
+	n.mu.Unlock()
+	var pend []pendingReplay
+	for id, consumers := range routed {
+		n.mu.Lock()
+		fs := n.fwd[id]
+		n.mu.Unlock()
+		if fs == nil {
+			_ = n.setForwarding(id, consumers, true)
+			continue
+		}
+		next := make(map[string]bool, len(consumers))
+		for _, c := range consumers {
+			next[c] = true
+		}
+		fs.mu.Lock()
+		keep := fs.consumers[:0]
+		prev := make(map[string]bool, len(fs.consumers))
+		for _, c := range fs.consumers {
+			prev[c] = true
+			if next[c] {
+				keep = append(keep, c)
+			}
+		}
+		fs.consumers = keep
+		fs.mu.Unlock()
+		for _, c := range consumers {
+			if !prev[c] {
+				pend = append(pend, pendingReplay{id: id, consumers: consumers})
+				break
+			}
+		}
+	}
+	n.mu.Lock()
+	n.pending, n.pendingEpoch = pend, rm.Schedule.Epoch
+	n.mu.Unlock()
+
+	// Re-dial missing peers. The same ordering rule as Join avoids both
+	// sides of a pair racing to reconnect; backoff rides over peers that
+	// are themselves mid-recovery.
+	known := make(map[string]bool)
+	for _, p := range n.Transport.Peers() {
+		known[p] = true
+	}
+	for peerName, peerAddr := range rm.Schedule.PeerAddrs {
+		if peerName <= n.Name || known[peerName] {
+			continue
+		}
+		addr := peerAddr
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			_ = n.Transport.DialBackoff(addr, 8, 5*time.Millisecond)
+		}()
+	}
+
+	n.ack(rm.Schedule.Epoch)
+}
+
+// runReplay delivers the parked windows once the leader's barrier
+// confirms every survivor is fenced and subscribed. Receivers restored at
+// watermark L drop everything at or below L, so replaying the whole ring
+// is exactly-once from the application's point of view.
+func (n *Node) runReplay(epoch uint64) {
+	n.mu.Lock()
+	if epoch != n.pendingEpoch {
+		n.mu.Unlock()
+		return
+	}
+	pend := n.pending
+	n.pending = nil
+	n.mu.Unlock()
+	for _, p := range pend {
+		n.mu.Lock()
+		fs := n.fwd[p.id]
+		n.mu.Unlock()
+		if fs == nil {
+			continue
+		}
+		fs.mu.Lock()
+		prev := make(map[string]bool, len(fs.consumers))
+		for _, c := range fs.consumers {
+			prev[c] = true
+		}
+		var added []string
+		for _, c := range p.consumers {
+			if !prev[c] {
+				added = append(added, c)
+			}
+		}
+		if fs.ring != nil && len(added) > 0 {
+			for _, m := range fs.ring.snapshot() {
+				for _, c := range added {
+					if err := n.Transport.Send(c, p.id, m); err == nil {
+						n.forwarded.Add(1)
+					}
+				}
+			}
+		}
+		fs.consumers = append([]string(nil), p.consumers...)
+		fs.mu.Unlock()
+	}
+}
+
+func (n *Node) ack(epoch uint64) {
+	n.encMu.Lock()
+	_ = n.enc.Encode(ctrlMsg{M: rescheduleAckMsg{Name: n.Name, Epoch: epoch}})
+	n.encMu.Unlock()
+}

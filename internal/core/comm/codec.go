@@ -33,7 +33,9 @@ type Codec struct {
 	Version uint8
 	// Unmarshal decodes a frame body produced by MarshalFrame at the
 	// given version and returns the payload value (not a pointer) so it
-	// round-trips identically to the gob path.
+	// round-trips identically to the gob path. The body slice is pooled
+	// and reused after Unmarshal returns: implementations must copy any
+	// bytes they keep (FrameReader.String already copies).
 	Unmarshal func(body []byte, version uint8) (any, error)
 }
 
@@ -52,7 +54,7 @@ func init() {
 		Name:    "time.Duration",
 		Version: 1,
 		Unmarshal: func(body []byte, _ uint8) (any, error) {
-			r := NewFrameReader(body)
+			r := ReaderOf(body)
 			d := time.Duration(r.Varint())
 			return d, r.Err()
 		},
@@ -149,8 +151,15 @@ type FrameReader struct {
 	err error
 }
 
-// NewFrameReader returns a reader over body.
+// NewFrameReader returns a reader over body. Prefer ReaderOf in codec hot
+// paths: the pointer returned here escapes and costs one heap allocation
+// per decoded frame.
 func NewFrameReader(body []byte) *FrameReader { return &FrameReader{b: body} }
+
+// ReaderOf returns a by-value FrameReader over body. Kept on the caller's
+// stack it makes typed-frame decoding allocation-free apart from the
+// payload itself.
+func ReaderOf(body []byte) FrameReader { return FrameReader{b: body} }
 
 // Err returns the first decode error, or nil.
 func (r *FrameReader) Err() error { return r.err }

@@ -18,6 +18,14 @@
 // a byte budget and — for frames carrying a FlushHint — the minimum deadline
 // slack of the queued streams; frames without a hint flush as soon as the
 // queue drains, exactly like the pre-coalescing behavior.
+//
+// The handshake carries codec negotiation: each side advertises its
+// registered typed-frame codec IDs and versions, and the sender downgrades a
+// payload to the gob Envelope path per peer when the receiver cannot decode
+// the local typed encoding (unknown codec or older version) — version-skewed
+// builds interoperate instead of dropping the connection. Connections are
+// removed from the peer table when they die, so a later Dial (reconnect with
+// backoff after a failure) can re-establish the pair.
 package comm
 
 import (
@@ -126,6 +134,7 @@ type Transport struct {
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
+	opts   options
 
 	sent, received atomic.Uint64
 
@@ -181,6 +190,9 @@ type outMsg struct {
 	// flushBy is the frame's coalescing deadline; zero means flush on
 	// queue drain.
 	flushBy time.Time
+	// release marks a SendRelease message: once the frame is on the wire
+	// the []byte payload is recycled into the payload pool.
+	release bool
 }
 
 type peer struct {
@@ -190,18 +202,87 @@ type peer struct {
 	bw   *bufio.Writer
 	out  chan outMsg
 	done chan struct{}
+	// codecs is the remote side's codec advertisement from the handshake
+	// (id -> newest version it decodes); immutable after the handshake.
+	// nil means the peer predates negotiation and is assumed to share our
+	// registry (same-build cluster).
+	codecs map[uint64]uint8
+	once   sync.Once
 }
 
-type hello struct{ Name string }
+// close is idempotent: the read loop, the write loop, Disconnect and Close
+// can all race to tear a connection down.
+func (p *peer) close() {
+	p.once.Do(func() {
+		close(p.done)
+		p.conn.Close()
+	})
+}
+
+// CodecAd advertises one registered codec in the hello handshake.
+type CodecAd struct {
+	ID  uint64
+	Ver uint8
+}
+
+type hello struct {
+	Name string
+	// Codecs lists the typed-frame codecs this build decodes. A sender
+	// consults the peer's advertisement before choosing the typed path and
+	// downgrades to gob when the peer lacks the codec or runs an older
+	// version — mixed builds interoperate instead of dropping frames.
+	Codecs []CodecAd
+}
+
+// ConnHook observes and may wrap data-plane connections as they are
+// established, before the handshake runs. Fault-injection harnesses use it
+// to sever, delay or corrupt specific links; a hook that also implements
+// PeerNamer learns which worker each connection belongs to.
+type ConnHook interface {
+	WrapConn(c net.Conn) net.Conn
+}
+
+// PeerNamer is an optional ConnHook extension: NamePeer is called after the
+// handshake with the wrapped connection and the remote worker's name.
+type PeerNamer interface {
+	NamePeer(c net.Conn, peer string)
+}
+
+type options struct {
+	hook ConnHook
+	// codecOK filters which registered codecs are advertised; nil means
+	// all of them. Tests use it to simulate a build missing a codec.
+	codecOK func(id uint64) bool
+}
+
+// Option configures Listen.
+type Option func(*options)
+
+// WithConnHook installs a fault-injection hook on every connection the
+// transport establishes or accepts.
+func WithConnHook(h ConnHook) Option {
+	return func(o *options) { o.hook = h }
+}
+
+// WithCodecFilter restricts which registered codecs the transport
+// advertises in its handshake, simulating a build without them. Frames for
+// filtered codecs still decode locally if received; the filter only shapes
+// what remote senders are told.
+func WithCodecFilter(ok func(id uint64) bool) Option {
+	return func(o *options) { o.codecOK = ok }
+}
 
 // Listen starts a transport for worker name on addr (use "127.0.0.1:0" to
 // pick a free port). handler receives every inbound message.
-func Listen(name, addr string, handler Handler) (*Transport, error) {
+func Listen(name, addr string, handler Handler, opts ...Option) (*Transport, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	t := &Transport{name: name, ln: ln, handler: handler}
+	for _, o := range opts {
+		o(&t.opts)
+	}
 	empty := map[string]*peer{}
 	t.peers.Store(&empty)
 	t.wg.Add(1)
@@ -224,9 +305,12 @@ func (t *Transport) Dial(addr string) error {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
 	}
+	if t.opts.hook != nil {
+		conn = t.opts.hook.WrapConn(conn)
+	}
 	bw := bufio.NewWriterSize(conn, 1<<16)
 	enc := gob.NewEncoder(bw)
-	if err := enc.Encode(hello{Name: t.name}); err != nil {
+	if err := enc.Encode(t.hello()); err != nil {
 		conn.Close()
 		return err
 	}
@@ -241,7 +325,10 @@ func (t *Transport) Dial(addr string) error {
 		conn.Close()
 		return fmt.Errorf("comm: handshake with %s: %w", addr, err)
 	}
-	p := t.addPeer(h.Name, conn, enc, bw)
+	if pn, ok := t.opts.hook.(PeerNamer); ok {
+		pn.NamePeer(conn, h.Name)
+	}
+	p := t.addPeer(h.Name, conn, enc, bw, h.Codecs)
 	if p == nil {
 		conn.Close()
 		return fmt.Errorf("comm: duplicate peer %q", h.Name)
@@ -252,6 +339,77 @@ func (t *Transport) Dial(addr string) error {
 		t.readLoop(p, br, dec)
 	}()
 	return nil
+}
+
+// DialBackoff dials addr with exponential backoff (base, doubling, capped
+// at 32x) until the connection is established, attempts are exhausted, or
+// the transport closes. Peers that lost a connection to a failed or
+// rescheduled worker use it to re-establish the link once the survivor is
+// reachable again.
+func (t *Transport) DialBackoff(addr string, attempts int, base time.Duration) error {
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	wait := base
+	var err error
+	for i := 0; i < attempts; i++ {
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return errors.New("comm: transport closed")
+		}
+		if err = t.Dial(addr); err == nil {
+			return nil
+		}
+		time.Sleep(wait)
+		if wait < 32*base {
+			wait *= 2
+		}
+	}
+	return fmt.Errorf("comm: dial %s: %w", addr, err)
+}
+
+// hello builds this transport's handshake message, advertising the codecs
+// it can decode (optionally filtered to simulate a mixed-build cluster).
+func (t *Transport) hello() hello {
+	h := hello{Name: t.name}
+	for id, c := range *codecs.Load() {
+		if t.opts.codecOK != nil && !t.opts.codecOK(id) {
+			continue
+		}
+		h.Codecs = append(h.Codecs, CodecAd{ID: id, Ver: c.Version})
+	}
+	return h
+}
+
+// Disconnect drops the connection to the named peer, if any. It is used
+// when the leader reports a peer dead: pending writes are abandoned and a
+// later Dial/DialBackoff may re-establish the pair.
+func (t *Transport) Disconnect(name string) {
+	if p := (*t.peers.Load())[name]; p != nil {
+		t.dropPeer(p)
+	}
+}
+
+// dropPeer removes p from the peer table (if it is still the registered
+// connection for its name) and closes it. Safe to call from multiple
+// goroutines; the read and write loops both call it on exit so a dead
+// connection never lingers in the table blocking a reconnect.
+func (t *Transport) dropPeer(p *peer) {
+	t.mu.Lock()
+	old := *t.peers.Load()
+	if old[p.name] == p {
+		next := make(map[string]*peer, len(old))
+		for k, v := range old {
+			if v != p {
+				next[k] = v
+			}
+		}
+		t.peers.Store(&next)
+	}
+	t.mu.Unlock()
+	p.close()
 }
 
 // Send transmits m on stream id to the named peer. The lookup is lock-free
@@ -265,12 +423,24 @@ func (t *Transport) Send(peerName string, id stream.ID, m message.Message) error
 // the frame in the peer's write buffer until hint.FlushBy (bounded by the
 // byte budget and maximum hold time) to batch it with neighboring frames.
 func (t *Transport) SendWithHint(peerName string, id stream.ID, m message.Message, hint FlushHint) error {
+	return t.send(peerName, outMsg{id: id, m: m, flushBy: hint.FlushBy})
+}
+
+// SendRelease is SendWithHint for messages whose []byte payload came from
+// AcquirePayload and is handed off with the call: once the frame is on the
+// wire the payload is recycled into the pool. The caller must not touch
+// m.Payload afterwards. Non-[]byte payloads are sent normally.
+func (t *Transport) SendRelease(peerName string, id stream.ID, m message.Message, hint FlushHint) error {
+	return t.send(peerName, outMsg{id: id, m: m, flushBy: hint.FlushBy, release: true})
+}
+
+func (t *Transport) send(peerName string, o outMsg) error {
 	p := (*t.peers.Load())[peerName]
 	if p == nil {
 		return fmt.Errorf("comm: %s has no peer %q", t.name, peerName)
 	}
 	select {
-	case p.out <- outMsg{id: id, m: m, flushBy: hint.FlushBy}:
+	case p.out <- o:
 		t.sent.Add(1)
 		return nil
 	case <-p.done:
@@ -307,8 +477,7 @@ func (t *Transport) Close() {
 	t.mu.Unlock()
 	t.ln.Close()
 	for _, p := range peers {
-		close(p.done)
-		p.conn.Close()
+		p.close()
 	}
 	t.wg.Wait()
 }
@@ -323,6 +492,9 @@ func (t *Transport) acceptLoop() {
 		if tc, ok := conn.(*net.TCPConn); ok {
 			_ = tc.SetNoDelay(true)
 		}
+		if t.opts.hook != nil {
+			conn = t.opts.hook.WrapConn(conn)
+		}
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
@@ -335,7 +507,7 @@ func (t *Transport) acceptLoop() {
 			}
 			bw := bufio.NewWriterSize(conn, 1<<16)
 			enc := gob.NewEncoder(bw)
-			if err := enc.Encode(hello{Name: t.name}); err != nil {
+			if err := enc.Encode(t.hello()); err != nil {
 				conn.Close()
 				return
 			}
@@ -343,7 +515,10 @@ func (t *Transport) acceptLoop() {
 				conn.Close()
 				return
 			}
-			p := t.addPeer(h.Name, conn, enc, bw)
+			if pn, ok := t.opts.hook.(PeerNamer); ok {
+				pn.NamePeer(conn, h.Name)
+			}
+			p := t.addPeer(h.Name, conn, enc, bw, h.Codecs)
 			if p == nil {
 				conn.Close()
 				return
@@ -353,7 +528,7 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
-func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, bw *bufio.Writer) *peer {
+func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, bw *bufio.Writer, ads []CodecAd) *peer {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -363,13 +538,21 @@ func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, bw *bu
 	if _, dup := old[name]; dup {
 		return nil
 	}
+	var remote map[uint64]uint8
+	if len(ads) > 0 {
+		remote = make(map[uint64]uint8, len(ads))
+		for _, ad := range ads {
+			remote[ad.ID] = ad.Ver
+		}
+	}
 	p := &peer{
-		name: name,
-		conn: conn,
-		enc:  enc,
-		bw:   bw,
-		out:  make(chan outMsg, 1024),
-		done: make(chan struct{}),
+		name:   name,
+		conn:   conn,
+		enc:    enc,
+		bw:     bw,
+		out:    make(chan outMsg, 1024),
+		done:   make(chan struct{}),
+		codecs: remote,
 	}
 	next := make(map[string]*peer, len(old)+1)
 	for k, v := range old {
@@ -455,7 +638,8 @@ func writeTypedFrame(bw *bufio.Writer, id stream.ID, m message.Message, codecID 
 }
 
 // readRawFrame decodes the body of a tagRaw frame (the tag byte has been
-// consumed). The payload allocation is the only one on this path.
+// consumed). The payload comes from the size-classed pool; handlers that
+// fully consume it may RecyclePayload it, otherwise it is GC'd as before.
 func readRawFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
 	sid, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -478,7 +662,7 @@ func readRawFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
 		if plen > maxFramePayload {
 			return 0, message.Message{}, fmt.Errorf("comm: raw frame of %d bytes exceeds limit", plen)
 		}
-		payload := make([]byte, plen)
+		payload := AcquirePayload(int(plen))
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return 0, message.Message{}, err
 		}
@@ -515,11 +699,16 @@ func readTypedFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
 	if blen > maxFramePayload {
 		return 0, message.Message{}, fmt.Errorf("comm: typed frame of %d bytes exceeds limit", blen)
 	}
-	body := make([]byte, blen)
+	// Typed bodies are transient: Codec.Unmarshal must copy anything it
+	// keeps, so the buffer goes straight back to the pool after decoding
+	// and steady-state receive makes no per-frame body allocation.
+	body := AcquirePayload(int(blen))
 	if _, err := io.ReadFull(br, body); err != nil {
+		RecyclePayload(body)
 		return 0, message.Message{}, err
 	}
 	payload, err := DecodeFrameBody(codecID, version, body)
+	RecyclePayload(body)
 	if err != nil {
 		return 0, message.Message{}, err
 	}
@@ -530,10 +719,24 @@ func readTypedFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
 	}, nil
 }
 
+// decodes reports whether the peer advertised it can decode frames of the
+// given codec at the version the local build writes. A peer with no
+// advertisement (pre-negotiation build) is assumed to share our registry.
+func (p *peer) decodes(id uint64, version uint8) bool {
+	if p.codecs == nil {
+		return true
+	}
+	v, ok := p.codecs[id]
+	return ok && v >= version
+}
+
 // writeMsg frames one message — raw binary, typed binary, or gob Envelope —
 // and returns the encoded size plus whether the frame must be flushed on
 // queue drain regardless of hints (gob frames report a nominal size since
 // the encoder writes through bw directly; they are rare by construction).
+// The typed path is taken only when the handshake advertisement says the
+// peer decodes this codec at our version; otherwise the payload downgrades
+// to the gob Envelope for this peer while same-build peers stay typed.
 func (t *Transport) writeMsg(p *peer, o outMsg) (n int, mustFlush bool, err error) {
 	if rawEligible(o.m) {
 		n, err = writeRawFrame(p.bw, o.id, o.m)
@@ -543,14 +746,14 @@ func (t *Transport) writeMsg(p *peer, o outMsg) (n int, mustFlush bool, err erro
 		return n, o.flushBy.IsZero(), err
 	}
 	if fp, ok := o.m.Payload.(FramePayload); ok {
-		if c := lookupCodec(fp.FrameCodec()); c != nil {
+		if c := lookupCodec(fp.FrameCodec()); c != nil && p.decodes(c.ID, c.Version) {
 			n, err = writeTypedFrame(p.bw, o.id, o.m, c.ID, c.Version, fp.MarshalFrame)
 			if err == nil {
 				t.typedSent.Add(1)
 			}
 			return n, o.flushBy.IsZero(), err
 		}
-	} else if d, ok := o.m.Payload.(time.Duration); ok {
+	} else if d, ok := o.m.Payload.(time.Duration); ok && p.decodes(DurationCodecID, 1) {
 		n, err = writeTypedFrame(p.bw, o.id, o.m, DurationCodecID, 1, func(dst []byte) []byte {
 			return binary.AppendVarint(dst, int64(d))
 		})
@@ -588,6 +791,7 @@ const (
 // the pre-coalescing behavior: flush as soon as the queue drains.
 func (t *Transport) writeLoop(p *peer) {
 	defer t.wg.Done()
+	defer t.dropPeer(p)
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
@@ -616,6 +820,11 @@ func (t *Transport) writeLoop(p *peer) {
 		n, force, err := t.writeMsg(p, o)
 		if err != nil {
 			return false
+		}
+		if o.release {
+			// The frame is in the write buffer (bufio copied the bytes),
+			// so the caller-relinquished payload can be recycled now.
+			ReleaseMessage(o.m)
 		}
 		buffered += n
 		held++
@@ -692,8 +901,10 @@ func (t *Transport) writeLoop(p *peer) {
 }
 
 // readLoop decodes frames until the connection fails; callers own the
-// goroutine accounting.
+// goroutine accounting. On exit the peer is dropped from the table so a
+// reconnect can register a fresh connection under the same name.
 func (t *Transport) readLoop(p *peer, br *bufio.Reader, dec *gob.Decoder) {
+	defer t.dropPeer(p)
 	for {
 		tag, err := br.ReadByte()
 		if err != nil {

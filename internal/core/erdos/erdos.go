@@ -42,6 +42,8 @@ type (
 	Context = operator.Context
 	// HandlerContext is passed to deadline exception handlers.
 	HandlerContext = operator.HandlerContext
+	// HandlerCallback is a deadline exception handler.
+	HandlerCallback = operator.HandlerCallback
 	// Message is an untyped stream message.
 	Message = message.Message
 	// Miss describes a missed deadline.

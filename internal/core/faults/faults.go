@@ -1,0 +1,349 @@
+// Package faults is a deterministic, seeded fault-injection harness for the
+// cluster runtime (§3.4 of the paper treats failures as missed deadlines;
+// this package manufactures the failures). A Schedule is built once from a
+// seed — kill this worker at t=300ms, sever that link at t=500ms — and an
+// Injector arms it against a running cluster through two small hooks:
+//
+//   - comm.ConnHook / comm.PeerNamer: every data-plane connection is wrapped
+//     in a faultConn that can be severed, write-delayed, or corrupted when
+//     the matching link fault fires;
+//   - RegisterKiller: worker processes register a kill function (ungraceful
+//     teardown) invoked when a kill fault fires;
+//   - CallbackWrapper: worker runtimes wrap operator callbacks so a stall
+//     fault can hold a specific operator for a fixed duration.
+//
+// All randomness (optional jitter on fault times) comes from the schedule's
+// seed, so a chaos run replays identically. Fired() exposes the exact wall
+// clock at which each fault was injected, which detection-latency tests
+// compare against the leader's failure events.
+package faults
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind int
+
+const (
+	// KindKill ungracefully terminates a worker process.
+	KindKill Kind = iota
+	// KindSever closes the data-plane connection(s) of a link.
+	KindSever
+	// KindDelay adds a fixed delay to every write on a link.
+	KindDelay
+	// KindCorrupt flips bytes in the next frame written on a link.
+	KindCorrupt
+	// KindStall holds one operator's callbacks for a fixed duration.
+	KindStall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindKill:
+		return "kill"
+	case KindSever:
+		return "sever"
+	case KindDelay:
+		return "delay"
+	case KindCorrupt:
+		return "corrupt"
+	case KindStall:
+		return "stall"
+	}
+	return "unknown"
+}
+
+// Fault is one scheduled injection.
+type Fault struct {
+	Kind Kind
+	// At is the offset from Injector.Arm at which the fault fires
+	// (including any seeded jitter applied at schedule build time).
+	At time.Duration
+	// Worker is the kill/stall target, or one endpoint of a link fault.
+	Worker string
+	// Peer is the other endpoint of a link fault; empty matches any peer.
+	Peer string
+	// Op is the operator name for stall faults.
+	Op string
+	// Duration is the per-write delay (KindDelay) or stall length
+	// (KindStall).
+	Duration time.Duration
+}
+
+// Fired records one injected fault and the wall clock of its injection.
+type Fired struct {
+	Fault Fault
+	At    time.Time
+}
+
+// Schedule is a seeded, deterministic fault plan. Builder methods append
+// faults; the seed drives optional jitter so distinct seeds explore
+// distinct interleavings while any one seed replays exactly.
+type Schedule struct {
+	seed   int64
+	rng    *rand.Rand
+	jitter time.Duration
+	faults []Fault
+}
+
+// NewSchedule returns an empty schedule seeded with seed.
+func NewSchedule(seed int64) *Schedule {
+	return &Schedule{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the schedule's seed (for logging a reproducible run).
+func (s *Schedule) Seed() int64 { return s.seed }
+
+// Jitter makes subsequent builder calls smear their fault time by a
+// seeded-uniform offset in [0, max). Call before adding faults.
+func (s *Schedule) Jitter(max time.Duration) *Schedule {
+	s.jitter = max
+	return s
+}
+
+func (s *Schedule) at(t time.Duration) time.Duration {
+	if s.jitter > 0 {
+		t += time.Duration(s.rng.Int63n(int64(s.jitter)))
+	}
+	return t
+}
+
+// Kill schedules an ungraceful worker termination at offset t.
+func (s *Schedule) Kill(t time.Duration, worker string) *Schedule {
+	s.faults = append(s.faults, Fault{Kind: KindKill, At: s.at(t), Worker: worker})
+	return s
+}
+
+// Sever schedules closing the data-plane connections between worker and
+// peer (either direction; empty peer matches all of worker's links).
+func (s *Schedule) Sever(t time.Duration, worker, peer string) *Schedule {
+	s.faults = append(s.faults, Fault{Kind: KindSever, At: s.at(t), Worker: worker, Peer: peer})
+	return s
+}
+
+// Delay schedules adding d to every write on the worker↔peer link.
+func (s *Schedule) Delay(t time.Duration, worker, peer string, d time.Duration) *Schedule {
+	s.faults = append(s.faults, Fault{Kind: KindDelay, At: s.at(t), Worker: worker, Peer: peer, Duration: d})
+	return s
+}
+
+// Corrupt schedules flipping bytes in the next frame written on the
+// worker↔peer link; the receiver sees protocol corruption and drops the
+// connection.
+func (s *Schedule) Corrupt(t time.Duration, worker, peer string) *Schedule {
+	s.faults = append(s.faults, Fault{Kind: KindCorrupt, At: s.at(t), Worker: worker, Peer: peer})
+	return s
+}
+
+// Stall schedules holding operator op on worker for d: callbacks wrapped by
+// CallbackWrapper block until the stall window passes, modeling a straggler
+// that the deadline machinery must surface as misses.
+func (s *Schedule) Stall(t time.Duration, worker, op string, d time.Duration) *Schedule {
+	s.faults = append(s.faults, Fault{Kind: KindStall, At: s.at(t), Worker: worker, Op: op, Duration: d})
+	return s
+}
+
+// Faults returns the planned faults in insertion order.
+func (s *Schedule) Faults() []Fault { return append([]Fault(nil), s.faults...) }
+
+// Injector arms a Schedule against a running cluster.
+type Injector struct {
+	sched *Schedule
+
+	mu      sync.Mutex
+	killers map[string]func()
+	conns   []*faultConn
+	stalls  map[string]time.Time // worker "/" op -> stall end
+	timers  []*time.Timer
+	fired   []Fired
+	armed   bool
+	stopped bool
+}
+
+// NewInjector prepares sched for arming.
+func NewInjector(sched *Schedule) *Injector {
+	return &Injector{
+		sched:   sched,
+		killers: map[string]func(){},
+		stalls:  map[string]time.Time{},
+	}
+}
+
+// RegisterKiller installs the ungraceful-teardown function for worker,
+// invoked (once, on its own goroutine) when a kill fault fires.
+func (inj *Injector) RegisterKiller(worker string, kill func()) {
+	inj.mu.Lock()
+	inj.killers[worker] = kill
+	inj.mu.Unlock()
+}
+
+// Hook returns the comm.ConnHook for one worker's transport: connections
+// are wrapped so link faults targeting that worker can reach them. The
+// returned value also implements comm.PeerNamer.
+func (inj *Injector) Hook(worker string) *Hook {
+	return &Hook{inj: inj, worker: worker}
+}
+
+// CallbackWrapper returns a worker-runtime callback wrapper: wrapped
+// callbacks block while a stall fault for (worker, op) is active.
+func (inj *Injector) CallbackWrapper(worker string) func(op string, f func()) func() {
+	return func(op string, f func()) func() {
+		key := worker + "/" + op
+		return func() {
+			for {
+				inj.mu.Lock()
+				until, ok := inj.stalls[key]
+				inj.mu.Unlock()
+				if !ok || !time.Now().Before(until) {
+					break
+				}
+				time.Sleep(time.Until(until))
+			}
+			f()
+		}
+	}
+}
+
+// Arm starts the schedule's timers; offsets are measured from now.
+func (inj *Injector) Arm() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.armed {
+		return
+	}
+	inj.armed = true
+	for _, f := range inj.sched.faults {
+		f := f
+		inj.timers = append(inj.timers, time.AfterFunc(f.At, func() { inj.fire(f) }))
+	}
+}
+
+// Stop cancels pending faults; already-fired faults are not undone.
+func (inj *Injector) Stop() {
+	inj.mu.Lock()
+	inj.stopped = true
+	timers := inj.timers
+	inj.timers = nil
+	inj.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+}
+
+// Fired returns the faults injected so far with their injection times.
+func (inj *Injector) Fired() []Fired {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]Fired(nil), inj.fired...)
+}
+
+func (inj *Injector) fire(f Fault) {
+	inj.mu.Lock()
+	if inj.stopped {
+		inj.mu.Unlock()
+		return
+	}
+	inj.fired = append(inj.fired, Fired{Fault: f, At: time.Now()})
+	var kill func()
+	var links []*faultConn
+	switch f.Kind {
+	case KindKill:
+		kill = inj.killers[f.Worker]
+	case KindSever, KindDelay, KindCorrupt:
+		for _, fc := range inj.conns {
+			if fc.matches(f.Worker, f.Peer) {
+				links = append(links, fc)
+			}
+		}
+	case KindStall:
+		inj.stalls[f.Worker+"/"+f.Op] = time.Now().Add(f.Duration)
+	}
+	inj.mu.Unlock()
+	if kill != nil {
+		go kill()
+	}
+	for _, fc := range links {
+		switch f.Kind {
+		case KindSever:
+			fc.sever()
+		case KindDelay:
+			fc.delay.Store(int64(f.Duration))
+		case KindCorrupt:
+			fc.corrupt.Store(true)
+		}
+	}
+}
+
+func (inj *Injector) register(fc *faultConn) {
+	inj.mu.Lock()
+	inj.conns = append(inj.conns, fc)
+	inj.mu.Unlock()
+}
+
+// Hook wraps one worker's data-plane connections for fault injection; it
+// implements comm.ConnHook and comm.PeerNamer.
+type Hook struct {
+	inj    *Injector
+	worker string
+}
+
+// WrapConn implements comm.ConnHook.
+func (h *Hook) WrapConn(c net.Conn) net.Conn {
+	fc := &faultConn{Conn: c, local: h.worker}
+	h.inj.register(fc)
+	return fc
+}
+
+// NamePeer implements comm.PeerNamer: the transport reports which worker
+// the wrapped connection talks to once the handshake completes.
+func (h *Hook) NamePeer(c net.Conn, peer string) {
+	if fc, ok := c.(*faultConn); ok {
+		fc.peer.Store(&peer)
+	}
+}
+
+// faultConn is a net.Conn with injectable misbehavior. The zero state is
+// fully transparent.
+type faultConn struct {
+	net.Conn
+	local   string
+	peer    atomic.Pointer[string]
+	delay   atomic.Int64 // per-write delay, ns
+	corrupt atomic.Bool  // flip bytes in the next write
+}
+
+func (fc *faultConn) matches(worker, peer string) bool {
+	p := ""
+	if pp := fc.peer.Load(); pp != nil {
+		p = *pp
+	}
+	if fc.local == worker {
+		return peer == "" || p == peer
+	}
+	if p == worker {
+		return peer == "" || fc.local == peer
+	}
+	return false
+}
+
+func (fc *faultConn) sever() { fc.Conn.Close() }
+
+func (fc *faultConn) Write(b []byte) (int, error) {
+	if d := fc.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	if fc.corrupt.CompareAndSwap(true, false) && len(b) > 0 {
+		// Flip a byte mid-buffer on a copy: the caller's slice (often a
+		// bufio buffer that will be reused) must stay intact.
+		mangled := make([]byte, len(b))
+		copy(mangled, b)
+		mangled[len(mangled)/2] ^= 0xFF
+		return fc.Conn.Write(mangled)
+	}
+	return fc.Conn.Write(b)
+}

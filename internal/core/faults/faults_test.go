@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// buildJittered builds the same jittered schedule from a seed.
+func buildJittered(seed int64) *Schedule {
+	return NewSchedule(seed).Jitter(50*time.Millisecond).
+		Kill(100*time.Millisecond, "w1").
+		Sever(200*time.Millisecond, "w2", "w3").
+		Delay(300*time.Millisecond, "w1", "", 5*time.Millisecond).
+		Corrupt(400*time.Millisecond, "w3", "w1").
+		Stall(500*time.Millisecond, "w2", "planning", time.Second)
+}
+
+// TestScheduleDeterminism: the same seed replays the exact same plan —
+// including jitter — while a different seed explores a different one.
+func TestScheduleDeterminism(t *testing.T) {
+	a, b := buildJittered(7).Faults(), buildJittered(7).Faults()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%+v\n%+v", a, b)
+	}
+	c := buildJittered(8).Faults()
+	same := true
+	for i := range a {
+		if a[i].At != c[i].At {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical jitter: %+v", a)
+	}
+	// Jitter only moves fault times forward, within its bound.
+	base := []time.Duration{100, 200, 300, 400, 500}
+	for i, f := range a {
+		lo := base[i] * time.Millisecond
+		if f.At < lo || f.At >= lo+50*time.Millisecond {
+			t.Fatalf("fault %d at %v outside jitter window [%v, %v)", i, f.At, lo, lo+50*time.Millisecond)
+		}
+	}
+}
+
+// TestInjectorKillAndFiredLog: a kill fault invokes the registered killer
+// exactly once and is recorded with its injection time; Stop cancels
+// not-yet-fired faults.
+func TestInjectorKillAndFiredLog(t *testing.T) {
+	sch := NewSchedule(1).
+		Kill(5*time.Millisecond, "w1").
+		Kill(time.Hour, "w2") // must never fire
+	inj := NewInjector(sch)
+	defer inj.Stop()
+
+	killed := make(chan string, 2)
+	inj.RegisterKiller("w1", func() { killed <- "w1" })
+	inj.RegisterKiller("w2", func() { killed <- "w2" })
+	armedAt := time.Now()
+	inj.Arm()
+
+	select {
+	case w := <-killed:
+		if w != "w1" {
+			t.Fatalf("killed %q, want w1", w)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("kill fault never fired")
+	}
+	fired := inj.Fired()
+	if len(fired) != 1 || fired[0].Fault.Kind != KindKill || fired[0].Fault.Worker != "w1" {
+		t.Fatalf("fired log = %+v, want one w1 kill", fired)
+	}
+	if fired[0].At.Before(armedAt) {
+		t.Fatalf("fired time %v precedes arming %v", fired[0].At, armedAt)
+	}
+	inj.Stop()
+	select {
+	case w := <-killed:
+		t.Fatalf("fault for %q fired after Stop", w)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestCallbackWrapperStall: wrapped callbacks block while the stall window
+// for their (worker, op) is active; other operators are untouched.
+func TestCallbackWrapperStall(t *testing.T) {
+	const stall = 150 * time.Millisecond
+	sch := NewSchedule(1).Stall(0, "w1", "planning", stall)
+	inj := NewInjector(sch)
+	defer inj.Stop()
+	wrap := inj.CallbackWrapper("w1")
+
+	inj.Arm()
+	// Let the t=0 stall timer fire before invoking the wrapped callbacks.
+	for len(inj.Fired()) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	ran := false
+	wrap("planning", func() { ran = true })()
+	if !ran {
+		t.Fatal("stalled callback never ran")
+	}
+	if d := time.Since(start); d < stall/2 {
+		t.Fatalf("stalled callback returned after %v, want ~%v", d, stall)
+	}
+	start = time.Now()
+	wrap("control", func() {})()
+	if d := time.Since(start); d > stall/2 {
+		t.Fatalf("unrelated operator stalled for %v", d)
+	}
+}
+
+// pipeConns returns the two ends of an in-memory connection, the w1 side
+// wrapped by the injector's hook and handshake-named as talking to peer.
+func pipeConns(t *testing.T, inj *Injector, peer string) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	h := inj.Hook("w1")
+	wrapped := h.WrapConn(a)
+	h.NamePeer(wrapped, peer)
+	return wrapped, b
+}
+
+// TestFaultConnMatchingAndCorrupt: link faults reach only the matching
+// worker↔peer connection; a corrupt fault flips a byte in exactly one
+// frame without touching the caller's buffer.
+func TestFaultConnMatchingAndCorrupt(t *testing.T) {
+	sch := NewSchedule(1).Corrupt(0, "w1", "w2")
+	inj := NewInjector(sch)
+	defer inj.Stop()
+
+	toW2, w2End := pipeConns(t, inj, "w2")
+	toW3, w3End := pipeConns(t, inj, "w3")
+
+	inj.Arm()
+	for len(inj.Fired()) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	payload := []byte{1, 2, 3, 4, 5}
+	read := func(c net.Conn) []byte {
+		buf := make([]byte, len(payload))
+		if _, err := c.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	go func() { toW2.Write(payload); toW2.Write(payload) }()
+	first, second := read(w2End), read(w2End)
+	if reflect.DeepEqual(first, payload) {
+		t.Fatalf("corrupt fault did not mangle the w1→w2 frame: % x", first)
+	}
+	if !reflect.DeepEqual(second, payload) {
+		t.Fatalf("corruption leaked past one frame: % x", second)
+	}
+	if !reflect.DeepEqual(payload, []byte{1, 2, 3, 4, 5}) {
+		t.Fatalf("caller's buffer was mangled in place: % x", payload)
+	}
+	go func() { toW3.Write(payload) }()
+	if got := read(w3End); !reflect.DeepEqual(got, payload) {
+		t.Fatalf("corrupt fault for w1↔w2 hit the w1↔w3 link: % x", got)
+	}
+}
+
+// TestFaultConnSeverAndDelay: sever closes the matching link; delay adds
+// the configured latency to every write on it.
+func TestFaultConnSeverAndDelay(t *testing.T) {
+	const lag = 30 * time.Millisecond
+	sch := NewSchedule(1).
+		Sever(0, "w1", "w2").
+		Delay(0, "w1", "w3", lag)
+	inj := NewInjector(sch)
+	defer inj.Stop()
+
+	toW2, _ := pipeConns(t, inj, "w2")
+	toW3, w3End := pipeConns(t, inj, "w3")
+
+	inj.Arm()
+	for len(inj.Fired()) < 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := toW2.Write([]byte{1}); err == nil {
+		t.Fatal("write on severed link succeeded")
+	}
+	start := time.Now()
+	go func() { toW3.Write([]byte{1}) }()
+	buf := make([]byte, 1)
+	if _, err := w3End.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < lag/2 {
+		t.Fatalf("delayed link delivered after %v, want ~%v", d, lag)
+	}
+}

@@ -106,6 +106,15 @@ type Lattice struct {
 	opsMu sync.Mutex
 	ops   []*OpQueue
 
+	// stealOrder is a per-shard victim ordering rebuilt whenever a pinned
+	// operator registers: shards sharing an affinity group with the thief
+	// come first, so a co-located chain rebalances onto goroutines whose
+	// caches already hold its state before spilling to foreign shards. Nil
+	// until the first pinned registration (plain round-robin applies).
+	stealOrder  atomic.Pointer[[][]int]
+	affinityMu  sync.Mutex
+	shardGroups []map[int]struct{} // affinity keys homed on each shard
+
 	itemPool sync.Pool
 	wg       sync.WaitGroup
 }
@@ -140,12 +149,66 @@ func (l *Lattice) NewOpQueue(mode Mode) *OpQueue {
 // same shard, keeping a producer→consumer chain's callbacks on one
 // goroutine's queue (work stealing may still rebalance under load). Keys
 // are arbitrary; callers typically pass a graph affinity-group index.
+// Registration also records the key against the home shard so idle
+// goroutines steal same-group work first.
 func (l *Lattice) NewOpQueuePinned(mode Mode, affinity int) *OpQueue {
 	home := affinity % len(l.shards)
 	if home < 0 {
 		home += len(l.shards)
 	}
+	l.noteAffinity(home, affinity)
 	return l.newOpQueue(mode, home)
+}
+
+// noteAffinity records that shard home hosts operators of the given
+// affinity group and rebuilds the steal order snapshot.
+func (l *Lattice) noteAffinity(home, affinity int) {
+	l.affinityMu.Lock()
+	defer l.affinityMu.Unlock()
+	if l.shardGroups == nil {
+		l.shardGroups = make([]map[int]struct{}, len(l.shards))
+	}
+	if l.shardGroups[home] == nil {
+		l.shardGroups[home] = map[int]struct{}{}
+	}
+	l.shardGroups[home][affinity] = struct{}{}
+	order := make([][]int, len(l.shards))
+	for i := range l.shards {
+		var same, other []int
+		for off := 1; off < len(l.shards); off++ {
+			j := (i + off) % len(l.shards)
+			if sharesGroup(l.shardGroups[i], l.shardGroups[j]) {
+				same = append(same, j)
+			} else {
+				other = append(other, j)
+			}
+		}
+		order[i] = append(same, other...)
+	}
+	l.stealOrder.Store(&order)
+}
+
+func sharesGroup(a, b map[int]struct{}) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for k := range a {
+		if _, ok := b[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// StealOrder returns the victim ordering shard id uses when it runs dry,
+// or nil while no pinned operator has registered (plain round-robin).
+// Exposed for tests and diagnostics.
+func (l *Lattice) StealOrder(id int) []int {
+	ord := l.stealOrder.Load()
+	if ord == nil || id < 0 || id >= len(*ord) {
+		return nil
+	}
+	return append([]int(nil), (*ord)[id]...)
 }
 
 func (l *Lattice) newOpQueue(mode Mode, home int) *OpQueue {
@@ -279,10 +342,19 @@ func (l *Lattice) spin(id int) *Item {
 }
 
 // findWork pops the highest-priority callback from the goroutine's own
-// shard, stealing from the other shards when it is empty.
+// shard, stealing from the other shards when it is empty — same-affinity
+// shards first once pinned operators have registered, round-robin before.
 func (l *Lattice) findWork(id int) *Item {
 	if it := l.popShard(id); it != nil {
 		return it
+	}
+	if ord := l.stealOrder.Load(); ord != nil {
+		for _, j := range (*ord)[id] {
+			if it := l.popShard(j); it != nil {
+				return it
+			}
+		}
+		return nil
 	}
 	n := len(l.shards)
 	for off := 1; off < n; off++ {

@@ -165,6 +165,20 @@ func (v *Versioned) Versions() int {
 	return len(v.versions)
 }
 
+// ListVersions implements VersionLister: it returns every retained committed
+// version in ascending timestamp order. Values are independent clones, so
+// callers (checkpoint encoding in particular) can read them while the live
+// store keeps committing.
+func (v *Versioned) ListVersions() []TimedValue {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]TimedValue, len(v.versions))
+	for i, ver := range v.versions {
+		out[i] = TimedValue{TS: ver.ts, Value: v.clone(ver.value)}
+	}
+	return out
+}
+
 // lookupLocked returns the committed value at the greatest t' < t (strict)
 // or t' <= t (if !strict); falls back to the initial state.
 func (v *Versioned) lookupLocked(t timestamp.Timestamp, strict bool) any {

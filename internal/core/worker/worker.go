@@ -45,6 +45,10 @@ type Options struct {
 	// HistoryDepth bounds how many logical times of state versions and
 	// tracking entries are retained behind the low watermark (default 64).
 	HistoryDepth uint64
+	// WrapCallback, when non-nil, wraps every operator callback before it
+	// is submitted to the lattice (fault-injection stalls, tracing). It is
+	// called once per callback with the operator name.
+	WrapCallback func(op string, f func()) func()
 }
 
 // Stats is a snapshot of a worker's counters.
@@ -67,9 +71,15 @@ type Worker struct {
 	mon     *deadline.Monitor
 	clock   deadline.Clock
 	history uint64
+	wrapCB  func(op string, f func()) func()
+	// g is retained so failover can instantiate adopted operators after New.
+	g *graph.Graph
 
 	broadcasters map[stream.ID]*stream.Broadcaster
-	ops          map[string]*opRuntime
+	// opsMu guards ops and producers: both were write-once at New until
+	// Adopt (failover re-placement) started installing operators at runtime.
+	opsMu sync.RWMutex
+	ops   map[string]*opRuntime
 	// producers maps each stream to the local operator writing it, for
 	// deadline-slack queries on outbound messages (SendDeadline).
 	producers map[stream.ID]*opRuntime
@@ -110,6 +120,8 @@ func New(g *graph.Graph, opts Options) (*Worker, error) {
 		mon:          deadline.NewMonitor(opts.Clock),
 		clock:        opts.Clock,
 		history:      opts.HistoryDepth,
+		wrapCB:       opts.WrapCallback,
+		g:            g,
 		broadcasters: make(map[stream.ID]*stream.Broadcaster),
 		ops:          make(map[string]*opRuntime),
 		producers:    make(map[stream.ID]*opRuntime),
@@ -130,7 +142,7 @@ func New(g *graph.Graph, opts Options) (*Worker, error) {
 				continue
 			}
 		}
-		rt, err := w.newOpRuntime(spec, g)
+		rt, err := w.newOpRuntime(spec, g, nil, 0, nil)
 		if err != nil {
 			w.Stop()
 			return nil, err
@@ -191,7 +203,9 @@ func (w *Worker) Subscribe(id stream.ID, fn func(message.Message)) error {
 // It returns false when the producing operator is not local, declares no
 // timestamp deadline, or has not yet seen ts arrive (no deadline armed).
 func (w *Worker) SendDeadline(id stream.ID, ts timestamp.Timestamp) (time.Time, bool) {
+	w.opsMu.RLock()
 	rt, ok := w.producers[id]
+	w.opsMu.RUnlock()
 	if !ok || len(rt.ttSpecs) == 0 || ts.IsTop() {
 		return time.Time{}, false
 	}
@@ -235,11 +249,134 @@ func (w *Worker) Stats() Stats {
 
 // Operator returns diagnostic information about a local operator.
 func (w *Worker) Operator(name string) (OpInfo, bool) {
+	w.opsMu.RLock()
 	rt, ok := w.ops[name]
+	w.opsMu.RUnlock()
 	if !ok {
 		return OpInfo{}, false
 	}
 	return rt.info(), true
+}
+
+// Has reports whether the named operator is instantiated on this worker.
+func (w *Worker) Has(name string) bool {
+	w.opsMu.RLock()
+	_, ok := w.ops[name]
+	w.opsMu.RUnlock()
+	return ok
+}
+
+// Checkpoint snapshots the named operator's time-versioned state at its
+// newest committed watermark. ok is false when the operator is not local or
+// has not committed yet.
+func (w *Worker) Checkpoint(name string) (state.Checkpoint, bool) {
+	w.opsMu.RLock()
+	rt, ok := w.ops[name]
+	w.opsMu.RUnlock()
+	if !ok {
+		return state.Checkpoint{}, false
+	}
+	return state.Snapshot(rt.st)
+}
+
+// Checkpoints snapshots every local operator with committed state, keyed by
+// operator name — the lazy checkpoint payload shipped to the leader with
+// each heartbeat.
+func (w *Worker) Checkpoints() map[string]state.Checkpoint {
+	w.opsMu.RLock()
+	names := make([]string, 0, len(w.ops))
+	for name := range w.ops {
+		names = append(names, name)
+	}
+	w.opsMu.RUnlock()
+	out := make(map[string]state.Checkpoint, len(names))
+	for _, name := range names {
+		if cp, ok := w.Checkpoint(name); ok {
+			out[name] = cp
+		}
+	}
+	return out
+}
+
+// Frontiers reports, per input stream, the lowest received input watermark
+// across this worker's local operators consuming it. Everything at or below
+// a stream's frontier has been delivered locally (watermarks trail their
+// data FIFO per stream), so an upstream producer restored at a cut no newer
+// than the frontier can never skip an output this worker still needs.
+// Shipped with heartbeats; the leader intersects survivors' frontiers to
+// pick the consistent restore cut during failover.
+func (w *Worker) Frontiers() map[stream.ID]uint64 {
+	w.opsMu.RLock()
+	rts := make([]*opRuntime, 0, len(w.ops))
+	for _, rt := range w.ops {
+		rts = append(rts, rt)
+	}
+	w.opsMu.RUnlock()
+	out := make(map[stream.ID]uint64)
+	for _, rt := range rts {
+		rt.mu.Lock()
+		for i, id := range rt.spec.Inputs {
+			var l uint64
+			if rt.inWM[i].have {
+				l = rt.inWM[i].ts.L
+			}
+			if cur, ok := out[id]; !ok || l < cur {
+				out[id] = l
+			}
+		}
+		rt.mu.Unlock()
+	}
+	return out
+}
+
+// Adopt instantiates the named operator on this worker at runtime — the
+// failover path re-placing a dead worker's operators onto a survivor. When
+// cp is non-nil the operator's state is restored at the newest checkpointed
+// version at or below restoreAt (the consistent cut the leader computed
+// from surviving consumers' frontiers) and every input watermark starts at
+// the restored version, so replayed input at or below the restore point is
+// dropped as stale instead of double-applied — while everything after it is
+// re-processed, regenerating outputs the failed worker may have produced
+// but never delivered. Pass math.MaxUint64 as restoreAt to restore at the
+// newest version unconditionally.
+//
+// replay optionally carries each input stream's retained recent messages:
+// they are fed to the operator after the watermark fence is installed but
+// before the live input subscriptions, so a replayed window is applied in
+// order and can never be shadowed by a racing live watermark. Adopting an
+// operator that is already local is a no-op.
+func (w *Worker) Adopt(name string, cp *state.Checkpoint, restoreAt uint64, replay map[stream.ID][]message.Message) error {
+	var spec *operator.Spec
+	for _, s := range w.g.Operators() {
+		if s.Name == name {
+			spec = s
+			break
+		}
+	}
+	if spec == nil {
+		return fmt.Errorf("worker %q: adopt unknown operator %q", w.name, name)
+	}
+	w.opsMu.Lock()
+	if _, dup := w.ops[name]; dup {
+		w.opsMu.Unlock()
+		return nil
+	}
+	w.opsMu.Unlock()
+	// Instantiate outside the lock: newOpRuntime subscribes to input
+	// broadcasters, and a concurrent delivery could re-enter worker
+	// counters. The restored watermarks are installed before the input
+	// subscriptions inside newOpRuntime, so no message can slip under them.
+	rt, err := w.newOpRuntime(spec, w.g, cp, restoreAt, replay)
+	if err != nil {
+		return err
+	}
+	w.opsMu.Lock()
+	w.ops[name] = rt
+	for _, id := range spec.Outputs {
+		w.producers[id] = rt
+	}
+	w.opsMu.Unlock()
+	return nil
 }
 
 // OpInfo is a diagnostic snapshot of one operator.
@@ -259,6 +396,9 @@ type opRuntime struct {
 	q    *lattice.OpQueue
 	st   state.Store
 	outs []operator.Output
+	// wrap decorates callbacks before lattice submission (stall injection);
+	// nil means submit as-is.
+	wrap func(f func()) func()
 
 	ttTrackers []*deadline.TimestampTracker
 	ttSpecs    []operator.TimestampDeadlineSpec
@@ -287,7 +427,7 @@ type timeWork struct {
 	done         bool // watermark processing finished (committed or aborted)
 }
 
-func (w *Worker) newOpRuntime(spec *operator.Spec, g *graph.Graph) (*opRuntime, error) {
+func (w *Worker) newOpRuntime(spec *operator.Spec, g *graph.Graph, cp *state.Checkpoint, restoreAt uint64, replay map[stream.ID][]message.Message) (*opRuntime, error) {
 	// Operators in an affinity group share a home shard on the lattice so a
 	// producer→consumer chain's callbacks stay on one goroutine's queue.
 	var q *lattice.OpQueue
@@ -303,10 +443,32 @@ func (w *Worker) newOpRuntime(spec *operator.Spec, g *graph.Graph) (*opRuntime, 
 		times: make(map[uint64]*timeWork),
 		inWM:  make([]wmState, len(spec.Inputs)),
 	}
+	if w.wrapCB != nil {
+		name := spec.Name
+		rt.wrap = func(f func()) func() { return w.wrapCB(name, f) }
+	}
 	if spec.NewState != nil {
 		rt.st = spec.NewState()
 	} else {
 		rt.st = state.NewNone()
+	}
+	if cp != nil {
+		// Restore before any input subscription exists: the committed state
+		// reappears at the chosen version's watermark and every input
+		// watermark starts there, so replayed traffic at or below it is
+		// stale-dropped rather than double-applied. The fence is the
+		// watermark actually restored — possibly older than the newest
+		// checkpointed version, when a surviving consumer's frontier shows
+		// that later outputs of the failed worker were lost in flight and
+		// must be regenerated.
+		fenceL, err := state.RestoreAt(rt.st, *cp, restoreAt)
+		if err != nil {
+			return nil, fmt.Errorf("worker %q: restore %q: %w", w.name, spec.Name, err)
+		}
+		ts := timestamp.New(fenceL)
+		for i := range rt.inWM {
+			rt.inWM[i] = wmState{ts: ts, have: true}
+		}
 	}
 	for i, id := range spec.Outputs {
 		b, ok := w.broadcasters[id]
@@ -323,6 +485,15 @@ func (w *Worker) newOpRuntime(spec *operator.Spec, g *graph.Graph) (*opRuntime, 
 		tr.OnMiss = func(m deadline.Miss) { rt.onMiss(ds, m) }
 		rt.ttTrackers = append(rt.ttTrackers, tr)
 		rt.ttSpecs = append(rt.ttSpecs, ds)
+	}
+	// Feed the replayed window through the normal receive path before the
+	// live subscriptions exist: replayed messages enqueue in order, the
+	// restored fence drops anything already applied, and no live message
+	// can overtake them.
+	for i, id := range spec.Inputs {
+		for _, m := range replay[id] {
+			rt.onReceive(i, m)
+		}
 	}
 	for i, id := range spec.Inputs {
 		input := i
@@ -406,6 +577,9 @@ func (rt *opRuntime) onReceive(i int, m message.Message) {
 	rt.mu.Unlock()
 	rt.w.countDelivered()
 	if run != nil {
+		if rt.wrap != nil {
+			run = rt.wrap(run)
+		}
 		rt.w.lat.Submit(rt.q, lattice.KindMessage, m.Timestamp, run)
 	}
 }
@@ -444,7 +618,11 @@ func (rt *opRuntime) scheduleCompleteLocked() {
 		tw := rt.times[l]
 		tw.scheduled = true
 		ts := tw.ts
-		rt.w.lat.Submit(rt.q, lattice.KindWatermark, ts, func() { rt.runWatermark(ts) })
+		run := func() { rt.runWatermark(ts) }
+		if rt.wrap != nil {
+			run = rt.wrap(run)
+		}
+		rt.w.lat.Submit(rt.q, lattice.KindWatermark, ts, run)
 	}
 }
 

@@ -35,6 +35,17 @@ var PreChangeCommBaseline = []MicroBenchResult{
 	{Name: "LatticePingPong", NsPerOp: 658, AllocsPerOp: 1, BytesPerOp: 24, OpsPerSec: 1519757},
 }
 
+// PrePoolingCommBaseline fixes the "before" edge of the zero-copy receive
+// work: typed codecs and deadline-aware coalescing had landed, but every
+// received frame still made one allocation for its body ([]byte payload on
+// the raw path, transient codec input on the typed path). Measured on the
+// same machine immediately before the size-classed payload pools landed.
+var PrePoolingCommBaseline = []MicroBenchResult{
+	{Name: "CommTypedObstaclesRoundtrip", NsPerOp: 10710, AllocsPerOp: 9, BytesPerOp: 3354, OpsPerSec: 93371},
+	{Name: "CommSmallFrameSend1KB", NsPerOp: 1149, AllocsPerOp: 3, BytesPerOp: 1072, OpsPerSec: 870322},
+	{Name: "CommRawRoundtrip4KB", NsPerOp: 13302, AllocsPerOp: 5, BytesPerOp: 8264, OpsPerSec: 75177},
+}
+
 // Fig8cPoint is one synthetic-pipeline sensor-scaling measurement.
 type Fig8cPoint struct {
 	Cameras      int     `json:"cameras"`

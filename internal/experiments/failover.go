@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/cluster"
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/operator"
+	"github.com/erdos-go/erdos/internal/core/state"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+	"github.com/erdos-go/erdos/internal/core/worker"
+	"github.com/erdos-go/erdos/internal/metrics"
+)
+
+// failoverRow aggregates the trials for one heartbeat period.
+type failoverRow struct {
+	Heartbeat time.Duration
+	Detect    *metrics.Sample // kill -> failure-detected
+	Recover   *metrics.Sample // failure-detected -> recovered (reschedule + replay barrier)
+	Trials    int
+	Failed    int
+}
+
+// FailoverResult holds the reaction-time sweep across heartbeat periods.
+type FailoverResult struct {
+	Rows []failoverRow
+}
+
+type failoverCount struct{ Sum int }
+
+func init() { state.RegisterState(&failoverCount{}) }
+
+// failoverGraph is the minimal stateful topology for a failover trial:
+// ingest -> stateful count (pinned to the victim) -> sink on a survivor.
+func failoverGraph() (*graph.Graph, stream.ID, error) {
+	g := graph.New()
+	in := g.AddStream("in", "int")
+	out := g.AddStream("out", "int")
+	if err := g.MarkIngest(in); err != nil {
+		return nil, 0, err
+	}
+	err := g.AddOperator(&operator.Spec{
+		Name: "count", Placement: "w2",
+		Inputs: []stream.ID{in}, Outputs: []stream.ID{out},
+		AutoWatermark: true,
+		NewState: func() state.Store {
+			return state.NewVersioned(&failoverCount{}, func(v any) any {
+				c := *v.(*failoverCount)
+				return &c
+			})
+		},
+		OnData: func(ctx *operator.Context, _ int, m message.Message) {
+			ctx.State().(*failoverCount).Sum += m.Payload.(int)
+		},
+		OnWatermark: func(ctx *operator.Context) {
+			_ = ctx.Send(0, ctx.Timestamp, ctx.State().(*failoverCount).Sum)
+		},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	err = g.AddOperator(&operator.Spec{
+		Name: "sink", Placement: "w1",
+		Inputs: []stream.ID{out}, AutoWatermark: true,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, in, nil
+}
+
+// failoverTrial runs one kill-and-recover cycle and returns the detection
+// and recovery latencies taken from the leader's event log.
+func failoverTrial(hb time.Duration) (detect, recover time.Duration, err error) {
+	g, in, err := failoverGraph()
+	if err != nil {
+		return 0, 0, err
+	}
+	names := []string{"w1", "w2", "w3"}
+	l, err := cluster.NewLeader("127.0.0.1:0", names, g,
+		map[stream.ID]string{in: "w1"}, nil,
+		cluster.WithHeartbeat(hb, 3*hb/2))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer l.Stop()
+
+	nodes := make([]*cluster.Node, len(names))
+	errs := make([]error, len(names))
+	done := make(chan int, len(names))
+	for i, name := range names {
+		go func(i int, name string) {
+			nodes[i], errs[i] = cluster.Join(l.Addr(), name, g, worker.Options{})
+			done <- i
+		}(i, name)
+	}
+	for range names {
+		<-done
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			return 0, 0, errs[i]
+		}
+		defer nodes[i].Close()
+	}
+	if err := l.Wait(); err != nil {
+		return 0, 0, err
+	}
+
+	// Warm traffic, then a heartbeat cycle so a checkpoint ships.
+	for ts := uint64(1); ts <= 5; ts++ {
+		if err := nodes[0].Worker.Inject(in, message.Data(timestamp.New(ts), 1)); err != nil {
+			return 0, 0, err
+		}
+		if err := nodes[0].Worker.Inject(in, message.Watermark(timestamp.New(ts))); err != nil {
+			return 0, 0, err
+		}
+	}
+	time.Sleep(2 * hb)
+
+	killed := time.Now()
+	nodes[1].Kill()
+	deadline := time.Now().Add(20*hb + 2*time.Second)
+	for {
+		var detectedAt, recoveredAt time.Time
+		for _, e := range l.Events() {
+			switch e.Kind {
+			case cluster.EventFailureDetected:
+				detectedAt = e.At
+			case cluster.EventRecovered:
+				recoveredAt = e.At
+			}
+		}
+		if !recoveredAt.IsZero() {
+			return detectedAt.Sub(killed), recoveredAt.Sub(detectedAt), nil
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("no recovery within %v (events %+v)", time.Since(killed), l.Events())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// FailoverReaction sweeps the heartbeat period and measures, per period,
+// how fast the resident leader detects an ungraceful worker crash
+// (heartbeat silence crossing FailAfter = 1.5x the period) and how fast
+// the cluster completes recovery (reschedule push, state restore at the
+// consistent cut, replay barrier). Detection cost scales with the period;
+// recovery is period-independent, so short heartbeats buy reaction time at
+// the price of control-plane traffic.
+func FailoverReaction(trials int) FailoverResult {
+	if trials <= 0 {
+		trials = 5
+	}
+	periods := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+	}
+	var res FailoverResult
+	for _, hb := range periods {
+		row := failoverRow{Heartbeat: hb, Detect: metrics.NewSample(), Recover: metrics.NewSample(), Trials: trials}
+		for i := 0; i < trials; i++ {
+			d, r, err := failoverTrial(hb)
+			if err != nil {
+				row.Failed++
+				continue
+			}
+			row.Detect.Add(d)
+			row.Recover.Add(r)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints the reaction-time sweep.
+func (r FailoverResult) Render() string {
+	t := metrics.NewTable("heartbeat", "fail window", "detect median", "detect stddev", "detect max", "recover median", "trials")
+	for _, row := range r.Rows {
+		trials := fmt.Sprintf("%d", row.Trials)
+		if row.Failed > 0 {
+			trials = fmt.Sprintf("%d (%d failed)", row.Trials, row.Failed)
+		}
+		t.Row(row.Heartbeat, 3*row.Heartbeat/2,
+			row.Detect.Median(), row.Detect.StdDev(), row.Detect.Max(),
+			row.Recover.Median(), trials)
+	}
+	return t.String()
+}

@@ -91,6 +91,22 @@ func (s *Sample) Min() time.Duration {
 	return s.vals[0]
 }
 
+// StdDev returns the population standard deviation (0 when empty) — the
+// failover experiment reports it alongside the mean so detection-latency
+// jitter across trials is visible.
+func (s *Sample) StdDev() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var ss float64
+	for _, v := range s.vals {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(len(s.vals))))
+}
+
 // TailRatio returns p99/mean — the skew metric the paper uses to argue
 // against WCET-driven execution (§2.2, Fig. 3).
 func (s *Sample) TailRatio() float64 {

@@ -11,12 +11,13 @@ import (
 const EnvironmentCodecID uint64 = 3
 
 func init() {
+	comm.RegisterPayload(Environment{})
 	comm.RegisterCodec(comm.Codec{
 		ID:      EnvironmentCodecID,
 		Name:    "policy.Environment",
 		Version: 1,
 		Unmarshal: func(body []byte, _ uint8) (any, error) {
-			r := comm.NewFrameReader(body)
+			r := comm.ReaderOf(body)
 			var e Environment
 			e.Speed = r.Float64()
 			e.AgentDistance = r.Float64()

@@ -1,0 +1,242 @@
+package pylot
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/core/cluster"
+	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/erdos"
+	"github.com/erdos-go/erdos/internal/core/faults"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/worker"
+)
+
+// TestChaosWorkerCrash drives the full pylot pipeline on a three-worker
+// cluster while a seeded fault schedule (1) ungracefully kills the worker
+// running the perception→prediction→planning affinity group mid-stream and
+// (2) stalls the re-homed planner after recovery. It asserts the failover
+// contract end to end:
+//
+//   - the leader detects the crash within 2x the heartbeat period;
+//   - the affinity group migrates as a unit, with perception's tracker
+//     restored from its last shipped checkpoint;
+//   - every injected frame yields exactly one control command — frames
+//     retained during the outage are replayed, and re-processed timestamps
+//     are fenced at the consumer, so nothing is lost or duplicated;
+//   - the post-recovery stall surfaces as deadline-exception-handler
+//     activations, not a hang.
+func TestChaosWorkerCrash(t *testing.T) {
+	const (
+		// A generous heartbeat keeps the false-positive margin wide: a race-
+		// instrumented run under load can delay a healthy worker's heartbeat
+		// by well over 100ms, and a falsely-declared-dead survivor would sink
+		// the whole test. FailAfter at 1.5x the period still detects a real
+		// crash within the 2x-period budget asserted below.
+		hb          = 200 * time.Millisecond
+		failAfter   = 300 * time.Millisecond
+		frames      = 100
+		framePeriod = 20 * time.Millisecond
+		killAt      = 500 * time.Millisecond
+		stallAt     = 1400 * time.Millisecond
+		// Longer than the stopping-distance policy's Max deadline (500ms),
+		// so a stalled planning timestamp is guaranteed to miss.
+		stallFor = 700 * time.Millisecond
+	)
+
+	var misses atomic.Uint64
+	g := erdos.NewGraph()
+	Build(g, Config{TimeScale: 50, TargetSpeed: 12, Seed: 7,
+		OnMiss: func(*erdos.HandlerContext) { misses.Add(1) }})
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	raw := g.Raw()
+
+	var camID, cmdID stream.ID
+	for _, s := range raw.Streams() {
+		switch s.Name {
+		case "camera":
+			camID = s.ID
+		case "commands":
+			cmdID = s.ID
+		}
+	}
+	// Frames enter and commands leave on w3, which survives the crash: the
+	// outage must not take the sensor or the actuator down with it.
+	ingestAt := map[stream.ID]string{camID: "w3"}
+	extract := map[stream.ID][]string{cmdID: {"w3"}}
+
+	sch := faults.NewSchedule(41).
+		Kill(killAt, "w1").
+		Stall(stallAt, "w2", "planning", stallFor)
+	inj := faults.NewInjector(sch)
+	defer inj.Stop()
+
+	names := []string{"w1", "w2", "w3"}
+	l, err := cluster.NewLeader("127.0.0.1:0", names, raw, ingestAt, extract,
+		cluster.WithHeartbeat(hb, failAfter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Stop()
+
+	nodes := make([]*cluster.Node, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			nodes[i], errs[i] = cluster.Join(l.Addr(), name, raw,
+				worker.Options{Threads: 4, WrapCallback: inj.CallbackWrapper(name)},
+				cluster.WithCommOptions(comm.WithConnHook(inj.Hook(name))))
+		}(i, name)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("join %d: %v", i, errs[i])
+		}
+		defer nodes[i].Close()
+	}
+	if err := l.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fault plan assumes the initial placement: the affinity chain on
+	// w1 (the victim), pDP on w2 (the stall target after adoption), control
+	// on w3.
+	assign := nodes[2].Schedule().Assignments
+	if assign["perception"] != "w1" || assign["planning"] != "w1" || assign["control"] != "w3" {
+		t.Fatalf("unexpected initial placement: %v", assign)
+	}
+	inj.RegisterKiller("w1", nodes[0].Kill)
+
+	var mu sync.Mutex
+	got := make(map[uint64]int)
+	if err := nodes[2].Worker.Subscribe(cmdID, func(m message.Message) {
+		if !m.IsData() {
+			return
+		}
+		mu.Lock()
+		got[m.Timestamp.L]++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Frames flow for the whole test (~2s) while the fault schedule plays
+	// out underneath: kill at 0.5s, recovery ~0.7s, stall 1.3s–2.0s.
+	inj.Arm()
+	injectDone := make(chan error, 1)
+	go func() {
+		for f := 1; f <= frames; f++ {
+			ts := erdos.T(uint64(f))
+			frame := CameraFrame{Seq: uint64(f), EgoSpeed: 12,
+				Agents: []tracking.Observation{{X: 80 - 0.5*float64(f), Y: 0}}}
+			if err := nodes[2].Worker.Inject(camID, message.Data(ts, frame)); err != nil {
+				injectDone <- err
+				return
+			}
+			if err := nodes[2].Worker.Inject(camID, message.Watermark(ts)); err != nil {
+				injectDone <- err
+				return
+			}
+			time.Sleep(framePeriod)
+		}
+		injectDone <- nil
+	}()
+
+	waitFor := func(what string, d time.Duration, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(d)
+		for !ok() {
+			if time.Now().After(deadline) {
+				mu.Lock()
+				n := len(got)
+				mu.Unlock()
+				t.Fatalf("timed out waiting for %s (events %+v, %d timestamps seen)",
+					what, l.Events(), n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("recovery", 10*time.Second, func() bool {
+		for _, e := range l.Events() {
+			if e.Kind == cluster.EventRecovered {
+				return true
+			}
+		}
+		return false
+	})
+	missesAtRecovery := misses.Load()
+
+	// Detection latency: from the injector's recorded kill instant to the
+	// leader's failure event.
+	var killedAt, detectedAt time.Time
+	for _, f := range inj.Fired() {
+		if f.Fault.Kind == faults.KindKill {
+			killedAt = f.At
+		}
+	}
+	for _, e := range l.Events() {
+		if e.Kind == cluster.EventFailureDetected && e.Worker == "w1" {
+			detectedAt = e.At
+		}
+	}
+	if killedAt.IsZero() || detectedAt.IsZero() {
+		t.Fatalf("missing kill record or detection event (fired %+v, events %+v)",
+			inj.Fired(), l.Events())
+	}
+	if lat := detectedAt.Sub(killedAt); lat > 2*hb {
+		t.Fatalf("detection latency %v exceeds 2x heartbeat period (%v)", lat, 2*hb)
+	}
+
+	// The affinity group moved as a unit to w2, and the adopter carries
+	// perception's checkpointed tracker, not a cold start.
+	newAssign := nodes[1].Schedule().Assignments
+	for _, op := range []string{"perception", "prediction", "planning"} {
+		if newAssign[op] != "w2" {
+			t.Fatalf("%s re-placed on %q, want w2 (assign %v)", op, newAssign[op], newAssign)
+		}
+		if !nodes[1].Worker.Has(op) {
+			t.Fatalf("w2 did not adopt %s", op)
+		}
+	}
+	if cp, ok := nodes[1].Worker.Checkpoint("perception"); !ok || !cp.HasState {
+		t.Fatalf("adopted perception has no committed state (ok=%v cp=%+v)", ok, cp)
+	}
+
+	if err := <-injectDone; err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+
+	// Every frame — before, during and after the outage — produces exactly
+	// one command: the producer-side ring replays what the dead worker
+	// never processed, and the control operator's watermark fence drops the
+	// re-processed duplicates.
+	waitFor("all commands", 30*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= frames
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for f := uint64(1); f <= frames; f++ {
+		if n := got[f]; n != 1 {
+			t.Fatalf("frame %d produced %d commands, want exactly 1", f, n)
+		}
+	}
+
+	// The stalled planner missed deadlines after recovery and the misses
+	// arrived through the DEH path while the pipeline kept running.
+	if final := misses.Load(); final <= missesAtRecovery {
+		t.Fatalf("no post-recovery deadline-exception activations (before %d, after %d)",
+			missesAtRecovery, final)
+	}
+}

@@ -22,19 +22,25 @@ const (
 )
 
 func init() {
+	// Gob registrations back the negotiation fallback: a peer whose build
+	// lacks one of these codecs receives the payload as a gob Envelope.
+	comm.RegisterPayload(CameraFrame{})
+	comm.RegisterPayload(Obstacles{})
+	comm.RegisterPayload(Predictions{})
+	comm.RegisterPayload(Plan{})
 	comm.RegisterCodec(comm.Codec{
 		ID:      CameraFrameCodecID,
 		Name:    "pylot.CameraFrame",
 		Version: 1,
 		Unmarshal: func(body []byte, _ uint8) (any, error) {
-			r := comm.NewFrameReader(body)
+			r := comm.ReaderOf(body)
 			var f CameraFrame
 			f.Seq = r.Uvarint()
 			f.EgoSpeed = r.Float64()
 			if n := r.Len(16); n > 0 {
 				f.Agents = make([]tracking.Observation, n)
 				for i := range f.Agents {
-					f.Agents[i].UnmarshalFrame(r)
+					f.Agents[i].UnmarshalFrame(&r)
 				}
 			}
 			return f, r.Err()
@@ -45,13 +51,13 @@ func init() {
 		Name:    "pylot.Obstacles",
 		Version: 1,
 		Unmarshal: func(body []byte, _ uint8) (any, error) {
-			r := comm.NewFrameReader(body)
+			r := comm.ReaderOf(body)
 			var o Obstacles
 			o.Detector = r.String()
 			if n := r.Len(36); n > 0 { // 4 floats + 3 varints + 1 uvarint
 				o.Tracks = make([]tracking.Track, n)
 				for i := range o.Tracks {
-					o.Tracks[i].UnmarshalFrame(r)
+					o.Tracks[i].UnmarshalFrame(&r)
 				}
 			}
 			return o, r.Err()
@@ -62,13 +68,13 @@ func init() {
 		Name:    "pylot.Predictions",
 		Version: 1,
 		Unmarshal: func(body []byte, _ uint8) (any, error) {
-			r := comm.NewFrameReader(body)
+			r := comm.ReaderOf(body)
 			var p Predictions
 			p.Horizon = time.Duration(r.Varint())
 			if n := r.Len(2); n > 0 { // varint id + uvarint count per trajectory
 				p.Trajectories = make([]prediction.Trajectory, n)
 				for i := range p.Trajectories {
-					p.Trajectories[i].UnmarshalFrame(r)
+					p.Trajectories[i].UnmarshalFrame(&r)
 				}
 			}
 			return p, r.Err()
@@ -79,13 +85,13 @@ func init() {
 		Name:    "pylot.Plan",
 		Version: 1,
 		Unmarshal: func(body []byte, _ uint8) (any, error) {
-			r := comm.NewFrameReader(body)
+			r := comm.ReaderOf(body)
 			var p Plan
-			p.Trajectory.UnmarshalFrame(r)
+			p.Trajectory.UnmarshalFrame(&r)
 			if n := r.Len(16); n > 0 {
 				p.Waypoints = make([]control.Waypoint, n)
 				for i := range p.Waypoints {
-					p.Waypoints[i].UnmarshalFrame(r)
+					p.Waypoints[i].UnmarshalFrame(&r)
 				}
 			}
 			p.Candidates = int(r.Varint())

@@ -163,7 +163,7 @@ func TestZeroGobPylotCluster(t *testing.T) {
 
 	// The affinity group keeps perception→prediction→planning on one
 	// worker even though only perception would land there round-robin.
-	assign := nodes[0].Schedule.Assignments
+	assign := nodes[0].Schedule().Assignments
 	if assign["perception"] != assign["prediction"] || assign["perception"] != assign["planning"] {
 		t.Fatalf("affinity chain split across workers: %v", assign)
 	}

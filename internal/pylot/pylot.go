@@ -22,6 +22,7 @@ import (
 	"github.com/erdos-go/erdos/internal/av/prediction"
 	"github.com/erdos-go/erdos/internal/av/tracking"
 	"github.com/erdos-go/erdos/internal/core/erdos"
+	"github.com/erdos-go/erdos/internal/core/state"
 	"github.com/erdos-go/erdos/internal/policy"
 	"github.com/erdos-go/erdos/internal/trace"
 )
@@ -71,6 +72,11 @@ type Config struct {
 	TargetSpeed float64
 	// Seed drives the emulated runtime distributions.
 	Seed int64
+	// OnMiss, when non-nil, runs inside the deadline-exception handler of
+	// every timestamp deadline in the pipeline (perception, planning), so
+	// callers observe DEH activations — chaos tests assert that an outage
+	// surfaces as deadline exceptions rather than silent hangs.
+	OnMiss func(h *erdos.HandlerContext)
 }
 
 // Handles exposes the pipeline's boundary streams.
@@ -91,11 +97,33 @@ type perceptionState struct {
 }
 
 func clonePerception(s *perceptionState) *perceptionState {
-	// The tracker is owned by the perception operator and accessed by one
-	// timestamp at a time (sequential lattice mode); tracks are copied on
-	// publish, so a shallow clone is sufficient and cheap.
+	// The tracker must be deep-copied: committed versions are read outside
+	// the operator's serial execution — checkpointed by the heartbeat loop,
+	// handed to DEHs — while the working tracker keeps mutating.
 	c := *s
+	c.Tracker = s.Tracker.Clone()
 	return &c
+}
+
+// predState carries the newest obstacles into prediction's watermark
+// callback.
+type predState struct{ Last Obstacles }
+
+// planState carries the newest predictions into planning's watermark
+// callback.
+type planState struct{ Last Predictions }
+
+// ctlState carries the newest plan into control's watermark callback.
+type ctlState struct{ Last Plan }
+
+func init() {
+	// Operator state crosses worker migrations as gob checkpoints
+	// (state.Snapshot); register every concrete state type the pipeline
+	// commits.
+	state.RegisterState(&perceptionState{})
+	state.RegisterState(&predState{})
+	state.RegisterState(&planState{})
+	state.RegisterState(&ctlState{})
 }
 
 // Build assembles the graph. Call g.RunLocal (or run it on a cluster)
@@ -131,6 +159,10 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 
 	dyn := erdos.DynamicDeadline(g, deadlines, cfg.Deadline)
 	scale := cfg.TimeScale
+	var onMiss erdos.HandlerCallback
+	if cfg.OnMiss != nil {
+		onMiss = cfg.OnMiss
+	}
 
 	// Perception: detection (emulated runtime, budget-driven model
 	// choice) + the real SORT-style tracker.
@@ -178,7 +210,7 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 			}(),
 		})
 	})
-	perception.TimestampDeadline("perception", dyn, erdos.Continue, nil)
+	perception.TimestampDeadline("perception", dyn, erdos.Continue, onMiss)
 	perception.Build()
 
 	// pDP: the deadline policy as an operator subgraph (Fig. 4): consumes
@@ -192,21 +224,22 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 	pdp.Build()
 
 	// Prediction: the real constant-velocity predictor with the emulated
-	// lightweight model runtime.
-	type predState struct{ Ego float64 }
+	// lightweight model runtime. The newest obstacles live in operator
+	// state (not a closure) so they checkpoint and restore with the
+	// operator on migration.
 	predict := g.Operator("prediction")
 	prOut := erdos.Output(predict, predictions)
 	erdos.WithState(predict, &predState{}, func(s *predState) *predState { c := *s; return &c })
-	var lastObstacles Obstacles
 	erdos.Input(predict, obstacles, func(ctx *erdos.Context, t erdos.Timestamp, o Obstacles) {
-		lastObstacles = o
+		erdos.StateOf[*predState](ctx).Last = o
 	})
 	predict.OnWatermark(func(ctx *erdos.Context) {
+		last := erdos.StateOf[*predState](ctx).Last
 		horizon := prediction.HorizonForSpeed(cfg.TargetSpeed)
-		emulate(prediction.Linear.Runtime(predictionRng, horizon, len(lastObstacles.Tracks)), scale, ctx)
-		tracks := make([]*tracking.Track, len(lastObstacles.Tracks))
-		for i := range lastObstacles.Tracks {
-			tracks[i] = &lastObstacles.Tracks[i]
+		emulate(prediction.Linear.Runtime(predictionRng, horizon, len(last.Tracks)), scale, ctx)
+		tracks := make([]*tracking.Track, len(last.Tracks))
+		for i := range last.Tracks {
+			tracks[i] = &last.Tracks[i]
 		}
 		_ = ctx.Send(prOut, ctx.Timestamp, Predictions{
 			Trajectories: prediction.Predict(tracks, horizon, 250*time.Millisecond),
@@ -219,11 +252,12 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 	// allocation (§5.3).
 	planOp := g.Operator("planning")
 	plOut := erdos.Output(planOp, plans)
-	var lastPred Predictions
+	erdos.WithState(planOp, &planState{}, func(s *planState) *planState { c := *s; return &c })
 	erdos.Input(planOp, predictions, func(ctx *erdos.Context, t erdos.Timestamp, p Predictions) {
-		lastPred = p
+		erdos.StateOf[*planState](ctx).Last = p
 	})
 	planOp.OnWatermark(func(ctx *erdos.Context) {
+		lastPred := erdos.StateOf[*planState](ctx).Last
 		var obs []planning.Obstacle
 		for _, tr := range lastPred.Trajectories {
 			if len(tr.Waypoints) > 0 {
@@ -250,20 +284,28 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 		}
 		_ = ctx.Send(plOut, ctx.Timestamp, plan)
 	})
-	planOp.TimestampDeadline("planning", dyn, erdos.Continue, nil)
+	planOp.TimestampDeadline("planning", dyn, erdos.Continue, onMiss)
 	planOp.Build()
 
 	// Control: the real PID + pure-pursuit controller at the end of the
-	// chain.
+	// chain. Commands are emitted from the watermark callback, not per
+	// data message: the runtime drops regressed watermarks, so a replayed
+	// plan after a failover produces no second command for a timestamp the
+	// controller already acted on (exactly-once effects at watermark
+	// granularity).
 	ctl := g.Operator("control")
 	cOut := erdos.Output(ctl, commands)
 	controller := control.NewController()
+	erdos.WithState(ctl, &ctlState{}, func(s *ctlState) *ctlState { c := *s; return &c })
 	erdos.Input(ctl, plans, func(ctx *erdos.Context, t erdos.Timestamp, p Plan) {
+		erdos.StateOf[*ctlState](ctx).Last = p
+	})
+	ctl.OnWatermark(func(ctx *erdos.Context) {
+		p := erdos.StateOf[*ctlState](ctx).Last
 		emulate(control.Runtime, scale, ctx)
 		cmd := controller.Step(cfg.TargetSpeed*0.95, cfg.TargetSpeed, p.Waypoints, 100*time.Millisecond)
-		_ = ctx.Send(cOut, t, cmd)
+		_ = ctx.Send(cOut, ctx.Timestamp, cmd)
 	})
-	ctl.OnWatermark(func(ctx *erdos.Context) {})
 	ctl.Build()
 
 	// The perception→prediction→planning chain dominates the critical path
