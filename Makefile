@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz chaos bench figures
+.PHONY: check fmt vet build test race fuzz analyze chaos bench figures
 
 ## check: everything CI runs — formatting, vet, build, tests under -race,
-## and a short fuzz smoke pass over the wire-format decoders
-check: fmt vet build race fuzz
+## the erdos-vet invariant analyzers, and a short fuzz smoke pass over the
+## wire-format decoders
+check: fmt vet build race fuzz analyze
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -30,6 +31,13 @@ FUZZTIME ?= 3s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTimestampBinary -fuzztime $(FUZZTIME) ./internal/core/timestamp
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/core/comm
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/core/state
+
+## analyze: the five D3-invariant analyzers (zerogob, wallclock, lockhold,
+## statetxn, deadlinehint) over the whole module; see DESIGN.md and
+## //erdos:allow for the suppression contract
+analyze:
+	$(GO) run ./cmd/erdos-vet ./...
 
 ## chaos: the fault-injection suite under the race detector — seeded worker
 ## kills and operator stalls against live clusters, asserting detection

@@ -1,0 +1,88 @@
+// erdos-vet runs the D3-invariant analyzers (internal/analysis) over the
+// whole module and exits nonzero on any unsuppressed finding. It is wired
+// into `make analyze` and the CI erdos-vet job, so the build refuses code
+// that violates the runtime's contracts: zero-gob payloads, deterministic
+// callbacks, non-blocking critical sections, transactional operator state,
+// and deadline-hinted transport sends.
+//
+// Usage:
+//
+//	erdos-vet [-v] [dir]
+//
+// dir defaults to the current directory; the module containing it is
+// analyzed in full (testdata and test files excluded). -v also prints
+// findings suppressed by //erdos:allow directives, with their reasons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/erdos-go/erdos/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also print //erdos:allow-suppressed findings")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: erdos-vet [-v] [dir]\n\nAnalyzers:\n")
+		for _, a := range analysis.All {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir := "."
+	if args := flag.Args(); len(args) > 0 {
+		// Accept the conventional ./... spelling: the run is always
+		// whole-module.
+		dir = strings.TrimSuffix(args[0], "...")
+		if dir == "" || dir == "./" {
+			dir = "."
+		}
+	}
+
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run(l, pkgs, analysis.All)
+	if err != nil {
+		fatal(err)
+	}
+
+	bad := 0
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(l.ModDir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		if d.Suppressed {
+			if *verbose {
+				fmt.Printf("%s: [%s] allowed (%s): %s\n", pos, d.Analyzer, d.AllowReason, d.Message)
+			}
+			continue
+		}
+		bad++
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "erdos-vet: %d finding(s) in %d package(s) analyzed\n", bad, len(pkgs))
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Printf("erdos-vet: %d packages clean (%d analyzer(s))\n", len(pkgs), len(analysis.All))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "erdos-vet:", err)
+	os.Exit(1)
+}

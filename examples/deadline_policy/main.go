@@ -55,7 +55,7 @@ func main() {
 	erdos.Input(planner, ego, nil)
 	planner.OnWatermark(func(ctx *erdos.Context) {
 		rel, _, _ := ctx.Deadline()
-		_ = ctx.Send(pOut, ctx.Timestamp, fmt.Sprintf("plan within %v", rel))
+		_ = ctx.Send(pOut, ctx.Timestamp, fmt.Sprintf("plan within %v", rel)) //erdos:allow zerogob single-process demo; the plan string never crosses a transport
 	})
 	planner.TimestampDeadline("planner-e2e", dyn, erdos.Continue, func(h *erdos.HandlerContext) {
 		fmt.Printf("  [DEH] planner missed %v at %v\n", h.Miss.Relative, h.Miss.Timestamp)
@@ -88,7 +88,7 @@ func main() {
 	}
 	for i, s := range states {
 		ts := erdos.T(uint64(i + 1))
-		_ = w.Send(ts, s)
+		_ = w.Send(ts, s) //erdos:allow zerogob single-process demo; EgoState never crosses a transport
 		_ = w.SendWatermark(ts)
 	}
 	rt.Quiesce()

@@ -40,14 +40,14 @@ func main() {
 	erdos.Input(op, camera, func(ctx *erdos.Context, t erdos.Timestamp, f Frame) {
 		if f.ID == 3 {
 			// Environment-dependent runtime (C2): this frame is slow.
-			time.Sleep(60 * time.Millisecond)
+			time.Sleep(60 * time.Millisecond) //erdos:allow wallclock the sleep models environment-dependent compute, not a timing decision
 		}
 		if ctx.Aborted() {
 			return // the deadline handler took over this timestamp
 		}
 		st := erdos.StateOf[*DetectorState](ctx)
 		st.Last = Detection{Frame: f.ID, Label: "pedestrian"}
-		_ = ctx.Send(out, t, st.Last)
+		_ = ctx.Send(out, t, st.Last) //erdos:allow zerogob single-process demo; Detection never crosses a transport
 	})
 	op.OnWatermark(func(ctx *erdos.Context) {})
 	op.TimestampDeadline("detector-30ms", erdos.Static(30*time.Millisecond), erdos.Abort,
@@ -59,7 +59,7 @@ func main() {
 			}
 			fmt.Printf("  [DEH] deadline missed for %v -> re-releasing frame %d's detection\n",
 				h.Miss.Timestamp, prev.Frame)
-			_ = h.Send(out, h.Miss.Timestamp, prev)
+			_ = h.Send(out, h.Miss.Timestamp, prev) //erdos:allow zerogob single-process demo; Detection never crosses a transport
 			_ = h.SendWatermark(out, h.Miss.Timestamp)
 		})
 	op.Build()
@@ -81,7 +81,7 @@ func main() {
 
 	for id := 1; id <= 5; id++ {
 		ts := erdos.T(uint64(id))
-		_ = cam.Send(ts, Frame{ID: id})
+		_ = cam.Send(ts, Frame{ID: id}) //erdos:allow zerogob single-process demo; Frame never crosses a transport
 		_ = cam.SendWatermark(ts)
 		time.Sleep(80 * time.Millisecond) // 12.5 Hz camera
 	}

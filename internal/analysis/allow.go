@@ -1,0 +1,77 @@
+// Parsing of //erdos:allow suppression directives. A directive covers
+// diagnostics on its own line (trailing comment) or the line directly below
+// it (directive-only line above the offending statement); the mandatory
+// reason keeps every exception auditable in place.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+const allowPrefix = "//erdos:allow"
+
+var allowRe = regexp.MustCompile(`^//erdos:allow[ \t]+([a-z]+)[ \t]*(.*)$`)
+
+// allowDirective is one parsed //erdos:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+// parseAllows extracts directives from the files' comments. Malformed
+// directives (unparsable, or missing the reason) come back as diagnostics:
+// an unexplained exception is itself a violation.
+func parseAllows(fset *token.FileSet, files []*ast.File) (dirs []*allowDirective, bad []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				m := allowRe.FindStringSubmatch(c.Text)
+				pos := fset.Position(c.Pos())
+				if m == nil {
+					bad = append(bad, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  fmt.Sprintf("malformed directive %q: want //erdos:allow <analyzer> <reason>", c.Text),
+					})
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//erdos:allow %s without a reason: justify the exception", m[1]),
+					})
+					continue
+				}
+				dirs = append(dirs, &allowDirective{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					pos:      pos,
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// matchAllow returns the directive covering d, or nil.
+func matchAllow(dirs []*allowDirective, d Diagnostic) *allowDirective {
+	for _, dir := range dirs {
+		if dir.analyzer != d.Analyzer || dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if d.Pos.Line == dir.pos.Line || d.Pos.Line == dir.pos.Line+1 {
+			return dir
+		}
+	}
+	return nil
+}

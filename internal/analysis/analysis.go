@@ -1,0 +1,139 @@
+// Package analysis is a small, stdlib-only static-analysis framework plus
+// the five D3-specific analyzers behind cmd/erdos-vet. The runtime's core
+// contracts — zero-gob payloads on the wire, deterministic callbacks,
+// non-blocking critical sections, transactional operator state, and
+// deadline-hinted sends — are invariants the paper treats as system
+// guarantees (§3, §4.3); this package makes the build refuse code that
+// breaks them instead of hoping a runtime test catches it.
+//
+// A justified exception is suppressed in place with a reasoned directive:
+//
+//	//erdos:allow <analyzer> <reason>
+//
+// on the offending line or the line directly above it. Directives without a
+// reason, and directives that no longer suppress anything, are themselves
+// diagnostics — the escape hatch stays auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer identifier used in output and allow directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports findings on pass.Pkg via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// All lists the erdos-vet analyzers in reporting order.
+var All = []*Analyzer{ZeroGob, Wallclock, LockHold, StateTxn, DeadlineHint}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	loader   *Loader
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Dep returns the type-checked types for a module-internal dependency, or an
+// error when it cannot be loaded. Analyzers use it to look up interfaces and
+// signatures from packages the analyzed package may not even import.
+func (p *Pass) Dep(path string) (*types.Package, error) {
+	pkg, err := p.loader.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkg.Errs) > 0 {
+		return nil, fmt.Errorf("analysis: dependency %s has type errors: %v", path, pkg.Errs[0])
+	}
+	return pkg.Types, nil
+}
+
+// Diagnostic is one finding, resolved to a file position and annotated with
+// the allow directive that suppressed it, if any.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed is true when an //erdos:allow directive covers the finding;
+	// AllowReason carries the directive's justification.
+	Suppressed  bool
+	AllowReason string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run executes the analyzers over the packages and returns every diagnostic
+// (suppressed ones included), sorted by position. Packages with type errors
+// abort the run: analyzers cannot be trusted on half-checked trees.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.Errs) > 0 {
+			return nil, fmt.Errorf("analysis: %s has type errors: %v", pkg.Path, pkg.Errs[0])
+		}
+		dirs, bad := parseAllows(l.Fset, pkg.Files)
+		all = append(all, bad...)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: l.Fset, Pkg: pkg, loader: l, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for i := range diags {
+			if d := matchAllow(dirs, diags[i]); d != nil {
+				diags[i].Suppressed, diags[i].AllowReason = true, d.reason
+				d.used = true
+			}
+		}
+		all = append(all, diags...)
+		// A directive whose analyzer ran but that suppressed nothing is stale:
+		// either the violation was fixed (delete the directive) or the
+		// directive drifted away from the line it excuses.
+		for _, d := range dirs {
+			if ran[d.analyzer] && !d.used {
+				all = append(all, Diagnostic{
+					Analyzer: "allow",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("stale //erdos:allow %s directive: nothing to suppress on this or the next line", d.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The loader is shared: fixture packages import the real runtime, and
+// type-checking the runtime (plus the stdlib through the source importer)
+// once per test would dominate the suite.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { loader, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
+	}
+	return loader
+}
+
+// expectation is one parsed marker: a diagnostic containing substr must
+// appear in file at line, suppressed iff allowed.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	allowed bool
+	matched bool
+}
+
+// markerRe matches want and wantAllowed markers, each quoting a substring
+// of the expected message. An optional signed offset (want-1, want+2) moves
+// the expected line relative to the marker, for findings whose own line is
+// a line comment and cannot carry a trailing marker.
+var markerRe = regexp.MustCompile(`// (wantAllowed|want)([+-]\d+)? "([^"]+)"`)
+
+func parseExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exps []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range markerRe.FindAllStringSubmatch(line, -1) {
+				offset := 0
+				if m[2] != "" {
+					offset, _ = strconv.Atoi(m[2])
+				}
+				exps = append(exps, &expectation{
+					file:    path,
+					line:    i + 1 + offset,
+					substr:  m[3],
+					allowed: m[1] == "wantAllowed",
+				})
+			}
+		}
+	}
+	if len(exps) == 0 {
+		t.Fatalf("no want markers in %s", dir)
+	}
+	return exps
+}
+
+// runFixture loads testdata/<name>, runs one analyzer, and requires an
+// exact bijection between diagnostics and markers.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	l := fixtureLoader(t)
+	dir := filepath.Join("testdata", name)
+	pkg, err := l.LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Errs) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.Errs)
+	}
+	diags, err := Run(l, []*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := parseExpectations(t, dir)
+	for _, d := range diags {
+		var hit *expectation
+		for _, e := range exps {
+			if !e.matched && e.file == d.Pos.Filename && e.line == d.Pos.Line &&
+				e.allowed == d.Suppressed && strings.Contains(d.Message, e.substr) {
+				hit = e
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("unexpected diagnostic: %s (suppressed=%v)", d, d.Suppressed)
+			continue
+		}
+		hit.matched = true
+	}
+	for _, e := range exps {
+		if !e.matched {
+			kind := "finding"
+			if e.allowed {
+				kind = "suppressed finding"
+			}
+			t.Errorf("%s:%d: expected %s containing %q, got none", e.file, e.line, kind, e.substr)
+		}
+	}
+}
+
+func TestZeroGobFixture(t *testing.T)      { runFixture(t, ZeroGob, "zerogob") }
+func TestWallclockFixture(t *testing.T)    { runFixture(t, Wallclock, "wallclock") }
+func TestWallclockPkgFixture(t *testing.T) { runFixture(t, Wallclock, "wallclockpkg") }
+func TestLockHoldFixture(t *testing.T)     { runFixture(t, LockHold, "lockhold") }
+func TestStateTxnFixture(t *testing.T)     { runFixture(t, StateTxn, "statetxn") }
+func TestDeadlineHintFixture(t *testing.T) { runFixture(t, DeadlineHint, "deadlinehint") }
+func TestAllowDirectives(t *testing.T)     { runFixture(t, Wallclock, "allow") }
+
+// TestModuleClean is the tier-1 guard: the shipped tree stays free of
+// unsuppressed findings, so `go test` fails the moment a violation lands.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis is not short")
+	}
+	l := fixtureLoader(t)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(l, pkgs, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !d.Suppressed {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// The deadlinehint analyzer keeps deadline slack visible to the transport:
+// (*comm.Transport).Send flushes with a zero hint, so the write-side
+// coalescer (PR 2) cannot batch around the caller's deadline. Hot-path code
+// must call SendWithHint — with an explicit zero comm.FlushHint when no
+// deadline genuinely applies — so every flush decision is deliberate.
+package analysis
+
+import "go/ast"
+
+// DeadlineHint flags unhinted Transport.Send calls.
+var DeadlineHint = &Analyzer{
+	Name: "deadlinehint",
+	Doc:  "transport sends must carry a flush hint (SendWithHint) so coalescing sees deadline slack",
+	Run:  runDeadlineHint,
+}
+
+func runDeadlineHint(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == commPkgPath && fn.Name() == "Send" && recvTypeName(fn) == "Transport" {
+				pass.Reportf(call.Pos(),
+					"(*comm.Transport).Send flushes with zero slack; use SendWithHint (pass comm.FlushHint{} if no deadline applies) so the coalescer can batch")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+// Package loading for erdos-vet: parse and type-check module packages with
+// nothing but the standard library. Module-internal imports are resolved by
+// recursively loading the imported package; standard-library imports go
+// through the source importer (this toolchain ships no precompiled export
+// data). Everything is cached per Loader, so a whole-module run type-checks
+// each package exactly once.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	// Path is the import path (synthetic for fixture packages).
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files holds the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the type-checker's results.
+	Types *types.Package
+	Info  *types.Info
+	// Errs collects type-check errors; analyzers refuse packages that
+	// did not check cleanly.
+	Errs []error
+}
+
+// Loader parses and type-checks packages of one module.
+type Loader struct {
+	Fset *token.FileSet
+	// ModDir is the module root (the directory holding go.mod).
+	ModDir string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// NewLoader locates the module containing dir and returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for d := abs; ; {
+		if data, err := os.ReadFile(filepath.Join(d, "go.mod")); err == nil {
+			modPath := modulePath(data)
+			if modPath == "" {
+				return nil, fmt.Errorf("analysis: no module path in %s/go.mod", d)
+			}
+			fset := token.NewFileSet()
+			std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+			if !ok {
+				return nil, fmt.Errorf("analysis: source importer lacks ImportFrom")
+			}
+			return &Loader{
+				Fset:    fset,
+				ModDir:  d,
+				ModPath: modPath,
+				std:     std,
+				pkgs:    map[string]*Package{},
+			}, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module declaration from go.mod contents.
+func modulePath(mod []byte) string {
+	for _, line := range strings.Split(string(mod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Load returns the type-checked package for a module-internal import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	return l.loadDir(filepath.Join(l.ModDir, filepath.FromSlash(rel)), path)
+}
+
+// LoadDir type-checks the single package rooted at dir under a synthetic
+// import path. Fixture packages (under testdata, invisible to the go tool)
+// are loaded this way; their imports of real module packages resolve
+// normally.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	return l.loadDir(dir, path)
+}
+
+// LoadModule loads every non-test package in the module, skipping testdata
+// and hidden directories, in deterministic path order.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	dirSet := map[string]bool{}
+	err := filepath.WalkDir(l.ModDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.ModDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if isSourceFile(d.Name()) {
+			dirSet[filepath.Dir(p)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModPath
+		if rel != "." {
+			path += "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// isSourceFile reports whether name is a buildable (non-test) Go source.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+func (l *Loader) loadDir(dir, path string) (pkg *Package, err error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return p, nil
+	}
+	// Mark in-progress for cycle detection; drop the marker on failure so a
+	// later retry reports the real error instead of a phantom cycle.
+	l.pkgs[path] = nil
+	defer func() {
+		if err != nil {
+			delete(l.pkgs, path)
+		}
+	}()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go sources in %s", dir)
+	}
+
+	pkg = &Package{
+		Path:  path,
+		Dir:   dir,
+		Files: files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		},
+	}
+	conf := types.Config{
+		Importer: loaderImporter{l},
+		Error:    func(err error) { pkg.Errs = append(pkg.Errs, err) },
+	}
+	// Check returns an error on the first problem but still populates what it
+	// can; collected Errs carry the full story.
+	pkg.Types, _ = conf.Check(path, l.Fset, files, pkg.Info)
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter routes module-internal imports back through the Loader and
+// everything else (the standard library) through the source importer.
+type loaderImporter struct{ l *Loader }
+
+func (li loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, li.l.ModDir, 0)
+}
+
+func (li loaderImporter) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	l := li.l
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Errs) > 0 {
+			return nil, fmt.Errorf("analysis: %s has type errors: %v", path, p.Errs[0])
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, 0)
+}

@@ -1,0 +1,231 @@
+// The lockhold analyzer keeps critical sections non-blocking. The lattice
+// shard queues, the transport's COW peer/codec tables, and the cluster
+// forwarding state are all guarded by mutexes on the hot path; a blocking
+// call — channel op, transport send, net or gob I/O, sleep — made while one
+// is held turns a lock-free-in-spirit section into a convoy (and, when the
+// blocked operation needs the same lock to drain, a deadlock). The analysis
+// is syntactic and per-function: a lock interval runs from X.Lock() to the
+// earliest matching X.Unlock() on the same receiver chain, or to function
+// end when the unlock is deferred; sync.Cond.Wait is exempt because it
+// releases its mutex while parked.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHold flags blocking calls made while a mutex is held.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no blocking calls (sends, channel ops, net/gob I/O, sleeps) while holding a mutex",
+	Run:  runLockHold,
+}
+
+func runLockHold(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					lockholdScope(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				lockholdScope(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type lockEvent struct {
+	key      string
+	pos      token.Pos
+	unlock   bool
+	deferred bool
+}
+
+type blockEvent struct {
+	pos  token.Pos
+	desc string
+}
+
+type posRange struct{ from, to token.Pos }
+
+// lockholdScope analyzes one function body. Nested function literals are
+// separate scopes (they run at a different time, typically on another
+// goroutine) and are skipped here; the outer Inspect visits them on their
+// own.
+func lockholdScope(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var locks []lockEvent
+	var blockers []blockEvent
+	var consumed []posRange
+
+	inRange := func(p token.Pos) bool {
+		for _, r := range consumed {
+			if r.from <= p && p <= r.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				return false
+			}
+		case *ast.DeferStmt:
+			if key, unlock := lockCall(info, n.Call); unlock {
+				locks = append(locks, lockEvent{key: key, pos: n.Pos(), unlock: true, deferred: true})
+			}
+			// Deferred work runs at return; it cannot block the section.
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					hasDefault = true
+				} else {
+					consumed = append(consumed, posRange{cc.Comm.Pos(), cc.Comm.End()})
+				}
+			}
+			if !hasDefault {
+				blockers = append(blockers, blockEvent{n.Pos(), "select without default"})
+			}
+		case *ast.SendStmt:
+			if !inRange(n.Pos()) {
+				blockers = append(blockers, blockEvent{n.Pos(), "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inRange(n.Pos()) {
+				blockers = append(blockers, blockEvent{n.Pos(), "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if t := typeOf(info, n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					blockers = append(blockers, blockEvent{n.Pos(), "range over channel"})
+				}
+			}
+		case *ast.CallExpr:
+			if key, unlock := lockCall(info, n); key != "" {
+				locks = append(locks, lockEvent{key: key, pos: n.Pos(), unlock: unlock})
+			} else if desc, ok := blockingCall(info, n); ok {
+				blockers = append(blockers, blockEvent{n.Pos(), desc})
+			}
+		}
+		return true
+	}
+	// Select clauses register their comm ranges before the clause bodies are
+	// visited, because Inspect is pre-order; in-clause sends/receives are the
+	// select's own and must not double-report.
+	ast.Inspect(body, walk)
+
+	sort.Slice(locks, func(i, j int) bool { return locks[i].pos < locks[j].pos })
+	type interval struct {
+		key      string
+		from, to token.Pos
+	}
+	var held []interval
+	for i, l := range locks {
+		if l.unlock {
+			continue
+		}
+		end := body.End()
+		found := false
+		for j := i + 1; j < len(locks); j++ {
+			u := locks[j]
+			if u.unlock && !u.deferred && u.key == l.key {
+				end = u.pos
+				found = true
+				break
+			}
+		}
+		if !found {
+			// No inline unlock: held to function end (deferred or leaked).
+			end = body.End()
+		}
+		held = append(held, interval{key: l.key, from: l.pos, to: end})
+	}
+
+	sort.Slice(blockers, func(i, j int) bool { return blockers[i].pos < blockers[j].pos })
+	for _, b := range blockers {
+		for _, iv := range held {
+			if iv.from < b.pos && b.pos < iv.to {
+				pass.Reportf(b.pos,
+					"blocking %s while holding %s (locked at line %d); copy out under the lock and do the blocking work after unlock",
+					b.desc, iv.key, pass.Fset.Position(iv.from).Line)
+				break
+			}
+		}
+	}
+}
+
+// lockCall classifies a call as a mutex acquire or release, returning the
+// textual key of the receiver chain ("t.mu") and whether it releases.
+// Non-lock calls return key "".
+func lockCall(info *types.Info, call *ast.CallExpr) (key string, unlock bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	recv := recvTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), false
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), true
+	}
+	return "", false
+}
+
+// blockingCall reports whether a call belongs to the blocking set and
+// describes it. Calls through function values are not classified: the
+// analysis is intentionally first-order.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg, name, recv := fn.Pkg().Path(), fn.Name(), recvTypeName(fn)
+	switch {
+	case pkg == "time" && recv == "" && name == "Sleep":
+		return "time.Sleep", true
+	case pkg == "sync" && recv == "WaitGroup" && name == "Wait":
+		return "sync.WaitGroup.Wait", true
+	case pkg == "net" && recv == "" &&
+		(strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen")):
+		return "net." + name, true
+	case pkg == "net" && name == "Accept":
+		return "net listener Accept", true
+	case pkg == "net" && (name == "Read" || name == "Write" || name == "ReadFrom" || name == "WriteTo"):
+		return "net connection I/O", true
+	case pkg == commPkgPath && recv == "Transport" &&
+		(name == "Send" || name == "SendWithHint" || name == "SendRelease" ||
+			name == "Dial" || name == "DialBackoff"):
+		return "comm.Transport." + name, true
+	case pkg == "encoding/gob" && (name == "Encode" || name == "Decode"):
+		return "gob " + name + " (stream I/O)", true
+	case pkg == "bufio" && recv == "Writer" && name == "Flush":
+		return "bufio.Writer.Flush", true
+	}
+	return "", false
+}

@@ -1,0 +1,129 @@
+// The statetxn analyzer enforces transactional operator state (§5.3-§5.4):
+// everything a callback mutates must live in the state.Store working view
+// (ctx.State), because that is all the runtime checkpoints and all that
+// RestoreAt can replay after a failure. A callback that writes a captured or
+// package-level variable — or calls a pointer-receiver method on one —
+// smuggles state past the transaction: after recovery the replayed inputs
+// re-apply onto stale values and exactly-once breaks.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StateTxn flags callback mutations that bypass the state.Store view.
+var StateTxn = &Analyzer{
+	Name: "statetxn",
+	Doc:  "operator callbacks mutate state only through the state.Store view (ctx.State)",
+	Run:  runStateTxn,
+}
+
+// mutationExemptPkgs hold types whose pointer-receiver methods are
+// synchronization, not state: calling them from a callback is fine.
+var mutationExemptPkgs = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+}
+
+func runStateTxn(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, r := range callbackRoots(pass) {
+		node := r.node
+		local := func(obj types.Object) bool {
+			return obj.Pos() != 0 && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+		}
+		flagVar := func(obj types.Object) *types.Var {
+			v, ok := obj.(*types.Var)
+			if !ok || v.IsField() || local(v) {
+				return nil
+			}
+			return v
+		}
+		ast.Inspect(r.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					_, obj := lvalueBase(info, lhs)
+					if obj == nil {
+						continue
+					}
+					if v := flagVar(obj); v != nil {
+						pass.Reportf(lhs.Pos(),
+							"%s writes %q, which outlives the invocation; operator state must live in the state.Store view (ctx.State) so RestoreAt replays it exactly once",
+							r.desc, v.Name())
+					}
+				}
+			case *ast.IncDecStmt:
+				_, obj := lvalueBase(info, n.X)
+				if obj != nil {
+					if v := flagVar(obj); v != nil {
+						pass.Reportf(n.Pos(),
+							"%s writes %q, which outlives the invocation; operator state must live in the state.Store view (ctx.State) so RestoreAt replays it exactly once",
+							r.desc, v.Name())
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || mutationExemptPkgs[fn.Pkg().Path()] {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil {
+					return true
+				}
+				rt := sig.Recv().Type()
+				// Interface dispatch is opaque; only concrete pointer
+				// receivers provably mutate.
+				if types.IsInterface(rt) {
+					return true
+				}
+				if _, isPtr := rt.(*types.Pointer); !isPtr {
+					return true
+				}
+				_, obj := lvalueBase(info, sel.X)
+				if obj == nil {
+					return true
+				}
+				if v := flagVar(obj); v != nil {
+					pass.Reportf(n.Pos(),
+						"%s calls %s on captured %q: a pointer receiver mutates state outside the store; move the value into the operator's state.Store view",
+						r.desc, fn.Name(), v.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lvalueBase resolves the variable that owns an lvalue or receiver chain:
+// the base identifier for x.f[i].g, or the selected package-level variable
+// for pkg.Var.f. Chains rooted in calls or literals resolve to nil.
+func lvalueBase(info *types.Info, e ast.Expr) (*ast.Ident, types.Object) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return x.Sel, info.Uses[x.Sel]
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, nil
+		}
+	}
+}

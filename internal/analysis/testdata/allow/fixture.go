@@ -1,0 +1,11 @@
+// Fixture for the directive machinery itself: stale directives and
+// directives without a reason are diagnostics. Markers here use a negative
+// line offset (the finding lands on the directive line above the marker),
+// since a line comment cannot share its line with another comment.
+package fixture
+
+//erdos:allow wallclock this directive suppresses nothing
+var quiet = 0 // want-1 "stale //erdos:allow wallclock"
+
+//erdos:allow wallclock
+var silent = 0 // want-1 "without a reason"

@@ -1,0 +1,18 @@
+// Fixture for the deadlinehint analyzer: bare Transport.Send versus the
+// hinted variants, and suppression.
+package fixture
+
+import (
+	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+func sends(t *comm.Transport, id stream.ID, m message.Message) {
+	_ = t.Send("peer", id, m) // want "zero slack"
+
+	_ = t.SendWithHint("peer", id, m, comm.FlushHint{}) // hinted: the coalescer can batch
+
+	//erdos:allow deadlinehint fixture exercises the suppression path
+	_ = t.Send("peer", id, m) // wantAllowed "zero slack"
+}

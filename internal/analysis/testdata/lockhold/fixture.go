@@ -1,0 +1,67 @@
+// Fixture for the lockhold analyzer: blocking calls inside and outside
+// lock intervals, deferred unlocks, select handling, and goroutine scopes.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func recvHeld(b *box) {
+	b.mu.Lock()
+	<-b.ch // want "channel receive"
+	b.mu.Unlock()
+}
+
+func sleepUnderDeferredUnlock(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+}
+
+func afterUnlock(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	<-b.ch // the lock is released: blocking here is fine
+}
+
+func nonBlockingSelect(b *box) {
+	b.mu.Lock()
+	select {
+	case v := <-b.ch: // the default arm keeps this non-blocking
+		b.n = v
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func blockingSelect(b *box) {
+	b.mu.Lock()
+	select { // want "select without default"
+	case v := <-b.ch:
+		b.n = v
+	}
+	b.mu.Unlock()
+}
+
+func allowedSend(b *box) {
+	b.mu.Lock()
+	//erdos:allow lockhold fixture exercises the suppression path
+	b.ch <- 1 // wantAllowed "channel send"
+	b.mu.Unlock()
+}
+
+func otherGoroutine(b *box) {
+	b.mu.Lock()
+	go func() {
+		<-b.ch // a nested literal is another goroutine's scope, not this section
+	}()
+	b.mu.Unlock()
+}

@@ -1,0 +1,39 @@
+// Fixture for the statetxn analyzer: captured and package-level writes,
+// pointer-receiver mutation, and the locality / sync exemptions.
+package fixture
+
+import (
+	"sync/atomic"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/operator"
+)
+
+type tracker struct{ n int }
+
+func (t *tracker) bump()    { t.n++ }
+func (t tracker) read() int { return t.n }
+
+var global int
+
+func makeSpec() operator.Spec {
+	captured := 0
+	trk := &tracker{}
+	var hits atomic.Int64
+	return operator.Spec{
+		OnData: func(ctx *operator.Context, input int, m message.Message) {
+			captured++     // want "captured"
+			global = input // want "global"
+			trk.bump()     // want "bump"
+
+			hits.Add(1) // sync/atomic is synchronization, not state
+			local := 0
+			local++ // locals die with the invocation
+			_ = local
+			_ = trk.read() // a value receiver cannot mutate
+
+			//erdos:allow statetxn fixture exercises the suppression path
+			captured = input // wantAllowed "captured"
+		},
+	}
+}

@@ -1,0 +1,33 @@
+// Fixture for the wallclock analyzer: callback roots, same-package
+// reachability, the seeded-rand exemption, and suppression.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/operator"
+)
+
+var spec = operator.Spec{
+	OnData: func(ctx *operator.Context, input int, m message.Message) {
+		_ = time.Now() // want "time.Now"
+		helper()
+	},
+	OnWatermark: func(ctx *operator.Context) {
+		_ = rand.Int() // want "math/rand"
+		r := rand.New(rand.NewSource(7))
+		_ = r.Int() // explicitly-seeded generators are the deterministic pattern
+		//erdos:allow wallclock fixture exercises the suppression path
+		time.Sleep(time.Millisecond) // wantAllowed "time.Sleep"
+	},
+}
+
+// helper is reached from the data callback: same-package reachability.
+func helper() {
+	_ = time.Since(time.Time{}) // want "time.Since"
+}
+
+// cold is not reachable from any callback root; wall-clock reads are fine.
+func cold() time.Time { return time.Now() }

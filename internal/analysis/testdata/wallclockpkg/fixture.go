@@ -1,0 +1,15 @@
+// Fixture: the //erdos:deterministic directive opts a whole package into
+// the deterministic domain, so every function is in scope — callbacks or not.
+//
+//erdos:deterministic
+package fixture
+
+import "time"
+
+func anywhere() time.Duration {
+	return time.Until(time.Time{}) // want "time.Until"
+}
+
+func scheduled() *time.Timer {
+	return time.NewTimer(time.Second) // explicit-duration timers stay legal
+}

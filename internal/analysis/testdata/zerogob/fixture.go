@@ -1,0 +1,36 @@
+// Fixture for the zerogob analyzer. A want marker expects an unsuppressed
+// finding whose message contains the quoted text on the marker's line; a
+// wantAllowed marker expects one suppressed by an //erdos:allow directive.
+package fixture
+
+import (
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/operator"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// raw has no frame codec: sending it falls back to reflective gob.
+type raw struct{ N int }
+
+// framed implements comm.FramePayload and ships as a typed frame.
+type framed struct{ N int }
+
+func (framed) FrameCodec() uint64             { return 1 }
+func (framed) MarshalFrame(dst []byte) []byte { return dst }
+
+func sends(ctx *operator.Context, h *operator.HandlerContext, ws stream.WriteStream[raw], ts timestamp.Timestamp) {
+	_ = ctx.Send(0, ts, raw{N: 1}) // want "payload type"
+	_ = h.Send(0, ts, raw{N: 2})   // want "payload type"
+	_ = ws.Send(ts, raw{N: 3})     // want "payload type"
+
+	_ = ctx.Send(0, ts, framed{N: 4}) // implements comm.FramePayload
+	_ = ctx.Send(0, ts, []byte("ok")) // raw frames ship as-is
+	_ = ctx.Send(0, ts, time.Second)  // deadline-feed codec
+	var p any = raw{N: 5}
+	_ = ctx.Send(0, ts, p) // interface-typed payload: dynamic type unknown
+
+	//erdos:allow zerogob fixture exercises the suppression path
+	_ = ctx.Send(0, ts, raw{N: 6}) // wantAllowed "payload type"
+}

@@ -1,0 +1,123 @@
+// The wallclock analyzer guards replay determinism: operator callbacks,
+// deadline exception handlers, and the fault/recovery machinery must not
+// read the wall clock or the global math/rand source. A chaos run replays a
+// seeded schedule; one stray time.Now() in a callback and two runs of the
+// same seed diverge. Timing must come from message timestamps, the injected
+// deadline.Clock, or schedule-relative offsets.
+//
+// Scope: every function in a deterministic-domain package — the fault
+// schedule (internal/core/faults), operator state (internal/core/state), or
+// any package carrying an //erdos:deterministic comment — plus, in every
+// other package, the operator-callback roots and the same-package helpers
+// they reach.
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Wallclock flags wall-clock and global-randomness reads in deterministic
+// code paths.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "no time.Now/time.Sleep/global math/rand in callbacks, DEHs, or replay/fault paths",
+	Run:  runWallclock,
+}
+
+// bannedTimeFuncs are the package-level time functions that read or wait on
+// the wall clock. Timer constructors taking explicit durations (AfterFunc,
+// NewTimer) stay legal: the injector arms schedule offsets through them.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Sleep": true,
+	"Since": true,
+	"Until": true,
+	"After": true,
+	"Tick":  true,
+}
+
+// randExempt are math/rand package-level functions that do not touch the
+// global source; explicitly-seeded generators are the deterministic pattern.
+var randExempt = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// deterministicPkgs are whole-package deterministic domains.
+var deterministicPkgs = map[string]bool{
+	faultsPkgPath: true,
+	statePkgPath:  true,
+}
+
+const deterministicDirective = "//erdos:deterministic"
+
+func runWallclock(pass *Pass) error {
+	type scope struct {
+		body *ast.BlockStmt
+		desc string
+	}
+	var scopes []scope
+
+	if deterministicPkgs[pass.Pkg.Path] || hasDeterministicDirective(pass.Pkg) {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					scopes = append(scopes, scope{fd.Body, "deterministic package " + pass.Pkg.Path})
+				}
+			}
+		}
+	} else {
+		roots := callbackRoots(pass)
+		for _, r := range roots {
+			scopes = append(scopes, scope{r.body, r.desc})
+		}
+		for decl, desc := range reachableDecls(pass, roots) {
+			scopes = append(scopes, scope{decl.Body, desc})
+		}
+	}
+
+	info := pass.Pkg.Info
+	for _, s := range scopes {
+		ast.Inspect(s.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || recvTypeName(fn) != "" {
+				return true
+			}
+			switch pkg := fn.Pkg().Path(); {
+			case pkg == "time" && bannedTimeFuncs[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"time.%s in %s: wall-clock reads break seeded replay; use message timestamps, the injected deadline.Clock, or schedule-relative offsets",
+					fn.Name(), s.desc)
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && !randExempt[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"global %s.%s in %s: unseeded randomness breaks seeded replay; thread a seeded *rand.Rand instead",
+					pkg, fn.Name(), s.desc)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasDeterministicDirective reports whether any file opts the whole package
+// into the deterministic domain.
+func hasDeterministicDirective(pkg *Package) bool {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, deterministicDirective) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+// The zerogob analyzer enforces the zero-gob data plane at compile time:
+// every concrete payload type handed to a stream send must be encodable as a
+// typed frame — raw bytes, the deadline-feed time.Duration, or a type
+// implementing comm.FramePayload (and thus backed by a registered
+// comm.Codec). Anything else silently falls back to reflective gob framing
+// on the wire, which the runtime treats as a cross-worker performance bug.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ZeroGob flags stream sends whose payload type has no typed frame codec.
+var ZeroGob = &Analyzer{
+	Name: "zerogob",
+	Doc:  "stream payloads must have a typed frame codec (comm.FramePayload), not the gob fallback",
+	Run:  runZeroGob,
+}
+
+// sendSite describes one send API whose payload argument is checked.
+type sendSite struct {
+	pkg  string
+	recv string
+	name string
+	arg  int
+}
+
+var zerogobSites = []sendSite{
+	{operatorPkgPath, "Context", "Send", 2},
+	{operatorPkgPath, "HandlerContext", "Send", 2},
+	{streamPkgPath, "WriteStream", "Send", 1},
+}
+
+func runZeroGob(pass *Pass) error {
+	commPkg, err := pass.Dep(commPkgPath)
+	if err != nil {
+		return err
+	}
+	fpObj := commPkg.Scope().Lookup("FramePayload")
+	if fpObj == nil {
+		return nil
+	}
+	framePayload, ok := fpObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			for _, s := range zerogobSites {
+				if fn.Pkg().Path() != s.pkg || fn.Name() != s.name || recvTypeName(fn) != s.recv {
+					continue
+				}
+				if s.arg >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[s.arg]
+				t := typeOf(info, arg)
+				if !needsCodec(t, framePayload) {
+					continue
+				}
+				pass.Reportf(arg.Pos(),
+					"payload type %s has no typed frame codec and will ship as reflective gob; implement comm.FramePayload and register a comm.Codec (internal/core/comm/codec.go)",
+					types.TypeString(t, nil))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// needsCodec reports whether a payload of static type t would hit the gob
+// fallback. Interface-typed payloads (including any) are skipped: their
+// dynamic type is not statically known.
+func needsCodec(t types.Type, framePayload *types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	if types.IsInterface(t) {
+		return false
+	}
+	// Raw []byte frames ship as-is (tagRaw).
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		if el, ok := sl.Elem().(*types.Basic); ok && el.Kind() == types.Byte {
+			return false
+		}
+	}
+	// time.Duration rides the built-in deadline-feed codec.
+	if tn := namedTypeName(t); tn != nil && tn.Pkg() != nil &&
+		tn.Pkg().Path() == "time" && tn.Name() == "Duration" {
+		return false
+	}
+	if types.Implements(t, framePayload) || types.Implements(types.NewPointer(t), framePayload) {
+		return false
+	}
+	return true
+}

@@ -721,6 +721,7 @@ func (n *Node) setForwarding(id stream.ID, consumers []string, ring bool) error 
 			fs.ring.add(m)
 		}
 		for _, c := range fs.consumers {
+			//erdos:allow lockhold sends stay under fs.mu so an in-progress replay cannot be overtaken by newer frames
 			if err := tr.SendWithHint(c, id, m, hint); err == nil {
 				n.forwarded.Add(1)
 			}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/erdos-go/erdos/internal/core/comm"
 	"github.com/erdos-go/erdos/internal/core/graph"
 	"github.com/erdos-go/erdos/internal/core/message"
 	"github.com/erdos-go/erdos/internal/core/state"
@@ -369,7 +370,7 @@ func (n *Node) heartbeatLoop(period time.Duration) {
 		hb := heartbeatMsg{Name: n.Name, Seq: seq,
 			Checkpoints: n.Worker.Checkpoints(), Frontiers: n.Worker.Frontiers()}
 		n.encMu.Lock()
-		err := n.enc.Encode(ctrlMsg{M: hb})
+		err := n.enc.Encode(ctrlMsg{M: hb}) //erdos:allow lockhold encMu exists to serialize writers on the single control stream
 		n.encMu.Unlock()
 		if err != nil {
 			return
@@ -568,7 +569,10 @@ func (n *Node) runReplay(epoch uint64) {
 		if fs.ring != nil && len(added) > 0 {
 			for _, m := range fs.ring.snapshot() {
 				for _, c := range added {
-					if err := n.Transport.Send(c, p.id, m); err == nil {
+					// Replayed frames carry no deadline; an empty hint still
+					// lets the coalescer batch the retained window.
+					//erdos:allow lockhold replay must finish under fs.mu so newer frames cannot overtake the retained window
+					if err := n.Transport.SendWithHint(c, p.id, m, comm.FlushHint{}); err == nil {
 						n.forwarded.Add(1)
 					}
 				}
@@ -581,6 +585,6 @@ func (n *Node) runReplay(epoch uint64) {
 
 func (n *Node) ack(epoch uint64) {
 	n.encMu.Lock()
-	_ = n.enc.Encode(ctrlMsg{M: rescheduleAckMsg{Name: n.Name, Epoch: epoch}})
+	_ = n.enc.Encode(ctrlMsg{M: rescheduleAckMsg{Name: n.Name, Epoch: epoch}}) //erdos:allow lockhold encMu exists to serialize writers on the single control stream
 	n.encMu.Unlock()
 }

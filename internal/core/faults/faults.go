@@ -13,9 +13,12 @@
 //     fault can hold a specific operator for a fixed duration.
 //
 // All randomness (optional jitter on fault times) comes from the schedule's
-// seed, so a chaos run replays identically. Fired() exposes the exact wall
-// clock at which each fault was injected, which detection-latency tests
-// compare against the leader's failure events.
+// seed, and all timing is schedule-relative: the injector reads the wall
+// clock exactly once (at Arm, its monotonic origin) and everything else —
+// stall-window expiry, the Fired log — is an offset from it. Two injectors
+// armed from the same seed therefore produce byte-identical Fired logs no
+// matter how loaded the machine is. Detection-latency tests anchor offsets
+// back to wall time with ArmedAt.
 package faults
 
 import (
@@ -75,10 +78,14 @@ type Fault struct {
 	Duration time.Duration
 }
 
-// Fired records one injected fault and the wall clock of its injection.
+// Fired records one injected fault at its schedule-relative offset. At is
+// the fault's (jittered) schedule offset from Arm — a pure function of the
+// seed, identical across replays — not a wall-clock read at firing time.
+// Anchor it with Injector.ArmedAt to correlate against wall-clocked event
+// logs (e.g. the leader's failure-detection events).
 type Fired struct {
 	Fault Fault
-	At    time.Time
+	At    time.Duration
 }
 
 // Schedule is a seeded, deterministic fault plan. Builder methods append
@@ -155,14 +162,16 @@ func (s *Schedule) Faults() []Fault { return append([]Fault(nil), s.faults...) }
 type Injector struct {
 	sched *Schedule
 
-	mu      sync.Mutex
-	killers map[string]func()
-	conns   []*faultConn
-	stalls  map[string]time.Time // worker "/" op -> stall end
-	timers  []*time.Timer
-	fired   []Fired
-	armed   bool
-	stopped bool
+	mu       sync.Mutex
+	killers  map[string]func()
+	conns    []*faultConn
+	stalls   map[string]time.Duration // worker "/" op -> stall-end offset from base
+	timers   []*time.Timer
+	fired    []Fired
+	firedSeq []int // schedule position of each fired entry, for stable order
+	base     time.Time
+	armed    bool
+	stopped  bool
 }
 
 // NewInjector prepares sched for arming.
@@ -170,7 +179,7 @@ func NewInjector(sched *Schedule) *Injector {
 	return &Injector{
 		sched:   sched,
 		killers: map[string]func(){},
-		stalls:  map[string]time.Time{},
+		stalls:  map[string]time.Duration{},
 	}
 }
 
@@ -198,11 +207,19 @@ func (inj *Injector) CallbackWrapper(worker string) func(op string, f func()) fu
 			for {
 				inj.mu.Lock()
 				until, ok := inj.stalls[key]
+				base := inj.base
 				inj.mu.Unlock()
-				if !ok || !time.Now().Before(until) {
+				if !ok {
 					break
 				}
-				time.Sleep(time.Until(until))
+				// The stall window closes at a schedule offset from the arm
+				// origin; time.Since(base) rides Go's monotonic clock, so a
+				// wall-clock step cannot stretch or shrink the stall.
+				remaining := until - time.Since(base) //erdos:allow wallclock monotonic elapsed-time read against the Arm origin
+				if remaining <= 0 {
+					break
+				}
+				time.Sleep(remaining) //erdos:allow wallclock the stall fault must block the callback for real
 			}
 			f()
 		}
@@ -217,10 +234,21 @@ func (inj *Injector) Arm() {
 		return
 	}
 	inj.armed = true
-	for _, f := range inj.sched.faults {
-		f := f
-		inj.timers = append(inj.timers, time.AfterFunc(f.At, func() { inj.fire(f) }))
+	// The injector's single wall-clock read: the monotonic origin every
+	// stall window and Fired offset is measured from.
+	inj.base = time.Now() //erdos:allow wallclock the one anchoring read; all fault timing is schedule offsets from it
+	for i, f := range inj.sched.faults {
+		i, f := i, f
+		inj.timers = append(inj.timers, time.AfterFunc(f.At, func() { inj.fire(f, i) }))
 	}
+}
+
+// ArmedAt returns the wall-clock instant the schedule was armed — the origin
+// all Fired offsets are measured from — or the zero time before Arm.
+func (inj *Injector) ArmedAt() time.Time {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.base
 }
 
 // Stop cancels pending faults; already-fired faults are not undone.
@@ -235,20 +263,34 @@ func (inj *Injector) Stop() {
 	}
 }
 
-// Fired returns the faults injected so far with their injection times.
+// Fired returns the faults injected so far with their schedule offsets, in
+// (offset, schedule position) order. The order is a function of the schedule
+// alone — timer-goroutine skew between nearby faults cannot reorder it — so
+// completed same-seed runs yield byte-identical logs.
 func (inj *Injector) Fired() []Fired {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 	return append([]Fired(nil), inj.fired...)
 }
 
-func (inj *Injector) fire(f Fault) {
+func (inj *Injector) fire(f Fault, seq int) {
 	inj.mu.Lock()
 	if inj.stopped {
 		inj.mu.Unlock()
 		return
 	}
-	inj.fired = append(inj.fired, Fired{Fault: f, At: time.Now()})
+	// Insertion sort by (offset, schedule position): under load two timers
+	// may fire out of order, but the log must not care.
+	i := len(inj.fired)
+	for i > 0 && (inj.fired[i-1].At > f.At || (inj.fired[i-1].At == f.At && inj.firedSeq[i-1] > seq)) {
+		i--
+	}
+	inj.fired = append(inj.fired, Fired{})
+	copy(inj.fired[i+1:], inj.fired[i:])
+	inj.fired[i] = Fired{Fault: f, At: f.At}
+	inj.firedSeq = append(inj.firedSeq, 0)
+	copy(inj.firedSeq[i+1:], inj.firedSeq[i:])
+	inj.firedSeq[i] = seq
 	var kill func()
 	var links []*faultConn
 	switch f.Kind {
@@ -261,7 +303,9 @@ func (inj *Injector) fire(f Fault) {
 			}
 		}
 	case KindStall:
-		inj.stalls[f.Worker+"/"+f.Op] = time.Now().Add(f.Duration)
+		// Stall-window end as a schedule offset: fire time plus duration,
+		// independent of when this timer goroutine actually ran.
+		inj.stalls[f.Worker+"/"+f.Op] = f.At + f.Duration
 	}
 	inj.mu.Unlock()
 	if kill != nil {
@@ -335,7 +379,7 @@ func (fc *faultConn) sever() { fc.Conn.Close() }
 
 func (fc *faultConn) Write(b []byte) (int, error) {
 	if d := fc.delay.Load(); d > 0 {
-		time.Sleep(time.Duration(d))
+		time.Sleep(time.Duration(d)) //erdos:allow wallclock the delay fault must add real latency to the link
 	}
 	if fc.corrupt.CompareAndSwap(true, false) && len(b) > 0 {
 		// Flip a byte mid-buffer on a copy: the caller's slice (often a

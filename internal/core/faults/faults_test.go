@@ -1,6 +1,8 @@
 package faults
 
 import (
+	"bytes"
+	"encoding/gob"
 	"net"
 	"reflect"
 	"testing"
@@ -72,14 +74,58 @@ func TestInjectorKillAndFiredLog(t *testing.T) {
 	if len(fired) != 1 || fired[0].Fault.Kind != KindKill || fired[0].Fault.Worker != "w1" {
 		t.Fatalf("fired log = %+v, want one w1 kill", fired)
 	}
-	if fired[0].At.Before(armedAt) {
-		t.Fatalf("fired time %v precedes arming %v", fired[0].At, armedAt)
+	if fired[0].At != fired[0].Fault.At {
+		t.Fatalf("fired offset %v diverges from the schedule's %v", fired[0].At, fired[0].Fault.At)
+	}
+	if inj.ArmedAt().Before(armedAt) {
+		t.Fatalf("ArmedAt %v precedes arming %v", inj.ArmedAt(), armedAt)
 	}
 	inj.Stop()
 	select {
 	case w := <-killed:
 		t.Fatalf("fault for %q fired after Stop", w)
 	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestInjectorDeterministicReplay: two injectors armed from the same seed
+// produce byte-identical fault schedules and byte-identical Fired logs, even
+// though their timer goroutines run at unrelated wall-clock instants.
+func TestInjectorDeterministicReplay(t *testing.T) {
+	build := func() *Schedule {
+		return NewSchedule(42).Jitter(3*time.Millisecond).
+			Kill(1*time.Millisecond, "w1").
+			Stall(2*time.Millisecond, "w1", "planning", 5*time.Millisecond).
+			Sever(3*time.Millisecond, "w2", "w3").
+			Delay(4*time.Millisecond, "w1", "w2", time.Millisecond).
+			Corrupt(5*time.Millisecond, "w3", "w1")
+	}
+	run := func() ([]Fault, []byte) {
+		sch := build()
+		inj := NewInjector(sch)
+		defer inj.Stop()
+		inj.RegisterKiller("w1", func() {})
+		inj.Arm()
+		deadline := time.Now().Add(5 * time.Second)
+		for len(inj.Fired()) < len(sch.Faults()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("only %d/%d faults fired", len(inj.Fired()), len(sch.Faults()))
+			}
+			time.Sleep(time.Millisecond)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(inj.Fired()); err != nil {
+			t.Fatal(err)
+		}
+		return sch.Faults(), buf.Bytes()
+	}
+	faultsA, logA := run()
+	faultsB, logB := run()
+	if !reflect.DeepEqual(faultsA, faultsB) {
+		t.Fatalf("same seed produced different schedules:\n%+v\n%+v", faultsA, faultsB)
+	}
+	if !bytes.Equal(logA, logB) {
+		t.Fatalf("same seed produced different Fired logs:\n% x\n% x", logA, logB)
 	}
 }
 

@@ -1,0 +1,86 @@
+package state
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+type fuzzPayload struct{ N int }
+
+// FuzzCheckpointDecode hammers the recovery decode path (§5.3): a checkpoint
+// arrives as wire bytes from the leader's record of a failed worker, so
+// whatever those bytes hold — truncation, version skew, unsorted or
+// out-of-range Older chains — RestoreAt must either return an error or
+// produce a fence that PickL predicted, that a retained version actually
+// carries, and that the restored store commits at.
+func FuzzCheckpointDecode(f *testing.F) {
+	RegisterState(fuzzPayload{})
+	encode := func(cp Checkpoint) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// A real multi-version checkpoint from a live store.
+	st := Typed(fuzzPayload{}, CloneByValue[fuzzPayload]())
+	for l := uint64(1); l <= 5; l++ {
+		st.Commit(timestamp.New(l), fuzzPayload{N: int(l)})
+	}
+	cp, ok := Snapshot(st)
+	if !ok {
+		f.Fatal("snapshot of committed store failed")
+	}
+	full := encode(cp)
+	f.Add(full, uint64(3))
+	f.Add(full, uint64(0))
+	f.Add(full, uint64(99))
+	f.Add(full[:len(full)/2], uint64(3)) // truncated frame
+	f.Add(encode(Checkpoint{L: 7}), uint64(3))
+	f.Add(encode(Checkpoint{L: 2, HasState: true, State: []byte{1},
+		Older: []Version{{L: 9, State: full}, {L: 4}}}), uint64(5)) // skewed, unsorted Older
+	f.Add([]byte{}, uint64(1))
+
+	f.Fuzz(func(t *testing.T, raw []byte, atL uint64) {
+		var cp Checkpoint
+		if gob.NewDecoder(bytes.NewReader(raw)).Decode(&cp) != nil {
+			return // undecodable wire bytes are rejected before restore
+		}
+		if len(cp.Older) > 64 {
+			cp.Older = cp.Older[:64] // bound per-input work, not coverage
+		}
+		dst := NewVersioned(nil, func(v any) any { return v })
+		fence, err := RestoreAt(dst, cp, atL)
+		if err != nil {
+			return // corrupt version payloads must error, never panic
+		}
+		if want := cp.PickL(atL); fence != want {
+			t.Fatalf("RestoreAt fence %d, PickL predicted %d", fence, want)
+		}
+		versions := cp.allVersions()
+		if len(versions) == 0 {
+			// Watermark-only: the fence is min(cp.L, atL), store untouched.
+			if want := min(cp.L, atL); fence != want {
+				t.Fatalf("watermark-only fence %d, want %d", fence, want)
+			}
+			if _, _, committed := dst.Last(); committed {
+				t.Fatal("watermark-only restore committed state")
+			}
+			return
+		}
+		found := false
+		for _, v := range versions {
+			found = found || v.L == fence
+		}
+		if !found {
+			t.Fatalf("fence %d matches no retained version", fence)
+		}
+		if _, ts, committed := dst.Last(); !committed || ts.L != fence {
+			t.Fatalf("store committed at %v (committed=%v), want fence %d", ts, committed, fence)
+		}
+	})
+}

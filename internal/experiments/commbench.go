@@ -120,7 +120,7 @@ func benchTypedObstaclesRoundtrip(b *testing.B) {
 	var echoTo atomic.Pointer[comm.Transport]
 	done := make(chan struct{}, 1)
 	a, err := comm.Listen("cb-echo", "127.0.0.1:0", func(_ string, id stream.ID, m message.Message) {
-		_ = echoTo.Load().Send("cb-cli", id, m)
+		_ = echoTo.Load().Send("cb-cli", id, m) //erdos:allow deadlinehint the benchmark measures the unhinted flush path on purpose
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -142,6 +142,7 @@ func benchTypedObstaclesRoundtrip(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		//erdos:allow deadlinehint the benchmark measures the unhinted flush path on purpose
 		if err := c.Send("cb-echo", id, message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
 			b.Fatal(err)
 		}
@@ -172,6 +173,7 @@ func benchSmallFrameSend1KB(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		//erdos:allow deadlinehint the benchmark measures the unhinted flush path on purpose
 		if err := c.Send("cb-a", id, message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
 			b.Fatal(err)
 		}

@@ -139,6 +139,7 @@ func benchCommSend64KB(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		//erdos:allow deadlinehint the benchmark measures the unhinted flush path on purpose
 		if err := c.Send("bench-a", id, message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
 			b.Fatal(err)
 		}
@@ -180,6 +181,7 @@ func benchCommRawRoundtrip(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		//erdos:allow deadlinehint the benchmark measures the unhinted flush path on purpose
 		if err := c.Send("bench-echo", id, message.Data(timestamp.New(uint64(i+1)), payload)); err != nil {
 			b.Fatal(err)
 		}

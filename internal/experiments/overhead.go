@@ -126,7 +126,7 @@ func runChain(frames int, withPolicy bool) *metrics.Sample {
 // spin busy-waits for d, emulating compute without the jitter of the
 // scheduler's sleep granularity.
 func spin(d time.Duration) {
-	start := time.Now()
+	start := time.Now() //erdos:allow wallclock the spin IS the modeled compute; it burns real CPU time, it does not schedule anything
 	for time.Since(start) < d {
 	}
 }

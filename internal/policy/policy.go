@@ -81,8 +81,9 @@ func NewStoppingDistance() *StoppingDistancePolicy {
 }
 
 // ReactionTime returns the sensing-plus-compute reaction time for the
-// current configuration.
-func (p *StoppingDistancePolicy) ReactionTime(currentResponse time.Duration) time.Duration {
+// current configuration. The receiver is a value: the policy is pure
+// configuration, and deciding must not mutate anything an operator captured.
+func (p StoppingDistancePolicy) ReactionTime(currentResponse time.Duration) time.Duration {
 	return time.Duration(p.Readings)*p.SensorPeriod + currentResponse
 }
 
@@ -90,7 +91,7 @@ func (p *StoppingDistancePolicy) ReactionTime(currentResponse time.Duration) tim
 // can afford its most accurate (slowest) configuration; as an agent closes
 // in, the deadline tightens toward the response budget that still permits
 // stopping short of it.
-func (p *StoppingDistancePolicy) Decide(env Environment) time.Duration {
+func (p StoppingDistancePolicy) Decide(env Environment) time.Duration {
 	if !env.HasAgent || env.Speed <= 0 {
 		return p.Max
 	}

@@ -181,7 +181,7 @@ func TestChaosWorkerCrash(t *testing.T) {
 	var killedAt, detectedAt time.Time
 	for _, f := range inj.Fired() {
 		if f.Fault.Kind == faults.KindKill {
-			killedAt = f.At
+			killedAt = inj.ArmedAt().Add(f.At)
 		}
 	}
 	for _, e := range l.Events() {

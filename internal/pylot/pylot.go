@@ -113,8 +113,26 @@ type predState struct{ Last Obstacles }
 // callback.
 type planState struct{ Last Predictions }
 
-// ctlState carries the newest plan into control's watermark callback.
-type ctlState struct{ Last Plan }
+// ctlState carries the newest plan and the PID/pure-pursuit controller into
+// control's watermark callback. The controller lives in the store — not in a
+// closure — because its PID integrator is operator state: after a failover
+// the adopting worker restores it with RestoreAt, so replayed plans land on
+// the checkpointed controller instead of a fresh one applying double effect.
+type ctlState struct {
+	Last Plan
+	Ctl  *control.Controller
+}
+
+// clone produces an independent copy for the versioned store: the controller
+// is copied by value so parallel views never share a PID integrator.
+func (s *ctlState) clone() *ctlState {
+	c := *s
+	if c.Ctl != nil {
+		ctl := *c.Ctl
+		c.Ctl = &ctl
+	}
+	return &c
+}
 
 func init() {
 	// Operator state crosses worker migrations as gob checkpoints
@@ -295,15 +313,20 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 	// granularity).
 	ctl := g.Operator("control")
 	cOut := erdos.Output(ctl, commands)
-	controller := control.NewController()
-	erdos.WithState(ctl, &ctlState{}, func(s *ctlState) *ctlState { c := *s; return &c })
+	erdos.WithState(ctl, &ctlState{Ctl: control.NewController()}, (*ctlState).clone)
 	erdos.Input(ctl, plans, func(ctx *erdos.Context, t erdos.Timestamp, p Plan) {
 		erdos.StateOf[*ctlState](ctx).Last = p
 	})
 	ctl.OnWatermark(func(ctx *erdos.Context) {
-		p := erdos.StateOf[*ctlState](ctx).Last
+		st := erdos.StateOf[*ctlState](ctx)
 		emulate(control.Runtime, scale, ctx)
-		cmd := controller.Step(cfg.TargetSpeed*0.95, cfg.TargetSpeed, p.Waypoints, 100*time.Millisecond)
+		if st.Ctl == nil {
+			// A checkpoint decoded on an adopting worker may omit the
+			// controller (gob drops what it cannot express); degrade to a
+			// fresh controller rather than dropping the command.
+			st.Ctl = control.NewController()
+		}
+		cmd := st.Ctl.Step(cfg.TargetSpeed*0.95, cfg.TargetSpeed, st.Last.Waypoints, 100*time.Millisecond)
 		_ = ctx.Send(cOut, ctx.Timestamp, cmd)
 	})
 	ctl.Build()
@@ -321,7 +344,7 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 // aborts so DEHs can take over promptly.
 func emulate(d time.Duration, scale float64, ctx *erdos.Context) {
 	d = time.Duration(float64(d) / scale)
-	deadline := time.Now().Add(d)
+	deadline := time.Now().Add(d) //erdos:allow wallclock the spin IS the modeled compute; it burns real CPU time, it does not schedule anything
 	for time.Now().Before(deadline) {
 		if ctx != nil && ctx.Aborted() {
 			return
