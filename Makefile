@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz analyze chaos bench figures
+.PHONY: check fmt vet build test race fuzz analyze chaos bench bench-e2e bench-smoke figures
 
 ## check: everything CI runs — formatting, vet, build, tests under -race,
 ## the erdos-vet invariant analyzers, and a short fuzz smoke pass over the
@@ -51,6 +51,15 @@ chaos:
 ## bench: scheduler/data-plane micro-benchmarks -> BENCH_lattice.json
 bench:
 	$(GO) run ./cmd/erdos-bench -bench lattice -out BENCH_lattice.json
+
+## bench-e2e: Fig. 8c scaling + urgency-inversion profile -> BENCH_e2e.json
+bench-e2e:
+	$(GO) run ./cmd/erdos-bench -bench e2e -out BENCH_e2e.json
+
+## bench-smoke: CI's quick pass over the e2e benchmarks — few frames and
+## rounds, result discarded; catches harness rot without burning minutes
+bench-smoke:
+	$(GO) run ./cmd/erdos-bench -bench e2e -short -out /tmp/BENCH_e2e_smoke.json
 
 ## figures: regenerate the paper's Fig. 8 messaging benchmarks
 figures:

@@ -8,9 +8,11 @@
 // Usage:
 //
 //	erdos-bench                 # the three Fig. 8 benchmarks
-//	erdos-bench -bench fanout   # one of: size | fanout | scaling | lattice | comm
+//	erdos-bench -bench fanout   # one of: size | fanout | scaling | lattice | comm | e2e
 //	erdos-bench -bench lattice  # scheduler micro-benchmarks -> BENCH_lattice.json
 //	erdos-bench -bench comm     # data-plane micro-benchmarks -> BENCH_comm.json
+//	erdos-bench -bench e2e      # Fig. 8c + urgency inversion -> BENCH_e2e.json
+//	erdos-bench -bench e2e -short  # smoke mode for CI
 //	erdos-bench -msgs 200       # more samples per point
 //	erdos-bench -bench lattice -out other.json
 package main
@@ -162,6 +164,61 @@ func runCommBench(out string, msgs int) error {
 	return nil
 }
 
+// e2eBenchFile is the JSON shape of BENCH_e2e.json.
+type e2eBenchFile struct {
+	GeneratedBy string                             `json:"generated_by"`
+	Date        string                             `json:"date"`
+	GoVersion   string                             `json:"go_version"`
+	NumCPU      int                                `json:"num_cpu"`
+	GoMaxProcs  int                                `json:"go_max_procs"`
+	Short       bool                               `json:"short,omitempty"`
+	Fig8cPre    []experiments.Fig8cPoint           `json:"fig8c_pre_change"`
+	Fig8cPost   []experiments.Fig8cPoint           `json:"fig8c_post_change"`
+	Urgency     experiments.UrgencyInversionResult `json:"urgency_inversion"`
+}
+
+func runE2eBench(out string, short bool) error {
+	frames, rounds := 10, 200
+	if short {
+		frames, rounds = 3, 25
+	}
+	fmt.Println("=== sensor scaling rerun (Fig. 8c) ===")
+	fig8cPost := experiments.PostFig8c(frames)
+	for i, p := range fig8cPost {
+		pc := experiments.PreChangeFig8c[i%len(experiments.PreChangeFig8c)]
+		fmt.Printf("%2d cams + %d lidars / %d ops: %8.3f ms (pre %8.3f ms)\n",
+			p.Cameras, p.Lidars, p.Operators, p.ErdosRuntime, pc.ErdosRuntime)
+	}
+	fmt.Println("=== urgency inversion: FIFO vs EDF dispatch ===")
+	urg := experiments.UrgencyInversion(rounds)
+	fmt.Printf("control queueing delay over %d-deep slack-rich backlog (%d rounds):\n",
+		urg.Backlog, urg.Rounds)
+	fmt.Printf("  FIFO p50 %8.3f ms   p99 %8.3f ms\n", urg.FifoP50Ms, urg.FifoP99Ms)
+	fmt.Printf("  EDF  p50 %8.3f ms   p99 %8.3f ms   (p99 %.1fx better)\n",
+		urg.EdfP50Ms, urg.EdfP99Ms, urg.P99Speedup)
+	f := e2eBenchFile{
+		GeneratedBy: "cmd/erdos-bench -bench e2e",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Short:       short,
+		Fig8cPre:    experiments.PreChangeFig8c,
+		Fig8cPost:   fig8cPost,
+		Urgency:     urg,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a
@@ -170,9 +227,10 @@ func maxf(a, b float64) float64 {
 }
 
 func main() {
-	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | lattice | comm | all")
+	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | lattice | comm | e2e | all")
 	msgs := flag.Int("msgs", 50, "messages per measurement point")
-	out := flag.String("out", "", "output file for -bench lattice / -bench comm")
+	out := flag.String("out", "", "output file for -bench lattice / comm / e2e")
+	short := flag.Bool("short", false, "smoke mode: fewer frames and rounds, for CI")
 	flag.Parse()
 
 	ran := false
@@ -209,6 +267,17 @@ func main() {
 		}
 		if err := runCommBench(dst, 10); err != nil {
 			fmt.Fprintf(os.Stderr, "comm bench: %v\n", err)
+			os.Exit(1)
+		}
+		ran = true
+	}
+	if *bench == "e2e" {
+		dst := *out
+		if dst == "" {
+			dst = "BENCH_e2e.json"
+		}
+		if err := runE2eBench(dst, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "e2e bench: %v\n", err)
 			os.Exit(1)
 		}
 		ran = true

@@ -1,16 +1,21 @@
-// The deadlinehint analyzer keeps deadline slack visible to the transport:
-// (*comm.Transport).Send flushes with a zero hint, so the write-side
-// coalescer (PR 2) cannot batch around the caller's deadline. Hot-path code
-// must call SendWithHint — with an explicit zero comm.FlushHint when no
-// deadline genuinely applies — so every flush decision is deliberate.
+// The deadlinehint analyzer keeps deadline slack visible to the runtime's
+// two scheduling surfaces. On the wire, (*comm.Transport).Send flushes with
+// a zero hint, so the write-side coalescer (PR 2) cannot batch around the
+// caller's deadline: hot-path code must call SendWithHint — with an explicit
+// zero comm.FlushHint when no deadline genuinely applies — so every flush
+// decision is deliberate. On the run queues, (*lattice.Lattice).Submit
+// enqueues with no deadline, so EDF dispatch treats the callback as
+// infinitely slack and a congested shard will starve it last: runtime code
+// must call SubmitDeadline — passing lattice.NoDeadline when the operator
+// really has no budget — so every enqueue states its urgency.
 package analysis
 
 import "go/ast"
 
-// DeadlineHint flags unhinted Transport.Send calls.
+// DeadlineHint flags unhinted Transport.Send and Lattice.Submit calls.
 var DeadlineHint = &Analyzer{
 	Name: "deadlinehint",
-	Doc:  "transport sends must carry a flush hint (SendWithHint) so coalescing sees deadline slack",
+	Doc:  "transport sends must carry a flush hint (SendWithHint) and lattice enqueues a deadline (SubmitDeadline) so scheduling sees deadline slack",
 	Run:  runDeadlineHint,
 }
 
@@ -29,6 +34,10 @@ func runDeadlineHint(pass *Pass) error {
 			if fn.Pkg().Path() == commPkgPath && fn.Name() == "Send" && recvTypeName(fn) == "Transport" {
 				pass.Reportf(call.Pos(),
 					"(*comm.Transport).Send flushes with zero slack; use SendWithHint (pass comm.FlushHint{} if no deadline applies) so the coalescer can batch")
+			}
+			if fn.Pkg().Path() == latticePkgPath && fn.Name() == "Submit" && recvTypeName(fn) == "Lattice" {
+				pass.Reportf(call.Pos(),
+					"(*lattice.Lattice).Submit enqueues with no deadline; use SubmitDeadline (pass lattice.NoDeadline if no budget applies) so EDF dispatch sees the urgency")
 			}
 			return true
 		})

@@ -20,6 +20,7 @@ const (
 	erdosPkgPath    = modPath + "/internal/core/erdos"
 	operatorPkgPath = modPath + "/internal/core/operator"
 	commPkgPath     = modPath + "/internal/core/comm"
+	latticePkgPath  = modPath + "/internal/core/lattice"
 	streamPkgPath   = modPath + "/internal/core/stream"
 	statePkgPath    = modPath + "/internal/core/state"
 	faultsPkgPath   = modPath + "/internal/core/faults"

@@ -1,11 +1,14 @@
 // Fixture for the deadlinehint analyzer: bare Transport.Send versus the
-// hinted variants, and suppression.
+// hinted variants, bare Lattice.Submit versus SubmitDeadline, and
+// suppression of both.
 package fixture
 
 import (
 	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/lattice"
 	"github.com/erdos-go/erdos/internal/core/message"
 	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
 )
 
 func sends(t *comm.Transport, id stream.ID, m message.Message) {
@@ -15,4 +18,15 @@ func sends(t *comm.Transport, id stream.ID, m message.Message) {
 
 	//erdos:allow deadlinehint fixture exercises the suppression path
 	_ = t.Send("peer", id, m) // wantAllowed "zero slack"
+}
+
+func submits(l *lattice.Lattice, q *lattice.OpQueue, ts timestamp.Timestamp) {
+	l.Submit(q, lattice.KindMessage, ts, func() {}) // want "no deadline"
+
+	// Deadline-carrying path: EDF dispatch sees the urgency (or its
+	// deliberate absence).
+	l.SubmitDeadline(q, lattice.KindMessage, ts, lattice.NoDeadline, func() {})
+
+	//erdos:allow deadlinehint fixture exercises the suppression path
+	l.Submit(q, lattice.KindMessage, ts, func() {}) // wantAllowed "no deadline"
 }

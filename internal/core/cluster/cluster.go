@@ -88,6 +88,33 @@ type heartbeatMsg struct {
 	Seq         uint64
 	Checkpoints map[string]state.Checkpoint
 	Frontiers   map[stream.ID]uint64
+	Congestion  CongestionReport
+}
+
+// CongestionReport is a worker's queueing-pressure snapshot, shipped in
+// every heartbeat: instantaneous lattice queue depths, the cumulative count
+// of callbacks dispatched after their deadline had already expired, and the
+// per-peer data-plane coalescing stats. The leader folds these into its
+// placement decisions so orphans land away from saturated workers.
+type CongestionReport struct {
+	// Ready/Pending are the worker's lattice queue depths at snapshot time.
+	Ready   int64
+	Pending int64
+	// UrgencyMisses is cumulative; the leader differences consecutive
+	// heartbeats to get a rate.
+	UrgencyMisses uint64
+	// Peers carries per-link coalescing telemetry keyed by peer name — the
+	// raw material for spotting hot edges.
+	Peers map[string]comm.PeerCoalesceStats
+}
+
+// Score collapses a report into a single placement-ranking pressure value:
+// instantaneous queue depth plus a heavily weighted recent urgency-miss
+// rate (missDelta is the miss-count increase since the previous heartbeat —
+// each one is a deadline the scheduler already blew, so it dominates mere
+// backlog).
+func (r CongestionReport) Score(missDelta uint64) int64 {
+	return r.Ready + r.Pending + 8*int64(missDelta)
 }
 
 // rescheduleMsg is pushed leader→workers after a failure: the dead worker,
@@ -133,6 +160,16 @@ func init() {
 // the group's first assigned member (the whole group consumes one
 // round-robin slot); remaining operators are assigned round-robin.
 func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
+	return PlacementLoaded(g, workers, nil)
+}
+
+// PlacementLoaded is Placement with congestion steering: each round-robin
+// slot is overridden when a strictly less-congested worker exists (score is
+// the leader's per-worker CongestionReport.Score), so a restarted or
+// re-planned graph keeps its hot operators off workers that are already
+// saturated. Affinity grouping and explicit pins always win over steering;
+// with nil or uniform scores the result is exactly Placement's.
+func PlacementLoaded(g *graph.Graph, workers []string, score map[string]int64) (map[string]string, error) {
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("cluster: no workers")
 	}
@@ -143,6 +180,19 @@ func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
 	assign := make(map[string]string)
 	groupWorker := make(map[int]string)
 	next := 0
+	pickWorker := func() string {
+		w := workers[next%len(workers)]
+		next++
+		// Congestion steering: keep the rotation's choice unless some
+		// worker is strictly less congested (first such worker in
+		// registration order, so the result stays deterministic).
+		for _, c := range workers {
+			if score[c] < score[w] {
+				w = c
+			}
+		}
+		return w
+	}
 	for _, op := range g.Operators() {
 		gid, grouped := g.AffinityOf(op.Name)
 		if op.Placement != "" {
@@ -163,8 +213,7 @@ func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
 				continue
 			}
 		}
-		w := workers[next%len(workers)]
-		next++
+		w := pickWorker()
 		assign[op.Name] = w
 		if grouped {
 			groupWorker[gid] = w
@@ -179,6 +228,20 @@ func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
 // lands on the least-loaded survivor at that point (ties break
 // lexicographically), keeping the result deterministic.
 func Reassign(g *graph.Graph, assign map[string]string, dead string, survivors []string) map[string]string {
+	return ReassignLoaded(g, assign, dead, survivors, nil)
+}
+
+// ReassignLoaded is Reassign with congestion awareness: orphans still follow
+// their affinity group's surviving worker when one exists (splitting a
+// co-located chain would cost more than any queueing relief buys), but
+// otherwise land on the survivor with the lowest congestion score — the
+// leader's per-worker CongestionReport.Score from the latest heartbeats —
+// breaking score ties by operator load and then name. A hot edge whose dead
+// endpoint would re-land next to a saturated peer is thereby steered to a
+// quieter worker, affinity permitting. With nil scores this is exactly
+// Reassign's least-loaded placement, so the result stays deterministic for
+// a given score snapshot.
+func ReassignLoaded(g *graph.Graph, assign map[string]string, dead string, survivors []string, score map[string]int64) map[string]string {
 	next := make(map[string]string, len(assign))
 	load := make(map[string]int, len(survivors))
 	for _, w := range survivors {
@@ -198,7 +261,18 @@ func Reassign(g *graph.Graph, assign map[string]string, dead string, survivors [
 	leastLoaded := func() string {
 		best := ""
 		for _, w := range survivors {
-			if best == "" || load[w] < load[best] || (load[w] == load[best] && w < best) {
+			switch {
+			case best == "":
+				best = w
+			case score[w] != score[best]:
+				if score[w] < score[best] {
+					best = w
+				}
+			case load[w] != load[best]:
+				if load[w] < load[best] {
+					best = w
+				}
+			case w < best:
 				best = w
 			}
 		}
@@ -317,11 +391,17 @@ type Leader struct {
 	ackEpoch    map[string]uint64
 	checkpoints map[string]map[string]state.Checkpoint
 	frontiers   map[string]map[stream.ID]uint64
-	assign      map[string]string
-	sched       Schedule
-	ingest      map[stream.ID]string
-	extract     map[stream.ID][]string
-	events      []Event
+	// congestion is each worker's latest heartbeat report; missBase and
+	// missDelta turn the cumulative urgency-miss counter into a recent
+	// rate (the increase over the previous heartbeat).
+	congestion map[string]CongestionReport
+	missBase   map[string]uint64
+	missDelta  map[string]uint64
+	assign     map[string]string
+	sched      Schedule
+	ingest     map[stream.ID]string
+	extract    map[stream.ID][]string
+	events     []Event
 }
 
 // LeaderOption configures NewLeader.
@@ -358,6 +438,9 @@ func NewLeader(addr string, workers []string, g *graph.Graph, ingestAt map[strea
 		ackEpoch:    make(map[string]uint64),
 		checkpoints: make(map[string]map[string]state.Checkpoint),
 		frontiers:   make(map[string]map[stream.ID]uint64),
+		congestion:  make(map[string]CongestionReport),
+		missBase:    make(map[string]uint64),
+		missDelta:   make(map[string]uint64),
 	}
 	for _, o := range opts {
 		o(l)
@@ -368,6 +451,37 @@ func NewLeader(addr string, workers []string, g *graph.Graph, ingestAt map[strea
 
 // Addr returns the leader's control-plane address.
 func (l *Leader) Addr() string { return l.ln.Addr().String() }
+
+// scores folds the latest congestion reports into per-worker placement
+// scores. Workers that never reported score zero.
+func (l *Leader) scores() map[string]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.scoresLocked()
+}
+
+func (l *Leader) scoresLocked() map[string]int64 {
+	if len(l.congestion) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(l.congestion))
+	for w, r := range l.congestion {
+		out[w] = r.Score(l.missDelta[w])
+	}
+	return out
+}
+
+// Congestion returns the latest congestion report heartbeat from each
+// worker, for diagnostics and tests.
+func (l *Leader) Congestion() map[string]CongestionReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]CongestionReport, len(l.congestion))
+	for w, r := range l.congestion {
+		out[w] = r
+	}
+	return out
+}
 
 // Wait blocks until the cluster is started (or the leader failed). A
 // resident leader keeps running after Wait returns; use Stop to shut it
@@ -450,7 +564,10 @@ func (l *Leader) startPhase() error {
 		registered = len(l.sessions)
 		l.mu.Unlock()
 	}
-	assign, err := Placement(l.g, l.workers)
+	// At first start no heartbeats have arrived and the scores are empty —
+	// pure round-robin — but a leader re-planning after congestion reports
+	// came in steers the initial assignment away from saturated workers.
+	assign, err := PlacementLoaded(l.g, l.workers, l.scores())
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/operator"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+func congGraph(t *testing.T, names ...string) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	s := g.AddStream("s", "int")
+	if err := g.MarkIngest(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if err := g.AddOperator(&operator.Spec{Name: name, Inputs: []stream.ID{s}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestReassignLoadedAvoidsCongestedSurvivor: with congestion scores in
+// play, an orphan lands on the quiet survivor even when the congested one
+// hosts fewer operators.
+func TestReassignLoadedAvoidsCongestedSurvivor(t *testing.T) {
+	g := congGraph(t, "a", "b", "c", "d")
+	assign := map[string]string{"a": "w1", "b": "w3", "c": "w3", "d": "w2"}
+
+	// Least-loaded alone would pick w1 (1 op vs w3's 2).
+	got := ReassignLoaded(g, assign, "w2", []string{"w1", "w3"}, nil)
+	if got["d"] != "w1" {
+		t.Fatalf("without scores, orphan d on %q, want least-loaded w1", got["d"])
+	}
+
+	// But w1's heartbeats show queue backlog and urgency misses: the
+	// orphan must be steered to the quiet (if busier) w3.
+	scores := map[string]int64{"w1": 250, "w3": 0}
+	got = ReassignLoaded(g, assign, "w2", []string{"w1", "w3"}, scores)
+	if got["d"] != "w3" {
+		t.Fatalf("with w1 congested, orphan d on %q, want w3", got["d"])
+	}
+}
+
+// TestReassignLoadedAffinityBeatsCongestion: congestion steering never
+// splits an affinity group — the orphan follows its surviving partner even
+// onto a congested worker.
+func TestReassignLoadedAffinityBeatsCongestion(t *testing.T) {
+	g := congGraph(t, "a", "b", "c")
+	if err := g.WithAffinity("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	assign := map[string]string{"a": "w1", "b": "w2", "c": "w3"}
+	scores := map[string]int64{"w1": 1000, "w3": 0}
+	got := ReassignLoaded(g, assign, "w2", []string{"w1", "w3"}, scores)
+	if got["b"] != "w1" {
+		t.Fatalf("affinity orphan b on %q, want w1 (with a) despite congestion", got["b"])
+	}
+}
+
+// TestPlacementLoadedSteersOffCongested: initial placement overrides a
+// round-robin slot when a strictly less-congested worker exists, and
+// reduces to plain round-robin with uniform scores.
+func TestPlacementLoadedSteersOffCongested(t *testing.T) {
+	g := congGraph(t, "a", "b")
+	workers := []string{"w1", "w2"}
+
+	assign, err := PlacementLoaded(g, workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign["a"] != "w1" || assign["b"] != "w2" {
+		t.Fatalf("nil scores should round-robin: %v", assign)
+	}
+
+	assign, err = PlacementLoaded(g, workers, map[string]int64{"w1": 40, "w2": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign["a"] != "w2" || assign["b"] != "w2" {
+		t.Fatalf("congested w1 should be avoided: %v", assign)
+	}
+}
+
+// TestCongestionScoreWeighsRecentMisses: blown deadlines dominate mere
+// backlog in the placement score.
+func TestCongestionScoreWeighsRecentMisses(t *testing.T) {
+	backlogged := CongestionReport{Ready: 10, Pending: 20}
+	missing := CongestionReport{Ready: 1, Pending: 2, UrgencyMisses: 500}
+	if s := backlogged.Score(0); s != 30 {
+		t.Fatalf("backlog-only score = %d, want 30", s)
+	}
+	// Cumulative misses contribute only through the per-heartbeat delta.
+	if s := missing.Score(0); s != 3 {
+		t.Fatalf("stale-miss score = %d, want 3", s)
+	}
+	if s := missing.Score(5); s != 43 {
+		t.Fatalf("recent-miss score = %d, want 43", s)
+	}
+	if missing.Score(5) <= backlogged.Score(0)/2 {
+		t.Fatalf("five fresh misses should rival a 30-deep backlog")
+	}
+}

@@ -83,6 +83,12 @@ func (l *Leader) readSession(s *session) {
 			if m.Frontiers != nil {
 				l.frontiers[m.Name] = m.Frontiers
 			}
+			// Difference the cumulative urgency-miss counter against the
+			// previous heartbeat so placement scores react to *recent*
+			// pressure, not a worker's whole history.
+			l.missDelta[m.Name] = m.Congestion.UrgencyMisses - l.missBase[m.Name]
+			l.missBase[m.Name] = m.Congestion.UrgencyMisses
+			l.congestion[m.Name] = m.Congestion
 			l.mu.Unlock()
 		case rescheduleAckMsg:
 			l.mu.Lock()
@@ -153,7 +159,9 @@ func (l *Leader) failover(dead string) {
 		return
 	}
 
-	assign := Reassign(l.g, l.assign, dead, survivors)
+	// Congestion-fed re-placement: orphans avoid survivors whose latest
+	// heartbeats show queue backlog or urgency misses, affinity permitting.
+	assign := ReassignLoaded(l.g, l.assign, dead, survivors, l.scoresLocked())
 	// Re-home ingest injection and extraction points that lived on the
 	// dead worker so the routing table never names it.
 	ingest := make(map[stream.ID]string, len(l.ingest))
@@ -354,6 +362,17 @@ func (r *replayRing) snapshot() []message.Message {
 	return out
 }
 
+// congestionReport snapshots the node's scheduler and data-plane pressure
+// for the next heartbeat.
+func (n *Node) congestionReport() CongestionReport {
+	c := n.Worker.Congestion()
+	r := CongestionReport{Ready: c.Ready, Pending: c.Pending, UrgencyMisses: c.UrgencyMisses}
+	if n.Transport != nil {
+		r.Peers = n.Transport.PeerCoalesceStats()
+	}
+	return r
+}
+
 // heartbeatLoop ships heartbeats (with the worker's current operator
 // checkpoints) until the node stops or the leader goes away.
 func (n *Node) heartbeatLoop(period time.Duration) {
@@ -368,7 +387,8 @@ func (n *Node) heartbeatLoop(period time.Duration) {
 		}
 		seq++
 		hb := heartbeatMsg{Name: n.Name, Seq: seq,
-			Checkpoints: n.Worker.Checkpoints(), Frontiers: n.Worker.Frontiers()}
+			Checkpoints: n.Worker.Checkpoints(), Frontiers: n.Worker.Frontiers(),
+			Congestion: n.congestionReport()}
 		n.encMu.Lock()
 		err := n.enc.Encode(ctrlMsg{M: hb}) //erdos:allow lockhold encMu exists to serialize writers on the single control stream
 		n.encMu.Unlock()

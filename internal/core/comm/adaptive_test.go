@@ -1,0 +1,116 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// TestCoalesceTunerAdaptsToSlack: hinted traffic grows the flush budget and
+// hold cap toward the observed slack window; unhinted traffic keeps the
+// fixed defaults; a link that stops hinting decays back to them.
+func TestCoalesceTunerAdaptsToSlack(t *testing.T) {
+	var c coalesceTuner
+	if c.budget() != flushBudget || c.hold() != maxCoalesceHold {
+		t.Fatalf("zero-state tuner changed the defaults: budget %d hold %v", c.budget(), c.hold())
+	}
+
+	// 1 KB frames every ~50µs carrying 2ms of slack: the slack window fits
+	// ~40 frames, so the budget should grow past the 32 KB floor.
+	base := time.Unix(0, 0)
+	for i := 0; i < 64; i++ {
+		now := base.Add(time.Duration(i) * 50 * time.Microsecond)
+		c.observe(now, 1024, now.Add(2*time.Millisecond))
+	}
+	if b := c.budget(); b <= flushBudget {
+		t.Fatalf("hinted budget %d, want > %d", b, flushBudget)
+	}
+	if b := c.budget(); b > maxFlushBudget {
+		t.Fatalf("budget %d exceeds cap %d", b, maxFlushBudget)
+	}
+	if h := c.hold(); h <= maxCoalesceHold || h > maxAdaptiveHold {
+		t.Fatalf("hinted hold %v, want in (%v, %v]", h, maxCoalesceHold, maxAdaptiveHold)
+	}
+
+	// The same link going unhinted decays slack back toward zero and the
+	// knobs return to their floors.
+	for i := 64; i < 256; i++ {
+		now := base.Add(time.Duration(i) * 50 * time.Microsecond)
+		c.observe(now, 1024, time.Time{})
+	}
+	if b := c.budget(); b != flushBudget {
+		t.Fatalf("post-decay budget %d, want floor %d", b, flushBudget)
+	}
+}
+
+// TestCoalesceTunerIgnoresExpiredHints: a FlushBy already in the past is no
+// slack at all and must not inflate the budget.
+func TestCoalesceTunerIgnoresExpiredHints(t *testing.T) {
+	var c coalesceTuner
+	base := time.Unix(0, 0).Add(time.Second)
+	for i := 0; i < 32; i++ {
+		now := base.Add(time.Duration(i) * 50 * time.Microsecond)
+		c.observe(now, 1024, now.Add(-time.Millisecond))
+	}
+	if b := c.budget(); b != flushBudget {
+		t.Fatalf("expired hints grew the budget to %d", b)
+	}
+}
+
+// TestSendBytesRoundtrip: the no-boxing send path delivers byte-for-byte
+// what SendWithHint would, and records per-peer coalescing telemetry.
+func TestSendBytesRoundtrip(t *testing.T) {
+	got := make(chan message.Message, 1)
+	a, err := Listen("sb-a", "127.0.0.1:0", func(_ string, _ stream.ID, m message.Message) {
+		got <- m
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	c, err := Listen("sb-c", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Dial(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("deadline-driven")
+	ts := timestamp.New(7, 3)
+	if err := c.SendBytes("sb-a", 42, ts, payload, FlushHint{}, false); err != nil {
+		t.Fatal(err)
+	}
+	m := <-got
+	if !m.IsData() || !m.Timestamp.Equal(ts) {
+		t.Fatalf("bad message %v", m)
+	}
+	if b, ok := m.Payload.([]byte); !ok || !bytes.Equal(b, payload) {
+		t.Fatalf("payload %v, want %q", m.Payload, payload)
+	}
+
+	stats := c.PeerCoalesceStats()
+	ps, ok := stats["sb-a"]
+	if !ok {
+		t.Fatalf("no per-peer stats for sb-a: %v", stats)
+	}
+	if ps.Frames == 0 || ps.Bytes == 0 {
+		t.Fatalf("per-peer counters empty: %+v", ps)
+	}
+
+	// The release variant recycles a pooled payload after the write.
+	rp := AcquirePayload(9)
+	copy(rp, "recycled!")
+	if err := c.SendBytes("sb-a", 42, timestamp.New(8), rp, FlushHint{}, true); err != nil {
+		t.Fatal(err)
+	}
+	m = <-got
+	if b, ok := m.Payload.([]byte); !ok || string(b) != "recycled!" {
+		t.Fatalf("release payload %v", m.Payload)
+	}
+}

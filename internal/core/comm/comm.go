@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -175,6 +176,40 @@ func (t *Transport) CoalesceStats() (flushes, coalesced, lateFlushes uint64) {
 	return t.flushes.Load(), t.coalesced.Load(), t.lateFlushes.Load()
 }
 
+// PeerCoalesceStats is one peer link's coalescing telemetry: cumulative
+// frame and flush counters plus the adaptive tuner's current operating
+// point. Heartbeats ship these to the leader, which uses them as the
+// data-plane congestion signal when placing operators.
+type PeerCoalesceStats struct {
+	Frames    uint64 // frames encoded onto this link
+	Bytes     uint64 // encoded bytes
+	Flushes   uint64 // bw.Flush calls
+	Coalesced uint64 // frames that shared a flush with an earlier frame
+	Budget    int64  // current adaptive flush budget, bytes
+	HoldNs    int64  // current adaptive hold cap, nanoseconds
+	SlackNs   int64  // EWMA of observed FlushHint slack, nanoseconds
+}
+
+// PeerCoalesceStats returns per-link coalescing telemetry keyed by peer
+// name. The snapshot is lock-free and monotonic per counter, but not
+// atomic across fields.
+func (t *Transport) PeerCoalesceStats() map[string]PeerCoalesceStats {
+	peers := *t.peers.Load()
+	out := make(map[string]PeerCoalesceStats, len(peers))
+	for name, p := range peers {
+		out[name] = PeerCoalesceStats{
+			Frames:    p.statFrames.Load(),
+			Bytes:     p.statBytes.Load(),
+			Flushes:   p.statFlushes.Load(),
+			Coalesced: p.statCoalesced.Load(),
+			Budget:    p.statBudget.Load(),
+			HoldNs:    p.statHoldNs.Load(),
+			SlackNs:   p.statSlackNs.Load(),
+		}
+	}
+	return out
+}
+
 // FlushHint bounds how long the transport may hold a frame in the per-peer
 // coalescing buffer. The zero hint means "no slack": the frame is flushed
 // as soon as the write queue drains.
@@ -187,6 +222,12 @@ type FlushHint struct {
 type outMsg struct {
 	id stream.ID
 	m  message.Message
+	// raw, when rawSet, is the data payload of a SendBytes message. It
+	// travels in its own field instead of m.Payload so the hot burst path
+	// never boxes the slice into an interface (one heap allocation per
+	// frame otherwise).
+	raw    []byte
+	rawSet bool
 	// flushBy is the frame's coalescing deadline; zero means flush on
 	// queue drain.
 	flushBy time.Time
@@ -208,6 +249,14 @@ type peer struct {
 	// registry (same-build cluster).
 	codecs map[uint64]uint8
 	once   sync.Once
+
+	// tuner adapts this link's flush budget and hold cap to its observed
+	// traffic; it is owned by the writeLoop goroutine and unsynchronized.
+	tuner coalesceTuner
+	// Published telemetry for PeerCoalesceStats readers (heartbeats): the
+	// writeLoop stores, anyone loads.
+	statFrames, statBytes, statFlushes, statCoalesced atomic.Uint64
+	statBudget, statHoldNs, statSlackNs               atomic.Int64
 }
 
 // close is idempotent: the read loop, the write loop, Disconnect and Close
@@ -434,6 +483,23 @@ func (t *Transport) SendRelease(peerName string, id stream.ID, m message.Message
 	return t.send(peerName, outMsg{id: id, m: m, flushBy: hint.FlushBy, release: true})
 }
 
+// SendBytes transmits a data message whose payload is payload's raw bytes.
+// Unlike Send/SendWithHint with a []byte payload, the slice never rides the
+// message's any-typed field, so the hot burst path makes no per-frame boxing
+// allocation. The caller must keep payload untouched until the frame is on
+// the wire (release semantics as in Send); pass release=true for a slice
+// from AcquirePayload that the transport should recycle once written.
+func (t *Transport) SendBytes(peerName string, id stream.ID, ts timestamp.Timestamp, payload []byte, hint FlushHint, release bool) error {
+	return t.send(peerName, outMsg{
+		id:      id,
+		m:       message.Message{Kind: message.KindData, Timestamp: ts},
+		raw:     payload,
+		rawSet:  true,
+		flushBy: hint.FlushBy,
+		release: release,
+	})
+}
+
 func (t *Transport) send(peerName string, o outMsg) error {
 	p := (*t.peers.Load())[peerName]
 	if p == nil {
@@ -587,14 +653,22 @@ func rawEligible(m message.Message) bool {
 // timestamp, and for data messages a uvarint length-prefixed payload written
 // directly from the message (no intermediate copy). Returns bytes written.
 func writeRawFrame(bw *bufio.Writer, id stream.ID, m message.Message) (int, error) {
+	raw, _ := m.Payload.([]byte)
+	return writeRawParts(bw, id, m.Kind, m.Timestamp, raw, m.IsData())
+}
+
+// writeRawParts is writeRawFrame with the payload already unboxed — the
+// SendBytes path hands the slice directly so framing never touches an
+// interface value.
+func writeRawParts(bw *bufio.Writer, id stream.ID, kind message.Kind, ts timestamp.Timestamp, raw []byte, data bool) (int, error) {
 	sp := scratchPool.Get().(*[]byte)
 	buf := append((*sp)[:0], tagRaw)
 	buf = binary.AppendUvarint(buf, uint64(id))
-	buf = append(buf, byte(m.Kind))
-	buf = m.Timestamp.AppendBinary(buf)
-	var raw []byte
-	if m.IsData() {
-		raw, _ = m.Payload.([]byte)
+	buf = append(buf, byte(kind))
+	buf = ts.AppendBinary(buf)
+	if !data {
+		raw = nil
+	} else {
 		buf = binary.AppendUvarint(buf, uint64(len(raw)))
 	}
 	n := len(buf) + len(raw)
@@ -738,6 +812,13 @@ func (p *peer) decodes(id uint64, version uint8) bool {
 // peer decodes this codec at our version; otherwise the payload downgrades
 // to the gob Envelope for this peer while same-build peers stay typed.
 func (t *Transport) writeMsg(p *peer, o outMsg) (n int, mustFlush bool, err error) {
+	if o.rawSet {
+		n, err = writeRawParts(p.bw, o.id, message.KindData, o.m.Timestamp, o.raw, true)
+		if err == nil {
+			t.rawSent.Add(1)
+		}
+		return n, o.flushBy.IsZero(), err
+	}
 	if rawEligible(o.m) {
 		n, err = writeRawFrame(p.bw, o.id, o.m)
 		if err == nil {
@@ -773,22 +854,122 @@ func (t *Transport) writeMsg(p *peer, o outMsg) (n int, mustFlush bool, err erro
 	return 256, true, nil
 }
 
-// Coalescing knobs. A flush is forced once flushBudget bytes are buffered;
-// frames carrying a FlushHint may be held for up to maxCoalesceHold past
-// their arrival waiting for companions, but never later than flushGuard
-// before the earliest FlushBy among held frames.
+// Coalescing knobs. flushBudget and maxCoalesceHold are the *floors* the
+// per-peer tuner starts from (and the fixed values unhinted traffic keeps):
+// a flush is forced once the adaptive budget is buffered, hinted frames may
+// be held up to the adaptive hold cap past their arrival waiting for
+// companions, but never later than flushGuard before the earliest FlushBy
+// among held frames. maxFlushBudget and maxAdaptiveHold bound how far the
+// tuner may grow either knob on a slack-rich link.
+//
+// Slack bounds how long a held frame MAY wait; the gap EWMA bounds how long
+// waiting is WORTH it. Once the producer has been idle for companyGaps
+// expected inter-arrival gaps the burst is over and the buffer flushes
+// rather than spending the slack the hint promised to protect. When that
+// patience window is shorter than spinPatience the producer is burst-rate
+// and a timer is too blunt: the loop yields the processor up to
+// companySpins times (letting a descheduled sender finish enqueueing) and
+// flushes the whole burst as one frame train.
 const (
 	flushBudget     = 32 << 10
+	maxFlushBudget  = 256 << 10
 	maxCoalesceHold = time.Millisecond
+	maxAdaptiveHold = 4 * time.Millisecond
 	flushGuard      = 500 * time.Microsecond
+	ewmaAlpha       = 0.125
+	companyGaps     = 8
+	spinPatience    = 50 * time.Microsecond
+	companySpins    = 4
 )
+
+// coalesceTuner sizes one peer link's coalescing knobs from the traffic it
+// actually carries: EWMAs of frame size, inter-arrival gap, and FlushHint
+// slack. Unhinted links decay the slack estimate back to zero and keep the
+// fixed defaults, so latency-sensitive traffic never pays for adaptation;
+// hinted links grow the budget toward the bytes expected to arrive within
+// the observed slack window, so a hinted burst rides the wire in one flush
+// instead of fragmenting at the fixed 32 KB boundary.
+type coalesceTuner struct {
+	frameBytes float64 // EWMA of encoded frame sizes (bytes)
+	gapNs      float64 // EWMA of frame inter-arrival gaps (ns)
+	slackNs    float64 // EWMA of FlushHint slack (ns); 0 while unhinted
+	last       time.Time
+}
+
+func ewma(prev, sample float64) float64 {
+	if prev == 0 {
+		return sample
+	}
+	return prev + ewmaAlpha*(sample-prev)
+}
+
+// observe folds one encoded frame into the estimates. Frames without a hint
+// contribute zero slack, decaying slackNs so a link that stops hinting
+// reverts to the fixed knobs.
+func (c *coalesceTuner) observe(now time.Time, n int, flushBy time.Time) {
+	if !c.last.IsZero() {
+		if gap := float64(now.Sub(c.last)); gap > 0 {
+			c.gapNs = ewma(c.gapNs, gap)
+		}
+	}
+	c.last = now
+	c.frameBytes = ewma(c.frameBytes, float64(n))
+	var slack float64
+	if !flushBy.IsZero() {
+		if s := flushBy.Sub(now); s > 0 {
+			slack = float64(s)
+		}
+	}
+	c.slackNs = ewma(c.slackNs, slack)
+}
+
+// budget returns the byte threshold that forces a flush: the fixed default
+// while the link shows no usable slack, otherwise the bytes expected to
+// arrive within the slack window (slack/gap frames of the running mean
+// size), floored at the default and capped at maxFlushBudget.
+func (c *coalesceTuner) budget() int {
+	if c.slackNs <= float64(flushGuard) {
+		return flushBudget
+	}
+	gap := c.gapNs
+	if gap < 1 {
+		gap = 1
+	}
+	b := int(c.slackNs / gap * c.frameBytes)
+	if b < flushBudget {
+		b = flushBudget
+	}
+	if b > maxFlushBudget {
+		b = maxFlushBudget
+	}
+	return b
+}
+
+// hold returns how long the oldest held frame may wait for companions:
+// the fixed cap while unhinted, otherwise the observed slack minus the
+// scheduling guard, clamped to [maxCoalesceHold, maxAdaptiveHold].
+func (c *coalesceTuner) hold() time.Duration {
+	if c.slackNs == 0 {
+		return maxCoalesceHold
+	}
+	h := time.Duration(c.slackNs) - flushGuard
+	if h < maxCoalesceHold {
+		h = maxCoalesceHold
+	}
+	if h > maxAdaptiveHold {
+		h = maxAdaptiveHold
+	}
+	return h
+}
 
 // writeLoop serializes frame encoding per connection and batches flushes.
 // It drains whatever is queued, encoding each message; if every buffered
 // frame carries deadline slack (a FlushHint) it holds the buffer — bounded
-// by flushBudget, maxCoalesceHold and the minimum FlushBy minus flushGuard
-// — waiting for more frames to share the flush. Any unhinted frame forces
-// the pre-coalescing behavior: flush as soon as the queue drains.
+// by the peer's adaptive budget and hold cap, the minimum FlushBy minus
+// flushGuard, and the producer going idle for companyGaps expected
+// inter-arrival gaps — waiting for more frames to share the flush. Any
+// unhinted frame forces the pre-coalescing behavior: flush as soon as the
+// queue drains.
 func (t *Transport) writeLoop(p *peer) {
 	defer t.wg.Done()
 	defer t.dropPeer(p)
@@ -806,17 +987,25 @@ func (t *Transport) writeLoop(p *peer) {
 	flush := func() bool {
 		err := p.bw.Flush()
 		t.flushes.Add(1)
+		p.statFlushes.Add(1)
 		if held > 1 {
 			t.coalesced.Add(uint64(held - 1))
+			p.statCoalesced.Add(uint64(held - 1))
 		}
 		if !holdBy.IsZero() && time.Now().After(holdBy) {
 			t.lateFlushes.Add(1)
 		}
+		// Publish the tuner's operating point once per flush — cheap enough
+		// to keep off the per-frame path, fresh enough for heartbeats.
+		p.statBudget.Store(int64(p.tuner.budget()))
+		p.statHoldNs.Store(int64(p.tuner.hold()))
+		p.statSlackNs.Store(int64(p.tuner.slackNs))
 		buffered, held, mustFlush = 0, 0, false
 		holdBy, holdSince = time.Time{}, time.Time{}
 		return err == nil
 	}
 	write := func(o outMsg) bool {
+		now := time.Now()
 		n, force, err := t.writeMsg(p, o)
 		if err != nil {
 			return false
@@ -824,12 +1013,19 @@ func (t *Transport) writeLoop(p *peer) {
 		if o.release {
 			// The frame is in the write buffer (bufio copied the bytes),
 			// so the caller-relinquished payload can be recycled now.
-			ReleaseMessage(o.m)
+			if o.rawSet {
+				RecyclePayload(o.raw)
+			} else {
+				ReleaseMessage(o.m)
+			}
 		}
+		p.tuner.observe(now, n, o.flushBy)
+		p.statFrames.Add(1)
+		p.statBytes.Add(uint64(n))
 		buffered += n
 		held++
 		if holdSince.IsZero() {
-			holdSince = time.Now()
+			holdSince = now
 		}
 		if force {
 			mustFlush = true
@@ -847,8 +1043,9 @@ func (t *Transport) writeLoop(p *peer) {
 				return
 			}
 			for held > 0 {
+				budget := p.tuner.budget()
 			drain:
-				for buffered < flushBudget {
+				for buffered < budget {
 					select {
 					case o = <-p.out:
 						if !write(o) {
@@ -858,7 +1055,7 @@ func (t *Transport) writeLoop(p *peer) {
 						break drain
 					}
 				}
-				if mustFlush || buffered >= flushBudget {
+				if mustFlush || buffered >= budget {
 					if !flush() {
 						return
 					}
@@ -866,10 +1063,44 @@ func (t *Transport) writeLoop(p *peer) {
 				}
 				// Every held frame has slack: wait for company until the
 				// earliest deadline (minus a scheduling guard), capped by
-				// the maximum hold.
+				// the adaptive maximum hold — and by the producer going
+				// idle: after companyGaps expected inter-arrival gaps with
+				// nothing new, more company is not coming and holding
+				// further only taxes the deadline the hint protects.
+				patience := time.Duration(companyGaps * p.tuner.gapNs)
+				if patience > 0 && patience < spinPatience {
+					// Burst-rate producer: a timer is too coarse for a
+					// sub-50µs window. Yield the processor a few times so
+					// a descheduled sender can finish enqueueing, then
+					// flush the burst as one frame train.
+					more := false
+					for i := 0; i < companySpins && !more; i++ {
+						runtime.Gosched()
+						select {
+						case o = <-p.out:
+							if !write(o) {
+								return
+							}
+							more = true
+						default:
+						}
+					}
+					if more {
+						continue
+					}
+					if !flush() {
+						return
+					}
+					continue
+				}
 				until := holdBy.Add(-flushGuard)
-				if holdCap := holdSince.Add(maxCoalesceHold); holdCap.Before(until) {
+				if holdCap := holdSince.Add(p.tuner.hold()); holdCap.Before(until) {
 					until = holdCap
+				}
+				if patience > 0 {
+					if idleBy := p.tuner.last.Add(patience); idleBy.Before(until) {
+						until = idleBy
+					}
 				}
 				wait := time.Until(until)
 				if wait <= 0 {

@@ -32,6 +32,14 @@ const (
 
 var payloadPools [maxPayloadClass + 1]sync.Pool
 
+// headerPool recycles the *[]byte boxes the payload pools store. Without it
+// every RecyclePayload heap-allocates a fresh slice header just to Put it
+// (the classic sync.Pool-of-slices escape): one alloc per received frame.
+// Headers circulate between the two pools instead — Acquire frees one here,
+// Recycle takes it back — so the steady-state receive path allocates
+// nothing.
+var headerPool sync.Pool
+
 func payloadClass(n int) int {
 	c := bits.Len(uint(n - 1))
 	if c < minPayloadClass {
@@ -53,7 +61,11 @@ func AcquirePayload(n int) []byte {
 	}
 	c := payloadClass(n)
 	if v := payloadPools[c].Get(); v != nil {
-		return (*v.(*[]byte))[:n]
+		h := v.(*[]byte)
+		b := *h
+		*h = nil
+		headerPool.Put(h)
+		return b[:n]
 	}
 	return make([]byte, n, 1<<c)
 }
@@ -68,8 +80,12 @@ func RecyclePayload(b []byte) {
 	if c < 1<<minPayloadClass || c > 1<<maxPayloadClass || c&(c-1) != 0 {
 		return
 	}
-	full := b[:c]
-	payloadPools[bits.TrailingZeros(uint(c))].Put(&full)
+	h, _ := headerPool.Get().(*[]byte)
+	if h == nil {
+		h = new([]byte)
+	}
+	*h = b[:c]
+	payloadPools[bits.TrailingZeros(uint(c))].Put(h)
 }
 
 // ReleaseMessage recycles m's payload if it is a pooled []byte; other

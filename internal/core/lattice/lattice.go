@@ -12,15 +12,24 @@
 //     every other callback of the operator (lock-free state access).
 //
 // Across operators the lattice is fully parallel. Ready callbacks are
-// dispatched to a fixed pool of goroutines; among ready callbacks the
-// lattice prioritizes lower logical times first and, within a logical time,
-// higher accuracy coordinates ĉ first, implementing §5.3's preference for
-// higher-accuracy intermediate results.
+// dispatched to a fixed pool of goroutines in EDF order: each callback
+// carries the absolute deadline Di of its operator's current timestamp (pDP
+// allocations plumbed down by the worker), shard run queues are min-heaps
+// keyed on that deadline, and within a deadline the lattice prioritizes
+// lower logical times first and, within a logical time, higher accuracy
+// coordinates ĉ first, implementing §5.3's preference for higher-accuracy
+// intermediate results. Callbacks without a deadline (NoDeadline) order
+// after every deadline-bearing callback, in submission order. Deadlines are
+// opaque virtual instants (int64 nanoseconds on whatever clock the caller
+// uses); the lattice itself never reads a clock, so deterministic virtual
+// time drives it exactly like the wall clock.
 //
 // Scalability: there is no global run-queue lock. Each operator guards its
 // own pending heap and running set, dispatchable callbacks are pushed onto
 // the submitting operator's home shard — one priority queue per pool
-// goroutine — and idle goroutines steal from other shards. Producers wake at
+// goroutine — and idle goroutines steal the most-urgent head among the
+// other shards (ties broken by the affinity-aware victim order, so a
+// co-located chain rebalances onto warm caches first). Producers wake at
 // most one parked goroutine per promoted callback (Signal, never a
 // thundering-herd Broadcast), Items are recycled through a sync.Pool, and an
 // operator's running message callbacks are tracked in an indexed min-heap so
@@ -29,11 +38,24 @@ package lattice
 
 import (
 	"container/heap"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// NoDeadline marks a callback with no deadline pressure: it orders after
+// every deadline-bearing callback. Deadlines are absolute instants in
+// nanoseconds on an arbitrary (wall or virtual) clock epoch.
+const NoDeadline int64 = math.MaxInt64
+
+// maxDeadline is the largest storable deadline; shardEmpty is reserved to
+// publish "no head" on an empty shard's headDl.
+const (
+	maxDeadline int64 = math.MaxInt64 - 1
+	shardEmpty  int64 = math.MaxInt64
 )
 
 // Kind classifies a bound callback.
@@ -65,15 +87,30 @@ type Item struct {
 	kind   Kind
 	run    func()
 	seq    uint64
-	idx    int // heap index within a pending/shard heap, -1 when dispatched
-	runIdx int // heap index within the op's running heap, -1 when not running
+	dl     int64 // absolute deadline (ns); NoDeadline when unconstrained
+	idx    int   // heap index within a pending/shard heap, -1 when dispatched
+	runIdx int   // heap index within the op's running heap, -1 when not running
 }
 
 // shard is one pool goroutine's local run queue. Shards are individually
 // heap-allocated so their hot mutexes do not share a cache line.
 type shard struct {
 	mu sync.Mutex
-	q  itemHeap
+	q  shardHeap
+	// headDl publishes the deadline at the heap's root (shardEmpty when the
+	// shard is dry) so thieves can pick the most-urgent victim without
+	// taking every shard lock.
+	headDl atomic.Int64
+}
+
+// publishHead refreshes the shard's advertised head deadline. Caller holds
+// s.mu.
+func (s *shard) publishHead() {
+	if len(s.q) == 0 {
+		s.headDl.Store(shardEmpty)
+		return
+	}
+	s.headDl.Store(s.q[0].dl)
 }
 
 // Lattice is the worker-wide run queue.
@@ -130,6 +167,7 @@ func New(workers int) *Lattice {
 	l.itemPool.New = func() any { return &Item{idx: -1, runIdx: -1} }
 	for i := range l.shards {
 		l.shards[i] = &shard{}
+		l.shards[i].headDl.Store(shardEmpty)
 	}
 	l.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -219,14 +257,32 @@ func (l *Lattice) newOpQueue(mode Mode, home int) *OpQueue {
 	return q
 }
 
-// Submit enqueues a bound callback for op at timestamp ts.
+// Submit enqueues a bound callback for op at timestamp ts with no deadline
+// pressure (it orders after every deadline-bearing callback). Runtime code
+// should prefer SubmitDeadline so EDF dispatch sees the operator's Di.
 func (l *Lattice) Submit(op *OpQueue, kind Kind, ts timestamp.Timestamp, run func()) {
+	l.SubmitDeadline(op, kind, ts, NoDeadline, run)
+}
+
+// SubmitDeadline enqueues a bound callback for op at timestamp ts whose
+// operator must finish ts by the absolute instant deadline (nanoseconds on
+// the caller's clock; pass NoDeadline when no deadline applies). Shard run
+// queues dispatch earliest-deadline-first, so under saturation an urgent
+// control callback overtakes slack-rich perception work instead of queueing
+// behind it. Per-operator ordering guarantees are unaffected: the dispatch
+// gate (canDispatchLocked) never lets two items that must be ordered coexist
+// on shard heaps.
+func (l *Lattice) SubmitDeadline(op *OpQueue, kind Kind, ts timestamp.Timestamp, deadline int64, run func()) {
 	if l.stopped.Load() {
 		return
+	}
+	if deadline > maxDeadline {
+		deadline = maxDeadline
 	}
 	it := l.itemPool.Get().(*Item)
 	it.op, it.ts, it.kind, it.run = op, ts, kind, run
 	it.seq = l.seq.Add(1)
+	it.dl = deadline
 	it.idx, it.runIdx = -1, -1
 
 	op.mu.Lock()
@@ -276,6 +332,7 @@ func (l *Lattice) Stop() {
 		s.mu.Lock()
 		n := int64(len(s.q))
 		s.q = nil
+		s.publishHead()
 		s.mu.Unlock()
 		dropped += n
 		l.ready.Add(-n)
@@ -342,23 +399,45 @@ func (l *Lattice) spin(id int) *Item {
 }
 
 // findWork pops the highest-priority callback from the goroutine's own
-// shard, stealing from the other shards when it is empty — same-affinity
-// shards first once pinned operators have registered, round-robin before.
+// shard, stealing from the other shards when it is empty. The thief scans
+// the victims' published head deadlines and takes the most-urgent one; ties
+// resolve to the earliest victim in the steal order, which lists
+// same-affinity shards first once pinned operators have registered
+// (round-robin before), so equally urgent work rebalances onto goroutines
+// whose caches already hold its operators' state.
 func (l *Lattice) findWork(id int) *Item {
 	if it := l.popShard(id); it != nil {
 		return it
 	}
 	if ord := l.stealOrder.Load(); ord != nil {
-		for _, j := range (*ord)[id] {
-			if it := l.popShard(j); it != nil {
-				return it
-			}
-		}
-		return nil
+		return l.steal((*ord)[id])
 	}
 	n := len(l.shards)
+	if n == 1 {
+		return nil
+	}
+	victims := make([]int, 0, n-1)
 	for off := 1; off < n; off++ {
-		if it := l.popShard((id + off) % n); it != nil {
+		victims = append(victims, (id+off)%n)
+	}
+	return l.steal(victims)
+}
+
+// steal picks the victim advertising the earliest head deadline and pops
+// it, rescanning when a race empties the chosen shard. The scan is
+// lock-free (one atomic load per victim); only the final pop locks.
+func (l *Lattice) steal(victims []int) *Item {
+	for !l.stopped.Load() {
+		best, bestDl := -1, shardEmpty
+		for _, j := range victims {
+			if dl := l.shards[j].headDl.Load(); dl < bestDl {
+				best, bestDl = j, dl
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		if it := l.popShard(best); it != nil {
 			return it
 		}
 	}
@@ -369,10 +448,14 @@ func (l *Lattice) popShard(i int) *Item {
 	s := l.shards[i]
 	s.mu.Lock()
 	if len(s.q) == 0 {
+		// Re-publish emptiness defensively: a stale non-empty headDl would
+		// make every thief rescan this shard forever.
+		s.publishHead()
 		s.mu.Unlock()
 		return nil
 	}
 	it := heap.Pop(&s.q).(*Item)
+	s.publishHead()
 	s.mu.Unlock()
 	l.ready.Add(-1)
 	return it
@@ -448,6 +531,11 @@ func (l *Lattice) promoteLocked(op *OpQueue) int {
 		}
 		heap.Pop(&op.pendingHeap)
 		op.noteDispatchLocked(head)
+		// EDF on the shard heap cannot break an operator's ordering
+		// guarantees: canDispatchLocked admits at most one item of a
+		// sequential operator (and never a watermark concurrently with
+		// anything), so only parallel message callbacks — which may legally
+		// run out of order — ever coexist on shard heaps.
 		l.pushShard(op.home, head)
 		n++
 	}
@@ -469,8 +557,17 @@ func (l *Lattice) pushShard(home int, it *Item) {
 		return
 	}
 	heap.Push(&s.q, it)
+	s.publishHead()
 	s.mu.Unlock()
 	l.ready.Add(1)
+}
+
+// Depth reports the lattice's instantaneous queue depths: ready callbacks
+// sitting in shard run queues and pending callbacks submitted but not yet
+// completed. Heartbeats ship both as congestion signals for the leader's
+// placement decisions.
+func (l *Lattice) Depth() (ready, pending int64) {
+	return l.ready.Load(), l.pending.Load()
 }
 
 // OpQueue tracks one operator's pending and running callbacks under its own
@@ -552,8 +649,8 @@ func less(a, b *Item) bool {
 	return a.seq < b.seq
 }
 
-// itemHeap is a priority heap of items, used both for per-operator pending
-// heaps and for shard run queues.
+// itemHeap is the per-operator pending heap: timestamp priority only, since
+// everything in it belongs to one operator and shares its deadline pressure.
 type itemHeap []*Item
 
 func (h itemHeap) Len() int           { return len(h) }
@@ -561,6 +658,30 @@ func (h itemHeap) Less(i, j int) bool { return less(h[i], h[j]) }
 func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
 func (h *itemHeap) Push(x any)        { it := x.(*Item); it.idx = len(*h); *h = append(*h, it) }
 func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.idx = -1
+	*h = old[:n-1]
+	return it
+}
+
+// shardHeap is a shard's run queue: earliest absolute deadline first (EDF),
+// then the lattice's timestamp priority, then FIFO by submission sequence.
+// It shares Item.idx with itemHeap — an item is only ever in one of the two.
+type shardHeap []*Item
+
+func (h shardHeap) Len() int { return len(h) }
+func (h shardHeap) Less(i, j int) bool {
+	if h[i].dl != h[j].dl {
+		return h[i].dl < h[j].dl
+	}
+	return less(h[i], h[j])
+}
+func (h shardHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
+func (h *shardHeap) Push(x any)   { it := x.(*Item); it.idx = len(*h); *h = append(*h, it) }
+func (h *shardHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]

@@ -59,9 +59,26 @@ type Stats struct {
 	DeadlineMisses   uint64
 	HandlerRuns      uint64
 	InsertedWMs      uint64
+	// UrgencyMisses counts callbacks the lattice dispatched only after their
+	// operator's deadline Di had already expired — queueing-induced misses,
+	// the scheduler-side congestion signal.
+	UrgencyMisses uint64
 	// HandlerDelays records the delay between each deadline expiry and the
 	// start of its exception handler.
 	HandlerDelays []time.Duration
+}
+
+// Congestion is a snapshot of a worker's queueing pressure, shipped in
+// heartbeats so the leader's placement can steer operators away from
+// saturated workers: instantaneous lattice queue depths plus the cumulative
+// urgency-miss count.
+type Congestion struct {
+	// Ready counts callbacks sitting in lattice run queues; Pending counts
+	// callbacks submitted but not yet completed.
+	Ready   int64
+	Pending int64
+	// UrgencyMisses counts callbacks dispatched after their deadline expired.
+	UrgencyMisses uint64
 }
 
 // Worker executes the operators of one graph partition.
@@ -87,12 +104,13 @@ type Worker struct {
 	// Per-message counters are atomics: countDelivered/countStale sit on the
 	// data-plane hot path and must not funnel every message through one
 	// mutex. Only the handler-delay slice keeps a lock.
-	delivered   atomic.Uint64
-	stale       atomic.Uint64
-	wmBatches   atomic.Uint64
-	misses      atomic.Uint64
-	handlerRuns atomic.Uint64
-	insertedWMs atomic.Uint64
+	delivered     atomic.Uint64
+	stale         atomic.Uint64
+	wmBatches     atomic.Uint64
+	misses        atomic.Uint64
+	handlerRuns   atomic.Uint64
+	insertedWMs   atomic.Uint64
+	urgencyMisses atomic.Uint64
 
 	handlerMu     sync.Mutex
 	handlerDelays []time.Duration
@@ -240,11 +258,18 @@ func (w *Worker) Stats() Stats {
 		DeadlineMisses:   w.misses.Load(),
 		HandlerRuns:      w.handlerRuns.Load(),
 		InsertedWMs:      w.insertedWMs.Load(),
+		UrgencyMisses:    w.urgencyMisses.Load(),
 	}
 	w.handlerMu.Lock()
 	s.HandlerDelays = append([]time.Duration(nil), w.handlerDelays...)
 	w.handlerMu.Unlock()
 	return s
+}
+
+// Congestion reports the worker's current queueing pressure.
+func (w *Worker) Congestion() Congestion {
+	ready, pending := w.lat.Depth()
+	return Congestion{Ready: ready, Pending: pending, UrgencyMisses: w.urgencyMisses.Load()}
 }
 
 // Operator returns diagnostic information about a local operator.
@@ -574,14 +599,46 @@ func (rt *opRuntime) onReceive(i int, m message.Message) {
 		l := m.Timestamp.L
 		run = func() { rt.runData(l, input, msg) }
 	}
+	dl := rt.deadlineLocked(tw)
 	rt.mu.Unlock()
 	rt.w.countDelivered()
 	if run != nil {
 		if rt.wrap != nil {
 			run = rt.wrap(run)
 		}
-		rt.w.lat.Submit(rt.q, lattice.KindMessage, m.Timestamp, run)
+		rt.submit(lattice.KindMessage, m.Timestamp, dl, run)
 	}
+}
+
+// deadlineLocked reports the absolute deadline Di (nanoseconds on the
+// worker's clock epoch) by which the operator must finish tw's timestamp —
+// the instant the lattice uses for EDF dispatch — or lattice.NoDeadline when
+// the operator declares no timestamp deadline or ts has no arrival anchor
+// yet. Caller holds rt.mu.
+func (rt *opRuntime) deadlineLocked(tw *timeWork) int64 {
+	if len(rt.ttSpecs) == 0 || !tw.hasArrival {
+		return lattice.NoDeadline
+	}
+	return tw.firstArrival.Add(rt.ttSpecs[0].Value.For(tw.ts)).UnixNano()
+}
+
+// submit hands a callback to the lattice carrying the operator's deadline.
+// Deadline-bearing callbacks check, at the instant the lattice dispatches
+// them, whether the deadline already expired while they queued: such
+// urgency misses are counted as the scheduler-side congestion signal the
+// leader's placement consumes. The check wraps outside any fault-injection
+// wrapper so an injected stall does not masquerade as queueing delay.
+func (rt *opRuntime) submit(kind lattice.Kind, ts timestamp.Timestamp, dl int64, run func()) {
+	if dl != lattice.NoDeadline {
+		inner := run
+		run = func() {
+			if rt.w.clock.Now().UnixNano() > dl {
+				rt.w.urgencyMisses.Add(1)
+			}
+			inner()
+		}
+	}
+	rt.w.lat.SubmitDeadline(rt.q, kind, ts, dl, run)
 }
 
 // runData executes the data callback for one message.
@@ -622,7 +679,7 @@ func (rt *opRuntime) scheduleCompleteLocked() {
 		if rt.wrap != nil {
 			run = rt.wrap(run)
 		}
-		rt.w.lat.Submit(rt.q, lattice.KindWatermark, ts, run)
+		rt.submit(lattice.KindWatermark, ts, rt.deadlineLocked(tw), run)
 	}
 }
 

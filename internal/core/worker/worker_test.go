@@ -814,3 +814,57 @@ func TestHistoryGCBoundsState(t *testing.T) {
 		t.Fatalf("committed %d times", info.CommittedTimes)
 	}
 }
+
+func TestUrgencyMissCountsLateDispatch(t *testing.T) {
+	// A callback that dispatches only after its deadline has already
+	// expired is an urgency miss: the run queue, not the computation,
+	// blew the budget. The counter feeds congestion-aware placement.
+	clk := deadline.NewManual(time.Unix(0, 0))
+	g := graph.New()
+	in := g.AddStream("in", "int")
+	_ = g.MarkIngest(in)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	err := g.AddOperator(&operator.Spec{
+		Name:          "ctrl",
+		Inputs:        []stream.ID{in},
+		AutoWatermark: true,
+		OnWatermark: func(ctx *operator.Context) {
+			if ctx.Timestamp.Equal(ts(1)) {
+				once.Do(func() { close(started) })
+				<-release
+			}
+		},
+		Deadlines: []operator.TimestampDeadlineSpec{{
+			Name:    "resp",
+			Output:  operator.AllOutputs,
+			Value:   deadline.Static(10 * time.Millisecond),
+			Policy:  deadline.Continue,
+			Handler: func(h *operator.HandlerContext) {},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mustWorker(t, g, Options{Clock: clk})
+	_ = w.Inject(in, message.Data(ts(1), 1))
+	_ = w.Inject(in, message.Watermark(ts(1)))
+	<-started
+	// t[2] arrives now, so its deadline is 10ms from the manual epoch —
+	// but the sequential operator is pinned inside t[1]'s callback.
+	_ = w.Inject(in, message.Data(ts(2), 2))
+	_ = w.Inject(in, message.Watermark(ts(2)))
+	clk.Advance(time.Second) // t[2]'s deadline expires while it queues
+	w.WaitHandlers()
+	close(release)
+	w.Quiesce()
+
+	s := w.Stats()
+	if s.UrgencyMisses == 0 {
+		t.Fatalf("no urgency miss recorded for a post-deadline dispatch: %+v", s)
+	}
+	if c := w.Congestion(); c.UrgencyMisses != s.UrgencyMisses {
+		t.Fatalf("Congestion().UrgencyMisses = %d, Stats = %d", c.UrgencyMisses, s.UrgencyMisses)
+	}
+}

@@ -1,0 +1,136 @@
+// End-to-end scheduling benchmarks, recorded to BENCH_e2e.json by
+// `erdos-bench -bench e2e`. Two measurements matter for the deadline-aware
+// scheduler: the Fig. 8c sensor-scaling trajectory (did end-to-end response
+// regress while the dispatch path grew richer?) and the urgency-inversion
+// profile (how long does a short-deadline control callback queue behind a
+// slack-rich perception backlog under FIFO versus EDF dispatch?).
+package experiments
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/lattice"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// UrgencyInversionResult compares control-callback queueing delay under
+// FIFO (the pre-EDF run queues: logical-time order, deadline-blind) and EDF
+// dispatch on an identical saturated single-worker lattice.
+type UrgencyInversionResult struct {
+	Rounds     int     `json:"rounds"`
+	Backlog    int     `json:"backlog"`
+	FifoP50Ms  float64 `json:"fifo_p50_ms"`
+	FifoP99Ms  float64 `json:"fifo_p99_ms"`
+	EdfP50Ms   float64 `json:"edf_p50_ms"`
+	EdfP99Ms   float64 `json:"edf_p99_ms"`
+	P99Speedup float64 `json:"p99_speedup"`
+}
+
+// inversionBacklog is how many slack-rich "perception" callbacks sit ahead
+// of the control callback, and inversionWork how long each one computes.
+// 24 x 100us matches the shape of a loaded AV pipeline tick: a few
+// milliseconds of queued perception work in front of a reflex deadline.
+const (
+	inversionBacklog = 24
+	inversionWork    = 100 * time.Microsecond
+)
+
+// UrgencyInversion measures both dispatch disciplines over `rounds`
+// saturated scheduling rounds each.
+func UrgencyInversion(rounds int) UrgencyInversionResult {
+	if rounds <= 0 {
+		rounds = 200
+	}
+	fifo := measureInversion(false, rounds)
+	edf := measureInversion(true, rounds)
+	res := UrgencyInversionResult{
+		Rounds:    rounds,
+		Backlog:   inversionBacklog,
+		FifoP50Ms: percentileMs(fifo, 50),
+		FifoP99Ms: percentileMs(fifo, 99),
+		EdfP50Ms:  percentileMs(edf, 50),
+		EdfP99Ms:  percentileMs(edf, 99),
+	}
+	if res.EdfP99Ms > 0 {
+		res.P99Speedup = res.FifoP99Ms / res.EdfP99Ms
+	}
+	return res
+}
+
+// measureInversion runs one discipline: pin the single pool goroutine,
+// queue the perception backlog at early logical times, then submit a
+// control callback at a later logical time and record how long it waits
+// for dispatch once the pool is released. Under FIFO every submission is
+// deadline-blind, so the control callback drains last; under EDF the
+// perception backlog carries distant deadlines and the control callback a
+// near one, so it overtakes the backlog.
+func measureInversion(edf bool, rounds int) []time.Duration {
+	delays := make([]time.Duration, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		l := lattice.New(1)
+		gate := make(chan struct{})
+		var pinned atomic.Bool
+		blocker := l.NewOpQueue(lattice.ModeSequential)
+		l.SubmitDeadline(blocker, lattice.KindMessage, timestamp.New(1), lattice.NoDeadline, func() {
+			pinned.Store(true)
+			<-gate
+		})
+		for !pinned.Load() {
+			runtime.Gosched()
+		}
+
+		work := func() {
+			t0 := time.Now()
+			for time.Since(t0) < inversionWork {
+			}
+		}
+		for i := 0; i < inversionBacklog; i++ {
+			q := l.NewOpQueue(lattice.ModeSequential)
+			ts := timestamp.New(uint64(i + 1))
+			if edf {
+				// Distant deadline: lots of slack.
+				l.SubmitDeadline(q, lattice.KindMessage, ts, 1_000_000_000, work)
+			} else {
+				//erdos:allow deadlinehint models the pre-EDF deadline-blind run queue
+				l.Submit(q, lattice.KindMessage, ts, work)
+			}
+		}
+
+		ctrlDone := make(chan time.Duration, 1)
+		var start time.Time
+		record := func() { ctrlDone <- time.Since(start) }
+		ctrl := l.NewOpQueue(lattice.ModeSequential)
+		ctrlTs := timestamp.New(uint64(inversionBacklog + 10))
+		if edf {
+			// Near deadline: the reflex path.
+			l.SubmitDeadline(ctrl, lattice.KindMessage, ctrlTs, 1_000, record)
+		} else {
+			//erdos:allow deadlinehint models the pre-EDF deadline-blind run queue
+			l.Submit(ctrl, lattice.KindMessage, ctrlTs, record)
+		}
+
+		start = time.Now()
+		close(gate)
+		delays = append(delays, <-ctrlDone)
+		l.Quiesce()
+		l.Stop()
+	}
+	return delays
+}
+
+// percentileMs returns the p-th percentile of ds in milliseconds.
+func percentileMs(ds []time.Duration, p int) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return float64(s[idx].Nanoseconds()) / 1e6
+}

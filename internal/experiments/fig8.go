@@ -295,6 +295,14 @@ func Fig8cSensorScaling(frames int) Fig8cResult {
 	return res
 }
 
+// Fig8cErdosRuntimePoint measures one sensor-scaling configuration on the
+// full ERDOS runtime only, skipping the baseline harnesses. The e2e bench
+// uses it to isolate the runtime's own scheduling trajectory from the
+// allocation noise the ros2/flink serializers generate in the full sweep.
+func Fig8cErdosRuntimePoint(cams, lidars, frames int) time.Duration {
+	return erdosRuntimePipelineDelay(cams, lidars, frames)
+}
+
 // pipelineDelay builds the synthetic topology over a system's intra-process
 // publishers: each sensor broadcasts its frame to 5 operators; each
 // operator immediately publishes a 10 KB result to the merger; the frame is
@@ -411,19 +419,25 @@ func erdosRuntimePipelineDelay(cams, lidars, frames int) time.Duration {
 	}
 	sink.OnData(func(erdos.Timestamped[int]) { frameDone <- struct{}{} })
 	writers := make([]streampkg.WriteStream[[]byte], len(sensors))
+	// Sensors reuse their frame buffers, exactly like the messaging-path
+	// harness (pipelineDelay) does: a camera driver recycles DMA buffers, and
+	// allocating+zeroing ~52 MB inside the measured window swamps the
+	// runtime's own overhead with allocator noise.
+	frameBufs := make([][]byte, len(sensors))
 	for i, s := range sensors {
 		w, err := erdos.Writer(rt, s.stream)
 		if err != nil {
 			return -1
 		}
 		writers[i] = w
+		frameBufs[i] = make([]byte, s.size)
 	}
 	sample := metrics.NewSample()
 	for f := 1; f <= frames; f++ {
 		ts := erdos.T(uint64(f))
 		start := time.Now()
-		for i, s := range sensors {
-			_ = writers[i].Send(ts, make([]byte, s.size))
+		for i := range sensors {
+			_ = writers[i].Send(ts, frameBufs[i])
 			_ = writers[i].SendWatermark(ts)
 		}
 		<-frameDone
