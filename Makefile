@@ -27,11 +27,15 @@ race:
 
 ## fuzz: short smoke run of the binary-codec fuzz targets; a real campaign
 ## raises -fuzztime and lets the corpus accumulate under testdata/.
+## -fuzzminimizetime is capped so a single-worker box doesn't sit silent
+## for the default 60s minimization budget when a mutation looks novel.
 FUZZTIME ?= 3s
+FUZZMINTIME ?= 5s
 fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzTimestampBinary -fuzztime $(FUZZTIME) ./internal/core/timestamp
-	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/core/comm
-	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/core/state
+	$(GO) test -run '^$$' -fuzz FuzzTimestampBinary -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINTIME) ./internal/core/timestamp
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINTIME) ./internal/core/comm
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINTIME) ./internal/core/state
+	$(GO) test -run '^$$' -fuzz FuzzShmRingDecode -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINTIME) ./internal/core/comm/shm
 
 ## analyze: the five D3-invariant analyzers (zerogob, wallclock, lockhold,
 ## statetxn, deadlinehint) over the whole module; see DESIGN.md and
@@ -56,10 +60,12 @@ bench:
 bench-e2e:
 	$(GO) run ./cmd/erdos-bench -bench e2e -out BENCH_e2e.json
 
-## bench-smoke: CI's quick pass over the e2e benchmarks — few frames and
-## rounds, result discarded; catches harness rot without burning minutes
+## bench-smoke: CI's quick pass over the e2e benchmarks and the shm-ring
+## round-trip — few frames and rounds, result discarded; catches harness
+## rot (and a broken ring fast path) without burning minutes
 bench-smoke:
 	$(GO) run ./cmd/erdos-bench -bench e2e -short -out /tmp/BENCH_e2e_smoke.json
+	$(GO) run ./cmd/erdos-bench -bench shm
 
 ## figures: regenerate the paper's Fig. 8 messaging benchmarks
 figures:

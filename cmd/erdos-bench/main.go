@@ -91,11 +91,18 @@ type commBenchFile struct {
 	GoMaxProcs  int                            `json:"go_max_procs"`
 	PreChange   []experiments.MicroBenchResult `json:"pre_change_gob_data_plane"`
 	PrePooling  []experiments.MicroBenchResult `json:"pre_pooling_receive_path"`
-	PostChange  []experiments.MicroBenchResult `json:"post_change"`
+	PreShm      []experiments.MicroBenchResult `json:"pre_shm_transport"`
+	PostChange  []experiments.MicroBenchResult `json:"post_shm_transport"`
 	Speedup     map[string]map[string]float64  `json:"speedup_vs_pre_change"`
 	PoolSpeedup map[string]map[string]float64  `json:"speedup_vs_pre_pooling"`
-	Fig8cPre    []experiments.Fig8cPoint       `json:"fig8c_pre_change"`
-	Fig8cPost   []experiments.Fig8cPoint       `json:"fig8c_post_change"`
+	ShmSpeedup  map[string]map[string]float64  `json:"speedup_vs_pre_shm_transport"`
+	// ShmVsTCP is the same-run ratio of the loopback-TCP 4KB round trip
+	// to the shared-memory one — the headline number for the same-host
+	// ring fast path, immune to machine drift because both sides are
+	// measured in the same process minutes apart.
+	ShmVsTCP  float64                  `json:"shm_vs_tcp_roundtrip_4kb"`
+	Fig8cPre  []experiments.Fig8cPoint `json:"fig8c_pre_change"`
+	Fig8cPost []experiments.Fig8cPoint `json:"fig8c_post_change"`
 }
 
 func runCommBench(out string, msgs int) error {
@@ -111,8 +118,15 @@ func runCommBench(out string, msgs int) error {
 	for _, r := range prePool {
 		prePoolByName[r.Name] = r
 	}
+	preShm := experiments.PreShmTransportCommBaseline
+	preShmByName := map[string]experiments.MicroBenchResult{}
+	for _, r := range preShm {
+		preShmByName[r.Name] = r
+	}
 	speedup := map[string]map[string]float64{}
 	poolSpeedup := map[string]map[string]float64{}
+	shmSpeedup := map[string]map[string]float64{}
+	postByName := map[string]experiments.MicroBenchResult{}
 	for _, r := range post {
 		fmt.Printf("%-28s %12.1f ns/op %8d B/op %5d allocs/op\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
@@ -130,6 +144,18 @@ func runCommBench(out string, msgs int) error {
 			}
 			fmt.Printf("%-28s %12.2fx vs pre-pooling receive path\n", "", p.NsPerOp/r.NsPerOp)
 		}
+		if p, ok := preShmByName[r.Name]; ok && r.NsPerOp > 0 {
+			shmSpeedup[r.Name] = map[string]float64{
+				"throughput": p.NsPerOp / r.NsPerOp,
+				"allocs":     float64(p.AllocsPerOp) / maxf(float64(r.AllocsPerOp), 1),
+			}
+		}
+		postByName[r.Name] = r
+	}
+	shmVsTCP := 0.0
+	if tcp, shm := postByName["CommRawRoundtrip4KB"], postByName["CommShmRoundtrip4KB"]; tcp.NsPerOp > 0 && shm.NsPerOp > 0 {
+		shmVsTCP = tcp.NsPerOp / shm.NsPerOp
+		fmt.Printf("%-28s %12.2fx shm ring vs loopback TCP (same run)\n", "CommShmRoundtrip4KB", shmVsTCP)
 	}
 	fmt.Println("=== sensor scaling rerun (Fig. 8c) ===")
 	fig8cPost := experiments.PostFig8c(msgs)
@@ -146,9 +172,12 @@ func runCommBench(out string, msgs int) error {
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		PreChange:   pre,
 		PrePooling:  prePool,
+		PreShm:      preShm,
 		PostChange:  post,
 		Speedup:     speedup,
 		PoolSpeedup: poolSpeedup,
+		ShmSpeedup:  shmSpeedup,
+		ShmVsTCP:    shmVsTCP,
 		Fig8cPre:    experiments.PreChangeFig8c,
 		Fig8cPost:   fig8cPost,
 	}
@@ -161,6 +190,29 @@ func runCommBench(out string, msgs int) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runShmSmoke is CI's quick pass over the same-host ring fast path: one
+// run each of the TCP and shm 4KB round-trips, result discarded. It fails
+// only when the ring does not beat loopback TCP at all — a sanity floor
+// far below the recorded ≥5x headline, loose enough for noisy CI runners
+// while still catching a broken ring or a silent TCP fallback.
+func runShmSmoke() error {
+	fmt.Println("=== shm ring smoke (same-host fast path) ===")
+	tcp, shm := experiments.ShmSmokeBench()
+	for _, r := range []experiments.MicroBenchResult{tcp, shm} {
+		fmt.Printf("%-28s %12.1f ns/op %8d B/op %5d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if tcp.NsPerOp <= 0 || shm.NsPerOp <= 0 {
+		return fmt.Errorf("degenerate round-trip timings (tcp %.1f ns, shm %.1f ns)", tcp.NsPerOp, shm.NsPerOp)
+	}
+	ratio := tcp.NsPerOp / shm.NsPerOp
+	fmt.Printf("%-28s %12.2fx shm ring vs loopback TCP (same run)\n", "", ratio)
+	if ratio < 1 {
+		return fmt.Errorf("shm ring round-trip slower than loopback TCP (%.2fx): ring fast path is broken", ratio)
+	}
 	return nil
 }
 
@@ -227,7 +279,7 @@ func maxf(a, b float64) float64 {
 }
 
 func main() {
-	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | lattice | comm | e2e | all")
+	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | lattice | comm | shm | e2e | all")
 	msgs := flag.Int("msgs", 50, "messages per measurement point")
 	out := flag.String("out", "", "output file for -bench lattice / comm / e2e")
 	short := flag.Bool("short", false, "smoke mode: fewer frames and rounds, for CI")
@@ -267,6 +319,13 @@ func main() {
 		}
 		if err := runCommBench(dst, 10); err != nil {
 			fmt.Fprintf(os.Stderr, "comm bench: %v\n", err)
+			os.Exit(1)
+		}
+		ran = true
+	}
+	if *bench == "shm" {
+		if err := runShmSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "shm smoke: %v\n", err)
 			os.Exit(1)
 		}
 		ran = true

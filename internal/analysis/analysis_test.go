@@ -126,6 +126,7 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 }
 
 func TestZeroGobFixture(t *testing.T)      { runFixture(t, ZeroGob, "zerogob") }
+func TestZeroGobSeamFixture(t *testing.T)  { runFixture(t, ZeroGob, "zerogobseam") }
 func TestWallclockFixture(t *testing.T)    { runFixture(t, Wallclock, "wallclock") }
 func TestWallclockPkgFixture(t *testing.T) { runFixture(t, Wallclock, "wallclockpkg") }
 func TestLockHoldFixture(t *testing.T)     { runFixture(t, LockHold, "lockhold") }

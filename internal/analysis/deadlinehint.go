@@ -8,6 +8,13 @@
 // infinitely slack and a congested shard will starve it last: runtime code
 // must call SubmitDeadline — passing lattice.NoDeadline when the operator
 // really has no budget — so every enqueue states its urgency.
+//
+// The transport backend seam adds a third surface: comm.FrameSink is the
+// byte sink the coalescer flushes into, and comm.BufferedConn.FrameBuffers
+// hands out a connection's sink directly. Code outside comm that writes or
+// flushes through either one has stepped below the seam — its bytes bypass
+// the deadline-aware coalescer entirely, so no hint can ever reach them.
+// Such sends must go through (*comm.Transport).SendWithHint instead.
 package analysis
 
 import "go/ast"
@@ -38,6 +45,24 @@ func runDeadlineHint(pass *Pass) error {
 			if fn.Pkg().Path() == latticePkgPath && fn.Name() == "Submit" && recvTypeName(fn) == "Lattice" {
 				pass.Reportf(call.Pos(),
 					"(*lattice.Lattice).Submit enqueues with no deadline; use SubmitDeadline (pass lattice.NoDeadline if no budget applies) so EDF dispatch sees the urgency")
+			}
+			// Seam surface: key on the receiver expression's static type,
+			// not the resolved method — FrameSink's Write and WriteByte
+			// resolve to the embedded io interfaces, which would slip past
+			// a declared-on check.
+			if pass.Pkg.Path != commPkgPath {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if tn := namedTypeName(typeOf(info, sel.X)); tn != nil && tn.Pkg() != nil && tn.Pkg().Path() == commPkgPath {
+						switch {
+						case tn.Name() == "FrameSink":
+							pass.Reportf(call.Pos(),
+								"comm.FrameSink write below the transport seam bypasses the deadline-aware coalescer; send through (*comm.Transport).SendWithHint so flush decisions see deadline slack")
+						case tn.Name() == "BufferedConn" && sel.Sel.Name == "FrameBuffers":
+							pass.Reportf(call.Pos(),
+								"comm.BufferedConn.FrameBuffers outside comm exposes the below-seam byte sink; send through (*comm.Transport).SendWithHint so flush decisions see deadline slack")
+						}
+					}
+				}
 			}
 			return true
 		})

@@ -9,6 +9,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -183,6 +184,12 @@ func (l *Loader) loadDir(dir, path string) (pkg *Package, err error) {
 	var files []*ast.File
 	for _, e := range entries {
 		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		// Honor build constraints (//go:build lines and _GOOS/_GOARCH file
+		// suffixes) for the host platform, as the compiler would — loading
+		// both sides of a constrained pair redeclares their symbols.
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)

@@ -20,6 +20,18 @@ func sends(t *comm.Transport, id stream.ID, m message.Message) {
 	_ = t.Send("peer", id, m) // wantAllowed "zero slack"
 }
 
+// seamWrites exercises the backend-seam surface: interface-dispatched
+// writes into a connection's frame buffers happen below the coalescer, so
+// nothing can hint their flushes.
+func seamWrites(fw comm.FrameSink, bc comm.BufferedConn, b []byte) {
+	_, _ = fw.Write(b)       // want "bypasses the deadline-aware coalescer"
+	_ = fw.Flush()           // want "bypasses the deadline-aware coalescer"
+	_, _ = bc.FrameBuffers() // want "below-seam byte sink"
+
+	//erdos:allow deadlinehint fixture exercises the suppression path
+	_ = fw.Flush() // wantAllowed "bypasses the deadline-aware coalescer"
+}
+
 func submits(l *lattice.Lattice, q *lattice.OpQueue, ts timestamp.Timestamp) {
 	l.Submit(q, lattice.KindMessage, ts, func() {}) // want "no deadline"
 

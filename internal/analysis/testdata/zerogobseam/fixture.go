@@ -1,0 +1,39 @@
+// Fixture for zerogob's backend-seam check: this package declares a
+// comm.Backend implementation, which makes it a below-seam byte pipe —
+// any encoding/gob use inside it must be flagged. Typed-frame checks on
+// ordinary payload sends are exercised by the zerogob fixture; this one
+// is only about the seam.
+package fixture
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+
+	"github.com/erdos-go/erdos/internal/core/comm"
+)
+
+// fakeBackend makes the package "below the seam".
+type fakeBackend struct{}
+
+func (fakeBackend) Scheme() string                       { return "fake" }
+func (fakeBackend) Listen(string) (comm.Listener, error) { return nil, nil }
+func (fakeBackend) Dial(string) (net.Conn, error)        { return nil, nil }
+
+type record struct{ N int }
+
+func encodeBelowSeam(v record) []byte {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf) // want "encoding/gob below the transport seam"
+	_ = enc.Encode(v)           // want "encoding/gob below the transport seam"
+	return buf.Bytes()
+}
+
+func decodeBelowSeam(b []byte) record {
+	var v record
+	//erdos:allow zerogob fixture exercises the suppression path
+	dec := gob.NewDecoder(bytes.NewReader(b)) // wantAllowed "encoding/gob below the transport seam"
+	//erdos:allow zerogob fixture exercises the suppression path
+	_ = dec.Decode(&v) // wantAllowed "encoding/gob below the transport seam"
+	return v
+}

@@ -4,6 +4,13 @@
 // implementing comm.FramePayload (and thus backed by a registered
 // comm.Codec). Anything else silently falls back to reflective gob framing
 // on the wire, which the runtime treats as a cross-worker performance bug.
+//
+// The check also guards the transport backend seam from below: a package
+// that implements comm.Backend is a dumb byte pipe by contract (framing and
+// codecs live above the seam), so any encoding/gob use inside it would
+// re-introduce reflective encoding beneath the layer that promises there is
+// none. The comm package itself is exempt — it owns both sides of the seam,
+// including the control-plane handshake and the audited gob fallback.
 package analysis
 
 import (
@@ -45,6 +52,7 @@ func runZeroGob(pass *Pass) error {
 	if !ok {
 		return nil
 	}
+	belowSeam := declaresBackend(pass, commPkg)
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -55,6 +63,10 @@ func runZeroGob(pass *Pass) error {
 			fn := calleeFunc(info, call)
 			if fn == nil || fn.Pkg() == nil {
 				return true
+			}
+			if belowSeam && fn.Pkg().Path() == "encoding/gob" {
+				pass.Reportf(call.Pos(),
+					"encoding/gob below the transport seam: this package implements comm.Backend, a byte-only pipe — reflective encoding here undoes the zero-gob data plane (frame and encode above the seam instead)")
 			}
 			for _, s := range zerogobSites {
 				if fn.Pkg().Path() != s.pkg || fn.Name() != s.name || recvTypeName(fn) != s.recv {
@@ -76,6 +88,36 @@ func runZeroGob(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// declaresBackend reports whether the analyzed package defines a type
+// implementing comm.Backend — i.e. sits below the transport seam. The comm
+// package (which declares the default tcp backend alongside the seam's
+// upper layers) is exempt.
+func declaresBackend(pass *Pass, commPkg *types.Package) bool {
+	if pass.Pkg.Path == commPkgPath {
+		return false
+	}
+	bObj := commPkg.Scope().Lookup("Backend")
+	if bObj == nil {
+		return false
+	}
+	backend, ok := bObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.Implements(t, backend) || types.Implements(types.NewPointer(t), backend) {
+			return true
+		}
+	}
+	return false
 }
 
 // needsCodec reports whether a payload of static type t would hit the gob

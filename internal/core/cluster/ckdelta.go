@@ -1,0 +1,96 @@
+// Checkpoint delta shipping: heartbeats carry only the committed versions
+// the leader has not acknowledged yet. The worker trims against the acked
+// version watermark (checkpointAckMsg) before encoding; the leader splices
+// incoming deltas onto its retained snapshots. Both directions are pure
+// value transforms on state.Checkpoint, collected here.
+//
+// Safety: a trim can only remove versions the leader provably retains (it
+// acked them on this ordered control stream), and a splice only ever adds
+// versions below what the delta carries — so the leader's retained
+// checkpoint is always a superset of what a full heartbeat would have
+// shipped, bounded by the same version cap the worker applies.
+package cluster
+
+import "github.com/erdos-go/erdos/internal/core/state"
+
+// trimCheckpoints returns cps reduced to what the leader has not seen:
+// operators whose newest commit is already acked are dropped entirely, and
+// the surviving checkpoints lose every Older version at or below the acked
+// watermark. Checkpoints are values, so trimming never aliases into the
+// worker's own snapshots.
+func trimCheckpoints(cps map[string]state.Checkpoint, acked map[string]uint64) map[string]state.Checkpoint {
+	if len(acked) == 0 {
+		return cps
+	}
+	out := make(map[string]state.Checkpoint, len(cps))
+	for op, cp := range cps {
+		a, ok := acked[op]
+		if !ok {
+			out[op] = cp
+			continue
+		}
+		if cp.L <= a {
+			// Nothing committed since the ack: the leader's retained
+			// snapshot is already current, skip the operator.
+			continue
+		}
+		var older []state.Version
+		for _, v := range cp.Older {
+			if v.L > a {
+				older = append(older, v)
+			}
+		}
+		cp.Older = older
+		out[op] = cp
+	}
+	return out
+}
+
+// mergeCheckpoint splices a trimmed delta onto the retained checkpoint:
+// retained versions strictly below the delta's oldest carried version are
+// kept underneath it, bounded by the same cap state.Snapshot applies so the
+// leader's copy never outgrows what a full heartbeat would have shipped.
+func mergeCheckpoint(old, delta state.Checkpoint) state.Checkpoint {
+	if delta.L < old.L {
+		// Heartbeats are ordered on one TCP stream, so a regressing delta
+		// means the operator was re-adopted with rewound state; the fresh
+		// snapshot is authoritative.
+		return delta
+	}
+	oldest := delta.L
+	if len(delta.Older) > 0 {
+		oldest = delta.Older[0].L
+	}
+	var tail []state.Version
+	for _, v := range old.Older {
+		if v.L < oldest {
+			tail = append(tail, v)
+		}
+	}
+	if old.HasState && old.L < oldest {
+		tail = append(tail, state.Version{L: old.L, State: old.State})
+	}
+	merged := delta
+	merged.Older = append(tail, delta.Older...)
+	if limit := state.MaxCheckpointVersions - 1; len(merged.Older) > limit {
+		merged.Older = merged.Older[len(merged.Older)-limit:]
+	}
+	return merged
+}
+
+// mergeCheckpoints folds a heartbeat's checkpoint delta into the leader's
+// retained map. Operators absent from the delta keep their retained
+// snapshot — that is exactly the steady-state case the trim creates.
+func mergeCheckpoints(retained, delta map[string]state.Checkpoint) map[string]state.Checkpoint {
+	out := make(map[string]state.Checkpoint, len(retained)+len(delta))
+	for op, cp := range retained {
+		out[op] = cp
+	}
+	for op, cp := range delta {
+		if old, ok := retained[op]; ok {
+			cp = mergeCheckpoint(old, cp)
+		}
+		out[op] = cp
+	}
+	return out
+}

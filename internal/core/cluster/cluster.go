@@ -20,6 +20,7 @@ package cluster
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/comm/shm"
 	"github.com/erdos-go/erdos/internal/core/graph"
 	"github.com/erdos-go/erdos/internal/core/message"
 	"github.com/erdos-go/erdos/internal/core/state"
@@ -50,6 +52,13 @@ type Schedule struct {
 	Routes []Route
 	// PeerAddrs maps worker name to its data-plane address.
 	PeerAddrs map[string]string
+	// PeerHosts maps worker name to its advertised host identity; two
+	// workers sharing an entry are candidates for the shared-memory ring
+	// backend. Workers that did not advertise a host are absent.
+	PeerHosts map[string]string
+	// PeerShm maps worker name to its shared-memory rendezvous address,
+	// dialable as "shm://<addr>" by peers on the same host.
+	PeerShm map[string]string
 	// Heartbeat is the worker heartbeat period; zero disables the
 	// resident control plane (one-shot leader).
 	Heartbeat time.Duration
@@ -68,6 +77,11 @@ type Schedule struct {
 type registerMsg struct {
 	Name     string
 	DataAddr string
+	// HostID is the worker's host identity (empty when host locality is
+	// off); workers advertising the same HostID get ring links. ShmAddr is
+	// the worker's shared-memory rendezvous address for those links.
+	HostID  string
+	ShmAddr string
 }
 type scheduleMsg struct{ Schedule Schedule }
 type readyMsg struct{ Name string }
@@ -79,10 +93,13 @@ type ctrlMsg struct{ M any }
 // heartbeatMsg is sent worker→leader every Schedule.Heartbeat. Checkpoints
 // carries the worker's operator state snapshots (lazy checkpointing: the
 // recent committed versions per operator ride along with the heartbeat).
-// Frontiers carries the worker's per-input-stream received watermarks, the
-// raw material for the consistent restore cut on failover. A stale frontier
-// only understates progress, so the cut it produces is conservative — never
-// unsafe.
+// Checkpoints are shipped as deltas against the leader's acknowledged
+// version watermark (checkpointAckMsg): versions the leader already retains
+// are trimmed, and operators with nothing new are omitted entirely, so a
+// steady-state heartbeat carries no state payload at all. Frontiers carries
+// the worker's per-input-stream received watermarks, the raw material for
+// the consistent restore cut on failover. A stale frontier only understates
+// progress, so the cut it produces is conservative — never unsafe.
 type heartbeatMsg struct {
 	Name        string
 	Seq         uint64
@@ -135,6 +152,17 @@ type rescheduleAckMsg struct {
 	Epoch uint64
 }
 
+// checkpointAckMsg is the leader's version watermark, pushed back after a
+// heartbeat that carried checkpoint payload: Acked[op] is the newest
+// committed version L the leader now retains for op. The worker trims
+// everything at or below the watermark from subsequent heartbeats — the
+// leader splices those deltas onto its retained snapshots — so unchanged
+// versions cross the control stream exactly once. A lost or stale ack only
+// makes the next heartbeat larger than necessary, never incorrect.
+type checkpointAckMsg struct {
+	Acked map[string]uint64
+}
+
 // replayMsg is the leader's barrier release: every survivor has applied
 // the Epoch delta (adopted operators are subscribed and fenced), so
 // producers may now replay their retained windows and start forwarding to
@@ -152,6 +180,7 @@ func init() {
 	gob.Register(heartbeatMsg{})
 	gob.Register(rescheduleMsg{})
 	gob.Register(rescheduleAckMsg{})
+	gob.Register(checkpointAckMsg{})
 	gob.Register(replayMsg{})
 }
 
@@ -170,6 +199,61 @@ func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
 // saturated. Affinity grouping and explicit pins always win over steering;
 // with nil or uniform scores the result is exactly Placement's.
 func PlacementLoaded(g *graph.Graph, workers []string, score map[string]int64) (map[string]string, error) {
+	return PlacementTopo(g, workers, score, nil)
+}
+
+// opNeighbors is the operator adjacency of g: for each operator, the
+// operators it exchanges stream traffic with (producers of its inputs and
+// consumers of its outputs) — the edges whose transport cost placement can
+// influence.
+func opNeighbors(g *graph.Graph) map[string][]string {
+	producer := make(map[stream.ID]string)
+	for _, op := range g.Operators() {
+		for _, out := range op.Outputs {
+			producer[out] = op.Name
+		}
+	}
+	nb := make(map[string][]string)
+	for _, op := range g.Operators() {
+		for _, in := range op.Inputs {
+			if p, ok := producer[in]; ok && p != op.Name {
+				nb[op.Name] = append(nb[op.Name], p)
+				nb[p] = append(nb[p], op.Name)
+			}
+		}
+	}
+	return nb
+}
+
+// neighborHosts collects the advertised hosts of op's already-placed graph
+// neighbors: the hosts on which a ring edge (rather than a TCP edge) to
+// this operator could exist. Workers without a host advert contribute
+// nothing.
+func neighborHosts(neighbors map[string][]string, assign, hosts map[string]string, op string) map[string]bool {
+	var nb map[string]bool
+	for _, peer := range neighbors[op] {
+		w, placed := assign[peer]
+		if !placed {
+			continue
+		}
+		if h := hosts[w]; h != "" {
+			if nb == nil {
+				nb = make(map[string]bool)
+			}
+			nb[h] = true
+		}
+	}
+	return nb
+}
+
+// PlacementTopo is PlacementLoaded with host topology: hosts maps worker
+// name to its advertised host identity (from registration), and a stream
+// edge between two workers on the same host rides a shared-memory ring —
+// several times cheaper than loopback TCP. Congestion still dominates:
+// host locality only re-breaks ties among equally-scored workers, pulling
+// an operator onto a host where one of its graph neighbors already landed.
+// With nil hosts the result is exactly PlacementLoaded's.
+func PlacementTopo(g *graph.Graph, workers []string, score map[string]int64, hosts map[string]string) (map[string]string, error) {
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("cluster: no workers")
 	}
@@ -179,8 +263,12 @@ func PlacementLoaded(g *graph.Graph, workers []string, score map[string]int64) (
 	}
 	assign := make(map[string]string)
 	groupWorker := make(map[int]string)
+	var neighbors map[string][]string
+	if len(hosts) > 0 {
+		neighbors = opNeighbors(g)
+	}
 	next := 0
-	pickWorker := func() string {
+	pickWorker := func(nbHosts map[string]bool) string {
 		w := workers[next%len(workers)]
 		next++
 		// Congestion steering: keep the rotation's choice unless some
@@ -189,6 +277,17 @@ func PlacementLoaded(g *graph.Graph, workers []string, score map[string]int64) (
 		for _, c := range workers {
 			if score[c] < score[w] {
 				w = c
+			}
+		}
+		// Host-local steering: among equally congested workers, prefer
+		// the first (registration order) on a host where a neighbor of
+		// this operator already lives, so the edge becomes a ring edge.
+		if len(nbHosts) > 0 && !nbHosts[hosts[w]] {
+			for _, c := range workers {
+				if score[c] == score[w] && nbHosts[hosts[c]] {
+					w = c
+					break
+				}
 			}
 		}
 		return w
@@ -213,7 +312,7 @@ func PlacementLoaded(g *graph.Graph, workers []string, score map[string]int64) (
 				continue
 			}
 		}
-		w := pickWorker()
+		w := pickWorker(neighborHosts(neighbors, assign, hosts, op.Name))
 		assign[op.Name] = w
 		if grouped {
 			groupWorker[gid] = w
@@ -242,6 +341,15 @@ func Reassign(g *graph.Graph, assign map[string]string, dead string, survivors [
 // Reassign's least-loaded placement, so the result stays deterministic for
 // a given score snapshot.
 func ReassignLoaded(g *graph.Graph, assign map[string]string, dead string, survivors []string, score map[string]int64) map[string]string {
+	return ReassignTopo(g, assign, dead, survivors, score, nil)
+}
+
+// ReassignTopo is ReassignLoaded with host topology (see PlacementTopo):
+// an orphan whose congestion-score candidates tie lands on the survivor
+// sharing a host with one of its graph neighbors, so the rescued edge comes
+// back as a ring edge instead of a TCP edge. Affinity and congestion still
+// rank first; with nil hosts the result is exactly ReassignLoaded's.
+func ReassignTopo(g *graph.Graph, assign map[string]string, dead string, survivors []string, score map[string]int64, hosts map[string]string) map[string]string {
 	next := make(map[string]string, len(assign))
 	load := make(map[string]int, len(survivors))
 	for _, w := range survivors {
@@ -258,7 +366,11 @@ func ReassignLoaded(g *graph.Graph, assign map[string]string, dead string, survi
 			groupWorker[gid] = w
 		}
 	}
-	leastLoaded := func() string {
+	var neighbors map[string][]string
+	if len(hosts) > 0 {
+		neighbors = opNeighbors(g)
+	}
+	leastLoaded := func(nbHosts map[string]bool) string {
 		best := ""
 		for _, w := range survivors {
 			switch {
@@ -266,6 +378,12 @@ func ReassignLoaded(g *graph.Graph, assign map[string]string, dead string, survi
 				best = w
 			case score[w] != score[best]:
 				if score[w] < score[best] {
+					best = w
+				}
+			case nbHosts[hosts[w]] != nbHosts[hosts[best]]:
+				// Equal congestion: prefer the survivor whose host
+				// carries one of the orphan's neighbors (ring edge).
+				if nbHosts[hosts[w]] {
 					best = w
 				}
 			case load[w] != load[best]:
@@ -290,7 +408,7 @@ func ReassignLoaded(g *graph.Graph, assign map[string]string, dead string, survi
 			}
 		}
 		if target == "" {
-			target = leastLoaded()
+			target = leastLoaded(neighborHosts(neighbors, next, hosts, op.Name))
 		}
 		next[op.Name] = target
 		load[target]++
@@ -367,6 +485,17 @@ type session struct {
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	reg  registerMsg
+	// encMu serializes post-start writers on enc: the failover path pushes
+	// reschedule and replay-barrier messages from the monitor goroutine
+	// while readSession pushes checkpoint acks from the session reader.
+	encMu sync.Mutex
+}
+
+// send encodes m under the session's writer lock.
+func (s *session) send(m ctrlMsg) error {
+	s.encMu.Lock()
+	defer s.encMu.Unlock() //erdos:allow lockhold encMu exists to serialize writers on the single control stream
+	return s.enc.Encode(m)
 }
 
 // Leader runs the control plane for a fixed set of workers.
@@ -458,6 +587,23 @@ func (l *Leader) scores() map[string]int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.scoresLocked()
+}
+
+// hostsLocked folds the workers' registration-time host adverts into the
+// worker→host map the topology-aware placement variants consume. Workers
+// that advertised no host are absent. Caller holds l.mu.
+func (l *Leader) hostsLocked() map[string]string {
+	var hosts map[string]string
+	for name, s := range l.sessions {
+		if s.reg.HostID == "" {
+			continue
+		}
+		if hosts == nil {
+			hosts = make(map[string]string)
+		}
+		hosts[name] = s.reg.HostID
+	}
+	return hosts
 }
 
 func (l *Leader) scoresLocked() map[string]int64 {
@@ -567,19 +713,29 @@ func (l *Leader) startPhase() error {
 	// At first start no heartbeats have arrived and the scores are empty —
 	// pure round-robin — but a leader re-planning after congestion reports
 	// came in steers the initial assignment away from saturated workers.
-	assign, err := PlacementLoaded(l.g, l.workers, l.scores())
+	// Host adverts bias score ties toward ring edges (see PlacementTopo).
+	l.mu.Lock()
+	hosts := l.hostsLocked()
+	l.mu.Unlock()
+	assign, err := PlacementTopo(l.g, l.workers, l.scores(), hosts)
 	if err != nil {
 		return err
 	}
 	l.mu.Lock()
 	peerAddrs := make(map[string]string, len(l.sessions))
+	peerShm := make(map[string]string)
 	for name, s := range l.sessions {
 		peerAddrs[name] = s.reg.DataAddr
+		if s.reg.ShmAddr != "" {
+			peerShm[name] = s.reg.ShmAddr
+		}
 	}
 	sched := Schedule{
 		Assignments: assign,
 		Routes:      Routes(l.g, assign, l.workers, l.ingest, l.extract),
 		PeerAddrs:   peerAddrs,
+		PeerHosts:   hosts,
+		PeerShm:     peerShm,
 		Heartbeat:   l.heartbeat,
 		FailAfter:   l.failAfter,
 	}
@@ -635,6 +791,28 @@ type Node struct {
 	mu       sync.Mutex
 	schedule Schedule
 	epoch    uint64
+	// hostID is this node's advertised host identity ("" when host
+	// locality is off). lastScheme remembers each live peer's transport
+	// scheme so a vanished ring link can be told apart from a vanished TCP
+	// link; shmSuspect marks peers whose ring was severed — re-dials of a
+	// suspect go straight to TCP (a fresh ring to a peer that just tore
+	// one down is more likely to tear again than the socket path is).
+	// repairing guards against stacking dials for the same peer across
+	// heartbeat ticks. All four are guarded by mu.
+	hostID     string
+	lastScheme map[string]string
+	shmSuspect map[string]bool
+	repairing  map[string]bool
+	// ckAcked is the leader's checkpoint version watermark per operator
+	// (from checkpointAckMsg, guarded by mu): heartbeats trim everything at
+	// or below it, so unchanged state versions ship exactly once.
+	ckAcked map[string]uint64
+	// hbBytes is the encoded size of the most recent heartbeat, measured on
+	// the control stream — the observable the delta machinery shrinks.
+	hbBytes atomic.Uint64
+	// ctrlOut counts bytes written to the control stream (written only
+	// under encMu once the heartbeat loop is running).
+	ctrlOut *countingWriter
 	// fwd holds per-stream forwarding state for locally-produced streams
 	// (map guarded by mu; each entry has its own lock serializing sends).
 	fwd map[stream.ID]*fwdState
@@ -648,6 +826,25 @@ type Node struct {
 	stopOnce  sync.Once
 	wg        sync.WaitGroup
 }
+
+// countingWriter counts bytes flowing to the wrapped writer. With writes
+// serialized by the encoder's lock, before/after deltas yield exact
+// encoded-message sizes on the live control stream.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	k, err := c.w.Write(p)
+	c.n += uint64(k)
+	return k, err
+}
+
+// HeartbeatBytes reports the encoded size of this node's most recent
+// heartbeat. Delta shipping shrinks it to a small fixed envelope at steady
+// state, independent of operator state size.
+func (n *Node) HeartbeatBytes() uint64 { return n.hbBytes.Load() }
 
 // fwdState is one locally-produced stream's forwarding state. Its mutex
 // serializes live forwarding with reschedule-time replay, so a retained
@@ -683,6 +880,8 @@ func (n *Node) Epoch() uint64 {
 // joinCfg carries Join's optional knobs.
 type joinCfg struct {
 	commOpts []comm.Option
+	hostID   string
+	shmDir   string
 }
 
 // JoinOption configures Join.
@@ -692,6 +891,21 @@ type JoinOption func(*joinCfg)
 // filters) through to the node's data-plane transport.
 func WithCommOptions(opts ...comm.Option) JoinOption {
 	return func(c *joinCfg) { c.commOpts = append(c.commOpts, opts...) }
+}
+
+// WithHostLocality advertises hostID as this worker's host identity and
+// attaches a shared-memory ring backend to its data-plane transport: links
+// to peers advertising the same hostID are dialed "shm://" first (several
+// times cheaper than loopback TCP), falling back to TCP when ring setup
+// fails. dir is where ring files and the rendezvous socket live; empty
+// means the system temp dir. Workers on genuinely different hosts must use
+// different hostIDs — the rings are mmap files, so a false match would
+// dial a path the peer cannot share.
+func WithHostLocality(hostID, dir string) JoinOption {
+	return func(c *joinCfg) {
+		c.hostID = hostID
+		c.shmDir = dir
+	}
 }
 
 // Join connects to the leader at addr, registers, builds the local worker
@@ -708,33 +922,49 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 	if err != nil {
 		return nil, err
 	}
-	enc := gob.NewEncoder(conn)
+	cw := &countingWriter{w: conn}
+	enc := gob.NewEncoder(cw)
 	dec := gob.NewDecoder(conn)
 
 	n := &Node{
-		Name:     name,
-		g:        g,
-		ctrlConn: conn,
-		enc:      enc,
-		fwd:      make(map[stream.ID]*fwdState),
-		stop:     make(chan struct{}),
+		Name:       name,
+		g:          g,
+		ctrlConn:   conn,
+		enc:        enc,
+		ctrlOut:    cw,
+		fwd:        make(map[stream.ID]*fwdState),
+		hostID:     cfg.hostID,
+		lastScheme: make(map[string]string),
+		shmSuspect: make(map[string]bool),
+		repairing:  make(map[string]bool),
+		ckAcked:    make(map[string]uint64),
+		stop:       make(chan struct{}),
 	}
 	fail := func(err error) (*Node, error) {
 		n.Close()
 		return nil, err
 	}
+	commOpts := cfg.commOpts
+	if cfg.hostID != "" {
+		b := shm.New()
+		b.Dir = cfg.shmDir
+		commOpts = append(commOpts[:len(commOpts):len(commOpts)], comm.WithBackend(b, ""))
+	}
 	tr, err := comm.Listen(name, "127.0.0.1:0", func(_ string, id stream.ID, m message.Message) {
 		if n.Worker != nil {
 			_ = n.Worker.Inject(id, m)
 		}
-	}, cfg.commOpts...)
+	}, commOpts...)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
 	n.Transport = tr
 
-	if err := enc.Encode(registerMsg{Name: name, DataAddr: tr.Addr()}); err != nil {
+	if err := enc.Encode(registerMsg{
+		Name: name, DataAddr: tr.Addr(),
+		HostID: cfg.hostID, ShmAddr: tr.AddrOf("shm"),
+	}); err != nil {
 		return fail(err)
 	}
 	var sm scheduleMsg
@@ -754,23 +984,34 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 
 	// Establish the data-plane mesh: dial every peer whose name orders
 	// after ours; the accept side completes the other half of each pair.
-	for peerName, peerAddr := range sm.Schedule.PeerAddrs {
+	// Same-host peers are dialed over their shared-memory ring first,
+	// with TCP as the fallback when ring setup fails.
+	for peerName := range sm.Schedule.PeerAddrs {
 		if peerName <= name {
 			continue
 		}
-		if err := tr.Dial(peerAddr); err != nil {
+		if err := n.dialPeer(sm.Schedule, peerName); err != nil {
 			return fail(fmt.Errorf("cluster: dial %s: %w", peerName, err))
 		}
 	}
 
-	// Install forwarding for streams produced here with remote readers.
+	// Install forwarding for streams produced here with remote readers,
+	// and frontier tracking for streams forwarded here: consumers without
+	// a local operator (extraction points) otherwise report no frontier,
+	// and their producer would restore unconstrained after a failover.
 	resident := sm.Schedule.Heartbeat > 0
 	for _, r := range sm.Schedule.Routes {
-		if r.Producer != name {
-			continue
+		if r.Producer == name {
+			if err := n.setForwarding(stream.ID(r.Stream), r.Consumers, resident); err != nil {
+				return fail(err)
+			}
 		}
-		if err := n.setForwarding(stream.ID(r.Stream), r.Consumers, resident); err != nil {
-			return fail(err)
+		for _, c := range r.Consumers {
+			if c == name {
+				if err := n.Worker.TrackFrontier(stream.ID(r.Stream)); err != nil {
+					return fail(err)
+				}
+			}
 		}
 	}
 

@@ -75,10 +75,20 @@ func (l *Leader) readSession(s *session) {
 		}
 		switch m := cm.M.(type) {
 		case heartbeatMsg:
+			var ack checkpointAckMsg
 			l.mu.Lock()
 			l.lastBeat[m.Name] = time.Now()
 			if len(m.Checkpoints) > 0 {
-				l.checkpoints[m.Name] = m.Checkpoints
+				// Checkpoints arrive as deltas against the last acked
+				// version watermark: splice them onto the retained
+				// snapshots and ack the new watermark so the worker can
+				// trim the next heartbeat further.
+				merged := mergeCheckpoints(l.checkpoints[m.Name], m.Checkpoints)
+				l.checkpoints[m.Name] = merged
+				ack.Acked = make(map[string]uint64, len(merged))
+				for op, cp := range merged {
+					ack.Acked[op] = cp.L
+				}
 			}
 			if m.Frontiers != nil {
 				l.frontiers[m.Name] = m.Frontiers
@@ -90,6 +100,9 @@ func (l *Leader) readSession(s *session) {
 			l.missBase[m.Name] = m.Congestion.UrgencyMisses
 			l.congestion[m.Name] = m.Congestion
 			l.mu.Unlock()
+			if ack.Acked != nil {
+				_ = s.send(ctrlMsg{M: ack})
+			}
 		case rescheduleAckMsg:
 			l.mu.Lock()
 			if m.Epoch > l.ackEpoch[m.Name] {
@@ -160,8 +173,10 @@ func (l *Leader) failover(dead string) {
 	}
 
 	// Congestion-fed re-placement: orphans avoid survivors whose latest
-	// heartbeats show queue backlog or urgency misses, affinity permitting.
-	assign := ReassignLoaded(l.g, l.assign, dead, survivors, l.scoresLocked())
+	// heartbeats show queue backlog or urgency misses, affinity
+	// permitting; host adverts re-break score ties toward survivors whose
+	// host carries a neighbor, so rescued edges come back as ring edges.
+	assign := ReassignTopo(l.g, l.assign, dead, survivors, l.scoresLocked(), l.hostsLocked())
 	// Re-home ingest injection and extraction points that lived on the
 	// dead worker so the routing table never names it.
 	ingest := make(map[stream.ID]string, len(l.ingest))
@@ -187,10 +202,24 @@ func (l *Leader) failover(dead string) {
 			peerAddrs[w] = a
 		}
 	}
+	peerHosts := make(map[string]string, len(l.sched.PeerHosts))
+	for w, h := range l.sched.PeerHosts {
+		if w != dead {
+			peerHosts[w] = h
+		}
+	}
+	peerShm := make(map[string]string, len(l.sched.PeerShm))
+	for w, a := range l.sched.PeerShm {
+		if w != dead {
+			peerShm[w] = a
+		}
+	}
 	sched := Schedule{
 		Assignments: assign,
 		Routes:      Routes(l.g, assign, survivors, ingest, extract),
 		PeerAddrs:   peerAddrs,
+		PeerHosts:   peerHosts,
+		PeerShm:     peerShm,
 		Heartbeat:   l.heartbeat,
 		FailAfter:   l.failAfter,
 		Epoch:       epoch,
@@ -207,7 +236,7 @@ func (l *Leader) failover(dead string) {
 	// forward as every consumer of its outputs has provably received —
 	// anything newer the dead worker produced may have been lost in flight
 	// and must be regenerated by re-processing past the cut.
-	cuts := restoreCuts(l.g, l.assign, dead, l.frontiers, cps)
+	cuts := restoreCuts(l.g, l.assign, dead, l.frontiers, cps, extract)
 	l.assign, l.sched, l.ingest, l.extract = assign, sched, ingest, extract
 	var sessions []*session
 	for _, w := range survivors {
@@ -220,7 +249,7 @@ func (l *Leader) failover(dead string) {
 
 	rm := rescheduleMsg{Dead: dead, Schedule: sched, Checkpoints: cps, RestoreAt: cuts}
 	for _, s := range sessions {
-		_ = s.enc.Encode(ctrlMsg{M: rm})
+		_ = s.send(ctrlMsg{M: rm})
 	}
 	if !l.awaitAcks(survivors, epoch) {
 		return
@@ -229,7 +258,7 @@ func (l *Leader) failover(dead string) {
 	// the orphans, so producers can replay retained windows without racing
 	// a not-yet-subscribed consumer.
 	for _, s := range sessions {
-		_ = s.enc.Encode(ctrlMsg{M: replayMsg{Epoch: epoch}})
+		_ = s.send(ctrlMsg{M: replayMsg{Epoch: epoch}})
 	}
 	l.mu.Lock()
 	l.events = append(l.events, Event{Kind: EventRecovered, Worker: dead, At: time.Now(), Epoch: epoch})
@@ -249,8 +278,16 @@ func (l *Leader) failover(dead string) {
 // version — conservative, never unsafe: over-regenerated outputs are
 // stale-dropped at consumer fences). Operators with no readers are
 // unconstrained.
+//
+// extract lists the workers extracting each stream: a subscription-only
+// extraction point is a reader too — it has no operator runtime, so its
+// worker's reported frontier (tracked by the node's extraction tap) stands
+// in for an input watermark. Without this an orphaned producer whose only
+// consumer is an extraction point would restore unconstrained and skip
+// outputs the application never received.
 func restoreCuts(g *graph.Graph, assign map[string]string, dead string,
-	frontiers map[string]map[stream.ID]uint64, cps map[string]state.Checkpoint) map[string]uint64 {
+	frontiers map[string]map[stream.ID]uint64, cps map[string]state.Checkpoint,
+	extract map[stream.ID][]string) map[string]uint64 {
 	readers := make(map[stream.ID][]string)
 	outputs := make(map[string][]stream.ID)
 	cuts := make(map[string]uint64)
@@ -285,6 +322,14 @@ func restoreCuts(g *graph.Graph, assign map[string]string, dead string,
 						c = frontiers[assign[r]][out]
 					}
 					if c < cut {
+						cut = c
+					}
+				}
+				for _, w := range extract[out] {
+					if w == dead {
+						continue
+					}
+					if c := frontiers[w][out]; c < cut {
 						cut = c
 					}
 				}
@@ -386,15 +431,138 @@ func (n *Node) heartbeatLoop(period time.Duration) {
 		case <-t.C:
 		}
 		seq++
+		n.repairLinks()
+		n.mu.Lock()
+		acked := make(map[string]uint64, len(n.ckAcked))
+		for op, a := range n.ckAcked {
+			acked[op] = a
+		}
+		n.mu.Unlock()
 		hb := heartbeatMsg{Name: n.Name, Seq: seq,
-			Checkpoints: n.Worker.Checkpoints(), Frontiers: n.Worker.Frontiers(),
-			Congestion: n.congestionReport()}
+			Checkpoints: trimCheckpoints(n.Worker.Checkpoints(), acked),
+			Frontiers:   n.Worker.Frontiers(),
+			Congestion:  n.congestionReport()}
 		n.encMu.Lock()
+		before := n.ctrlOut.n
 		err := n.enc.Encode(ctrlMsg{M: hb}) //erdos:allow lockhold encMu exists to serialize writers on the single control stream
+		n.hbBytes.Store(n.ctrlOut.n - before)
 		n.encMu.Unlock()
 		if err != nil {
 			return
 		}
+	}
+}
+
+// shmTarget reports the "shm://" dial target for peer when a ring link is
+// both possible (matching host adverts, peer published a ring rendezvous)
+// and advisable (the peer's ring is not suspect after a sever).
+func (n *Node) shmTarget(sched Schedule, peer string) (string, bool) {
+	if n.hostID == "" || sched.PeerHosts[peer] != n.hostID || sched.PeerShm[peer] == "" {
+		return "", false
+	}
+	n.mu.Lock()
+	suspect := n.shmSuspect[peer]
+	n.mu.Unlock()
+	if suspect {
+		return "", false
+	}
+	return "shm://" + sched.PeerShm[peer], true
+}
+
+// noteScheme records the scheme a live link to peer came up with — at
+// dial time, not just at heartbeat ticks, so a link severed before its
+// first tick is still recognized as a ring link by repairLinks.
+func (n *Node) noteScheme(peer, scheme string) {
+	n.mu.Lock()
+	n.lastScheme[peer] = scheme
+	n.mu.Unlock()
+}
+
+// dialPeer opens the data-plane link to peer per the schedule: the peer's
+// shared-memory ring when both sides advertise the same host, TCP
+// otherwise — and TCP as the fallback when the ring dial fails, so host
+// locality can never make a cluster less available than plain TCP was.
+func (n *Node) dialPeer(sched Schedule, peer string) error {
+	if addr, ok := n.shmTarget(sched, peer); ok {
+		if err := n.Transport.Dial(addr); err == nil {
+			n.noteScheme(peer, "shm")
+			return nil
+		}
+		n.mu.Lock()
+		n.shmSuspect[peer] = true
+		n.mu.Unlock()
+	}
+	err := n.Transport.Dial(sched.PeerAddrs[peer])
+	if err == nil {
+		n.noteScheme(peer, "tcp")
+	}
+	return err
+}
+
+// dialPeerBackoff is dialPeer for recovery paths: one ring attempt (the
+// listener either exists or it does not — retrying a broken ring only
+// delays repair), then TCP with comm's exponential backoff riding over
+// peers that are themselves mid-recovery.
+func (n *Node) dialPeerBackoff(sched Schedule, peer string, attempts int, base time.Duration) error {
+	if addr, ok := n.shmTarget(sched, peer); ok {
+		if err := n.Transport.Dial(addr); err == nil {
+			n.noteScheme(peer, "shm")
+			return nil
+		}
+		n.mu.Lock()
+		n.shmSuspect[peer] = true
+		n.mu.Unlock()
+	}
+	err := n.Transport.DialBackoff(sched.PeerAddrs[peer], attempts, base)
+	if err == nil {
+		n.noteScheme(peer, "tcp")
+	}
+	return err
+}
+
+// repairLinks runs every heartbeat tick: any scheduled peer missing from
+// the live peer set is re-dialed, with the same dial-side ordering as Join
+// so only one side of a severed pair reconnects. A peer whose last live
+// link was a ring is marked shm-suspect first — whatever severed the ring
+// (a torn-down mmap, a fault injection) would sever a fresh one too — so
+// its repair dial goes straight to TCP. Dials run in goroutines bounded by
+// the repairing set, one in flight per peer.
+func (n *Node) repairLinks() {
+	schemes := n.Transport.PeerSchemes()
+	n.mu.Lock()
+	sched := n.schedule
+	for p, s := range schemes {
+		n.lastScheme[p] = s
+	}
+	var dials []string
+	for peer := range sched.PeerAddrs {
+		if peer <= n.Name {
+			continue
+		}
+		if _, up := schemes[peer]; up {
+			continue
+		}
+		if n.lastScheme[peer] == "shm" {
+			n.shmSuspect[peer] = true
+		}
+		delete(n.lastScheme, peer)
+		if n.repairing[peer] {
+			continue
+		}
+		n.repairing[peer] = true
+		dials = append(dials, peer)
+	}
+	n.mu.Unlock()
+	for _, peer := range dials {
+		peer := peer
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			_ = n.dialPeerBackoff(sched, peer, 8, 5*time.Millisecond)
+			n.mu.Lock()
+			delete(n.repairing, peer)
+			n.mu.Unlock()
+		}()
 	}
 }
 
@@ -411,6 +579,14 @@ func (n *Node) controlLoop(dec *gob.Decoder) {
 			n.applyReschedule(m)
 		case replayMsg:
 			n.runReplay(m.Epoch)
+		case checkpointAckMsg:
+			n.mu.Lock()
+			for op, a := range m.Acked {
+				if a > n.ckAcked[op] {
+					n.ckAcked[op] = a
+				}
+			}
+			n.mu.Unlock()
 		}
 	}
 }
@@ -436,6 +612,11 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 	}
 	n.epoch = rm.Schedule.Epoch
 	n.schedule = rm.Schedule
+	// Forget the leader's checkpoint acks: operators may arrive (or return)
+	// with rewound state, so the next heartbeat ships full snapshots and
+	// the ack watermark rebuilds from there. One oversized heartbeat per
+	// reschedule is the price of never trimming against a stale ack.
+	n.ckAcked = make(map[string]uint64)
 	n.mu.Unlock()
 
 	n.Transport.Disconnect(rm.Dead)
@@ -490,6 +671,14 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 		if r.Producer == n.Name {
 			routed[stream.ID(r.Stream)] = r.Consumers
 		}
+		// Streams newly forwarded here (re-homed extraction points)
+		// start frontier tracking now, before the replay barrier, so the
+		// next heartbeat already constrains their producer's restore.
+		for _, c := range r.Consumers {
+			if c == n.Name {
+				_ = n.Worker.TrackFrontier(stream.ID(r.Stream))
+			}
+		}
 	}
 	n.mu.Lock()
 	for id := range n.fwd {
@@ -540,15 +729,15 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 	for _, p := range n.Transport.Peers() {
 		known[p] = true
 	}
-	for peerName, peerAddr := range rm.Schedule.PeerAddrs {
+	for peerName := range rm.Schedule.PeerAddrs {
 		if peerName <= n.Name || known[peerName] {
 			continue
 		}
-		addr := peerAddr
+		peer := peerName
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			_ = n.Transport.DialBackoff(addr, 8, 5*time.Millisecond)
+			_ = n.dialPeerBackoff(rm.Schedule, peer, 8, 5*time.Millisecond)
 		}()
 	}
 

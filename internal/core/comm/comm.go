@@ -29,7 +29,6 @@
 package comm
 
 import (
-	"bufio"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -126,8 +125,14 @@ type Handler func(from string, id stream.ID, m message.Message)
 // Transport is one worker's endpoint in the data plane mesh.
 type Transport struct {
 	name    string
-	ln      net.Listener
 	handler Handler // immutable after Listen
+
+	// listeners holds one bound listener per backend; addrs maps each
+	// backend scheme to its dialable address and backends to its Backend.
+	// All three are immutable after Listen.
+	listeners []Listener
+	addrs     map[string]string
+	backends  map[string]Backend
 
 	// peers is a copy-on-write snapshot: Send looks a peer up without any
 	// lock; mu serializes snapshot replacement (connect/close only).
@@ -240,9 +245,16 @@ type peer struct {
 	name string
 	conn net.Conn
 	enc  *gob.Encoder
-	bw   *bufio.Writer
-	out  chan outMsg
-	done chan struct{}
+	fw   FrameSink
+	// scheme names the backend this link rides ("tcp", "shm"); immutable.
+	scheme string
+	// direct marks a link whose conn provides its own frame buffers (an
+	// unwrapped ring conn): sends are framed synchronously in the caller
+	// under wmu instead of hopping through out and the writeLoop.
+	direct bool
+	wmu    sync.Mutex
+	out    chan outMsg
+	done   chan struct{}
 	// codecs is the remote side's codec advertisement from the handshake
 	// (id -> newest version it decodes); immutable after the handshake.
 	// nil means the peer predates negotiation and is assumed to share our
@@ -297,11 +309,20 @@ type PeerNamer interface {
 	NamePeer(c net.Conn, peer string)
 }
 
+// extraBackend is one WithBackend registration: a backend plus the address
+// its listener binds.
+type extraBackend struct {
+	b    Backend
+	addr string
+}
+
 type options struct {
 	hook ConnHook
 	// codecOK filters which registered codecs are advertised; nil means
 	// all of them. Tests use it to simulate a build missing a codec.
 	codecOK func(id uint64) bool
+	// backends are additional byte transports to listen on besides tcp.
+	backends []extraBackend
 }
 
 // Option configures Listen.
@@ -321,54 +342,91 @@ func WithCodecFilter(ok func(id uint64) bool) Option {
 	return func(o *options) { o.codecOK = ok }
 }
 
+// WithBackend adds a byte-transport backend besides the default TCP one:
+// the transport listens on it at addr (backend-specific format; "" lets
+// the backend pick) and Dial targets prefixed with its scheme ride it.
+func WithBackend(b Backend, addr string) Option {
+	return func(o *options) { o.backends = append(o.backends, extraBackend{b: b, addr: addr}) }
+}
+
 // Listen starts a transport for worker name on addr (use "127.0.0.1:0" to
 // pick a free port). handler receives every inbound message.
 func Listen(name, addr string, handler Handler, opts ...Option) (*Transport, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	t := &Transport{name: name, ln: ln, handler: handler}
+	t := &Transport{name: name, handler: handler}
 	for _, o := range opts {
 		o(&t.opts)
 	}
+	t.addrs = make(map[string]string, 1+len(t.opts.backends))
+	t.backends = make(map[string]Backend, 1+len(t.opts.backends))
+	schemes := make([]string, 0, 1+len(t.opts.backends))
+	bind := func(b Backend, addr string) error {
+		ln, err := b.Listen(addr)
+		if err != nil {
+			return err
+		}
+		t.listeners = append(t.listeners, ln)
+		t.addrs[b.Scheme()] = ln.Addr()
+		t.backends[b.Scheme()] = b
+		schemes = append(schemes, b.Scheme())
+		return nil
+	}
+	if err := bind(tcpBackend{}, addr); err != nil {
+		return nil, err
+	}
+	for _, eb := range t.opts.backends {
+		if err := bind(eb.b, eb.addr); err != nil {
+			for _, ln := range t.listeners {
+				ln.Close()
+			}
+			return nil, err
+		}
+	}
 	empty := map[string]*peer{}
 	t.peers.Store(&empty)
-	t.wg.Add(1)
-	go t.acceptLoop()
+	for i, ln := range t.listeners {
+		t.wg.Add(1)
+		go t.acceptLoop(ln, schemes[i])
+	}
 	return t, nil
 }
 
 // Name returns the worker name.
 func (t *Transport) Name() string { return t.name }
 
-// Addr returns the listening address.
-func (t *Transport) Addr() string { return t.ln.Addr().String() }
+// Addr returns the TCP listening address.
+func (t *Transport) Addr() string { return t.addrs["tcp"] }
 
-// Dial connects to a peer transport.
+// AddrOf returns the listening address for the named backend scheme, or ""
+// when the transport has no such backend.
+func (t *Transport) AddrOf(scheme string) string { return t.addrs[scheme] }
+
+// Dial connects to a peer transport. The target may carry a "scheme://"
+// prefix selecting a non-TCP backend registered via WithBackend; a bare
+// host:port dials TCP as before.
 func (t *Transport) Dial(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	scheme, target := splitScheme(addr)
+	b := t.backends[scheme]
+	if b == nil {
+		return fmt.Errorf("comm: %s has no %q backend", t.name, scheme)
+	}
+	conn, err := b.Dial(target)
 	if err != nil {
 		return err
-	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		_ = tc.SetNoDelay(true)
 	}
 	if t.opts.hook != nil {
 		conn = t.opts.hook.WrapConn(conn)
 	}
-	bw := bufio.NewWriterSize(conn, 1<<16)
-	enc := gob.NewEncoder(bw)
+	fw, fr, direct := frameBuffers(conn)
+	enc := gob.NewEncoder(fw)
 	if err := enc.Encode(t.hello()); err != nil {
 		conn.Close()
 		return err
 	}
-	if err := bw.Flush(); err != nil {
+	if err := fw.Flush(); err != nil {
 		conn.Close()
 		return err
 	}
-	br := bufio.NewReaderSize(conn, 1<<16)
-	dec := gob.NewDecoder(br)
+	dec := gob.NewDecoder(fr)
 	var h hello
 	if err := dec.Decode(&h); err != nil {
 		conn.Close()
@@ -377,7 +435,7 @@ func (t *Transport) Dial(addr string) error {
 	if pn, ok := t.opts.hook.(PeerNamer); ok {
 		pn.NamePeer(conn, h.Name)
 	}
-	p := t.addPeer(h.Name, conn, enc, bw, h.Codecs)
+	p := t.addPeer(h.Name, conn, enc, fw, scheme, direct, h.Codecs)
 	if p == nil {
 		conn.Close()
 		return fmt.Errorf("comm: duplicate peer %q", h.Name)
@@ -385,7 +443,7 @@ func (t *Transport) Dial(addr string) error {
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
-		t.readLoop(p, br, dec)
+		t.readLoop(p, fr, dec)
 	}()
 	return nil
 }
@@ -505,6 +563,9 @@ func (t *Transport) send(peerName string, o outMsg) error {
 	if p == nil {
 		return fmt.Errorf("comm: %s has no peer %q", t.name, peerName)
 	}
+	if p.direct {
+		return t.sendDirect(p, o)
+	}
 	select {
 	case p.out <- o:
 		t.sent.Add(1)
@@ -514,12 +575,67 @@ func (t *Transport) send(peerName string, o outMsg) error {
 	}
 }
 
+// sendDirect frames and publishes o synchronously in the caller's
+// goroutine. Ring-backed links take this path: the ring itself is the
+// coalescing buffer and a publish is an atomic store plus a conditional
+// wake, so the out-queue handoff and flush batching the writeLoop exists
+// for would only add scheduler hops to a same-host send. Backpressure is
+// the ring running full, which blocks the sender until the consumer
+// drains — the same stall a full out queue imposes on queued links.
+func (t *Transport) sendDirect(p *peer, o outMsg) error {
+	p.wmu.Lock()
+	select {
+	case <-p.done:
+		p.wmu.Unlock()
+		return errors.New("comm: peer connection closed")
+	default:
+	}
+	n, _, err := t.writeMsg(p, o)
+	if err == nil {
+		err = p.fw.Flush()
+	}
+	if err == nil && o.release {
+		// The bytes are already staged in the ring, so the relinquished
+		// payload recycles immediately.
+		if o.rawSet {
+			RecyclePayload(o.raw)
+		} else {
+			ReleaseMessage(o.m)
+		}
+	}
+	if err == nil {
+		p.statFrames.Add(1)
+		p.statBytes.Add(uint64(n))
+		p.statFlushes.Add(1)
+	}
+	p.wmu.Unlock()
+	if err != nil {
+		t.dropPeer(p)
+		return err
+	}
+	t.sent.Add(1)
+	t.flushes.Add(1)
+	return nil
+}
+
 // Peers returns the connected peer names.
 func (t *Transport) Peers() []string {
 	peers := *t.peers.Load()
 	out := make([]string, 0, len(peers))
 	for n := range peers {
 		out = append(out, n)
+	}
+	return out
+}
+
+// PeerSchemes reports which backend each connected peer link rides, keyed
+// by peer name ("tcp", "shm"). Tests and placement telemetry use it to
+// verify locality negotiation picked the intended backend.
+func (t *Transport) PeerSchemes() map[string]string {
+	peers := *t.peers.Load()
+	out := make(map[string]string, len(peers))
+	for n, p := range peers {
+		out[n] = p.scheme
 	}
 	return out
 }
@@ -541,22 +657,21 @@ func (t *Transport) Close() {
 	empty := map[string]*peer{}
 	t.peers.Store(&empty)
 	t.mu.Unlock()
-	t.ln.Close()
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
 	for _, p := range peers {
 		p.close()
 	}
 	t.wg.Wait()
 }
 
-func (t *Transport) acceptLoop() {
+func (t *Transport) acceptLoop(ln Listener, scheme string) {
 	defer t.wg.Done()
 	for {
-		conn, err := t.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return
-		}
-		if tc, ok := conn.(*net.TCPConn); ok {
-			_ = tc.SetNoDelay(true)
 		}
 		if t.opts.hook != nil {
 			conn = t.opts.hook.WrapConn(conn)
@@ -564,37 +679,36 @@ func (t *Transport) acceptLoop() {
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
-			br := bufio.NewReaderSize(conn, 1<<16)
-			dec := gob.NewDecoder(br)
+			fw, fr, direct := frameBuffers(conn)
+			dec := gob.NewDecoder(fr)
 			var h hello
 			if err := dec.Decode(&h); err != nil {
 				conn.Close()
 				return
 			}
-			bw := bufio.NewWriterSize(conn, 1<<16)
-			enc := gob.NewEncoder(bw)
+			enc := gob.NewEncoder(fw)
 			if err := enc.Encode(t.hello()); err != nil {
 				conn.Close()
 				return
 			}
-			if err := bw.Flush(); err != nil {
+			if err := fw.Flush(); err != nil {
 				conn.Close()
 				return
 			}
 			if pn, ok := t.opts.hook.(PeerNamer); ok {
 				pn.NamePeer(conn, h.Name)
 			}
-			p := t.addPeer(h.Name, conn, enc, bw, h.Codecs)
+			p := t.addPeer(h.Name, conn, enc, fw, scheme, direct, h.Codecs)
 			if p == nil {
 				conn.Close()
 				return
 			}
-			t.readLoop(p, br, dec)
+			t.readLoop(p, fr, dec)
 		}()
 	}
 }
 
-func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, bw *bufio.Writer, ads []CodecAd) *peer {
+func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, fw FrameSink, scheme string, direct bool, ads []CodecAd) *peer {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -615,7 +729,9 @@ func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, bw *bu
 		name:   name,
 		conn:   conn,
 		enc:    enc,
-		bw:     bw,
+		fw:     fw,
+		scheme: scheme,
+		direct: direct,
 		out:    make(chan outMsg, 1024),
 		done:   make(chan struct{}),
 		codecs: remote,
@@ -626,8 +742,10 @@ func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, bw *bu
 	}
 	next[name] = p
 	t.peers.Store(&next)
-	t.wg.Add(1)
-	go t.writeLoop(p)
+	if !p.direct {
+		t.wg.Add(1)
+		go t.writeLoop(p)
+	}
 	return p
 }
 
@@ -652,15 +770,15 @@ func rawEligible(m message.Message) bool {
 // writeRawFrame emits a tagRaw frame: uvarint stream id, kind byte, binary
 // timestamp, and for data messages a uvarint length-prefixed payload written
 // directly from the message (no intermediate copy). Returns bytes written.
-func writeRawFrame(bw *bufio.Writer, id stream.ID, m message.Message) (int, error) {
+func writeRawFrame(fw FrameSink, id stream.ID, m message.Message) (int, error) {
 	raw, _ := m.Payload.([]byte)
-	return writeRawParts(bw, id, m.Kind, m.Timestamp, raw, m.IsData())
+	return writeRawParts(fw, id, m.Kind, m.Timestamp, raw, m.IsData())
 }
 
 // writeRawParts is writeRawFrame with the payload already unboxed — the
 // SendBytes path hands the slice directly so framing never touches an
 // interface value.
-func writeRawParts(bw *bufio.Writer, id stream.ID, kind message.Kind, ts timestamp.Timestamp, raw []byte, data bool) (int, error) {
+func writeRawParts(fw FrameSink, id stream.ID, kind message.Kind, ts timestamp.Timestamp, raw []byte, data bool) (int, error) {
 	sp := scratchPool.Get().(*[]byte)
 	buf := append((*sp)[:0], tagRaw)
 	buf = binary.AppendUvarint(buf, uint64(id))
@@ -672,11 +790,11 @@ func writeRawParts(bw *bufio.Writer, id stream.ID, kind message.Kind, ts timesta
 		buf = binary.AppendUvarint(buf, uint64(len(raw)))
 	}
 	n := len(buf) + len(raw)
-	_, err := bw.Write(buf)
+	_, err := fw.Write(buf)
 	*sp = buf
 	scratchPool.Put(sp)
 	if err == nil && len(raw) > 0 {
-		_, err = bw.Write(raw)
+		_, err = fw.Write(raw)
 	}
 	return n, err
 }
@@ -688,7 +806,7 @@ func writeRawParts(bw *bufio.Writer, id stream.ID, kind message.Kind, ts timesta
 // is marshaled into the pooled scratch after the header so its length
 // prefix can be written without a second pass; nothing escapes, so the
 // send side stays allocation-free in steady state.
-func writeTypedFrame(bw *bufio.Writer, id stream.ID, m message.Message, codecID uint64, version uint8, marshal func([]byte) []byte) (int, error) {
+func writeTypedFrame(fw FrameSink, id stream.ID, m message.Message, codecID uint64, version uint8, marshal func([]byte) []byte) (int, error) {
 	sp := scratchPool.Get().(*[]byte)
 	buf := append((*sp)[:0], tagTyped)
 	buf = binary.AppendUvarint(buf, uint64(id))
@@ -705,7 +823,7 @@ func writeTypedFrame(bw *bufio.Writer, id stream.ID, m message.Message, codecID 
 	buf = append(buf, lp[:w]...)
 	copy(buf[bodyAt+w:], body)
 	copy(buf[bodyAt:], lp[:w])
-	_, err := bw.Write(buf)
+	_, err := fw.Write(buf)
 	*sp = buf
 	scratchPool.Put(sp)
 	return len(buf), err
@@ -714,22 +832,22 @@ func writeTypedFrame(bw *bufio.Writer, id stream.ID, m message.Message, codecID 
 // readRawFrame decodes the body of a tagRaw frame (the tag byte has been
 // consumed). The payload comes from the size-classed pool; handlers that
 // fully consume it may RecyclePayload it, otherwise it is GC'd as before.
-func readRawFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
-	sid, err := binary.ReadUvarint(br)
+func readRawFrame(fr FrameSource) (stream.ID, message.Message, error) {
+	sid, err := binary.ReadUvarint(fr)
 	if err != nil {
 		return 0, message.Message{}, err
 	}
-	kind, err := br.ReadByte()
+	kind, err := fr.ReadByte()
 	if err != nil {
 		return 0, message.Message{}, err
 	}
-	ts, err := timestamp.ReadBinary(br)
+	ts, err := timestamp.ReadBinary(fr)
 	if err != nil {
 		return 0, message.Message{}, err
 	}
 	m := message.Message{Kind: message.Kind(kind), Timestamp: ts}
 	if m.IsData() {
-		plen, err := binary.ReadUvarint(br)
+		plen, err := binary.ReadUvarint(fr)
 		if err != nil {
 			return 0, message.Message{}, err
 		}
@@ -737,7 +855,7 @@ func readRawFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
 			return 0, message.Message{}, fmt.Errorf("comm: raw frame of %d bytes exceeds limit", plen)
 		}
 		payload := AcquirePayload(int(plen))
-		if _, err := io.ReadFull(br, payload); err != nil {
+		if _, err := io.ReadFull(fr, payload); err != nil {
 			return 0, message.Message{}, err
 		}
 		m.Payload = payload
@@ -749,24 +867,24 @@ func readRawFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
 // been consumed). Unknown codec IDs and versions newer than the local
 // codec are protocol errors: the caller drops the connection rather than
 // silently losing data.
-func readTypedFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
-	sid, err := binary.ReadUvarint(br)
+func readTypedFrame(fr FrameSource) (stream.ID, message.Message, error) {
+	sid, err := binary.ReadUvarint(fr)
 	if err != nil {
 		return 0, message.Message{}, err
 	}
-	ts, err := timestamp.ReadBinary(br)
+	ts, err := timestamp.ReadBinary(fr)
 	if err != nil {
 		return 0, message.Message{}, err
 	}
-	codecID, err := binary.ReadUvarint(br)
+	codecID, err := binary.ReadUvarint(fr)
 	if err != nil {
 		return 0, message.Message{}, err
 	}
-	version, err := br.ReadByte()
+	version, err := fr.ReadByte()
 	if err != nil {
 		return 0, message.Message{}, err
 	}
-	blen, err := binary.ReadUvarint(br)
+	blen, err := binary.ReadUvarint(fr)
 	if err != nil {
 		return 0, message.Message{}, err
 	}
@@ -777,7 +895,7 @@ func readTypedFrame(br *bufio.Reader) (stream.ID, message.Message, error) {
 	// keeps, so the buffer goes straight back to the pool after decoding
 	// and steady-state receive makes no per-frame body allocation.
 	body := AcquirePayload(int(blen))
-	if _, err := io.ReadFull(br, body); err != nil {
+	if _, err := io.ReadFull(fr, body); err != nil {
 		RecyclePayload(body)
 		return 0, message.Message{}, err
 	}
@@ -807,20 +925,20 @@ func (p *peer) decodes(id uint64, version uint8) bool {
 // writeMsg frames one message — raw binary, typed binary, or gob Envelope —
 // and returns the encoded size plus whether the frame must be flushed on
 // queue drain regardless of hints (gob frames report a nominal size since
-// the encoder writes through bw directly; they are rare by construction).
+// the encoder writes through the frame writer directly; they are rare by construction).
 // The typed path is taken only when the handshake advertisement says the
 // peer decodes this codec at our version; otherwise the payload downgrades
 // to the gob Envelope for this peer while same-build peers stay typed.
 func (t *Transport) writeMsg(p *peer, o outMsg) (n int, mustFlush bool, err error) {
 	if o.rawSet {
-		n, err = writeRawParts(p.bw, o.id, message.KindData, o.m.Timestamp, o.raw, true)
+		n, err = writeRawParts(p.fw, o.id, message.KindData, o.m.Timestamp, o.raw, true)
 		if err == nil {
 			t.rawSent.Add(1)
 		}
 		return n, o.flushBy.IsZero(), err
 	}
 	if rawEligible(o.m) {
-		n, err = writeRawFrame(p.bw, o.id, o.m)
+		n, err = writeRawFrame(p.fw, o.id, o.m)
 		if err == nil {
 			t.rawSent.Add(1)
 		}
@@ -828,14 +946,14 @@ func (t *Transport) writeMsg(p *peer, o outMsg) (n int, mustFlush bool, err erro
 	}
 	if fp, ok := o.m.Payload.(FramePayload); ok {
 		if c := lookupCodec(fp.FrameCodec()); c != nil && p.decodes(c.ID, c.Version) {
-			n, err = writeTypedFrame(p.bw, o.id, o.m, c.ID, c.Version, fp.MarshalFrame)
+			n, err = writeTypedFrame(p.fw, o.id, o.m, c.ID, c.Version, fp.MarshalFrame)
 			if err == nil {
 				t.typedSent.Add(1)
 			}
 			return n, o.flushBy.IsZero(), err
 		}
 	} else if d, ok := o.m.Payload.(time.Duration); ok && p.decodes(DurationCodecID, 1) {
-		n, err = writeTypedFrame(p.bw, o.id, o.m, DurationCodecID, 1, func(dst []byte) []byte {
+		n, err = writeTypedFrame(p.fw, o.id, o.m, DurationCodecID, 1, func(dst []byte) []byte {
 			return binary.AppendVarint(dst, int64(d))
 		})
 		if err == nil {
@@ -843,7 +961,7 @@ func (t *Transport) writeMsg(p *peer, o outMsg) (n int, mustFlush bool, err erro
 		}
 		return n, o.flushBy.IsZero(), err
 	}
-	if err := p.bw.WriteByte(tagGob); err != nil {
+	if err := p.fw.WriteByte(tagGob); err != nil {
 		return 1, true, err
 	}
 	env := ToEnvelope(o.id, o.m)
@@ -985,7 +1103,7 @@ func (t *Transport) writeLoop(p *peer) {
 		mustFlush bool      // a held frame has no slack
 	)
 	flush := func() bool {
-		err := p.bw.Flush()
+		err := p.fw.Flush()
 		t.flushes.Add(1)
 		p.statFlushes.Add(1)
 		if held > 1 {
@@ -1134,10 +1252,10 @@ func (t *Transport) writeLoop(p *peer) {
 // readLoop decodes frames until the connection fails; callers own the
 // goroutine accounting. On exit the peer is dropped from the table so a
 // reconnect can register a fresh connection under the same name.
-func (t *Transport) readLoop(p *peer, br *bufio.Reader, dec *gob.Decoder) {
+func (t *Transport) readLoop(p *peer, fr FrameSource, dec *gob.Decoder) {
 	defer t.dropPeer(p)
 	for {
-		tag, err := br.ReadByte()
+		tag, err := fr.ReadByte()
 		if err != nil {
 			return
 		}
@@ -1145,12 +1263,12 @@ func (t *Transport) readLoop(p *peer, br *bufio.Reader, dec *gob.Decoder) {
 		var m message.Message
 		switch tag {
 		case tagRaw:
-			if id, m, err = readRawFrame(br); err != nil {
+			if id, m, err = readRawFrame(fr); err != nil {
 				return
 			}
 			t.rawRecv.Add(1)
 		case tagTyped:
-			if id, m, err = readTypedFrame(br); err != nil {
+			if id, m, err = readTypedFrame(fr); err != nil {
 				return
 			}
 			t.typedRecv.Add(1)

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package shm
+
+import (
+	"errors"
+	"os"
+)
+
+var errUnsupported = errors.New("shm: shared-memory transport requires a unix platform")
+
+func mapFile(f *os.File, size int) ([]byte, error) { return nil, errUnsupported }
+
+func unmap(b []byte) error { return nil }

@@ -1,0 +1,16 @@
+//go:build unix
+
+package shm
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f shared and read-write.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmap(b []byte) error { return syscall.Munmap(b) }

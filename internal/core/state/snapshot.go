@@ -19,10 +19,12 @@ import (
 	"github.com/erdos-go/erdos/internal/core/timestamp"
 )
 
-// maxCheckpointVersions bounds how many committed versions one checkpoint
+// MaxCheckpointVersions bounds how many committed versions one checkpoint
 // carries. The needed rewind is the consumer-frontier staleness (roughly one
-// heartbeat of traffic), so a short tail suffices.
-const maxCheckpointVersions = 16
+// heartbeat of traffic), so a short tail suffices. Exported so the cluster
+// control plane can apply the same bound when it splices heartbeat-shipped
+// checkpoint deltas onto its retained snapshots.
+const MaxCheckpointVersions = 16
 
 // Version is one committed state version inside a Checkpoint.
 type Version struct {
@@ -110,7 +112,7 @@ func Snapshot(s Store) (cp Checkpoint, ok bool) {
 	// Walk the tail below the newest commit, newest-first, then reverse
 	// into ascending order.
 	var older []Version
-	for i := len(vs) - 1; i >= 0 && len(older) < maxCheckpointVersions-1; i-- {
+	for i := len(vs) - 1; i >= 0 && len(older) < MaxCheckpointVersions-1; i-- {
 		if !vs[i].TS.Less(ts) {
 			continue
 		}

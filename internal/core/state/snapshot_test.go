@@ -38,7 +38,7 @@ func TestSnapshotMultiVersion(t *testing.T) {
 	}
 }
 
-// TestSnapshotBoundsVersions: the tail is capped at maxCheckpointVersions-1
+// TestSnapshotBoundsVersions: the tail is capped at MaxCheckpointVersions-1
 // newest-first, so unbounded history cannot bloat heartbeats.
 func TestSnapshotBoundsVersions(t *testing.T) {
 	s := newCounterStore()
@@ -46,11 +46,11 @@ func TestSnapshotBoundsVersions(t *testing.T) {
 		commitN(s, l)
 	}
 	cp, _ := Snapshot(s)
-	if len(cp.Older) != maxCheckpointVersions-1 {
-		t.Fatalf("retained %d older versions, want %d", len(cp.Older), maxCheckpointVersions-1)
+	if len(cp.Older) != MaxCheckpointVersions-1 {
+		t.Fatalf("retained %d older versions, want %d", len(cp.Older), MaxCheckpointVersions-1)
 	}
-	if first := cp.Older[0].L; first != 40-uint64(maxCheckpointVersions-1) {
-		t.Fatalf("oldest retained version at %d, want %d", first, 40-uint64(maxCheckpointVersions-1))
+	if first := cp.Older[0].L; first != 40-uint64(MaxCheckpointVersions-1) {
+		t.Fatalf("oldest retained version at %d, want %d", first, 40-uint64(MaxCheckpointVersions-1))
 	}
 }
 

@@ -115,6 +115,15 @@ type Worker struct {
 	handlerMu     sync.Mutex
 	handlerDelays []time.Duration
 
+	// extFrontiers tracks received watermarks for subscription-only
+	// consumers (extraction points): streams delivered here for the
+	// application, not for any local operator. Without an operator runtime
+	// there is no inWM entry, so TrackFrontier taps the broadcaster
+	// directly; Frontiers folds these in so the leader's consistent-cut
+	// intersection covers extraction points too.
+	extMu        sync.Mutex
+	extFrontiers map[stream.ID]uint64
+
 	wg sync.WaitGroup
 }
 
@@ -323,13 +332,45 @@ func (w *Worker) Checkpoints() map[string]state.Checkpoint {
 	return out
 }
 
+// TrackFrontier registers a subscription-only consumed stream (an
+// extraction point) for frontier reporting: a tap on the stream's
+// broadcaster records each delivered watermark, standing in for the input
+// watermark an operator runtime would have kept. Idempotent per stream.
+// Broadcaster delivery is FIFO per stream, so when the tap has seen
+// watermark L every data message at or below L has been handed to the
+// application's subscribers too.
+func (w *Worker) TrackFrontier(id stream.ID) error {
+	w.extMu.Lock()
+	if w.extFrontiers == nil {
+		w.extFrontiers = make(map[stream.ID]uint64)
+	}
+	if _, ok := w.extFrontiers[id]; ok {
+		w.extMu.Unlock()
+		return nil
+	}
+	w.extFrontiers[id] = 0
+	w.extMu.Unlock()
+	return w.Subscribe(id, func(m message.Message) {
+		if m.IsData() {
+			return
+		}
+		w.extMu.Lock()
+		if m.Timestamp.L > w.extFrontiers[id] {
+			w.extFrontiers[id] = m.Timestamp.L
+		}
+		w.extMu.Unlock()
+	})
+}
+
 // Frontiers reports, per input stream, the lowest received input watermark
 // across this worker's local operators consuming it. Everything at or below
 // a stream's frontier has been delivered locally (watermarks trail their
 // data FIFO per stream), so an upstream producer restored at a cut no newer
 // than the frontier can never skip an output this worker still needs.
 // Shipped with heartbeats; the leader intersects survivors' frontiers to
-// pick the consistent restore cut during failover.
+// pick the consistent restore cut during failover. Tracked extraction
+// points (TrackFrontier) report alongside operator inputs, minimum-merged
+// when a stream is both.
 func (w *Worker) Frontiers() map[stream.ID]uint64 {
 	w.opsMu.RLock()
 	rts := make([]*opRuntime, 0, len(w.ops))
@@ -351,6 +392,13 @@ func (w *Worker) Frontiers() map[stream.ID]uint64 {
 		}
 		rt.mu.Unlock()
 	}
+	w.extMu.Lock()
+	for id, l := range w.extFrontiers {
+		if cur, ok := out[id]; !ok || l < cur {
+			out[id] = l
+		}
+	}
+	w.extMu.Unlock()
 	return out
 }
 

@@ -868,3 +868,47 @@ func TestUrgencyMissCountsLateDispatch(t *testing.T) {
 		t.Fatalf("Congestion().UrgencyMisses = %d, Stats = %d", c.UrgencyMisses, s.UrgencyMisses)
 	}
 }
+
+// TestTrackFrontierReportsSubscriptionOnlyStreams: a worker that runs no
+// operator on a stream (an extraction point) reports no frontier for it —
+// until TrackFrontier taps the broadcaster, after which delivered
+// watermarks advance the reported frontier exactly like an operator input
+// would.
+func TestTrackFrontierReportsSubscriptionOnlyStreams(t *testing.T) {
+	g := graph.New()
+	s := g.AddStream("s", "int")
+	if err := g.MarkIngest(s); err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(g, Options{Name: "ext", Owns: func(string) bool { return false }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+
+	if f := w.Frontiers(); len(f) != 0 {
+		t.Fatalf("frontiers before tracking = %v, want none", f)
+	}
+	if err := w.TrackFrontier(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TrackFrontier(s); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if f := w.Frontiers(); f[s] != 0 || len(f) != 1 {
+		t.Fatalf("frontiers after tracking = %v, want {%v: 0}", f, s)
+	}
+	if err := w.Inject(s, message.Data(ts(3), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Inject(s, message.Watermark(ts(3))); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Frontiers()[s] != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("frontier = %d, want 3", w.Frontiers()[s])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

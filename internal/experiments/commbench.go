@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"math"
+	"os"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -14,6 +15,7 @@ import (
 
 	"github.com/erdos-go/erdos/internal/av/tracking"
 	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/comm/shm"
 	"github.com/erdos-go/erdos/internal/core/lattice"
 	"github.com/erdos-go/erdos/internal/core/message"
 	"github.com/erdos-go/erdos/internal/core/stream"
@@ -45,6 +47,20 @@ var PrePoolingCommBaseline = []MicroBenchResult{
 	{Name: "CommTypedObstaclesRoundtrip", NsPerOp: 10710, AllocsPerOp: 9, BytesPerOp: 3354, OpsPerSec: 93371},
 	{Name: "CommSmallFrameSend1KB", NsPerOp: 1149, AllocsPerOp: 3, BytesPerOp: 1072, OpsPerSec: 870322},
 	{Name: "CommRawRoundtrip4KB", NsPerOp: 13302, AllocsPerOp: 5, BytesPerOp: 8264, OpsPerSec: 75177},
+}
+
+// PreShmTransportCommBaseline fixes the "before" edge of the transport
+// backend work: the seam split had not landed and every link — including
+// same-host ones — rode loopback TCP through the out-queue and writeLoop.
+// Measured on the same machine immediately before the shared-memory
+// backend and the direct ring send path landed.
+var PreShmTransportCommBaseline = []MicroBenchResult{
+	{Name: "CommTypedObstaclesRoundtrip", NsPerOp: 11991, AllocsPerOp: 7, BytesPerOp: 2459, OpsPerSec: 83396, NsMean: 13282.6, NsStddev: 1027.5, Runs: 5},
+	{Name: "CommSmallFrameSend1KB", NsPerOp: 1302, AllocsPerOp: 3, BytesPerOp: 1072, OpsPerSec: 768049, NsMean: 1344.4, NsStddev: 38.1, Runs: 5},
+	{Name: "CommRawRoundtrip4KB", NsPerOp: 9900, AllocsPerOp: 3, BytesPerOp: 72, OpsPerSec: 101010, NsMean: 10205.8, NsStddev: 254.3, Runs: 5},
+	{Name: "CommBurstSend32x1KB", NsPerOp: 100155, AllocsPerOp: 32, BytesPerOp: 768, OpsPerSec: 9985, NsMean: 113107.2, NsStddev: 14570.6, Runs: 5},
+	{Name: "CommHintedBurstSend32x1KB", NsPerOp: 37746, AllocsPerOp: 32, BytesPerOp: 768, OpsPerSec: 26493, NsMean: 43849.4, NsStddev: 4550.3, Runs: 5},
+	{Name: "LatticePingPong", NsPerOp: 595, AllocsPerOp: 3, BytesPerOp: 72, OpsPerSec: 1680672, NsMean: 703.6, NsStddev: 84.2, Runs: 5},
 }
 
 // Fig8cPoint is one synthetic-pipeline sensor-scaling measurement.
@@ -121,10 +137,20 @@ func CommMicroBench() []MicroBenchResult {
 		benchStats("CommTypedObstaclesRoundtrip", benchTypedObstaclesRoundtrip),
 		benchStats("CommSmallFrameSend1KB", benchSmallFrameSend1KB),
 		benchStats("CommRawRoundtrip4KB", benchCommRawRoundtrip),
+		benchStats("CommShmRoundtrip4KB", benchShmRawRoundtrip),
 		benchStats("CommBurstSend32x1KB", benchBurstSend(false)),
 		benchStats("CommHintedBurstSend32x1KB", benchBurstSend(true)),
 		benchStats("LatticePingPong", benchLatticePingPong),
 	}
+}
+
+// ShmSmokeBench is the CI smoke variant of the shm fast-path benchmark:
+// one run each of the loopback-TCP and shm-ring 4KB round-trips, enough to
+// catch ring harness rot or a silent TCP fallback without the five-run
+// statistics of the recorded bench.
+func ShmSmokeBench() (tcp, shm MicroBenchResult) {
+	return toResult("CommRawRoundtrip4KB", testing.Benchmark(benchCommRawRoundtrip)),
+		toResult("CommShmRoundtrip4KB", testing.Benchmark(benchShmRawRoundtrip))
 }
 
 func benchObstacles() pylot.Obstacles {
@@ -261,6 +287,60 @@ func benchBurstSend(hinted bool) func(b *testing.B) {
 			}
 			<-done
 		}
+	}
+}
+
+// benchShmRawRoundtrip echoes the same 4KB payload as
+// benchCommRawRoundtrip, but over the shared-memory ring backend with the
+// pooled hot-path discipline end to end: the client sends via SendBytes
+// (no interface boxing), the echo relinquishes the pooled body once it is
+// in the ring, and the client recycles what it receives. This is the
+// same-host edge the locality-aware placement scorer steers affinity
+// groups onto.
+func benchShmRawRoundtrip(b *testing.B) {
+	dir, err := os.MkdirTemp("", "erdos-bench-shm-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	backend := func() *shm.Backend {
+		sb := shm.New()
+		sb.Dir = dir
+		return sb
+	}
+	var echoTo atomic.Pointer[comm.Transport]
+	done := make(chan struct{}, 1)
+	a, err := comm.Listen("bench-shm-echo", "127.0.0.1:0", func(_ string, id stream.ID, m message.Message) {
+		_ = echoTo.Load().SendRelease("bench-shm-cli", id, m, comm.FlushHint{})
+	}, comm.WithBackend(backend(), ""))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	echoTo.Store(a)
+	c, err := comm.Listen("bench-shm-cli", "127.0.0.1:0", func(_ string, _ stream.ID, m message.Message) {
+		comm.ReleaseMessage(m)
+		done <- struct{}{}
+	}, comm.WithBackend(backend(), ""))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Dial("shm://" + a.AddrOf("shm")); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	id := stream.NewID()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Ring sends publish synchronously, so the buffer is reusable as
+		// soon as SendBytes returns.
+		if err := c.SendBytes("bench-shm-echo", id, timestamp.New(uint64(i+1)), payload, comm.FlushHint{}, false); err != nil {
+			b.Fatal(err)
+		}
+		<-done
 	}
 }
 

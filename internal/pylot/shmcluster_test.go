@@ -1,0 +1,144 @@
+package pylot
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/core/cluster"
+	"github.com/erdos-go/erdos/internal/core/erdos"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/worker"
+)
+
+// TestMixedBackendPylotCluster drives the full pylot pipeline on a
+// three-worker cluster where w1 and w2 share a host (their edge rides the
+// shared-memory ring) while w3 is host-remote (plain TCP edges): every
+// injected frame must yield exactly one control command — nothing lost,
+// nothing duplicated — and the data plane must stay zero-gob on ring and
+// TCP links alike.
+func TestMixedBackendPylotCluster(t *testing.T) {
+	const frames = 40
+
+	g := erdos.NewGraph()
+	Build(g, Config{TimeScale: 50, TargetSpeed: 12, Seed: 7})
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	raw := g.Raw()
+
+	var camID, cmdID stream.ID
+	for _, s := range raw.Streams() {
+		switch s.Name {
+		case "camera":
+			camID = s.ID
+		case "commands":
+			cmdID = s.ID
+		}
+	}
+	ingestAt := map[stream.ID]string{camID: "w3"}
+	extract := map[stream.ID][]string{cmdID: {"w3"}}
+
+	names := []string{"w1", "w2", "w3"}
+	l, err := cluster.NewLeader("127.0.0.1:0", names, raw, ingestAt, extract)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jopts := map[string][]cluster.JoinOption{
+		"w1": {cluster.WithHostLocality("hostA", t.TempDir())},
+		"w2": {cluster.WithHostLocality("hostA", t.TempDir())},
+		"w3": nil,
+	}
+	nodes := make([]*cluster.Node, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			nodes[i], errs[i] = cluster.Join(l.Addr(), name, raw,
+				worker.Options{Threads: 4}, jopts[name]...)
+		}(i, name)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("join %d: %v", i, errs[i])
+		}
+		defer nodes[i].Close()
+	}
+	if err := l.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantSchemes := map[string]map[string]string{
+		"w1": {"w2": "shm", "w3": "tcp"},
+		"w2": {"w1": "shm", "w3": "tcp"},
+		"w3": {"w1": "tcp", "w2": "tcp"},
+	}
+	for i, name := range names {
+		got := nodes[i].Transport.PeerSchemes()
+		for peer, scheme := range wantSchemes[name] {
+			if got[peer] != scheme {
+				t.Fatalf("%s->%s scheme = %q, want %q (all: %v)", name, peer, got[peer], scheme, got)
+			}
+		}
+	}
+
+	var mu sync.Mutex
+	got := make(map[uint64]int)
+	if err := nodes[2].Worker.Subscribe(cmdID, func(m message.Message) {
+		if !m.IsData() {
+			return
+		}
+		mu.Lock()
+		got[m.Timestamp.L]++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for f := 1; f <= frames; f++ {
+		ts := erdos.T(uint64(f))
+		frame := CameraFrame{Seq: uint64(f), EgoSpeed: 12,
+			Agents: []tracking.Observation{{X: 80 - 0.5*float64(f), Y: 0}}}
+		if err := nodes[2].Worker.Inject(camID, message.Data(ts, frame)); err != nil {
+			t.Fatal(err)
+		}
+		if err := nodes[2].Worker.Inject(camID, message.Watermark(ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= frames {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d command timestamps arrived", n, frames)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	for f := uint64(1); f <= frames; f++ {
+		if got[f] != 1 {
+			mu.Unlock()
+			t.Fatalf("frame %d produced %d commands, want exactly 1", f, got[f])
+		}
+	}
+	mu.Unlock()
+
+	for i, name := range names {
+		s, r := nodes[i].Transport.SentFrames(), nodes[i].Transport.ReceivedFrames()
+		if s.Gob != 0 || r.Gob != 0 {
+			t.Fatalf("%s: gob data-plane frames: sent %+v recv %+v", name, s, r)
+		}
+	}
+}
