@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINTIME) ./internal/core/comm
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINTIME) ./internal/core/state
 	$(GO) test -run '^$$' -fuzz FuzzShmRingDecode -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINTIME) ./internal/core/comm/shm
+	$(GO) test -run '^$$' -fuzz FuzzShmBroadcastRingDecode -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINTIME) ./internal/core/comm/shm
 
 ## analyze: the five D3-invariant analyzers (zerogob, wallclock, lockhold,
 ## statetxn, deadlinehint) over the whole module; see DESIGN.md and
@@ -49,7 +50,7 @@ analyze:
 CHAOS_COUNT ?= 3
 chaos:
 	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestChaosWorkerCrash' ./internal/pylot
-	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestFailover|TestReassign' ./internal/core/cluster
+	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestFailover|TestReassign|TestBroadcastRingClusterFanout' ./internal/core/cluster
 	$(GO) test -race ./internal/core/faults
 
 ## bench: scheduler/data-plane micro-benchmarks -> BENCH_lattice.json
@@ -60,12 +61,14 @@ bench:
 bench-e2e:
 	$(GO) run ./cmd/erdos-bench -bench e2e -out BENCH_e2e.json
 
-## bench-smoke: CI's quick pass over the e2e benchmarks and the shm-ring
-## round-trip — few frames and rounds, result discarded; catches harness
-## rot (and a broken ring fast path) without burning minutes
+## bench-smoke: CI's quick pass over the e2e benchmarks, the shm-ring
+## round-trip, and the single-encode fanout edge — few frames and rounds,
+## result discarded; catches harness rot (and a broken ring or fanout fast
+## path) without burning minutes
 bench-smoke:
 	$(GO) run ./cmd/erdos-bench -bench e2e -short -out /tmp/BENCH_e2e_smoke.json
 	$(GO) run ./cmd/erdos-bench -bench shm
+	$(GO) run ./cmd/erdos-bench -bench fanout -short
 
 ## figures: regenerate the paper's Fig. 8 messaging benchmarks
 figures:

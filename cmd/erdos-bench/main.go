@@ -8,7 +8,8 @@
 // Usage:
 //
 //	erdos-bench                 # the three Fig. 8 benchmarks
-//	erdos-bench -bench fanout   # one of: size | fanout | scaling | lattice | comm | e2e
+//	erdos-bench -bench fanout   # Fig. 8b + single-encode fanout edge -> BENCH_comm.json
+//	erdos-bench -bench fanout -short  # fanout smoke mode for CI (no file written)
 //	erdos-bench -bench lattice  # scheduler micro-benchmarks -> BENCH_lattice.json
 //	erdos-bench -bench comm     # data-plane micro-benchmarks -> BENCH_comm.json
 //	erdos-bench -bench e2e      # Fig. 8c + urgency inversion -> BENCH_e2e.json
@@ -103,6 +104,12 @@ type commBenchFile struct {
 	ShmVsTCP  float64                  `json:"shm_vs_tcp_roundtrip_4kb"`
 	Fig8cPre  []experiments.Fig8cPoint `json:"fig8c_pre_change"`
 	Fig8cPost []experiments.Fig8cPoint `json:"fig8c_post_change"`
+	// Fanout is the single-encode fanout edge: ns/op and producer wire
+	// bytes/op versus subscriber count across the four fanout data paths.
+	// FanoutSpeedup compares each shared path against the per-link TCP
+	// baseline at 4 subscribers, same run.
+	Fanout        []experiments.FanoutPoint `json:"fanout_edge,omitempty"`
+	FanoutSpeedup map[string]float64        `json:"fanout_speedup_at_4_subs,omitempty"`
 }
 
 func runCommBench(out string, msgs int) error {
@@ -181,6 +188,66 @@ func runCommBench(out string, msgs int) error {
 		Fig8cPre:    experiments.PreChangeFig8c,
 		Fig8cPost:   fig8cPost,
 	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runFanoutEdge measures the single-encode fanout data paths and records
+// them as the fanout edge of BENCH_comm.json (read-modify-write: the
+// round-trip edges already in the file are preserved). In short mode it
+// is CI's smoke pass — N=4 only, one run per config, no file written —
+// failing only when neither shared path beats the per-link baseline at
+// all, a sanity floor far below the recorded ≥3x headline.
+func runFanoutEdge(out string, short bool) error {
+	fmt.Println("=== single-encode fanout edge (ns/op and wire bytes/op vs subscribers) ===")
+	points := experiments.FanoutBench(short)
+	perLink := map[int]experiments.FanoutPoint{}
+	for _, p := range points {
+		fmt.Printf("%-14s %d sub %12.1f ns/op %10.0f wire B/op %5d allocs/op\n",
+			p.Config, p.Subscribers, p.NsPerOp, p.WireBytesPerOp, p.AllocsPerOp)
+		if p.Config == "tcp-per-link" {
+			perLink[p.Subscribers] = p
+		}
+	}
+	speedup := map[string]float64{}
+	for _, p := range points {
+		if p.Subscribers != 4 || p.Config == "tcp-per-link" {
+			continue
+		}
+		if b := perLink[4]; b.NsPerOp > 0 && p.NsPerOp > 0 {
+			speedup[p.Config] = b.NsPerOp / p.NsPerOp
+			fmt.Printf("%-14s %12.2fx vs per-link TCP at 4 subscribers (same run)\n",
+				p.Config, speedup[p.Config])
+		}
+	}
+	if short {
+		if speedup["shm-broadcast"] < 1 && speedup["inproc"] < 1 {
+			return fmt.Errorf("no shared fanout path beats per-link TCP at 4 subscribers (shm %.2fx, inproc %.2fx): single-encode fanout is broken",
+				speedup["shm-broadcast"], speedup["inproc"])
+		}
+		return nil
+	}
+	var f commBenchFile
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("existing %s is not a comm bench file: %w", out, err)
+		}
+	}
+	f.Fanout = points
+	f.FanoutSpeedup = speedup
+	f.GeneratedBy = "cmd/erdos-bench -bench comm / fanout"
+	f.Date = time.Now().UTC().Format(time.RFC3339)
+	f.GoVersion = runtime.Version()
+	f.NumCPU = runtime.NumCPU()
+	f.GoMaxProcs = runtime.GOMAXPROCS(0)
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
@@ -291,9 +358,20 @@ func main() {
 		fmt.Println(experiments.Fig8aMessageDelay(*msgs).Render())
 		ran = true
 	}
-	if *bench == "all" || *bench == "fanout" {
+	if *bench == "all" || (*bench == "fanout" && !*short) {
 		fmt.Println("=== operator fanout delay, 6MB camera frame (Fig. 8b) ===")
 		fmt.Println(experiments.Fig8bFanout(*msgs).Render())
+		ran = true
+	}
+	if *bench == "fanout" {
+		dst := *out
+		if dst == "" {
+			dst = "BENCH_comm.json"
+		}
+		if err := runFanoutEdge(dst, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "fanout edge: %v\n", err)
+			os.Exit(1)
+		}
 		ran = true
 	}
 	if *bench == "all" || *bench == "scaling" {

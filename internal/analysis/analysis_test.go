@@ -134,6 +134,36 @@ func TestStateTxnFixture(t *testing.T)     { runFixture(t, StateTxn, "statetxn")
 func TestDeadlineHintFixture(t *testing.T) { runFixture(t, DeadlineHint, "deadlinehint") }
 func TestAllowDirectives(t *testing.T)     { runFixture(t, Wallclock, "allow") }
 
+// TestInprocBackendBelowSeam pins zerogob's seam detection to the real
+// in-process backend: inproc declares a comm.Backend, so the analyzer must
+// classify it as a below-seam byte pipe, and the package itself must stay
+// gob-free — its whole point is that same-process payloads never encode.
+func TestInprocBackendBelowSeam(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg, err := l.Load(commPkgPath + "/inproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Errs) > 0 {
+		t.Fatalf("inproc does not type-check: %v", pkg.Errs)
+	}
+	commPkg, err := l.Load(commPkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Fset: l.Fset, Pkg: pkg, loader: l}
+	if !declaresBackend(pass, commPkg.Types) {
+		t.Fatal("inproc is not classified as below the transport seam")
+	}
+	diags, err := Run(l, []*Package{pkg}, []*Analyzer{ZeroGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("inproc backend finding: %s", d)
+	}
+}
+
 // TestModuleClean is the tier-1 guard: the shipped tree stays free of
 // unsuppressed findings, so `go test` fails the moment a violation lands.
 func TestModuleClean(t *testing.T) {

@@ -3,7 +3,9 @@
 // a zero hint, so the write-side coalescer (PR 2) cannot batch around the
 // caller's deadline: hot-path code must call SendWithHint — with an explicit
 // zero comm.FlushHint when no deadline genuinely applies — so every flush
-// decision is deliberate. On the run queues, (*lattice.Lattice).Submit
+// decision is deliberate. The same applies to fanout: Multicast flushes
+// every shared-frame copy with zero slack, so callers must use
+// MulticastWithHint (or MulticastBus, which is always hinted). On the run queues, (*lattice.Lattice).Submit
 // enqueues with no deadline, so EDF dispatch treats the callback as
 // infinitely slack and a congested shard will starve it last: runtime code
 // must call SubmitDeadline — passing lattice.NoDeadline when the operator
@@ -41,6 +43,10 @@ func runDeadlineHint(pass *Pass) error {
 			if fn.Pkg().Path() == commPkgPath && fn.Name() == "Send" && recvTypeName(fn) == "Transport" {
 				pass.Reportf(call.Pos(),
 					"(*comm.Transport).Send flushes with zero slack; use SendWithHint (pass comm.FlushHint{} if no deadline applies) so the coalescer can batch")
+			}
+			if fn.Pkg().Path() == commPkgPath && fn.Name() == "Multicast" && recvTypeName(fn) == "Transport" {
+				pass.Reportf(call.Pos(),
+					"(*comm.Transport).Multicast flushes every copy with zero slack; use MulticastWithHint or MulticastBus (pass comm.FlushHint{} if no deadline applies) so the coalescer can batch the fanout")
 			}
 			if fn.Pkg().Path() == latticePkgPath && fn.Name() == "Submit" && recvTypeName(fn) == "Lattice" {
 				pass.Reportf(call.Pos(),

@@ -20,6 +20,18 @@ func sends(t *comm.Transport, id stream.ID, m message.Message) {
 	_ = t.Send("peer", id, m) // wantAllowed "zero slack"
 }
 
+func fanouts(t *comm.Transport, bus *comm.Bus, id stream.ID, m message.Message) {
+	_, _ = t.Multicast([]string{"a", "b"}, id, m) // want "every copy with zero slack"
+
+	// Hinted fanout variants: the shared frame's flush decisions see the
+	// caller's deadline (or its deliberate absence).
+	_, _ = t.MulticastWithHint([]string{"a", "b"}, id, m, comm.FlushHint{})
+	_, _ = t.MulticastBus(bus, []string{"a"}, []string{"b"}, id, m, comm.FlushHint{})
+
+	//erdos:allow deadlinehint fixture exercises the suppression path
+	_, _ = t.Multicast([]string{"a", "b"}, id, m) // wantAllowed "every copy with zero slack"
+}
+
 // seamWrites exercises the backend-seam surface: interface-dispatched
 // writes into a connection's frame buffers happen below the coalescer, so
 // nothing can hint their flushes.

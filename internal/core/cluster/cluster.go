@@ -42,6 +42,10 @@ type Route struct {
 	Stream    uint64
 	Producer  string
 	Consumers []string
+	// Broadcast marks a fanout edge (two or more consumers): the producer
+	// may cover same-host consumers with a single publish onto its
+	// shared-memory broadcast ring instead of one send per link.
+	Broadcast bool
 }
 
 // Schedule is the leader's placement decision.
@@ -59,6 +63,10 @@ type Schedule struct {
 	// PeerShm maps worker name to its shared-memory rendezvous address,
 	// dialable as "shm://<addr>" by peers on the same host.
 	PeerShm map[string]string
+	// PeerBShm maps worker name to its SPMC broadcast-ring rendezvous
+	// address: same-host consumers of that worker's Broadcast routes join
+	// the ring and receive every fanout frame from one publish.
+	PeerBShm map[string]string
 	// Heartbeat is the worker heartbeat period; zero disables the
 	// resident control plane (one-shot leader).
 	Heartbeat time.Duration
@@ -80,8 +88,11 @@ type registerMsg struct {
 	// HostID is the worker's host identity (empty when host locality is
 	// off); workers advertising the same HostID get ring links. ShmAddr is
 	// the worker's shared-memory rendezvous address for those links.
-	HostID  string
-	ShmAddr string
+	// BShmAddr is the rendezvous address of the worker's SPMC broadcast
+	// ring, joined by same-host consumers of its Broadcast routes.
+	HostID   string
+	ShmAddr  string
+	BShmAddr string
 }
 type scheduleMsg struct{ Schedule Schedule }
 type readyMsg struct{ Name string }
@@ -471,7 +482,8 @@ func Routes(g *graph.Graph, assign map[string]string, workers []string, ingestAt
 			list = append(list, w)
 		}
 		sort.Strings(list)
-		routes = append(routes, Route{Stream: uint64(s.ID), Producer: producer, Consumers: list})
+		routes = append(routes, Route{Stream: uint64(s.ID), Producer: producer,
+			Consumers: list, Broadcast: len(list) >= 2})
 	}
 	return routes
 }
@@ -724,10 +736,14 @@ func (l *Leader) startPhase() error {
 	l.mu.Lock()
 	peerAddrs := make(map[string]string, len(l.sessions))
 	peerShm := make(map[string]string)
+	peerBShm := make(map[string]string)
 	for name, s := range l.sessions {
 		peerAddrs[name] = s.reg.DataAddr
 		if s.reg.ShmAddr != "" {
 			peerShm[name] = s.reg.ShmAddr
+		}
+		if s.reg.BShmAddr != "" {
+			peerBShm[name] = s.reg.BShmAddr
 		}
 	}
 	sched := Schedule{
@@ -736,6 +752,7 @@ func (l *Leader) startPhase() error {
 		PeerAddrs:   peerAddrs,
 		PeerHosts:   hosts,
 		PeerShm:     peerShm,
+		PeerBShm:    peerBShm,
 		Heartbeat:   l.heartbeat,
 		FailAfter:   l.failAfter,
 	}
@@ -816,6 +833,13 @@ type Node struct {
 	// fwd holds per-stream forwarding state for locally-produced streams
 	// (map guarded by mu; each entry has its own lock serializing sends).
 	fwd map[stream.ID]*fwdState
+	// bgroup is this node's SPMC broadcast ring (nil without host
+	// locality); bus wraps its sink for single-publish fanout. busIn maps
+	// producer peer name to the subscription on *its* broadcast ring
+	// (guarded by mu).
+	bgroup *shm.BroadcastGroup
+	bus    *comm.Bus
+	busIn  map[string]*busSub
 	// pending are replay obligations deferred to the leader's replay
 	// barrier for the pendingEpoch reschedule.
 	pending      []pendingReplay
@@ -853,6 +877,10 @@ type fwdState struct {
 	mu        sync.Mutex
 	consumers []string
 	ring      *replayRing
+	// broadcast marks the stream's route as fanout-eligible: same-host
+	// consumers attached to the node's broadcast ring are covered by one
+	// bus publish instead of one send per link.
+	broadcast bool
 }
 
 // pendingReplay is a deferred ring replay: once the leader confirms every
@@ -938,6 +966,7 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 		shmSuspect: make(map[string]bool),
 		repairing:  make(map[string]bool),
 		ckAcked:    make(map[string]uint64),
+		busIn:      make(map[string]*busSub),
 		stop:       make(chan struct{}),
 	}
 	fail := func(err error) (*Node, error) {
@@ -949,6 +978,14 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 		b := shm.New()
 		b.Dir = cfg.shmDir
 		commOpts = append(commOpts[:len(commOpts):len(commOpts)], comm.WithBackend(b, ""))
+		// The node's own SPMC broadcast ring: same-host consumers of its
+		// fanout routes join it and one publish covers them all. Ring
+		// setup failure is not fatal — fanout falls back to pairwise
+		// sends, the same degradation as a failed shm dial.
+		if bg, err := b.NewBroadcastGroup(busReaderSlots); err == nil {
+			n.bgroup = bg
+			n.bus = comm.NewBus(bg.Sink(), busMaxBytes(b))
+		}
 	}
 	tr, err := comm.Listen(name, "127.0.0.1:0", func(_ string, id stream.ID, m message.Message) {
 		if n.Worker != nil {
@@ -961,9 +998,13 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 	}
 	n.Transport = tr
 
+	bshmAddr := ""
+	if n.bgroup != nil {
+		bshmAddr = n.bgroup.Addr()
+	}
 	if err := enc.Encode(registerMsg{
 		Name: name, DataAddr: tr.Addr(),
-		HostID: cfg.hostID, ShmAddr: tr.AddrOf("shm"),
+		HostID: cfg.hostID, ShmAddr: tr.AddrOf("shm"), BShmAddr: bshmAddr,
 	}); err != nil {
 		return fail(err)
 	}
@@ -995,6 +1036,12 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 		}
 	}
 
+	// Join the broadcast rings of same-host producers whose fanout routes
+	// we consume, before forwarding starts anywhere: membership must be
+	// visible to a producer before its first publish or the first frames
+	// arrive pairwise (harmless, but not the fast path).
+	n.syncBusReaders(sm.Schedule)
+
 	// Install forwarding for streams produced here with remote readers,
 	// and frontier tracking for streams forwarded here: consumers without
 	// a local operator (extraction points) otherwise report no frontier,
@@ -1002,7 +1049,7 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 	resident := sm.Schedule.Heartbeat > 0
 	for _, r := range sm.Schedule.Routes {
 		if r.Producer == name {
-			if err := n.setForwarding(stream.ID(r.Stream), r.Consumers, resident); err != nil {
+			if err := n.setForwarding(stream.ID(r.Stream), r.Consumers, resident, r.Broadcast); err != nil {
 				return fail(err)
 			}
 		}
@@ -1044,7 +1091,7 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 // locally-produced stream, subscribing the forwarding tap on first use.
 // Ring buffering is enabled for resident clusters so a reschedule can
 // replay the recent window to a new consumer.
-func (n *Node) setForwarding(id stream.ID, consumers []string, ring bool) error {
+func (n *Node) setForwarding(id stream.ID, consumers []string, ring, broadcast bool) error {
 	n.mu.Lock()
 	fs := n.fwd[id]
 	needSub := fs == nil
@@ -1055,6 +1102,7 @@ func (n *Node) setForwarding(id stream.ID, consumers []string, ring bool) error 
 	n.mu.Unlock()
 	fs.mu.Lock()
 	fs.consumers = append([]string(nil), consumers...)
+	fs.broadcast = broadcast
 	if ring && fs.ring == nil {
 		fs.ring = newReplayRing(replayDepth)
 	}
@@ -1062,7 +1110,7 @@ func (n *Node) setForwarding(id stream.ID, consumers []string, ring bool) error 
 	if !needSub {
 		return nil
 	}
-	w, tr := n.Worker, n.Transport
+	w := n.Worker
 	return w.Subscribe(id, func(m message.Message) {
 		// The producing operator's deadline slack bounds how long the
 		// transport may hold the frame for coalescing; messages with no
@@ -1078,14 +1126,51 @@ func (n *Node) setForwarding(id stream.ID, consumers []string, ring bool) error 
 		if fs.ring != nil {
 			fs.ring.add(m)
 		}
-		for _, c := range fs.consumers {
-			//erdos:allow lockhold sends stay under fs.mu so an in-progress replay cannot be overtaken by newer frames
-			if err := tr.SendWithHint(c, id, m, hint); err == nil {
-				n.forwarded.Add(1)
-			}
-		}
+		n.forward(fs, id, m, hint)
 		fs.mu.Unlock()
 	})
+}
+
+// forward ships one message to the stream's remote consumers, called with
+// fs.mu held so replays cannot be overtaken. Fanout edges take the
+// single-encode multicast path; consumers attached to this node's
+// broadcast ring are covered by one ring publish, the rest by refcounted
+// shared frames. A single consumer keeps the plain per-link send.
+func (n *Node) forward(fs *fwdState, id stream.ID, m message.Message, hint comm.FlushHint) {
+	cons := fs.consumers
+	switch {
+	case len(cons) == 0:
+		return
+	case len(cons) == 1:
+		// Sends stay under fs.mu so an in-progress replay cannot be
+		// overtaken by newer frames.
+		if err := n.Transport.SendWithHint(cons[0], id, m, hint); err == nil {
+			n.forwarded.Add(1)
+		}
+		return
+	}
+	if fs.broadcast && n.bus != nil {
+		members := n.bgroup.MemberSet()
+		var busPeers, pairPeers []string
+		for _, c := range cons {
+			if members[c] {
+				busPeers = append(busPeers, c)
+			} else {
+				pairPeers = append(pairPeers, c)
+			}
+		}
+		if len(busPeers) > 0 {
+			// Sends stay under fs.mu so an in-progress replay cannot be
+			// overtaken by newer frames.
+			sent, _ := n.Transport.MulticastBus(n.bus, busPeers, pairPeers, id, m, hint)
+			n.forwarded.Add(uint64(sent))
+			return
+		}
+	}
+	// Sends stay under fs.mu so an in-progress replay cannot be
+	// overtaken by newer frames.
+	sent, _ := n.Transport.MulticastWithHint(cons, id, m, hint)
+	n.forwarded.Add(uint64(sent))
 }
 
 // Forwarded returns how many messages this node shipped to remote peers.
@@ -1096,6 +1181,18 @@ func (n *Node) Close() {
 	n.stopOnce.Do(func() { close(n.stop) })
 	if n.ctrlConn != nil {
 		n.ctrlConn.Close()
+	}
+	n.mu.Lock()
+	subs := make([]*busSub, 0, len(n.busIn))
+	for _, s := range n.busIn {
+		subs = append(subs, s)
+	}
+	n.mu.Unlock()
+	for _, s := range subs {
+		s.close()
+	}
+	if n.bgroup != nil {
+		n.bgroup.Close()
 	}
 	if n.Transport != nil {
 		n.Transport.Close()

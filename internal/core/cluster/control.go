@@ -214,12 +214,19 @@ func (l *Leader) failover(dead string) {
 			peerShm[w] = a
 		}
 	}
+	peerBShm := make(map[string]string, len(l.sched.PeerBShm))
+	for w, a := range l.sched.PeerBShm {
+		if w != dead {
+			peerBShm[w] = a
+		}
+	}
 	sched := Schedule{
 		Assignments: assign,
 		Routes:      Routes(l.g, assign, survivors, ingest, extract),
 		PeerAddrs:   peerAddrs,
 		PeerHosts:   peerHosts,
 		PeerShm:     peerShm,
+		PeerBShm:    peerBShm,
 		Heartbeat:   l.heartbeat,
 		FailAfter:   l.failAfter,
 		Epoch:       epoch,
@@ -621,6 +628,11 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 
 	n.Transport.Disconnect(rm.Dead)
 
+	// Reconcile broadcast-ring subscriptions with the new routes: detach
+	// from the dead producer's ring (its group died with it) and join any
+	// ring a rescued fanout edge now runs through.
+	n.syncBusReaders(rm.Schedule)
+
 	// Adopt orphans assigned here. Inputs produced on this node have
 	// their retained windows replayed atomically with the adoption: the
 	// forwarding locks are held across the ring snapshot and the
@@ -666,10 +678,10 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 	// operators' outputs) have no history and subscribe immediately;
 	// existing streams shrink to the consumers they keep, with additions
 	// parked until the barrier.
-	routed := make(map[stream.ID][]string)
+	routed := make(map[stream.ID]Route)
 	for _, r := range rm.Schedule.Routes {
 		if r.Producer == n.Name {
-			routed[stream.ID(r.Stream)] = r.Consumers
+			routed[stream.ID(r.Stream)] = r
 		}
 		// Streams newly forwarded here (re-homed extraction points)
 		// start frontier tracking now, before the replay barrier, so the
@@ -683,17 +695,18 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 	n.mu.Lock()
 	for id := range n.fwd {
 		if _, ok := routed[id]; !ok {
-			routed[id] = nil
+			routed[id] = Route{}
 		}
 	}
 	n.mu.Unlock()
 	var pend []pendingReplay
-	for id, consumers := range routed {
+	for id, r := range routed {
+		consumers := r.Consumers
 		n.mu.Lock()
 		fs := n.fwd[id]
 		n.mu.Unlock()
 		if fs == nil {
-			_ = n.setForwarding(id, consumers, true)
+			_ = n.setForwarding(id, consumers, true, r.Broadcast)
 			continue
 		}
 		next := make(map[string]bool, len(consumers))
@@ -710,6 +723,7 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 			}
 		}
 		fs.consumers = keep
+		fs.broadcast = r.Broadcast
 		fs.mu.Unlock()
 		for _, c := range consumers {
 			if !prev[c] {
@@ -777,14 +791,13 @@ func (n *Node) runReplay(epoch uint64) {
 		}
 		if fs.ring != nil && len(added) > 0 {
 			for _, m := range fs.ring.snapshot() {
-				for _, c := range added {
-					// Replayed frames carry no deadline; an empty hint still
-					// lets the coalescer batch the retained window.
-					//erdos:allow lockhold replay must finish under fs.mu so newer frames cannot overtake the retained window
-					if err := n.Transport.SendWithHint(c, p.id, m, comm.FlushHint{}); err == nil {
-						n.forwarded.Add(1)
-					}
-				}
+				// Replayed frames carry no deadline; an empty hint still
+				// lets the coalescer batch the retained window. Multiple
+				// adopters share one encode per retained frame.
+				// Replay must finish under fs.mu so newer frames cannot
+				// overtake the retained window.
+				sent, _ := n.Transport.MulticastWithHint(added, p.id, m, comm.FlushHint{})
+				n.forwarded.Add(uint64(sent))
 			}
 		}
 		fs.consumers = append([]string(nil), p.consumers...)

@@ -13,6 +13,9 @@ import (
 	"io"
 	"net"
 	"strings"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
 )
 
 // Backend is a byte-transport provider: it listens for and dials raw
@@ -65,6 +68,36 @@ type FrameSource interface {
 type BufferedConn interface {
 	net.Conn
 	FrameBuffers() (FrameSink, FrameSource)
+}
+
+// ValueConn is an optional connection capability for same-process
+// backends (inproc): instead of encoding frames to bytes, the transport
+// hands whole (stream, message) values to SendValue, which delivers them
+// to the peer transport through a lock-free handoff queue with no
+// serialization at all. Ownership transfers with the value: once
+// SendValue returns nil the receiver owns the payload (including pooled
+// []byte payloads — the receiving handler recycles or keeps them under
+// the same contract as the byte receive path), and the sender must not
+// touch it again. RecvValue blocks until a value arrives or the
+// connection dies.
+//
+// The byte-stream side of the connection still carries the gob handshake
+// and provides EOF liveness; the codec registry stays authoritative for
+// cross-process links. The Transport uses the capability only on
+// unwrapped connections, so ConnHook fault injection keeps seeing a byte
+// pipe.
+type ValueConn interface {
+	net.Conn
+	SendValue(id stream.ID, m message.Message) error
+	RecvValue() (stream.ID, message.Message, error)
+}
+
+// SpillCounter is an optional FrameSink capability: sinks that must chunk
+// oversized frame trains through a bounded medium (a shm ring forced to
+// publish mid-train) report how many chunked spills occurred. Surfaced
+// per link as PeerCoalesceStats.ShmSpillCount.
+type SpillCounter interface {
+	Spills() uint64
 }
 
 // splitScheme separates an optional "scheme://" prefix from a dial target.

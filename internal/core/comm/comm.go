@@ -142,6 +142,13 @@ type Transport struct {
 	wg     sync.WaitGroup
 	opts   options
 
+	// graveyard holds dead queued peers whose out channel may still
+	// receive a racing enqueue after the write-loop drain (the sender's
+	// select can commit against a closed done). Close sweeps it so
+	// broadcast-frame and pool accounting balances once senders are
+	// quiescent.
+	graveyard []*peer
+
 	sent, received atomic.Uint64
 
 	// Per-frame-kind counters: the data plane is gob-free exactly when
@@ -193,6 +200,10 @@ type PeerCoalesceStats struct {
 	Budget    int64  // current adaptive flush budget, bytes
 	HoldNs    int64  // current adaptive hold cap, nanoseconds
 	SlackNs   int64  // EWMA of observed FlushHint slack, nanoseconds
+	// ShmSpillCount counts ring records force-published mid-train on this
+	// link — frame trains larger than the ring's chunk budget streaming
+	// through in pieces. Zero on non-ring links.
+	ShmSpillCount uint64
 }
 
 // PeerCoalesceStats returns per-link coalescing telemetry keyed by peer
@@ -202,7 +213,7 @@ func (t *Transport) PeerCoalesceStats() map[string]PeerCoalesceStats {
 	peers := *t.peers.Load()
 	out := make(map[string]PeerCoalesceStats, len(peers))
 	for name, p := range peers {
-		out[name] = PeerCoalesceStats{
+		st := PeerCoalesceStats{
 			Frames:    p.statFrames.Load(),
 			Bytes:     p.statBytes.Load(),
 			Flushes:   p.statFlushes.Load(),
@@ -211,6 +222,10 @@ func (t *Transport) PeerCoalesceStats() map[string]PeerCoalesceStats {
 			HoldNs:    p.statHoldNs.Load(),
 			SlackNs:   p.statSlackNs.Load(),
 		}
+		if sc, ok := p.fw.(SpillCounter); ok {
+			st.ShmSpillCount = sc.Spills()
+		}
+		out[name] = st
 	}
 	return out
 }
@@ -239,6 +254,10 @@ type outMsg struct {
 	// release marks a SendRelease message: once the frame is on the wire
 	// the []byte payload is recycled into the payload pool.
 	release bool
+	// bcast, when set, is a pre-encoded fanout frame shared with other
+	// destinations: the write loop copies its bytes into the sink as a
+	// borrowed segment and releases this destination's reference.
+	bcast *broadcastFrame
 }
 
 type peer struct {
@@ -252,9 +271,13 @@ type peer struct {
 	// unwrapped ring conn): sends are framed synchronously in the caller
 	// under wmu instead of hopping through out and the writeLoop.
 	direct bool
-	wmu    sync.Mutex
-	out    chan outMsg
-	done   chan struct{}
+	// vc, when non-nil, is the connection's same-process value capability:
+	// sends hand message values through it with no serialization, and a
+	// value loop (not the byte read loop) delivers inbound values.
+	vc   ValueConn
+	wmu  sync.Mutex
+	out  chan outMsg
+	done chan struct{}
 	// codecs is the remote side's codec advertisement from the handshake
 	// (id -> newest version it decodes); immutable after the handshake.
 	// nil means the peer predates negotiation and is assumed to share our
@@ -519,6 +542,48 @@ func (t *Transport) dropPeer(p *peer) {
 	p.close()
 }
 
+// releaseOut returns the pooled resources an undelivered queued message
+// holds: a shared fanout frame's reference, or a relinquished
+// SendRelease payload.
+func releaseOut(o outMsg) {
+	if o.bcast != nil {
+		o.bcast.release()
+		return
+	}
+	if o.release {
+		if o.rawSet {
+			RecyclePayload(o.raw)
+		} else {
+			ReleaseMessage(o.m)
+		}
+	}
+}
+
+func drainQueue(out chan outMsg) {
+	for {
+		select {
+		case o := <-out:
+			releaseOut(o)
+		default:
+			return
+		}
+	}
+}
+
+// drainPeer releases the resources of messages stranded in a dead peer's
+// out queue. A sender's select can still commit an enqueue after done
+// closes (both cases ready, runtime picks either), so the peer is parked
+// in the graveyard for a final sweep at Close — after which accounting is
+// exact provided senders have quiesced.
+func (t *Transport) drainPeer(p *peer) {
+	drainQueue(p.out)
+	t.mu.Lock()
+	if !t.closed {
+		t.graveyard = append(t.graveyard, p)
+	}
+	t.mu.Unlock()
+}
+
 // Send transmits m on stream id to the named peer. The lookup is lock-free
 // and the sent counter is only incremented once the message is actually
 // queued on a live connection.
@@ -563,6 +628,9 @@ func (t *Transport) send(peerName string, o outMsg) error {
 	if p == nil {
 		return fmt.Errorf("comm: %s has no peer %q", t.name, peerName)
 	}
+	if p.vc != nil {
+		return t.sendValue(p, o)
+	}
 	if p.direct {
 		return t.sendDirect(p, o)
 	}
@@ -573,6 +641,25 @@ func (t *Transport) send(peerName string, o outMsg) error {
 	case <-p.done:
 		return errors.New("comm: peer connection closed")
 	}
+}
+
+// sendValue hands the message value to a same-process peer through the
+// connection's ValueConn capability: no framing, no codec, no copy.
+// Ownership of the payload transfers to the receiver, which makes the
+// release flag moot — the receiving handler recycles pooled payloads
+// under the ordinary receive-path contract.
+func (t *Transport) sendValue(p *peer, o outMsg) error {
+	m := o.m
+	if o.rawSet {
+		m.Payload = o.raw
+	}
+	if err := p.vc.SendValue(o.id, m); err != nil {
+		t.dropPeer(p)
+		return err
+	}
+	t.sent.Add(1)
+	p.statFrames.Add(1)
+	return nil
 }
 
 // sendDirect frames and publishes o synchronously in the caller's
@@ -602,6 +689,11 @@ func (t *Transport) sendDirect(p *peer, o outMsg) error {
 		} else {
 			ReleaseMessage(o.m)
 		}
+	}
+	if err == nil && o.bcast != nil {
+		// This destination's bytes are staged; its reference to the
+		// shared frame is consumed. (On error the caller still owns it.)
+		o.bcast.release()
 	}
 	if err == nil {
 		p.statFrames.Add(1)
@@ -664,6 +756,18 @@ func (t *Transport) Close() {
 		p.close()
 	}
 	t.wg.Wait()
+	// Every write loop has exited and parked its peer in the graveyard;
+	// sweep the queues one last time so enqueues that raced the per-loop
+	// drains release their frames too. Live-at-Close peers never reached
+	// the graveyard (drainPeer saw closed), but their drains already ran
+	// after the map was emptied, so post-Close sends cannot enqueue.
+	t.mu.Lock()
+	gy := t.graveyard
+	t.graveyard = nil
+	t.mu.Unlock()
+	for _, p := range gy {
+		drainQueue(p.out)
+	}
 }
 
 func (t *Transport) acceptLoop(ln Listener, scheme string) {
@@ -725,6 +829,7 @@ func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, fw Fra
 			remote[ad.ID] = ad.Ver
 		}
 	}
+	vc, _ := conn.(ValueConn)
 	p := &peer{
 		name:   name,
 		conn:   conn,
@@ -732,6 +837,7 @@ func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, fw Fra
 		fw:     fw,
 		scheme: scheme,
 		direct: direct,
+		vc:     vc,
 		out:    make(chan outMsg, 1024),
 		done:   make(chan struct{}),
 		codecs: remote,
@@ -742,11 +848,34 @@ func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, fw Fra
 	}
 	next[name] = p
 	t.peers.Store(&next)
-	if !p.direct {
+	if p.vc != nil {
+		// Value links deliver through the value loop; the byte write
+		// loop would only idle (the byte stream carries nothing after
+		// the handshake, serving as the liveness signal).
+		t.wg.Add(1)
+		go t.valueLoop(p)
+	} else if !p.direct {
 		t.wg.Add(1)
 		go t.writeLoop(p)
 	}
 	return p
+}
+
+// valueLoop delivers inbound message values from a same-process peer —
+// the value-path analogue of readLoop, with no decoding at all.
+func (t *Transport) valueLoop(p *peer) {
+	defer t.wg.Done()
+	defer t.dropPeer(p)
+	for {
+		id, m, err := p.vc.RecvValue()
+		if err != nil {
+			return
+		}
+		t.received.Add(1)
+		if t.handler != nil {
+			t.handler(p.name, id, m)
+		}
+	}
 }
 
 // scratchPool recycles the header buffers of binary frames.
@@ -930,6 +1059,19 @@ func (p *peer) decodes(id uint64, version uint8) bool {
 // peer decodes this codec at our version; otherwise the payload downgrades
 // to the gob Envelope for this peer while same-build peers stay typed.
 func (t *Transport) writeMsg(p *peer, o outMsg) (n int, mustFlush bool, err error) {
+	if o.bcast != nil {
+		// Pre-encoded fanout frame: the bytes were laid out once by
+		// multicast; this link only pays the sink copy.
+		_, err = p.fw.Write(o.bcast.buf)
+		if err == nil {
+			if o.bcast.typed {
+				t.typedSent.Add(1)
+			} else {
+				t.rawSent.Add(1)
+			}
+		}
+		return len(o.bcast.buf), o.flushBy.IsZero(), err
+	}
 	if o.rawSet {
 		n, err = writeRawParts(p.fw, o.id, message.KindData, o.m.Timestamp, o.raw, true)
 		if err == nil {
@@ -1090,6 +1232,9 @@ func (c *coalesceTuner) hold() time.Duration {
 // queue drains.
 func (t *Transport) writeLoop(p *peer) {
 	defer t.wg.Done()
+	// Exit order (LIFO): dropPeer first — closing done so senders start
+	// failing — then drainPeer releasing whatever was already queued.
+	defer t.drainPeer(p)
 	defer t.dropPeer(p)
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
@@ -1125,6 +1270,11 @@ func (t *Transport) writeLoop(p *peer) {
 	write := func(o outMsg) bool {
 		now := time.Now()
 		n, force, err := t.writeMsg(p, o)
+		if o.bcast != nil {
+			// Whether the bytes landed or the link just died, this
+			// destination is done with the shared frame.
+			o.bcast.release()
+		}
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,150 @@
+// The inproc backend: a comm.Backend for peers living in the same
+// process. Workers colocated in one address space (embedded pipelines,
+// single-process deployments, benchmarks) have no reason to serialize at
+// all — the backend's connections offer the comm.ValueConn capability,
+// so the transport hands whole (stream, message) values across a
+// lock-free queue and the receiver gets the very same value, zero encode
+// and zero copy.
+//
+// Ownership transfers with the value: once SendValue returns nil the
+// receiving transport owns the payload under the same contract as the
+// byte receive path (pooled []byte payloads are the receiver's to
+// recycle; typed payloads must be treated as immutable, since fanout may
+// share one value across receivers). The byte side of each connection is
+// a net.Pipe that carries only the gob handshake and EOF liveness; the
+// codec registry stays authoritative for every cross-process link, and
+// no frame ever needs encoding here — which is why this package imports
+// no codecs and no gob.
+package inproc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+// Backend implements comm.Backend over a process-global address
+// registry. The zero value is ready to use; all Backend values share the
+// same namespace (addresses are process-global by nature).
+type Backend struct{}
+
+// New returns the inproc backend.
+func New() *Backend { return &Backend{} }
+
+// Scheme implements comm.Backend.
+func (*Backend) Scheme() string { return "inproc" }
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*listener{}
+	autoSeq  atomic.Uint64
+)
+
+// Listen implements comm.Backend. addr is any process-unique name; empty
+// picks a fresh one.
+func (*Backend) Listen(addr string) (comm.Listener, error) {
+	if addr == "" {
+		addr = fmt.Sprintf("auto-%d", autoSeq.Add(1))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, taken := registry[addr]; taken {
+		return nil, fmt.Errorf("inproc: address %q already bound", addr)
+	}
+	ln := &listener{name: addr, ch: make(chan net.Conn, 16), done: make(chan struct{})}
+	registry[addr] = ln
+	return ln, nil
+}
+
+// Dial implements comm.Backend: build the connection pair — a pipe for
+// the handshake-and-liveness byte side, two value queues for the data
+// plane — and hand the accept side to the listener.
+func (*Backend) Dial(addr string) (net.Conn, error) {
+	regMu.Lock()
+	ln := registry[addr]
+	regMu.Unlock()
+	if ln == nil {
+		return nil, fmt.Errorf("inproc: no listener at %q", addr)
+	}
+	dp, ap := net.Pipe()
+	d2a := newQueue(queueCap)
+	a2d := newQueue(queueCap)
+	dc := &Conn{Conn: dp, tx: d2a, rx: a2d}
+	ac := &Conn{Conn: ap, tx: a2d, rx: d2a}
+	select {
+	case ln.ch <- ac:
+		return dc, nil
+	case <-ln.done:
+		dc.Close()
+		ac.Close()
+		return nil, fmt.Errorf("inproc: listener %q closed", addr)
+	}
+}
+
+type listener struct {
+	name      string
+	ch        chan net.Conn
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, errors.New("inproc: listener closed")
+	}
+}
+
+func (l *listener) Addr() string { return l.name }
+
+func (l *listener) Close() error {
+	l.closeOnce.Do(func() {
+		regMu.Lock()
+		delete(registry, l.name)
+		regMu.Unlock()
+		close(l.done)
+	})
+	return nil
+}
+
+// Conn is one same-process connection: the embedded pipe end implements
+// net.Conn (handshake bytes, EOF liveness, deadline plumbing), and the
+// queues implement comm.ValueConn. It deliberately does NOT implement
+// comm.BufferedConn — a wrapped (fault-injected) conn falls back to the
+// byte path over the pipe, so ConnHook harnesses keep seeing every byte.
+type Conn struct {
+	net.Conn
+	tx, rx    *queue
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// SendValue implements comm.ValueConn. Ownership of m transfers iff the
+// return is nil.
+func (c *Conn) SendValue(id stream.ID, m message.Message) error {
+	return c.tx.enqueue(id, m)
+}
+
+// RecvValue implements comm.ValueConn.
+func (c *Conn) RecvValue() (stream.ID, message.Message, error) {
+	return c.rx.dequeue()
+}
+
+// Close implements net.Conn: both value queues die with the byte pipe,
+// so a peer blocked in either plane unblocks promptly.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.tx.close()
+		c.rx.close()
+		c.closeErr = c.Conn.Close()
+	})
+	return c.closeErr
+}

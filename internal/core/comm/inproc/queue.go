@@ -1,0 +1,182 @@
+package inproc
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+// queueCap is the per-direction handoff depth, matching the transport's
+// per-peer outbound queue so the value path and the byte path exert the
+// same backpressure.
+const queueCap = 1024
+
+// spinYields bounds the lock-free fast path before a blocked side parks
+// on its wake channel.
+const spinYields = 128
+
+// parkPoll is the parked sides' safety re-check period; wakes are
+// best-effort (a full wake channel drops the signal), and the poll
+// guarantees progress anyway.
+const parkPoll = 2 * time.Millisecond
+
+var errConnClosed = errors.New("inproc: connection closed")
+
+// cell is one queue slot. seq is the Vyukov sequence word: it equals the
+// slot's ticket when the slot is free for that ticket's producer, and
+// ticket+1 once the value is published for the consumer.
+type cell struct {
+	seq atomic.Uint64
+	id  stream.ID
+	m   message.Message
+}
+
+// queue is a bounded lock-free MPMC handoff queue (Vyukov's bounded
+// queue) carrying whole (stream, message) values between two transports
+// in the same process — the zero-serialization data plane of the inproc
+// backend. Producers are the sender's goroutines (Send, Multicast,
+// forwarding taps); the single consumer is the receiving transport's
+// value loop. Blocking is spin-then-park with best-effort wake channels
+// and a poll safety net, mirroring the shm rings.
+type queue struct {
+	cells []cell
+	mask  uint64
+
+	enq atomic.Uint64
+	deq atomic.Uint64
+
+	closed    atomic.Bool
+	closeCh   chan struct{}
+	closeOnce sync.Once
+
+	// sendWake is signaled when a dequeue frees a slot; recvWake when an
+	// enqueue publishes a value. Both are best-effort (capacity 1).
+	sendWake chan struct{}
+	recvWake chan struct{}
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{
+		cells:    make([]cell, capacity),
+		mask:     uint64(capacity - 1),
+		closeCh:  make(chan struct{}),
+		sendWake: make(chan struct{}, 1),
+		recvWake: make(chan struct{}, 1),
+	}
+	for i := range q.cells {
+		q.cells[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// close marks the queue dead and unblocks both sides. Values already
+// published remain readable: the consumer drains them before seeing the
+// error, so a clean shutdown loses nothing that was accepted.
+func (q *queue) close() {
+	q.closeOnce.Do(func() {
+		q.closed.Store(true)
+		close(q.closeCh)
+	})
+}
+
+// enqueue publishes one value, blocking while the queue is full.
+// Ownership of m (including pooled payloads) transfers to the consumer
+// iff the return is nil.
+func (q *queue) enqueue(id stream.ID, m message.Message) error {
+	spins := 0
+	for {
+		if q.closed.Load() {
+			return errConnClosed
+		}
+		pos := q.enq.Load()
+		c := &q.cells[pos&q.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos:
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				c.id, c.m = id, m
+				c.seq.Store(pos + 1)
+				select {
+				case q.recvWake <- struct{}{}:
+				default:
+				}
+				return nil
+			}
+		case seq < pos:
+			// Queue full: the consumer has not recycled this slot yet.
+			if spins++; spins < spinYields {
+				runtime.Gosched()
+				continue
+			}
+			spins = 0
+			if err := q.park(q.sendWake); err != nil {
+				return err
+			}
+		default:
+			// Lost the ticket race to another producer; retry.
+			runtime.Gosched()
+		}
+	}
+}
+
+// dequeue takes the next value, blocking while the queue is empty. After
+// close it drains the values already published, then reports the closed
+// error.
+func (q *queue) dequeue() (stream.ID, message.Message, error) {
+	spins := 0
+	for {
+		pos := q.deq.Load()
+		c := &q.cells[pos&q.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos+1:
+			if q.deq.CompareAndSwap(pos, pos+1) {
+				id, m := c.id, c.m
+				c.id, c.m = 0, message.Message{}
+				c.seq.Store(pos + q.mask + 1)
+				select {
+				case q.sendWake <- struct{}{}:
+				default:
+				}
+				return id, m, nil
+			}
+		case seq <= pos:
+			// Empty. Only report closed once everything accepted has been
+			// drained (enq == pos means no published value remains).
+			if q.closed.Load() && q.enq.Load() == pos {
+				return 0, message.Message{}, errConnClosed
+			}
+			if spins++; spins < spinYields {
+				runtime.Gosched()
+				continue
+			}
+			spins = 0
+			if err := q.parkRecv(); err != nil {
+				return 0, message.Message{}, err
+			}
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// park blocks on wake with the poll safety net. Close does not surface
+// as an error here — the caller re-checks its own closed/drain
+// condition, which differs between the two sides.
+func (q *queue) park(wake chan struct{}) error {
+	timer := time.NewTimer(parkPoll)
+	defer timer.Stop()
+	select {
+	case <-wake:
+	case <-q.closeCh:
+	case <-timer.C:
+	}
+	return nil
+}
+
+func (q *queue) parkRecv() error { return q.park(q.recvWake) }

@@ -1,0 +1,126 @@
+package inproc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// TestQueueConcurrentProducers hammers the handoff queue with several
+// producers and one consumer (the transport's actual shape) across a
+// capacity small enough to force full-queue parking, and verifies
+// nothing is lost, duplicated, or reordered per producer.
+func TestQueueConcurrentProducers(t *testing.T) {
+	q := newQueue(16)
+	const producers = 4
+	const perProducer = 2000
+
+	var wg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		pi := pi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				m := message.Data(timestamp.New(uint64(i)), nil)
+				if err := q.enqueue(stream.ID(pi), m); err != nil {
+					t.Errorf("producer %d: %v", pi, err)
+					return
+				}
+			}
+		}()
+	}
+
+	lastSeen := make([]int, producers)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	for n := 0; n < producers*perProducer; n++ {
+		id, m, err := q.dequeue()
+		if err != nil {
+			t.Fatalf("dequeue %d: %v", n, err)
+		}
+		pi := int(id)
+		seq := int(m.Timestamp.L)
+		if seq != lastSeen[pi]+1 {
+			t.Fatalf("producer %d: got seq %d after %d", pi, seq, lastSeen[pi])
+		}
+		lastSeen[pi] = seq
+	}
+	wg.Wait()
+	for pi, last := range lastSeen {
+		if last != perProducer-1 {
+			t.Fatalf("producer %d: consumed through %d, want %d", pi, last, perProducer-1)
+		}
+	}
+}
+
+// TestQueueCloseDrainsThenErrors requires close() to let the consumer
+// drain everything already accepted before surfacing the closed error,
+// and to fail further enqueues immediately.
+func TestQueueCloseDrainsThenErrors(t *testing.T) {
+	q := newQueue(16)
+	for i := 0; i < 5; i++ {
+		if err := q.enqueue(stream.ID(i), message.Message{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.close()
+	if err := q.enqueue(99, message.Message{}); !errors.Is(err, errConnClosed) {
+		t.Fatalf("enqueue after close = %v, want errConnClosed", err)
+	}
+	for i := 0; i < 5; i++ {
+		id, _, err := q.dequeue()
+		if err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		if int(id) != i {
+			t.Fatalf("drain %d: got id %d", i, id)
+		}
+	}
+	if _, _, err := q.dequeue(); !errors.Is(err, errConnClosed) {
+		t.Fatalf("dequeue after drain = %v, want errConnClosed", err)
+	}
+}
+
+// TestQueueCloseUnblocksParkedConsumer parks a consumer on an empty
+// queue and requires close() to unblock it promptly.
+func TestQueueCloseUnblocksParkedConsumer(t *testing.T) {
+	q := newQueue(16)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := q.dequeue()
+		done <- err
+	}()
+	q.close()
+	if err := <-done; !errors.Is(err, errConnClosed) {
+		t.Fatalf("parked dequeue = %v, want errConnClosed", err)
+	}
+}
+
+// TestListenerRegistry exercises the process-global address namespace:
+// duplicate binds fail, dialing a missing address fails, and close
+// releases the name.
+func TestListenerRegistry(t *testing.T) {
+	b := New()
+	ln, err := b.Listen("reg-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Listen("reg-test"); err == nil {
+		t.Fatal("duplicate bind succeeded")
+	}
+	if _, err := b.Dial("no-such-address"); err == nil {
+		t.Fatal("dial of an unbound address succeeded")
+	}
+	ln.Close()
+	ln2, err := b.Listen("reg-test")
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	ln2.Close()
+}

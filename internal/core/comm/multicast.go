@@ -1,0 +1,414 @@
+// Single-encode fanout. D3's pipelines are fan-out heavy — one sensor
+// frame feeds perception, prediction, logging and recording — yet a naive
+// data plane encodes and copies the frame once per subscriber link.
+// Multicast makes a one-to-many send cost one encode and ~one copy:
+//
+//   - the frame is encoded once into a pooled, atomically refcounted
+//     buffer (broadcastFrame) shared by every destination's write loop;
+//     each write loop treats it as a borrowed segment — it writes the
+//     bytes into its sink and drops its reference — and the last release
+//     returns the buffer to the payload pool;
+//   - same-host destinations attached to a shared-memory broadcast ring
+//     (a Bus) are covered by a single ring publish instead of one write
+//     per link (MulticastBus);
+//   - same-process destinations whose connection offers the ValueConn
+//     capability (the inproc backend) receive the message *value* with no
+//     serialization at all.
+//
+// Ownership rules: a broadcastFrame is created with one reference per
+// sharing destination. A destination's reference is consumed either by
+// its write loop (after the bytes reach the sink, successfully or not) or
+// by the sender when the destination cannot be enqueued. Frames stranded
+// in a dead peer's queue are released by the queue drain that follows the
+// write loop's exit, and Close sweeps anything the drain raced with, so
+// pool accounting balances deterministically once senders are quiescent.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+// broadcastFrame is one encoded wire frame shared across every destination
+// of a fanout send. buf comes from AcquirePayload; refs counts the
+// destinations that have not yet written (or abandoned) it.
+type broadcastFrame struct {
+	buf   []byte
+	typed bool
+	refs  atomic.Int32
+}
+
+var (
+	bcastPool StructPool[broadcastFrame]
+	// bcastAcquired/bcastReleased count frames created and fully released.
+	// The -race refcount stress test asserts they balance after all links
+	// drain: a deficit is a leaked pooled buffer, a surplus would have
+	// panicked as a double release.
+	bcastAcquired atomic.Uint64
+	bcastReleased atomic.Uint64
+)
+
+// BroadcastFrameStats reports how many shared fanout frames have been
+// created and how many have been fully released back to the pool. With no
+// multicast in flight the two are equal.
+func BroadcastFrameStats() (acquired, released uint64) {
+	return bcastAcquired.Load(), bcastReleased.Load()
+}
+
+func newBroadcastFrame(buf []byte, typed bool, refs int32) *broadcastFrame {
+	f := bcastPool.Get()
+	f.buf, f.typed = buf, typed
+	f.refs.Store(refs)
+	bcastAcquired.Add(1)
+	return f
+}
+
+// release drops one destination's reference; the last one recycles the
+// buffer. Releasing more references than were acquired is a programming
+// error that would hand the pooled buffer to two owners, so it panics
+// instead of corrupting a later frame.
+func (f *broadcastFrame) release() {
+	n := f.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("comm: broadcast frame released more times than acquired")
+	}
+	RecyclePayload(f.buf)
+	f.buf = nil
+	bcastReleased.Add(1)
+	bcastPool.Put(f)
+}
+
+// frameBuf is a FrameSink over a growable slice, used to capture one
+// frame's wire encoding for sharing. Flush is a no-op: the capture is the
+// frame-train boundary.
+type frameBuf struct{ b []byte }
+
+func (s *frameBuf) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+func (s *frameBuf) WriteByte(c byte) error {
+	s.b = append(s.b, c)
+	return nil
+}
+
+func (s *frameBuf) Flush() error { return nil }
+
+// ReadFrame decodes one binary frame (tagRaw or tagTyped) from fr — the
+// same decoding the transport's read loop applies, exported for broadcast
+// ring readers that consume a shared frame stream outside a peer
+// connection. Gob frames never travel on broadcast rings (they are
+// per-peer downgrades), so a tagGob byte is a protocol error here.
+func ReadFrame(fr FrameSource) (stream.ID, message.Message, error) {
+	tag, err := fr.ReadByte()
+	if err != nil {
+		return 0, message.Message{}, err
+	}
+	switch tag {
+	case tagRaw:
+		return readRawFrame(fr)
+	case tagTyped:
+		return readTypedFrame(fr)
+	}
+	return 0, message.Message{}, fmt.Errorf("comm: unexpected frame tag %#x on broadcast stream", tag)
+}
+
+// errBusOversize marks a frame too large for a Bus; the sender folds the
+// bus destinations back into pairwise sends.
+var errBusOversize = errors.New("comm: frame exceeds bus size limit")
+
+// Bus is a shared broadcast sink: one frame written to it reaches every
+// reader attached to the underlying medium (a shm SPMC broadcast ring).
+// The bus carries binary frames only and performs no per-reader codec
+// negotiation, so it must only bridge same-build readers — the cluster
+// only attaches its own workers. MaxBytes bounds the frame size the bus
+// accepts (0 means unlimited); larger frames spill back to pairwise links
+// and are counted.
+type Bus struct {
+	mu   sync.Mutex
+	sink FrameSink
+	max  int
+	err  error
+
+	spills atomic.Uint64
+	frames atomic.Uint64
+	bytes  atomic.Uint64
+}
+
+// NewBus wraps sink as a broadcast bus. maxBytes caps the frame size the
+// bus carries; pass the ring's spill threshold (0 for no cap).
+func NewBus(sink FrameSink, maxBytes int) *Bus {
+	return &Bus{sink: sink, max: maxBytes}
+}
+
+// Spills returns how many frames were too large for the bus and fell back
+// to pairwise sends.
+func (b *Bus) Spills() uint64 { return b.spills.Load() }
+
+// Stats returns frames and bytes published onto the bus.
+func (b *Bus) Stats() (frames, bytes uint64) {
+	return b.frames.Load(), b.bytes.Load()
+}
+
+// Err returns the sticky write error, if the bus medium has failed.
+func (b *Bus) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// write publishes one encoded frame. The error is sticky: once the
+// medium fails every later write fails, and the caller falls back to
+// pairwise delivery.
+func (b *Bus) write(frame []byte) error {
+	if b.max > 0 && len(frame) > b.max {
+		b.spills.Add(1)
+		return errBusOversize
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	if _, err := b.sink.Write(frame); err != nil {
+		b.err = err
+		return err
+	}
+	if err := b.sink.Flush(); err != nil {
+		b.err = err
+		return err
+	}
+	b.frames.Add(1)
+	b.bytes.Add(uint64(len(frame)))
+	return nil
+}
+
+// Multicast sends m on stream id to every named peer with one encode and
+// a shared buffer, with no coalescing hint: every copy flushes on queue
+// drain. Prefer MulticastWithHint on deadline-carrying paths.
+// It returns how many destinations accepted the message and the first
+// error encountered; delivery to the remaining destinations is still
+// attempted after an error (fanout consumers fail independently).
+func (t *Transport) Multicast(peerNames []string, id stream.ID, m message.Message) (int, error) {
+	return t.multicast(nil, nil, peerNames, id, m, FlushHint{})
+}
+
+// MulticastWithHint is Multicast with a coalescing deadline shared by
+// every copy.
+func (t *Transport) MulticastWithHint(peerNames []string, id stream.ID, m message.Message, hint FlushHint) (int, error) {
+	return t.multicast(nil, nil, peerNames, id, m, hint)
+}
+
+// MulticastBus is MulticastWithHint where busPeers are additionally
+// reachable through bus: one publish onto the bus covers all of them,
+// and peerNames get the shared-frame pairwise path. When the frame
+// cannot ride the bus (too large, bus medium dead, or a payload with no
+// binary encoding), busPeers fold into the pairwise set — every bus
+// destination must therefore also be a connected peer.
+func (t *Transport) MulticastBus(bus *Bus, busPeers, peerNames []string, id stream.ID, m message.Message, hint FlushHint) (int, error) {
+	return t.multicast(bus, busPeers, peerNames, id, m, hint)
+}
+
+func (t *Transport) multicast(bus *Bus, busPeers, peerNames []string, id stream.ID, m message.Message, hint FlushHint) (int, error) {
+	if bus == nil && len(busPeers) > 0 {
+		peerNames = append(append(make([]string, 0, len(peerNames)+len(busPeers)), peerNames...), busPeers...)
+		busPeers = nil
+	}
+	if len(peerNames) == 0 && len(busPeers) == 0 {
+		return 0, nil
+	}
+
+	// Choose the shared encoding, mirroring writeMsg: raw binary frames
+	// are universal; typed frames are shared with peers that advertised
+	// the codec (others downgrade to per-peer gob); payloads with no
+	// binary encoding have nothing to share.
+	var (
+		typed   bool
+		codecID uint64
+		version uint8
+		marshal func([]byte) []byte
+		rawBody []byte
+	)
+	shareable := true
+	switch {
+	case rawEligible(m):
+		rawBody, _ = m.Payload.([]byte)
+	default:
+		if fp, ok := m.Payload.(FramePayload); ok {
+			if c := lookupCodec(fp.FrameCodec()); c != nil {
+				typed, codecID, version, marshal = true, c.ID, c.Version, fp.MarshalFrame
+			} else {
+				shareable = false
+			}
+		} else if d, ok := m.Payload.(time.Duration); ok {
+			typed, codecID, version = true, DurationCodecID, 1
+			marshal = func(dst []byte) []byte { return AppendVarint(dst, int64(d)) }
+		} else {
+			shareable = false
+		}
+	}
+
+	var delivered int
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	sendSolo := func(name string) {
+		if err := t.send(name, outMsg{id: id, m: m, flushBy: hint.FlushBy}); err != nil {
+			fail(err)
+		} else {
+			delivered++
+		}
+	}
+
+	if !shareable {
+		// No peer-independent encoding exists (gob-only payload): every
+		// destination pays its own encode, and the bus cannot carry it.
+		for _, name := range busPeers {
+			sendSolo(name)
+		}
+		for _, name := range peerNames {
+			sendSolo(name)
+		}
+		return delivered, firstErr
+	}
+
+	// The shared encode is lazy: a fanout whose destinations are all
+	// ValueConn peers (same-process links) never needs wire bytes at all.
+	var sink frameBuf
+	encoded := false
+	encode := func() error {
+		if encoded {
+			return nil
+		}
+		sink.b = AcquirePayload(96 + len(rawBody))[:0]
+		var err error
+		if typed {
+			_, err = writeTypedFrame(&sink, id, m, codecID, version, marshal)
+		} else {
+			_, err = writeRawFrame(&sink, id, m)
+		}
+		if err != nil {
+			RecyclePayload(sink.b)
+			return err
+		}
+		encoded = true
+		return nil
+	}
+
+	// One bus publish covers every bus destination; a frame the bus
+	// cannot carry spills its destinations into the pairwise set.
+	if bus != nil && len(busPeers) > 0 {
+		if err := encode(); err != nil {
+			return 0, err
+		}
+		if berr := bus.write(sink.b); berr == nil {
+			delivered += len(busPeers)
+			t.sent.Add(uint64(len(busPeers)))
+			if typed {
+				t.typedSent.Add(1)
+			} else {
+				t.rawSent.Add(1)
+			}
+		} else {
+			peerNames = append(append(make([]string, 0, len(peerNames)+len(busPeers)), peerNames...), busPeers...)
+			if !errors.Is(berr, errBusOversize) {
+				fail(berr)
+			}
+		}
+	}
+
+	// Partition the pairwise destinations: peers that decode the shared
+	// encoding take the refcounted frame; ValueConn peers take the value
+	// with no bytes at all; codec-skewed peers downgrade to their own
+	// gob envelope.
+	peers := *t.peers.Load()
+	share := make([]*peer, 0, len(peerNames))
+	origTaken := false
+	for _, name := range peerNames {
+		p := peers[name]
+		switch {
+		case p == nil:
+			fail(fmt.Errorf("comm: %s has no peer %q", t.name, name))
+		case p.vc != nil:
+			// Value delivery transfers payload ownership to the receiver,
+			// and a pooled []byte cannot have two owners: the first value
+			// destination takes the original, later ones take a pooled
+			// copy. (Typed payloads are shared by value and treated as
+			// immutable per the ValueConn contract.)
+			mv := m
+			copied := false
+			if b, ok := m.Payload.([]byte); ok && origTaken {
+				mv.Payload = append(AcquirePayload(len(b))[:0], b...)
+				copied = true
+			}
+			if err := t.sendValue(p, outMsg{id: id, m: mv, flushBy: hint.FlushBy}); err != nil {
+				if copied {
+					RecyclePayload(mv.Payload.([]byte))
+				}
+				fail(err)
+			} else {
+				delivered++
+				if !copied {
+					origTaken = true
+				}
+			}
+		case typed && !p.decodes(codecID, version):
+			sendSolo(name)
+		default:
+			share = append(share, p)
+		}
+	}
+	if len(share) == 0 {
+		if encoded {
+			RecyclePayload(sink.b)
+		}
+		return delivered, firstErr
+	}
+	if err := encode(); err != nil {
+		fail(err)
+		return delivered, firstErr
+	}
+
+	bf := newBroadcastFrame(sink.b, typed, int32(len(share)))
+	for _, p := range share {
+		o := outMsg{id: id, bcast: bf, flushBy: hint.FlushBy}
+		if err := t.sendShared(p, o); err != nil {
+			// The destination never took ownership: this reference is
+			// still the sender's to drop.
+			bf.release()
+			fail(err)
+		} else {
+			delivered++
+		}
+	}
+	return delivered, firstErr
+}
+
+// sendShared dispatches a shared-frame message to p. On success the
+// destination owns one reference (its write loop — or the drain that
+// follows its death — releases it); on error the caller still does.
+func (t *Transport) sendShared(p *peer, o outMsg) error {
+	if p.direct {
+		return t.sendDirect(p, o)
+	}
+	select {
+	case p.out <- o:
+		t.sent.Add(1)
+		return nil
+	case <-p.done:
+		return errors.New("comm: peer connection closed")
+	}
+}

@@ -1,0 +1,548 @@
+// The SPMC broadcast ring: a single-writer, multi-reader variant of the
+// SPSC ring for same-host fanout. One producer publishes each frame into
+// shared memory exactly once; every attached reader consumes the same
+// record stream through its own cursor. Space reclamation is governed by
+// the slowest reader's watermark — the writer may only overwrite bytes
+// every active reader has released — and a reader that lags so far the
+// writer starves is *evicted*: its slot is marked, its frames stop, and
+// the producer falls back to per-link delivery for it (the same fault
+// model as a severed link).
+//
+// Like ring.go, this file is the pure in-memory core — layout, cursors,
+// reclaim and eviction — over a plain []byte with no OS dependencies, so
+// wraparound, late-join, lag and corruption paths are unit- and
+// fuzz-testable without mmap. broadcast.go adds the mmap/rendezvous glue.
+package shm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Broadcast ring file layout. The writer's cursor line and each reader's
+// slot live on separate cache lines so one side's hot stores do not
+// invalidate another's line.
+//
+//	offset 0    magic      u64 ("ERDSHM02")
+//	offset 8    capacity   u64 (power of two, data-region bytes)
+//	offset 16   closed     u32 (writer sets; sticky)
+//	offset 20   maxReaders u32
+//	offset 64   tail       u64 (writer cursor, free-running) ┐
+//	offset 72   wrPark     u32 (writer parked)               │ writer line
+//	offset 80   frontier   u64 (furthest staged write, see below)
+//	offset 128  reader slots, maxReaders × 64 bytes:
+//	              +0  head  u64 (reader cursor, free-running)
+//	              +8  state u32 (free / active / evicted)
+//	              +12 park  u32 (reader parked, wants data wake)
+//	offset 128 + maxReaders*64   data region (capacity bytes)
+//
+// Records are the same [u32 length][u32 sequence][body] trains as the
+// SPSC ring, chunked at capacity/4. Sequence numbers are global to the
+// ring; a reader attaching mid-stream adopts the first sequence it sees
+// and validates strict increments from there.
+const (
+	bringMagic = 0x45524453484d3032 // "ERDSHM02"
+
+	offBMaxReaders = 20
+	offBTail       = 64
+	offBWrPark     = 72
+	offBFrontier   = 80
+	bringSlotsOff  = 128
+	bringSlotSize  = 64
+	slotHeadOff    = 0
+	slotStateOff   = 8
+	slotParkOff    = 12
+
+	// Reader slot states. free→active happens at attach (head is
+	// initialized first, under the group's publish lock); active→evicted
+	// is the writer cutting a lagging reader loose; evicted→free (and
+	// active→free on clean detach) happens once the reader's rendezvous
+	// socket closes.
+	slotFree    = 0
+	slotActive  = 1
+	slotEvicted = 2
+
+	// maxBroadcastReaders bounds the slot count accepted from a mapped
+	// header, like min/maxRingBytes bound capacity.
+	maxBroadcastReaders = 64
+
+	// DefaultBroadcastReaders is the slot count NewBroadcastGroup
+	// allocates: enough for every same-host consumer of a fanout-heavy
+	// pipeline stage, cheap enough (64 B/slot) to never matter.
+	DefaultBroadcastReaders = 8
+)
+
+// ErrEvicted is the sticky reader error after the writer cut this reader
+// loose for lagging (or its record stream was overwritten mid-read, the
+// detectable symptom of the same condition). The consumer falls back to
+// its per-link connection.
+var ErrEvicted = errors.New("shm: broadcast reader evicted")
+
+// bring is the mapped SPMC ring. Atomic fields point into the mapped
+// memory, visible to every attached process.
+type bring struct {
+	mem    []byte
+	data   []byte
+	cap    uint64
+	mask   uint64
+	nslots int
+
+	tail   *atomic.Uint64
+	closed *atomic.Uint32
+	wrPark *atomic.Uint32
+
+	// frontier is the exclusive end of the furthest byte the writer has
+	// staged or published, stored BEFORE the bytes themselves are copied
+	// in (a seqlock-style write-begin marker). A reader validates each
+	// copy-out after the fact: bytes at [start, start+n) were overwritten
+	// iff frontier > start+capacity. For active readers this can never
+	// fire — the writer's space constraint keeps frontier <= minHead +
+	// capacity — so it exactly detects the lap an evicted reader takes.
+	frontier *atomic.Uint64
+}
+
+func bringSize(capacity uint64, nslots int) int {
+	return bringSlotsOff + nslots*bringSlotSize + int(capacity)
+}
+
+func (b *bring) slot(i int) []byte {
+	off := bringSlotsOff + i*bringSlotSize
+	return b.mem[off : off+bringSlotSize]
+}
+
+func (b *bring) slotHead(i int) *atomic.Uint64 {
+	return (*atomic.Uint64)(unsafe.Pointer(&b.slot(i)[slotHeadOff]))
+}
+
+func (b *bring) slotState(i int) *atomic.Uint32 {
+	return (*atomic.Uint32)(unsafe.Pointer(&b.slot(i)[slotStateOff]))
+}
+
+func (b *bring) slotPark(i int) *atomic.Uint32 {
+	return (*atomic.Uint32)(unsafe.Pointer(&b.slot(i)[slotParkOff]))
+}
+
+// initBring stamps a fresh broadcast ring header into mem.
+func initBring(mem []byte, capacity uint64, nslots int) (*bring, error) {
+	if nslots < 1 || nslots > maxBroadcastReaders ||
+		len(mem) != bringSize(capacity, nslots) {
+		return nil, errRingLayout
+	}
+	dataOff := bringSlotsOff + nslots*bringSlotSize
+	for i := range mem[:dataOff] {
+		mem[i] = 0
+	}
+	binary.LittleEndian.PutUint64(mem[0:8], bringMagic)
+	binary.LittleEndian.PutUint64(mem[offCapacity:], capacity)
+	binary.LittleEndian.PutUint32(mem[offBMaxReaders:], uint32(nslots))
+	return openBring(mem)
+}
+
+// openBring validates mem's header and returns cursors over it. Like
+// openRing it accepts arbitrary bytes (the fuzz target feeds it hostile
+// headers), so every field is range-checked before use.
+func openBring(mem []byte) (*bring, error) {
+	if len(mem) < bringSlotsOff+bringSlotSize {
+		return nil, errRingLayout
+	}
+	if uintptr(unsafe.Pointer(&mem[0]))%8 != 0 {
+		return nil, errRingLayout
+	}
+	if binary.LittleEndian.Uint64(mem[0:8]) != bringMagic {
+		return nil, errRingLayout
+	}
+	capacity := binary.LittleEndian.Uint64(mem[offCapacity:])
+	if capacity < minRingBytes || capacity > maxRingBytes || capacity&(capacity-1) != 0 {
+		return nil, errRingLayout
+	}
+	nslots := binary.LittleEndian.Uint32(mem[offBMaxReaders:])
+	if nslots < 1 || nslots > maxBroadcastReaders {
+		return nil, errRingLayout
+	}
+	if len(mem) != bringSize(capacity, int(nslots)) {
+		return nil, errRingLayout
+	}
+	dataOff := bringSlotsOff + int(nslots)*bringSlotSize
+	b := &bring{
+		mem:      mem,
+		data:     mem[dataOff:],
+		cap:      capacity,
+		mask:     capacity - 1,
+		nslots:   int(nslots),
+		tail:     (*atomic.Uint64)(unsafe.Pointer(&mem[offBTail])),
+		closed:   (*atomic.Uint32)(unsafe.Pointer(&mem[offClosed])),
+		wrPark:   (*atomic.Uint32)(unsafe.Pointer(&mem[offBWrPark])),
+		frontier: (*atomic.Uint64)(unsafe.Pointer(&mem[offBFrontier])),
+	}
+	return b, nil
+}
+
+func (b *bring) copyIn(pos uint64, p []byte) {
+	i := pos & b.mask
+	n := copy(b.data[i:], p)
+	if n < len(p) {
+		copy(b.data, p[n:])
+	}
+}
+
+func (b *bring) copyOut(pos uint64, p []byte) {
+	i := pos & b.mask
+	n := copy(p, b.data[i:])
+	if n < len(p) {
+		copy(p[n:], b.data[:len(p)-n])
+	}
+}
+
+// minHead returns the slowest active reader's cursor — the writer's
+// reclaim bound. With no active readers everything up to tail is
+// reclaimable (records are published into the void; a later attacher
+// starts at the current tail).
+func (b *bring) minHead(tail uint64) uint64 {
+	min := tail
+	for i := 0; i < b.nslots; i++ {
+		if b.slotState(i).Load() == slotActive {
+			if h := b.slotHead(i).Load(); h < min {
+				min = h
+			}
+		}
+	}
+	return min
+}
+
+// attach claims a free slot for a new reader joining at tail (the
+// writer's *published* cursor). The caller must hold the group's publish
+// lock so the writer cannot reclaim past the new head between the head
+// store and the state store. Returns false when every slot is taken.
+func (b *bring) attach(tail uint64) (int, bool) {
+	for i := 0; i < b.nslots; i++ {
+		if b.slotState(i).Load() == slotFree {
+			b.slotHead(i).Store(tail)
+			b.slotPark(i).Store(0)
+			b.slotState(i).Store(slotActive)
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// evictSlowest marks the active reader with the smallest head evicted and
+// returns its slot. The caller must hold the group's publish lock.
+func (b *bring) evictSlowest() (int, bool) {
+	slot, found := -1, false
+	var min uint64
+	for i := 0; i < b.nslots; i++ {
+		if b.slotState(i).Load() != slotActive {
+			continue
+		}
+		if h := b.slotHead(i).Load(); !found || h < min {
+			slot, min, found = i, h, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	b.slotState(slot).Store(slotEvicted)
+	return slot, true
+}
+
+// freeSlot recycles a slot once its reader's rendezvous socket has
+// closed — the reader can no longer be mid-copy by the time its socket
+// EOF is observed on the writer side, and even if it were, the torn-read
+// check catches an overwrite.
+func (b *bring) freeSlot(i int) {
+	if i >= 0 && i < b.nslots {
+		b.slotState(i).Store(slotFree)
+	}
+}
+
+// bringWriter is the producer cursor: a comm.FrameSink publishing one
+// record per Flush, chunked at capacity/4, exactly like ringWriter — but
+// bounded by the slowest active reader instead of a single consumer.
+// Single-producer; the BroadcastGroup serializes access.
+type bringWriter struct {
+	b      *bring
+	tail   uint64
+	staged uint64
+	seq    uint32
+	chunk  uint64
+	err    error
+	spills atomic.Uint64
+
+	// waitSpace blocks until minHead(tail) >= need or the ring dies; the
+	// OS layer's implementation evicts the slowest reader after a grace
+	// period instead of blocking forever. wakeData wakes parked readers
+	// after a publish.
+	waitSpace func(need uint64) error
+	wakeData  func(slot int)
+}
+
+func newBringWriter(b *bring) *bringWriter {
+	w := &bringWriter{b: b, tail: b.tail.Load(), chunk: b.cap / 4}
+	w.waitSpace = func(need uint64) error {
+		for b.minHead(b.tail.Load()) < need {
+			if b.closed.Load() != 0 {
+				return errRingClosed
+			}
+			runtime.Gosched()
+		}
+		return nil
+	}
+	w.wakeData = func(int) {}
+	return w
+}
+
+func (w *bringWriter) free() int64 {
+	minHead := w.b.minHead(w.tail)
+	return int64(w.b.cap) - int64(w.tail+recHdrSize+w.staged-minHead)
+}
+
+func (w *bringWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	total := len(p)
+	for len(p) > 0 {
+		if w.staged >= w.chunk {
+			w.spills.Add(1)
+			if err := w.publish(); err != nil {
+				return total - len(p), err
+			}
+		}
+		avail := w.free()
+		if avail <= 0 {
+			if w.staged > 0 {
+				w.spills.Add(1)
+			}
+			if err := w.publish(); err != nil {
+				return total - len(p), err
+			}
+			need := w.tail + recHdrSize + 1
+			if need < w.b.cap {
+				need = 0
+			} else {
+				need -= w.b.cap
+			}
+			if err := w.waitSpace(need); err != nil {
+				w.err = err
+				return total - len(p), err
+			}
+			continue
+		}
+		n := uint64(len(p))
+		if n > uint64(avail) {
+			n = uint64(avail)
+		}
+		if rem := w.chunk - w.staged; n > rem {
+			n = rem
+		}
+		w.b.frontier.Store(w.tail + recHdrSize + w.staged + n)
+		w.b.copyIn(w.tail+recHdrSize+w.staged, p[:n])
+		w.staged += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+func (w *bringWriter) WriteByte(c byte) error {
+	if w.err == nil && w.staged < w.chunk && w.free() > 0 {
+		w.b.frontier.Store(w.tail + recHdrSize + w.staged + 1)
+		w.b.data[(w.tail+recHdrSize+w.staged)&w.b.mask] = c
+		w.staged++
+		return nil
+	}
+	var buf [1]byte
+	buf[0] = c
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// publish seals the staged bytes as one record and wakes every parked
+// active reader.
+func (w *bringWriter) publish() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.b.closed.Load() != 0 {
+		w.err = errRingClosed
+		return w.err
+	}
+	if w.staged == 0 {
+		return nil
+	}
+	var hdr [recHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(w.staged))
+	binary.LittleEndian.PutUint32(hdr[4:8], w.seq)
+	w.b.copyIn(w.tail, hdr[:])
+	w.tail += recHdrSize + w.staged
+	w.staged = 0
+	w.seq++
+	w.b.tail.Store(w.tail)
+	for i := 0; i < w.b.nslots; i++ {
+		if w.b.slotState(i).Load() == slotActive &&
+			w.b.slotPark(i).Load() != 0 && w.b.slotPark(i).Swap(0) != 0 {
+			w.wakeData(i)
+		}
+	}
+	return nil
+}
+
+// Flush publishes the staged record; the FrameSink frame-train boundary.
+func (w *bringWriter) Flush() error { return w.publish() }
+
+// Spills implements comm.SpillCounter for the broadcast ring.
+func (w *bringWriter) Spills() uint64 { return w.spills.Load() }
+
+// bringReader is one reader's cursor. Unlike the SPSC ringReader it may
+// join mid-stream (adopting the first sequence it observes) and must
+// tolerate the writer lapping it after an eviction: every copy out of
+// the data region is followed by a torn-read check against the writer's
+// furthest possible write position, so an overwritten record surfaces as
+// ErrEvicted instead of garbage bytes.
+type bringReader struct {
+	b         *bring
+	slot      int
+	pos       uint64
+	remaining uint64
+	seq       uint32
+	started   bool
+	err       error
+
+	waitData  func(pos uint64) error
+	wakeSpace func()
+}
+
+func newBringReader(b *bring, slot int) *bringReader {
+	rd := &bringReader{b: b, slot: slot, pos: b.slotHead(slot).Load()}
+	rd.waitData = func(pos uint64) error {
+		for b.tail.Load() <= pos {
+			if b.slotState(slot).Load() == slotEvicted {
+				return ErrEvicted
+			}
+			if b.closed.Load() != 0 {
+				if b.tail.Load() > pos {
+					return nil
+				}
+				return errRingClosed
+			}
+			runtime.Gosched()
+		}
+		return nil
+	}
+	rd.wakeSpace = func() {}
+	return rd
+}
+
+// torn reports whether bytes just copied out from start may have been
+// overwritten by the writer. The writer stores its write frontier before
+// copying bytes in, so if any byte at or past start's ring offset was
+// rewritten, the frontier observed here already exceeds start+capacity.
+// For an active reader the writer's space constraint keeps the frontier
+// at or below minHead+capacity <= start+capacity, so this never fires;
+// after an eviction it detects the writer's lap deterministically.
+func (rd *bringReader) torn(start uint64) bool {
+	return rd.b.frontier.Load() > start+rd.b.cap
+}
+
+func (rd *bringReader) fail(err error) error {
+	rd.err = err
+	return err
+}
+
+func (rd *bringReader) readHeader() error {
+	if rd.b.slotState(rd.slot).Load() == slotEvicted {
+		return rd.fail(ErrEvicted)
+	}
+	if err := rd.waitData(rd.pos); err != nil {
+		return rd.fail(err)
+	}
+	var hdr [recHdrSize]byte
+	rd.b.copyOut(rd.pos, hdr[:])
+	if rd.torn(rd.pos) {
+		return rd.fail(ErrEvicted)
+	}
+	ln := binary.LittleEndian.Uint32(hdr[0:4])
+	seq := binary.LittleEndian.Uint32(hdr[4:8])
+	if !rd.started {
+		// Mid-stream join: adopt the stream's sequence at our first
+		// record; strict increments are enforced from here on.
+		rd.seq = seq
+		rd.started = true
+	}
+	if seq != rd.seq {
+		return rd.fail(fmt.Errorf("%w: sequence %d, want %d", ErrRingCorrupt, seq, rd.seq))
+	}
+	if ln == 0 || uint64(ln) > rd.b.cap-recHdrSize {
+		return rd.fail(fmt.Errorf("%w: record length %d", ErrRingCorrupt, ln))
+	}
+	if rd.pos+recHdrSize+uint64(ln) > rd.b.tail.Load() {
+		return rd.fail(fmt.Errorf("%w: record overruns published tail", ErrRingCorrupt))
+	}
+	rd.pos += recHdrSize
+	rd.remaining = uint64(ln)
+	rd.seq++
+	return nil
+}
+
+// release publishes the new head (freeing space behind this reader) and
+// wakes a parked writer.
+func (rd *bringReader) release() {
+	rd.b.slotHead(rd.slot).Store(rd.pos)
+	if rd.b.wrPark.Load() != 0 && rd.b.wrPark.Swap(0) != 0 {
+		rd.wakeSpace()
+	}
+}
+
+func (rd *bringReader) Read(p []byte) (int, error) {
+	if rd.err != nil {
+		return 0, rd.err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if rd.remaining == 0 {
+		if err := rd.readHeader(); err != nil {
+			return 0, err
+		}
+	}
+	n := uint64(len(p))
+	if n > rd.remaining {
+		n = rd.remaining
+	}
+	start := rd.pos
+	rd.b.copyOut(start, p[:n])
+	if rd.torn(start) {
+		return 0, rd.fail(ErrEvicted)
+	}
+	rd.pos += n
+	rd.remaining -= n
+	if rd.remaining == 0 {
+		rd.release()
+	}
+	return int(n), nil
+}
+
+func (rd *bringReader) ReadByte() (byte, error) {
+	if rd.err != nil {
+		return 0, rd.err
+	}
+	if rd.remaining == 0 {
+		if err := rd.readHeader(); err != nil {
+			return 0, err
+		}
+	}
+	start := rd.pos
+	c := rd.b.data[start&rd.b.mask]
+	if rd.torn(start) {
+		return 0, rd.fail(ErrEvicted)
+	}
+	rd.pos++
+	rd.remaining--
+	if rd.remaining == 0 {
+		rd.release()
+	}
+	return c, nil
+}

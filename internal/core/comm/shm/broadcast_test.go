@@ -1,0 +1,357 @@
+package shm
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testBring(t *testing.T, capacity uint64, nslots int) *bring {
+	t.Helper()
+	mem := make([]byte, bringSize(capacity, nslots))
+	b, err := initBring(mem, capacity, nslots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBringFanoutIdenticalStreams attaches three readers before any
+// publish, streams far more data than the ring holds, and requires every
+// reader to observe the identical byte stream — the single-encode fanout
+// invariant at the ring level.
+func TestBringFanoutIdenticalStreams(t *testing.T) {
+	b := testBring(t, minRingBytes, 4)
+	const readers = 3
+	slots := make([]int, readers)
+	for i := range slots {
+		slot, ok := b.attach(0)
+		if !ok {
+			t.Fatal("attach failed with free slots available")
+		}
+		slots[i] = slot
+	}
+	w := newBringWriter(b)
+
+	rng := rand.New(rand.NewSource(11))
+	var sent []byte
+	for len(sent) < 48<<10 {
+		n := 1 + rng.Intn(2000)
+		chunk := make([]byte, n)
+		rng.Read(chunk)
+		sent = append(sent, chunk...)
+	}
+
+	var wg sync.WaitGroup
+	got := make([][]byte, readers)
+	for i := 0; i < readers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rd := newBringReader(b, slots[i])
+			buf := make([]byte, len(sent))
+			if _, err := io.ReadFull(rd, buf); err != nil {
+				t.Errorf("reader %d: %v", i, err)
+				return
+			}
+			got[i] = buf
+		}()
+	}
+	rem := sent
+	for len(rem) > 0 {
+		n := 1 + rng.Intn(1500)
+		if n > len(rem) {
+			n = len(rem)
+		}
+		if _, err := w.Write(rem[:n]); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		rem = rem[n:]
+	}
+	wg.Wait()
+	for i := 0; i < readers; i++ {
+		if !bytes.Equal(sent, got[i]) {
+			t.Fatalf("reader %d saw a corrupted stream", i)
+		}
+	}
+}
+
+// TestBringLateJoinAdoptsSequence publishes records into the void, then
+// attaches a reader at the published tail and requires it to see exactly
+// the post-join records — adopting the mid-stream sequence number rather
+// than rejecting it.
+func TestBringLateJoinAdoptsSequence(t *testing.T) {
+	b := testBring(t, minRingBytes, 2)
+	w := newBringWriter(b)
+	for _, rec := range [][]byte{[]byte("before-1"), []byte("before-2")} {
+		w.Write(rec)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slot, ok := b.attach(b.tail.Load())
+	if !ok {
+		t.Fatal("attach failed")
+	}
+	after := []byte("after-the-join")
+	w.Write(after)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd := newBringReader(b, slot)
+	got := make([]byte, len(after))
+	if _, err := io.ReadFull(rd, got); err != nil {
+		t.Fatalf("late joiner read: %v", err)
+	}
+	if !bytes.Equal(after, got) {
+		t.Fatalf("late joiner got %q, want %q", got, after)
+	}
+}
+
+// TestBringEvictSlowestFreesWriter stalls one of two readers, lets the
+// writer's waitSpace evict it, and requires (a) the fast reader's stream
+// to stay intact and (b) the stalled reader to surface ErrEvicted rather
+// than garbage bytes.
+func TestBringEvictSlowestFreesWriter(t *testing.T) {
+	b := testBring(t, minRingBytes, 2)
+	fastSlot, _ := b.attach(0)
+	stallSlot, _ := b.attach(0)
+	w := newBringWriter(b)
+	evicted := false
+	w.waitSpace = func(need uint64) error {
+		if b.minHead(b.tail.Load()) >= need {
+			return nil
+		}
+		slot, ok := b.evictSlowest()
+		if !ok {
+			t.Fatal("waitSpace starved with no reader to evict")
+		}
+		if slot != stallSlot {
+			t.Fatalf("evicted slot %d, want stalled slot %d", slot, stallSlot)
+		}
+		evicted = true
+		return nil
+	}
+
+	fast := newBringReader(b, fastSlot)
+	rec := bytes.Repeat([]byte{0x5a}, 512)
+	for i := 0; i < 20; i++ { // 20 records ≈ 2.5× the ring
+		if _, err := w.Write(rec); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("flush %d: %v", i, err)
+		}
+		got := make([]byte, len(rec))
+		if _, err := io.ReadFull(fast, got); err != nil {
+			t.Fatalf("fast read %d: %v", i, err)
+		}
+		if !bytes.Equal(rec, got) {
+			t.Fatalf("fast reader corrupted at record %d", i)
+		}
+	}
+	if !evicted {
+		t.Fatal("stalled reader was never evicted")
+	}
+	stalled := newBringReader(b, stallSlot)
+	for i := 0; i < 64; i++ {
+		if _, err := stalled.Read(make([]byte, 512)); err != nil {
+			if !errors.Is(err, ErrEvicted) && !errors.Is(err, ErrRingCorrupt) {
+				t.Fatalf("stalled reader err = %v, want ErrEvicted or ErrRingCorrupt", err)
+			}
+			return
+		}
+	}
+	t.Fatal("stalled reader kept reading past its eviction")
+}
+
+func testGroup(t *testing.T, ringBytes int) *BroadcastGroup {
+	t.Helper()
+	b := New()
+	b.Dir = t.TempDir()
+	b.RingBytes = ringBytes
+	g, err := b.NewBroadcastGroup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+// TestBroadcastGroupFanout drives the full rendezvous: three readers join
+// over the socket, the producer publishes through Sink once per record,
+// and every reader decodes the identical stream. Leaving readers drop out
+// of Members.
+func TestBroadcastGroupFanout(t *testing.T) {
+	g := testGroup(t, minRingBytes)
+	const readers = 3
+	rs := make([]*BusReader, readers)
+	names := []string{"alpha", "beta", "gamma"}
+	for i := range rs {
+		r, err := JoinBroadcast(g.Addr(), names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		rs[i] = r
+	}
+	if n := len(g.Members()); n != readers {
+		t.Fatalf("Members() = %d, want %d", n, readers)
+	}
+
+	sink := g.Sink()
+	var sent []byte
+	rng := rand.New(rand.NewSource(23))
+	for len(sent) < 32<<10 {
+		rec := make([]byte, 1+rng.Intn(1200))
+		rng.Read(rec)
+		sent = append(sent, rec...)
+	}
+
+	var wg sync.WaitGroup
+	got := make([][]byte, readers)
+	for i := range rs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, len(sent))
+			if _, err := io.ReadFull(rs[i], buf); err != nil {
+				t.Errorf("reader %s: %v", names[i], err)
+				return
+			}
+			got[i] = buf
+		}()
+	}
+	rem := sent
+	for len(rem) > 0 {
+		n := 1 + rng.Intn(900)
+		if n > len(rem) {
+			n = len(rem)
+		}
+		if _, err := sink.Write(rem[:n]); err != nil {
+			t.Fatalf("sink write: %v", err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatalf("sink flush: %v", err)
+		}
+		rem = rem[n:]
+	}
+	wg.Wait()
+	for i := range got {
+		if !bytes.Equal(sent, got[i]) {
+			t.Fatalf("reader %s saw a corrupted stream", names[i])
+		}
+	}
+
+	rs[1].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(g.Members()) != readers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Members() = %v after a reader left", g.Members())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBroadcastEvictionOfStalledReader wedges one of two joined readers
+// and keeps publishing past the ring capacity. The writer must evict the
+// stalled reader within EvictAfter instead of blocking the whole fanout,
+// the fast reader's stream must stay intact, and the evicted reader must
+// surface a clean error — its cue to fall back to per-link delivery.
+func TestBroadcastEvictionOfStalledReader(t *testing.T) {
+	g := testGroup(t, minRingBytes)
+	g.EvictAfter = 30 * time.Millisecond
+
+	fast, err := JoinBroadcast(g.Addr(), "fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	stalled, err := JoinBroadcast(g.Addr(), "stalled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+
+	rec := bytes.Repeat([]byte{0xcd}, 512)
+	total := 24 * len(rec) // 3× the ring capacity
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, total)
+		if _, err := io.ReadFull(fast, buf); err != nil {
+			t.Errorf("fast reader: %v", err)
+			return
+		}
+		for i, c := range buf {
+			if c != 0xcd {
+				t.Errorf("fast reader corrupted at byte %d", i)
+				return
+			}
+		}
+	}()
+
+	sink := g.Sink()
+	for i := 0; i < total/len(rec); i++ {
+		if _, err := sink.Write(rec); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatalf("flush %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+
+	if ev := g.Evictions(); ev == 0 {
+		t.Fatal("stalled reader was never evicted")
+	}
+	set := g.MemberSet()
+	if set["stalled"] || !set["fast"] {
+		t.Fatalf("MemberSet() = %v, want fast only", set)
+	}
+	// The evicted reader must fail cleanly — ErrEvicted from its slot
+	// state or torn-read check, EOF from the severed socket, or corrupt
+	// if it trips on an overwritten header — never hang or return junk
+	// silently.
+	for i := 0; i < 64; i++ {
+		if _, err := stalled.Read(make([]byte, 512)); err != nil {
+			if !errors.Is(err, ErrEvicted) && !errors.Is(err, io.EOF) &&
+				!errors.Is(err, ErrRingCorrupt) {
+				t.Fatalf("evicted reader err = %v", err)
+			}
+			return
+		}
+	}
+	t.Fatal("evicted reader kept reading indefinitely")
+}
+
+// TestBroadcastJoinRefusedWhenFull fills every reader slot and asserts
+// the next join fails cleanly — the caller's cue to stay on per-link
+// delivery.
+func TestBroadcastJoinRefusedWhenFull(t *testing.T) {
+	b := New()
+	b.Dir = t.TempDir()
+	g, err := b.NewBroadcastGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	r, err := JoinBroadcast(g.Addr(), "only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := JoinBroadcast(g.Addr(), "overflow"); err == nil {
+		t.Fatal("join succeeded with no free slots")
+	}
+}

@@ -178,6 +178,12 @@ type ringWriter struct {
 	chunk  uint64
 	err    error
 
+	// spills counts records force-published mid-train: frame trains
+	// larger than the chunk budget (or the free space) streaming through
+	// the ring in pieces. Written by the single producer, read by stats
+	// snapshots (comm.SpillCounter), hence atomic.
+	spills atomic.Uint64
+
 	// waitSpace blocks until head >= minHead (enough freed space) or the
 	// link dies; wakeData unparks a consumer after a publish. Wired to
 	// the Conn's park/wake machinery; tests use spinning defaults.
@@ -213,6 +219,7 @@ func (w *ringWriter) Write(b []byte) (int, error) {
 	total := len(b)
 	for len(b) > 0 {
 		if w.staged >= w.chunk {
+			w.spills.Add(1)
 			if err := w.publish(); err != nil {
 				return total - len(b), err
 			}
@@ -222,6 +229,9 @@ func (w *ringWriter) Write(b []byte) (int, error) {
 			// Publish what is staged so the consumer can drain it —
 			// otherwise a train larger than the free space deadlocks —
 			// then block until at least one byte of space frees up.
+			if w.staged > 0 {
+				w.spills.Add(1)
+			}
 			if err := w.publish(); err != nil {
 				return total - len(b), err
 			}
@@ -297,6 +307,12 @@ func (w *ringWriter) publish() error {
 // Flush publishes the staged record; it is the FrameSink frame-train
 // boundary.
 func (w *ringWriter) Flush() error { return w.publish() }
+
+// Spills implements comm.SpillCounter: how many records were
+// force-published mid-train because the train outgrew the chunk budget
+// or the free space. comm surfaces it per link as
+// PeerCoalesceStats.ShmSpillCount.
+func (w *ringWriter) Spills() uint64 { return w.spills.Load() }
 
 // ringReader is the consumer cursor: a comm.FrameSource that validates
 // record headers and hands out the byte stream records carry.

@@ -1,0 +1,300 @@
+// The fanout edge of the comm perf trajectory: one producer, N
+// subscribers, 4KB raw frames, measured across the four data paths a
+// fanout send can take. tcp-per-link is the naive baseline (one encode
+// and one socket write per subscriber); tcp-multicast shares one encoded
+// refcounted frame across every link's write loop; shm-broadcast covers
+// every same-host subscriber with a single publish onto an SPMC broadcast
+// ring; inproc hands same-process subscribers the payload value with no
+// serialization at all. WireBytesPerOp is what the producer actually
+// encoded onto its links and rings per fanout — the number the single-
+// encode work exists to flatten: per-link grows linearly in N, the ring
+// stays one frame regardless of N, and inproc stays zero.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/comm/inproc"
+	"github.com/erdos-go/erdos/internal/core/comm/shm"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/timestamp"
+)
+
+// fanPayload is the fanout frame body size: one camera-frame-metadata-ish
+// message, matching the 4KB round-trip benches.
+const fanPayload = 4096
+
+// FanoutPoint is one (config, subscriber-count) measurement of the
+// fanout edge.
+type FanoutPoint struct {
+	Config         string  `json:"config"`
+	Subscribers    int     `json:"subscribers"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	WireBytesPerOp float64 `json:"wire_bytes_per_op"`
+	Goroutines     int     `json:"goroutines,omitempty"`
+}
+
+// FanoutBench measures the fanout edge. The full run sweeps N subscribers
+// in {1,2,4} with the five-run statistics of the recorded bench; short is
+// the CI smoke shape — N=4 only, one run per config, enough to catch a
+// broken fast path without the full sweep's wall time.
+func FanoutBench(short bool) []FanoutPoint {
+	subs := []int{1, 2, 4}
+	if short {
+		subs = []int{4}
+	}
+	configs := []struct {
+		name string
+		f    func(n int, wire *float64) func(*testing.B)
+	}{
+		{"tcp-per-link", benchFanoutPerLink},
+		{"tcp-multicast", benchFanoutMulticast},
+		{"shm-broadcast", benchFanoutShmBroadcast},
+		{"inproc", benchFanoutInproc},
+	}
+	var out []FanoutPoint
+	for _, n := range subs {
+		for _, cfg := range configs {
+			// wire is written by the final (largest-N) measured run.
+			var wire float64
+			name := fmt.Sprintf("Fanout_%s_%dsub", cfg.name, n)
+			bench := cfg.f(n, &wire)
+			var r MicroBenchResult
+			if short {
+				r = toResult(name, testing.Benchmark(bench))
+			} else {
+				r = benchStats(name, bench)
+			}
+			out = append(out, FanoutPoint{
+				Config:         cfg.name,
+				Subscribers:    n,
+				NsPerOp:        r.NsPerOp,
+				OpsPerSec:      r.OpsPerSec,
+				AllocsPerOp:    r.AllocsPerOp,
+				WireBytesPerOp: wire,
+				Goroutines:     r.Goroutines,
+			})
+		}
+	}
+	return out
+}
+
+// fanoutTCPRig builds the pairwise half of a fanout rig: a source
+// transport dialed into n receivers over loopback TCP, each receiver
+// recycling what it gets and bumping recvd.
+func fanoutTCPRig(b *testing.B, n int, recvd *atomic.Int64) (src *comm.Transport, names []string) {
+	src, err := comm.Listen("fan-src", "127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { src.Close() })
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("fan-r%d", i)
+		r, err := comm.Listen(name, "127.0.0.1:0",
+			func(_ string, _ stream.ID, m message.Message) {
+				comm.ReleaseMessage(m)
+				recvd.Add(1)
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { r.Close() })
+		if err := src.Dial(r.Addr()); err != nil {
+			b.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	return src, names
+}
+
+// linkBytes sums the encoded bytes the transport has put on its links to
+// the named peers.
+func linkBytes(t *comm.Transport, names []string) uint64 {
+	stats := t.PeerCoalesceStats()
+	var sum uint64
+	for _, n := range names {
+		sum += stats[n].Bytes
+	}
+	return sum
+}
+
+func waitFanout(b *testing.B, recvd *atomic.Int64, want int64) {
+	deadline := time.Now().Add(time.Minute)
+	for recvd.Load() < want {
+		if time.Now().After(deadline) {
+			b.Fatalf("fanout stalled: %d of %d deliveries", recvd.Load(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// benchFanoutPerLink is the baseline every other config is judged
+// against: one SendBytes per subscriber, so encode work and wire bytes
+// both scale linearly with N.
+func benchFanoutPerLink(n int, wire *float64) func(*testing.B) {
+	return func(b *testing.B) {
+		var recvd atomic.Int64
+		src, names := fanoutTCPRig(b, n, &recvd)
+		payload := make([]byte, fanPayload)
+		id := stream.NewID()
+		b.SetBytes(fanPayload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := linkBytes(src, names)
+		for i := 0; i < b.N; i++ {
+			ts := timestamp.New(uint64(i + 1))
+			for _, name := range names {
+				if err := src.SendBytes(name, id, ts, payload, comm.FlushHint{}, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		waitFanout(b, &recvd, int64(n)*int64(b.N))
+		b.StopTimer()
+		*wire = float64(linkBytes(src, names)-start) / float64(b.N)
+	}
+}
+
+// benchFanoutMulticast shares one encoded refcounted frame across every
+// link's write loop: the encode happens once, the wire bytes still scale
+// with N (each link carries its own copy of the shared frame).
+func benchFanoutMulticast(n int, wire *float64) func(*testing.B) {
+	return func(b *testing.B) {
+		var recvd atomic.Int64
+		src, names := fanoutTCPRig(b, n, &recvd)
+		payload := make([]byte, fanPayload)
+		id := stream.NewID()
+		b.SetBytes(fanPayload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := linkBytes(src, names)
+		for i := 0; i < b.N; i++ {
+			m := message.Data(timestamp.New(uint64(i+1)), payload)
+			if _, err := src.MulticastWithHint(names, id, m, comm.FlushHint{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		waitFanout(b, &recvd, int64(n)*int64(b.N))
+		b.StopTimer()
+		*wire = float64(linkBytes(src, names)-start) / float64(b.N)
+	}
+}
+
+// benchFanoutShmBroadcast publishes each fanout once onto a real SPMC
+// broadcast ring; every subscriber reads the same ring record, so wire
+// bytes per op are one frame regardless of N. The TCP links exist as the
+// fallback path and should stay silent.
+func benchFanoutShmBroadcast(n int, wire *float64) func(*testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "erdos-fanout-shm-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { os.RemoveAll(dir) })
+		sb := shm.New()
+		sb.Dir = dir
+		group, err := sb.NewBroadcastGroup(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { group.Close() })
+		// No bench reader is deliberately slow; don't let single-CPU
+		// scheduler jitter evict one mid-measurement.
+		group.EvictAfter = time.Minute
+		bus := comm.NewBus(group.Sink(), 0)
+
+		var recvd atomic.Int64
+		src, names := fanoutTCPRig(b, n, &recvd)
+		for _, name := range names {
+			rd, err := shm.JoinBroadcast(group.Addr(), name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { rd.Close() })
+			go func(rd *shm.BusReader) {
+				for {
+					_, m, err := comm.ReadFrame(rd)
+					if err != nil {
+						return
+					}
+					comm.ReleaseMessage(m)
+					recvd.Add(1)
+				}
+			}(rd)
+		}
+		payload := make([]byte, fanPayload)
+		id := stream.NewID()
+		b.SetBytes(fanPayload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		_, startBus := bus.Stats()
+		startLinks := linkBytes(src, names)
+		for i := 0; i < b.N; i++ {
+			m := message.Data(timestamp.New(uint64(i+1)), payload)
+			if _, err := src.MulticastBus(bus, names, nil, id, m, comm.FlushHint{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		waitFanout(b, &recvd, int64(n)*int64(b.N))
+		b.StopTimer()
+		_, endBus := bus.Stats()
+		*wire = float64((endBus-startBus)+(linkBytes(src, names)-startLinks)) / float64(b.N)
+	}
+}
+
+// benchFanoutInproc fans the payload value out to same-process peers over
+// the inproc backend: no frame is ever encoded (the lazy shared encode
+// never fires when every destination is a ValueConn), so the op cost is
+// one pooled acquire plus N-1 payload copies and N queue handoffs.
+// Ownership transfers to the receivers, which recycle, so the pool stays
+// balanced across the run.
+func benchFanoutInproc(n int, wire *float64) func(*testing.B) {
+	return func(b *testing.B) {
+		var recvd atomic.Int64
+		src, err := comm.Listen("fan-ip-src", "127.0.0.1:0", nil,
+			comm.WithBackend(inproc.New(), ""))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { src.Close() })
+		var names []string
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("fan-ip-r%d", i)
+			r, err := comm.Listen(name, "127.0.0.1:0",
+				func(_ string, _ stream.ID, m message.Message) {
+					comm.ReleaseMessage(m)
+					recvd.Add(1)
+				}, comm.WithBackend(inproc.New(), ""))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { r.Close() })
+			if err := src.Dial("inproc://" + r.AddrOf("inproc")); err != nil {
+				b.Fatal(err)
+			}
+			names = append(names, name)
+		}
+		id := stream.NewID()
+		b.SetBytes(fanPayload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := comm.AcquirePayload(fanPayload)
+			m := message.Data(timestamp.New(uint64(i+1)), p)
+			if _, err := src.MulticastWithHint(names, id, m, comm.FlushHint{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		waitFanout(b, &recvd, int64(n)*int64(b.N))
+		b.StopTimer()
+		*wire = 0
+	}
+}

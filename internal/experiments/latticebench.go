@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -20,7 +21,9 @@ import (
 // MicroBenchResult is one micro-benchmark measurement. NsPerOp is the
 // fastest of Runs repetitions (the standard low-noise estimator on shared
 // single-CPU machines); NsMean and NsStddev summarize the same repetitions
-// so the recorded trajectory carries its own error bars.
+// so the recorded trajectory carries its own error bars. Goroutines is the
+// process goroutine count right after the measured run — a drift between
+// benches of the same suite exposes harness goroutine leaks.
 type MicroBenchResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -31,6 +34,7 @@ type MicroBenchResult struct {
 	NsMean      float64 `json:"ns_mean,omitempty"`
 	NsStddev    float64 `json:"ns_stddev,omitempty"`
 	Runs        int     `json:"runs,omitempty"`
+	Goroutines  int     `json:"goroutines,omitempty"`
 }
 
 func toResult(name string, r testing.BenchmarkResult) MicroBenchResult {
@@ -46,6 +50,7 @@ func toResult(name string, r testing.BenchmarkResult) MicroBenchResult {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		OpsPerSec:   ops,
 		N:           r.N,
+		Goroutines:  runtime.NumGoroutine(),
 	}
 }
 
