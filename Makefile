@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz analyze chaos bench bench-e2e bench-smoke figures
+.PHONY: check fmt vet build test race fuzz analyze chaos bench bench-e2e bench-elastic bench-smoke figures
 
 ## check: everything CI runs — formatting, vet, build, tests under -race,
 ## the erdos-vet invariant analyzers, and a short fuzz smoke pass over the
@@ -46,11 +46,13 @@ analyze:
 
 ## chaos: the fault-injection suite under the race detector — seeded worker
 ## kills and operator stalls against live clusters, asserting detection
-## latency, exactly-once delivery across recovery, and DEH-surfaced misses
+## latency, exactly-once delivery across recovery, and DEH-surfaced misses;
+## plus the elastic-membership pass: graceful join, drain, and a
+## congestion-triggered scale-up on a live two-tenant cluster
 CHAOS_COUNT ?= 3
 chaos:
-	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestChaosWorkerCrash' ./internal/pylot
-	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestFailover|TestReassign|TestBroadcastRingClusterFanout' ./internal/core/cluster
+	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestChaosWorkerCrash|TestElasticChaosJoinDrainScaleUp' ./internal/pylot
+	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestFailover|TestReassign|TestBroadcastRingClusterFanout|TestGracefulJoin|TestDrain|TestSubmitTenants' ./internal/core/cluster
 	$(GO) test -race ./internal/core/faults
 
 ## bench: scheduler/data-plane micro-benchmarks -> BENCH_lattice.json
@@ -62,13 +64,19 @@ bench-e2e:
 	$(GO) run ./cmd/erdos-bench -bench e2e -out BENCH_e2e.json
 
 ## bench-smoke: CI's quick pass over the e2e benchmarks, the shm-ring
-## round-trip, and the single-encode fanout edge — few frames and rounds,
-## result discarded; catches harness rot (and a broken ring or fanout fast
-## path) without burning minutes
+## round-trip, the single-encode fanout edge, and the elastic tenant-density
+## edge — few frames and rounds, result discarded; catches harness rot (and
+## a broken ring, fanout fast path, or tenant hosting) without burning
+## minutes
 bench-smoke:
 	$(GO) run ./cmd/erdos-bench -bench e2e -short -out /tmp/BENCH_e2e_smoke.json
 	$(GO) run ./cmd/erdos-bench -bench shm
 	$(GO) run ./cmd/erdos-bench -bench fanout -short
+	$(GO) run ./cmd/erdos-bench -bench elastic -short
+
+## bench-elastic: tenant-density latency edge -> BENCH_e2e.json
+bench-elastic:
+	$(GO) run ./cmd/erdos-bench -bench elastic -out BENCH_e2e.json
 
 ## figures: regenerate the paper's Fig. 8 messaging benchmarks
 figures:

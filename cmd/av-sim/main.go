@@ -7,14 +7,22 @@
 //	av-sim -model d3-dynamic -km 50
 //	av-sim -model d3-static -deadline 200ms -scenario person-behind-truck -speed 12
 //	av-sim -model periodic -scenario traffic-jam -speed 10 -v
+//	av-sim -fleet 3
+//
+// -fleet N ignores the scenario flags and instead hosts N pylot pipelines
+// as tenants of an elastic cluster (one deliberately overloaded), printing
+// the autoscale events, per-tenant urgency misses, and the healthy
+// tenants' control latency.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"github.com/erdos-go/erdos/internal/experiments"
 	"github.com/erdos-go/erdos/internal/metrics"
 	"github.com/erdos-go/erdos/internal/pipeline"
 	"github.com/erdos-go/erdos/internal/sim"
@@ -27,8 +35,14 @@ func main() {
 	speed := flag.Float64("speed", 12, "approach speed for single scenarios (m/s)")
 	km := flag.Float64("km", 50, "drive length for -scenario suite")
 	seed := flag.Int64("seed", 42, "workload seed")
+	fleet := flag.Int("fleet", 0, "host N pylot tenants (>= 2) on an elastic autoscaling cluster instead of running scenarios")
 	verbose := flag.Bool("v", false, "print per-frame pipeline behaviour")
 	flag.Parse()
+
+	if *fleet > 0 {
+		runFleet(*fleet)
+		return
+	}
 
 	var cfg pipeline.Config
 	switch *model {
@@ -91,4 +105,29 @@ func main() {
 		}
 		fmt.Print(ft.String())
 	}
+}
+
+// runFleet hosts n pylot tenants on an elastic cluster (tenant t0
+// overloaded on purpose) and prints the elastic-membership outcome.
+func runFleet(n int) {
+	fmt.Printf("hosting %d pylot tenants on an elastic cluster (t0 overloaded)...\n", n)
+	rep, err := experiments.RunFleet(n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+		os.Exit(1)
+	}
+	t := metrics.NewTable("metric", "value")
+	t.Row("tenants", rep.Tenants)
+	t.Row("final workers", strings.Join(rep.Workers, " "))
+	t.Row("scale-ups", rep.ScaleUps)
+	t.Row("migrations", rep.Migrations)
+	t.Row("joins", rep.Joins)
+	t.Row("drains", rep.Drains)
+	for i := 0; i < rep.Tenants; i++ {
+		name := fmt.Sprintf("t%d", i)
+		t.Row("urgency misses "+name, rep.TenantMisses[name])
+	}
+	t.Row("healthy control p50", fmt.Sprintf("%.2f ms", rep.ControlP50Ms))
+	t.Row("healthy control p99", fmt.Sprintf("%.2f ms", rep.ControlP99Ms))
+	fmt.Print(t.String())
 }

@@ -14,6 +14,8 @@
 //	erdos-bench -bench comm     # data-plane micro-benchmarks -> BENCH_comm.json
 //	erdos-bench -bench e2e      # Fig. 8c + urgency inversion -> BENCH_e2e.json
 //	erdos-bench -bench e2e -short  # smoke mode for CI
+//	erdos-bench -bench elastic  # tenant-density latency edge -> BENCH_e2e.json
+//	erdos-bench -bench elastic -short  # elastic smoke mode for CI (no file written)
 //	erdos-bench -msgs 200       # more samples per point
 //	erdos-bench -bench lattice -out other.json
 package main
@@ -294,6 +296,10 @@ type e2eBenchFile struct {
 	Fig8cPre    []experiments.Fig8cPoint           `json:"fig8c_pre_change"`
 	Fig8cPost   []experiments.Fig8cPoint           `json:"fig8c_post_change"`
 	Urgency     experiments.UrgencyInversionResult `json:"urgency_inversion"`
+	// Elastic is the multi-tenant density edge: p99 camera-to-command
+	// latency of pylot tenants versus how many of them the two-worker
+	// cluster hosts.
+	Elastic []experiments.ElasticTenantPoint `json:"elastic_tenant_density,omitempty"`
 }
 
 func runE2eBench(out string, short bool) error {
@@ -315,17 +321,73 @@ func runE2eBench(out string, short bool) error {
 	fmt.Printf("  FIFO p50 %8.3f ms   p99 %8.3f ms\n", urg.FifoP50Ms, urg.FifoP99Ms)
 	fmt.Printf("  EDF  p50 %8.3f ms   p99 %8.3f ms   (p99 %.1fx better)\n",
 		urg.EdfP50Ms, urg.EdfP99Ms, urg.P99Speedup)
-	f := e2eBenchFile{
-		GeneratedBy: "cmd/erdos-bench -bench e2e",
-		Date:        time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Short:       short,
-		Fig8cPre:    experiments.PreChangeFig8c,
-		Fig8cPost:   fig8cPost,
-		Urgency:     urg,
+	// Read-modify-write so the elastic tenant-density edge recorded by
+	// `-bench elastic` survives an e2e rerun.
+	var f e2eBenchFile
+	if data, err := os.ReadFile(out); err == nil {
+		_ = json.Unmarshal(data, &f)
 	}
+	f.GeneratedBy = "cmd/erdos-bench -bench e2e"
+	f.Date = time.Now().UTC().Format(time.RFC3339)
+	f.GoVersion = runtime.Version()
+	f.NumCPU = runtime.NumCPU()
+	f.GoMaxProcs = runtime.GOMAXPROCS(0)
+	f.Short = short
+	f.Fig8cPre = experiments.PreChangeFig8c
+	f.Fig8cPost = fig8cPost
+	f.Urgency = urg
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runElasticBench measures the multi-tenant density edge — p99 camera-to-
+// command latency versus tenants hosted on a two-worker cluster — and
+// records it in BENCH_e2e.json (read-modify-write: the e2e measurements
+// already in the file are preserved). Short mode is CI's smoke pass: fewer
+// tenants and frames, nothing written, failing only when a tenant's
+// pipeline stalls outright.
+func runElasticBench(out string, short bool) error {
+	fmt.Println("=== elastic tenancy: camera-to-command latency vs tenants hosted ===")
+	counts, frames := []int{1, 2, 4}, 60
+	if short {
+		counts, frames = []int{1, 2}, 20
+	}
+	points, err := experiments.ElasticTenantDensity(counts, frames)
+	for _, p := range points {
+		fmt.Printf("%d tenants on %d workers: p50 %8.3f ms   p99 %8.3f ms   (%d frames each)\n",
+			p.Tenants, p.Workers, p.ControlP50Ms, p.ControlP99Ms, p.FramesPerTenant)
+	}
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		if p.ControlP99Ms <= 0 {
+			return fmt.Errorf("%d-tenant point recorded no latency: tenant pipeline produced no commands", p.Tenants)
+		}
+	}
+	if short {
+		return nil
+	}
+	var f e2eBenchFile
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("existing %s is not an e2e bench file: %w", out, err)
+		}
+	}
+	f.Elastic = points
+	f.GeneratedBy = "cmd/erdos-bench -bench e2e / elastic"
+	f.Date = time.Now().UTC().Format(time.RFC3339)
+	f.GoVersion = runtime.Version()
+	f.NumCPU = runtime.NumCPU()
+	f.GoMaxProcs = runtime.GOMAXPROCS(0)
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
@@ -346,7 +408,7 @@ func maxf(a, b float64) float64 {
 }
 
 func main() {
-	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | lattice | comm | shm | e2e | all")
+	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | lattice | comm | shm | e2e | elastic | all")
 	msgs := flag.Int("msgs", 50, "messages per measurement point")
 	out := flag.String("out", "", "output file for -bench lattice / comm / e2e")
 	short := flag.Bool("short", false, "smoke mode: fewer frames and rounds, for CI")
@@ -415,6 +477,17 @@ func main() {
 		}
 		if err := runE2eBench(dst, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "e2e bench: %v\n", err)
+			os.Exit(1)
+		}
+		ran = true
+	}
+	if *bench == "elastic" {
+		dst := *out
+		if dst == "" {
+			dst = "BENCH_e2e.json"
+		}
+		if err := runElasticBench(dst, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "elastic bench: %v\n", err)
 			os.Exit(1)
 		}
 		ran = true

@@ -24,6 +24,7 @@ const (
 	streamPkgPath   = modPath + "/internal/core/stream"
 	statePkgPath    = modPath + "/internal/core/state"
 	faultsPkgPath   = modPath + "/internal/core/faults"
+	elasticPkgPath  = modPath + "/internal/core/cluster/elastic"
 )
 
 // root is one callback function body in the analyzed package.

@@ -51,6 +51,10 @@ var randExempt = map[string]bool{
 var deterministicPkgs = map[string]bool{
 	faultsPkgPath: true,
 	statePkgPath:  true,
+	// The autoscale/admission policy is pure arithmetic over congestion
+	// scores — clocked or random decisions there would make scale events
+	// unreproducible across identical score sequences.
+	elasticPkgPath: true,
 }
 
 const deterministicDirective = "//erdos:deterministic"

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/erdos-go/erdos/internal/core/cluster/elastic"
 	"github.com/erdos-go/erdos/internal/core/comm"
 	"github.com/erdos-go/erdos/internal/core/comm/shm"
 	"github.com/erdos-go/erdos/internal/core/graph"
@@ -76,6 +77,11 @@ type Schedule struct {
 	// Epoch increments with every reschedule; workers ignore deltas for
 	// epochs they have already applied.
 	Epoch uint64
+	// Tenants lists the admitted tenant pipelines (sorted). A node seeing
+	// an unfamiliar name resolves the tenant's graph locally (the graphs
+	// carry Go callbacks, so they cannot travel over gob) and extends its
+	// worker before adopting any of the tenant's operators.
+	Tenants []string
 }
 
 // Control plane message types. The registration/start phase exchanges the
@@ -117,6 +123,11 @@ type heartbeatMsg struct {
 	Checkpoints map[string]state.Checkpoint
 	Frontiers   map[stream.ID]uint64
 	Congestion  CongestionReport
+	// OpMisses is the cumulative urgency-miss count per local operator,
+	// the per-tenant slice of Congestion.UrgencyMisses: the leader
+	// differences consecutive values and aggregates by tenant so one
+	// tenant's blown deadlines are attributable to it alone.
+	OpMisses map[string]uint64
 }
 
 // CongestionReport is a worker's queueing-pressure snapshot, shipped in
@@ -183,6 +194,31 @@ type replayMsg struct {
 	Epoch uint64
 }
 
+// drainMsg is pushed leader→worker to freeze operators on a live donor:
+// the named operators (nil means every local operator — a full drain) are
+// retired, snapshotted, and removed, and the worker answers with
+// drainReadyMsg carrying the fresh checkpoints. Unlike failover, the
+// donor participates: its state is captured at the instant of the freeze
+// rather than at the last heartbeat.
+type drainMsg struct {
+	Ops []string
+}
+
+// drainReadyMsg is the donor's answer to drainMsg: checkpoints of the
+// released operators taken at the freeze, plus the donor's current
+// frontiers (retained operators and extraction taps), fresher than any
+// heartbeat the leader holds.
+type drainReadyMsg struct {
+	Name        string
+	Checkpoints map[string]state.Checkpoint
+	Frontiers   map[stream.ID]uint64
+}
+
+// drainDoneMsg tells a fully-drained worker that its operators live
+// elsewhere and the replay barrier has released: it may now exit without
+// losing anything.
+type drainDoneMsg struct{}
+
 func init() {
 	gob.Register(registerMsg{})
 	gob.Register(scheduleMsg{})
@@ -193,13 +229,16 @@ func init() {
 	gob.Register(rescheduleAckMsg{})
 	gob.Register(checkpointAckMsg{})
 	gob.Register(replayMsg{})
+	gob.Register(drainMsg{})
+	gob.Register(drainReadyMsg{})
+	gob.Register(drainDoneMsg{})
 }
 
 // Placement computes the operator assignment for a graph: an operator's
 // explicit Placement wins; unplaced operators in an affinity group follow
 // the group's first assigned member (the whole group consumes one
 // round-robin slot); remaining operators are assigned round-robin.
-func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
+func Placement(g graph.View, workers []string) (map[string]string, error) {
 	return PlacementLoaded(g, workers, nil)
 }
 
@@ -209,7 +248,7 @@ func Placement(g *graph.Graph, workers []string) (map[string]string, error) {
 // re-planned graph keeps its hot operators off workers that are already
 // saturated. Affinity grouping and explicit pins always win over steering;
 // with nil or uniform scores the result is exactly Placement's.
-func PlacementLoaded(g *graph.Graph, workers []string, score map[string]int64) (map[string]string, error) {
+func PlacementLoaded(g graph.View, workers []string, score map[string]int64) (map[string]string, error) {
 	return PlacementTopo(g, workers, score, nil)
 }
 
@@ -217,7 +256,7 @@ func PlacementLoaded(g *graph.Graph, workers []string, score map[string]int64) (
 // operators it exchanges stream traffic with (producers of its inputs and
 // consumers of its outputs) — the edges whose transport cost placement can
 // influence.
-func opNeighbors(g *graph.Graph) map[string][]string {
+func opNeighbors(g graph.View) map[string][]string {
 	producer := make(map[stream.ID]string)
 	for _, op := range g.Operators() {
 		for _, out := range op.Outputs {
@@ -264,7 +303,7 @@ func neighborHosts(neighbors map[string][]string, assign, hosts map[string]strin
 // host locality only re-breaks ties among equally-scored workers, pulling
 // an operator onto a host where one of its graph neighbors already landed.
 // With nil hosts the result is exactly PlacementLoaded's.
-func PlacementTopo(g *graph.Graph, workers []string, score map[string]int64, hosts map[string]string) (map[string]string, error) {
+func PlacementTopo(g graph.View, workers []string, score map[string]int64, hosts map[string]string) (map[string]string, error) {
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("cluster: no workers")
 	}
@@ -337,7 +376,7 @@ func PlacementTopo(g *graph.Graph, workers []string, score map[string]int64, hos
 // exists), pins to the dead worker are treated as unpinned, and each orphan
 // lands on the least-loaded survivor at that point (ties break
 // lexicographically), keeping the result deterministic.
-func Reassign(g *graph.Graph, assign map[string]string, dead string, survivors []string) map[string]string {
+func Reassign(g graph.View, assign map[string]string, dead string, survivors []string) map[string]string {
 	return ReassignLoaded(g, assign, dead, survivors, nil)
 }
 
@@ -351,7 +390,7 @@ func Reassign(g *graph.Graph, assign map[string]string, dead string, survivors [
 // quieter worker, affinity permitting. With nil scores this is exactly
 // Reassign's least-loaded placement, so the result stays deterministic for
 // a given score snapshot.
-func ReassignLoaded(g *graph.Graph, assign map[string]string, dead string, survivors []string, score map[string]int64) map[string]string {
+func ReassignLoaded(g graph.View, assign map[string]string, dead string, survivors []string, score map[string]int64) map[string]string {
 	return ReassignTopo(g, assign, dead, survivors, score, nil)
 }
 
@@ -360,7 +399,7 @@ func ReassignLoaded(g *graph.Graph, assign map[string]string, dead string, survi
 // sharing a host with one of its graph neighbors, so the rescued edge comes
 // back as a ring edge instead of a TCP edge. Affinity and congestion still
 // rank first; with nil hosts the result is exactly ReassignLoaded's.
-func ReassignTopo(g *graph.Graph, assign map[string]string, dead string, survivors []string, score map[string]int64, hosts map[string]string) map[string]string {
+func ReassignTopo(g graph.View, assign map[string]string, dead string, survivors []string, score map[string]int64, hosts map[string]string) map[string]string {
 	next := make(map[string]string, len(assign))
 	load := make(map[string]int, len(survivors))
 	for _, w := range survivors {
@@ -437,7 +476,7 @@ func ReassignTopo(g *graph.Graph, assign map[string]string, dead string, survivo
 // forwarded to every other worker: each worker subscribes its local
 // dynamic-deadline sources to its own broadcaster, so all of them need the
 // updates regardless of operator placement.
-func Routes(g *graph.Graph, assign map[string]string, workers []string, ingestAt map[stream.ID]string, extractAt map[stream.ID][]string) []Route {
+func Routes(g graph.View, assign map[string]string, workers []string, ingestAt map[stream.ID]string, extractAt map[stream.ID][]string) []Route {
 	feeds := make(map[stream.ID]bool)
 	for _, f := range g.DeadlineFeeds() {
 		feeds[f.Stream] = true
@@ -514,7 +553,7 @@ func (s *session) send(m ctrlMsg) error {
 type Leader struct {
 	ln        net.Listener
 	workers   []string
-	g         *graph.Graph
+	gm        *graph.Multi
 	heartbeat time.Duration
 	failAfter time.Duration
 
@@ -523,6 +562,19 @@ type Leader struct {
 	quit    chan struct{}
 	quitSet sync.Once
 	wg      sync.WaitGroup
+
+	// reconfigMu serializes every membership/placement reconfiguration —
+	// failover, join admission, drain, migration, tenant submission — so
+	// two epochs never build concurrently from the same base. Always
+	// acquired before l.mu, never while holding it.
+	reconfigMu sync.Mutex
+
+	// autoscale policy (nil without WithAutoscale). The scaler is only
+	// touched by the monitor goroutine; pool spawn/retire runs in a
+	// detached goroutine guarded by scaleBusy so a slow migration never
+	// wedges failure detection.
+	pool   elastic.Pool
+	scaler *elastic.Autoscaler
 
 	mu          sync.Mutex
 	err         error
@@ -542,7 +594,36 @@ type Leader struct {
 	sched      Schedule
 	ingest     map[stream.ID]string
 	extract    map[stream.ID][]string
-	events     []Event
+	// events is a fixed-depth ring (evStart/evCount index it) so a
+	// long-running elastic cluster's log cannot grow without bound.
+	events  []Event
+	evStart int
+	evCount int
+	evDepth int
+	// members is the current scheduled worker set (sorted): joiners are
+	// appended, drained and dead workers removed. draining marks workers
+	// mid-drain — still heartbeating, excluded from placement candidate
+	// sets and failure detection. drainWait routes each donor's
+	// drainReadyMsg to the reconfiguration waiting on it.
+	members   []string
+	draining  map[string]bool
+	drainWait map[string]chan drainReadyMsg
+	// Tenancy: tenantOf tags each tenant operator with its tenant,
+	// tenantLoad records declared admission loads, tenantCap is the
+	// per-worker capacity (0 = admission off). opMissBase differences each
+	// operator's cumulative urgency-miss counter per worker; tenantMiss
+	// accumulates the deltas per tenant.
+	tenantOf   map[string]string
+	tenantLoad map[string]int64
+	tenantCap  int64
+	opMissBase map[string]map[string]uint64
+	tenantMiss map[string]uint64
+	// scaleBusy gates the autoscale loop to one reconfiguration in
+	// flight; spawned tracks pool-created workers (the only ones a
+	// scale-down may retire) and autoName numbers them.
+	scaleBusy bool
+	spawned   map[string]bool
+	autoName  int
 }
 
 // LeaderOption configures NewLeader.
@@ -561,14 +642,51 @@ func WithHeartbeat(period, failAfter time.Duration) LeaderOption {
 	}
 }
 
+// defaultEventDepth bounds Events() history when WithEventHistory is not
+// given.
+const defaultEventDepth = 1024
+
+// WithEventHistory bounds the leader's event log to the most recent depth
+// entries (default 1024). depth <= 0 keeps the default.
+func WithEventHistory(depth int) LeaderOption {
+	return func(l *Leader) {
+		if depth > 0 {
+			l.evDepth = depth
+		}
+	}
+}
+
+// WithTenantCapacity enables admission control: a tenant whose declared
+// load would push the cluster's total tenant load beyond
+// perWorker x (non-draining workers) is rejected by Submit. perWorker <= 0
+// disables the check.
+func WithTenantCapacity(perWorker int64) LeaderOption {
+	return func(l *Leader) { l.tenantCap = perWorker }
+}
+
+// WithAutoscale attaches a worker pool and hysteresis config to the
+// resident leader: sustained congestion above cfg.HighWater spawns a
+// worker and migrates the hottest tenant onto it; a sustained idle
+// cluster drains and retires the idlest pool-spawned worker.
+func WithAutoscale(pool elastic.Pool, cfg elastic.Config) LeaderOption {
+	return func(l *Leader) {
+		l.pool = pool
+		l.scaler = elastic.NewAutoscaler(cfg)
+	}
+}
+
 // NewLeader starts a leader on addr expecting the named workers to join.
 func NewLeader(addr string, workers []string, g *graph.Graph, ingestAt map[stream.ID]string, extractAt map[stream.ID][]string, opts ...LeaderOption) (*Leader, error) {
+	gm, err := graph.NewMulti(g)
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	l := &Leader{
-		ln: ln, workers: workers, g: g,
+		ln: ln, workers: workers, gm: gm,
 		ingest: ingestAt, extract: extractAt,
 		started:     make(chan struct{}),
 		done:        make(chan struct{}),
@@ -582,6 +700,14 @@ func NewLeader(addr string, workers []string, g *graph.Graph, ingestAt map[strea
 		congestion:  make(map[string]CongestionReport),
 		missBase:    make(map[string]uint64),
 		missDelta:   make(map[string]uint64),
+		evDepth:     defaultEventDepth,
+		draining:    make(map[string]bool),
+		drainWait:   make(map[string]chan drainReadyMsg),
+		tenantOf:    make(map[string]string),
+		tenantLoad:  make(map[string]int64),
+		opMissBase:  make(map[string]map[string]uint64),
+		tenantMiss:  make(map[string]uint64),
+		spawned:     make(map[string]bool),
 	}
 	for _, o := range opts {
 		o(l)
@@ -697,6 +823,14 @@ func (l *Leader) run() {
 			l.readSession(s)
 		}()
 	}
+	// Elastic membership: late joiners dial the same control address the
+	// initial workers did; each admission runs the join protocol off the
+	// accept loop so a slow joiner never blocks the next one.
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		l.acceptLoop()
+	}()
 	l.monitor()
 	l.closeSessions()
 	l.ln.Close()
@@ -727,35 +861,16 @@ func (l *Leader) startPhase() error {
 	// came in steers the initial assignment away from saturated workers.
 	// Host adverts bias score ties toward ring edges (see PlacementTopo).
 	l.mu.Lock()
+	l.members = append([]string(nil), l.workers...)
+	sort.Strings(l.members)
 	hosts := l.hostsLocked()
 	l.mu.Unlock()
-	assign, err := PlacementTopo(l.g, l.workers, l.scores(), hosts)
+	assign, err := PlacementTopo(l.gm, l.workers, l.scores(), hosts)
 	if err != nil {
 		return err
 	}
 	l.mu.Lock()
-	peerAddrs := make(map[string]string, len(l.sessions))
-	peerShm := make(map[string]string)
-	peerBShm := make(map[string]string)
-	for name, s := range l.sessions {
-		peerAddrs[name] = s.reg.DataAddr
-		if s.reg.ShmAddr != "" {
-			peerShm[name] = s.reg.ShmAddr
-		}
-		if s.reg.BShmAddr != "" {
-			peerBShm[name] = s.reg.BShmAddr
-		}
-	}
-	sched := Schedule{
-		Assignments: assign,
-		Routes:      Routes(l.g, assign, l.workers, l.ingest, l.extract),
-		PeerAddrs:   peerAddrs,
-		PeerHosts:   hosts,
-		PeerShm:     peerShm,
-		PeerBShm:    peerBShm,
-		Heartbeat:   l.heartbeat,
-		FailAfter:   l.failAfter,
-	}
+	sched := l.buildScheduleLocked(assign, 0)
 	l.assign, l.sched = assign, sched
 	sessions := make([]*session, 0, len(l.sessions))
 	for _, s := range l.sessions {
@@ -845,6 +960,21 @@ type Node struct {
 	pending      []pendingReplay
 	pendingEpoch uint64
 
+	// dialAttempts/dialBase parameterize the exponential backoff used by
+	// every recovery dial (peer re-dials after a reschedule, heartbeat
+	// link repair) and by the join rendezvous dial itself.
+	dialAttempts int
+	dialBase     time.Duration
+	// resolver maps a tenant name from Schedule.Tenants to its locally
+	// built graph (tenant graphs carry Go callbacks and cannot travel
+	// over gob); tenantsKnown marks tenants already extended into the
+	// worker (guarded by mu). drained closes when the leader confirms a
+	// full drain's handoff is complete.
+	resolver     func(tenant string) *graph.Graph
+	tenantsKnown map[string]bool
+	drained      chan struct{}
+	drainedOnce  sync.Once
+
 	forwarded atomic.Uint64
 	stop      chan struct{}
 	stopOnce  sync.Once
@@ -907,9 +1037,12 @@ func (n *Node) Epoch() uint64 {
 
 // joinCfg carries Join's optional knobs.
 type joinCfg struct {
-	commOpts []comm.Option
-	hostID   string
-	shmDir   string
+	commOpts     []comm.Option
+	hostID       string
+	shmDir       string
+	dialAttempts int
+	dialBase     time.Duration
+	resolver     func(tenant string) *graph.Graph
 }
 
 // JoinOption configures Join.
@@ -919,6 +1052,34 @@ type JoinOption func(*joinCfg)
 // filters) through to the node's data-plane transport.
 func WithCommOptions(opts ...comm.Option) JoinOption {
 	return func(c *joinCfg) { c.commOpts = append(c.commOpts, opts...) }
+}
+
+// WithDialBackoff parameterizes the node's recovery dials: attempts and
+// base delay of the exponential backoff used when re-dialing peers after a
+// reschedule, when repairing severed links at heartbeat ticks, and for the
+// join rendezvous dial to the leader itself. Defaults: 8 attempts, 5ms
+// base. Non-positive values keep the defaults.
+func WithDialBackoff(attempts int, base time.Duration) JoinOption {
+	return func(c *joinCfg) {
+		if attempts > 0 {
+			c.dialAttempts = attempts
+		}
+		if base > 0 {
+			c.dialBase = base
+		}
+	}
+}
+
+// WithTenantResolver installs the node's tenant-graph lookup: when a
+// schedule lists a tenant this node has not seen, resolve(name) supplies
+// the tenant's locally built graph (nil when this node cannot host it) and
+// the worker is extended with its streams before any of its operators are
+// adopted. Tenant graphs carry Go callbacks, so they cannot travel over
+// the control stream; every worker that may host a tenant needs a
+// resolver producing a graph with identical stream IDs — in-process, share
+// the *graph.Graph itself.
+func WithTenantResolver(resolve func(tenant string) *graph.Graph) JoinOption {
+	return func(c *joinCfg) { c.resolver = resolve }
 }
 
 // WithHostLocality advertises hostID as this worker's host identity and
@@ -942,11 +1103,25 @@ func WithHostLocality(hostID, dir string) JoinOption {
 // the node stays attached to the leader: it heartbeats with lazy state
 // checkpoints and applies reschedule deltas after failures.
 func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinOption) (*Node, error) {
-	var cfg joinCfg
+	cfg := joinCfg{dialAttempts: defaultDialAttempts, dialBase: defaultDialBase}
 	for _, o := range jopts {
 		o(&cfg)
 	}
-	conn, err := net.Dial("tcp", addr)
+	// The rendezvous dial rides the same backoff policy as peer recovery
+	// dials: a worker joining concurrently with leader startup (or
+	// spawned by the autoscaler mid-reconfiguration) retries instead of
+	// failing on the first connection refusal.
+	var conn net.Conn
+	var err error
+	delay := cfg.dialBase
+	for attempt := 0; ; attempt++ {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil || attempt >= cfg.dialAttempts-1 {
+			break
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -955,19 +1130,24 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 	dec := gob.NewDecoder(conn)
 
 	n := &Node{
-		Name:       name,
-		g:          g,
-		ctrlConn:   conn,
-		enc:        enc,
-		ctrlOut:    cw,
-		fwd:        make(map[stream.ID]*fwdState),
-		hostID:     cfg.hostID,
-		lastScheme: make(map[string]string),
-		shmSuspect: make(map[string]bool),
-		repairing:  make(map[string]bool),
-		ckAcked:    make(map[string]uint64),
-		busIn:      make(map[string]*busSub),
-		stop:       make(chan struct{}),
+		Name:         name,
+		g:            g,
+		ctrlConn:     conn,
+		enc:          enc,
+		ctrlOut:      cw,
+		fwd:          make(map[stream.ID]*fwdState),
+		hostID:       cfg.hostID,
+		lastScheme:   make(map[string]string),
+		shmSuspect:   make(map[string]bool),
+		repairing:    make(map[string]bool),
+		ckAcked:      make(map[string]uint64),
+		busIn:        make(map[string]*busSub),
+		dialAttempts: cfg.dialAttempts,
+		dialBase:     cfg.dialBase,
+		resolver:     cfg.resolver,
+		tenantsKnown: make(map[string]bool),
+		drained:      make(chan struct{}),
+		stop:         make(chan struct{}),
 	}
 	fail := func(err error) (*Node, error) {
 		n.Close()
@@ -1012,7 +1192,11 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 	if err := dec.Decode(&sm); err != nil {
 		return fail(fmt.Errorf("cluster: schedule decode: %w", err))
 	}
+	// A late joiner receives the cluster's current epoch with its initial
+	// schedule; recording it keeps the epoch guard monotonic (at first
+	// start it is simply zero).
 	n.schedule = sm.Schedule
+	n.epoch = sm.Schedule.Epoch
 
 	opts.Name = name
 	assign := sm.Schedule.Assignments
@@ -1022,6 +1206,11 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 		return fail(err)
 	}
 	n.Worker = w
+
+	// Extend the worker with any tenants already admitted, before the
+	// forwarding/tracking loops below: tenant streams need broadcasters
+	// for routes that name this node.
+	n.syncTenants(sm.Schedule)
 
 	// Establish the data-plane mesh: dial every peer whose name orders
 	// after ours; the accept side completes the other half of each pair.

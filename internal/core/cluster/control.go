@@ -29,6 +29,23 @@ const (
 	EventRecovered
 	// EventClusterLost marks a failure with no survivors to fail over to.
 	EventClusterLost
+	// EventJoined marks a worker admitted into a running cluster.
+	EventJoined
+	// EventDrainStarted marks the leader freezing a live donor's operators.
+	EventDrainStarted
+	// EventDrained marks a drain's handoff completing (replay barrier
+	// released, donor told it may exit).
+	EventDrained
+	// EventMigrated marks a live operator migration (scale-up rebalance or
+	// explicit Migrate) completing.
+	EventMigrated
+	// EventTenantAdmitted marks Submit accepting a tenant pipeline.
+	EventTenantAdmitted
+	// EventScaleUp / EventScaleDown mark autoscale decisions being acted
+	// on (the spawn or retire that follows may still fail; the
+	// join/drain events tell the rest of the story).
+	EventScaleUp
+	EventScaleDown
 )
 
 func (k EventKind) String() string {
@@ -41,6 +58,20 @@ func (k EventKind) String() string {
 		return "recovered"
 	case EventClusterLost:
 		return "cluster-lost"
+	case EventJoined:
+		return "joined"
+	case EventDrainStarted:
+		return "drain-started"
+	case EventDrained:
+		return "drained"
+	case EventMigrated:
+		return "migrated"
+	case EventTenantAdmitted:
+		return "tenant-admitted"
+	case EventScaleUp:
+		return "scale-up"
+	case EventScaleDown:
+		return "scale-down"
 	}
 	return "unknown"
 }
@@ -57,11 +88,34 @@ type Event struct {
 	Epoch uint64
 }
 
-// Events returns a copy of the leader's failover log.
+// pushEventLocked appends to the bounded event ring, evicting the oldest
+// entry once the configured depth is reached. Caller holds l.mu.
+func (l *Leader) pushEventLocked(e Event) {
+	if l.evDepth <= 0 {
+		l.evDepth = defaultEventDepth
+	}
+	if l.events == nil {
+		l.events = make([]Event, l.evDepth)
+	}
+	if l.evCount < l.evDepth {
+		l.events[(l.evStart+l.evCount)%l.evDepth] = e
+		l.evCount++
+		return
+	}
+	l.events[l.evStart] = e
+	l.evStart = (l.evStart + 1) % l.evDepth
+}
+
+// Events returns a copy of the leader's event log: the most recent entries
+// up to the configured history depth (WithEventHistory), oldest first.
 func (l *Leader) Events() []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]Event(nil), l.events...)
+	out := make([]Event, l.evCount)
+	for i := 0; i < l.evCount; i++ {
+		out[i] = l.events[(l.evStart+i)%l.evDepth]
+	}
+	return out
 }
 
 // readSession drains one worker's control connection after start:
@@ -99,6 +153,26 @@ func (l *Leader) readSession(s *session) {
 			l.missDelta[m.Name] = m.Congestion.UrgencyMisses - l.missBase[m.Name]
 			l.missBase[m.Name] = m.Congestion.UrgencyMisses
 			l.congestion[m.Name] = m.Congestion
+			// Per-operator miss deltas accumulate into per-tenant totals.
+			// An operator that migrated here restarts its counter at zero;
+			// the cum < base guard treats that as a reset, not underflow.
+			if len(m.OpMisses) > 0 {
+				base := l.opMissBase[m.Name]
+				if base == nil {
+					base = make(map[string]uint64)
+					l.opMissBase[m.Name] = base
+				}
+				for op, cum := range m.OpMisses {
+					d := cum - base[op]
+					if cum < base[op] {
+						d = cum
+					}
+					base[op] = cum
+					if d > 0 {
+						l.tenantMiss[l.tenantOf[op]] += d
+					}
+				}
+			}
 			l.mu.Unlock()
 			if ack.Acked != nil {
 				_ = s.send(ctrlMsg{M: ack})
@@ -109,6 +183,18 @@ func (l *Leader) readSession(s *session) {
 				l.ackEpoch[m.Name] = m.Epoch
 			}
 			l.mu.Unlock()
+		case drainReadyMsg:
+			// Route the donor's freeze-time snapshot to the drain or
+			// migration waiting on it.
+			l.mu.Lock()
+			ch := l.drainWait[m.Name]
+			l.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- m:
+				default:
+				}
+			}
 		}
 	}
 }
@@ -133,7 +219,10 @@ func (l *Leader) monitor() {
 		var dead []string
 		l.mu.Lock()
 		for w, up := range l.alive {
-			if up && now.Sub(l.lastBeat[w]) > l.failAfter {
+			// A draining worker has stopped being schedulable; its drain
+			// completes (or times out) under reconfigMu — declaring it
+			// dead mid-handoff would race the drain's own reschedule.
+			if up && !l.draining[w] && now.Sub(l.lastBeat[w]) > l.failAfter {
 				dead = append(dead, w)
 			}
 		}
@@ -142,6 +231,7 @@ func (l *Leader) monitor() {
 		for _, d := range dead {
 			l.failover(d)
 		}
+		l.autoscaleTick()
 	}
 }
 
@@ -150,6 +240,8 @@ func (l *Leader) monitor() {
 // checkpoints so the adopters can restore state at the last consistent
 // watermark.
 func (l *Leader) failover(dead string) {
+	l.reconfigMu.Lock()
+	defer l.reconfigMu.Unlock()
 	detected := time.Now()
 	l.mu.Lock()
 	if !l.alive[dead] {
@@ -157,80 +249,46 @@ func (l *Leader) failover(dead string) {
 		return
 	}
 	l.alive[dead] = false
+	// A worker that died mid-drain is simply dead; the drain waiter times
+	// out on its own.
+	delete(l.draining, dead)
+	l.members = removeMember(l.members, dead)
 	var survivors []string
-	for w, up := range l.alive {
-		if up {
+	for _, w := range l.members {
+		if l.alive[w] {
 			survivors = append(survivors, w)
 		}
 	}
-	sort.Strings(survivors)
 	epoch := l.sched.Epoch + 1
-	l.events = append(l.events, Event{Kind: EventFailureDetected, Worker: dead, At: detected, Epoch: epoch})
+	l.pushEventLocked(Event{Kind: EventFailureDetected, Worker: dead, At: detected, Epoch: epoch})
 	if len(survivors) == 0 {
-		l.events = append(l.events, Event{Kind: EventClusterLost, Worker: dead, At: time.Now(), Epoch: epoch})
+		l.pushEventLocked(Event{Kind: EventClusterLost, Worker: dead, At: time.Now(), Epoch: epoch})
 		l.mu.Unlock()
 		return
+	}
+	// Draining workers are mid-handoff: they must not receive new
+	// orphans (their own operators are leaving). They still participate
+	// in the protocol — routes, acks, replay — until their drain
+	// completes. With nothing but draining survivors left, fall back to
+	// using them rather than losing the cluster.
+	candidates := make([]string, 0, len(survivors))
+	for _, w := range survivors {
+		if !l.draining[w] {
+			candidates = append(candidates, w)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = survivors
 	}
 
 	// Congestion-fed re-placement: orphans avoid survivors whose latest
 	// heartbeats show queue backlog or urgency misses, affinity
 	// permitting; host adverts re-break score ties toward survivors whose
 	// host carries a neighbor, so rescued edges come back as ring edges.
-	assign := ReassignTopo(l.g, l.assign, dead, survivors, l.scoresLocked(), l.hostsLocked())
+	assign := ReassignTopo(l.gm, l.assign, dead, candidates, l.scoresLocked(), l.hostsLocked())
 	// Re-home ingest injection and extraction points that lived on the
 	// dead worker so the routing table never names it.
-	ingest := make(map[stream.ID]string, len(l.ingest))
-	for id, w := range l.ingest {
-		if w == dead {
-			w = survivors[0]
-		}
-		ingest[id] = w
-	}
-	extract := make(map[stream.ID][]string, len(l.extract))
-	for id, ws := range l.extract {
-		keep := make([]string, 0, len(ws))
-		for _, w := range ws {
-			if w != dead {
-				keep = append(keep, w)
-			}
-		}
-		extract[id] = keep
-	}
-	peerAddrs := make(map[string]string, len(l.sched.PeerAddrs))
-	for w, a := range l.sched.PeerAddrs {
-		if w != dead {
-			peerAddrs[w] = a
-		}
-	}
-	peerHosts := make(map[string]string, len(l.sched.PeerHosts))
-	for w, h := range l.sched.PeerHosts {
-		if w != dead {
-			peerHosts[w] = h
-		}
-	}
-	peerShm := make(map[string]string, len(l.sched.PeerShm))
-	for w, a := range l.sched.PeerShm {
-		if w != dead {
-			peerShm[w] = a
-		}
-	}
-	peerBShm := make(map[string]string, len(l.sched.PeerBShm))
-	for w, a := range l.sched.PeerBShm {
-		if w != dead {
-			peerBShm[w] = a
-		}
-	}
-	sched := Schedule{
-		Assignments: assign,
-		Routes:      Routes(l.g, assign, survivors, ingest, extract),
-		PeerAddrs:   peerAddrs,
-		PeerHosts:   peerHosts,
-		PeerShm:     peerShm,
-		PeerBShm:    peerBShm,
-		Heartbeat:   l.heartbeat,
-		FailAfter:   l.failAfter,
-		Epoch:       epoch,
-	}
+	l.rehomeLocked(dead, candidates[0])
 	// Only checkpoints for operators that actually lived on the dead
 	// worker travel with the delta.
 	cps := make(map[string]state.Checkpoint)
@@ -243,15 +301,16 @@ func (l *Leader) failover(dead string) {
 	// forward as every consumer of its outputs has provably received —
 	// anything newer the dead worker produced may have been lost in flight
 	// and must be regenerated by re-processing past the cut.
-	cuts := restoreCuts(l.g, l.assign, dead, l.frontiers, cps, extract)
-	l.assign, l.sched, l.ingest, l.extract = assign, sched, ingest, extract
+	cuts := restoreCuts(l.gm, l.assign, dead, l.frontiers, cps, l.extract)
+	sched := l.buildScheduleLocked(assign, epoch)
+	l.assign, l.sched = assign, sched
 	var sessions []*session
 	for _, w := range survivors {
 		if s, ok := l.sessions[w]; ok {
 			sessions = append(sessions, s)
 		}
 	}
-	l.events = append(l.events, Event{Kind: EventRescheduled, Worker: dead, At: time.Now(), Epoch: epoch})
+	l.pushEventLocked(Event{Kind: EventRescheduled, Worker: dead, At: time.Now(), Epoch: epoch})
 	l.mu.Unlock()
 
 	rm := rescheduleMsg{Dead: dead, Schedule: sched, Checkpoints: cps, RestoreAt: cuts}
@@ -268,8 +327,42 @@ func (l *Leader) failover(dead string) {
 		_ = s.send(ctrlMsg{M: replayMsg{Epoch: epoch}})
 	}
 	l.mu.Lock()
-	l.events = append(l.events, Event{Kind: EventRecovered, Worker: dead, At: time.Now(), Epoch: epoch})
+	l.pushEventLocked(Event{Kind: EventRecovered, Worker: dead, At: time.Now(), Epoch: epoch})
 	l.mu.Unlock()
+}
+
+// removeMember returns members without name, preserving order.
+func removeMember(members []string, name string) []string {
+	out := members[:0]
+	for _, w := range members {
+		if w != name {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// rehomeLocked moves ingest injection points off a departing worker and
+// drops it from extraction lists. Caller holds l.mu.
+func (l *Leader) rehomeLocked(gone, to string) {
+	ingest := make(map[stream.ID]string, len(l.ingest))
+	for id, w := range l.ingest {
+		if w == gone {
+			w = to
+		}
+		ingest[id] = w
+	}
+	extract := make(map[stream.ID][]string, len(l.extract))
+	for id, ws := range l.extract {
+		keep := make([]string, 0, len(ws))
+		for _, w := range ws {
+			if w != gone {
+				keep = append(keep, w)
+			}
+		}
+		extract[id] = keep
+	}
+	l.ingest, l.extract = ingest, extract
 }
 
 // restoreCuts computes, per orphaned operator, the newest watermark it may
@@ -292,7 +385,27 @@ func (l *Leader) failover(dead string) {
 // in for an input watermark. Without this an orphaned producer whose only
 // consumer is an extraction point would restore unconstrained and skip
 // outputs the application never received.
-func restoreCuts(g *graph.Graph, assign map[string]string, dead string,
+func restoreCuts(g graph.View, assign map[string]string, dead string,
+	frontiers map[string]map[stream.ID]uint64, cps map[string]state.Checkpoint,
+	extract map[stream.ID][]string) map[string]uint64 {
+	orphans := make(map[string]bool)
+	for op, w := range assign {
+		if w == dead {
+			orphans[op] = true
+		}
+	}
+	return restoreCutsFor(g, assign, orphans, dead, frontiers, cps, extract)
+}
+
+// restoreCutsFor is restoreCuts generalized over an explicit orphan set:
+// orphans lists the operators being re-placed, and gone names a worker
+// whose frontier reports must be ignored (the dead worker in failover, ""
+// for a live migration where the donor's retained operators keep reporting
+// trustworthy frontiers). Failover passes orphans = everything assigned to
+// the dead worker; a drain passes the donor's whole operator set; a
+// partial migration passes just the moved operators, so retained readers
+// on the donor constrain the cut like any other surviving consumer.
+func restoreCutsFor(g graph.View, assign map[string]string, orphans map[string]bool, gone string,
 	frontiers map[string]map[stream.ID]uint64, cps map[string]state.Checkpoint,
 	extract map[stream.ID][]string) map[string]uint64 {
 	readers := make(map[stream.ID][]string)
@@ -302,7 +415,7 @@ func restoreCuts(g *graph.Graph, assign map[string]string, dead string,
 		for _, in := range spec.Inputs {
 			readers[in] = append(readers[in], spec.Name)
 		}
-		if assign[spec.Name] == dead {
+		if orphans[spec.Name] {
 			outputs[spec.Name] = spec.Outputs
 			cuts[spec.Name] = math.MaxUint64
 		}
@@ -323,8 +436,12 @@ func restoreCuts(g *graph.Graph, assign map[string]string, dead string,
 			for _, out := range outs {
 				for _, r := range readers[out] {
 					var c uint64
-					if assign[r] == dead {
+					if orphans[r] {
 						c = fence(r)
+					} else if assign[r] == gone && gone != "" {
+						// A non-orphan reader on the departed worker no
+						// longer exists; it cannot constrain the cut.
+						continue
 					} else {
 						c = frontiers[assign[r]][out]
 					}
@@ -333,7 +450,7 @@ func restoreCuts(g *graph.Graph, assign map[string]string, dead string,
 					}
 				}
 				for _, w := range extract[out] {
-					if w == dead {
+					if w == gone && gone != "" {
 						continue
 					}
 					if c := frontiers[w][out]; c < cut {
@@ -448,7 +565,8 @@ func (n *Node) heartbeatLoop(period time.Duration) {
 		hb := heartbeatMsg{Name: n.Name, Seq: seq,
 			Checkpoints: trimCheckpoints(n.Worker.Checkpoints(), acked),
 			Frontiers:   n.Worker.Frontiers(),
-			Congestion:  n.congestionReport()}
+			Congestion:  n.congestionReport(),
+			OpMisses:    n.Worker.OpUrgencyMisses()}
 		n.encMu.Lock()
 		before := n.ctrlOut.n
 		err := n.enc.Encode(ctrlMsg{M: hb}) //erdos:allow lockhold encMu exists to serialize writers on the single control stream
@@ -565,7 +683,7 @@ func (n *Node) repairLinks() {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			_ = n.dialPeerBackoff(sched, peer, 8, 5*time.Millisecond)
+			_ = n.dialPeerBackoff(sched, peer, n.dialAttempts, n.dialBase)
 			n.mu.Lock()
 			delete(n.repairing, peer)
 			n.mu.Unlock()
@@ -594,7 +712,55 @@ func (n *Node) controlLoop(dec *gob.Decoder) {
 				}
 			}
 			n.mu.Unlock()
+		case drainMsg:
+			// Freeze the named operators (nil = all) and answer with
+			// their checkpoints plus current frontiers — the donor side
+			// of a drain or migration. Release is synchronous and cheap
+			// (flag + snapshot), so the leader's wait stays short.
+			cps := n.Worker.Release(m.Ops)
+			fr := n.Worker.Frontiers()
+			n.encMu.Lock()
+			_ = n.enc.Encode(ctrlMsg{M: drainReadyMsg{Name: n.Name, Checkpoints: cps, Frontiers: fr}}) //erdos:allow lockhold encMu exists to serialize writers on the single control stream
+			n.encMu.Unlock()
+		case drainDoneMsg:
+			// Full drain complete: operators live elsewhere, replay
+			// barrier released. Signal the application it may Close.
+			n.drainedOnce.Do(func() { close(n.drained) })
 		}
+	}
+}
+
+// Drained reports a full drain's completion: the channel closes when the
+// leader confirms every operator this worker hosted has been handed off
+// and the replay barrier released, so Close loses nothing.
+func (n *Node) Drained() <-chan struct{} { return n.drained }
+
+// syncTenants extends the worker with any tenant graphs named by the
+// schedule that this node has not seen yet. Resolution failures (no
+// resolver, or the resolver returns nil) skip the tenant: this node
+// cannot host it, and the leader's placement must keep its operators
+// elsewhere.
+func (n *Node) syncTenants(sched Schedule) {
+	for _, t := range sched.Tenants {
+		n.mu.Lock()
+		known := n.tenantsKnown[t]
+		n.mu.Unlock()
+		if known {
+			continue
+		}
+		var sub *graph.Graph
+		if n.resolver != nil {
+			sub = n.resolver(t)
+		}
+		if sub == nil {
+			continue
+		}
+		if err := n.Worker.Extend(sub); err != nil {
+			continue
+		}
+		n.mu.Lock()
+		n.tenantsKnown[t] = true
+		n.mu.Unlock()
 	}
 }
 
@@ -626,7 +792,13 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 	n.ckAcked = make(map[string]uint64)
 	n.mu.Unlock()
 
-	n.Transport.Disconnect(rm.Dead)
+	// Membership-change reschedules (join, drain, migrate, submit) carry
+	// Dead == "": nothing to disconnect, and the schedule may name tenant
+	// graphs this node has not materialized yet.
+	if rm.Dead != "" {
+		n.Transport.Disconnect(rm.Dead)
+	}
+	n.syncTenants(rm.Schedule)
 
 	// Reconcile broadcast-ring subscriptions with the new routes: detach
 	// from the dead producer's ring (its group died with it) and join any
@@ -638,7 +810,7 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 	// forwarding locks are held across the ring snapshot and the
 	// operator's input subscription, so no live message can overtake the
 	// replayed window.
-	for _, spec := range n.g.Operators() {
+	for _, spec := range n.Worker.View().Operators() {
 		if rm.Schedule.Assignments[spec.Name] != n.Name || n.Worker.Has(spec.Name) {
 			continue
 		}
@@ -751,7 +923,7 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			_ = n.dialPeerBackoff(rm.Schedule, peer, 8, 5*time.Millisecond)
+			_ = n.dialPeerBackoff(rm.Schedule, peer, n.dialAttempts, n.dialBase)
 		}()
 	}
 

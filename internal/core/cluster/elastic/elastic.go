@@ -1,0 +1,231 @@
+// Package elastic holds the pure policy layer of elastic cluster
+// membership: autoscale hysteresis over congestion scores, tenant
+// admission control, and worker selection for tenant placement and
+// drain. The package is deliberately free of clocks, randomness and I/O —
+// every decision is a deterministic function of the inputs the leader
+// feeds it (it is a wallclock deterministic domain under erdos-vet), so
+// scale decisions are replayable from a recorded score stream.
+package elastic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config tunes the autoscaler's hysteresis.
+type Config struct {
+	// HighWater is the congestion score above which a worker counts as
+	// hot; LowWater the score below which every worker must sit for the
+	// cluster to count as cold. HighWater must exceed LowWater or every
+	// oscillation between them thrashes.
+	HighWater int64
+	LowWater  int64
+	// SustainTicks is how many consecutive observations the hot (or cold)
+	// condition must hold before a decision fires; transient spikes
+	// shorter than that are absorbed.
+	SustainTicks int
+	// CooldownTicks is how many observations after a decision the scaler
+	// holds regardless of scores, giving a migration time to land before
+	// its effect is judged.
+	CooldownTicks int
+	// MinWorkers/MaxWorkers clamp the fleet size; ScaleDown never drops
+	// below MinWorkers, ScaleUp never exceeds MaxWorkers (0 = unbounded).
+	MinWorkers int
+	MaxWorkers int
+}
+
+// Norm returns cfg with zero fields replaced by defaults.
+func (cfg Config) Norm() Config {
+	if cfg.HighWater <= 0 {
+		cfg.HighWater = 64
+	}
+	if cfg.LowWater < 0 {
+		cfg.LowWater = 0
+	}
+	if cfg.LowWater >= cfg.HighWater {
+		cfg.LowWater = cfg.HighWater / 2
+	}
+	if cfg.SustainTicks <= 0 {
+		cfg.SustainTicks = 3
+	}
+	if cfg.CooldownTicks <= 0 {
+		cfg.CooldownTicks = 4
+	}
+	if cfg.MinWorkers <= 0 {
+		cfg.MinWorkers = 1
+	}
+	return cfg
+}
+
+// Kind is an autoscale decision.
+type Kind int
+
+const (
+	Hold Kind = iota
+	ScaleUp
+	ScaleDown
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case ScaleUp:
+		return "scale-up"
+	case ScaleDown:
+		return "scale-down"
+	default:
+		return "hold"
+	}
+}
+
+// Decision is the autoscaler's verdict for one observation.
+type Decision struct {
+	Kind Kind
+	// Hot names the worker whose sustained score triggered a ScaleUp (the
+	// migration donor); empty otherwise.
+	Hot string
+	// Peak is the maximum score observed this tick.
+	Peak int64
+}
+
+// Autoscaler converts a stream of per-worker congestion scores into scale
+// decisions with hysteresis: a condition must hold SustainTicks times in a
+// row to fire, and after any decision the scaler holds for CooldownTicks
+// observations. Not safe for concurrent use; the leader observes from one
+// monitor goroutine.
+type Autoscaler struct {
+	cfg      Config
+	hotRun   int
+	coldRun  int
+	cooldown int
+}
+
+// NewAutoscaler builds an autoscaler with cfg (normalized via Norm).
+func NewAutoscaler(cfg Config) *Autoscaler {
+	return &Autoscaler{cfg: cfg.Norm()}
+}
+
+// Config returns the normalized configuration.
+func (a *Autoscaler) Config() Config { return a.cfg }
+
+// Observe feeds one tick of per-worker congestion scores for the current
+// candidate set (draining and dead workers excluded by the caller) and the
+// current fleet size, and returns the decision for this tick.
+func (a *Autoscaler) Observe(scores map[string]int64, workers int) Decision {
+	var peak int64
+	hot := ""
+	cold := true
+	for name, s := range scores {
+		if s > peak || (s == peak && (hot == "" || name < hot)) {
+			peak, hot = s, name
+		}
+		if s >= a.cfg.LowWater {
+			cold = false
+		}
+	}
+	d := Decision{Kind: Hold, Peak: peak}
+	if a.cooldown > 0 {
+		a.cooldown--
+		a.hotRun, a.coldRun = 0, 0
+		return d
+	}
+	if peak >= a.cfg.HighWater {
+		a.hotRun++
+		a.coldRun = 0
+	} else if cold && len(scores) > 0 {
+		a.coldRun++
+		a.hotRun = 0
+	} else {
+		a.hotRun, a.coldRun = 0, 0
+	}
+	switch {
+	case a.hotRun >= a.cfg.SustainTicks && (a.cfg.MaxWorkers == 0 || workers < a.cfg.MaxWorkers):
+		d.Kind, d.Hot = ScaleUp, hot
+		a.hotRun, a.coldRun, a.cooldown = 0, 0, a.cfg.CooldownTicks
+	case a.coldRun >= a.cfg.SustainTicks && workers > a.cfg.MinWorkers:
+		d.Kind = ScaleDown
+		a.hotRun, a.coldRun, a.cooldown = 0, 0, a.cfg.CooldownTicks
+	}
+	return d
+}
+
+// Admit decides whether a tenant with predicted load `incoming` fits a
+// cluster of `workers` workers, each with capacity `perWorker`, already
+// carrying total load `used`. A non-positive perWorker disables admission
+// control. Loads are in whatever unit the caller predicts in (operator
+// count by default); the check is intentionally a linear headroom test —
+// the placement layer handles the finer-grained balancing.
+func Admit(used, incoming int64, workers int, perWorker int64) error {
+	if perWorker <= 0 {
+		return nil
+	}
+	capacity := int64(workers) * perWorker
+	if used+incoming > capacity {
+		return fmt.Errorf("elastic: admission rejected: load %d + incoming %d exceeds capacity %d (%d workers x %d)",
+			used, incoming, capacity, workers, perWorker)
+	}
+	return nil
+}
+
+// PickTenantWorker chooses the home worker for a new tenant: fewest
+// resident tenants first, then lowest congestion score, then name for
+// determinism. candidates must be non-empty; tenantCount and scores may be
+// missing entries (treated as zero).
+func PickTenantWorker(candidates []string, tenantCount map[string]int, scores map[string]int64) string {
+	best := ""
+	for _, w := range candidates {
+		if best == "" {
+			best = w
+			continue
+		}
+		bw, bb := tenantCount[w], tenantCount[best]
+		switch {
+		case bw < bb:
+			best = w
+		case bw == bb && scores[w] < scores[best]:
+			best = w
+		case bw == bb && scores[w] == scores[best] && w < best:
+			best = w
+		}
+	}
+	return best
+}
+
+// Idlest returns the candidate with the lowest score (ties broken by
+// name), or "" when candidates is empty — the worker a cold cluster
+// retires first.
+func Idlest(candidates []string, scores map[string]int64) string {
+	best := ""
+	for _, w := range candidates {
+		if best == "" || scores[w] < scores[best] || (scores[w] == scores[best] && w < best) {
+			best = w
+		}
+	}
+	return best
+}
+
+// Hottest returns the worker with the highest score (ties broken by name),
+// or "" when scores is empty.
+func Hottest(scores map[string]int64) string {
+	names := make([]string, 0, len(scores))
+	for w := range scores {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	best := ""
+	for _, w := range names {
+		if best == "" || scores[w] > scores[best] {
+			best = w
+		}
+	}
+	return best
+}
+
+// Pool spawns and retires workers on behalf of the leader's autoscale
+// loop. Implementations join a new worker to the running cluster on Spawn
+// and stop a worker the leader has already drained on Retire; both may
+// block until the membership change lands.
+type Pool interface {
+	Spawn(name string) error
+	Retire(name string) error
+}

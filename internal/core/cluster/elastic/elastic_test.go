@@ -1,0 +1,105 @@
+package elastic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAutoscalerSustainAndCooldown(t *testing.T) {
+	a := NewAutoscaler(Config{HighWater: 10, LowWater: 2, SustainTicks: 3, CooldownTicks: 2, MinWorkers: 1, MaxWorkers: 4})
+	hot := map[string]int64{"w1": 20, "w2": 1}
+
+	// A spike shorter than SustainTicks never fires.
+	for i := 0; i < 2; i++ {
+		if d := a.Observe(hot, 2); d.Kind != Hold {
+			t.Fatalf("tick %d: got %v, want hold while sustaining", i, d.Kind)
+		}
+	}
+	if d := a.Observe(map[string]int64{"w1": 1, "w2": 1}, 2); d.Kind != Hold {
+		t.Fatalf("dip should reset the hot run, got %v", d.Kind)
+	}
+
+	// Three sustained hot ticks fire a ScaleUp naming the hot worker.
+	var fired Decision
+	for i := 0; i < 3; i++ {
+		fired = a.Observe(hot, 2)
+	}
+	if fired.Kind != ScaleUp || fired.Hot != "w1" {
+		t.Fatalf("got %+v, want ScaleUp on w1", fired)
+	}
+
+	// Cooldown holds even under continued heat.
+	for i := 0; i < 2; i++ {
+		if d := a.Observe(hot, 3); d.Kind != Hold {
+			t.Fatalf("cooldown tick %d: got %v, want hold", i, d.Kind)
+		}
+	}
+}
+
+func TestAutoscalerScaleDownRespectsMin(t *testing.T) {
+	a := NewAutoscaler(Config{HighWater: 10, LowWater: 2, SustainTicks: 2, CooldownTicks: 1, MinWorkers: 2})
+	cold := map[string]int64{"w1": 0, "w2": 1, "w3": 0}
+	if d := a.Observe(cold, 3); d.Kind != Hold {
+		t.Fatalf("first cold tick should hold, got %v", d.Kind)
+	}
+	if d := a.Observe(cold, 3); d.Kind != ScaleDown {
+		t.Fatalf("sustained cold should scale down, got %v", d.Kind)
+	}
+	// Burn the cooldown tick, then verify MinWorkers blocks further shrink.
+	a.Observe(cold, 2)
+	a.Observe(cold, 2)
+	if d := a.Observe(cold, 2); d.Kind != Hold {
+		t.Fatalf("at MinWorkers, got %v, want hold", d.Kind)
+	}
+}
+
+func TestAutoscalerMaxWorkersBlocksScaleUp(t *testing.T) {
+	a := NewAutoscaler(Config{HighWater: 5, LowWater: 1, SustainTicks: 1, CooldownTicks: 1, MaxWorkers: 2})
+	if d := a.Observe(map[string]int64{"w1": 50}, 2); d.Kind != Hold {
+		t.Fatalf("at MaxWorkers, got %v, want hold", d.Kind)
+	}
+}
+
+func TestAdmit(t *testing.T) {
+	if err := Admit(5, 3, 2, 5); err != nil {
+		t.Fatalf("within capacity: %v", err)
+	}
+	err := Admit(8, 3, 2, 5)
+	if err == nil || !strings.Contains(err.Error(), "admission rejected") {
+		t.Fatalf("over capacity: got %v, want rejection", err)
+	}
+	if err := Admit(1_000_000, 1, 1, 0); err != nil {
+		t.Fatalf("perWorker<=0 disables admission, got %v", err)
+	}
+}
+
+func TestPickTenantWorker(t *testing.T) {
+	got := PickTenantWorker([]string{"w2", "w1"}, map[string]int{"w1": 1}, nil)
+	if got != "w2" {
+		t.Fatalf("fewest tenants first: got %q, want w2", got)
+	}
+	got = PickTenantWorker([]string{"w2", "w1"}, nil, map[string]int64{"w1": 3, "w2": 9})
+	if got != "w1" {
+		t.Fatalf("score breaks tenant ties: got %q, want w1", got)
+	}
+	got = PickTenantWorker([]string{"w2", "w1"}, nil, nil)
+	if got != "w1" {
+		t.Fatalf("name breaks full ties: got %q, want w1", got)
+	}
+}
+
+func TestIdlestAndHottest(t *testing.T) {
+	scores := map[string]int64{"w1": 4, "w2": 0, "w3": 9}
+	if got := Idlest([]string{"w1", "w2", "w3"}, scores); got != "w2" {
+		t.Fatalf("Idlest got %q, want w2", got)
+	}
+	if got := Hottest(scores); got != "w3" {
+		t.Fatalf("Hottest got %q, want w3", got)
+	}
+	if got := Idlest(nil, scores); got != "" {
+		t.Fatalf("empty candidates: got %q, want empty", got)
+	}
+	if got := Hottest(map[string]int64{"b": 5, "a": 5}); got != "a" {
+		t.Fatalf("Hottest tie-break got %q, want a", got)
+	}
+}

@@ -1,0 +1,757 @@
+// Elastic membership: the leader-side protocol for graceful join, planned
+// drain, live migration, multi-tenant admission, and the autoscale loop
+// that drives all of them from congestion reports.
+//
+// Every reconfiguration here reuses the failover machinery — consistent
+// restore cuts (restoreCutsFor), the reschedule push, the ack barrier, and
+// the replay release — so elastic changes inherit failover's exactly-once
+// guarantee at watermark granularity. The difference from failover is only
+// where the checkpoints come from: a live donor freezes its operators and
+// hands a fresh snapshot over (drainMsg/drainReadyMsg) instead of the
+// leader falling back to the last heartbeat of a dead worker.
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/cluster/elastic"
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/state"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+// Default recovery-dial backoff (see WithDialBackoff).
+const (
+	defaultDialAttempts = 8
+	defaultDialBase     = 5 * time.Millisecond
+)
+
+// joinHandshakeTimeout bounds the pre-start exchange with a joiner while
+// admitJoin holds reconfigMu; a wedged joiner aborts its own admission
+// instead of freezing drains and failovers behind the lock.
+const joinHandshakeTimeout = 10 * time.Second
+
+// buildScheduleLocked assembles the schedule for the current member set
+// and the given assignment: peer maps from registration adverts, routes
+// from the composite graph, tenants sorted for deterministic sync on the
+// nodes. Caller holds l.mu.
+func (l *Leader) buildScheduleLocked(assign map[string]string, epoch uint64) Schedule {
+	workers := append([]string(nil), l.members...)
+	sort.Strings(workers)
+	peerAddrs := make(map[string]string, len(workers))
+	var peerHosts, peerShm, peerBShm map[string]string
+	for _, w := range workers {
+		s, ok := l.sessions[w]
+		if !ok {
+			continue
+		}
+		peerAddrs[w] = s.reg.DataAddr
+		if s.reg.HostID != "" {
+			if peerHosts == nil {
+				peerHosts = make(map[string]string)
+			}
+			peerHosts[w] = s.reg.HostID
+		}
+		if s.reg.ShmAddr != "" {
+			if peerShm == nil {
+				peerShm = make(map[string]string)
+			}
+			peerShm[w] = s.reg.ShmAddr
+		}
+		if s.reg.BShmAddr != "" {
+			if peerBShm == nil {
+				peerBShm = make(map[string]string)
+			}
+			peerBShm[w] = s.reg.BShmAddr
+		}
+	}
+	tenants := make([]string, 0, len(l.tenantLoad))
+	for t := range l.tenantLoad {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	if len(tenants) == 0 {
+		tenants = nil
+	}
+	return Schedule{
+		Assignments: assign,
+		Routes:      Routes(l.gm, assign, workers, l.ingest, l.extract),
+		PeerAddrs:   peerAddrs,
+		PeerHosts:   peerHosts,
+		PeerShm:     peerShm,
+		PeerBShm:    peerBShm,
+		Heartbeat:   l.heartbeat,
+		FailAfter:   l.failAfter,
+		Epoch:       epoch,
+		Tenants:     tenants,
+	}
+}
+
+// acceptLoop admits late joiners on the leader's control listener. Each
+// admission runs in its own goroutine so a slow joiner never blocks the
+// next; reconfigMu serializes the actual membership change.
+func (l *Leader) acceptLoop() {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			l.admitJoin(conn)
+		}()
+	}
+}
+
+// admitJoin runs the join protocol for one connection: register, extend the
+// member set, send the joiner its initial schedule (current epoch + 1),
+// push the membership delta to the existing workers, and only then start
+// the joiner. The joiner hosts no operators at admission — assignments are
+// unchanged, so no checkpoints or restore cuts travel; the autoscaler (or
+// an explicit Migrate) moves load onto it afterwards.
+func (l *Leader) admitJoin(conn net.Conn) {
+	s := &session{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	if err := s.dec.Decode(&s.reg); err != nil {
+		conn.Close()
+		return
+	}
+	s.name = s.reg.Name
+
+	l.reconfigMu.Lock()
+	defer l.reconfigMu.Unlock()
+	l.mu.Lock()
+	if _, dup := l.sessions[s.name]; dup {
+		l.mu.Unlock()
+		conn.Close()
+		return
+	}
+	l.sessions[s.name] = s
+	l.members = append(l.members, s.name)
+	sort.Strings(l.members)
+	epoch := l.sched.Epoch + 1
+	sched := l.buildScheduleLocked(l.assign, epoch)
+	l.sched = sched
+	var existing []string
+	var sessions []*session
+	for _, w := range l.members {
+		if w != s.name && l.alive[w] {
+			existing = append(existing, w)
+			sessions = append(sessions, l.sessions[w])
+		}
+	}
+	l.mu.Unlock()
+
+	abort := func() {
+		l.mu.Lock()
+		delete(l.sessions, s.name)
+		l.members = removeMember(l.members, s.name)
+		l.mu.Unlock()
+		conn.Close()
+	}
+	// Pre-start protocol with the joiner mirrors the initial startPhase:
+	// plain schedule, ready, start. Its data plane is already listening
+	// (the transport binds before registration), so existing workers can
+	// dial it as soon as they apply the delta. The exchange stays under
+	// reconfigMu on purpose — a drain or failover interleaving with a
+	// half-admitted member would ship schedules that disagree about the
+	// member set — and the conn deadline bounds how long a wedged joiner
+	// can hold the lock.
+	_ = conn.SetDeadline(time.Now().Add(joinHandshakeTimeout))
+	//erdos:allow lockhold admission must be atomic under reconfigMu (same contract as drain/failover); the handshake conn deadline bounds the hold
+	if err := s.enc.Encode(scheduleMsg{Schedule: sched}); err != nil {
+		abort()
+		return
+	}
+	var r readyMsg
+	//erdos:allow lockhold admission must be atomic under reconfigMu (same contract as drain/failover); the handshake conn deadline bounds the hold
+	if err := s.dec.Decode(&r); err != nil {
+		abort()
+		return
+	}
+	rm := rescheduleMsg{Schedule: sched}
+	for _, es := range sessions {
+		_ = es.send(ctrlMsg{M: rm})
+	}
+	acked := l.awaitAcks(existing, epoch)
+	l.mu.Lock()
+	l.alive[s.name] = true
+	l.lastBeat[s.name] = time.Now()
+	l.pushEventLocked(Event{Kind: EventJoined, Worker: s.name, At: time.Now(), Epoch: epoch})
+	l.mu.Unlock()
+	//erdos:allow lockhold admission must be atomic under reconfigMu (same contract as drain/failover); the handshake conn deadline bounds the hold
+	if err := s.enc.Encode(startMsg{}); err != nil {
+		l.mu.Lock()
+		l.alive[s.name] = false
+		delete(l.sessions, s.name)
+		l.members = removeMember(l.members, s.name)
+		l.mu.Unlock()
+		conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if acked {
+		for _, es := range sessions {
+			_ = es.send(ctrlMsg{M: replayMsg{Epoch: epoch}})
+		}
+	}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		l.readSession(s)
+	}()
+}
+
+// Drain gracefully removes a live worker: its operators are frozen at a
+// consistent point, their checkpoints handed to the leader, re-placed onto
+// the remaining workers with the same restore-cut/replay-barrier protocol
+// failover uses, and the donor is finally told it may exit (Node.Drained
+// closes). Unlike failover, nothing is lost in flight — the donor's
+// freeze-time checkpoints are exact, so adopters restore at the newest
+// consumer-confirmed watermark and regeneration covers the rest.
+func (l *Leader) Drain(name string) error {
+	l.reconfigMu.Lock()
+	defer l.reconfigMu.Unlock()
+
+	l.mu.Lock()
+	s, ok := l.sessions[name]
+	switch {
+	case !ok || !l.alive[name]:
+		l.mu.Unlock()
+		return fmt.Errorf("cluster: drain %s: no such live worker", name)
+	case l.draining[name]:
+		l.mu.Unlock()
+		return fmt.Errorf("cluster: drain %s: already draining", name)
+	}
+	others := 0
+	for _, w := range l.members {
+		if w != name && l.alive[w] && !l.draining[w] {
+			others++
+		}
+	}
+	if others == 0 {
+		l.mu.Unlock()
+		return fmt.Errorf("cluster: drain %s: no destination workers", name)
+	}
+	l.draining[name] = true
+	ch := make(chan drainReadyMsg, 1)
+	l.drainWait[name] = ch
+	epochHint := l.sched.Epoch + 1
+	l.pushEventLocked(Event{Kind: EventDrainStarted, Worker: name, At: time.Now(), Epoch: epochHint})
+	l.mu.Unlock()
+
+	ready, err := l.awaitDrainReady(s, ch, nil, name)
+	if err != nil {
+		l.mu.Lock()
+		delete(l.draining, name)
+		delete(l.drainWait, name)
+		l.mu.Unlock()
+		return err
+	}
+
+	l.mu.Lock()
+	delete(l.drainWait, name)
+	l.checkpoints[name] = mergeCheckpoints(l.checkpoints[name], ready.Checkpoints)
+	if ready.Frontiers != nil {
+		l.frontiers[name] = ready.Frontiers
+	}
+	l.members = removeMember(l.members, name)
+	epoch := l.sched.Epoch + 1
+	var survivors, candidates []string
+	for _, w := range l.members {
+		if !l.alive[w] {
+			continue
+		}
+		survivors = append(survivors, w)
+		if !l.draining[w] {
+			candidates = append(candidates, w)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = survivors
+	}
+	assign := ReassignTopo(l.gm, l.assign, name, candidates, l.scoresLocked(), l.hostsLocked())
+	l.rehomeLocked(name, candidates[0])
+	cps := make(map[string]state.Checkpoint)
+	for op, cp := range l.checkpoints[name] {
+		if l.assign[op] == name {
+			cps[op] = cp
+		}
+	}
+	// A full drain orphans the donor's entire operator set, exactly like a
+	// failure does — restoreCuts' dead-worker semantics apply verbatim,
+	// with fresher inputs: freeze-time checkpoints and frontiers.
+	cuts := restoreCuts(l.gm, l.assign, name, l.frontiers, cps, l.extract)
+	sched := l.buildScheduleLocked(assign, epoch)
+	l.assign, l.sched = assign, sched
+	var sessions []*session
+	for _, w := range survivors {
+		if es, ok := l.sessions[w]; ok {
+			sessions = append(sessions, es)
+		}
+	}
+	l.pushEventLocked(Event{Kind: EventRescheduled, Worker: name, At: time.Now(), Epoch: epoch})
+	l.mu.Unlock()
+
+	// The donor does not receive this reschedule: its operators are gone
+	// and survivors Disconnect it on apply. It waits on drainDoneMsg.
+	rm := rescheduleMsg{Dead: name, Schedule: sched, Checkpoints: cps, RestoreAt: cuts}
+	for _, es := range sessions {
+		_ = es.send(ctrlMsg{M: rm})
+	}
+	if l.awaitAcks(survivors, epoch) {
+		for _, es := range sessions {
+			_ = es.send(ctrlMsg{M: replayMsg{Epoch: epoch}})
+		}
+	}
+	_ = s.send(ctrlMsg{M: drainDoneMsg{}})
+
+	l.mu.Lock()
+	l.alive[name] = false
+	delete(l.draining, name)
+	delete(l.sessions, name)
+	delete(l.lastBeat, name)
+	delete(l.checkpoints, name)
+	delete(l.frontiers, name)
+	delete(l.congestion, name)
+	delete(l.missBase, name)
+	delete(l.missDelta, name)
+	delete(l.opMissBase, name)
+	l.pushEventLocked(Event{Kind: EventDrained, Worker: name, At: time.Now(), Epoch: epoch})
+	l.mu.Unlock()
+	return nil
+}
+
+// awaitDrainReady waits for the donor's freeze-time snapshot, bounded by
+// 4x the fail window (the same budget as the ack barrier). ops narrows the
+// freeze to the named operators (nil = all).
+func (l *Leader) awaitDrainReady(s *session, ch chan drainReadyMsg, ops []string, name string) (drainReadyMsg, error) {
+	if err := s.send(ctrlMsg{M: drainMsg{Ops: ops}}); err != nil {
+		return drainReadyMsg{}, fmt.Errorf("cluster: drain %s: %w", name, err)
+	}
+	select {
+	case ready := <-ch:
+		return ready, nil
+	case <-time.After(4 * l.failAfter):
+		return drainReadyMsg{}, fmt.Errorf("cluster: drain %s: timed out waiting for checkpoint handoff", name)
+	case <-l.quit:
+		return drainReadyMsg{}, fmt.Errorf("cluster: drain %s: leader stopping", name)
+	}
+}
+
+// Migrate moves the named operators from a live donor to target: the donor
+// freezes just those operators and hands their checkpoints over; everyone
+// (donor included — it must retarget forwarding) applies the new routes
+// under the usual ack/replay barrier. Restore cuts treat only the moved
+// set as orphans, so the donor's retained operators keep constraining the
+// cut like any surviving consumer.
+//
+// Callers should move a consumer-closed producer set — in practice a whole
+// tenant, which is what the autoscaler does. Inputs fed by retained
+// co-located producers have no replay ring on the donor (local delivery
+// never crossed the forwarding layer), so messages in flight between a
+// retained producer and a moved consumer at freeze time would be
+// regenerated only as far back as the producer's retained window.
+func (l *Leader) Migrate(donor string, ops []string, target string) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("cluster: migrate: no operators named")
+	}
+	if donor == target {
+		return fmt.Errorf("cluster: migrate: donor and target are both %s", donor)
+	}
+	l.reconfigMu.Lock()
+	defer l.reconfigMu.Unlock()
+
+	l.mu.Lock()
+	s, ok := l.sessions[donor]
+	switch {
+	case !ok || !l.alive[donor]:
+		l.mu.Unlock()
+		return fmt.Errorf("cluster: migrate: no such live donor %s", donor)
+	case !l.alive[target] || l.draining[target]:
+		l.mu.Unlock()
+		return fmt.Errorf("cluster: migrate: target %s not a live schedulable worker", target)
+	case l.draining[donor]:
+		l.mu.Unlock()
+		return fmt.Errorf("cluster: migrate: donor %s is draining", donor)
+	}
+	for _, op := range ops {
+		if l.assign[op] != donor {
+			l.mu.Unlock()
+			return fmt.Errorf("cluster: migrate: %s is not on %s", op, donor)
+		}
+	}
+	ch := make(chan drainReadyMsg, 1)
+	l.drainWait[donor] = ch
+	l.mu.Unlock()
+
+	ready, err := l.awaitDrainReady(s, ch, ops, donor)
+	l.mu.Lock()
+	delete(l.drainWait, donor)
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.checkpoints[donor] = mergeCheckpoints(l.checkpoints[donor], ready.Checkpoints)
+	if ready.Frontiers != nil {
+		l.frontiers[donor] = ready.Frontiers
+	}
+	epoch := l.sched.Epoch + 1
+	orphans := make(map[string]bool, len(ops))
+	assign := make(map[string]string, len(l.assign))
+	for op, w := range l.assign {
+		assign[op] = w
+	}
+	for _, op := range ops {
+		orphans[op] = true
+		assign[op] = target
+	}
+	cps := make(map[string]state.Checkpoint, len(ops))
+	for _, op := range ops {
+		if cp, ok := l.checkpoints[donor][op]; ok {
+			cps[op] = cp
+		}
+	}
+	// gone is "" — the donor stays alive, so its frontier reports (and its
+	// retained operators) remain trustworthy constraints on the cut.
+	cuts := restoreCutsFor(l.gm, l.assign, orphans, "", l.frontiers, cps, l.extract)
+	sched := l.buildScheduleLocked(assign, epoch)
+	l.assign, l.sched = assign, sched
+	var recipients []string
+	var sessions []*session
+	for _, w := range l.members {
+		if l.alive[w] {
+			recipients = append(recipients, w)
+			sessions = append(sessions, l.sessions[w])
+		}
+	}
+	l.pushEventLocked(Event{Kind: EventRescheduled, Worker: donor, At: time.Now(), Epoch: epoch})
+	l.mu.Unlock()
+
+	rm := rescheduleMsg{Schedule: sched, Checkpoints: cps, RestoreAt: cuts}
+	for _, es := range sessions {
+		_ = es.send(ctrlMsg{M: rm})
+	}
+	if l.awaitAcks(recipients, epoch) {
+		for _, es := range sessions {
+			_ = es.send(ctrlMsg{M: replayMsg{Epoch: epoch}})
+		}
+	}
+	l.mu.Lock()
+	l.pushEventLocked(Event{Kind: EventMigrated, Worker: target, At: time.Now(), Epoch: epoch})
+	l.mu.Unlock()
+	return nil
+}
+
+// Tenant is one pipeline submitted to a running cluster.
+type Tenant struct {
+	// Name tags the tenant's operators for deadline isolation accounting
+	// and names it in Schedule.Tenants; must be unique across the cluster.
+	Name string
+	// Graph is the tenant's dataflow. Every node that may host it needs a
+	// resolver (WithTenantResolver) returning a graph with identical
+	// stream IDs — in-process, share this *graph.Graph itself.
+	Graph *graph.Graph
+	// IngestAt names the worker where each externally-injected stream
+	// enters ("" = the tenant's home worker). Prefer a stable worker: an
+	// injection point rides the leader's re-homing on drain/failover, but
+	// messages in flight to it are only covered by forwarding replay
+	// rings, which injection at the producer-side worker guarantees.
+	IngestAt map[stream.ID]string
+	// ExtractAt lists workers whose applications subscribe to each stream
+	// without a local operator (extraction points).
+	ExtractAt map[stream.ID][]string
+	// Load is the tenant's declared admission load (operator count when
+	// zero), in the same unit as WithTenantCapacity's per-worker budget.
+	Load int64
+}
+
+// Submit admits a tenant pipeline into the running cluster: admission
+// control against declared loads, home-worker selection (fewest tenants,
+// then lowest congestion), graph extension on every node via the schedule's
+// tenant list, and a reschedule placing the tenant's operators on its home.
+// Per-tenant urgency-miss accounting (TenantMisses) starts at admission.
+func (l *Leader) Submit(t Tenant) error {
+	if t.Name == "" || t.Graph == nil {
+		return fmt.Errorf("cluster: submit: tenant needs a name and a graph")
+	}
+	specs := t.Graph.Operators()
+	load := t.Load
+	if load <= 0 {
+		load = int64(len(specs))
+	}
+	l.reconfigMu.Lock()
+	defer l.reconfigMu.Unlock()
+
+	l.mu.Lock()
+	if _, dup := l.tenantLoad[t.Name]; dup {
+		l.mu.Unlock()
+		return fmt.Errorf("cluster: submit: tenant %s already admitted", t.Name)
+	}
+	var candidates []string
+	for _, w := range l.members {
+		if l.alive[w] && !l.draining[w] {
+			candidates = append(candidates, w)
+		}
+	}
+	if len(candidates) == 0 {
+		l.mu.Unlock()
+		return fmt.Errorf("cluster: submit %s: no schedulable workers", t.Name)
+	}
+	var used int64
+	for _, v := range l.tenantLoad {
+		used += v
+	}
+	if err := elastic.Admit(used, load, len(candidates), l.tenantCap); err != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("cluster: submit %s: %w", t.Name, err)
+	}
+	byWorker := make(map[string]map[string]bool)
+	for op, tn := range l.tenantOf {
+		w := l.assign[op]
+		if byWorker[w] == nil {
+			byWorker[w] = make(map[string]bool)
+		}
+		byWorker[w][tn] = true
+	}
+	counts := make(map[string]int, len(byWorker))
+	for w, ts := range byWorker {
+		counts[w] = len(ts)
+	}
+	home := elastic.PickTenantWorker(candidates, counts, l.scoresLocked())
+	l.mu.Unlock()
+
+	// Extending the composite graph validates the tenant (unique operator
+	// and stream names) before any shared state changes.
+	if err := l.gm.Add(t.Graph); err != nil {
+		return fmt.Errorf("cluster: submit %s: %w", t.Name, err)
+	}
+
+	l.mu.Lock()
+	assign := make(map[string]string, len(l.assign)+len(specs))
+	for op, w := range l.assign {
+		assign[op] = w
+	}
+	for _, spec := range specs {
+		assign[spec.Name] = home
+		l.tenantOf[spec.Name] = t.Name
+	}
+	l.tenantLoad[t.Name] = load
+	for id, w := range t.IngestAt {
+		if w == "" {
+			w = home
+		}
+		if l.ingest == nil {
+			l.ingest = make(map[stream.ID]string)
+		}
+		l.ingest[id] = w
+	}
+	for id, ws := range t.ExtractAt {
+		if l.extract == nil {
+			l.extract = make(map[stream.ID][]string)
+		}
+		l.extract[id] = append(append([]string(nil), l.extract[id]...), ws...)
+	}
+	epoch := l.sched.Epoch + 1
+	sched := l.buildScheduleLocked(assign, epoch)
+	l.assign, l.sched = assign, sched
+	var recipients []string
+	var sessions []*session
+	for _, w := range l.members {
+		if l.alive[w] {
+			recipients = append(recipients, w)
+			sessions = append(sessions, l.sessions[w])
+		}
+	}
+	l.pushEventLocked(Event{Kind: EventTenantAdmitted, Worker: home, At: time.Now(), Epoch: epoch})
+	l.mu.Unlock()
+
+	// Fresh operators carry no checkpoints and no restore cuts: they adopt
+	// unfenced and process from the first message their producers emit.
+	rm := rescheduleMsg{Schedule: sched}
+	for _, es := range sessions {
+		_ = es.send(ctrlMsg{M: rm})
+	}
+	if l.awaitAcks(recipients, epoch) {
+		for _, es := range sessions {
+			_ = es.send(ctrlMsg{M: replayMsg{Epoch: epoch}})
+		}
+	}
+	return nil
+}
+
+// autoscaleTick runs one autoscaler observation from the monitor loop and,
+// when a decision fires, launches the scale action in a detached goroutine
+// (gated to one in flight by scaleBusy) so a slow spawn or migration never
+// wedges failure detection.
+func (l *Leader) autoscaleTick() {
+	if l.scaler == nil || l.pool == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.scaleBusy {
+		l.mu.Unlock()
+		return
+	}
+	scores := l.scoresLocked()
+	// Candidate scores default to zero for workers that have not reported
+	// yet, so a joiner immediately counts toward cold detection.
+	cand := make(map[string]int64)
+	for _, w := range l.members {
+		if l.alive[w] && !l.draining[w] {
+			cand[w] = scores[w]
+		}
+	}
+	d := l.scaler.Observe(cand, len(cand))
+	switch d.Kind {
+	case elastic.ScaleUp:
+		l.scaleBusy = true
+		l.autoName++
+		name := fmt.Sprintf("w-elastic-%d", l.autoName)
+		l.pushEventLocked(Event{Kind: EventScaleUp, Worker: d.Hot, At: time.Now(), Epoch: l.sched.Epoch})
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			l.scaleUp(d.Hot, name)
+		}()
+	case elastic.ScaleDown:
+		var pool []string
+		for w := range cand {
+			if l.spawned[w] {
+				pool = append(pool, w)
+			}
+		}
+		victim := elastic.Idlest(pool, scores)
+		if victim == "" {
+			// Nothing pool-spawned to retire; statically provisioned
+			// workers are never scaled away.
+			l.mu.Unlock()
+			return
+		}
+		l.scaleBusy = true
+		l.pushEventLocked(Event{Kind: EventScaleDown, Worker: victim, At: time.Now(), Epoch: l.sched.Epoch})
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			l.scaleDown(victim)
+		}()
+	default:
+		l.mu.Unlock()
+	}
+}
+
+// scaleUp spawns a worker through the pool (which joins it via the normal
+// admission path) and rebalances by migrating one whole tenant — the one
+// with the worst urgency-miss record — off the hot worker onto the new
+// one. Moving a whole tenant keeps the migrated producer set closed (see
+// Migrate) and is exactly the isolation lever: the overloaded tenant's
+// pressure leaves with it.
+func (l *Leader) scaleUp(hot, name string) {
+	defer func() {
+		l.mu.Lock()
+		l.scaleBusy = false
+		l.mu.Unlock()
+	}()
+	// reconfigMu is NOT held here: Spawn blocks until the worker's Join
+	// completes, and admission itself takes reconfigMu.
+	if err := l.pool.Spawn(name); err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.spawned[name] = true
+	tenant := ""
+	opsOnHot := make(map[string][]string)
+	for op, tn := range l.tenantOf {
+		if l.assign[op] == hot {
+			opsOnHot[tn] = append(opsOnHot[tn], op)
+		}
+	}
+	for tn, ops := range opsOnHot {
+		switch {
+		case tenant == "",
+			l.tenantMiss[tn] > l.tenantMiss[tenant],
+			l.tenantMiss[tn] == l.tenantMiss[tenant] && len(ops) > len(opsOnHot[tenant]),
+			l.tenantMiss[tn] == l.tenantMiss[tenant] && len(ops) == len(opsOnHot[tenant]) && tn < tenant:
+			tenant = tn
+		}
+	}
+	ops := append([]string(nil), opsOnHot[tenant]...)
+	l.mu.Unlock()
+	if tenant == "" || len(ops) == 0 {
+		// No tenant lives on the hot worker — the joiner still relieves it
+		// indirectly (future placement prefers the idle member).
+		return
+	}
+	sort.Strings(ops)
+	_ = l.Migrate(hot, ops, name)
+}
+
+// scaleDown drains the chosen pool-spawned worker (moving its operators
+// back onto the remaining members) and then asks the pool to stop it. The
+// pool only stops a worker the leader has already drained.
+func (l *Leader) scaleDown(victim string) {
+	defer func() {
+		l.mu.Lock()
+		l.scaleBusy = false
+		l.mu.Unlock()
+	}()
+	if err := l.Drain(victim); err != nil {
+		return
+	}
+	_ = l.pool.Retire(victim)
+	l.mu.Lock()
+	delete(l.spawned, victim)
+	l.mu.Unlock()
+}
+
+// Members returns the current scheduled worker set, sorted.
+func (l *Leader) Members() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]string(nil), l.members...)
+	sort.Strings(out)
+	return out
+}
+
+// Draining reports the workers currently mid-drain, sorted.
+func (l *Leader) Draining() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.draining))
+	for w := range l.draining {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tenants returns the admitted tenant names, sorted.
+func (l *Leader) Tenants() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.tenantLoad))
+	for t := range l.tenantLoad {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TenantMisses returns the cumulative urgency-miss count per tenant since
+// admission, accumulated from per-operator heartbeat deltas. Operators
+// outside any tenant (the leader's base graph) aggregate under "".
+func (l *Leader) TenantMisses() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.tenantMiss))
+	for t, n := range l.tenantMiss {
+		out[t] = n
+	}
+	return out
+}

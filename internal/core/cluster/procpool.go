@@ -1,0 +1,99 @@
+// ProcPool: the in-process elastic.Pool used by tests, the chaos suite and
+// cmd/av-sim — spawned workers are goroutine-hosted Nodes joining the
+// leader over loopback, exercising the full join/drain protocol without
+// separate processes.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/worker"
+)
+
+// ProcPool spawns in-process workers that Join the leader at Addr with the
+// base graph and options given. It satisfies elastic.Pool: Spawn blocks
+// until the worker is admitted and started; Retire waits for the leader's
+// drain confirmation (Node.Drained) and then closes the node.
+type ProcPool struct {
+	// Addr is the leader's control address.
+	Addr string
+	// Graph is the base graph every spawned worker is built over (the same
+	// one the static workers joined with). Tenants extend it at admission
+	// via the join options' resolver.
+	Graph *graph.Graph
+	// Opts is the worker option template; Name and Owns are set per spawn.
+	Opts worker.Options
+	// JoinOpts are appended to every spawn's Join call — install
+	// WithTenantResolver here so pool workers can host tenants.
+	JoinOpts []JoinOption
+	// RetireTimeout bounds how long Retire waits for the drain
+	// confirmation before closing anyway (default 10s).
+	RetireTimeout time.Duration
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+// Spawn joins a new worker named name to the cluster, blocking until the
+// leader has admitted and started it.
+func (p *ProcPool) Spawn(name string) error {
+	n, err := Join(p.Addr, name, p.Graph, p.Opts, p.JoinOpts...)
+	if err != nil {
+		return fmt.Errorf("procpool: spawn %s: %w", name, err)
+	}
+	p.mu.Lock()
+	if p.nodes == nil {
+		p.nodes = make(map[string]*Node)
+	}
+	p.nodes[name] = n
+	p.mu.Unlock()
+	return nil
+}
+
+// Retire stops a spawned worker the leader has already drained: it waits
+// for the drain confirmation (bounded by RetireTimeout) and closes the
+// node. Retiring an unknown worker is an error.
+func (p *ProcPool) Retire(name string) error {
+	p.mu.Lock()
+	n := p.nodes[name]
+	delete(p.nodes, name)
+	p.mu.Unlock()
+	if n == nil {
+		return fmt.Errorf("procpool: retire %s: not a pool worker", name)
+	}
+	timeout := p.RetireTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	select {
+	case <-n.Drained():
+	case <-time.After(timeout):
+	}
+	n.Close()
+	return nil
+}
+
+// Node returns the live node for a spawned worker (nil once retired), for
+// tests that assert on the worker's state.
+func (p *ProcPool) Node(name string) *Node {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nodes[name]
+}
+
+// Close force-closes every remaining spawned worker (test teardown).
+func (p *ProcPool) Close() {
+	p.mu.Lock()
+	nodes := make([]*Node, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		nodes = append(nodes, n)
+	}
+	p.nodes = nil
+	p.mu.Unlock()
+	for _, n := range nodes {
+		n.Close()
+	}
+}

@@ -1,0 +1,183 @@
+// A View is the read side of a dataflow graph: everything the scheduler,
+// router and worker runtime consume, without the construction API. *Graph
+// satisfies it directly; Multi composes several graphs — the base graph
+// plus tenant pipelines admitted at runtime — behind the same surface, so
+// the placement and failover machinery is tenancy-blind.
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/erdos-go/erdos/internal/core/operator"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+// View is the read-only surface of one or more dataflow graphs.
+type View interface {
+	// Operators returns operator specs in registration order.
+	Operators() []*operator.Spec
+	// Streams returns stream specs in registration order.
+	Streams() []*StreamSpec
+	// Readers returns the names of operators reading stream id.
+	Readers(id stream.ID) []string
+	// Writer returns the operator writing stream id, if any.
+	Writer(id stream.ID) (string, bool)
+	// AffinityOf returns the co-location group index of an operator, if any.
+	AffinityOf(op string) (int, bool)
+	// DeadlineFeeds returns the registered dynamic-deadline feeds.
+	DeadlineFeeds() []DeadlineFeed
+	// Validate checks well-formedness.
+	Validate() error
+}
+
+var _ View = (*Graph)(nil)
+
+// Multi composes several independently-built graphs into one View. Stream
+// IDs are globally unique (stream.NewID is a process-wide counter), so the
+// parts never collide on streams; Add rejects duplicate operator names so
+// the composite keeps the one-writer/unique-name invariants of a single
+// graph. Affinity group indices are offset per part, so two tenants'
+// group 0 stay distinct co-location groups.
+//
+// Add only ever appends, and the parts themselves are immutable once
+// built, so a Multi may be shared between a leader and its local workers:
+// every method takes a snapshot under the lock and reads outside it.
+type Multi struct {
+	mu     sync.RWMutex
+	parts  []*Graph
+	gidOff []int // affinity group index offset per part
+	ops    map[string]bool
+}
+
+// NewMulti builds a composite view over the given parts.
+func NewMulti(parts ...*Graph) (*Multi, error) {
+	m := &Multi{ops: make(map[string]bool)}
+	for _, g := range parts {
+		if err := m.Add(g); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Add appends a part. It validates the part in isolation and rejects
+// operator names already present in the composite; on error the Multi is
+// unchanged.
+func (m *Multi) Add(g *Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.parts {
+		if p == g {
+			return fmt.Errorf("graph: part already added")
+		}
+	}
+	for _, op := range g.Operators() {
+		if m.ops[op.Name] {
+			return fmt.Errorf("graph: duplicate operator name %q across parts", op.Name)
+		}
+	}
+	off := 0
+	if n := len(m.parts); n > 0 {
+		off = m.gidOff[n-1] + len(m.parts[n-1].AffinityGroups())
+	}
+	for _, op := range g.Operators() {
+		m.ops[op.Name] = true
+	}
+	m.parts = append(m.parts, g)
+	m.gidOff = append(m.gidOff, off)
+	return nil
+}
+
+// Parts returns a snapshot of the composed graphs.
+func (m *Multi) Parts() []*Graph {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]*Graph(nil), m.parts...)
+}
+
+// snapshot returns the parts and offsets without copying, safe to iterate
+// because Add only appends and slices are replaced wholesale.
+func (m *Multi) snapshot() ([]*Graph, []int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.parts, m.gidOff
+}
+
+// Operators implements View.
+func (m *Multi) Operators() []*operator.Spec {
+	parts, _ := m.snapshot()
+	var out []*operator.Spec
+	for _, g := range parts {
+		out = append(out, g.Operators()...)
+	}
+	return out
+}
+
+// Streams implements View.
+func (m *Multi) Streams() []*StreamSpec {
+	parts, _ := m.snapshot()
+	var out []*StreamSpec
+	for _, g := range parts {
+		out = append(out, g.Streams()...)
+	}
+	return out
+}
+
+// Readers implements View.
+func (m *Multi) Readers(id stream.ID) []string {
+	parts, _ := m.snapshot()
+	var out []string
+	for _, g := range parts {
+		out = append(out, g.Readers(id)...)
+	}
+	return out
+}
+
+// Writer implements View.
+func (m *Multi) Writer(id stream.ID) (string, bool) {
+	parts, _ := m.snapshot()
+	for _, g := range parts {
+		if w, ok := g.Writer(id); ok {
+			return w, true
+		}
+	}
+	return "", false
+}
+
+// AffinityOf implements View; group indices are offset per part so groups
+// of different parts never merge.
+func (m *Multi) AffinityOf(op string) (int, bool) {
+	parts, offs := m.snapshot()
+	for i, g := range parts {
+		if gid, ok := g.AffinityOf(op); ok {
+			return offs[i] + gid, true
+		}
+	}
+	return 0, false
+}
+
+// DeadlineFeeds implements View.
+func (m *Multi) DeadlineFeeds() []DeadlineFeed {
+	parts, _ := m.snapshot()
+	var out []DeadlineFeed
+	for _, g := range parts {
+		out = append(out, g.DeadlineFeeds()...)
+	}
+	return out
+}
+
+// Validate implements View: each part must validate, and Add already
+// enforced cross-part uniqueness.
+func (m *Multi) Validate() error {
+	parts, _ := m.snapshot()
+	for _, g := range parts {
+		if err := g.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package worker
+
+import (
+	"testing"
+
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/operator"
+	"github.com/erdos-go/erdos/internal/core/state"
+	"github.com/erdos-go/erdos/internal/core/stream"
+)
+
+// TestExtendAndRelease: a worker built over one graph is extended with a
+// second (tenant) graph at runtime — its streams become injectable, its
+// operators runnable — and Release freezes operators and returns their
+// checkpoints for handoff.
+func TestExtendAndRelease(t *testing.T) {
+	base := graph.New()
+	bin := base.AddStream("b-in", "int")
+	if err := base.MarkIngest(bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddOperator(&operator.Spec{
+		Name: "b-op", Inputs: []stream.ID{bin}, AutoWatermark: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w := mustWorker(t, base, Options{Name: "w"})
+	if got := w.LocalOps(); len(got) != 1 || got[0] != "b-op" {
+		t.Fatalf("LocalOps = %v, want [b-op]", got)
+	}
+
+	// The tenant graph: t-in -> t-count (stateful) with a recorded sum.
+	sub := graph.New()
+	tin := sub.AddStream("t-in", "int")
+	if err := sub.MarkIngest(tin); err != nil {
+		t.Fatal(err)
+	}
+	type sumState struct{ Sum int }
+	state.RegisterState(&sumState{})
+	if err := sub.AddOperator(&operator.Spec{
+		Name: "t-count", Inputs: []stream.ID{tin}, AutoWatermark: true,
+		NewState: func() state.Store {
+			return state.NewVersioned(&sumState{}, func(v any) any {
+				c := *v.(*sumState)
+				return &c
+			})
+		},
+		OnData: func(ctx *operator.Context, _ int, m message.Message) {
+			ctx.State().(*sumState).Sum += m.Payload.(int)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before Extend the tenant stream is unknown.
+	if err := w.Inject(tin, message.Data(ts(1), 1)); err == nil {
+		t.Fatal("inject on unknown stream succeeded")
+	}
+	if err := w.Extend(sub); err != nil {
+		t.Fatal(err)
+	}
+	// Re-extending the same part is rejected by the composite, not fatal.
+	if err := w.Extend(sub); err == nil {
+		t.Fatal("double Extend succeeded")
+	}
+	if _, ok := w.View().Writer(tin); ok {
+		t.Fatal("ingest stream has a writer")
+	}
+
+	// Adopt the tenant operator (as a reschedule would) and run data
+	// through it.
+	if err := w.Adopt("t-count", nil, ^uint64(0), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := w.Inject(tin, message.Data(ts(i), 2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Inject(tin, message.Watermark(ts(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Quiesce()
+
+	// Release freezes the named operator and returns its checkpoint.
+	cps := w.Release([]string{"t-count"})
+	cp, ok := cps["t-count"]
+	if !ok || !cp.HasState {
+		t.Fatalf("release returned no checkpoint for t-count: %+v", cps)
+	}
+	if cp.L != 3 {
+		t.Fatalf("released checkpoint at watermark %d, want 3", cp.L)
+	}
+	if w.Has("t-count") {
+		t.Fatal("released operator still present")
+	}
+	if got := w.LocalOps(); len(got) != 1 || got[0] != "b-op" {
+		t.Fatalf("LocalOps after release = %v, want [b-op]", got)
+	}
+	// Messages to a released operator are dropped, not crashed on.
+	if err := w.Inject(tin, message.Data(ts(4), 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Release(nil) freezes everything that remains; b-op is stateless, so
+	// it is removed but contributes no checkpoint.
+	rest := w.Release(nil)
+	if len(rest) != 0 {
+		t.Fatalf("stateless release returned checkpoints: %+v", rest)
+	}
+	if got := w.LocalOps(); len(got) != 0 {
+		t.Fatalf("LocalOps after full release = %v, want empty", got)
+	}
+}

@@ -89,10 +89,16 @@ type Worker struct {
 	clock   deadline.Clock
 	history uint64
 	wrapCB  func(op string, f func()) func()
-	// g is retained so failover can instantiate adopted operators after New.
-	g *graph.Graph
+	// gm is the composite view of every graph this worker hosts: the base
+	// graph from New plus tenant graphs added by Extend. Retained so
+	// failover and tenant admission can instantiate operators after New.
+	gm *graph.Multi
 
-	broadcasters map[stream.ID]*stream.Broadcaster
+	// bcast is the broadcaster-per-stream map, read lock-free on the
+	// data-plane hot path (Inject). Extend publishes a copied map with the
+	// new tenant's streams added; extendMu serializes the writers.
+	bcast    atomic.Pointer[map[stream.ID]*stream.Broadcaster]
+	extendMu sync.Mutex
 	// opsMu guards ops and producers: both were write-once at New until
 	// Adopt (failover re-placement) started installing operators at runtime.
 	opsMu sync.RWMutex
@@ -129,7 +135,8 @@ type Worker struct {
 
 // New builds a worker for graph g. The graph must already Validate().
 func New(g *graph.Graph, opts Options) (*Worker, error) {
-	if err := g.Validate(); err != nil {
+	gm, err := graph.NewMulti(g)
+	if err != nil {
 		return nil, err
 	}
 	if opts.Threads <= 0 {
@@ -142,20 +149,21 @@ func New(g *graph.Graph, opts Options) (*Worker, error) {
 		opts.HistoryDepth = 64
 	}
 	w := &Worker{
-		name:         opts.Name,
-		lat:          lattice.New(opts.Threads),
-		mon:          deadline.NewMonitor(opts.Clock),
-		clock:        opts.Clock,
-		history:      opts.HistoryDepth,
-		wrapCB:       opts.WrapCallback,
-		g:            g,
-		broadcasters: make(map[stream.ID]*stream.Broadcaster),
-		ops:          make(map[string]*opRuntime),
-		producers:    make(map[stream.ID]*opRuntime),
+		name:      opts.Name,
+		lat:       lattice.New(opts.Threads),
+		mon:       deadline.NewMonitor(opts.Clock),
+		clock:     opts.Clock,
+		history:   opts.HistoryDepth,
+		wrapCB:    opts.WrapCallback,
+		gm:        gm,
+		ops:       make(map[string]*opRuntime),
+		producers: make(map[stream.ID]*opRuntime),
 	}
+	bcast := make(map[stream.ID]*stream.Broadcaster)
 	for _, s := range g.Streams() {
-		w.broadcasters[s.ID] = stream.NewBroadcaster(s.ID, s.Name)
+		bcast[s.ID] = stream.NewBroadcaster(s.ID, s.Name)
 	}
+	w.bcast.Store(&bcast)
 	for _, spec := range g.Operators() {
 		switch {
 		case opts.Local:
@@ -169,7 +177,7 @@ func New(g *graph.Graph, opts Options) (*Worker, error) {
 				continue
 			}
 		}
-		rt, err := w.newOpRuntime(spec, g, nil, 0, nil)
+		rt, err := w.newOpRuntime(spec, gm, nil, 0, nil)
 		if err != nil {
 			w.Stop()
 			return nil, err
@@ -179,8 +187,18 @@ func New(g *graph.Graph, opts Options) (*Worker, error) {
 			w.producers[id] = rt
 		}
 	}
-	for _, feed := range g.DeadlineFeeds() {
-		b, ok := w.broadcasters[feed.Stream]
+	w.wireFeeds(g.DeadlineFeeds())
+	return w, nil
+}
+
+// View returns the composite graph view this worker hosts: the base graph
+// plus every tenant graph added by Extend.
+func (w *Worker) View() graph.View { return w.gm }
+
+// wireFeeds subscribes each dynamic-deadline feed to its stream.
+func (w *Worker) wireFeeds(feeds []graph.DeadlineFeed) {
+	for _, feed := range feeds {
+		b, ok := w.bc(feed.Stream)
 		if !ok {
 			continue
 		}
@@ -194,19 +212,51 @@ func New(g *graph.Graph, opts Options) (*Worker, error) {
 			}
 		}))
 	}
-	return w, nil
+}
+
+// Extend adds a tenant graph to this worker at runtime: broadcasters for
+// the new streams are published copy-on-write (the data-plane hot path
+// reads the map lock-free) and the tenant's deadline feeds are wired. No
+// operators are instantiated — they arrive through Adopt when the leader's
+// schedule assigns them here. The sub-graph must be fully built before
+// Extend and never mutated afterwards; its operator names must not collide
+// with any graph this worker already hosts.
+func (w *Worker) Extend(sub *graph.Graph) error {
+	w.extendMu.Lock()
+	defer w.extendMu.Unlock()
+	if err := w.gm.Add(sub); err != nil {
+		return err
+	}
+	old := *w.bcast.Load()
+	next := make(map[stream.ID]*stream.Broadcaster, len(old)+len(sub.Streams()))
+	for id, b := range old {
+		next[id] = b
+	}
+	for _, s := range sub.Streams() {
+		if _, dup := next[s.ID]; !dup {
+			next[s.ID] = stream.NewBroadcaster(s.ID, s.Name)
+		}
+	}
+	w.bcast.Store(&next)
+	w.wireFeeds(sub.DeadlineFeeds())
+	return nil
+}
+
+// bc returns the broadcaster of stream id from the current COW map.
+func (w *Worker) bc(id stream.ID) (*stream.Broadcaster, bool) {
+	b, ok := (*w.bcast.Load())[id]
+	return b, ok
 }
 
 // Broadcaster returns the local writer end of stream id.
 func (w *Worker) Broadcaster(id stream.ID) (*stream.Broadcaster, bool) {
-	b, ok := w.broadcasters[id]
-	return b, ok
+	return w.bc(id)
 }
 
 // Inject sends m on stream id, as the application (ingest streams) or the
 // comm layer (messages from remote writers) would.
 func (w *Worker) Inject(id stream.ID, m message.Message) error {
-	b, ok := w.broadcasters[id]
+	b, ok := w.bc(id)
 	if !ok {
 		return fmt.Errorf("worker %q: inject on unknown stream %d", w.name, id)
 	}
@@ -216,7 +266,7 @@ func (w *Worker) Inject(id stream.ID, m message.Message) error {
 // Subscribe registers fn to observe every message on stream id (extract
 // streams, the comm layer's remote forwarding, instrumentation).
 func (w *Worker) Subscribe(id stream.ID, fn func(message.Message)) error {
-	b, ok := w.broadcasters[id]
+	b, ok := w.bc(id)
 	if !ok {
 		return fmt.Errorf("worker %q: subscribe on unknown stream %d", w.name, id)
 	}
@@ -420,7 +470,7 @@ func (w *Worker) Frontiers() map[stream.ID]uint64 {
 // operator that is already local is a no-op.
 func (w *Worker) Adopt(name string, cp *state.Checkpoint, restoreAt uint64, replay map[stream.ID][]message.Message) error {
 	var spec *operator.Spec
-	for _, s := range w.g.Operators() {
+	for _, s := range w.gm.Operators() {
 		if s.Name == name {
 			spec = s
 			break
@@ -439,7 +489,7 @@ func (w *Worker) Adopt(name string, cp *state.Checkpoint, restoreAt uint64, repl
 	// broadcasters, and a concurrent delivery could re-enter worker
 	// counters. The restored watermarks are installed before the input
 	// subscriptions inside newOpRuntime, so no message can slip under them.
-	rt, err := w.newOpRuntime(spec, w.g, cp, restoreAt, replay)
+	rt, err := w.newOpRuntime(spec, w.gm, cp, restoreAt, replay)
 	if err != nil {
 		return err
 	}
@@ -450,6 +500,78 @@ func (w *Worker) Adopt(name string, cp *state.Checkpoint, restoreAt uint64, repl
 	}
 	w.opsMu.Unlock()
 	return nil
+}
+
+// LocalOps returns the names of the operators instantiated on this worker.
+func (w *Worker) LocalOps() []string {
+	w.opsMu.RLock()
+	defer w.opsMu.RUnlock()
+	out := make([]string, 0, len(w.ops))
+	for name := range w.ops {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Release freezes the named operators (nil means every local operator),
+// snapshots their state and removes them from this worker — the donor side
+// of a planned drain or migration. A released operator stops accepting
+// input and producing output the moment its retired flag is set; a
+// callback already dispatched may still commit or send once more, which is
+// safe: the adopter restores at the leader's consistent cut and consumers
+// stale-drop regenerated duplicates, the same contract failover relies on.
+// The returned checkpoints are what the adopters restore from.
+func (w *Worker) Release(names []string) map[string]state.Checkpoint {
+	w.opsMu.Lock()
+	if names == nil {
+		names = make([]string, 0, len(w.ops))
+		for name := range w.ops {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	rts := make(map[string]*opRuntime, len(names))
+	for _, name := range names {
+		if rt, ok := w.ops[name]; ok {
+			rt.retired.Store(true)
+			rts[name] = rt
+		}
+	}
+	w.opsMu.Unlock()
+	out := make(map[string]state.Checkpoint, len(rts))
+	for name, rt := range rts {
+		if cp, ok := state.Snapshot(rt.st); ok {
+			out[name] = cp
+		}
+	}
+	w.opsMu.Lock()
+	for name, rt := range rts {
+		delete(w.ops, name)
+		for _, id := range rt.spec.Outputs {
+			if w.producers[id] == rt {
+				delete(w.producers, id)
+			}
+		}
+	}
+	w.opsMu.Unlock()
+	return out
+}
+
+// OpUrgencyMisses reports the cumulative urgency-miss count per local
+// operator — the per-tenant slice of the worker-wide counter Congestion
+// carries. The leader differences consecutive heartbeats and aggregates by
+// tenant, so one tenant's blown deadlines are attributable to it alone.
+func (w *Worker) OpUrgencyMisses() map[string]uint64 {
+	w.opsMu.RLock()
+	defer w.opsMu.RUnlock()
+	out := make(map[string]uint64, len(w.ops))
+	for name, rt := range w.ops {
+		if n := rt.urgMiss.Load(); n > 0 {
+			out[name] = n
+		}
+	}
+	return out
 }
 
 // OpInfo is a diagnostic snapshot of one operator.
@@ -477,6 +599,16 @@ type opRuntime struct {
 	ttSpecs    []operator.TimestampDeadlineSpec
 	freq       []freqWiring
 
+	// retired freezes the runtime: a drained/migrating operator stops
+	// accepting input and running callbacks the instant the flag is set,
+	// while its state remains snapshottable. Checked lock-free on every
+	// receive and dispatch.
+	retired atomic.Bool
+	// urgMiss counts this operator's urgency misses (deadline already
+	// expired when the lattice dispatched the callback) — the per-operator
+	// slice of Worker.urgencyMisses used for tenant attribution.
+	urgMiss atomic.Uint64
+
 	mu        sync.Mutex
 	inWM      []wmState
 	times     map[uint64]*timeWork
@@ -500,7 +632,7 @@ type timeWork struct {
 	done         bool // watermark processing finished (committed or aborted)
 }
 
-func (w *Worker) newOpRuntime(spec *operator.Spec, g *graph.Graph, cp *state.Checkpoint, restoreAt uint64, replay map[stream.ID][]message.Message) (*opRuntime, error) {
+func (w *Worker) newOpRuntime(spec *operator.Spec, g graph.View, cp *state.Checkpoint, restoreAt uint64, replay map[stream.ID][]message.Message) (*opRuntime, error) {
 	// Operators in an affinity group share a home shard on the lattice so a
 	// producer→consumer chain's callbacks stay on one goroutine's queue.
 	var q *lattice.OpQueue
@@ -544,7 +676,7 @@ func (w *Worker) newOpRuntime(spec *operator.Spec, g *graph.Graph, cp *state.Che
 		}
 	}
 	for i, id := range spec.Outputs {
-		b, ok := w.broadcasters[id]
+		b, ok := w.bc(id)
 		if !ok {
 			return nil, fmt.Errorf("worker %q: operator %q output stream %d missing", w.name, spec.Name, id)
 		}
@@ -570,7 +702,7 @@ func (w *Worker) newOpRuntime(spec *operator.Spec, g *graph.Graph, cp *state.Che
 	}
 	for i, id := range spec.Inputs {
 		input := i
-		b, ok := w.broadcasters[id]
+		b, ok := w.bc(id)
 		if !ok {
 			return nil, fmt.Errorf("worker %q: operator %q input stream %d missing", w.name, spec.Name, id)
 		}
@@ -601,6 +733,9 @@ func (rt *opRuntime) freqAttach(input int, fr *deadline.FrequencyTracker) {
 
 // onReceive handles a message delivered on input i.
 func (rt *opRuntime) onReceive(i int, m message.Message) {
+	if rt.retired.Load() {
+		return
+	}
 	rt.mu.Lock()
 	if m.IsWatermark() {
 		ws := &rt.inWM[i]
@@ -682,6 +817,7 @@ func (rt *opRuntime) submit(kind lattice.Kind, ts timestamp.Timestamp, dl int64,
 		run = func() {
 			if rt.w.clock.Now().UnixNano() > dl {
 				rt.w.urgencyMisses.Add(1)
+				rt.urgMiss.Add(1)
 			}
 			inner()
 		}
@@ -691,6 +827,9 @@ func (rt *opRuntime) submit(kind lattice.Kind, ts timestamp.Timestamp, dl int64,
 
 // runData executes the data callback for one message.
 func (rt *opRuntime) runData(l uint64, input int, m message.Message) {
+	if rt.retired.Load() {
+		return
+	}
 	rt.mu.Lock()
 	tw, ok := rt.times[l]
 	if !ok || tw.handledAbort || tw.done {
@@ -734,6 +873,9 @@ func (rt *opRuntime) scheduleCompleteLocked() {
 // runWatermark executes the watermark callback for a completed timestamp,
 // then releases the output watermark and commits state (§6.2).
 func (rt *opRuntime) runWatermark(ts timestamp.Timestamp) {
+	if rt.retired.Load() {
+		return
+	}
 	l := ts.L
 	rt.mu.Lock()
 	tw, ok := rt.times[l]

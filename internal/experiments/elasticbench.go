@@ -1,0 +1,201 @@
+// Elastic multi-tenant density benchmark, recorded to BENCH_e2e.json by
+// `erdos-bench -bench elastic`: how does the p99 camera-to-command latency
+// of a pylot tenant degrade as the leader packs more tenants onto the same
+// two-worker cluster? This is the tenancy edge of the elastic-membership
+// subsystem — admission and placement must keep co-hosted pipelines
+// near-independent until the fleet genuinely runs out of headroom.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/core/cluster"
+	"github.com/erdos-go/erdos/internal/core/erdos"
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/worker"
+	"github.com/erdos-go/erdos/internal/pylot"
+)
+
+// ElasticTenantPoint is one tenant-density measurement: N pylot pipelines
+// submitted as tenants of a fixed two-worker cluster, camera-to-command
+// latency pooled across all of them.
+type ElasticTenantPoint struct {
+	Tenants         int     `json:"tenants"`
+	Workers         int     `json:"workers"`
+	FramesPerTenant int     `json:"frames_per_tenant"`
+	ControlP50Ms    float64 `json:"control_p50_ms"`
+	ControlP99Ms    float64 `json:"control_p99_ms"`
+}
+
+// ElasticTenantDensity sweeps the tenant counts, building a fresh cluster
+// per point so the measurements are independent.
+func ElasticTenantDensity(counts []int, frames int) ([]ElasticTenantPoint, error) {
+	out := make([]ElasticTenantPoint, 0, len(counts))
+	for _, n := range counts {
+		p, err := measureTenantDensity(n, frames)
+		if err != nil {
+			return out, fmt.Errorf("tenants=%d: %w", n, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// measureTenantDensity hosts n pylot tenants on a two-worker cluster and
+// injects `frames` camera frames into each at a fixed cadence, timing every
+// frame from injection to its command sink's watermark.
+func measureTenantDensity(n, frames int) (ElasticTenantPoint, error) {
+	point := ElasticTenantPoint{Tenants: n, Workers: 2, FramesPerTenant: frames}
+
+	// The base graph every worker boots with; tenants arrive afterwards
+	// through Submit, exactly as they would on a long-lived cluster.
+	base := erdos.NewGraph()
+	baseIn := erdos.IngestStream[int](base, "base-in")
+	noop := base.Operator("base-noop")
+	erdos.Input(noop, baseIn, func(ctx *erdos.Context, ts erdos.Timestamp, v int) {})
+	noop.Build()
+	if err := base.Err(); err != nil {
+		return point, err
+	}
+	baseRaw := base.Raw()
+	var baseID stream.ID
+	for _, s := range baseRaw.Streams() {
+		if s.Name == "base-in" {
+			baseID = s.ID
+		}
+	}
+
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, n*frames)
+	sent := make([][]time.Time, n)
+	type rig struct {
+		name string
+		raw  *graph.Graph
+		cam  stream.ID
+	}
+	rigs := make([]rig, n)
+	registry := make(map[string]*graph.Graph, n)
+	for i := 0; i < n; i++ {
+		i := i
+		sent[i] = make([]time.Time, frames)
+		prefix := fmt.Sprintf("t%d-", i)
+		g := erdos.NewGraph()
+		h := pylot.Build(g, pylot.Config{Prefix: prefix, TimeScale: 200, TargetSpeed: 12, Seed: int64(17 + i)})
+		sink := g.Operator(prefix + "sink")
+		erdos.Input(sink, h.Commands, func(ctx *erdos.Context, ts erdos.Timestamp, c pylot.Command) {})
+		sink.OnWatermark(func(ctx *erdos.Context) {
+			l := ctx.Timestamp.L
+			if l < 1 || l > uint64(frames) {
+				return
+			}
+			lat := time.Since(sent[i][l-1]) //erdos:allow wallclock wall-clock camera-to-command latency IS the measurement; the harness sink is never replayed
+			mu.Lock()
+			lats = append(lats, lat) //erdos:allow statetxn lats is harness output read after the cluster quiesces, not operator state that restores
+			mu.Unlock()
+		})
+		sink.Build()
+		if err := g.Err(); err != nil {
+			return point, err
+		}
+		raw := g.Raw()
+		r := rig{name: fmt.Sprintf("t%d", i), raw: raw}
+		for _, s := range raw.Streams() {
+			if s.Name == prefix+"camera" {
+				r.cam = s.ID
+			}
+		}
+		rigs[i] = r
+		registry[r.name] = raw
+	}
+	resolve := func(name string) *graph.Graph { return registry[name] }
+
+	names := []string{"w1", "w2"}
+	l, err := cluster.NewLeader("127.0.0.1:0", names, baseRaw,
+		map[stream.ID]string{baseID: "w1"}, nil,
+		cluster.WithHeartbeat(200*time.Millisecond, 300*time.Millisecond))
+	if err != nil {
+		return point, err
+	}
+	defer l.Stop()
+	// The leader releases schedules only once every expected worker has
+	// registered, so the initial joins must run concurrently.
+	nodes := make(map[string]*cluster.Node, len(names))
+	joined := make([]*cluster.Node, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			joined[i], errs[i] = cluster.Join(l.Addr(), name, baseRaw,
+				worker.Options{Threads: 4}, cluster.WithTenantResolver(resolve))
+		}(i, name)
+	}
+	wg.Wait()
+	for i, name := range names {
+		if errs[i] != nil {
+			return point, errs[i]
+		}
+		defer joined[i].Close()
+		nodes[name] = joined[i]
+	}
+	if err := l.Wait(); err != nil {
+		return point, err
+	}
+
+	// Submit every tenant and locate its home worker: frames ingest there,
+	// so the measured path is the in-cluster pipeline, not an extra hop.
+	inj := make([]*cluster.Node, n)
+	anyNode := nodes[names[0]]
+	for i, r := range rigs {
+		if err := l.Submit(cluster.Tenant{Name: r.name, Graph: r.raw}); err != nil {
+			return point, err
+		}
+		home := anyNode.Schedule().Assignments[fmt.Sprintf("t%d-control", i)]
+		node := nodes[home]
+		if node == nil {
+			return point, fmt.Errorf("tenant %s homed on unknown worker %q", r.name, home)
+		}
+		inj[i] = node
+	}
+
+	for f := 1; f <= frames; f++ {
+		ts := erdos.T(uint64(f))
+		for i, r := range rigs {
+			frame := pylot.CameraFrame{Seq: uint64(f), EgoSpeed: 12}
+			mu.Lock()
+			sent[i][f-1] = time.Now()
+			mu.Unlock()
+			if err := inj[i].Worker.Inject(r.cam, message.Data(ts, frame)); err != nil {
+				return point, err
+			}
+			if err := inj[i].Worker.Inject(r.cam, message.Watermark(ts)); err != nil {
+				return point, err
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		mu.Lock()
+		got := len(lats)
+		mu.Unlock()
+		if got >= n*frames {
+			break
+		}
+		if time.Now().After(deadline) {
+			return point, fmt.Errorf("timed out with %d/%d commands", got, n*frames)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	point.ControlP50Ms = percentileMs(lats, 50)
+	point.ControlP99Ms = percentileMs(lats, 99)
+	mu.Unlock()
+	return point, nil
+}

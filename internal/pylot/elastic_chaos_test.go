@@ -1,0 +1,385 @@
+package pylot
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/erdos-go/erdos/internal/av/tracking"
+	"github.com/erdos-go/erdos/internal/core/cluster"
+	"github.com/erdos-go/erdos/internal/core/cluster/elastic"
+	"github.com/erdos-go/erdos/internal/core/erdos"
+	"github.com/erdos-go/erdos/internal/core/graph"
+	"github.com/erdos-go/erdos/internal/core/message"
+	"github.com/erdos-go/erdos/internal/core/state"
+	"github.com/erdos-go/erdos/internal/core/stream"
+	"github.com/erdos-go/erdos/internal/core/worker"
+	"github.com/erdos-go/erdos/internal/policy"
+)
+
+// seenState is the commands-sink state: how many times each timestamp's
+// watermark fired. It lives in versioned operator state — not only in an
+// external map — so the count migrates inside the tenant's consistent cut:
+// a fence failure shows up as Seen[l] == 2 in committed state, while a
+// re-fire after an epoch restore (whose first fire never committed) cleanly
+// re-counts from the restored state.
+type seenState struct{ Seen map[uint64]int }
+
+func cloneSeen(s *seenState) *seenState {
+	c := make(map[uint64]int, len(s.Seen))
+	for k, v := range s.Seen {
+		c[k] = v
+	}
+	return &seenState{Seen: c}
+}
+
+// buildTenant assembles one pylot pipeline under prefix plus a stateful
+// commands sink that reports (timestamp, committed fire count) to record.
+// It returns the raw graph and the camera ingest stream.
+func buildTenant(t *testing.T, prefix string, scale float64, pol policy.Policy, seed int64, record func(l uint64, n int)) (*graph.Graph, stream.ID) {
+	t.Helper()
+	state.RegisterState(&seenState{})
+	g := erdos.NewGraph()
+	h := Build(g, Config{Prefix: prefix, TimeScale: scale, Policy: pol, TargetSpeed: 12, Seed: seed})
+	sink := g.Operator(prefix + "sink")
+	erdos.WithState(sink, &seenState{Seen: map[uint64]int{}}, cloneSeen)
+	erdos.Input(sink, h.Commands, func(ctx *erdos.Context, ts erdos.Timestamp, c Command) {})
+	sink.OnWatermark(func(ctx *erdos.Context) {
+		st := erdos.StateOf[*seenState](ctx)
+		st.Seen[ctx.Timestamp.L]++
+		record(ctx.Timestamp.L, st.Seen[ctx.Timestamp.L])
+	})
+	sink.Build()
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	raw := g.Raw()
+	for _, s := range raw.Streams() {
+		if s.Name == prefix+"camera" {
+			return raw, s.ID
+		}
+	}
+	t.Fatalf("no %scamera stream", prefix)
+	return nil, 0
+}
+
+// TestElasticChaosJoinDrainScaleUp drives the elastic-membership machinery
+// end to end on a live two-tenant cluster:
+//
+//   - two pylot pipelines run as tenants of a two-worker cluster, each on
+//     its own home worker, with cross-placed camera ingest;
+//   - a worker joins gracefully mid-stream and is then drained back out,
+//     without disturbing either tenant;
+//   - tenant A is overloaded (a 1 ms static deadline and an injection rate
+//     above its emulated service rate), so its urgency misses push its home
+//     worker's congestion score over the autoscaler's high-water mark: the
+//     leader spawns a pool worker and migrates tenant A onto it;
+//   - every injected frame of both tenants yields exactly one committed
+//     command-sink activation (exactly-once across join, drain and the
+//     scale-up migration);
+//   - deadline isolation holds: tenant A's misses are attributed to tenant
+//     A alone — the healthy tenant B's miss count stays zero even while A
+//     saturates its worker.
+func TestElasticChaosJoinDrainScaleUp(t *testing.T) {
+	const (
+		hb        = 200 * time.Millisecond
+		failAfter = 300 * time.Millisecond
+		// Phase 1 (join + drain under light load) frame counts, then phase
+		// 2 ramps tenant A hard while B keeps cruising.
+		warmFrames = 20
+		framesA    = 240
+		framesB    = 120
+	)
+
+	var muA, muB sync.Mutex
+	gotA := make(map[uint64]int)
+	gotB := make(map[uint64]int)
+	// Tenant A: a deadline no dispatch can meet once a queue forms (1 ms,
+	// against ~0.5 ms/frame of emulated compute at TimeScale 40 — burst
+	// injection below queues frames past it without saturating the CPU,
+	// which would starve heartbeats on small machines). Tenant B: generous
+	// deadline — it must never miss.
+	rawA, aCam := buildTenant(t, "a-", 40, policy.StaticPolicy(time.Millisecond), 7, func(l uint64, n int) {
+		muA.Lock()
+		gotA[l] = n
+		muA.Unlock()
+	})
+	rawB, bCam := buildTenant(t, "b-", 100, policy.StaticPolicy(500*time.Millisecond), 11, func(l uint64, n int) {
+		muB.Lock()
+		gotB[l] = n
+		muB.Unlock()
+	})
+	registry := map[string]*graph.Graph{"tenant-a": rawA, "tenant-b": rawB}
+	resolve := func(name string) *graph.Graph { return registry[name] }
+
+	// The base graph every worker boots with; tenants extend it at runtime.
+	gb := erdos.NewGraph()
+	baseIn := erdos.IngestStream[int](gb, "base-in")
+	noop := gb.Operator("base-noop")
+	erdos.Input(noop, baseIn, func(ctx *erdos.Context, ts erdos.Timestamp, v int) {})
+	noop.Build()
+	if err := gb.Err(); err != nil {
+		t.Fatal(err)
+	}
+	baseRaw := gb.Raw()
+	var baseID stream.ID
+	for _, s := range baseRaw.Streams() {
+		if s.Name == "base-in" {
+			baseID = s.ID
+		}
+	}
+
+	pool := &cluster.ProcPool{
+		Graph:    baseRaw,
+		Opts:     worker.Options{Threads: 4},
+		JoinOpts: []cluster.JoinOption{cluster.WithTenantResolver(resolve)},
+	}
+	names := []string{"w1", "w2"}
+	l, err := cluster.NewLeader("127.0.0.1:0", names, baseRaw,
+		map[stream.ID]string{baseID: "w1"}, nil,
+		cluster.WithHeartbeat(hb, failAfter),
+		// LowWater 0 keeps the cluster from ever reading as cold (this test
+		// exercises scale-up); MaxWorkers caps the fleet at one spawn.
+		cluster.WithAutoscale(pool, elastic.Config{
+			HighWater: 100, LowWater: 0,
+			SustainTicks: 2, CooldownTicks: 8,
+			MinWorkers: 2, MaxWorkers: 3,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Stop()
+	// The pool dials the leader's ephemeral port; it is only read at spawn
+	// time, long after this write is ordered by the joins below.
+	pool.Addr = l.Addr()
+	defer pool.Close()
+
+	nodes := make(map[string]*cluster.Node, 2)
+	errs := make([]error, 2)
+	nn := make([]*cluster.Node, 2)
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			nn[i], errs[i] = cluster.Join(l.Addr(), name, baseRaw,
+				worker.Options{Threads: 4}, cluster.WithTenantResolver(resolve))
+		}(i, name)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("join %d: %v", i, errs[i])
+		}
+		defer nn[i].Close()
+		nodes[names[i]] = nn[i]
+	}
+	if err := l.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant B first (the leader homes it on the emptier worker), then A,
+	// which lands on the other static. A's camera ingests at B's home so
+	// its frames always cross a forwarding link whose replay ring covers
+	// the scale-up migration.
+	if err := l.Submit(cluster.Tenant{Name: "tenant-b", Graph: rawB,
+		IngestAt: map[stream.ID]string{bCam: ""}}); err != nil {
+		t.Fatal(err)
+	}
+	homeB := nodes["w1"].Schedule().Assignments["b-control"]
+	if homeB == "" {
+		t.Fatalf("tenant-b not placed: %v", nodes["w1"].Schedule().Assignments)
+	}
+	if err := l.Submit(cluster.Tenant{Name: "tenant-a", Graph: rawA,
+		IngestAt: map[stream.ID]string{aCam: homeB}}); err != nil {
+		t.Fatal(err)
+	}
+	homeA := nodes["w1"].Schedule().Assignments["a-perception"]
+	if homeA == "" || homeA == homeB {
+		t.Fatalf("tenant-a homed on %q (tenant-b on %q), want distinct homes", homeA, homeB)
+	}
+	injNode := nodes[homeB]
+
+	waitForEvent := func(kind cluster.EventKind, d time.Duration) cluster.Event {
+		t.Helper()
+		deadline := time.Now().Add(d)
+		for {
+			for _, e := range l.Events() {
+				if e.Kind == kind {
+					return e
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %v; events: %+v", kind, l.Events())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	inject := func(cam stream.ID, f uint64) error {
+		ts := erdos.T(f)
+		frame := CameraFrame{Seq: f, EgoSpeed: 12,
+			Agents: []tracking.Observation{{X: 60 - 0.1*float64(f), Y: 0}}}
+		if err := injNode.Worker.Inject(cam, message.Data(ts, frame)); err != nil {
+			return err
+		}
+		return injNode.Worker.Inject(cam, message.Watermark(ts))
+	}
+
+	// Phase 1: light traffic for both tenants while a worker joins and is
+	// drained back out underneath the stream.
+	warmDone := make(chan error, 1)
+	go func() {
+		for f := uint64(1); f <= warmFrames; f++ {
+			if err := inject(aCam, f); err != nil {
+				warmDone <- err
+				return
+			}
+			if err := inject(bCam, f); err != nil {
+				warmDone <- err
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		warmDone <- nil
+	}()
+
+	n4, err := cluster.Join(l.Addr(), "w4", baseRaw,
+		worker.Options{Threads: 2}, cluster.WithTenantResolver(resolve))
+	if err != nil {
+		t.Fatalf("runtime join: %v", err)
+	}
+	waitForEvent(cluster.EventJoined, 10*time.Second)
+	if got := l.Members(); len(got) != 3 {
+		t.Fatalf("members after join = %v, want 3", got)
+	}
+	if err := l.Drain("w4"); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitForEvent(cluster.EventDrained, 10*time.Second)
+	n4.Close()
+	if got := l.Members(); len(got) != 2 {
+		t.Fatalf("members after drain = %v, want 2", got)
+	}
+	if err := <-warmDone; err != nil {
+		t.Fatalf("warm inject: %v", err)
+	}
+
+	// Phase 2: overload tenant A — bursts of 8 back-to-back frames every
+	// 50 ms: the tail of each burst dispatches multiple service times
+	// (~0.5 ms each) after arrival, past the 1 ms deadline, so most burst
+	// frames count urgency misses while aggregate CPU stays low; B cruises.
+	doneA := make(chan error, 1)
+	doneB := make(chan error, 1)
+	go func() {
+		for f := uint64(warmFrames + 1); f <= framesA; f++ {
+			if err := inject(aCam, f); err != nil {
+				doneA <- err
+				return
+			}
+			if (f-warmFrames)%8 == 0 {
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+		doneA <- nil
+	}()
+	go func() {
+		for f := uint64(warmFrames + 1); f <= framesB; f++ {
+			if err := inject(bCam, f); err != nil {
+				doneB <- err
+				return
+			}
+			time.Sleep(40 * time.Millisecond)
+		}
+		doneB <- nil
+	}()
+
+	up := waitForEvent(cluster.EventScaleUp, 30*time.Second)
+	if up.Worker != homeA {
+		t.Fatalf("scale-up triggered by %q, want tenant A's home %q", up.Worker, homeA)
+	}
+	mig := waitForEvent(cluster.EventMigrated, 30*time.Second)
+	if mig.Worker != "w-elastic-1" {
+		t.Fatalf("migration target %q, want w-elastic-1", mig.Worker)
+	}
+	if err := <-doneA; err != nil {
+		t.Fatalf("inject A: %v", err)
+	}
+	if err := <-doneB; err != nil {
+		t.Fatalf("inject B: %v", err)
+	}
+
+	// Every frame of both tenants lands exactly once, across the join, the
+	// drain and the live migration.
+	waitFor := func(what string, d time.Duration, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(d)
+		for !ok() {
+			if time.Now().After(deadline) {
+				muA.Lock()
+				na := len(gotA)
+				muA.Unlock()
+				muB.Lock()
+				nb := len(gotB)
+				muB.Unlock()
+				t.Fatalf("timed out waiting for %s (A %d/%d, B %d/%d, events %+v)",
+					what, na, framesA, nb, framesB, l.Events())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor("all commands", 60*time.Second, func() bool {
+		muA.Lock()
+		na := len(gotA)
+		muA.Unlock()
+		muB.Lock()
+		nb := len(gotB)
+		muB.Unlock()
+		return na >= framesA && nb >= framesB
+	})
+	muA.Lock()
+	for f := uint64(1); f <= framesA; f++ {
+		if n := gotA[f]; n != 1 {
+			muA.Unlock()
+			t.Fatalf("tenant A frame %d committed %d times, want exactly 1", f, n)
+		}
+	}
+	muA.Unlock()
+	muB.Lock()
+	for f := uint64(1); f <= framesB; f++ {
+		if n := gotB[f]; n != 1 {
+			muB.Unlock()
+			t.Fatalf("tenant B frame %d committed %d times, want exactly 1", f, n)
+		}
+	}
+	muB.Unlock()
+
+	// Tenant A moved wholesale onto the spawned worker; B never moved.
+	assign := nodes["w1"].Schedule().Assignments
+	for _, op := range []string{"a-perception", "a-prediction", "a-planning", "a-pDP", "a-control", "a-sink"} {
+		if assign[op] != "w-elastic-1" {
+			t.Fatalf("%s on %q after scale-up, want w-elastic-1 (assign %v, events %+v)", op, assign[op], assign, l.Events())
+		}
+	}
+	if assign["b-control"] != homeB {
+		t.Fatalf("tenant B re-placed on %q, want %q", assign["b-control"], homeB)
+	}
+	spawned := pool.Node("w-elastic-1")
+	if spawned == nil || !spawned.Worker.Has("a-perception") {
+		t.Fatal("pool worker w-elastic-1 did not adopt tenant A")
+	}
+
+	// Deadline isolation: the overload is attributed to tenant A alone.
+	misses := l.TenantMisses()
+	if misses["tenant-a"] < 20 {
+		t.Fatalf("tenant A urgency misses = %d, want >= 20 (misses %v)", misses["tenant-a"], misses)
+	}
+	if misses["tenant-b"] != 0 {
+		t.Fatalf("healthy tenant B charged %d urgency misses, want 0 (misses %v)", misses["tenant-b"], misses)
+	}
+	// The drain was graceful: no worker was ever declared dead.
+	for _, e := range l.Events() {
+		if e.Kind == cluster.EventFailureDetected {
+			t.Fatalf("failure detected during graceful membership changes: %+v", l.Events())
+		}
+	}
+}

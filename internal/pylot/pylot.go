@@ -77,6 +77,11 @@ type Config struct {
 	// callers observe DEH activations — chaos tests assert that an outage
 	// surfaces as deadline exceptions rather than silent hangs.
 	OnMiss func(h *erdos.HandlerContext)
+	// Prefix namespaces every operator, stream and deadline label (e.g.
+	// "a-" yields "a-perception", "a-camera"), so several pipelines can be
+	// built into one process and submitted as tenants of one cluster —
+	// operator names must be unique across a cluster's composite graph.
+	Prefix string
 }
 
 // Handles exposes the pipeline's boundary streams.
@@ -167,13 +172,16 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 	perceptionRng := trace.New(cfg.Seed)
 	predictionRng := trace.New(cfg.Seed + 1)
 
-	camera := erdos.IngestStream[CameraFrame](g, "camera")
-	obstacles := erdos.AddStream[Obstacles](g, "obstacles")
-	predictions := erdos.AddStream[Predictions](g, "predictions")
-	plans := erdos.AddStream[Plan](g, "plans")
-	commands := erdos.AddStream[Command](g, "commands")
-	envInfo := erdos.AddStream[policy.Environment](g, "env-info")
-	deadlines := erdos.AddStream[time.Duration](g, "deadlines")
+	// pn namespaces every graph-visible name under Config.Prefix.
+	pn := func(s string) string { return cfg.Prefix + s }
+
+	camera := erdos.IngestStream[CameraFrame](g, pn("camera"))
+	obstacles := erdos.AddStream[Obstacles](g, pn("obstacles"))
+	predictions := erdos.AddStream[Predictions](g, pn("predictions"))
+	plans := erdos.AddStream[Plan](g, pn("plans"))
+	commands := erdos.AddStream[Command](g, pn("commands"))
+	envInfo := erdos.AddStream[policy.Environment](g, pn("env-info"))
+	deadlines := erdos.AddStream[time.Duration](g, pn("deadlines"))
 
 	dyn := erdos.DynamicDeadline(g, deadlines, cfg.Deadline)
 	scale := cfg.TimeScale
@@ -184,7 +192,7 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 
 	// Perception: detection (emulated runtime, budget-driven model
 	// choice) + the real SORT-style tracker.
-	perception := g.Operator("perception")
+	perception := g.Operator(pn("perception"))
 	pOut := erdos.Output(perception, obstacles)
 	envOut := erdos.Output(perception, envInfo)
 	erdos.WithState(perception, &perceptionState{Tracker: tracking.NewTracker()}, clonePerception)
@@ -228,12 +236,12 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 			}(),
 		})
 	})
-	perception.TimestampDeadline("perception", dyn, erdos.Continue, onMiss)
+	perception.TimestampDeadline(pn("perception"), dyn, erdos.Continue, onMiss)
 	perception.Build()
 
 	// pDP: the deadline policy as an operator subgraph (Fig. 4): consumes
 	// the environment info perception shares, publishes allocations.
-	pdp := g.Operator("pDP")
+	pdp := g.Operator(pn("pDP"))
 	dOut := erdos.Output(pdp, deadlines)
 	pol := cfg.Policy
 	erdos.Input(pdp, envInfo, func(ctx *erdos.Context, t erdos.Timestamp, env policy.Environment) {
@@ -245,7 +253,7 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 	// lightweight model runtime. The newest obstacles live in operator
 	// state (not a closure) so they checkpoint and restore with the
 	// operator on migration.
-	predict := g.Operator("prediction")
+	predict := g.Operator(pn("prediction"))
 	prOut := erdos.Output(predict, predictions)
 	erdos.WithState(predict, &predState{}, func(s *predState) *predState { c := *s; return &c })
 	erdos.Input(predict, obstacles, func(ctx *erdos.Context, t erdos.Timestamp, o Obstacles) {
@@ -268,7 +276,7 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 
 	// Planning: the real anytime FOT planner consuming its remaining
 	// allocation (§5.3).
-	planOp := g.Operator("planning")
+	planOp := g.Operator(pn("planning"))
 	plOut := erdos.Output(planOp, plans)
 	erdos.WithState(planOp, &planState{}, func(s *planState) *planState { c := *s; return &c })
 	erdos.Input(planOp, predictions, func(ctx *erdos.Context, t erdos.Timestamp, p Predictions) {
@@ -302,7 +310,7 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 		}
 		_ = ctx.Send(plOut, ctx.Timestamp, plan)
 	})
-	planOp.TimestampDeadline("planning", dyn, erdos.Continue, onMiss)
+	planOp.TimestampDeadline(pn("planning"), dyn, erdos.Continue, onMiss)
 	planOp.Build()
 
 	// Control: the real PID + pure-pursuit controller at the end of the
@@ -311,7 +319,7 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 	// plan after a failover produces no second command for a timestamp the
 	// controller already acted on (exactly-once effects at watermark
 	// granularity).
-	ctl := g.Operator("control")
+	ctl := g.Operator(pn("control"))
 	cOut := erdos.Output(ctl, commands)
 	erdos.WithState(ctl, &ctlState{Ctl: control.NewController()}, (*ctlState).clone)
 	erdos.Input(ctl, plans, func(ctx *erdos.Context, t erdos.Timestamp, p Plan) {
@@ -335,7 +343,7 @@ func Build(g *erdos.Graph, cfg Config) Handles {
 	// of every frame; co-locating it keeps each timestamp's cascade of
 	// callbacks on one lattice shard (and, on a cluster, one worker) so
 	// intermediate payloads never cross a cache line or a socket.
-	g.Affinity("perception", "prediction", "planning")
+	g.Affinity(pn("perception"), pn("prediction"), pn("planning"))
 
 	return Handles{Camera: camera, Commands: commands, Plans: plans, Deadlines: deadlines}
 }
