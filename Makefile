@@ -38,9 +38,9 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzShmRingDecode -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINTIME) ./internal/core/comm/shm
 	$(GO) test -run '^$$' -fuzz FuzzShmBroadcastRingDecode -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINTIME) ./internal/core/comm/shm
 
-## analyze: the five D3-invariant analyzers (zerogob, wallclock, lockhold,
-## statetxn, deadlinehint) over the whole module; see DESIGN.md and
-## //erdos:allow for the suppression contract
+## analyze: the seven D3-invariant analyzers (zerogob, wallclock, lockhold,
+## statetxn, deadlinehint, bufown, goleak) over the whole module; see
+## DESIGN.md and //erdos:allow for the suppression contract
 analyze:
 	$(GO) run ./cmd/erdos-vet ./...
 
@@ -64,15 +64,16 @@ bench-e2e:
 	$(GO) run ./cmd/erdos-bench -bench e2e -out BENCH_e2e.json
 
 ## bench-smoke: CI's quick pass over the e2e benchmarks, the shm-ring
-## round-trip, the single-encode fanout edge, and the elastic tenant-density
-## edge — few frames and rounds, result discarded; catches harness rot (and
-## a broken ring, fanout fast path, or tenant hosting) without burning
-## minutes
+## round-trip, the single-encode fanout edge, the elastic tenant-density
+## edge, and the goroutine leak-drift gate — few frames and rounds, result
+## discarded; catches harness rot (a broken ring, fanout fast path, tenant
+## hosting, or a Close path that strands goroutines) without burning minutes
 bench-smoke:
 	$(GO) run ./cmd/erdos-bench -bench e2e -short -out /tmp/BENCH_e2e_smoke.json
 	$(GO) run ./cmd/erdos-bench -bench shm
 	$(GO) run ./cmd/erdos-bench -bench fanout -short
 	$(GO) run ./cmd/erdos-bench -bench elastic -short
+	$(GO) run ./cmd/erdos-bench -bench leak
 
 ## bench-elastic: tenant-density latency edge -> BENCH_e2e.json
 bench-elastic:

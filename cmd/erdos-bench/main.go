@@ -16,6 +16,7 @@
 //	erdos-bench -bench e2e -short  # smoke mode for CI
 //	erdos-bench -bench elastic  # tenant-density latency edge -> BENCH_e2e.json
 //	erdos-bench -bench elastic -short  # elastic smoke mode for CI (no file written)
+//	erdos-bench -bench leak     # goroutine leak-drift gate (no file written)
 //	erdos-bench -msgs 200       # more samples per point
 //	erdos-bench -bench lattice -out other.json
 package main
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/erdos-go/erdos/internal/experiments"
@@ -400,6 +402,24 @@ func runElasticBench(out string, short bool) error {
 	return nil
 }
 
+// runLeakCheck turns the per-run goroutine telemetry into a hard gate:
+// each leak-drift workload builds and tears down a full transport or
+// scheduler five times, and a count that climbs on every single repetition
+// fails the run. This is the bench-smoke backstop for Close paths that
+// strand goroutines too slowly for any one test to notice.
+func runLeakCheck() error {
+	fmt.Println("=== goroutine leak drift (5 harness build/teardown cycles) ===")
+	results := experiments.LeakDriftBench()
+	for _, r := range results {
+		fmt.Printf("%-26s goroutines per run %v\n", r.Name, r.GoroutineRuns)
+	}
+	if leaking := experiments.GoroutineGrowth(results); len(leaking) > 0 {
+		return fmt.Errorf("goroutine count grew on every repetition for: %s", strings.Join(leaking, ", "))
+	}
+	fmt.Println("no monotone goroutine growth across repetitions")
+	return nil
+}
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a
@@ -408,7 +428,7 @@ func maxf(a, b float64) float64 {
 }
 
 func main() {
-	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | lattice | comm | shm | e2e | elastic | all")
+	bench := flag.String("bench", "all", "benchmark: size | fanout | scaling | lattice | comm | shm | e2e | elastic | leak | all")
 	msgs := flag.Int("msgs", 50, "messages per measurement point")
 	out := flag.String("out", "", "output file for -bench lattice / comm / e2e")
 	short := flag.Bool("short", false, "smoke mode: fewer frames and rounds, for CI")
@@ -466,6 +486,13 @@ func main() {
 	if *bench == "shm" {
 		if err := runShmSmoke(); err != nil {
 			fmt.Fprintf(os.Stderr, "shm smoke: %v\n", err)
+			os.Exit(1)
+		}
+		ran = true
+	}
+	if *bench == "leak" {
+		if err := runLeakCheck(); err != nil {
+			fmt.Fprintf(os.Stderr, "leak check: %v\n", err)
 			os.Exit(1)
 		}
 		ran = true

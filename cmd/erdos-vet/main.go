@@ -3,31 +3,52 @@
 // into `make analyze` and the CI erdos-vet job, so the build refuses code
 // that violates the runtime's contracts: zero-gob payloads, deterministic
 // callbacks, non-blocking critical sections, transactional operator state,
-// and deadline-hinted transport sends.
+// deadline-hinted transport sends, pooled-buffer ownership balance, and
+// stoppable goroutines.
 //
 // Usage:
 //
-//	erdos-vet [-v] [dir]
+//	erdos-vet [-v] [-json] [dir]
 //
 // dir defaults to the current directory; the module containing it is
-// analyzed in full (testdata and test files excluded). -v also prints
-// findings suppressed by //erdos:allow directives, with their reasons.
+// analyzed in full (testdata and test files excluded). Analyzers run
+// concurrently per package over one shared type-checked load. -v also
+// prints findings suppressed by //erdos:allow directives (with their
+// reasons) and per-analyzer wall time. -json emits the findings as a JSON
+// array on stdout for tooling; the CI problem matcher consumes the default
+// text format instead.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"github.com/erdos-go/erdos/internal/analysis"
 )
 
+// finding is the JSON shape of one diagnostic: position split into fields,
+// paths relative to the module root.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Suppressed findings carry the //erdos:allow reason that excused them.
+	Suppressed  bool   `json:"suppressed,omitempty"`
+	AllowReason string `json:"allowReason,omitempty"`
+}
+
 func main() {
-	verbose := flag.Bool("v", false, "also print //erdos:allow-suppressed findings")
+	verbose := flag.Bool("v", false, "also print //erdos:allow-suppressed findings and per-analyzer timings")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: erdos-vet [-v] [dir]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: erdos-vet [-v] [-json] [dir]\n\nAnalyzers:\n")
 		for _, a := range analysis.All {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -53,32 +74,74 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags, err := analysis.Run(l, pkgs, analysis.All)
+	diags, timings, err := analysis.RunTimed(l, pkgs, analysis.All)
 	if err != nil {
 		fatal(err)
 	}
 
-	bad := 0
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(l.ModDir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	relPath := func(name string) string {
+		if rel, err := filepath.Rel(l.ModDir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
 		}
-		if d.Suppressed {
-			if *verbose {
-				fmt.Printf("%s: [%s] allowed (%s): %s\n", pos, d.Analyzer, d.AllowReason, d.Message)
-			}
+		return name
+	}
+
+	bad := 0
+	var out []finding
+	for _, d := range diags {
+		if d.Suppressed && !*verbose && !*jsonOut {
 			continue
 		}
-		bad++
-		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		f := finding{
+			File:        relPath(d.Pos.Filename),
+			Line:        d.Pos.Line,
+			Column:      d.Pos.Column,
+			Analyzer:    d.Analyzer,
+			Message:     d.Message,
+			Suppressed:  d.Suppressed,
+			AllowReason: d.AllowReason,
+		}
+		if !d.Suppressed {
+			bad++
+		}
+		if *jsonOut {
+			out = append(out, f)
+			continue
+		}
+		if d.Suppressed {
+			fmt.Printf("%s:%d:%d: [%s] allowed (%s): %s\n", f.File, f.Line, f.Column, f.Analyzer, f.AllowReason, f.Message)
+		} else {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+		}
+	}
+	if *jsonOut {
+		if out == nil {
+			out = []finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	}
+	if *verbose {
+		// Cumulative per-analyzer wall time across packages; analyzers run
+		// concurrently, so these rank cost rather than summing to the total.
+		names := make([]string, 0, len(timings))
+		for name := range timings {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return timings[names[i]] > timings[names[j]] })
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "erdos-vet: %-14s %8.1fms\n", name, float64(timings[name].Microseconds())/1000)
+		}
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "erdos-vet: %d finding(s) in %d package(s) analyzed\n", bad, len(pkgs))
 		os.Exit(1)
 	}
 	if *verbose {
-		fmt.Printf("erdos-vet: %d packages clean (%d analyzer(s))\n", len(pkgs), len(analysis.All))
+		fmt.Fprintf(os.Stderr, "erdos-vet: %d packages clean (%d analyzer(s))\n", len(pkgs), len(analysis.All))
 	}
 }
 

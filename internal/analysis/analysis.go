@@ -1,10 +1,11 @@
 // Package analysis is a small, stdlib-only static-analysis framework plus
-// the five D3-specific analyzers behind cmd/erdos-vet. The runtime's core
+// the seven D3-specific analyzers behind cmd/erdos-vet. The runtime's core
 // contracts — zero-gob payloads on the wire, deterministic callbacks,
-// non-blocking critical sections, transactional operator state, and
-// deadline-hinted sends — are invariants the paper treats as system
-// guarantees (§3, §4.3); this package makes the build refuse code that
-// breaks them instead of hoping a runtime test catches it.
+// non-blocking critical sections, transactional operator state,
+// deadline-hinted sends, pooled-buffer ownership balance, and stoppable
+// goroutines — are invariants the paper treats as system guarantees (§3,
+// §4.3); this package makes the build refuse code that breaks them instead
+// of hoping a runtime test catches it.
 //
 // A justified exception is suppressed in place with a reasoned directive:
 //
@@ -20,6 +21,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
+	"time"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -33,7 +36,7 @@ type Analyzer struct {
 }
 
 // All lists the erdos-vet analyzers in reporting order.
-var All = []*Analyzer{ZeroGob, Wallclock, LockHold, StateTxn, DeadlineHint}
+var All = []*Analyzer{ZeroGob, Wallclock, LockHold, StateTxn, DeadlineHint, BufOwn, GoLeak}
 
 // Pass carries one analyzer's view of one package.
 type Pass struct {
@@ -56,8 +59,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Dep returns the type-checked types for a module-internal dependency, or an
 // error when it cannot be loaded. Analyzers use it to look up interfaces and
 // signatures from packages the analyzed package may not even import.
+// Analyzers run concurrently within a package, so cache access is serialized
+// here; Load's internal recursion runs single-threaded under the lock.
 func (p *Pass) Dep(path string) (*types.Package, error) {
+	p.loader.depMu.Lock()
 	pkg, err := p.loader.Load(path)
+	p.loader.depMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -83,27 +90,59 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// Timings holds the cumulative wall time each analyzer spent across all
+// analyzed packages. Analyzers run concurrently, so the values overlap; they
+// rank relative cost, not total runtime.
+type Timings map[string]time.Duration
+
 // Run executes the analyzers over the packages and returns every diagnostic
 // (suppressed ones included), sorted by position. Packages with type errors
 // abort the run: analyzers cannot be trusted on half-checked trees.
 func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(l, pkgs, analyzers)
+	return diags, err
+}
+
+// RunTimed is Run plus per-analyzer wall-time accounting. Within each
+// package the analyzers execute concurrently — each gets a private
+// diagnostic slice, merged in analyzer order afterwards, so output stays
+// deterministic regardless of scheduling.
+func RunTimed(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, Timings, error) {
 	ran := map[string]bool{}
 	for _, a := range analyzers {
 		ran[a.Name] = true
 	}
+	timings := Timings{}
+	var tmu sync.Mutex
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		if len(pkg.Errs) > 0 {
-			return nil, fmt.Errorf("analysis: %s has type errors: %v", pkg.Path, pkg.Errs[0])
+			return nil, nil, fmt.Errorf("analysis: %s has type errors: %v", pkg.Path, pkg.Errs[0])
 		}
 		dirs, bad := parseAllows(l.Fset, pkg.Files)
 		all = append(all, bad...)
+		perAnalyzer := make([][]Diagnostic, len(analyzers))
+		errs := make([]error, len(analyzers))
+		var wg sync.WaitGroup
+		for i, a := range analyzers {
+			wg.Add(1)
+			go func(i int, a *Analyzer) {
+				defer wg.Done()
+				start := time.Now()
+				pass := &Pass{Analyzer: a, Fset: l.Fset, Pkg: pkg, loader: l, diags: &perAnalyzer[i]}
+				errs[i] = a.Run(pass)
+				tmu.Lock()
+				timings[a.Name] += time.Since(start)
+				tmu.Unlock()
+			}(i, a)
+		}
+		wg.Wait()
 		var diags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: l.Fset, Pkg: pkg, loader: l, diags: &diags}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		for i, a := range analyzers {
+			if errs[i] != nil {
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, errs[i])
 			}
+			diags = append(diags, perAnalyzer[i]...)
 		}
 		for i := range diags {
 			if d := matchAllow(dirs, diags[i]); d != nil {
@@ -135,5 +174,5 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error
 		}
 		return all[i].Analyzer < all[j].Analyzer
 	})
-	return all, nil
+	return all, timings, nil
 }

@@ -132,6 +132,8 @@ func TestWallclockPkgFixture(t *testing.T) { runFixture(t, Wallclock, "wallclock
 func TestLockHoldFixture(t *testing.T)     { runFixture(t, LockHold, "lockhold") }
 func TestStateTxnFixture(t *testing.T)     { runFixture(t, StateTxn, "statetxn") }
 func TestDeadlineHintFixture(t *testing.T) { runFixture(t, DeadlineHint, "deadlinehint") }
+func TestBufOwnFixture(t *testing.T)       { runFixture(t, BufOwn, "bufown") }
+func TestGoLeakFixture(t *testing.T)       { runFixture(t, GoLeak, "goleak") }
 func TestAllowDirectives(t *testing.T)     { runFixture(t, Wallclock, "allow") }
 
 // TestInprocBackendBelowSeam pins zerogob's seam detection to the real

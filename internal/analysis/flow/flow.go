@@ -1,0 +1,391 @@
+// Package flow builds per-function control-flow graphs from go/ast and
+// solves forward dataflow problems over them. It is the shared engine under
+// the path-sensitive erdos-vet analyzers (lockhold, bufown, goleak): a
+// single-pass AST walk cannot see a pooled buffer leaking on an early
+// return or a lock held into one branch of an if, so those analyzers walk
+// the CFG with an abstract state instead.
+//
+// The graph is deliberately small: a Block is a straight-line sequence of
+// *events* — simple statements, condition expressions, and a few compound
+// markers — and control constructs (if/for/range/switch/select, labeled
+// break and continue, early returns) are decomposed into edges. Function
+// literals are not descended into: they execute at another time, usually
+// on another goroutine, so each literal is its own CFG.
+//
+// Event kinds a client's Transfer/Visit sees:
+//
+//   - plain statements: assignments, declarations, sends, IncDec, defer,
+//     go, expression statements;
+//   - bare expressions: if/for conditions, switch tags and case lists
+//     (evaluated in their clause's block);
+//   - *ast.ReturnStmt: every path into Exit passes one — falling off the
+//     end of the body is materialized as a synthetic ReturnStmt positioned
+//     at the closing brace;
+//   - *ast.RangeStmt: the range header (X plus the key/value binding);
+//     the body statements are events of the successor block;
+//   - *ast.SelectStmt: a marker for the select itself; each clause is an
+//     *ast.CommClause event (carrying its comm operation) at the head of
+//     that clause's block.
+//
+// panic(...) and os.Exit(...) terminate their path without reaching Exit;
+// goto (absent from this module) conservatively edges to Exit.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run of events with its successor edges.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes are the block's events in execution order.
+	Nodes []ast.Node
+	// Succs are the possible next blocks.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	// Entry is the block control enters at.
+	Entry *Block
+	// Exit is the synthetic block every return edges to. It has no events.
+	Exit *Block
+}
+
+// frame is one enclosing breakable construct on the builder's stack.
+type frame struct {
+	label string
+	brk   *Block // break target
+	cont  *Block // continue target; nil for switch/select
+}
+
+type builder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminator makes
+	// the following code unreachable.
+	cur          *Block
+	frames       []*frame
+	fallTarget   *Block
+	pendingLabel string
+}
+
+// New builds the CFG of one function body.
+func New(body *ast.BlockStmt) *CFG {
+	cfg := &CFG{}
+	b := &builder{cfg: cfg}
+	cfg.Entry = b.newBlock()
+	cfg.Exit = b.newBlock()
+	b.cur = cfg.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		// Falling off the end is an implicit return; materialize it so
+		// clients check exit conditions at ReturnStmt events only.
+		b.emit(&ast.ReturnStmt{Return: body.Rbrace})
+		b.edge(b.cur, cfg.Exit)
+	}
+	return cfg
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge adds from→to; a nil from (unreachable path) is a no-op.
+func (b *builder) edge(from, to *Block) {
+	if from != nil && to != nil {
+		from.Succs = append(from.Succs, to)
+	}
+}
+
+// reach returns the current block, materializing an unreachable one after a
+// terminator so building can continue.
+func (b *builder) reach() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) emit(n ast.Node) {
+	b.reach().Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) pushFrame(brk, cont *Block) {
+	b.frames = append(b.frames, &frame{label: b.pendingLabel, brk: brk, cont: cont})
+	b.pendingLabel = ""
+}
+
+func (b *builder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+// findFrame resolves a break/continue target: the innermost suitable frame,
+// or the one carrying the label.
+func (b *builder) findFrame(label *ast.Ident, needCont bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.emit(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		cont := head
+		if s.Post != nil {
+			post := b.newBlock()
+			b.cur = post
+			b.emit(s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.pushFrame(after, cont)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popFrame()
+		b.edge(b.cur, cont)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.emit(s)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushFrame(after, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popFrame()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.switchClauses(s.Body.List, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Assign)
+		b.switchClauses(s.Body.List, false)
+
+	case *ast.SelectStmt:
+		b.emit(s)
+		head := b.cur
+		after := b.newBlock()
+		b.pushFrame(after, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			b.emit(cc)
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.popFrame()
+		// A clause-less select{} parks forever; after then has no
+		// predecessors and stays unreachable, as it should.
+		b.cur = after
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(s.Label, false); f != nil {
+				b.edge(b.cur, f.brk)
+			}
+		case token.CONTINUE:
+			if f := b.findFrame(s.Label, true); f != nil {
+				b.edge(b.cur, f.cont)
+			}
+		case token.FALLTHROUGH:
+			b.edge(b.cur, b.fallTarget)
+		case token.GOTO:
+			// Not used in this module; end the path conservatively.
+			b.emit(s)
+			b.edge(b.cur, b.cfg.Exit)
+		}
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.emit(s)
+		if isTerminatorCall(s.X) {
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, Send, IncDec, Defer, Go, and anything else simple.
+		b.emit(s)
+	}
+}
+
+// switchClauses builds the shared clause structure of switch and type
+// switch. The head is the current block; each clause's guard expressions
+// are events of its own block.
+func (b *builder) switchClauses(list []ast.Stmt, allowFall bool) {
+	head := b.reach()
+	after := b.newBlock()
+	b.pushFrame(after, nil)
+	blocks := make([]*Block, len(list))
+	hasDefault := false
+	for i, c := range list {
+		blocks[i] = b.newBlock()
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	savedFall := b.fallTarget
+	for i, c := range list {
+		cc := c.(*ast.CaseClause)
+		b.edge(head, blocks[i])
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.emit(e)
+		}
+		b.fallTarget = nil
+		if allowFall && i+1 < len(list) {
+			b.fallTarget = blocks[i+1]
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.fallTarget = savedFall
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+// isTerminatorCall reports whether the expression statement never returns:
+// a panic(...) or os.Exit(...) call. The check is syntactic — flow has no
+// type information — which is exact enough for this module, where neither
+// name is ever shadowed.
+func isTerminatorCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			return pkg.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+// Inspect walks the sub-tree of one event that is not represented by other
+// events, skipping nested function literals (each is its own CFG). Compound
+// markers expose only their header parts: a RangeStmt its binding and
+// operand, a CommClause its comm operation, a SelectStmt nothing (its
+// clauses are separate events).
+func Inspect(event ast.Node, fn func(ast.Node) bool) {
+	switch e := event.(type) {
+	case *ast.SelectStmt:
+		return
+	case *ast.CommClause:
+		if e.Comm != nil {
+			inspectSkipFunc(e.Comm, fn)
+		}
+	case *ast.RangeStmt:
+		if e.Key != nil {
+			inspectSkipFunc(e.Key, fn)
+		}
+		if e.Value != nil {
+			inspectSkipFunc(e.Value, fn)
+		}
+		inspectSkipFunc(e.X, fn)
+	default:
+		inspectSkipFunc(event, fn)
+	}
+}
+
+func inspectSkipFunc(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(m)
+	})
+}

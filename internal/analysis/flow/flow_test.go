@@ -1,0 +1,289 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseBody returns the body of the first function declared in src.
+func parseBody(t *testing.T, src string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fset, fd.Body
+		}
+	}
+	t.Fatal("no function in src")
+	return nil, nil
+}
+
+// genKill is a toy ownership problem over untyped syntax: `x := acquire()`
+// gens x, `release(x)` kills it. Lines of ReturnStmt events where some
+// name may still be live are collected — exercising branches, loops,
+// early returns, and the synthetic fall-off-the-end return.
+func leakyReturnLines(t *testing.T, src string) []int {
+	t.Helper()
+	fset, body := parseBody(t, src)
+	cfg := New(body)
+
+	type state = map[string]bool
+	p := Problem[state]{
+		Entry: func() state { return state{} },
+		Clone: func(s state) state {
+			c := make(state, len(s))
+			for k, v := range s {
+				c[k] = v
+			}
+			return c
+		},
+		Join: func(dst, src state) bool {
+			changed := false
+			for k := range src {
+				if !dst[k] {
+					dst[k] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(s state, n ast.Node) state {
+			Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch id.Name {
+				case "release":
+					if len(call.Args) == 1 {
+						if a, ok := call.Args[0].(*ast.Ident); ok {
+							delete(s, a.Name)
+						}
+					}
+				}
+				return true
+			})
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+				if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "acquire" {
+						if lhs, ok := as.Lhs[0].(*ast.Ident); ok {
+							s[lhs.Name] = true
+						}
+					}
+				}
+			}
+			return s
+		},
+	}
+	res := Solve(cfg, p)
+	var lines []int
+	res.Visit(p, func(n ast.Node, s state) {
+		if _, ok := n.(*ast.ReturnStmt); ok && len(s) > 0 {
+			lines = append(lines, fset.Position(n.Pos()).Line)
+		}
+	})
+	sort.Ints(lines)
+	return lines
+}
+
+func TestEarlyReturnLeak(t *testing.T) {
+	// Line numbering starts at the package clause, so func is line 2.
+	lines := leakyReturnLines(t, `
+func f(c bool) {
+	x := acquire()
+	if c {
+		return
+	}
+	release(x)
+}`)
+	if len(lines) != 1 || lines[0] != 6 {
+		t.Fatalf("leaky returns at %v, want [6]", lines)
+	}
+}
+
+func TestLoopBackEdgeJoins(t *testing.T) {
+	// The release happens only on the break path; the loop's fall-through
+	// into the synthetic return at the closing brace stays clean because
+	// every path out of the loop releases first.
+	lines := leakyReturnLines(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		x := acquire()
+		if i > 2 {
+			release(x)
+			break
+		}
+		release(x)
+	}
+}`)
+	if len(lines) != 0 {
+		t.Fatalf("leaky returns at %v, want none", lines)
+	}
+}
+
+func TestSelectClausePaths(t *testing.T) {
+	lines := leakyReturnLines(t, `
+func f(ch chan int, done chan bool) {
+	x := acquire()
+	select {
+	case <-ch:
+		release(x)
+	case <-done:
+		return
+	}
+}`)
+	if len(lines) != 1 || lines[0] != 9 {
+		t.Fatalf("leaky returns at %v, want [9]", lines)
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	lines := leakyReturnLines(t, `
+func f(n int) {
+	x := acquire()
+	switch n {
+	case 1:
+		fallthrough
+	case 2:
+		release(x)
+	default:
+		release(x)
+	}
+}`)
+	if len(lines) != 0 {
+		t.Fatalf("leaky returns at %v, want none", lines)
+	}
+}
+
+func TestLabeledBreakTarget(t *testing.T) {
+	lines := leakyReturnLines(t, `
+func f(n int) {
+outer:
+	for {
+		for {
+			x := acquire()
+			if n > 1 {
+				break outer
+			}
+			release(x)
+		}
+	}
+}`)
+	// break outer leaves both loops with x live; the synthetic return at
+	// the function's closing brace sees it.
+	if len(lines) != 1 || lines[0] != 14 {
+		t.Fatalf("leaky returns at %v, want [14]", lines)
+	}
+}
+
+func TestPanicPathDoesNotReachExit(t *testing.T) {
+	lines := leakyReturnLines(t, `
+func f(c bool) {
+	x := acquire()
+	if c {
+		panic("boom")
+	}
+	release(x)
+}`)
+	if len(lines) != 0 {
+		t.Fatalf("leaky returns at %v, want none", lines)
+	}
+}
+
+func TestSyntheticReturnPosition(t *testing.T) {
+	_, body := parseBody(t, `
+func f() {
+	g()
+}`)
+	cfg := New(body)
+	var synth *ast.ReturnStmt
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if r, ok := n.(*ast.ReturnStmt); ok {
+				synth = r
+			}
+		}
+	}
+	if synth == nil {
+		t.Fatal("no synthetic return emitted")
+	}
+	if synth.Return != body.Rbrace {
+		t.Fatalf("synthetic return at %v, want closing brace %v", synth.Return, body.Rbrace)
+	}
+}
+
+func TestEveryReturnEdgesToExit(t *testing.T) {
+	_, body := parseBody(t, `
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	for i := 0; i < 3; i++ {
+		if i == 2 {
+			return 2
+		}
+	}
+	return 3
+}`)
+	cfg := New(body)
+	for _, b := range cfg.Blocks {
+		for i, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); !ok {
+				continue
+			}
+			if i != len(b.Nodes)-1 {
+				t.Fatalf("return is not the last event of block %d", b.Index)
+			}
+			found := false
+			for _, s := range b.Succs {
+				if s == cfg.Exit {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("block %d ends in return but does not edge to Exit", b.Index)
+			}
+		}
+	}
+}
+
+func TestInspectSkipsFuncLit(t *testing.T) {
+	_, body := parseBody(t, `
+func f() {
+	g := func() { inner() }
+	g()
+}`)
+	cfg := New(body)
+	var calls []string
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			Inspect(n, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok {
+						calls = append(calls, id.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	joined := strings.Join(calls, ",")
+	if strings.Contains(joined, "inner") {
+		t.Fatalf("Inspect descended into a function literal: %v", calls)
+	}
+	if !strings.Contains(joined, "g") {
+		t.Fatalf("Inspect missed the outer call: %v", calls)
+	}
+}

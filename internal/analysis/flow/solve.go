@@ -1,0 +1,90 @@
+// The generic forward dataflow solver: a worklist fixpoint over block-entry
+// states, plus a deterministic replay pass for reporting. Clients supply the
+// lattice (Entry/Clone/Join) and the semantics (Transfer); states must have
+// finite join height or the fixpoint will not terminate.
+package flow
+
+import "go/ast"
+
+// Problem defines one forward dataflow problem over a CFG.
+type Problem[S any] struct {
+	// Entry returns the state at function entry.
+	Entry func() S
+	// Clone deep-copies a state; the solver never aliases states across
+	// blocks.
+	Clone func(S) S
+	// Join merges src into dst, reporting whether dst changed. Join must
+	// be monotone: repeated joins of the same src eventually stop
+	// reporting change.
+	Join func(dst, src S) bool
+	// Transfer folds one event into the state and returns it; mutating s
+	// in place and returning it is fine.
+	Transfer func(s S, n ast.Node) S
+}
+
+// Result carries the fixpoint: the state at entry to each block, and which
+// blocks are reachable from Entry at all.
+type Result[S any] struct {
+	cfg *CFG
+	// In[i] is the solved entry state of Blocks[i]; meaningful only where
+	// Reached[i].
+	In      []S
+	Reached []bool
+}
+
+// Solve runs the worklist fixpoint and returns per-block entry states.
+func Solve[S any](cfg *CFG, p Problem[S]) *Result[S] {
+	r := &Result[S]{
+		cfg:     cfg,
+		In:      make([]S, len(cfg.Blocks)),
+		Reached: make([]bool, len(cfg.Blocks)),
+	}
+	r.In[cfg.Entry.Index] = p.Entry()
+	r.Reached[cfg.Entry.Index] = true
+
+	work := []*Block{cfg.Entry}
+	queued := make([]bool, len(cfg.Blocks))
+	queued[cfg.Entry.Index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		s := p.Clone(r.In[b.Index])
+		for _, n := range b.Nodes {
+			s = p.Transfer(s, n)
+		}
+		for _, succ := range b.Succs {
+			changed := false
+			if !r.Reached[succ.Index] {
+				r.Reached[succ.Index] = true
+				r.In[succ.Index] = p.Clone(s)
+				changed = true
+			} else if p.Join(r.In[succ.Index], s) {
+				changed = true
+			}
+			if changed && !queued[succ.Index] {
+				queued[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return r
+}
+
+// Visit replays every reached block from its solved entry state, calling fn
+// with each event and the state in force immediately before it. Blocks are
+// visited in index order, so diagnostics come out deterministically; fn
+// must not retain s past the call.
+func (r *Result[S]) Visit(p Problem[S], fn func(n ast.Node, s S)) {
+	for i, b := range r.cfg.Blocks {
+		if !r.Reached[i] {
+			continue
+		}
+		s := p.Clone(r.In[i])
+		for _, n := range b.Nodes {
+			fn(n, s)
+			s = p.Transfer(s, n)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// The goleak analyzer ties every goroutine in the runtime packages to a
+// stop signal. The cluster, comm (including shm/inproc backends), worker,
+// and lattice packages are long-lived: a worker survives operator churn,
+// a transport survives reconnects, an elastic cluster survives membership
+// changes. A goroutine spawned there without a reachable stop signal — a
+// done channel, a context, a sync.WaitGroup the owner waits on, or a
+// sync.Cond — outlives its owner silently. Under elastic scaling
+// (join/drain cycles) those orphans accumulate: each drained member leaks
+// its loops, and the leak only shows up as monotone goroutine growth in
+// long-running benchmarks.
+//
+// The check is intentionally structural, not temporal: it proves that the
+// spawned body (or a same-package function it transitively calls) *can*
+// observe a stop signal, not that it always terminates. That is the same
+// contract the module's loops follow — sockLoop exits when Close breaks the
+// socket AND Close waits on a WaitGroup the loop signals; acceptLoop parks
+// in a receive that Close wakes.
+//
+// Scope is the runtime package set plus any package carrying an
+// //erdos:leakcheck comment (how fixtures opt in). Audited fire-and-forget
+// sites use //erdos:allow goleak <reason>, and the stale-allow audit keeps
+// the annotations honest. Goroutines whose body cannot be resolved
+// statically (a function value, a cross-package call) are flagged too:
+// spawn a literal or a named same-package function so the analyzer — and
+// the reader — can see the loop.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoLeak flags goroutines in runtime packages with no reachable stop signal.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every goroutine in the runtime packages (cluster, comm, worker, lattice) observes a stop signal",
+	Run:  runGoLeak,
+}
+
+// leakcheckDirective opts a package into goleak the way
+// //erdos:deterministic opts into wallclock; fixtures use it.
+const leakcheckDirective = "//erdos:leakcheck"
+
+// goleakPkgPrefixes are the runtime packages (and their subpackages) whose
+// goroutines must be stoppable.
+var goleakPkgPrefixes = []string{
+	modPath + "/internal/core/cluster",
+	modPath + "/internal/core/comm",
+	modPath + "/internal/core/worker",
+	modPath + "/internal/core/lattice",
+}
+
+func goleakInScope(pkg *Package) bool {
+	for _, p := range goleakPkgPrefixes {
+		if pkg.Path == p || strings.HasPrefix(pkg.Path, p+"/") {
+			return true
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, leakcheckDirective) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func runGoLeak(pass *Pass) error {
+	if !goleakInScope(pass.Pkg) {
+		return nil
+	}
+	g := &goleakPass{
+		pass:  pass,
+		info:  pass.Pkg.Info,
+		decls: packageFuncDecls(pass.Pkg),
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				g.checkSpawn(gs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type goleakPass struct {
+	pass  *Pass
+	info  *types.Info
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// checkSpawn verifies one go statement: resolve the spawned body, then
+// search it (and its transitive same-package callees) for a stop signal.
+func (g *goleakPass) checkSpawn(gs *ast.GoStmt) {
+	body, desc := g.spawnBody(gs.Call)
+	if body == nil {
+		g.pass.Reportf(gs.Pos(),
+			"goroutine body (%s) cannot be verified for a stop signal; spawn a function literal or a named same-package function",
+			desc)
+		return
+	}
+	if sig := g.findStopSignal(body); sig != "" {
+		return
+	}
+	g.pass.Reportf(gs.Pos(),
+		"goroutine (%s) has no reachable stop signal (done channel receive, context, WaitGroup, or Cond); it outlives its owner",
+		desc)
+}
+
+// spawnBody resolves the body the go statement runs: a function literal, or
+// a function/method declared in this package. The description names what
+// was spawned for the diagnostic.
+func (g *goleakPass) spawnBody(call *ast.CallExpr) (*ast.BlockStmt, string) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, "function literal"
+	}
+	fn := calleeFunc(g.info, call)
+	if fn == nil {
+		return nil, "function value"
+	}
+	if decl, ok := g.decls[fn]; ok && decl.Body != nil {
+		return decl.Body, fn.Name()
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() != g.pass.Pkg.Path {
+		return nil, fn.Pkg().Path() + "." + fn.Name() + " (cross-package)"
+	}
+	return nil, fn.Name()
+}
+
+// findStopSignal searches a body and its transitive same-package callees
+// for any construct that observes a stop signal. Nested function literals
+// ARE descended into here: the spawned goroutine runs them (deferred or
+// called) on its own stack.
+func (g *goleakPass) findStopSignal(body *ast.BlockStmt) string {
+	visited := map[*ast.BlockStmt]bool{}
+	work := []*ast.BlockStmt{body}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		if visited[b] {
+			continue
+		}
+		visited[b] = true
+		var found string
+		ast.Inspect(b, func(n ast.Node) bool {
+			if found != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					found = "channel receive"
+				}
+			case *ast.RangeStmt:
+				if t := typeOf(g.info, n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						found = "range over channel"
+					}
+				}
+			case *ast.CallExpr:
+				if sig := g.stopCall(n); sig != "" {
+					found = sig
+					return false
+				}
+				if fn := calleeFunc(g.info, n); fn != nil {
+					if decl, ok := g.decls[fn]; ok && decl.Body != nil && !visited[decl.Body] {
+						work = append(work, decl.Body)
+					}
+				}
+			}
+			return true
+		})
+		if found != "" {
+			return found
+		}
+	}
+	return ""
+}
+
+// stopCall classifies calls that constitute a stop signal by themselves.
+func (g *goleakPass) stopCall(call *ast.CallExpr) string {
+	fn := calleeFunc(g.info, call)
+	if fn == nil || fn.Pkg() == nil {
+		// An interface method: context.Context.Done()/Err() resolve through
+		// Uses on the selector instead.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if m, ok := g.info.Uses[sel.Sel].(*types.Func); ok && m.Pkg() != nil &&
+				m.Pkg().Path() == "context" && (m.Name() == "Done" || m.Name() == "Err") {
+				return "context " + m.Name()
+			}
+		}
+		return ""
+	}
+	pkg, name, recv := fn.Pkg().Path(), fn.Name(), recvTypeName(fn)
+	switch {
+	case pkg == "sync" && recv == "WaitGroup" && name == "Done":
+		// The owner can wg.Wait() for this goroutine; it is accounted for.
+		return "sync.WaitGroup.Done"
+	case pkg == "sync" && recv == "Cond" && name == "Wait":
+		return "sync.Cond.Wait"
+	case pkg == "context" && (name == "Done" || name == "Err"):
+		return "context " + name
+	}
+	return ""
+}

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, type-checked package.
@@ -46,6 +47,9 @@ type Loader struct {
 
 	std  types.ImporterFrom
 	pkgs map[string]*Package
+	// depMu serializes cache access from concurrently running analyzers
+	// (Pass.Dep). Load itself is recursive and single-threaded under it.
+	depMu sync.Mutex
 }
 
 // NewLoader locates the module containing dir and returns a loader for it.

@@ -3,19 +3,27 @@
 // forwarding state are all guarded by mutexes on the hot path; a blocking
 // call — channel op, transport send, net or gob I/O, sleep — made while one
 // is held turns a lock-free-in-spirit section into a convoy (and, when the
-// blocked operation needs the same lock to drain, a deadlock). The analysis
-// is syntactic and per-function: a lock interval runs from X.Lock() to the
-// earliest matching X.Unlock() on the same receiver chain, or to function
-// end when the unlock is deferred; sync.Cond.Wait is exempt because it
-// releases its mutex while parked.
+// blocked operation needs the same lock to drain, a deadlock).
+//
+// The analysis runs on the shared CFG engine (internal/analysis/flow): the
+// abstract state is the set of may-held locks, keyed by the receiver
+// chain's expression text ("t.mu"), each carrying its acquire position.
+// Lock/RLock adds a key, an inline Unlock/RUnlock removes it, and a
+// deferred unlock removes nothing — the section runs to function end. Path
+// sensitivity means a lock released on one branch but not the other is
+// still held at the join, unlike the old syntactic interval scan, which
+// only saw the earliest textual unlock. sync.Cond.Wait is exempt because
+// it releases its mutex while parked; defer and go statements cannot block
+// the section (they run at another time), so their bodies are not scanned.
 package analysis
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
+
+	"github.com/erdos-go/erdos/internal/analysis/flow"
 )
 
 // LockHold flags blocking calls made while a mutex is held.
@@ -34,6 +42,8 @@ func runLockHold(pass *Pass) error {
 					lockholdScope(pass, n.Body)
 				}
 			case *ast.FuncLit:
+				// A nested literal is another goroutine's scope; it gets
+				// its own CFG with an empty entry state.
 				lockholdScope(pass, n.Body)
 			}
 			return true
@@ -42,134 +52,129 @@ func runLockHold(pass *Pass) error {
 	return nil
 }
 
-type lockEvent struct {
-	key      string
-	pos      token.Pos
-	unlock   bool
-	deferred bool
+// lockState maps a held lock's receiver-chain key to its acquire position.
+type lockState map[string]token.Pos
+
+// lockholdProblem is the dataflow problem for one function body.
+func lockholdProblem(info *types.Info) flow.Problem[lockState] {
+	return flow.Problem[lockState]{
+		Entry: func() lockState { return lockState{} },
+		Clone: func(s lockState) lockState {
+			c := make(lockState, len(s))
+			for k, v := range s {
+				c[k] = v
+			}
+			return c
+		},
+		// May-held union: a lock held on any incoming path counts as held.
+		// On conflict the earliest acquire position wins, keeping the
+		// reported line stable.
+		Join: func(dst, src lockState) bool {
+			changed := false
+			for k, v := range src {
+				if old, ok := dst[k]; !ok || v < old {
+					dst[k] = v
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(s lockState, n ast.Node) lockState {
+			switch n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// Deferred unlocks release only at return; the section
+				// stays hot until function end. Goroutine bodies are
+				// separate scopes.
+				return s
+			}
+			flow.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if key, unlock := lockCall(info, call); key != "" {
+						if unlock {
+							delete(s, key)
+						} else {
+							s[key] = call.Pos()
+						}
+					}
+				}
+				return true
+			})
+			return s
+		},
+	}
 }
 
-type blockEvent struct {
-	pos  token.Pos
-	desc string
-}
-
-type posRange struct{ from, to token.Pos }
-
-// lockholdScope analyzes one function body. Nested function literals are
-// separate scopes (they run at a different time, typically on another
-// goroutine) and are skipped here; the outer Inspect visits them on their
-// own.
 func lockholdScope(pass *Pass, body *ast.BlockStmt) {
 	info := pass.Pkg.Info
-	var locks []lockEvent
-	var blockers []blockEvent
-	var consumed []posRange
+	cfg := flow.New(body)
+	p := lockholdProblem(info)
+	res := flow.Solve(cfg, p)
 
-	inRange := func(p token.Pos) bool {
-		for _, r := range consumed {
-			if r.from <= p && p <= r.to {
-				return true
+	report := func(pos token.Pos, desc string, s lockState) {
+		// Pick the earliest-acquired held lock so the message is stable
+		// across join orders.
+		var key string
+		var at token.Pos
+		for k, v := range s {
+			if key == "" || v < at {
+				key, at = k, v
 			}
 		}
-		return false
+		if key == "" {
+			return
+		}
+		pass.Reportf(pos,
+			"blocking %s while holding %s (locked at line %d); copy out under the lock and do the blocking work after unlock",
+			desc, key, pass.Fset.Position(at).Line)
 	}
 
-	var walk func(n ast.Node) bool
-	walk = func(n ast.Node) bool {
+	res.Visit(p, func(n ast.Node, s lockState) {
+		if len(s) == 0 {
+			return
+		}
 		switch n := n.(type) {
-		case *ast.FuncLit:
-			if n.Body != body {
-				return false
-			}
-		case *ast.DeferStmt:
-			if key, unlock := lockCall(info, n.Call); unlock {
-				locks = append(locks, lockEvent{key: key, pos: n.Pos(), unlock: true, deferred: true})
-			}
-			// Deferred work runs at return; it cannot block the section.
-			return false
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Runs at another time; cannot block this section.
+			return
 		case *ast.SelectStmt:
 			hasDefault := false
 			for _, c := range n.Body.List {
-				cc, ok := c.(*ast.CommClause)
-				if !ok {
-					continue
-				}
-				if cc.Comm == nil {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
 					hasDefault = true
-				} else {
-					consumed = append(consumed, posRange{cc.Comm.Pos(), cc.Comm.End()})
 				}
 			}
 			if !hasDefault {
-				blockers = append(blockers, blockEvent{n.Pos(), "select without default"})
+				report(n.Pos(), "select without default", s)
 			}
-		case *ast.SendStmt:
-			if !inRange(n.Pos()) {
-				blockers = append(blockers, blockEvent{n.Pos(), "channel send"})
-			}
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW && !inRange(n.Pos()) {
-				blockers = append(blockers, blockEvent{n.Pos(), "channel receive"})
-			}
+			return
+		case *ast.CommClause:
+			// The clause's comm op is the select's own; the header event
+			// already accounted for it.
+			return
 		case *ast.RangeStmt:
 			if t := typeOf(info, n.X); t != nil {
 				if _, ok := t.Underlying().(*types.Chan); ok {
-					blockers = append(blockers, blockEvent{n.Pos(), "range over channel"})
+					report(n.Pos(), "range over channel", s)
 				}
 			}
-		case *ast.CallExpr:
-			if key, unlock := lockCall(info, n); key != "" {
-				locks = append(locks, lockEvent{key: key, pos: n.Pos(), unlock: unlock})
-			} else if desc, ok := blockingCall(info, n); ok {
-				blockers = append(blockers, blockEvent{n.Pos(), desc})
+			return
+		}
+		flow.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.SendStmt:
+				report(m.Pos(), "channel send", s)
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					report(m.Pos(), "channel receive", s)
+				}
+			case *ast.CallExpr:
+				if desc, ok := blockingCall(info, m); ok {
+					report(m.Pos(), desc, s)
+				}
 			}
-		}
-		return true
-	}
-	// Select clauses register their comm ranges before the clause bodies are
-	// visited, because Inspect is pre-order; in-clause sends/receives are the
-	// select's own and must not double-report.
-	ast.Inspect(body, walk)
-
-	sort.Slice(locks, func(i, j int) bool { return locks[i].pos < locks[j].pos })
-	type interval struct {
-		key      string
-		from, to token.Pos
-	}
-	var held []interval
-	for i, l := range locks {
-		if l.unlock {
-			continue
-		}
-		end := body.End()
-		found := false
-		for j := i + 1; j < len(locks); j++ {
-			u := locks[j]
-			if u.unlock && !u.deferred && u.key == l.key {
-				end = u.pos
-				found = true
-				break
-			}
-		}
-		if !found {
-			// No inline unlock: held to function end (deferred or leaked).
-			end = body.End()
-		}
-		held = append(held, interval{key: l.key, from: l.pos, to: end})
-	}
-
-	sort.Slice(blockers, func(i, j int) bool { return blockers[i].pos < blockers[j].pos })
-	for _, b := range blockers {
-		for _, iv := range held {
-			if iv.from < b.pos && b.pos < iv.to {
-				pass.Reportf(b.pos,
-					"blocking %s while holding %s (locked at line %d); copy out under the lock and do the blocking work after unlock",
-					b.desc, iv.key, pass.Fset.Position(iv.from).Line)
-				break
-			}
-		}
-	}
+			return true
+		})
+	})
 }
 
 // lockCall classifies a call as a mutex acquire or release, returning the

@@ -1,0 +1,108 @@
+// Fixture: goleak ties every goroutine to a reachable stop signal — a done
+// channel, a context, a WaitGroup the owner waits on, or a Cond. The
+// package opts into the check with the directive below, the way the real
+// runtime packages are scoped by import path.
+//
+//erdos:leakcheck
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func step() {}
+
+func withDone(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-work:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+func naked() {
+	go func() { // want "no reachable stop signal"
+		for {
+			step()
+		}
+	}()
+}
+
+func withWaitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+}
+
+func loop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			step()
+		}
+	}
+}
+
+func namedSpawn(stop chan struct{}) {
+	go loop(stop)
+}
+
+func helper(stop chan struct{}) {
+	step()
+	loop(stop)
+}
+
+// The signal may sit one same-package call deep.
+func transitive(stop chan struct{}) {
+	go helper(stop)
+}
+
+func spin() {
+	for {
+		step()
+	}
+}
+
+func namedNaked() {
+	go spin() // want "no reachable stop signal"
+}
+
+// A function value cannot be resolved statically; the spawn is flagged so
+// the author names the loop.
+func funcValue(f func()) {
+	go f() // want "cannot be verified"
+}
+
+func rangeChan(in chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+func withContext(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			step()
+		}
+	}()
+}
+
+func allowedFireAndForget() {
+	//erdos:allow goleak one-shot flush, bounded by construction; nothing to stop
+	go func() { // wantAllowed "no reachable stop signal"
+		step()
+	}()
+}

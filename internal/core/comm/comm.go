@@ -756,16 +756,22 @@ func (t *Transport) Close() {
 		p.close()
 	}
 	t.wg.Wait()
-	// Every write loop has exited and parked its peer in the graveyard;
-	// sweep the queues one last time so enqueues that raced the per-loop
-	// drains release their frames too. Live-at-Close peers never reached
-	// the graveyard (drainPeer saw closed), but their drains already ran
-	// after the map was emptied, so post-Close sends cannot enqueue.
+	// Every write loop has exited; sweep the queues one last time so
+	// enqueues that raced the per-loop drains release their frames too. A
+	// sender's select can commit an enqueue after done closes (both cases
+	// ready, runtime picks either) even though the per-loop drain already
+	// ran, and that applies to live-at-Close peers just as much as to
+	// graveyard ones — drainPeer skips the graveyard once t.closed is set,
+	// so those peers are swept from the map snapshot instead. After this,
+	// frame accounting is exact provided senders have quiesced.
 	t.mu.Lock()
 	gy := t.graveyard
 	t.graveyard = nil
 	t.mu.Unlock()
 	for _, p := range gy {
+		drainQueue(p.out)
+	}
+	for _, p := range peers {
 		drainQueue(p.out)
 	}
 }
@@ -985,6 +991,9 @@ func readRawFrame(fr FrameSource) (stream.ID, message.Message, error) {
 		}
 		payload := AcquirePayload(int(plen))
 		if _, err := io.ReadFull(fr, payload); err != nil {
+			// A truncated frame kills the connection, but the pooled buffer
+			// is still this function's to return.
+			RecyclePayload(payload)
 			return 0, message.Message{}, err
 		}
 		m.Payload = payload

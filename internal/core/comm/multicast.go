@@ -394,6 +394,11 @@ func (t *Transport) multicast(bus *Bus, busPeers, peerNames []string, id stream.
 			delivered++
 		}
 	}
+	// bufown's single-owner model cannot see refcounts: bf starts with
+	// len(share) references (share is non-empty, guarded above) and every
+	// loop iteration transfers one to the destination or releases it on
+	// send failure, so nothing is live here.
+	//erdos:allow bufown frame refs equal len(share); each iteration transfers or releases exactly one
 	return delivered, firstErr
 }
 

@@ -254,9 +254,12 @@ func TestMulticastRefcountStress(t *testing.T) {
 	rig.recv[1].Close()
 	wg.Wait()
 
-	// Consume whatever arrived so receiver queues quiesce, then close the
-	// source: the graveyard sweep releases any frame stranded by the
-	// enqueue/drain race.
+	// Senders have quiesced (wg.Wait above), so Close's final sweep — the
+	// graveyard plus the live-at-Close peers — must leave the accounting
+	// exact the moment it returns: no polling, no grace period. A drift
+	// here means a frame was stranded in a queue the sweep missed.
 	rig.src.Close()
-	waitFrameBalance(t)
+	if acq, rel := BroadcastFrameStats(); acq != rel {
+		t.Fatalf("frame accounting drifted across Close: acquired %d, released %d", acq, rel)
+	}
 }

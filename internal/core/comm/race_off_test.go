@@ -1,0 +1,7 @@
+//go:build !race
+
+package comm
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// randomly drops Puts under race, so pool-identity tests skip themselves.
+const raceEnabled = false

@@ -425,6 +425,10 @@ type BusReader struct {
 	deadOnce  sync.Once
 	closeOnce sync.Once
 	closeErr  error
+	// loopWG tracks sockLoop so Close can wait for it: closing the socket
+	// fails the loop's blocking Read, and waiting here guarantees a closed
+	// reader leaves nothing running.
+	loopWG sync.WaitGroup
 }
 
 // JoinBroadcast attaches to the broadcast group listening at the
@@ -503,6 +507,7 @@ func joinBroadcast(sock net.Conn, name string) (*BusReader, error) {
 	}
 	r.rd.waitData = r.waitData
 	r.rd.wakeSpace = func() { _, _ = r.sock.Write([]byte{wakeSpaceByte}) }
+	r.loopWG.Add(1)
 	go r.sockLoop()
 	runtime.SetFinalizer(r, (*BusReader).unmapRing)
 	return r, nil
@@ -516,6 +521,7 @@ func (r *BusReader) unmapRing() {
 }
 
 func (r *BusReader) sockLoop() {
+	defer r.loopWG.Done()
 	buf := make([]byte, 64)
 	for {
 		n, err := r.sock.Read(buf)
@@ -598,6 +604,9 @@ func (r *BusReader) Close() error {
 	r.closeOnce.Do(func() {
 		r.markDead()
 		r.closeErr = r.sock.Close()
+		// The closed socket fails the loop's pending Read; reap it so a
+		// closed reader leaves nothing running.
+		r.loopWG.Wait()
 	})
 	return r.closeErr
 }

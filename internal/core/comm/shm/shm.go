@@ -331,6 +331,10 @@ type Conn struct {
 	deadOnce  sync.Once
 	closeOnce sync.Once
 	closeErr  error
+	// loopWG tracks sockLoop so Close can wait for it: closing the socket
+	// fails the loop's blocking Read, and waiting here guarantees no
+	// goroutine survives the connection.
+	loopWG sync.WaitGroup
 
 	maps [][]byte
 }
@@ -351,6 +355,7 @@ func newConn(sock net.Conn, tx, rx *ring, maps [][]byte) *Conn {
 	c.rd = newRingReader(rx)
 	c.rd.waitData = c.waitData
 	c.rd.wakeSpace = c.sendWake(wakeSpaceByte)
+	c.loopWG.Add(1)
 	go c.sockLoop()
 	// The mappings outlive Close on purpose: a reader blocked in the
 	// ring must never touch unmapped memory, so the pages are released
@@ -369,6 +374,7 @@ func (c *Conn) unmapAll() {
 // sockLoop drains wake bytes, forwarding each to the matching waiter
 // channel, and flags the connection dead on socket EOF or error.
 func (c *Conn) sockLoop() {
+	defer c.loopWG.Done()
 	buf := make([]byte, 64)
 	for {
 		n, err := c.sock.Read(buf)
@@ -512,6 +518,9 @@ func (c *Conn) Close() error {
 		c.rx.closed.Store(1)
 		c.markDead()
 		c.closeErr = c.sock.Close()
+		// The closed socket fails the loop's pending Read; reap it so a
+		// closed Conn leaves nothing running.
+		c.loopWG.Wait()
 	})
 	return c.closeErr
 }

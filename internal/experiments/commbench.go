@@ -105,11 +105,14 @@ const benchRuns = 5
 // all runs.
 func benchStats(name string, f func(*testing.B)) MicroBenchResult {
 	ns := make([]float64, 0, benchRuns)
+	goroutines := make([]int, 0, benchRuns)
 	best := testing.Benchmark(f)
 	ns = append(ns, float64(best.NsPerOp()))
+	goroutines = append(goroutines, runtime.NumGoroutine())
 	for i := 1; i < benchRuns; i++ {
 		r := testing.Benchmark(f)
 		ns = append(ns, float64(r.NsPerOp()))
+		goroutines = append(goroutines, runtime.NumGoroutine())
 		if r.NsPerOp() < best.NsPerOp() {
 			best = r
 		}
@@ -127,7 +130,21 @@ func benchStats(name string, f func(*testing.B)) MicroBenchResult {
 	out.NsMean = mean
 	out.NsStddev = math.Sqrt(sq / float64(len(ns)-1))
 	out.Runs = len(ns)
+	out.GoroutineRuns = goroutines
 	return out
+}
+
+// LeakDriftBench repeats harness-heavy workloads — each repetition builds
+// and tears down a full transport or scheduler — purely for the per-run
+// goroutine telemetry: a leak in any Close path shows up as a count that
+// climbs with every repetition. The ns numbers are incidental; callers
+// feed the results to GoroutineGrowth and fail on a non-empty answer.
+func LeakDriftBench() []MicroBenchResult {
+	return []MicroBenchResult{
+		benchStats("LeakDriftCommRawRoundtrip", benchCommRawRoundtrip),
+		benchStats("LeakDriftShmRoundtrip", benchShmRawRoundtrip),
+		benchStats("LeakDriftLatticeSubmit", benchSubmitExecute),
+	}
 }
 
 // CommMicroBench measures the current data plane with the same workloads as

@@ -22,8 +22,10 @@ import (
 // fastest of Runs repetitions (the standard low-noise estimator on shared
 // single-CPU machines); NsMean and NsStddev summarize the same repetitions
 // so the recorded trajectory carries its own error bars. Goroutines is the
-// process goroutine count right after the measured run — a drift between
-// benches of the same suite exposes harness goroutine leaks.
+// process goroutine count right after the measured run, and GoroutineRuns
+// holds the count after each repetition — a count that climbs with every
+// repetition means the workload leaks goroutines per setup/teardown cycle
+// (GoroutineGrowth turns that pattern into a hard failure).
 type MicroBenchResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -35,6 +37,34 @@ type MicroBenchResult struct {
 	NsStddev    float64 `json:"ns_stddev,omitempty"`
 	Runs        int     `json:"runs,omitempty"`
 	Goroutines  int     `json:"goroutines,omitempty"`
+	// GoroutineRuns is runtime.NumGoroutine() after each repetition, in
+	// run order.
+	GoroutineRuns []int `json:"goroutine_runs,omitempty"`
+}
+
+// GoroutineGrowth returns the names of results whose per-run goroutine
+// counts grew strictly monotonically across every repetition. One noisy
+// step is normal (the runtime parks helper goroutines lazily); climbing on
+// every single run of an identical workload is the signature of a harness
+// that leaks goroutines per setup/teardown cycle.
+func GoroutineGrowth(rs []MicroBenchResult) []string {
+	var leaking []string
+	for _, r := range rs {
+		if len(r.GoroutineRuns) < 2 {
+			continue
+		}
+		grew := true
+		for i := 1; i < len(r.GoroutineRuns); i++ {
+			if r.GoroutineRuns[i] <= r.GoroutineRuns[i-1] {
+				grew = false
+				break
+			}
+		}
+		if grew {
+			leaking = append(leaking, r.Name)
+		}
+	}
+	return leaking
 }
 
 func toResult(name string, r testing.BenchmarkResult) MicroBenchResult {
