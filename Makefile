@@ -47,12 +47,14 @@ analyze:
 ## chaos: the fault-injection suite under the race detector — seeded worker
 ## kills and operator stalls against live clusters, asserting detection
 ## latency, exactly-once delivery across recovery, and DEH-surfaced misses;
-## plus the elastic-membership pass: graceful join, drain, and a
-## congestion-triggered scale-up on a live two-tenant cluster
+## plus the elastic-membership pass (graceful join, drain, and a
+## congestion-triggered scale-up on a live two-tenant cluster) and the
+## relay-multicast pass: wire-frame accounting across simulated hosts and
+## a relay killed mid-fanout with strict per-tick ledgers across re-election
 CHAOS_COUNT ?= 3
 chaos:
 	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestChaosWorkerCrash|TestElasticChaosJoinDrainScaleUp' ./internal/pylot
-	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestFailover|TestReassign|TestBroadcastRingClusterFanout|TestGracefulJoin|TestDrain|TestSubmitTenants' ./internal/core/cluster
+	$(GO) test -race -count $(CHAOS_COUNT) -run 'TestFailover|TestReassign|TestBroadcastRingClusterFanout|TestGracefulJoin|TestDrain|TestSubmitTenants|TestRelayMulticastCluster|TestRelayFailoverMidFanout' ./internal/core/cluster
 	$(GO) test -race ./internal/core/faults
 
 ## bench: scheduler/data-plane micro-benchmarks -> BENCH_lattice.json
@@ -64,14 +66,16 @@ bench-e2e:
 	$(GO) run ./cmd/erdos-bench -bench e2e -out BENCH_e2e.json
 
 ## bench-smoke: CI's quick pass over the e2e benchmarks, the shm-ring
-## round-trip, the single-encode fanout edge, the elastic tenant-density
-## edge, and the goroutine leak-drift gate — few frames and rounds, result
-## discarded; catches harness rot (a broken ring, fanout fast path, tenant
-## hosting, or a Close path that strands goroutines) without burning minutes
+## round-trip, the single-encode fanout edge (including the host-aware
+## relay tree across 3 simulated hosts), the elastic tenant-density edge,
+## and the goroutine leak-drift gate — few frames and rounds, result
+## discarded; catches harness rot (a broken ring, fanout fast path, relay
+## tree, tenant hosting, or a Close path that strands goroutines) without
+## burning minutes
 bench-smoke:
 	$(GO) run ./cmd/erdos-bench -bench e2e -short -out /tmp/BENCH_e2e_smoke.json
 	$(GO) run ./cmd/erdos-bench -bench shm
-	$(GO) run ./cmd/erdos-bench -bench fanout -short
+	$(GO) run ./cmd/erdos-bench -bench fanout -short -hosts 3
 	$(GO) run ./cmd/erdos-bench -bench elastic -short
 	$(GO) run ./cmd/erdos-bench -bench leak
 

@@ -114,6 +114,14 @@ type commBenchFile struct {
 	// baseline at 4 subscribers, same run.
 	Fanout        []experiments.FanoutPoint `json:"fanout_edge,omitempty"`
 	FanoutSpeedup map[string]float64        `json:"fanout_speedup_at_4_subs,omitempty"`
+	// RelayFanout records the host-aware relay tree at 8 subscribers
+	// spread over the simulated hosts: its ns/op speedup against the
+	// per-link TCP baseline, how many times fewer producer wire bytes it
+	// ships than per-link TCP (the O(hosts)-vs-O(consumers) reduction),
+	// and the ratio of its wire bytes per op at 8 versus 4 subscribers —
+	// ~1.0 when the wire cost is O(hosts) as designed, ~2.0 if it
+	// regressed to O(consumers).
+	RelayFanout map[string]float64 `json:"relay_fanout_at_8_subs,omitempty"`
 }
 
 func runCommBench(out string, msgs int) error {
@@ -210,15 +218,19 @@ func runCommBench(out string, msgs int) error {
 // is CI's smoke pass — N=4 only, one run per config, no file written —
 // failing only when neither shared path beats the per-link baseline at
 // all, a sanity floor far below the recorded ≥3x headline.
-func runFanoutEdge(out string, short bool) error {
+func runFanoutEdge(out string, short bool, hosts int) error {
 	fmt.Println("=== single-encode fanout edge (ns/op and wire bytes/op vs subscribers) ===")
-	points := experiments.FanoutBench(short)
+	points := experiments.FanoutBench(short, hosts)
 	perLink := map[int]experiments.FanoutPoint{}
+	relayAt := map[int]experiments.FanoutPoint{}
 	for _, p := range points {
 		fmt.Printf("%-14s %d sub %12.1f ns/op %10.0f wire B/op %5d allocs/op\n",
 			p.Config, p.Subscribers, p.NsPerOp, p.WireBytesPerOp, p.AllocsPerOp)
 		if p.Config == "tcp-per-link" {
 			perLink[p.Subscribers] = p
+		}
+		if p.Config == "relay-fanout" {
+			relayAt[p.Subscribers] = p
 		}
 	}
 	speedup := map[string]float64{}
@@ -232,10 +244,45 @@ func runFanoutEdge(out string, short bool) error {
 				p.Config, speedup[p.Config])
 		}
 	}
+	// The relay tree's acceptance numbers live at 8 subscribers across the
+	// simulated hosts: one wire frame per remote host cuts the producer's
+	// cross-host wire bytes O(consumers) → O(hosts) (the deterministic
+	// quantity the tree exists to optimize — ≥ 2× fewer than per-link TCP,
+	// flat as subscribers-per-host doubles from the 4-subscriber row), and
+	// end-to-end throughput beats per-link TCP wherever the pipeline
+	// stages can overlap (on a single-CPU runner the serialized total work
+	// bounds the ns/op ratio well below the wire ratio).
+	relay := map[string]float64{}
+	if r8, ok := relayAt[8]; ok {
+		if b := perLink[8]; b.NsPerOp > 0 && r8.NsPerOp > 0 {
+			relay["speedup_vs_per_link_tcp"] = b.NsPerOp / r8.NsPerOp
+			fmt.Printf("%-14s %12.2fx vs per-link TCP at 8 subscribers over %d simulated hosts (same run)\n",
+				"relay-fanout", relay["speedup_vs_per_link_tcp"], hosts)
+		}
+		if b := perLink[8]; b.WireBytesPerOp > 0 && r8.WireBytesPerOp > 0 {
+			relay["wire_reduction_vs_per_link_tcp"] = b.WireBytesPerOp / r8.WireBytesPerOp
+			fmt.Printf("%-14s %12.2fx fewer producer wire bytes/op than per-link TCP at 8 subscribers\n",
+				"relay-fanout", relay["wire_reduction_vs_per_link_tcp"])
+		}
+		if r4, ok := relayAt[4]; ok && r4.WireBytesPerOp > 0 {
+			relay["wire_bytes_ratio_8_vs_4_subs"] = r8.WireBytesPerOp / r4.WireBytesPerOp
+			fmt.Printf("%-14s %12.2fx wire bytes/op at 8 vs 4 subscribers (flat = O(hosts))\n",
+				"relay-fanout", relay["wire_bytes_ratio_8_vs_4_subs"])
+		}
+	}
 	if short {
 		if speedup["shm-broadcast"] < 1 && speedup["inproc"] < 1 {
 			return fmt.Errorf("no shared fanout path beats per-link TCP at 4 subscribers (shm %.2fx, inproc %.2fx): single-encode fanout is broken",
 				speedup["shm-broadcast"], speedup["inproc"])
+		}
+		if s, ok := relay["speedup_vs_per_link_tcp"]; ok && s < 1 {
+			return fmt.Errorf("relay multicast slower than per-link TCP at 8 subscribers (%.2fx): the relay tree is broken", s)
+		}
+		if w, ok := relay["wire_reduction_vs_per_link_tcp"]; ok && w < 2 {
+			return fmt.Errorf("relay multicast cut producer wire bytes only %.2fx vs per-link TCP at 8 subscribers, want >= 2x: envelopes are not covering whole hosts", w)
+		}
+		if r, ok := relay["wire_bytes_ratio_8_vs_4_subs"]; ok && r > 1.5 {
+			return fmt.Errorf("relay wire bytes grew %.2fx from 4 to 8 subscribers: wire cost is O(consumers), not O(hosts)", r)
 		}
 		return nil
 	}
@@ -247,6 +294,7 @@ func runFanoutEdge(out string, short bool) error {
 	}
 	f.Fanout = points
 	f.FanoutSpeedup = speedup
+	f.RelayFanout = relay
 	f.GeneratedBy = "cmd/erdos-bench -bench comm / fanout"
 	f.Date = time.Now().UTC().Format(time.RFC3339)
 	f.GoVersion = runtime.Version()
@@ -432,6 +480,7 @@ func main() {
 	msgs := flag.Int("msgs", 50, "messages per measurement point")
 	out := flag.String("out", "", "output file for -bench lattice / comm / e2e")
 	short := flag.Bool("short", false, "smoke mode: fewer frames and rounds, for CI")
+	hosts := flag.Int("hosts", 3, "simulated hosts for the relay-fanout edge (-bench fanout); <2 skips it")
 	flag.Parse()
 
 	ran := false
@@ -450,7 +499,7 @@ func main() {
 		if dst == "" {
 			dst = "BENCH_comm.json"
 		}
-		if err := runFanoutEdge(dst, *short); err != nil {
+		if err := runFanoutEdge(dst, *short, *hosts); err != nil {
 			fmt.Fprintf(os.Stderr, "fanout edge: %v\n", err)
 			os.Exit(1)
 		}

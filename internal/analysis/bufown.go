@@ -561,6 +561,8 @@ func (a *bufownPass) transferCall(call *ast.CallExpr) bool {
 		return true // Data, Watermark, and friends wrap payloads
 	case pkg == commPkgPath && recv == "" && name == "newBroadcastFrame":
 		return true
+	case pkg == commPkgPath && recv == "Transport" && (name == "Republish" || name == "RepublishWithHint"):
+		return true // a relay republish consumes the verbatim wire frame
 	case pkg == "container/heap" && recv == "" && name == "Push":
 		return true // the heap owns the item until Pop hands it back
 	}

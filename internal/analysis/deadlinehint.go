@@ -5,7 +5,10 @@
 // zero comm.FlushHint when no deadline genuinely applies — so every flush
 // decision is deliberate. The same applies to fanout: Multicast flushes
 // every shared-frame copy with zero slack, so callers must use
-// MulticastWithHint (or MulticastBus, which is always hinted). On the run queues, (*lattice.Lattice).Submit
+// MulticastWithHint (or MulticastBus, which is always hinted), and to
+// relay republish: Republish drops the envelope's remaining slack on the
+// floor, so relay code must call RepublishWithHint to propagate it across
+// the republish hop. On the run queues, (*lattice.Lattice).Submit
 // enqueues with no deadline, so EDF dispatch treats the callback as
 // infinitely slack and a congested shard will starve it last: runtime code
 // must call SubmitDeadline — passing lattice.NoDeadline when the operator
@@ -47,6 +50,10 @@ func runDeadlineHint(pass *Pass) error {
 			if fn.Pkg().Path() == commPkgPath && fn.Name() == "Multicast" && recvTypeName(fn) == "Transport" {
 				pass.Reportf(call.Pos(),
 					"(*comm.Transport).Multicast flushes every copy with zero slack; use MulticastWithHint or MulticastBus (pass comm.FlushHint{} if no deadline applies) so the coalescer can batch the fanout")
+			}
+			if fn.Pkg().Path() == commPkgPath && fn.Name() == "Republish" && recvTypeName(fn) == "Transport" {
+				pass.Reportf(call.Pos(),
+					"(*comm.Transport).Republish discards the relay envelope's remaining slack; use RepublishWithHint so the producer's deadline survives the republish hop")
 			}
 			if fn.Pkg().Path() == latticePkgPath && fn.Name() == "Submit" && recvTypeName(fn) == "Lattice" {
 				pass.Reportf(call.Pos(),

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/erdos-go/erdos/internal/core/comm"
+	"github.com/erdos-go/erdos/internal/core/stream"
 )
 
 var sink []byte
@@ -131,6 +132,22 @@ func recycleWrapper(b []byte) {
 func wrapperRelease() {
 	p := comm.AcquirePayload(64)
 	recycleWrapper(p)
+}
+
+// A relay republish consumes the verbatim wire frame: the transfer ends
+// the obligation on the send path, and the error-return path before it
+// still leaks.
+func relayFrameTransfer(t *comm.Transport, id stream.ID) {
+	frame := comm.AcquirePayload(256)
+	_, _ = t.RepublishWithHint(nil, nil, []string{"a"}, frame, true, id, comm.FlushHint{})
+}
+
+func relayFrameLeak(t *comm.Transport, cond bool, id stream.ID) {
+	frame := comm.AcquirePayload(256)
+	if cond {
+		return // want "not released or ownership-transferred"
+	}
+	_, _ = t.RepublishWithHint(nil, nil, []string{"a"}, frame, true, id, comm.FlushHint{})
 }
 
 func allowedDrop(n int) {

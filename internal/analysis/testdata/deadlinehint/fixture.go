@@ -32,6 +32,18 @@ func fanouts(t *comm.Transport, bus *comm.Bus, id stream.ID, m message.Message) 
 	_, _ = t.Multicast([]string{"a", "b"}, id, m) // wantAllowed "every copy with zero slack"
 }
 
+// republishes exercises the relay hop: a bare Republish throws away the
+// slack the tagRelay envelope carried across the wire, so relay handlers
+// must use the hinted variant.
+func republishes(t *comm.Transport, bus *comm.Bus, id stream.ID, frame []byte) {
+	_, _ = t.Republish(bus, []string{"a"}, []string{"b"}, frame, true, id) // want "discards the relay envelope's remaining slack"
+
+	_, _ = t.RepublishWithHint(bus, []string{"a"}, []string{"b"}, frame, true, id, comm.FlushHint{})
+
+	//erdos:allow deadlinehint fixture exercises the suppression path
+	_, _ = t.Republish(bus, []string{"a"}, []string{"b"}, frame, true, id) // wantAllowed "discards the relay envelope's remaining slack"
+}
+
 // seamWrites exercises the backend-seam surface: interface-dispatched
 // writes into a connection's frame buffers happen below the coalescer, so
 // nothing can hint their flushes.

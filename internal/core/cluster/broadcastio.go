@@ -83,13 +83,26 @@ func (n *Node) syncBusReaders(sched Schedule) {
 				break
 			}
 		}
-		if !mine || sched.PeerHosts[r.Producer] != n.hostID || sched.PeerBShm[r.Producer] == "" {
+		if !mine {
 			continue
 		}
-		m := want[r.Producer]
+		// The stream's ring source on this host: the producer itself when
+		// it lives here, otherwise the relay elected to republish it (the
+		// relay's own ring carries the republished frames). No source, no
+		// ring membership — the pairwise path covers us either way.
+		src := ""
+		if sched.PeerHosts[r.Producer] == n.hostID {
+			src = r.Producer
+		} else if rel := sched.PeerRelay[r.Stream][n.hostID]; rel != "" && rel != n.Name {
+			src = rel
+		}
+		if src == "" || sched.PeerBShm[src] == "" {
+			continue
+		}
+		m := want[src]
 		if m == nil {
 			m = make(map[stream.ID]bool)
-			want[r.Producer] = m
+			want[src] = m
 		}
 		m[stream.ID(r.Stream)] = true
 	}

@@ -68,6 +68,13 @@ type Schedule struct {
 	// address: same-host consumers of that worker's Broadcast routes join
 	// the ring and receive every fanout frame from one publish.
 	PeerBShm map[string]string
+	// PeerRelay maps stream → remote host → the worker designated to relay
+	// that stream's fanout on that host: the producer ships one tagRelay
+	// envelope to the relay, which republishes locally (its broadcast ring
+	// for ring members, pairwise shared-frame for the rest), so cross-host
+	// wire cost is one frame per host instead of one per consumer. Elected
+	// per Broadcast route, recomputed on every join/drain/failover.
+	PeerRelay map[uint64]map[string]string
 	// Heartbeat is the worker heartbeat period; zero disables the
 	// resident control plane (one-shot leader).
 	Heartbeat time.Duration
@@ -145,6 +152,13 @@ type CongestionReport struct {
 	// Peers carries per-link coalescing telemetry keyed by peer name — the
 	// raw material for spotting hot edges.
 	Peers map[string]comm.PeerCoalesceStats
+	// RelayRepublished is the cumulative count of local deliveries this
+	// worker performed as a relay (fanout copies it absorbed on behalf of
+	// remote producers); RelayRingSpills counts records its broadcast ring
+	// force-published mid-train while republishing oversized frames. High
+	// values mark the worker as a fanout trunk for placement scoring.
+	RelayRepublished uint64
+	RelayRingSpills  uint64
 }
 
 // Score collapses a report into a single placement-ranking pressure value:
@@ -959,6 +973,15 @@ type Node struct {
 	// barrier for the pendingEpoch reschedule.
 	pending      []pendingReplay
 	pendingEpoch uint64
+	// relayQ feeds the relay republish loop: tagRelay envelopes arriving
+	// on the read goroutines are handed off here so republish fan-out
+	// (ring publish + pairwise sends + local inject) never blocks the
+	// producer link longer than an enqueue. Bounded, so a saturated relay
+	// backpressures producers instead of buffering without limit;
+	// relayed counts local deliveries performed on behalf of remote
+	// producers, shipped in the heartbeat congestion report.
+	relayQ  chan relayItem
+	relayed atomic.Uint64
 
 	// dialAttempts/dialBase parameterize the exponential backoff used by
 	// every recovery dial (peer re-dials after a reschedule, heartbeat
@@ -1011,14 +1034,83 @@ type fwdState struct {
 	// consumers attached to the node's broadcast ring are covered by one
 	// bus publish instead of one send per link.
 	broadcast bool
+	// relays/local split consumers per the schedule's relay election:
+	// each RelayDest is a remote host reached through one tagRelay
+	// envelope to its designated relay, local is everyone else (same
+	// host, hostless, or relay-less). Recomputed with every consumer-list
+	// change under mu — always from the then-effective consumer set, so a
+	// consumer parked behind a replay barrier is never named in a cover.
+	relays []comm.RelayDest
+	local  []string
+}
+
+// setPlanLocked installs consumers and recomputes the relay split from
+// sched. Caller holds fs.mu.
+func (fs *fwdState) setPlanLocked(sched Schedule, producer string, id stream.ID, consumers []string) {
+	fs.consumers = consumers
+	fs.relays, fs.local = planFanout(sched, producer, id, consumers)
+	// Ring-backed streams mark their relay routes retained: a dead relay
+	// link withholds its cover instead of folding pairwise (which would
+	// reorder around the lost suffix), and the reschedule's forced replay
+	// delivers the gap from the ring.
+	if fs.ring != nil {
+		for i := range fs.relays {
+			fs.relays[i].Retained = true
+		}
+	}
+}
+
+// planFanout groups a stream's consumers by their schedule-elected relay.
+// Consumers sharing the producer's host (the broadcast ring covers those),
+// hostless consumers, and hosts the election skipped stay local. Relay
+// order is sorted so forwarding is deterministic.
+func planFanout(sched Schedule, producer string, id stream.ID, consumers []string) (relays []comm.RelayDest, local []string) {
+	hostRelay := sched.PeerRelay[uint64(id)]
+	if len(hostRelay) == 0 {
+		return nil, consumers
+	}
+	prodHost := sched.PeerHosts[producer]
+	var byRelay map[string][]string
+	for _, c := range consumers {
+		r := ""
+		if h := sched.PeerHosts[c]; h != "" && h != prodHost {
+			r = hostRelay[h]
+		}
+		if r == "" {
+			local = append(local, c)
+			continue
+		}
+		if byRelay == nil {
+			byRelay = make(map[string][]string)
+		}
+		byRelay[r] = append(byRelay[r], c)
+	}
+	if byRelay == nil {
+		return nil, local
+	}
+	names := make([]string, 0, len(byRelay))
+	for r := range byRelay {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	for _, r := range names {
+		relays = append(relays, comm.RelayDest{Relay: r, Cover: byRelay[r]})
+	}
+	return relays, local
 }
 
 // pendingReplay is a deferred ring replay: once the leader confirms every
 // survivor applied the epoch, the stream's retained window is sent to the
-// added consumers and the full consumer list takes effect.
+// added consumers and the full consumer list takes effect. forced names
+// consumers that are not new but whose relay died with frames possibly
+// queued: their live path was intact on paper, yet anything buffered at
+// the dead relay is gone, so the retained window is replayed to them too
+// (receivers drop everything at or below their restored watermark, so the
+// overlap is exactly-once from the application's point of view).
 type pendingReplay struct {
 	id        stream.ID
 	consumers []string
+	forced    []string
 }
 
 // Schedule returns the node's current schedule (updated on reschedule).
@@ -1149,11 +1241,17 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 		drained:      make(chan struct{}),
 		stop:         make(chan struct{}),
 	}
+	n.relayQ = make(chan relayItem, relayQueueDepth)
 	fail := func(err error) (*Node, error) {
 		n.Close()
 		return nil, err
 	}
-	commOpts := cfg.commOpts
+	// Every node is relay-capable: the handshake advertises it, and the
+	// leader may elect this worker to republish a stream to its co-host
+	// consumers. Envelopes arriving before the republish loop starts just
+	// queue.
+	commOpts := append(cfg.commOpts[:len(cfg.commOpts):len(cfg.commOpts)],
+		comm.WithRelayHandler(n.enqueueRelay))
 	if cfg.hostID != "" {
 		b := shm.New()
 		b.Dir = cfg.shmDir
@@ -1206,6 +1304,14 @@ func Join(addr, name string, g *graph.Graph, opts worker.Options, jopts ...JoinO
 		return fail(err)
 	}
 	n.Worker = w
+
+	// The republish loop runs for every node, resident or not: relay
+	// envelopes can arrive as soon as peers dial us.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.relayLoop()
+	}()
 
 	// Extend the worker with any tenants already admitted, before the
 	// forwarding/tracking loops below: tenant streams need broadcasters
@@ -1288,13 +1394,14 @@ func (n *Node) setForwarding(id stream.ID, consumers []string, ring, broadcast b
 		fs = &fwdState{}
 		n.fwd[id] = fs
 	}
+	sched := n.schedule
 	n.mu.Unlock()
 	fs.mu.Lock()
-	fs.consumers = append([]string(nil), consumers...)
-	fs.broadcast = broadcast
 	if ring && fs.ring == nil {
 		fs.ring = newReplayRing(replayDepth)
 	}
+	fs.setPlanLocked(sched, n.Name, id, append([]string(nil), consumers...))
+	fs.broadcast = broadcast
 	fs.mu.Unlock()
 	if !needSub {
 		return nil
@@ -1323,14 +1430,15 @@ func (n *Node) setForwarding(id stream.ID, consumers []string, ring, broadcast b
 // forward ships one message to the stream's remote consumers, called with
 // fs.mu held so replays cannot be overtaken. Fanout edges take the
 // single-encode multicast path; consumers attached to this node's
-// broadcast ring are covered by one ring publish, the rest by refcounted
+// broadcast ring are covered by one ring publish, remote hosts with an
+// elected relay by one tagRelay envelope each, and the rest by refcounted
 // shared frames. A single consumer keeps the plain per-link send.
 func (n *Node) forward(fs *fwdState, id stream.ID, m message.Message, hint comm.FlushHint) {
 	cons := fs.consumers
 	switch {
 	case len(cons) == 0:
 		return
-	case len(cons) == 1:
+	case len(cons) == 1 && len(fs.relays) == 0:
 		// Sends stay under fs.mu so an in-progress replay cannot be
 		// overtaken by newer frames.
 		if err := n.Transport.SendWithHint(cons[0], id, m, hint); err == nil {
@@ -1338,10 +1446,14 @@ func (n *Node) forward(fs *fwdState, id stream.ID, m message.Message, hint comm.
 		}
 		return
 	}
-	if fs.broadcast && n.bus != nil {
+	// Consumers not behind a relay split between this node's broadcast
+	// ring and pairwise links.
+	local := fs.local
+	var busPeers, pairPeers []string
+	var bus *comm.Bus
+	if fs.broadcast && n.bus != nil && len(local) > 0 {
 		members := n.bgroup.MemberSet()
-		var busPeers, pairPeers []string
-		for _, c := range cons {
+		for _, c := range local {
 			if members[c] {
 				busPeers = append(busPeers, c)
 			} else {
@@ -1349,17 +1461,117 @@ func (n *Node) forward(fs *fwdState, id stream.ID, m message.Message, hint comm.
 			}
 		}
 		if len(busPeers) > 0 {
-			// Sends stay under fs.mu so an in-progress replay cannot be
-			// overtaken by newer frames.
-			sent, _ := n.Transport.MulticastBus(n.bus, busPeers, pairPeers, id, m, hint)
-			n.forwarded.Add(uint64(sent))
-			return
+			bus = n.bus
 		}
+	} else {
+		pairPeers = local
 	}
 	// Sends stay under fs.mu so an in-progress replay cannot be
-	// overtaken by newer frames.
-	sent, _ := n.Transport.MulticastWithHint(cons, id, m, hint)
+	// overtaken by newer frames. MulticastTree degrades gracefully: a
+	// relay the handshake shows incapable folds its cover back into
+	// pairwise sends inside the transport.
+	sent, _ := n.Transport.MulticastTree(bus, busPeers, pairPeers, fs.relays, id, m, hint)
 	n.forwarded.Add(uint64(sent))
+}
+
+// relayItem is one tagRelay envelope handed from a read goroutine to the
+// republish loop. The loop owns frame (pooled) and m.
+type relayItem struct {
+	from   string
+	id     stream.ID
+	cover  []string
+	decode func() (message.Message, error)
+	frame  []byte
+	typed  bool
+	hint   comm.FlushHint
+}
+
+// relayQueueDepth bounds the republish backlog; a full queue blocks the
+// producer link's read goroutine, which is exactly the backpressure a
+// saturated relay should exert.
+const relayQueueDepth = 256
+
+// enqueueRelay is the transport's RelayHandler: hand the envelope to the
+// republish loop, or recycle it if the node is shutting down.
+func (n *Node) enqueueRelay(from string, id stream.ID, cover []string, decode func() (message.Message, error), frame []byte, typed bool, hint comm.FlushHint) {
+	select {
+	case n.relayQ <- relayItem{from: from, id: id, cover: cover, decode: decode, frame: frame, typed: typed, hint: hint}:
+	case <-n.stop:
+		comm.RecyclePayload(frame)
+	}
+}
+
+// relayLoop republishes relay envelopes in arrival order (per-stream FIFO:
+// one producer link, one queue, one loop) until the node stops, then
+// drains the queue so pooled frames are returned.
+func (n *Node) relayLoop() {
+	for {
+		select {
+		case it := <-n.relayQ:
+			n.republishRelay(it)
+		case <-n.stop:
+			for {
+				select {
+				case it := <-n.relayQ:
+					comm.RecyclePayload(it.frame)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// republishRelay fans one relayed frame out to the producer's cover list:
+// members of this node's broadcast ring by one unbounded ring publish
+// (oversized frames stream as chunked trains — the relay hop is what keeps
+// them off O(consumers) pairwise links), the rest by refcounted shared
+// frames, and this worker itself by direct injection. The hint was
+// re-derived at arrival, so relay queueing time has already been charged
+// against the producer's slack.
+func (n *Node) republishRelay(it relayItem) {
+	selfConsumes := false
+	cover := make([]string, 0, len(it.cover))
+	for _, c := range it.cover {
+		if c == n.Name {
+			selfConsumes = true
+			continue
+		}
+		cover = append(cover, c)
+	}
+	var busPeers, pairPeers []string
+	var bus *comm.Bus
+	if n.bus != nil && n.bgroup != nil && len(cover) > 0 {
+		members := n.bgroup.MemberSet()
+		for _, c := range cover {
+			if members[c] {
+				busPeers = append(busPeers, c)
+			} else {
+				pairPeers = append(pairPeers, c)
+			}
+		}
+		if len(busPeers) > 0 {
+			bus = n.bus
+		}
+	} else {
+		pairPeers = cover
+	}
+	// A self-consuming relay decodes before the republish: RepublishWithHint
+	// takes ownership of the frame the decoder reads from (and may recycle
+	// it). A relay that only forwards never decodes at all — the verbatim
+	// bytes go straight back out.
+	var m message.Message
+	injectSelf := false
+	if selfConsumes && n.Worker != nil {
+		if dm, err := it.decode(); err == nil {
+			m, injectSelf = dm, true
+		}
+	}
+	sent, _ := n.Transport.RepublishWithHint(bus, busPeers, pairPeers, it.frame, it.typed, it.id, it.hint)
+	n.relayed.Add(uint64(sent))
+	if injectSelf {
+		_ = n.Worker.Inject(it.id, m)
+	}
 }
 
 // Forwarded returns how many messages this node shipped to remote peers.

@@ -539,6 +539,12 @@ func (n *Node) congestionReport() CongestionReport {
 	if n.Transport != nil {
 		r.Peers = n.Transport.PeerCoalesceStats()
 	}
+	r.RelayRepublished = n.relayed.Load()
+	if n.bgroup != nil {
+		if sc, ok := n.bgroup.Sink().(comm.SpillCounter); ok {
+			r.RelayRingSpills = sc.Spills()
+		}
+	}
 	return r
 }
 
@@ -784,6 +790,12 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 		return
 	}
 	n.epoch = rm.Schedule.Epoch
+	// A dead relay is a loss channel the consistent cut cannot see: frames
+	// this node shipped to it may have died in its republish queue while
+	// the co-host consumers' own links stayed healthy. Remember which of
+	// our streams routed through the dead worker so the retained window is
+	// force-replayed to the consumers it covered.
+	oldRelay := n.schedule.PeerRelay
 	n.schedule = rm.Schedule
 	// Forget the leader's checkpoint acks: operators may arrive (or return)
 	// with rewound state, so the next heartbeat ships full snapshots and
@@ -804,6 +816,41 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 	// from the dead producer's ring (its group died with it) and join any
 	// ring a rescued fanout edge now runs through.
 	n.syncBusReaders(rm.Schedule)
+
+	// Consumer half of relay-failure recovery: if the dead worker relayed
+	// streams to this host, the tail of what arrived here may sit partially
+	// applied in open ticks — data landed, closing watermark died in the
+	// relay's queue. Discard those open views now, before acking: the
+	// producer parks us until the barrier and then force-replays the
+	// retained window from our last closed tick, rebuilding the open ticks
+	// from committed state instead of double-applying into dirty views.
+	// Only operators all of whose inputs rode the dead relay rewind — an
+	// unaffected input's open contributions have no replay to rebuild them.
+	if rm.Dead != "" && n.hostID != "" {
+		affected := make(map[stream.ID]bool)
+		for s, hostRelay := range oldRelay {
+			if hostRelay[n.hostID] == rm.Dead {
+				affected[stream.ID(s)] = true
+			}
+		}
+		if len(affected) > 0 {
+			for _, spec := range n.Worker.View().Operators() {
+				if !n.Worker.Has(spec.Name) || len(spec.Inputs) == 0 {
+					continue
+				}
+				all := true
+				for _, in := range spec.Inputs {
+					if !affected[in] {
+						all = false
+						break
+					}
+				}
+				if all {
+					n.Worker.RewindOpen(spec.Name)
+				}
+			}
+		}
+	}
 
 	// Adopt orphans assigned here. Inputs produced on this node have
 	// their retained windows replayed atomically with the adoption: the
@@ -885,23 +932,55 @@ func (n *Node) applyReschedule(rm rescheduleMsg) {
 		for _, c := range consumers {
 			next[c] = true
 		}
+		// Consumers whose relay was the dead worker: their own links never
+		// broke, but frames in the dead relay's republish queue are gone.
+		// The retained window is force-replayed to them at the barrier;
+		// their stale fence drops what they already processed.
+		var forced []string
+		if rm.Dead != "" {
+			for host, relay := range oldRelay[uint64(id)] {
+				if relay != rm.Dead {
+					continue
+				}
+				for _, c := range consumers {
+					if c != rm.Dead && rm.Schedule.PeerHosts[c] == host {
+						forced = append(forced, c)
+					}
+				}
+			}
+		}
+		inForced := make(map[string]bool, len(forced))
+		for _, c := range forced {
+			inForced[c] = true
+		}
 		fs.mu.Lock()
 		keep := fs.consumers[:0]
 		prev := make(map[string]bool, len(fs.consumers))
 		for _, c := range fs.consumers {
 			prev[c] = true
-			if next[c] {
+			if next[c] && !inForced[c] {
 				keep = append(keep, c)
 			}
 		}
-		fs.consumers = keep
+		// Replan against the new schedule: covers shrink to the kept set,
+		// and every envelope from here on names the re-elected relays.
+		// Forced consumers (their relay died mid-fanout) are parked out of
+		// the live plan alongside additions: the dead relay lost a suffix
+		// of their stream, so live frames must not resume until the barrier
+		// replay has delivered the gap in order. The ring keeps retaining
+		// everything forwarded meanwhile.
+		fs.setPlanLocked(rm.Schedule, n.Name, id, keep)
 		fs.broadcast = r.Broadcast
 		fs.mu.Unlock()
+		added := false
 		for _, c := range consumers {
 			if !prev[c] {
-				pend = append(pend, pendingReplay{id: id, consumers: consumers})
+				added = true
 				break
 			}
+		}
+		if added || len(forced) > 0 {
+			pend = append(pend, pendingReplay{id: id, consumers: consumers, forced: forced})
 		}
 	}
 	n.mu.Lock()
@@ -942,6 +1021,7 @@ func (n *Node) runReplay(epoch uint64) {
 	}
 	pend := n.pending
 	n.pending = nil
+	sched := n.schedule
 	n.mu.Unlock()
 	for _, p := range pend {
 		n.mu.Lock()
@@ -961,18 +1041,34 @@ func (n *Node) runReplay(epoch uint64) {
 				added = append(added, c)
 			}
 		}
-		if fs.ring != nil && len(added) > 0 {
+		// Forced targets (survivors whose relay died mid-fanout) get the
+		// window too, provided the new schedule still routes them here.
+		// Their fence drops the prefix they already saw; only the suffix
+		// that may have died in the relay's queue is genuinely new.
+		inAdded := make(map[string]bool, len(added))
+		for _, c := range added {
+			inAdded[c] = true
+		}
+		targets := added
+		for _, c := range p.forced {
+			if prev[c] && !inAdded[c] {
+				targets = append(targets, c)
+			}
+		}
+		if fs.ring != nil && len(targets) > 0 {
 			for _, m := range fs.ring.snapshot() {
 				// Replayed frames carry no deadline; an empty hint still
 				// lets the coalescer batch the retained window. Multiple
 				// adopters share one encode per retained frame.
 				// Replay must finish under fs.mu so newer frames cannot
-				// overtake the retained window.
-				sent, _ := n.Transport.MulticastWithHint(added, p.id, m, comm.FlushHint{})
+				// overtake the retained window. Replay is deliberately
+				// pairwise — no relay hop — since the point is to bypass
+				// the channel that just died.
+				sent, _ := n.Transport.MulticastWithHint(targets, p.id, m, comm.FlushHint{})
 				n.forwarded.Add(uint64(sent))
 			}
 		}
-		fs.consumers = append([]string(nil), p.consumers...)
+		fs.setPlanLocked(sched, n.Name, p.id, append([]string(nil), p.consumers...))
 		fs.mu.Unlock()
 	}
 }

@@ -77,18 +77,71 @@ func (l *Leader) buildScheduleLocked(assign map[string]string, epoch uint64) Sch
 	if len(tenants) == 0 {
 		tenants = nil
 	}
+	routes := Routes(l.gm, assign, workers, l.ingest, l.extract)
 	return Schedule{
 		Assignments: assign,
-		Routes:      Routes(l.gm, assign, workers, l.ingest, l.extract),
+		Routes:      routes,
 		PeerAddrs:   peerAddrs,
 		PeerHosts:   peerHosts,
 		PeerShm:     peerShm,
 		PeerBShm:    peerBShm,
+		PeerRelay:   electRelays(routes, peerHosts, l.scoresLocked()),
 		Heartbeat:   l.heartbeat,
 		FailAfter:   l.failAfter,
 		Epoch:       epoch,
 		Tenants:     tenants,
 	}
+}
+
+// electRelays designates, for every Broadcast route and every remote host
+// holding two or more of its consumers, the consumer on that host that
+// relays the stream: the producer ships it one wire frame and it
+// republishes locally. Hosts with a single consumer gain nothing from a
+// relay hop (one wire frame either way, minus a queue traversal) and stay
+// pairwise; so do hostless consumers and consumers sharing the producer's
+// host (the broadcast ring already covers those). Among candidates the
+// least-loaded wins by congestion score, ties broken lexicographically so
+// every schedule build is deterministic. Recomputed on every reschedule —
+// join, drain, failover — so a dead relay is re-elected in the same delta
+// that announces its death.
+func electRelays(routes []Route, peerHosts map[string]string, scores map[string]int64) map[uint64]map[string]string {
+	if len(peerHosts) == 0 {
+		return nil
+	}
+	var out map[uint64]map[string]string
+	for _, r := range routes {
+		if !r.Broadcast {
+			continue
+		}
+		prodHost := peerHosts[r.Producer]
+		byHost := make(map[string][]string)
+		for _, c := range r.Consumers {
+			h := peerHosts[c]
+			if h == "" || h == prodHost {
+				continue
+			}
+			byHost[h] = append(byHost[h], c)
+		}
+		for h, cands := range byHost {
+			if len(cands) < 2 {
+				continue
+			}
+			best := cands[0]
+			for _, c := range cands[1:] {
+				if scores[c] < scores[best] || (scores[c] == scores[best] && c < best) {
+					best = c
+				}
+			}
+			if out == nil {
+				out = make(map[uint64]map[string]string)
+			}
+			if out[r.Stream] == nil {
+				out[r.Stream] = make(map[string]string)
+			}
+			out[r.Stream][h] = best
+		}
+	}
+	return out
 }
 
 // acceptLoop admits late joiners on the leader's control listener. Each

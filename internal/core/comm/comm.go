@@ -29,6 +29,7 @@
 package comm
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -55,11 +56,16 @@ func init() {
 
 // Frame tags. tagRaw frames carry watermarks and []byte data payloads in
 // plain binary; tagGob frames carry an Envelope through gob's type registry;
-// tagTyped frames carry a FramePayload body encoded by a registered Codec.
+// tagTyped frames carry a FramePayload body encoded by a registered Codec;
+// tagRelay frames wrap a complete tagRaw/tagTyped frame together with its
+// remaining deadline slack, addressed to a relay worker that republishes
+// the inner frame to its co-host consumers (one wire copy per remote host
+// instead of one per consumer).
 const (
 	tagRaw   byte = 0x01
 	tagGob   byte = 0x02
 	tagTyped byte = 0x03
+	tagRelay byte = 0x04
 )
 
 // maxFramePayload bounds the declared body length of raw and typed frames
@@ -156,6 +162,12 @@ type Transport struct {
 	rawSent, typedSent, gobSent atomic.Uint64
 	rawRecv, typedRecv, gobRecv atomic.Uint64
 
+	// Relay telemetry: relaySent counts tagRelay envelopes shipped to relay
+	// peers, relayRecv envelopes received, and republished counts the
+	// destinations covered by Republish* calls on this transport (the relay
+	// side's fanout contribution).
+	relaySent, relayRecv, republished atomic.Uint64
+
 	// Coalescing telemetry: flushes counts bw.Flush calls, coalesced
 	// counts frames that shared a flush with an earlier frame, and
 	// lateFlushes counts flushes that completed after the earliest
@@ -188,6 +200,13 @@ func (t *Transport) CoalesceStats() (flushes, coalesced, lateFlushes uint64) {
 	return t.flushes.Load(), t.coalesced.Load(), t.lateFlushes.Load()
 }
 
+// RelayStats returns relay-multicast telemetry: tagRelay envelopes sent to
+// relay peers, envelopes received for republish, and the cumulative count
+// of destinations this transport covered via Republish*.
+func (t *Transport) RelayStats() (sent, received, republished uint64) {
+	return t.relaySent.Load(), t.relayRecv.Load(), t.republished.Load()
+}
+
 // PeerCoalesceStats is one peer link's coalescing telemetry: cumulative
 // frame and flush counters plus the adaptive tuner's current operating
 // point. Heartbeats ship these to the leader, which uses them as the
@@ -204,6 +223,10 @@ type PeerCoalesceStats struct {
 	// link — frame trains larger than the ring's chunk budget streaming
 	// through in pieces. Zero on non-ring links.
 	ShmSpillCount uint64
+	// RelayFrames counts tagRelay envelopes shipped on this link: each one
+	// is a whole remote host's fanout riding a single wire copy, so a hot
+	// value here marks the link as a fanout trunk.
+	RelayFrames uint64
 }
 
 // PeerCoalesceStats returns per-link coalescing telemetry keyed by peer
@@ -214,13 +237,14 @@ func (t *Transport) PeerCoalesceStats() map[string]PeerCoalesceStats {
 	out := make(map[string]PeerCoalesceStats, len(peers))
 	for name, p := range peers {
 		st := PeerCoalesceStats{
-			Frames:    p.statFrames.Load(),
-			Bytes:     p.statBytes.Load(),
-			Flushes:   p.statFlushes.Load(),
-			Coalesced: p.statCoalesced.Load(),
-			Budget:    p.statBudget.Load(),
-			HoldNs:    p.statHoldNs.Load(),
-			SlackNs:   p.statSlackNs.Load(),
+			Frames:      p.statFrames.Load(),
+			Bytes:       p.statBytes.Load(),
+			Flushes:     p.statFlushes.Load(),
+			Coalesced:   p.statCoalesced.Load(),
+			Budget:      p.statBudget.Load(),
+			HoldNs:      p.statHoldNs.Load(),
+			SlackNs:     p.statSlackNs.Load(),
+			RelayFrames: p.statRelay.Load(),
 		}
 		if sc, ok := p.fw.(SpillCounter); ok {
 			st.ShmSpillCount = sc.Spills()
@@ -258,6 +282,15 @@ type outMsg struct {
 	// destinations: the write loop copies its bytes into the sink as a
 	// borrowed segment and releases this destination's reference.
 	bcast *broadcastFrame
+	// relay marks a bcast frame addressed to a relay worker: the write
+	// loop wraps the shared bytes in a tagRelay envelope carrying the
+	// remaining deadline slack and the cover list — the consumers the
+	// relay republishes to. Addressing explicitly (instead of letting the
+	// relay consult its own schedule) keeps delivery exact across epoch
+	// skew: a consumer parked behind a replay barrier is simply absent
+	// from the cover until the producer includes it.
+	relay bool
+	cover []string
 }
 
 type peer struct {
@@ -283,7 +316,11 @@ type peer struct {
 	// nil means the peer predates negotiation and is assumed to share our
 	// registry (same-build cluster).
 	codecs map[uint64]uint8
-	once   sync.Once
+	// relay records the peer's hello.Relay advertisement: it registered a
+	// relay handler, so tagRelay envelopes sent to it will be republished
+	// rather than dropped. Immutable after the handshake.
+	relay bool
+	once  sync.Once
 
 	// tuner adapts this link's flush budget and hold cap to its observed
 	// traffic; it is owned by the writeLoop goroutine and unsynchronized.
@@ -292,6 +329,8 @@ type peer struct {
 	// writeLoop stores, anyone loads.
 	statFrames, statBytes, statFlushes, statCoalesced atomic.Uint64
 	statBudget, statHoldNs, statSlackNs               atomic.Int64
+	// statRelay counts tagRelay envelopes written on this link.
+	statRelay atomic.Uint64
 }
 
 // close is idempotent: the read loop, the write loop, Disconnect and Close
@@ -316,6 +355,12 @@ type hello struct {
 	// downgrades to gob when the peer lacks the codec or runs an older
 	// version — mixed builds interoperate instead of dropping frames.
 	Codecs []CodecAd
+	// Relay advertises that this transport registered a RelayHandler and
+	// will republish tagRelay envelopes to its co-host consumers. Builds
+	// that predate relay multicast decode hello through gob, which ignores
+	// unknown fields, and simply never advertise — senders fold their
+	// covered consumers back into pairwise links.
+	Relay bool
 }
 
 // ConnHook observes and may wrap data-plane connections as they are
@@ -346,6 +391,9 @@ type options struct {
 	codecOK func(id uint64) bool
 	// backends are additional byte transports to listen on besides tcp.
 	backends []extraBackend
+	// relayHandler, when set, receives tagRelay envelopes and owns their
+	// republish; its presence is what the hello advertises as Relay.
+	relayHandler RelayHandler
 }
 
 // Option configures Listen.
@@ -370,6 +418,30 @@ func WithCodecFilter(ok func(id uint64) bool) Option {
 // the backend pick) and Dial targets prefixed with its scheme ride it.
 func WithBackend(b Backend, addr string) Option {
 	return func(o *options) { o.backends = append(o.backends, extraBackend{b: b, addr: addr}) }
+}
+
+// RelayHandler consumes one relay envelope: the producer's cover list (the
+// consumers — this worker possibly among them — the envelope must reach),
+// a lazy decoder for the inner stream message, the complete inner wire
+// frame (tagRaw or tagTyped, from the payload pool) for verbatim
+// republish, whether it is typed, and the re-derived coalescing hint — the
+// producer's remaining slack measured against this worker's clock at
+// arrival, so time spent inside the relay automatically shrinks the
+// downstream hint. The message is decoded on demand rather than eagerly: a
+// relay that is not itself a consumer republishes the verbatim bytes
+// without ever paying the payload copy, so decode is only called when the
+// cover includes the relay. decode reads from frame, so it must be called
+// before frame's ownership is transferred (Republish* may recycle it); the
+// returned message is the caller's to release or deliver. The handler owns
+// frame (recycle or hand it to Republish*); it runs on the connection's
+// read goroutine, so a slow handler backpressures the producer link.
+type RelayHandler func(from string, id stream.ID, cover []string, decode func() (message.Message, error), frame []byte, typed bool, hint FlushHint)
+
+// WithRelayHandler registers the transport as a relay: its hello advertises
+// the capability, and inbound tagRelay envelopes are handed to h instead of
+// the ordinary message handler.
+func WithRelayHandler(h RelayHandler) Option {
+	return func(o *options) { o.relayHandler = h }
 }
 
 // Listen starts a transport for worker name on addr (use "127.0.0.1:0" to
@@ -458,7 +530,7 @@ func (t *Transport) Dial(addr string) error {
 	if pn, ok := t.opts.hook.(PeerNamer); ok {
 		pn.NamePeer(conn, h.Name)
 	}
-	p := t.addPeer(h.Name, conn, enc, fw, scheme, direct, h.Codecs)
+	p := t.addPeer(h.Name, conn, enc, fw, scheme, direct, h.Codecs, h.Relay)
 	if p == nil {
 		conn.Close()
 		return fmt.Errorf("comm: duplicate peer %q", h.Name)
@@ -503,7 +575,7 @@ func (t *Transport) DialBackoff(addr string, attempts int, base time.Duration) e
 // hello builds this transport's handshake message, advertising the codecs
 // it can decode (optionally filtered to simulate a mixed-build cluster).
 func (t *Transport) hello() hello {
-	h := hello{Name: t.name}
+	h := hello{Name: t.name, Relay: t.opts.relayHandler != nil}
 	for id, c := range *codecs.Load() {
 		if t.opts.codecOK != nil && !t.opts.codecOK(id) {
 			continue
@@ -720,6 +792,14 @@ func (t *Transport) Peers() []string {
 	return out
 }
 
+// RelayCapable reports whether the named peer advertised a relay handler
+// in its handshake: tagRelay envelopes sent to it will be republished to
+// its co-host consumers rather than dropped. False for unknown peers.
+func (t *Transport) RelayCapable(name string) bool {
+	p := (*t.peers.Load())[name]
+	return p != nil && p.relay
+}
+
 // PeerSchemes reports which backend each connected peer link rides, keyed
 // by peer name ("tcp", "shm"). Tests and placement telemetry use it to
 // verify locality negotiation picked the intended backend.
@@ -808,7 +888,7 @@ func (t *Transport) acceptLoop(ln Listener, scheme string) {
 			if pn, ok := t.opts.hook.(PeerNamer); ok {
 				pn.NamePeer(conn, h.Name)
 			}
-			p := t.addPeer(h.Name, conn, enc, fw, scheme, direct, h.Codecs)
+			p := t.addPeer(h.Name, conn, enc, fw, scheme, direct, h.Codecs, h.Relay)
 			if p == nil {
 				conn.Close()
 				return
@@ -818,7 +898,7 @@ func (t *Transport) acceptLoop(ln Listener, scheme string) {
 	}
 }
 
-func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, fw FrameSink, scheme string, direct bool, ads []CodecAd) *peer {
+func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, fw FrameSink, scheme string, direct bool, ads []CodecAd, relay bool) *peer {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -847,6 +927,7 @@ func (t *Transport) addPeer(name string, conn net.Conn, enc *gob.Encoder, fw Fra
 		out:    make(chan outMsg, 1024),
 		done:   make(chan struct{}),
 		codecs: remote,
+		relay:  relay,
 	}
 	next := make(map[string]*peer, len(old)+1)
 	for k, v := range old {
@@ -1049,6 +1130,127 @@ func readTypedFrame(fr FrameSource) (stream.ID, message.Message, error) {
 	}, nil
 }
 
+// maxRelayCover bounds the declared cover-list size of a relay envelope so
+// a corrupt count cannot drive an arbitrarily large allocation.
+const maxRelayCover = 1 << 16
+
+// coverCache interns a connection's cover lists: a producer ships the same
+// cover on every envelope of a route until the schedule changes, so the
+// read loop keeps the last decoded []string and reuses it when the raw
+// bytes match — steady state, a relay link parses covers with zero
+// allocations. The cached slice is shared with handlers that may still
+// hold it (the cluster's relay queue), so it is never mutated in place: a
+// mismatch builds a fresh slice and replaces the cache. Owned by a single
+// read goroutine; no locking.
+type coverCache struct {
+	scratch []byte // concatenated name bytes of the current envelope
+	ends    []int  // scratch end offset of each name
+	cover   []string
+}
+
+// readRelayEnvelope decodes the body of a tagRelay frame (the tag byte has
+// been consumed): a hint-presence byte, the producer's remaining slack as a
+// signed varint of nanoseconds, the cover list (the consumer names this
+// relay republishes to), and the uvarint length-prefixed inner wire frame,
+// returned as a pooled buffer the caller owns. FlushBy is re-derived
+// against the local clock at arrival, so relay-side queueing and handler
+// time count against the producer's slack without any cross-host clock.
+// cc, when non-nil, interns repeated cover lists across the connection.
+func readRelayEnvelope(fr FrameSource, cc *coverCache) (cover []string, frame []byte, typed bool, hint FlushHint, err error) {
+	hb, err := fr.ReadByte()
+	if err != nil {
+		return nil, nil, false, hint, err
+	}
+	if hb != 0 {
+		slack, err := binary.ReadVarint(fr)
+		if err != nil {
+			return nil, nil, false, hint, err
+		}
+		hint.FlushBy = time.Now().Add(time.Duration(slack))
+	}
+	nc, err := binary.ReadUvarint(fr)
+	if err != nil {
+		return nil, nil, false, hint, err
+	}
+	if nc > maxRelayCover {
+		return nil, nil, false, hint, fmt.Errorf("comm: relay cover of %d names exceeds limit", nc)
+	}
+	if nc > 0 {
+		if cc == nil {
+			cc = &coverCache{}
+		}
+		// Read every name into one reusable scratch buffer first, then
+		// decide whether the cached slice already spells the same list.
+		cc.scratch, cc.ends = cc.scratch[:0], cc.ends[:0]
+		for i := 0; i < int(nc); i++ {
+			nl, err := binary.ReadUvarint(fr)
+			if err != nil {
+				return nil, nil, false, hint, err
+			}
+			if nl > 4096 {
+				return nil, nil, false, hint, fmt.Errorf("comm: relay cover name of %d bytes exceeds limit", nl)
+			}
+			at, need := len(cc.scratch), len(cc.scratch)+int(nl)
+			if cap(cc.scratch) >= need {
+				cc.scratch = cc.scratch[:need]
+			} else {
+				grown := make([]byte, need, 2*need)
+				copy(grown, cc.scratch)
+				cc.scratch = grown
+			}
+			if _, err := io.ReadFull(fr, cc.scratch[at:]); err != nil {
+				return nil, nil, false, hint, err
+			}
+			cc.ends = append(cc.ends, len(cc.scratch))
+		}
+		match := len(cc.cover) == int(nc)
+		for i, at := 0, 0; match && i < int(nc); i++ {
+			if cc.cover[i] != string(cc.scratch[at:cc.ends[i]]) {
+				match = false
+			}
+			at = cc.ends[i]
+		}
+		if !match {
+			fresh := make([]string, nc)
+			for i, at := 0, 0; i < int(nc); i++ {
+				fresh[i] = string(cc.scratch[at:cc.ends[i]])
+				at = cc.ends[i]
+			}
+			cc.cover = fresh
+		}
+		cover = cc.cover
+	}
+	blen, err := binary.ReadUvarint(fr)
+	if err != nil {
+		return nil, nil, false, hint, err
+	}
+	if blen > maxFramePayload {
+		return nil, nil, false, hint, fmt.Errorf("comm: relay envelope of %d bytes exceeds limit", blen)
+	}
+	frame = AcquirePayload(int(blen))
+	if _, err := io.ReadFull(fr, frame); err != nil {
+		RecyclePayload(frame)
+		return nil, nil, false, hint, err
+	}
+	typed = len(frame) > 0 && frame[0] == tagTyped
+	return cover, frame, typed, hint, nil
+}
+
+// frameStreamID reads the stream id out of a complete tagRaw/tagTyped wire
+// frame without decoding the message: both layouts put a uvarint stream id
+// immediately after the tag byte. This is what lets the relay read path
+// defer the payload copy to RelayHandler's lazy decoder.
+func frameStreamID(frame []byte) (stream.ID, error) {
+	if len(frame) < 2 {
+		return 0, fmt.Errorf("comm: relay inner frame of %d bytes has no header", len(frame))
+	}
+	sid, n := binary.Uvarint(frame[1:])
+	if n <= 0 {
+		return 0, fmt.Errorf("comm: relay inner frame has a malformed stream id")
+	}
+	return stream.ID(sid), nil
+}
+
 // decodes reports whether the peer advertised it can decode frames of the
 // given codec at the version the local build writes. A peer with no
 // advertisement (pre-negotiation build) is assumed to share our registry.
@@ -1069,9 +1271,43 @@ func (p *peer) decodes(id uint64, version uint8) bool {
 // to the gob Envelope for this peer while same-build peers stay typed.
 func (t *Transport) writeMsg(p *peer, o outMsg) (n int, mustFlush bool, err error) {
 	if o.bcast != nil {
-		// Pre-encoded fanout frame: the bytes were laid out once by
-		// multicast; this link only pays the sink copy.
-		_, err = p.fw.Write(o.bcast.buf)
+		n = len(o.bcast.buf)
+		if o.relay {
+			// Relay envelope: remaining slack (measured now, so queueing on
+			// this link has already been charged against it), the cover
+			// list, and the inner frame's length, then the shared bytes
+			// verbatim. The receiver re-derives FlushBy as its own arrival
+			// time plus this slack.
+			sp := scratchPool.Get().(*[]byte)
+			hdr := append((*sp)[:0], tagRelay)
+			if o.flushBy.IsZero() {
+				hdr = append(hdr, 0)
+			} else {
+				hdr = append(hdr, 1)
+				hdr = binary.AppendVarint(hdr, int64(time.Until(o.flushBy)))
+			}
+			hdr = binary.AppendUvarint(hdr, uint64(len(o.cover)))
+			for _, name := range o.cover {
+				hdr = binary.AppendUvarint(hdr, uint64(len(name)))
+				hdr = append(hdr, name...)
+			}
+			hdr = binary.AppendUvarint(hdr, uint64(len(o.bcast.buf)))
+			_, err = p.fw.Write(hdr)
+			n += len(hdr)
+			*sp = hdr
+			scratchPool.Put(sp)
+			if err == nil {
+				_, err = p.fw.Write(o.bcast.buf)
+			}
+			if err == nil {
+				t.relaySent.Add(1)
+				p.statRelay.Add(1)
+			}
+		} else {
+			// Pre-encoded fanout frame: the bytes were laid out once by
+			// multicast; this link only pays the sink copy.
+			_, err = p.fw.Write(o.bcast.buf)
+		}
 		if err == nil {
 			if o.bcast.typed {
 				t.typedSent.Add(1)
@@ -1079,7 +1315,7 @@ func (t *Transport) writeMsg(p *peer, o outMsg) (n int, mustFlush bool, err erro
 				t.rawSent.Add(1)
 			}
 		}
-		return len(o.bcast.buf), o.flushBy.IsZero(), err
+		return n, o.flushBy.IsZero(), err
 	}
 	if o.rawSet {
 		n, err = writeRawParts(p.fw, o.id, message.KindData, o.m.Timestamp, o.raw, true)
@@ -1413,6 +1649,7 @@ func (t *Transport) writeLoop(p *peer) {
 // reconnect can register a fresh connection under the same name.
 func (t *Transport) readLoop(p *peer, fr FrameSource, dec *gob.Decoder) {
 	defer t.dropPeer(p)
+	var covers coverCache
 	for {
 		tag, err := fr.ReadByte()
 		if err != nil {
@@ -1438,6 +1675,48 @@ func (t *Transport) readLoop(p *peer, fr FrameSource, dec *gob.Decoder) {
 			}
 			id, m = FromEnvelope(env)
 			t.gobRecv.Add(1)
+		case tagRelay:
+			cover, frame, typed, hint, rerr := readRelayEnvelope(fr, &covers)
+			if rerr != nil {
+				return
+			}
+			if typed {
+				t.typedRecv.Add(1)
+			} else {
+				t.rawRecv.Add(1)
+			}
+			t.relayRecv.Add(1)
+			t.received.Add(1)
+			if rh := t.opts.relayHandler; rh != nil {
+				// Only the stream id is parsed eagerly (it sits in the
+				// inner frame header); the message decodes lazily so a
+				// relay that just republishes the verbatim bytes never
+				// pays the payload copy.
+				rid, iderr := frameStreamID(frame)
+				if iderr != nil {
+					RecyclePayload(frame)
+					err = iderr
+					return
+				}
+				decode := func() (message.Message, error) {
+					_, dm, derr := ReadFrame(bytes.NewReader(frame))
+					return dm, derr
+				}
+				rh(p.name, rid, cover, decode, frame, typed, hint)
+			} else {
+				// No relay handler (capability was never advertised, but a
+				// misdirected envelope is still a valid frame): deliver
+				// locally and drop the republish.
+				if id, m, err = ReadFrame(bytes.NewReader(frame)); err != nil {
+					RecyclePayload(frame)
+					return
+				}
+				RecyclePayload(frame)
+				if t.handler != nil {
+					t.handler(p.name, id, m)
+				}
+			}
+			continue
 		default:
 			return // protocol corruption; drop the connection
 		}

@@ -175,6 +175,16 @@ func (b *Bus) write(frame []byte) error {
 		b.spills.Add(1)
 		return errBusOversize
 	}
+	return b.writeUnbounded(frame)
+}
+
+// writeUnbounded is write without the size cap: the frame is published
+// however large it is, relying on the underlying sink to chunk it (the shm
+// broadcast ring streams oversized trains record by record, counting them
+// as spills). Relay republish uses it so a frame beyond the producer-side
+// bus cap still rides the ring in a chunked train at the relay instead of
+// degrading to per-peer pairwise copies.
+func (b *Bus) writeUnbounded(frame []byte) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.err != nil {
@@ -200,13 +210,13 @@ func (b *Bus) write(frame []byte) error {
 // error encountered; delivery to the remaining destinations is still
 // attempted after an error (fanout consumers fail independently).
 func (t *Transport) Multicast(peerNames []string, id stream.ID, m message.Message) (int, error) {
-	return t.multicast(nil, nil, peerNames, id, m, FlushHint{})
+	return t.multicast(nil, nil, peerNames, nil, id, m, FlushHint{})
 }
 
 // MulticastWithHint is Multicast with a coalescing deadline shared by
 // every copy.
 func (t *Transport) MulticastWithHint(peerNames []string, id stream.ID, m message.Message, hint FlushHint) (int, error) {
-	return t.multicast(nil, nil, peerNames, id, m, hint)
+	return t.multicast(nil, nil, peerNames, nil, id, m, hint)
 }
 
 // MulticastBus is MulticastWithHint where busPeers are additionally
@@ -216,15 +226,48 @@ func (t *Transport) MulticastWithHint(peerNames []string, id stream.ID, m messag
 // binary encoding), busPeers fold into the pairwise set — every bus
 // destination must therefore also be a connected peer.
 func (t *Transport) MulticastBus(bus *Bus, busPeers, peerNames []string, id stream.ID, m message.Message, hint FlushHint) (int, error) {
-	return t.multicast(bus, busPeers, peerNames, id, m, hint)
+	return t.multicast(bus, busPeers, peerNames, nil, id, m, hint)
 }
 
-func (t *Transport) multicast(bus *Bus, busPeers, peerNames []string, id stream.ID, m message.Message, hint FlushHint) (int, error) {
+// RelayDest is one remote host's share of a relay multicast: Relay names
+// the designated relay worker on that host and Cover lists every consumer
+// it republishes to (the relay itself included when it consumes the
+// stream). Every Cover member must also be a connected peer of the sender:
+// when the relay path is unusable — relay disconnected, no capability
+// advertised, or the payload has no shareable encoding — the Cover folds
+// back into pairwise sends with no loss.
+//
+// Retained marks a route whose caller keeps a replay window and will
+// force-replay it when a schedule change re-elects the relay. For such
+// routes a dead relay link does NOT fold into pairwise sends: the relay's
+// loss is a contiguous suffix of the stream (TCP and the republish queue
+// are FIFO), and folding later frames around it would advance the
+// consumers' watermark past the gap, fencing the eventual replay out.
+// Static ineligibility (no capability, value link, codec skew) still
+// folds — those routes never carried a frame through the relay, so
+// ordering is consistent.
+type RelayDest struct {
+	Relay    string
+	Cover    []string
+	Retained bool
+}
+
+// MulticastTree is MulticastBus extended with host-aware relays: each
+// RelayDest receives exactly one tagRelay envelope (the shared refcounted
+// frame wrapped with its remaining deadline slack) and republishes it to
+// its Cover, so the sender's wire cost is one frame per remote host
+// instead of one per consumer. The returned delivered count includes
+// relay-covered consumers.
+func (t *Transport) MulticastTree(bus *Bus, busPeers, peerNames []string, relays []RelayDest, id stream.ID, m message.Message, hint FlushHint) (int, error) {
+	return t.multicast(bus, busPeers, peerNames, relays, id, m, hint)
+}
+
+func (t *Transport) multicast(bus *Bus, busPeers, peerNames []string, relays []RelayDest, id stream.ID, m message.Message, hint FlushHint) (int, error) {
 	if bus == nil && len(busPeers) > 0 {
 		peerNames = append(append(make([]string, 0, len(peerNames)+len(busPeers)), peerNames...), busPeers...)
 		busPeers = nil
 	}
-	if len(peerNames) == 0 && len(busPeers) == 0 {
+	if len(peerNames) == 0 && len(busPeers) == 0 && len(relays) == 0 {
 		return 0, nil
 	}
 
@@ -275,12 +318,19 @@ func (t *Transport) multicast(bus *Bus, busPeers, peerNames []string, id stream.
 
 	if !shareable {
 		// No peer-independent encoding exists (gob-only payload): every
-		// destination pays its own encode, and the bus cannot carry it.
+		// destination pays its own encode, the bus cannot carry it, and a
+		// relay has no verbatim bytes to republish (gob encoder state is
+		// per-connection) — covered consumers fold into pairwise sends.
 		for _, name := range busPeers {
 			sendSolo(name)
 		}
 		for _, name := range peerNames {
 			sendSolo(name)
+		}
+		for _, rd := range relays {
+			for _, name := range rd.Cover {
+				sendSolo(name)
+			}
 		}
 		return delivered, firstErr
 	}
@@ -330,11 +380,44 @@ func (t *Transport) multicast(bus *Bus, busPeers, peerNames []string, id stream.
 		}
 	}
 
+	// Partition the relay destinations: a usable relay takes one tagRelay
+	// envelope covering its whole host; anything else — relay missing, no
+	// capability advertised, a value link (no bytes to wrap), or a typed
+	// frame the relay cannot decode — folds its Cover back into the
+	// pairwise set, the exact pre-relay behavior.
+	peers := *t.peers.Load()
+	var relayPeers []*peer
+	var relayDests []RelayDest
+	var fold []string
+	for _, rd := range relays {
+		p := peers[rd.Relay]
+		if p == nil {
+			// The relay link is gone. Retained routes withhold the covered
+			// consumers — the caller's replay window recovers the suffix in
+			// order once a new relay is elected — while best-effort routes
+			// fold into pairwise sends.
+			if rd.Retained {
+				fail(fmt.Errorf("comm: %s relay %q unreachable, cover deferred to replay", t.name, rd.Relay))
+				continue
+			}
+			fold = append(fold, rd.Cover...)
+			continue
+		}
+		if !p.relay || p.vc != nil || (typed && !p.decodes(codecID, version)) {
+			fold = append(fold, rd.Cover...)
+			continue
+		}
+		relayPeers = append(relayPeers, p)
+		relayDests = append(relayDests, rd)
+	}
+	if len(fold) > 0 {
+		peerNames = append(append(make([]string, 0, len(peerNames)+len(fold)), peerNames...), fold...)
+	}
+
 	// Partition the pairwise destinations: peers that decode the shared
 	// encoding take the refcounted frame; ValueConn peers take the value
 	// with no bytes at all; codec-skewed peers downgrade to their own
 	// gob envelope.
-	peers := *t.peers.Load()
 	share := make([]*peer, 0, len(peerNames))
 	origTaken := false
 	for _, name := range peerNames {
@@ -371,7 +454,7 @@ func (t *Transport) multicast(bus *Bus, busPeers, peerNames []string, id stream.
 			share = append(share, p)
 		}
 	}
-	if len(share) == 0 {
+	if len(share) == 0 && len(relayPeers) == 0 {
 		if encoded {
 			RecyclePayload(sink.b)
 		}
@@ -382,7 +465,7 @@ func (t *Transport) multicast(bus *Bus, busPeers, peerNames []string, id stream.
 		return delivered, firstErr
 	}
 
-	bf := newBroadcastFrame(sink.b, typed, int32(len(share)))
+	bf := newBroadcastFrame(sink.b, typed, int32(len(share)+len(relayPeers)))
 	for _, p := range share {
 		o := outMsg{id: id, bcast: bf, flushBy: hint.FlushBy}
 		if err := t.sendShared(p, o); err != nil {
@@ -394,11 +477,111 @@ func (t *Transport) multicast(bus *Bus, busPeers, peerNames []string, id stream.
 			delivered++
 		}
 	}
+	// Each relay takes one reference and one wire frame — a tagRelay
+	// envelope whose remaining slack is stamped at write time — and covers
+	// its whole host. When a send fails, best-effort routes fall back to
+	// pairwise sends for their Cover; retained routes withhold the Cover
+	// instead (see RelayDest), deferring the suffix to the caller's replay.
+	for i, p := range relayPeers {
+		o := outMsg{id: id, bcast: bf, flushBy: hint.FlushBy, relay: true, cover: relayDests[i].Cover}
+		if err := t.sendShared(p, o); err != nil {
+			bf.release()
+			fail(err)
+			if !relayDests[i].Retained {
+				for _, name := range relayDests[i].Cover {
+					sendSolo(name)
+				}
+			}
+		} else {
+			delivered += len(relayDests[i].Cover)
+		}
+	}
 	// bufown's single-owner model cannot see refcounts: bf starts with
-	// len(share) references (share is non-empty, guarded above) and every
-	// loop iteration transfers one to the destination or releases it on
-	// send failure, so nothing is live here.
-	//erdos:allow bufown frame refs equal len(share); each iteration transfers or releases exactly one
+	// len(share)+len(relayPeers) references (at least one, guarded above)
+	// and every loop iteration transfers one to the destination or
+	// releases it on send failure, so nothing is live here.
+	//erdos:allow bufown frame refs equal share+relay count; each iteration transfers or releases exactly one
+	return delivered, firstErr
+}
+
+// Republish re-broadcasts one received wire frame to local consumers at a
+// relay: ring members are covered by a single unbounded bus publish (a
+// frame beyond the producer-side cap streams as a chunked train), the rest
+// take the refcounted shared-frame pairwise path. It takes ownership of
+// frame (a pooled buffer, the complete tagRaw/tagTyped encoding) and
+// carries no deadline hint: every copy flushes on queue drain. Prefer
+// RepublishWithHint on deadline-carrying paths.
+func (t *Transport) Republish(bus *Bus, busPeers, peerNames []string, frame []byte, typed bool, id stream.ID) (int, error) {
+	return t.republish(bus, busPeers, peerNames, frame, typed, id, FlushHint{})
+}
+
+// RepublishWithHint is Republish with a coalescing deadline shared by
+// every copy — at a relay, the envelope's remaining slack minus time
+// spent queued.
+func (t *Transport) RepublishWithHint(bus *Bus, busPeers, peerNames []string, frame []byte, typed bool, id stream.ID, hint FlushHint) (int, error) {
+	return t.republish(bus, busPeers, peerNames, frame, typed, id, hint)
+}
+
+// republish fans a verbatim wire frame out locally. Unlike multicast it
+// never re-encodes: the frame is the producer's shared encoding, so every
+// destination must speak it — a missing peer, a ValueConn link, or codec
+// skew is an error rather than a downgrade (the cluster only relays
+// between same-build workers).
+func (t *Transport) republish(bus *Bus, busPeers, peerNames []string, frame []byte, typed bool, id stream.ID, hint FlushHint) (int, error) {
+	var delivered int
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	if bus == nil && len(busPeers) > 0 {
+		peerNames = append(append(make([]string, 0, len(peerNames)+len(busPeers)), peerNames...), busPeers...)
+		busPeers = nil
+	}
+	if bus != nil && len(busPeers) > 0 {
+		// writeUnbounded, not write: the relay's ring chunks any size into
+		// a spill train, so an oversize frame still costs one wire copy
+		// from the producer and rides the ring here.
+		if berr := bus.writeUnbounded(frame); berr == nil {
+			delivered += len(busPeers)
+			t.sent.Add(uint64(len(busPeers)))
+		} else {
+			peerNames = append(append(make([]string, 0, len(peerNames)+len(busPeers)), peerNames...), busPeers...)
+			fail(berr)
+		}
+	}
+
+	peers := *t.peers.Load()
+	share := make([]*peer, 0, len(peerNames))
+	for _, name := range peerNames {
+		p := peers[name]
+		switch {
+		case p == nil:
+			fail(fmt.Errorf("comm: %s has no peer %q", t.name, name))
+		case p.vc != nil:
+			fail(fmt.Errorf("comm: relay republish to value link %q", name))
+		default:
+			share = append(share, p)
+		}
+	}
+
+	bf := newBroadcastFrame(frame, typed, int32(len(share))+1)
+	for _, p := range share {
+		o := outMsg{id: id, bcast: bf, flushBy: hint.FlushBy}
+		if err := t.sendShared(p, o); err != nil {
+			bf.release()
+			fail(err)
+		} else {
+			delivered++
+		}
+	}
+	// The +1 reference is the caller's: releasing it here frees the frame
+	// when share is empty (bus-only republish) and otherwise defers the
+	// recycle to the last write loop — uniform ownership either way.
+	bf.release()
+	t.republished.Add(uint64(delivered))
 	return delivered, firstErr
 }
 

@@ -502,6 +502,37 @@ func (w *Worker) Adopt(name string, cp *state.Checkpoint, restoreAt uint64, repl
 	return nil
 }
 
+// RewindOpen discards the named operator's open (uncommitted) timestamps:
+// every working view above the input low watermark whose completion has not
+// been scheduled is dropped, and already-queued callbacks for those times
+// become no-ops (they re-check rt.times at dispatch). The committed state
+// and the input watermark fences are untouched.
+//
+// This is the consumer half of relay-failure recovery: a dead relay loses a
+// contiguous suffix of its stream, and the tail of what DID arrive may sit
+// partially applied in an open view — a tick whose data landed but whose
+// closing watermark died in the relay's queue. The producer force-replays
+// the retained window from the last closed tick; rewinding first means the
+// replayed data rebuilds those ticks from the committed state instead of
+// double-applying into a dirty view. Only call it for operators all of
+// whose inputs routed through the dead relay — an unaffected input's open
+// contributions would be discarded with no replay to rebuild them.
+func (w *Worker) RewindOpen(name string) {
+	w.opsMu.RLock()
+	rt, ok := w.ops[name]
+	w.opsMu.RUnlock()
+	if !ok {
+		return
+	}
+	rt.mu.Lock()
+	for l, tw := range rt.times {
+		if !tw.done && !tw.scheduled && !tw.handledAbort {
+			delete(rt.times, l)
+		}
+	}
+	rt.mu.Unlock()
+}
+
 // LocalOps returns the names of the operators instantiated on this worker.
 func (w *Worker) LocalOps() []string {
 	w.opsMu.RLock()

@@ -31,42 +31,59 @@ import (
 const fanPayload = 4096
 
 // FanoutPoint is one (config, subscriber-count) measurement of the
-// fanout edge.
+// fanout edge. For the relay-fanout config, HostWireBytes breaks the
+// producer's wire bytes per op down by simulated remote host — the
+// numbers that show the wire cost is O(hosts), flat in subscribers per
+// host.
 type FanoutPoint struct {
-	Config         string  `json:"config"`
-	Subscribers    int     `json:"subscribers"`
-	NsPerOp        float64 `json:"ns_per_op"`
-	OpsPerSec      float64 `json:"ops_per_sec"`
-	AllocsPerOp    int64   `json:"allocs_per_op"`
-	WireBytesPerOp float64 `json:"wire_bytes_per_op"`
-	Goroutines     int     `json:"goroutines,omitempty"`
+	Config         string             `json:"config"`
+	Subscribers    int                `json:"subscribers"`
+	NsPerOp        float64            `json:"ns_per_op"`
+	OpsPerSec      float64            `json:"ops_per_sec"`
+	AllocsPerOp    int64              `json:"allocs_per_op"`
+	WireBytesPerOp float64            `json:"wire_bytes_per_op"`
+	Goroutines     int                `json:"goroutines,omitempty"`
+	HostWireBytes  map[string]float64 `json:"host_wire_bytes_per_op,omitempty"`
 }
 
 // FanoutBench measures the fanout edge. The full run sweeps N subscribers
-// in {1,2,4} with the five-run statistics of the recorded bench; short is
-// the CI smoke shape — N=4 only, one run per config, enough to catch a
-// broken fast path without the full sweep's wall time.
-func FanoutBench(short bool) []FanoutPoint {
-	subs := []int{1, 2, 4}
+// in {1,2,4,8} with the five-run statistics of the recorded bench; short
+// is the CI smoke shape — N in {4,8}, one run per config, enough to catch
+// a broken fast path without the full sweep's wall time. hosts simulates
+// a cluster spread for the relay-fanout config: subscribers divide
+// round-robin over hosts-1 remote host groups, each with its own relay
+// transport, and the producer ships one tagRelay envelope per group; with
+// hosts < 2 the relay config is skipped.
+func FanoutBench(short bool, hosts int) []FanoutPoint {
+	subs := []int{1, 2, 4, 8}
 	if short {
-		subs = []int{4}
+		subs = []int{4, 8}
 	}
 	configs := []struct {
 		name string
-		f    func(n int, wire *float64) func(*testing.B)
+		f    func(n int, wire *float64, hostWire *map[string]float64) func(*testing.B)
 	}{
 		{"tcp-per-link", benchFanoutPerLink},
 		{"tcp-multicast", benchFanoutMulticast},
 		{"shm-broadcast", benchFanoutShmBroadcast},
 		{"inproc", benchFanoutInproc},
 	}
+	if hosts >= 2 {
+		configs = append(configs, struct {
+			name string
+			f    func(n int, wire *float64, hostWire *map[string]float64) func(*testing.B)
+		}{"relay-fanout", func(n int, wire *float64, hostWire *map[string]float64) func(*testing.B) {
+			return benchFanoutRelay(n, hosts, wire, hostWire)
+		}})
+	}
 	var out []FanoutPoint
 	for _, n := range subs {
 		for _, cfg := range configs {
 			// wire is written by the final (largest-N) measured run.
 			var wire float64
+			var hostWire map[string]float64
 			name := fmt.Sprintf("Fanout_%s_%dsub", cfg.name, n)
-			bench := cfg.f(n, &wire)
+			bench := cfg.f(n, &wire, &hostWire)
 			var r MicroBenchResult
 			if short {
 				r = toResult(name, testing.Benchmark(bench))
@@ -81,6 +98,7 @@ func FanoutBench(short bool) []FanoutPoint {
 				AllocsPerOp:    r.AllocsPerOp,
 				WireBytesPerOp: wire,
 				Goroutines:     r.Goroutines,
+				HostWireBytes:  hostWire,
 			})
 		}
 	}
@@ -139,7 +157,7 @@ func waitFanout(b *testing.B, recvd *atomic.Int64, want int64) {
 // benchFanoutPerLink is the baseline every other config is judged
 // against: one SendBytes per subscriber, so encode work and wire bytes
 // both scale linearly with N.
-func benchFanoutPerLink(n int, wire *float64) func(*testing.B) {
+func benchFanoutPerLink(n int, wire *float64, _ *map[string]float64) func(*testing.B) {
 	return func(b *testing.B) {
 		var recvd atomic.Int64
 		src, names := fanoutTCPRig(b, n, &recvd)
@@ -166,7 +184,7 @@ func benchFanoutPerLink(n int, wire *float64) func(*testing.B) {
 // benchFanoutMulticast shares one encoded refcounted frame across every
 // link's write loop: the encode happens once, the wire bytes still scale
 // with N (each link carries its own copy of the shared frame).
-func benchFanoutMulticast(n int, wire *float64) func(*testing.B) {
+func benchFanoutMulticast(n int, wire *float64, _ *map[string]float64) func(*testing.B) {
 	return func(b *testing.B) {
 		var recvd atomic.Int64
 		src, names := fanoutTCPRig(b, n, &recvd)
@@ -192,7 +210,7 @@ func benchFanoutMulticast(n int, wire *float64) func(*testing.B) {
 // broadcast ring; every subscriber reads the same ring record, so wire
 // bytes per op are one frame regardless of N. The TCP links exist as the
 // fallback path and should stay silent.
-func benchFanoutShmBroadcast(n int, wire *float64) func(*testing.B) {
+func benchFanoutShmBroadcast(n int, wire *float64, _ *map[string]float64) func(*testing.B) {
 	return func(b *testing.B) {
 		dir, err := os.MkdirTemp("", "erdos-fanout-shm-*")
 		if err != nil {
@@ -256,7 +274,7 @@ func benchFanoutShmBroadcast(n int, wire *float64) func(*testing.B) {
 // one pooled acquire plus N-1 payload copies and N queue handoffs.
 // Ownership transfers to the receivers, which recycle, so the pool stays
 // balanced across the run.
-func benchFanoutInproc(n int, wire *float64) func(*testing.B) {
+func benchFanoutInproc(n int, wire *float64, _ *map[string]float64) func(*testing.B) {
 	return func(b *testing.B) {
 		var recvd atomic.Int64
 		src, err := comm.Listen("fan-ip-src", "127.0.0.1:0", nil,
@@ -296,5 +314,122 @@ func benchFanoutInproc(n int, wire *float64) func(*testing.B) {
 		waitFanout(b, &recvd, int64(n)*int64(b.N))
 		b.StopTimer()
 		*wire = 0
+	}
+}
+
+// benchFanoutRelay simulates the cross-host relay tree on loopback: the n
+// subscribers divide round-robin over hosts-1 remote host groups, each
+// group fronted by its own relay transport (a distinct simulated HostID)
+// with a local SPMC broadcast ring, and the producer ships exactly one
+// tagRelay envelope per group — so its wire bytes per op are O(hosts),
+// flat in subscribers per host, while every subscriber still receives
+// every frame from its relay's single ring append.
+func benchFanoutRelay(n, hosts int, wire *float64, hostWire *map[string]float64) func(*testing.B) {
+	return func(b *testing.B) {
+		remote := hosts - 1
+		var recvd atomic.Int64
+		src, err := comm.Listen("fan-src", "127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { src.Close() })
+
+		// Subscriber names round-robin across the remote hosts; each
+		// host's relay covers its own group via the ring.
+		covers := make([][]string, remote)
+		for i := 0; i < n; i++ {
+			h := i % remote
+			covers[h] = append(covers[h], fmt.Sprintf("fan-h%d-r%d", h+1, i))
+		}
+
+		// One relay transport per simulated remote host, fronting a real
+		// shm broadcast ring — the same local republish path a cluster
+		// relay uses for same-host ring members. The handler appends the
+		// verbatim frame once; every covered subscriber reads that record.
+		// The transport pointer is published atomically because the read
+		// goroutine that invokes the handler outlives this setup code.
+		relayNames := make([]string, remote)
+		relayT := make([]atomic.Pointer[comm.Transport], remote)
+		for h := 0; h < remote; h++ {
+			h := h
+			dir, err := os.MkdirTemp("", "erdos-fanout-relay-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { os.RemoveAll(dir) })
+			sb := shm.New()
+			sb.Dir = dir
+			group, err := sb.NewBroadcastGroup(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { group.Close() })
+			group.EvictAfter = time.Minute
+			bus := comm.NewBus(group.Sink(), 0)
+
+			name := fmt.Sprintf("fan-relay-h%d", h+1)
+			relayNames[h] = name
+			rt, err := comm.Listen(name, "127.0.0.1:0", nil,
+				comm.WithRelayHandler(func(_ string, id stream.ID, cover []string, _ func() (message.Message, error), frame []byte, typed bool, hint comm.FlushHint) {
+					if _, err := relayT[h].Load().RepublishWithHint(bus, cover, nil, frame, typed, id, hint); err != nil {
+						b.Errorf("republish: %v", err)
+					}
+				}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { rt.Close() })
+			relayT[h].Store(rt)
+			if err := src.Dial(rt.Addr()); err != nil {
+				b.Fatal(err)
+			}
+
+			for _, sub := range covers[h] {
+				rd, err := shm.JoinBroadcast(group.Addr(), sub)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { rd.Close() })
+				go func(rd *shm.BusReader) {
+					for {
+						_, m, err := comm.ReadFrame(rd)
+						if err != nil {
+							return
+						}
+						comm.ReleaseMessage(m)
+						recvd.Add(1)
+					}
+				}(rd)
+			}
+		}
+		var relays []comm.RelayDest
+		for h := 0; h < remote; h++ {
+			if len(covers[h]) > 0 {
+				relays = append(relays, comm.RelayDest{Relay: relayNames[h], Cover: covers[h]})
+			}
+		}
+
+		payload := make([]byte, fanPayload)
+		id := stream.NewID()
+		b.SetBytes(fanPayload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := linkBytes(src, relayNames)
+		startPer := src.PeerCoalesceStats()
+		for i := 0; i < b.N; i++ {
+			m := message.Data(timestamp.New(uint64(i+1)), payload)
+			if _, err := src.MulticastTree(nil, nil, nil, relays, id, m, comm.FlushHint{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		waitFanout(b, &recvd, int64(n)*int64(b.N))
+		b.StopTimer()
+		*wire = float64(linkBytes(src, relayNames)-start) / float64(b.N)
+		per := src.PeerCoalesceStats()
+		hw := make(map[string]float64, remote)
+		for h, name := range relayNames {
+			hw[fmt.Sprintf("host%d", h+1)] = float64(per[name].Bytes-startPer[name].Bytes) / float64(b.N)
+		}
+		*hostWire = hw
 	}
 }
